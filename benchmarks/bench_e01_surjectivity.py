@@ -1,0 +1,37 @@
+"""E1 (Example 1.1.1): the surjectivity problem and its side effects.
+
+Times the per-update work a front-end would do to detect the problem:
+checking the implied join dependency on the requested view state and
+computing the naive reflection's side effects.  Asserts the paper's
+exact side-effect tuples.
+"""
+
+from repro.relational.constraints import JoinDependency
+
+
+JD = JoinDependency("R_SPJ", (("S", "P"), ("P", "J")))
+
+
+def test_e1_side_effects(benchmark, spj_paper):
+    scenario, instance = spj_paper
+    assignment = scenario.assignment
+    view = scenario.join_view
+    view_state = view.apply(instance, assignment)
+    target = view_state.inserting("R_SPJ", ("s3", "p3", "j3"))
+
+    def kernel():
+        jd_ok = JD.holds(target, scenario.view_schema_with_jd, assignment)
+        naive = instance.inserting("R_SP", ("s3", "p3")).inserting(
+            "R_PJ", ("p3", "j3")
+        )
+        achieved = view.apply(naive, assignment)
+        side_effects = (
+            achieved.relation("R_SPJ").rows - target.relation("R_SPJ").rows
+        )
+        return jd_ok, side_effects
+
+    jd_ok, side_effects = benchmark(kernel)
+    # Paper shape: the target violates the implied JD, and the naive
+    # reflection side-effects exactly (s3,p3,j1) and (s2,p3,j3).
+    assert jd_ok is False
+    assert side_effects == {("s3", "p3", "j1"), ("s2", "p3", "j3")}

@@ -1,0 +1,30 @@
+"""E2 (Example 1.2.1): detecting an extraneous reflection.
+
+Times the change-set comparison that Requirement 1 is built on:
+computing both reflections' deltas and deciding strict containment.
+"""
+
+
+def test_e2_extraneous_detection(benchmark, spj_paper):
+    scenario, instance = spj_paper
+    assignment = scenario.assignment
+    view = scenario.join_view
+    target = view.apply(instance, assignment).deleting(
+        "R_SPJ", ("s1", "p1", "j1")
+    )
+    lean = instance.deleting("R_PJ", ("p1", "j1"))
+    fat = lean.deleting("R_PJ", ("p4", "j3"))
+
+    def kernel():
+        lean_ok = view.apply(lean, assignment) == target
+        fat_ok = view.apply(fat, assignment) == target
+        lean_delta = instance.delta(lean)
+        fat_delta = instance.delta(fat)
+        strictly_smaller = (
+            lean_delta.issubset(fat_delta) and lean_delta != fat_delta
+        )
+        return lean_ok, fat_ok, strictly_smaller
+
+    lean_ok, fat_ok, strictly_smaller = benchmark(kernel)
+    assert lean_ok and fat_ok
+    assert strictly_smaller  # the fat reflection is extraneous

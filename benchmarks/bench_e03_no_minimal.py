@@ -1,0 +1,22 @@
+"""E3 (Example 1.2.5): classifying all solutions of an update request.
+
+Times the exhaustive solution enumeration and classification (the
+semantic ground truth every strategy is judged against).  Asserts the
+paper's shape: several incomparable nonextraneous solutions, no minimal
+one.
+"""
+
+from repro.strategies.exhaustive import SolutionEnumerator
+
+
+def test_e3_solution_classification(benchmark, spj_inverse):
+    enumerator = SolutionEnumerator(spj_inverse.sp_view, spj_inverse.space)
+    current = spj_inverse.initial
+    target = spj_inverse.sp_view.apply(
+        current, spj_inverse.assignment
+    ).inserting("R_SP", ("s3", "p1"))
+
+    report = benchmark(enumerator.report, current, target)
+    assert len(report.solutions) == 9
+    assert len(report.nonextraneous) == 3
+    assert not report.has_minimal

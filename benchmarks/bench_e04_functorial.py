@@ -1,0 +1,18 @@
+"""E4 (Example 1.2.7): minimal-change is not functorial.
+
+Times the counterexample search (with memoised strategy applications)
+over the 64-state mini SPJ universe.  Asserts a violation exists.
+"""
+
+from repro.core.admissibility import find_functoriality_violation
+from repro.strategies.minimal_change import MinimalChangeStrategy
+
+
+def test_e4_functoriality_violation_search(benchmark, spj_mini):
+    strategy = MinimalChangeStrategy(
+        spj_mini.join_view, spj_mini.space, tie_break="pick"
+    )
+    violation = benchmark.pedantic(
+        find_functoriality_violation, args=(strategy,), rounds=3, iterations=1
+    )
+    assert violation is not None

@@ -1,0 +1,17 @@
+"""E5 (Example 1.2.10): minimal-only strategies are not symmetric.
+
+Times the un-undoable-update search.  Asserts a violation exists.
+"""
+
+from repro.core.admissibility import find_symmetry_violation
+from repro.strategies.minimal_change import MinimalChangeStrategy
+
+
+def test_e5_symmetry_violation_search(benchmark, spj_mini):
+    strategy = MinimalChangeStrategy(
+        spj_mini.join_view, spj_mini.space, tie_break="reject"
+    )
+    violation = benchmark.pedantic(
+        find_symmetry_violation, args=(strategy,), rounds=3, iterations=1
+    )
+    assert violation is not None

@@ -1,0 +1,37 @@
+"""E6 (Example 1.2.12): allowance depends on invisible data.
+
+Times the two definedness queries against a prebuilt constant-complement
+translator; asserts the paper's verdicts (rejected in the first
+instance, accepted in the second).
+"""
+
+from repro.core.constant_complement import ConstantComplementTranslator
+from repro.relational.instances import DatabaseInstance
+
+
+def test_e6_visibility_of_allowance(benchmark, spj_inverse):
+    translator = ConstantComplementTranslator(
+        spj_inverse.sp_view, spj_inverse.pj_view, spj_inverse.space
+    )
+    assignment = spj_inverse.assignment
+    first = DatabaseInstance(
+        {
+            "R_SPJ": {
+                ("s1", "p1", "j1"),
+                ("s1", "p1", "j2"),
+                ("s2", "p2", "j1"),
+            }
+        }
+    )
+    second = first.inserting("R_SPJ", ("s1", "p2", "j1"))
+
+    def kernel():
+        verdicts = []
+        for state in (first, second):
+            view_state = spj_inverse.sp_view.apply(state, assignment)
+            target = view_state.deleting("R_SP", ("s2", "p2"))
+            verdicts.append(translator.defined(state, target))
+        return tuple(verdicts)
+
+    verdicts = benchmark(kernel)
+    assert verdicts == (False, True)

@@ -1,0 +1,31 @@
+"""E7 (Example 1.3.6): complement counting and strongness screening.
+
+Times the scan that distinguishes the canonical complement: test all 16
+boolean-function views for join complementarity with Gamma1 and screen
+the survivors for strongness.  Asserts the paper's shape: 4 join
+complements, exactly 1 of them strong.
+"""
+
+from repro.core.strong import analyze_view
+from repro.views.lattice import are_join_complements
+
+
+def test_e7_complement_screening(benchmark, two_unary):
+    family = two_unary.boolean_function_views()
+    space = two_unary.space
+
+    def kernel():
+        complements = [
+            view
+            for view in family.values()
+            if are_join_complements(two_unary.gamma1, view, space)
+        ]
+        strong = [
+            view
+            for view in complements
+            if analyze_view(view, space).is_strong
+        ]
+        return len(complements), len(strong)
+
+    counts = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    assert counts == (4, 1)

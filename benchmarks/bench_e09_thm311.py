@@ -1,0 +1,40 @@
+"""E9 (Theorem 3.1.1): component updates -- totality and admissibility.
+
+Two timed kernels: (a) translating a full workload of component updates
+in closed form; (b) the exhaustive admissibility battery on one
+component translator.  Asserts totality and admissibility.
+"""
+
+from repro.core.admissibility import analyze_admissibility
+from repro.core.constant_complement import ComponentTranslator
+
+
+def test_e9_translation_workload(benchmark, small_algebra, small_space):
+    component = small_algebra.named("Γ°AB")
+    translator = ComponentTranslator.for_component(component, small_space)
+    targets = component.view.image_states(small_space)
+    requests = [
+        (state, target)
+        for state in small_space.states
+        for target in targets
+    ]
+
+    def kernel():
+        count = 0
+        for state, target in requests:
+            translator.apply(state, target)
+            count += 1
+        return count
+
+    count = benchmark(kernel)
+    assert count == len(requests)  # every update possible (no rejections)
+
+
+def test_e9_admissibility_battery(benchmark, small_algebra, small_space):
+    component = small_algebra.named("Γ°BC")
+    translator = ComponentTranslator.for_component(component, small_space)
+
+    report = benchmark.pedantic(
+        analyze_admissibility, args=(translator,), rounds=1, iterations=1
+    )
+    assert report.is_admissible

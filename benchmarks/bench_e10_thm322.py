@@ -1,0 +1,46 @@
+"""E10 (Main Update Theorem 3.2.2): complement independence.
+
+Times the exhaustive cross-complement agreement check for Gamma_ABD and
+the contrasting divergence of a non-component complement in the
+Example 1.3.6 universe.
+"""
+
+from repro.core.constant_complement import ConstantComplementTranslator
+from repro.core.procedure import (
+    strong_join_complements,
+    translations_coincide,
+)
+from repro.decomposition.projections import projection_view
+
+
+def test_e10_complement_independence(benchmark, small_chain, small_space, small_algebra):
+    gabd = projection_view(small_chain, ("A", "B", "D"))
+    complements = strong_join_complements(gabd, small_algebra)
+    assert [c.name for c in complements] == ["Γ°BCD", "Γ°ABCD"]
+
+    coincide = benchmark.pedantic(
+        translations_coincide,
+        args=(gabd, complements, small_space),
+        rounds=2,
+        iterations=1,
+    )
+    assert coincide
+
+
+def test_e10_non_component_diverges(benchmark, two_unary):
+    with_g2 = ConstantComplementTranslator(
+        two_unary.gamma1, two_unary.gamma2, two_unary.space
+    )
+    with_g3 = ConstantComplementTranslator(
+        two_unary.gamma1, two_unary.gamma3, two_unary.space
+    )
+    state = two_unary.initial
+    target = two_unary.gamma1.apply(state, two_unary.assignment).inserting(
+        "R", ("a4",)
+    )
+
+    def kernel():
+        return with_g2.apply(state, target), with_g3.apply(state, target)
+
+    via_g2, via_g3 = benchmark(kernel)
+    assert via_g2 != via_g3  # outside the component algebra, choice matters

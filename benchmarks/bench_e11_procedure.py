@@ -1,0 +1,48 @@
+"""E11 (Example 3.2.4): Update Procedure 3.2.3 on the Γ_ABD view.
+
+Times one accepted and one rejected request through the procedure
+(filter through Γ°AB, translate, verify image).
+"""
+
+import pytest
+
+from repro.errors import UpdateRejected
+from repro.typealgebra.algebra import NULL
+from repro.core.procedure import UpdateProcedure
+from repro.decomposition.projections import projection_view
+
+
+@pytest.fixture(scope="module")
+def setup(small_chain, small_space, small_algebra):
+    gabd = projection_view(small_chain, ("A", "B", "D"))
+    procedure = UpdateProcedure(
+        gabd, small_algebra.named("Γ°BCD"), small_space
+    )
+    state = small_chain.state_from_edges(
+        [{("a1", "b1")}, set(), {("c1", "d1")}]
+    )
+    view_state = gabd.apply(state, small_space.assignment)
+    return procedure, state, view_state
+
+
+def test_e11_accepted_update(benchmark, setup, small_chain):
+    procedure, state, view_state = setup
+    target = view_state.deleting("R_ABD", ("a1", "b1", NULL))
+
+    solution = benchmark(procedure.apply, state, target)
+    assert small_chain.edges_of(solution)[0] == frozenset()
+
+
+def test_e11_rejected_update(benchmark, setup):
+    procedure, state, view_state = setup
+    target = view_state.deleting("R_ABD", (NULL, NULL, "d1"))
+
+    def kernel():
+        try:
+            procedure.apply(state, target)
+            return None
+        except UpdateRejected as exc:
+            return exc.reason
+
+    reason = benchmark(kernel)
+    assert reason == "image-mismatch"

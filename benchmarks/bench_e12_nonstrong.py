@@ -1,0 +1,33 @@
+"""E12 (Example 3.3.1): the cost of a non-strong complement.
+
+Times the full admissibility battery for the Γ2-constant (component)
+and Γ3-constant (non-strong) strategies on Γ1; asserts the contrast the
+paper predicts: the first admissible, the second extraneous.
+"""
+
+from repro.core.admissibility import analyze_admissibility
+from repro.core.constant_complement import ConstantComplementTranslator
+
+
+def test_e12_component_complement_admissible(benchmark, two_unary):
+    translator = ConstantComplementTranslator(
+        two_unary.gamma1, two_unary.gamma2, two_unary.space
+    )
+    report = benchmark.pedantic(
+        analyze_admissibility, args=(translator,), rounds=1, iterations=1
+    )
+    assert report.is_admissible
+
+
+def test_e12_nonstrong_complement_extraneous(benchmark, two_unary):
+    translator = ConstantComplementTranslator(
+        two_unary.gamma1, two_unary.gamma3, two_unary.space
+    )
+    report = benchmark.pedantic(
+        analyze_admissibility, args=(translator,), rounds=1, iterations=1
+    )
+    assert not report.is_admissible
+    assert not report.nonextraneous.passed
+    # Prop 1.3.3 still holds: functorial and symmetric regardless.
+    assert report.functorial.passed
+    assert report.symmetric.passed

@@ -1,0 +1,49 @@
+"""S2: component-algebra size and discovery cost vs chain length.
+
+The algebra of a k-attribute chain has exactly 2^(k-1) elements (one
+per edge subset); discovery cost grows with both the candidate count
+and the state space.  Expected shape: element count doubles per added
+attribute; discovery time grows superlinearly (the product-isomorphism
+checks dominate).
+"""
+
+import pytest
+
+from repro.core.components import ComponentAlgebra
+from repro.decomposition.chain import ChainSchema
+
+
+def make_chain(width):
+    attrs = [chr(ord("A") + i) for i in range(width)]
+    domains = {attr: (attr.lower() + "1",) for attr in attrs}
+    # Give the two ends a second value so the universe is non-trivial.
+    domains[attrs[0]] = (attrs[0].lower() + "1", attrs[0].lower() + "2")
+    domains[attrs[-1]] = (attrs[-1].lower() + "1", attrs[-1].lower() + "2")
+    return ChainSchema(attrs, domains)
+
+
+@pytest.mark.parametrize("width", [2, 3, 4, 5])
+def test_s2_algebra_discovery(benchmark, width):
+    chain = make_chain(width)
+    space = chain.state_space()
+    candidates = chain.all_component_views()
+
+    algebra = benchmark.pedantic(
+        ComponentAlgebra.discover,
+        args=(space, candidates),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(algebra) == 2 ** (width - 1)
+    assert len(algebra.atoms()) == width - 1
+    assert algebra.is_boolean()
+
+
+@pytest.mark.parametrize("width", [2, 3, 4, 5])
+def test_s2_state_space_construction(benchmark, width):
+    chain = make_chain(width)
+
+    space = benchmark.pedantic(
+        chain.state_space, rounds=1, iterations=1
+    )
+    assert len(space) == chain.state_count()

@@ -1,0 +1,91 @@
+"""S3: strategy shoot-out on random workloads.
+
+Head-to-head on 200 random update requests to Gamma1 of the
+Example 1.3.6 universe:
+
+* constant **component** complement (Γ2) -- the paper's proposal;
+* constant **arbitrary** complement (Γ3, a join complement that is not
+  a strong view) -- the unconstrained Bancilhon-Spyratos position;
+* **minimal-change** search -- the classical heuristic.
+
+Measured: acceptance rate, extraneous-reflection rate, and wall-clock
+per workload.  Expected shape: the component strategy accepts
+everything with zero extraneous reflections; the arbitrary complement
+also accepts everything but reflects a sizable fraction extraneously;
+minimal-change is nonextraneous by construction but (per E4) pays a
+much higher per-update cost and loses functoriality.
+"""
+
+import pytest
+
+from repro.core.admissibility import is_nonextraneous_solution
+from repro.core.constant_complement import ConstantComplementTranslator
+from repro.errors import UpdateRejected
+from repro.strategies.minimal_change import MinimalChangeStrategy
+from repro.workloads.generators import random_update_workload
+
+
+WORKLOAD_SIZE = 200
+
+
+@pytest.fixture(scope="module")
+def workload(two_unary):
+    return random_update_workload(
+        two_unary.gamma1, two_unary.space, WORKLOAD_SIZE, seed=7
+    )
+
+
+def run_workload(strategy, workload):
+    accepted = 0
+    solutions = []
+    for state, target in workload:
+        try:
+            solutions.append((state, strategy.apply(state, target)))
+            accepted += 1
+        except UpdateRejected:
+            pass
+    return accepted, solutions
+
+
+def extraneous_rate(view, space, solutions):
+    extraneous = sum(
+        1
+        for state, solution in solutions
+        if not is_nonextraneous_solution(view, space, state, solution)
+    )
+    return extraneous / max(1, len(solutions))
+
+
+def test_s3_component_complement(benchmark, two_unary, workload):
+    strategy = ConstantComplementTranslator(
+        two_unary.gamma1, two_unary.gamma2, two_unary.space
+    )
+    accepted, solutions = benchmark(run_workload, strategy, workload)
+    assert accepted == WORKLOAD_SIZE  # complementary => total
+    assert extraneous_rate(
+        two_unary.gamma1, two_unary.space, solutions
+    ) == 0.0
+
+
+def test_s3_arbitrary_complement(benchmark, two_unary, workload):
+    strategy = ConstantComplementTranslator(
+        two_unary.gamma1, two_unary.gamma3, two_unary.space
+    )
+    accepted, solutions = benchmark(run_workload, strategy, workload)
+    assert accepted == WORKLOAD_SIZE
+    rate = extraneous_rate(two_unary.gamma1, two_unary.space, solutions)
+    # A sizable fraction of reflections needlessly touch S.
+    assert rate > 0.2
+
+
+def test_s3_minimal_change(benchmark, two_unary, workload):
+    strategy = MinimalChangeStrategy(
+        two_unary.gamma1, two_unary.space, tie_break="pick"
+    )
+    accepted, solutions = benchmark.pedantic(
+        run_workload, args=(strategy, workload), rounds=1, iterations=1
+    )
+    assert accepted == WORKLOAD_SIZE
+    assert extraneous_rate(
+        two_unary.gamma1, two_unary.space, solutions
+    ) == 0.0

@@ -1,0 +1,85 @@
+"""S5: decomposition generality -- trees and horizontal cells.
+
+The paper's framework is not chain-specific; these benchmarks measure
+the generalised decompositions:
+
+* component-algebra discovery on a star join tree (same 2^(#edges)
+  shape as chains);
+* symbolic constant-complement updates on trees and on horizontal
+  cell decompositions -- both enumeration-free, both expected in the
+  same latency class as the chain updater of S1.
+"""
+
+import pytest
+
+from repro.core.components import ComponentAlgebra
+from repro.decomposition.horizontal import HorizontalSchema, HorizontalUpdater
+from repro.decomposition.tree import TreeSchema
+from repro.decomposition.updates import TreeComponentUpdater
+from repro.relational.instances import DatabaseInstance
+
+
+@pytest.fixture(scope="module")
+def star():
+    return TreeSchema(
+        ("A", "B", "C", "D"),
+        {"A": ("a1",), "B": ("b1", "b2"), "C": ("c1",), "D": ("d1",)},
+        [("A", "B"), ("B", "C"), ("B", "D")],
+    )
+
+
+def test_s5_tree_algebra_discovery(benchmark, star):
+    space = star.state_space()
+    candidates = star.all_component_views()
+
+    algebra = benchmark.pedantic(
+        ComponentAlgebra.discover, args=(space, candidates),
+        rounds=1, iterations=1,
+    )
+    assert len(algebra) == 8
+    assert algebra.is_boolean()
+
+
+def test_s5_tree_symbolic_updates(benchmark, star):
+    updater = TreeComponentUpdater(star, [(0, 1)])
+    state = star.state_from_edges(
+        {(0, 1): {("a1", "b1")}, (1, 2): {("b1", "c1")}, (1, 3): {("b1", "d1")}}
+    )
+    new_part = star.state_from_edges({(0, 1): {("a1", "b2")}})
+    target = updater.view.apply(new_part, star.assignment)
+
+    def kernel():
+        for _ in range(20):
+            updater.apply(state, target)
+        return 20
+
+    assert benchmark(kernel) == 20
+
+
+def test_s5_horizontal_symbolic_updates(benchmark):
+    accounts = HorizontalSchema(
+        attributes=("Owner", "Region"),
+        domains={"Owner": tuple(f"u{i}" for i in range(20))},
+        split_attribute="Region",
+        cells={"eu": ("de", "fr"), "us": ("ny", "sf")},
+    )
+    updater = HorizontalUpdater(accounts, ["eu"])
+    state = DatabaseInstance(
+        {"R": {(f"u{i}", "de") for i in range(10)}
+         | {(f"u{i}", "ny") for i in range(10, 20)}}
+    )
+    target = DatabaseInstance(
+        {"R": {(f"u{i}", "fr") for i in range(10)}}
+    )
+
+    def kernel():
+        for _ in range(20):
+            updater.apply(state, target)
+        return 20
+
+    assert benchmark(kernel) == 20
+    solution = updater.apply(state, target)
+    # US cell untouched:
+    assert accounts.cell_rows(solution, "us") == accounts.cell_rows(
+        state, "us"
+    )

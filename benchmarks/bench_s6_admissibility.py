@@ -1,0 +1,58 @@
+"""S6: the cost of *checking* admissibility vs having it guaranteed.
+
+For an arbitrary update strategy, the only way to know it is admissible
+is the exhaustive battery of §1.2 -- quadratic-and-worse sweeps over
+the state space.  For component translators, Theorem 3.1.1 *guarantees*
+admissibility, so a production system never pays this cost.  The bench
+measures what is being saved, per state-space size.
+
+Expected shape: battery cost grows super-linearly with |LDB| (the
+functoriality check alone is O(|S| * |T|^2) table lookups plus the
+nonextraneousness sweep); the guarantee is free.
+"""
+
+import pytest
+
+from repro.core.admissibility import analyze_admissibility
+from repro.core.constant_complement import ConstantComplementTranslator
+from repro.workloads.scenarios import two_unary_scenario
+
+
+SIZES = {
+    "16-states": ("a1", "a2"),
+    "64-states": ("a1", "a2", "a3"),
+    "256-states": ("a1", "a2", "a3", "a4"),
+}
+
+
+@pytest.mark.parametrize("label", list(SIZES))
+def test_s6_admissibility_battery_cost(benchmark, label):
+    scenario = two_unary_scenario(SIZES[label])
+    translator = ConstantComplementTranslator(
+        scenario.gamma1, scenario.gamma2, scenario.space
+    )
+
+    report = benchmark.pedantic(
+        analyze_admissibility, args=(translator,), rounds=1, iterations=1
+    )
+    assert report.is_admissible
+
+
+@pytest.mark.parametrize("label", list(SIZES))
+def test_s6_guaranteed_translation_cost(benchmark, label):
+    """The same translator doing actual work instead of being audited."""
+    scenario = two_unary_scenario(SIZES[label])
+    translator = ConstantComplementTranslator(
+        scenario.gamma1, scenario.gamma2, scenario.space
+    )
+    state = scenario.space.states[0]
+    targets = scenario.gamma1.image_states(scenario.space)
+
+    def kernel():
+        count = 0
+        for target in targets:
+            translator.apply(state, target)
+            count += 1
+        return count
+
+    assert benchmark(kernel) == len(targets)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark suite.
+
+Scenario construction (state-space enumeration, component-algebra
+discovery) is excluded from the timed regions by building everything
+once per session here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.components import ComponentAlgebra
+from repro.workloads.scenarios import (
+    abcd_chain_small,
+    paper_chain_instance,
+    spj_inverse_scenario,
+    spj_mini_scenario,
+    spj_paper_instance,
+    two_unary_scenario,
+)
+
+
+@pytest.fixture(scope="session")
+def two_unary():
+    return two_unary_scenario()
+
+
+@pytest.fixture(scope="session")
+def spj_paper():
+    return spj_paper_instance()
+
+
+@pytest.fixture(scope="session")
+def spj_inverse():
+    return spj_inverse_scenario()
+
+
+@pytest.fixture(scope="session")
+def spj_mini():
+    return spj_mini_scenario()
+
+
+@pytest.fixture(scope="session")
+def small_chain():
+    return abcd_chain_small()
+
+
+@pytest.fixture(scope="session")
+def small_space(small_chain):
+    return small_chain.state_space()
+
+
+@pytest.fixture(scope="session")
+def small_algebra(small_chain, small_space):
+    return ComponentAlgebra.discover(
+        small_space, small_chain.all_component_views()
+    )

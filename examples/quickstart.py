@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Quickstart: canonical view updates in five minutes.
+
+Builds the two-relation universe of the paper's Example 1.3.6, shows
+that complements of a view are *not* unique, discovers the component
+algebra, and translates a view update with the canonical (component)
+complement -- contrasting it against a badly chosen one.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ViewUpdateSystem
+from repro.core import ComponentAlgebra, ConstantComplementTranslator
+from repro.core.admissibility import analyze_admissibility
+from repro.core.strong import analyze_view
+from repro.harness.reporting import format_table
+from repro.views.lattice import are_complementary
+from repro.workloads.scenarios import two_unary_scenario
+
+
+def main() -> None:
+    scenario = two_unary_scenario()
+    space = scenario.space
+    print(f"base schema: two unary relations R, S over {space!r}\n")
+
+    # 1. Complements are not unique (the problem).
+    rows = []
+    for left, right in (
+        (scenario.gamma1, scenario.gamma2),
+        (scenario.gamma1, scenario.gamma3),
+        (scenario.gamma2, scenario.gamma3),
+    ):
+        rows.append(
+            (
+                f"{left.name}, {right.name}",
+                are_complementary(left, right, space),
+            )
+        )
+    print(format_table(("view pair", "complementary?"), rows))
+    print()
+
+    # 2. Strongness separates the good complements from the bad.
+    rows = [
+        (view.name, analyze_view(view, space).is_strong)
+        for view in (scenario.gamma1, scenario.gamma2, scenario.gamma3)
+    ]
+    print(format_table(("view", "strong view?"), rows))
+    print()
+
+    # 3. The component algebra: the canonical complements.
+    algebra = ComponentAlgebra.discover(
+        space, [scenario.gamma1, scenario.gamma2, scenario.gamma3]
+    )
+    print(f"component algebra: {algebra!r}")
+    print(
+        "components:",
+        ", ".join(
+            f"{c.name} (complement {c.complement.name})" for c in algebra
+        ),
+    )
+    print()
+
+    # 4. Translate an update both ways and compare.
+    state = scenario.initial
+    target = scenario.gamma1.apply(state, scenario.assignment).inserting(
+        "R", ("a4",)
+    )
+    print("update request on Γ1: insert a4 into R\n")
+    for complement in (scenario.gamma2, scenario.gamma3):
+        translator = ConstantComplementTranslator(
+            scenario.gamma1, complement, space
+        )
+        solution = translator.apply(state, target)
+        changes = state.change_summary(solution)
+        print(f"with {complement.name} constant:")
+        for relation, diff in sorted(changes.items()):
+            for row in diff["inserted"]:
+                print(f"  + {relation}{row}")
+            for row in diff["deleted"]:
+                print(f"  - {relation}{row}")
+        report = analyze_admissibility(translator)
+        print(f"  strategy admissible: {report.is_admissible}")
+        if not report.is_admissible:
+            failed = ", ".join(c.name for c in report.failures())
+            print(f"  (fails: {failed})")
+        print()
+
+    # 5. Or let the façade pick the canonical complement for you.
+    system = ViewUpdateSystem(scenario.schema, scenario.assignment, space)
+    system.register_view(scenario.gamma1)
+    system.build_component_algebra([scenario.gamma2])
+    print(system.explain_update("Γ1", state, target))
+
+
+if __name__ == "__main__":
+    main()

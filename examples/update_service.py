@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""A miniature view-update service built on ViewUpdateSystem.
+
+Simulates what a database front-end would do with this library: a base
+schema administered centrally, several user views registered against
+it, and a stream of view-level update requests serviced through the
+canonical constant-component-complement procedure -- with full
+explanations, including rejections.
+
+Run:  python examples/update_service.py
+"""
+
+from repro import NULL, ViewUpdateSystem
+from repro.decomposition.projections import projection_view
+from repro.errors import UpdateRejected
+from repro.workloads.scenarios import abcd_chain_small
+
+
+def main() -> None:
+    chain = abcd_chain_small()
+    system = ViewUpdateSystem(
+        chain.schema, chain.assignment, chain.state_space()
+    )
+
+    # Register user views: two components and one lossy projection.
+    ab_view = system.register_view(chain.component_view([0]))
+    bcd_view = system.register_view(chain.component_view([1, 2]))
+    abd_view = system.register_view(
+        projection_view(chain, ("A", "B", "D"))
+    )
+    system.build_component_algebra(chain.all_component_views())
+
+    print("registered views:", ", ".join(v.name for v in system.views))
+    for view in system.views:
+        procedure = system.procedure_for(view.name)
+        print(
+            f"  {view.name}: constant complement {procedure.complement.name}"
+        )
+    print()
+
+    # The administrator loads an initial database.
+    state = chain.state_from_edges(
+        [{("a1", "b1"), ("a2", "b1")}, {("b1", "c1")}, {("c1", "d1")}]
+    )
+    print("initial edges:", chain.edges_of(state))
+    print()
+
+    # A scripted day of view updates.  Each request edits the *current*
+    # view state, exactly as an interactive user would.
+    requests = [
+        (
+            "Γ°AB",
+            lambda now: now.deleting("R_AB", ("a2", "b1")),
+            "drop (a2, b1)",
+        ),
+        (
+            "Γ°BCD",
+            lambda now: now.inserting("R_BCD", (NULL, "c2", "d1")),
+            "connect c2 to d1",
+        ),
+        (
+            "Γ_ABD",
+            lambda now: now.deleting("R_ABD", (NULL, NULL, "d1")),
+            "try to drop (n, n, d1) -- entangled with the AB chain, so no legal view state results",
+        ),
+    ]
+
+    for view_name, edit, description in requests:
+        current_view_state = system.view(view_name).apply(
+            state, chain.assignment
+        )
+        target = edit(current_view_state)
+        print(f"--- {view_name}: {description} ---")
+        try:
+            new_state = system.update(view_name, state, target)
+        except UpdateRejected as exc:
+            print(f"REJECTED: {exc} (reason={exc.reason})")
+            print()
+            continue
+        changes = state.change_summary(new_state)
+        for relation, diff in sorted(changes.items()):
+            for row in diff["inserted"]:
+                print(f"  + {relation}{row}")
+            for row in diff["deleted"]:
+                print(f"  - {relation}{row}")
+        # Global consistency: every other view is refreshed from the
+        # new base state -- the constant complement is untouched.
+        for other in system.views:
+            if other.name == view_name:
+                continue
+            before = other.apply(state, chain.assignment)
+            after = other.apply(new_state, chain.assignment)
+            changed = "changed" if before != after else "unchanged"
+            print(f"  (view {other.name}: {changed})")
+        state = new_state
+        print()
+
+    print("final edges:", chain.edges_of(state))
+
+
+if __name__ == "__main__":
+    main()

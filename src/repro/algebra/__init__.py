@@ -1,0 +1,49 @@
+"""Order-theoretic substrate: posets, partitions, Boolean algebras.
+
+The paper's Section 2 is built on three order-theoretic pillars, each
+implemented here for *finite* structures:
+
+* :mod:`~repro.algebra.poset` -- finite partially ordered sets and
+  bottomed posets (the paper's "⊥-posets"), with bounds, covers,
+  joins/meets where they exist, down-sets, and products;
+* :mod:`~repro.algebra.partitions` -- the partition lattice
+  ``Part(LDB(D))`` of §2.2: refinement order, supremum (common
+  refinement) and infimum (transitive closure of union), into which the
+  partial lattice of views embeds via kernels;
+* :mod:`~repro.algebra.morphisms` and
+  :mod:`~repro.algebra.endomorphisms` -- monotone maps, least preimages,
+  least right invertibility, downward stationarity, *strong morphisms*
+  and *strong endomorphisms* (§2.3), complement pairs via the
+  product-isomorphism criterion of Lemma 2.3.2(b), and brute-force
+  enumeration of strong endomorphisms for small posets;
+* :mod:`~repro.algebra.boolean_algebra` -- verification that a finite
+  bounded poset of elements is a Boolean algebra, with atoms,
+  complements, and the isomorphism onto the powerset of atoms.
+"""
+
+from repro.algebra.poset import FinitePoset
+from repro.algebra.partitions import Partition
+from repro.algebra.morphisms import PosetMorphism, order_isomorphic
+from repro.algebra.endomorphisms import (
+    bottom_endomorphism,
+    complement_in,
+    enumerate_strong_endomorphisms,
+    identity_endomorphism,
+    is_complement_pair,
+    is_strong_endomorphism,
+)
+from repro.algebra.boolean_algebra import FiniteBooleanAlgebra
+
+__all__ = [
+    "FiniteBooleanAlgebra",
+    "FinitePoset",
+    "Partition",
+    "PosetMorphism",
+    "bottom_endomorphism",
+    "complement_in",
+    "enumerate_strong_endomorphisms",
+    "identity_endomorphism",
+    "is_complement_pair",
+    "is_strong_endomorphism",
+    "order_isomorphic",
+]

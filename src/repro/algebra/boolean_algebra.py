@@ -1,0 +1,215 @@
+"""Finite Boolean algebras, verified from an ordered element set.
+
+Theorem 2.3.3 / Lemma 2.3.2 assert that certain element sets (the
+complemented strong endomorphisms; the strongly complemented strong
+views) *form Boolean algebras*.  :class:`FiniteBooleanAlgebra` makes that
+claim checkable: given elements and an order predicate it verifies the
+bounded-lattice, distributivity, and complementation axioms, computes
+atoms, and exhibits the isomorphism onto the powerset of atoms.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.errors import NotABooleanAlgebraError
+from repro.algebra.poset import FinitePoset
+
+
+class FiniteBooleanAlgebra:
+    """A finite Boolean algebra, constructed and verified from a poset.
+
+    Raises :class:`~repro.errors.NotABooleanAlgebraError` during
+    construction if the axioms fail, with a message naming the first
+    failing axiom -- so "these views form a Boolean algebra" becomes an
+    executable assertion.
+    """
+
+    __slots__ = ("poset", "_meet", "_join", "_complement", "_top", "_bottom")
+
+    def __init__(self, elements: Iterable[Hashable], leq: Callable[[Hashable, Hashable], bool]):
+        self.poset = FinitePoset.from_leq(tuple(elements), leq)
+        n = len(self.poset)
+        if n == 0:
+            raise NotABooleanAlgebraError("empty element set")
+        try:
+            self._bottom = self.poset.bottom()
+            self._top = self.poset.top()
+        except Exception as exc:
+            raise NotABooleanAlgebraError(f"missing universal bound: {exc}") from exc
+        self._meet: Dict[Tuple[Hashable, Hashable], Hashable] = {}
+        self._join: Dict[Tuple[Hashable, Hashable], Hashable] = {}
+        for a in self.poset.elements:
+            for b in self.poset.elements:
+                meet = self.poset.meet(a, b)
+                join = self.poset.join(a, b)
+                if meet is None:
+                    raise NotABooleanAlgebraError(
+                        f"no meet for ({a!r}, {b!r}); not a lattice"
+                    )
+                if join is None:
+                    raise NotABooleanAlgebraError(
+                        f"no join for ({a!r}, {b!r}); not a lattice"
+                    )
+                self._meet[(a, b)] = meet
+                self._join[(a, b)] = join
+        self._check_distributivity()
+        self._complement = self._compute_complements()
+
+    # -- axioms --------------------------------------------------------------------
+
+    def _check_distributivity(self) -> None:
+        elems = self.poset.elements
+        for a in elems:
+            for b in elems:
+                for c in elems:
+                    left = self._meet[(a, self._join[(b, c)])]
+                    right = self._join[
+                        (self._meet[(a, b)], self._meet[(a, c)])
+                    ]
+                    if left != right:
+                        raise NotABooleanAlgebraError(
+                            f"distributivity fails at ({a!r}, {b!r}, {c!r})"
+                        )
+
+    def _compute_complements(self) -> Dict[Hashable, Hashable]:
+        table: Dict[Hashable, Hashable] = {}
+        for a in self.poset.elements:
+            candidates = [
+                b
+                for b in self.poset.elements
+                if self._meet[(a, b)] == self._bottom
+                and self._join[(a, b)] == self._top
+            ]
+            if not candidates:
+                raise NotABooleanAlgebraError(f"{a!r} has no complement")
+            if len(candidates) > 1:
+                # In a distributive lattice complements are unique, so
+                # this branch indicates an internal inconsistency.
+                raise NotABooleanAlgebraError(
+                    f"{a!r} has {len(candidates)} complements"
+                )
+            table[a] = candidates[0]
+        return table
+
+    # -- operations --------------------------------------------------------------------
+
+    @property
+    def elements(self) -> Tuple[Hashable, ...]:
+        """All elements."""
+        return self.poset.elements
+
+    @property
+    def top(self) -> Hashable:
+        """The greatest element (``1``)."""
+        return self._top
+
+    @property
+    def bottom(self) -> Hashable:
+        """The least element (``0``)."""
+        return self._bottom
+
+    def meet(self, a: Hashable, b: Hashable) -> Hashable:
+        """Greatest lower bound."""
+        return self._meet[(a, b)]
+
+    def join(self, a: Hashable, b: Hashable) -> Hashable:
+        """Least upper bound."""
+        return self._join[(a, b)]
+
+    def complement(self, a: Hashable) -> Hashable:
+        """The unique complement."""
+        return self._complement[a]
+
+    def leq(self, a: Hashable, b: Hashable) -> bool:
+        """The underlying order."""
+        return self.poset.leq(a, b)
+
+    def __len__(self) -> int:
+        return len(self.poset)
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self.poset
+
+    def __repr__(self) -> str:
+        return f"FiniteBooleanAlgebra({len(self)} elements, {len(self.atoms())} atoms)"
+
+    # -- structure ---------------------------------------------------------------------
+
+    def atoms(self) -> Tuple[Hashable, ...]:
+        """Elements covering bottom."""
+        return tuple(
+            a
+            for a in self.poset.elements
+            if a != self._bottom and self.poset.covers(self._bottom, a)
+        )
+
+    def atom_decomposition(self, element: Hashable) -> FrozenSet[Hashable]:
+        """The set of atoms below *element*."""
+        return frozenset(
+            atom for atom in self.atoms() if self.poset.leq(atom, element)
+        )
+
+    def is_isomorphic_to_powerset_of_atoms(self) -> bool:
+        """Stone-style sanity check: ``x -> {atoms <= x}`` is bijective
+        onto the full powerset of atoms, and order-preserving both ways.
+
+        A finite Boolean algebra always passes; the method exists so that
+        the claim is *checked*, not assumed, for algebras built out of
+        views and endomorphisms.
+        """
+        atoms = self.atoms()
+        if len(self) != 2 ** len(atoms):
+            return False
+        seen: Dict[FrozenSet[Hashable], Hashable] = {}
+        for element in self.poset.elements:
+            decomposition = self.atom_decomposition(element)
+            if decomposition in seen:
+                return False
+            seen[decomposition] = element
+        for a in self.poset.elements:
+            for b in self.poset.elements:
+                subset_order = self.atom_decomposition(a) <= self.atom_decomposition(b)
+                if subset_order != self.poset.leq(a, b):
+                    return False
+        return True
+
+    def generated_by(self, generators: Iterable[Hashable]) -> bool:
+        """True iff closing *generators* under meet/join/complement and
+        the bounds yields every element."""
+        closed = {self._bottom, self._top}
+        closed.update(generators)
+        changed = True
+        while changed:
+            changed = False
+            current = list(closed)
+            for a in current:
+                comp = self._complement[a]
+                if comp not in closed:
+                    closed.add(comp)
+                    changed = True
+                for b in current:
+                    for value in (self._meet[(a, b)], self._join[(a, b)]):
+                        if value not in closed:
+                            closed.add(value)
+                            changed = True
+        return closed == set(self.poset.elements)
+
+
+def try_boolean_algebra(
+    elements: Iterable[Hashable], leq: Callable[[Hashable, Hashable], bool]
+) -> Optional[FiniteBooleanAlgebra]:
+    """Build a :class:`FiniteBooleanAlgebra`, or ``None`` if axioms fail."""
+    try:
+        return FiniteBooleanAlgebra(elements, leq)
+    except NotABooleanAlgebraError:
+        return None

@@ -1,0 +1,206 @@
+"""Strong endomorphisms of a ⊥-poset and their complement structure.
+
+Paper §2.3: a *strong endomorphism* of a ⊥-poset ``P`` is an idempotent,
+downward stationary morphism ``P -> P``.  The strong endomorphisms are
+partially ordered pointwise; the least element is the constant-bottom
+map and the greatest the identity.  Lemma 2.3.2 states that complements
+in this poset are unique, that the complemented elements form a Boolean
+algebra, and that a complement pair ``(f, g)`` induces a ⊥-poset
+isomorphism ``f x g : P -> f(P) x g(P)``.
+
+This module provides:
+
+* predicates (:func:`is_strong_endomorphism`, :func:`pointwise_leq`);
+* the distinguished endomorphisms (:func:`identity_endomorphism`,
+  :func:`bottom_endomorphism`);
+* the Lemma 2.3.2(b) complement test (:func:`is_complement_pair`) and
+  complement search (:func:`complement_in`);
+* brute-force enumeration of all strong endomorphisms of a small poset
+  (:func:`enumerate_strong_endomorphisms`), used to validate the theory
+  against exhaustive search in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import PosetError
+from repro.algebra.morphisms import PosetMorphism, order_isomorphic
+from repro.algebra.poset import FinitePoset
+
+
+def identity_endomorphism(poset: FinitePoset) -> PosetMorphism:
+    """The identity map (greatest strong endomorphism)."""
+    return PosetMorphism(poset, poset, {e: e for e in poset.elements})
+
+
+def bottom_endomorphism(poset: FinitePoset) -> PosetMorphism:
+    """The constant-bottom map (least strong endomorphism)."""
+    bottom = poset.bottom()
+    return PosetMorphism(poset, poset, {e: bottom for e in poset.elements})
+
+
+def is_idempotent(endo: PosetMorphism) -> bool:
+    """True iff ``f(f(x)) = f(x)`` for all ``x``."""
+    return all(endo(endo(e)) == endo(e) for e in endo.source.elements)
+
+
+def fixpoints(endo: PosetMorphism) -> frozenset:
+    """The fixpoint set ``{x : f(x) = x}`` (= the image, if idempotent)."""
+    return frozenset(e for e in endo.source.elements if endo(e) == e)
+
+
+def is_strong_endomorphism(endo: PosetMorphism) -> bool:
+    """Idempotent + downward stationary (+ a ⊥-poset morphism at all).
+
+    For an idempotent map the least-preimage set is exactly the fixpoint
+    set, so downward stationarity says the fixpoints form a down-set.
+    """
+    if endo.source is not endo.target and tuple(endo.source.elements) != tuple(
+        endo.target.elements
+    ):
+        return False
+    if not endo.is_morphism():
+        return False
+    if not is_idempotent(endo):
+        return False
+    return endo.source.is_down_set(fixpoints(endo))
+
+
+def pointwise_leq(f: PosetMorphism, g: PosetMorphism) -> bool:
+    """``f <= g`` in the pointwise order on endomorphisms."""
+    poset = f.source
+    return all(poset.leq(f(e), g(e)) for e in poset.elements)
+
+
+def image_subposet(endo: PosetMorphism) -> FinitePoset:
+    """The induced subposet on the image of *endo*."""
+    return endo.source.restrict(endo.image())
+
+
+def is_complement_pair(
+    f: PosetMorphism, g: PosetMorphism, poset: Optional[FinitePoset] = None
+) -> bool:
+    """Lemma 2.3.2(b) test: is ``f x g : P -> f(P) x g(P)`` an isomorphism?
+
+    Both maps must be strong endomorphisms of the same poset.  When they
+    are complements, the product map is a ⊥-poset isomorphism; we verify
+    bijectivity and order preservation in both directions.
+    """
+    poset = poset or f.source
+    if not is_strong_endomorphism(f) or not is_strong_endomorphism(g):
+        return False
+    # Cardinality short-circuit: a bijection onto the product requires
+    # |image(f)| * |image(g)| == |P|.
+    if len(f.image()) * len(g.image()) != len(poset):
+        return False
+    f_image = image_subposet(f)
+    g_image = image_subposet(g)
+    product = f_image.product(g_image)
+    mapping = {e: (f(e), g(e)) for e in poset.elements}
+    return order_isomorphic(mapping, poset, product)
+
+
+def complement_in(
+    f: PosetMorphism, candidates: Iterable[PosetMorphism]
+) -> Optional[PosetMorphism]:
+    """The complement of *f* among *candidates*, or ``None``.
+
+    By Lemma 2.3.2(a) the complement is unique when it exists; if two
+    distinct candidates both pass the test a :class:`PosetError` is
+    raised, since that contradicts strongness of the inputs.
+    """
+    found: List[PosetMorphism] = []
+    for g in candidates:
+        if is_complement_pair(f, g):
+            if not any(g == prior for prior in found):
+                found.append(g)
+    if len(found) > 1:
+        raise PosetError(
+            f"found {len(found)} complements; Lemma 2.3.2 guarantees at "
+            "most one for strong endomorphisms -- inputs are not strong"
+        )
+    return found[0] if found else None
+
+
+def enumerate_strong_endomorphisms(
+    poset: FinitePoset, limit: int = 100_000
+) -> Iterator[PosetMorphism]:
+    """Enumerate every strong endomorphism of a small ⊥-poset.
+
+    Strategy: a strong endomorphism is an idempotent monotone map whose
+    fixpoint set (= image) is a down-set containing ⊥.  We enumerate the
+    down-sets ``F`` and, for each, search monotone retractions of the
+    poset onto ``F`` by depth-first assignment with pruning.
+
+    The search is exponential; *limit* bounds the number of assignments
+    explored (raising :class:`PosetError` when exceeded) to protect
+    callers from accidental blow-up.
+    """
+    bottom = poset.bottom()
+    elements = tuple(poset.elements)
+    budget = [limit]
+
+    for fix_set in poset.down_sets():
+        if bottom not in fix_set:
+            continue
+        non_fixed = [e for e in elements if e not in fix_set]
+        fixed_list = sorted(fix_set, key=repr)
+        table: Dict[Hashable, Hashable] = {e: e for e in fix_set}
+
+        def assign(index: int) -> Iterator[Dict[Hashable, Hashable]]:
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise PosetError(
+                    "strong-endomorphism enumeration budget exceeded"
+                )
+            if index == len(non_fixed):
+                yield dict(table)
+                return
+            element = non_fixed[index]
+            for value in fixed_list:
+                # Monotonicity pruning against already-assigned elements
+                # (all fixed elements and non_fixed[:index]).
+                ok = True
+                for other in elements:
+                    if other in table:
+                        if poset.leq(other, element) and not poset.leq(
+                            table[other], value
+                        ):
+                            ok = False
+                            break
+                        if poset.leq(element, other) and not poset.leq(
+                            value, table[other]
+                        ):
+                            ok = False
+                            break
+                if not ok:
+                    continue
+                table[element] = value
+                yield from assign(index + 1)
+                del table[element]
+
+        for candidate_table in assign(0):
+            candidate = PosetMorphism(poset, poset, candidate_table)
+            # The construction guarantees idempotence (image inside the
+            # fixpoint set, identity there), ⊥-preservation, monotonicity
+            # against assigned order, and a down-set of fixpoints; assert
+            # full monotonicity to be safe.
+            if candidate.is_monotone() and fixpoints(candidate) == fix_set:
+                yield candidate
+
+
+def complemented_strong_endomorphisms(
+    poset: FinitePoset, limit: int = 100_000
+) -> Tuple[PosetMorphism, ...]:
+    """All strong endomorphisms possessing a complement (small posets).
+
+    These are exactly the elements of the Boolean algebra of Lemma
+    2.3.2(a).
+    """
+    all_endos = list(enumerate_strong_endomorphisms(poset, limit))
+    complemented = []
+    for f in all_endos:
+        if complement_in(f, all_endos) is not None:
+            complemented.append(f)
+    return tuple(complemented)

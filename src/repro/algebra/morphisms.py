@@ -1,0 +1,262 @@
+"""Morphisms of ⊥-posets: monotone maps, least preimages, strongness.
+
+Implements the vocabulary of paper §2.3 for finite posets:
+
+* a *morphism* is a monotone map preserving bottom;
+* ``f`` *admits least preimages* if each value in its image has a least
+  preimage ``y_f``;
+* ``f`` is *least right invertible* if it is surjective, admits least
+  preimages, and ``f# : y -> y_f`` is itself a morphism;
+* ``lp(f)`` is the set of least preimages; ``f`` is *downward
+  stationary* if ``lp(f)`` is downward closed;
+* ``f`` is a **strong morphism** if it is downward stationary and least
+  right invertible; ``f^Theta = f# . f`` is its endomorphism.
+
+:class:`PosetMorphism` wraps a finite map together with its source and
+target posets and answers all of these questions, caching the analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.errors import PosetError
+from repro.algebra.poset import FinitePoset
+
+
+class PosetMorphism:
+    """A (not necessarily monotone) map between finite posets.
+
+    The map is stored as an explicit table; use :meth:`from_callable` to
+    tabulate a Python function.  All structural predicates are computed
+    lazily and cached.
+    """
+
+    __slots__ = ("source", "target", "_table", "_cache")
+
+    def __init__(
+        self,
+        source: FinitePoset,
+        target: FinitePoset,
+        table: Mapping[Hashable, Hashable],
+    ):
+        for element in source.elements:
+            if element not in table:
+                raise PosetError(f"morphism table missing {element!r}")
+            if table[element] not in target:
+                raise PosetError(
+                    f"morphism value {table[element]!r} not in target poset"
+                )
+        self.source = source
+        self.target = target
+        self._table: Dict[Hashable, Hashable] = {
+            e: table[e] for e in source.elements
+        }
+        self._cache: Dict[str, object] = {}
+
+    @classmethod
+    def from_callable(
+        cls,
+        source: FinitePoset,
+        target: FinitePoset,
+        func: Callable[[Hashable], Hashable],
+    ) -> "PosetMorphism":
+        """Tabulate *func* over the source poset."""
+        return cls(source, target, {e: func(e) for e in source.elements})
+
+    # -- function protocol ----------------------------------------------------
+
+    def __call__(self, element: Hashable) -> Hashable:
+        try:
+            return self._table[element]
+        except KeyError:
+            raise PosetError(f"{element!r} not in the source poset") from None
+
+    @property
+    def table(self) -> Dict[Hashable, Hashable]:
+        """A copy of the underlying table."""
+        return dict(self._table)
+
+    def image(self) -> Tuple[Hashable, ...]:
+        """The image, in target-poset element order."""
+        values = set(self._table.values())
+        return tuple(e for e in self.target.elements if e in values)
+
+    def compose(self, inner: "PosetMorphism") -> "PosetMorphism":
+        """``self . inner`` (apply *inner* first)."""
+        if inner.target is not self.source and tuple(inner.target.elements) != tuple(
+            self.source.elements
+        ):
+            raise PosetError("composition: posets do not match")
+        return PosetMorphism(
+            inner.source,
+            self.target,
+            {e: self._table[inner(e)] for e in inner.source.elements},
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PosetMorphism):
+            return NotImplemented
+        return (
+            tuple(self.source.elements) == tuple(other.source.elements)
+            and tuple(self.target.elements) == tuple(other.target.elements)
+            and self._table == other._table
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                tuple(self.source.elements),
+                tuple(self.target.elements),
+                tuple(sorted(self._table.items(), key=lambda kv: repr(kv))),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PosetMorphism({len(self.source)} -> {len(self.target)} elements)"
+        )
+
+    # -- morphism predicates ------------------------------------------------------
+
+    def is_monotone(self) -> bool:
+        """True iff ``x <= y`` implies ``f(x) <= f(y)``."""
+        if "monotone" not in self._cache:
+            self._cache["monotone"] = all(
+                self.target.leq(self._table[x], self._table[y])
+                for x in self.source.elements
+                for y in self.source.elements
+                if self.source.leq(x, y)
+            )
+        return bool(self._cache["monotone"])
+
+    def preserves_bottom(self) -> bool:
+        """True iff both posets have bottoms and ``f(⊥) = ⊥``."""
+        if not (self.source.has_bottom() and self.target.has_bottom()):
+            return False
+        return self._table[self.source.bottom()] == self.target.bottom()
+
+    def is_morphism(self) -> bool:
+        """Monotone and bottom-preserving (the paper's ⊥-poset morphism)."""
+        return self.is_monotone() and self.preserves_bottom()
+
+    def is_surjective(self) -> bool:
+        """True iff every target element is hit."""
+        return len(set(self._table.values())) == len(self.target)
+
+    # -- least preimages and strongness ----------------------------------------------
+
+    def least_preimage(self, value: Hashable) -> Optional[Hashable]:
+        """The least ``x`` with ``f(x) = value``, or ``None``.
+
+        ``None`` means either *value* is not in the image or its preimage
+        has no least element.
+        """
+        preimages = [
+            x for x in self.source.elements if self._table[x] == value
+        ]
+        if not preimages:
+            return None
+        least = [
+            x
+            for x in preimages
+            if all(self.source.leq(x, other) for other in preimages)
+        ]
+        return least[0] if least else None
+
+    def admits_least_preimages(self) -> bool:
+        """True iff every image value has a least preimage."""
+        if "admits_lp" not in self._cache:
+            self._cache["admits_lp"] = all(
+                self.least_preimage(value) is not None for value in self.image()
+            )
+        return bool(self._cache["admits_lp"])
+
+    def least_right_inverse(self) -> "PosetMorphism":
+        """The map ``f# : target -> source, y -> y_f``.
+
+        Requires surjectivity and least preimages; raises
+        :class:`PosetError` otherwise.  The result may or may not be
+        monotone -- :meth:`is_least_right_invertible` checks that too.
+        """
+        if not self.is_surjective():
+            raise PosetError("morphism is not surjective; f# undefined")
+        table: Dict[Hashable, Hashable] = {}
+        for value in self.target.elements:
+            least = self.least_preimage(value)
+            if least is None:
+                raise PosetError(
+                    f"value {value!r} has no least preimage; f# undefined"
+                )
+            table[value] = least
+        return PosetMorphism(self.target, self.source, table)
+
+    def is_least_right_invertible(self) -> bool:
+        """Surjective, least preimages exist, and ``f#`` is a morphism."""
+        if "lri" not in self._cache:
+            try:
+                sharp = self.least_right_inverse()
+            except PosetError:
+                self._cache["lri"] = False
+            else:
+                self._cache["lri"] = sharp.is_morphism()
+        return bool(self._cache["lri"])
+
+    def lp_set(self) -> frozenset:
+        """``lp(f)``: the set of least preimages (fixpoints of ``f^Theta``)."""
+        return frozenset(
+            least
+            for value in self.image()
+            if (least := self.least_preimage(value)) is not None
+        )
+
+    def is_downward_stationary(self) -> bool:
+        """True iff ``lp(f)`` is downward closed in the source poset."""
+        if "down_stat" not in self._cache:
+            self._cache["down_stat"] = self.source.is_down_set(self.lp_set())
+        return bool(self._cache["down_stat"])
+
+    def is_strong(self) -> bool:
+        """Strong morphism: downward stationary + least right invertible.
+
+        Also requires being a morphism at all (monotone, ⊥-preserving);
+        the paper states strongness for morphisms only.
+        """
+        return (
+            self.is_morphism()
+            and self.is_least_right_invertible()
+            and self.is_downward_stationary()
+        )
+
+    def endomorphism(self) -> "PosetMorphism":
+        """``f^Theta = f# . f : source -> source`` (Lemma 2.3.1(a))."""
+        sharp = self.least_right_inverse()
+        return PosetMorphism(
+            self.source,
+            self.source,
+            {e: sharp(self._table[e]) for e in self.source.elements},
+        )
+
+
+def order_isomorphic(
+    mapping: Mapping[Hashable, Hashable],
+    source: FinitePoset,
+    target: FinitePoset,
+) -> bool:
+    """True iff *mapping* is an order isomorphism source -> target.
+
+    Checks bijectivity onto the target's elements and order preservation
+    in both directions.
+    """
+    values = list(mapping.values())
+    if len(set(values)) != len(values):
+        return False
+    if set(values) != set(target.elements):
+        return False
+    if set(mapping) != set(source.elements):
+        return False
+    for x in source.elements:
+        for y in source.elements:
+            if source.leq(x, y) != target.leq(mapping[x], mapping[y]):
+                return False
+    return True

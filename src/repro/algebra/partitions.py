@@ -1,0 +1,218 @@
+"""Set partitions and the partition lattice (paper §2.2).
+
+With each view ``Gamma = (V, gamma)`` of a schema ``D`` the paper
+associates the kernel of ``gamma'`` -- a partition of ``LDB(D)`` -- and
+orders views by refinement of kernels: ``Gamma2 <= Gamma1`` iff
+``Gamma1``'s kernel is finer.  In the paper's convention the *finest*
+partition is the **greatest** element (it corresponds to the identity
+view ``1_D``) and the coarsest is the **least** (the zero view ``0_D``);
+:meth:`Partition.leq` follows that convention.
+
+Join (sup) of partitions is the common refinement; meet (inf) is the
+finest partition coarser than both (transitive closure of the union of
+the equivalences).  ``Gamma2`` is a *join complement* of ``Gamma1`` iff
+the sup of their kernels is discrete, a *meet complement* iff the inf is
+indiscrete.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Tuple,
+)
+
+from repro.errors import PosetError
+
+Block = FrozenSet[Hashable]
+
+
+class Partition:
+    """An immutable partition of a finite ground set."""
+
+    __slots__ = ("_blocks", "_block_of", "_ground")
+
+    def __init__(self, blocks: Iterable[Iterable[Hashable]]):
+        frozen = frozenset(frozenset(block) for block in blocks)
+        if any(not block for block in frozen):
+            raise PosetError("partition blocks must be non-empty")
+        block_of: Dict[Hashable, Block] = {}
+        for block in frozen:
+            for element in block:
+                if element in block_of:
+                    raise PosetError(
+                        f"element {element!r} appears in two blocks"
+                    )
+                block_of[element] = block
+        self._blocks: FrozenSet[Block] = frozen
+        self._block_of = block_of
+        self._ground: FrozenSet[Hashable] = frozenset(block_of)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def discrete(cls, ground: Iterable[Hashable]) -> "Partition":
+        """Every element its own block (the finest partition; ``1``)."""
+        return cls([frozenset([e]) for e in ground])
+
+    @classmethod
+    def indiscrete(cls, ground: Iterable[Hashable]) -> "Partition":
+        """One block containing everything (the coarsest; ``0``)."""
+        ground = frozenset(ground)
+        if not ground:
+            return cls([])
+        return cls([ground])
+
+    @classmethod
+    def from_kernel(
+        cls, ground: Iterable[Hashable], key: Callable[[Hashable], Hashable]
+    ) -> "Partition":
+        """The kernel of a function: blocks are the fibres of *key*.
+
+        This is exactly ``Pi(Gamma) = ker(gamma')`` for a view mapping.
+        """
+        fibres: Dict[Hashable, set] = {}
+        for element in ground:
+            fibres.setdefault(key(element), set()).add(element)
+        return cls(fibres.values())
+
+    # -- basics ---------------------------------------------------------------
+
+    @property
+    def blocks(self) -> FrozenSet[Block]:
+        """The blocks."""
+        return self._blocks
+
+    @property
+    def ground_set(self) -> FrozenSet[Hashable]:
+        """The union of all blocks."""
+        return self._ground
+
+    def block_of(self, element: Hashable) -> Block:
+        """The block containing *element*."""
+        try:
+            return self._block_of[element]
+        except KeyError:
+            raise PosetError(f"{element!r} not in the ground set") from None
+
+    def same_block(self, a: Hashable, b: Hashable) -> bool:
+        """True iff *a* and *b* are equivalent."""
+        return self.block_of(a) is self.block_of(b)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return self._blocks == other._blocks
+
+    def __hash__(self) -> int:
+        return hash(self._blocks)
+
+    def __repr__(self) -> str:
+        return f"Partition({len(self._blocks)} blocks / {len(self._ground)} elements)"
+
+    def is_discrete(self) -> bool:
+        """True iff every block is a singleton."""
+        return all(len(block) == 1 for block in self._blocks)
+
+    def is_indiscrete(self) -> bool:
+        """True iff there is at most one block."""
+        return len(self._blocks) <= 1
+
+    # -- ordering (paper convention: finer = greater) ----------------------------
+
+    def _check_same_ground(self, other: "Partition") -> None:
+        if self._ground != other._ground:
+            raise PosetError("partitions over different ground sets")
+
+    def refines(self, other: "Partition") -> bool:
+        """True iff every block of ``self`` lies inside a block of *other*."""
+        self._check_same_ground(other)
+        return all(
+            block <= other.block_of(next(iter(block))) for block in self._blocks
+        )
+
+    def leq(self, other: "Partition") -> bool:
+        """Paper order: ``self <= other`` iff *other* refines ``self``."""
+        return other.refines(self)
+
+    # -- lattice operations ---------------------------------------------------------
+
+    def sup(self, other: "Partition") -> "Partition":
+        """Common refinement (the *join*, greatest in the paper's order)."""
+        self._check_same_ground(other)
+        blocks = set()
+        for block in self._blocks:
+            for other_block in other._blocks:
+                overlap = block & other_block
+                if overlap:
+                    blocks.add(frozenset(overlap))
+        return Partition(blocks)
+
+    def inf(self, other: "Partition") -> "Partition":
+        """Finest common coarsening (the *meet*): transitive closure of
+        the union of the two equivalence relations."""
+        self._check_same_ground(other)
+        parent: Dict[Hashable, Hashable] = {e: e for e in self._ground}
+
+        def find(x: Hashable) -> Hashable:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: Hashable, b: Hashable) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for partition in (self, other):
+            for block in partition._blocks:
+                first = next(iter(block))
+                for element in block:
+                    union(first, element)
+        groups: Dict[Hashable, set] = {}
+        for element in self._ground:
+            groups.setdefault(find(element), set()).add(element)
+        return Partition(groups.values())
+
+    # -- complements -------------------------------------------------------------------
+
+    def is_join_complement_of(self, other: "Partition") -> bool:
+        """True iff the common refinement is discrete.
+
+        For kernels of view mappings this says exactly that
+        ``gamma1 x gamma2`` is injective (Definition 1.3.1(a)).
+        """
+        return self.sup(other).is_discrete()
+
+    def is_meet_complement_of(self, other: "Partition") -> bool:
+        """True iff the coarsest common coarsening is indiscrete.
+
+        Note: for view kernels, the paper's *meet complement*
+        (Definition 1.3.4 -- ``gamma1 x gamma2`` surjective onto the
+        product of images) implies this partition condition; use
+        :func:`repro.views.lattice.are_meet_complements` for the exact
+        product-surjectivity test.
+        """
+        return self.inf(other).is_indiscrete()
+
+    def index_pairs(self) -> Tuple[Tuple[Hashable, Hashable], ...]:
+        """All equivalent (a, b) pairs with ``a != b`` (for testing)."""
+        pairs = []
+        for block in self._blocks:
+            members = sorted(block, key=repr)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    pairs.append((a, b))
+        return tuple(pairs)

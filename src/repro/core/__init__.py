@@ -1,0 +1,111 @@
+"""The paper's contribution: canonical view update support.
+
+This package implements Sections 1 and 3 of the paper on top of the
+substrates in :mod:`repro.relational`, :mod:`repro.algebra`, and
+:mod:`repro.views`:
+
+* :mod:`~repro.core.update` -- update specifications and update
+  strategies (Definitions 0.1.1, 0.1.2);
+* :mod:`~repro.core.admissibility` -- the four requirements of §1.2
+  (nonextraneous, functorial, symmetric, state independent) and the
+  composite notion of an *admissible* strategy (Definition 1.2.14),
+  each checkable exhaustively over a finite state space with
+  counterexample reporting;
+* :mod:`~repro.core.strong` -- strong views: the analysis of a view
+  mapping as a ⊥-poset morphism, producing ``gamma#`` (least right
+  inverse) and ``gamma^Theta`` (the endomorphism) when they exist
+  (§2.3);
+* :mod:`~repro.core.components` -- the **component algebra**: the
+  Boolean algebra of strongly complemented strong views
+  (Theorem 2.3.3 / Lemma 2.3.2), with discovery from candidate views,
+  complements, meets and joins;
+* :mod:`~repro.core.constant_complement` -- constant-complement
+  translators: the enumerative reference translator (any join
+  complement; Theorem 1.3.2) and the constructive component translator
+  ``s2 = gamma1#(t2) v gamma2^Theta(s1)`` (Theorem 3.1.1);
+* :mod:`~repro.core.procedure` -- Update Procedure 3.2.3 for arbitrary
+  views through a strong join complement, including the
+  complement-independence of the Main Update Theorem 3.2.2;
+* :mod:`~repro.core.system` -- a façade tying it all together for
+  application code.
+"""
+
+from repro.core.update import (
+    TabulatedStrategy,
+    UpdateRequest,
+    UpdateSpecification,
+    UpdateStrategy,
+)
+from repro.core.admissibility import (
+    AdmissibilityReport,
+    all_solutions,
+    is_admissible,
+    is_functorial,
+    is_minimal_solution,
+    is_nonextraneous_solution,
+    is_state_independent,
+    is_symmetric,
+    minimal_solution,
+    nonextraneous_solutions,
+)
+from repro.core.strong import StrongViewAnalysis, analyze_view
+from repro.core.components import (
+    Component,
+    ComponentAlgebra,
+    are_strong_complements,
+)
+from repro.core.constant_complement import (
+    ComponentTranslator,
+    ConstantComplementTranslator,
+)
+from repro.core.procedure import UpdateProcedure, strong_join_complements
+from repro.core.system import ViewUpdateSystem
+from repro.core.operations import (
+    Delete,
+    Insert,
+    Replace,
+    UpdateOperation,
+    UpdateScript,
+    run_view_script,
+)
+from repro.core.generalized import (
+    GeneralizedComponentTranslator,
+    find_strong_partner,
+    is_generalized_strong,
+)
+
+__all__ = [
+    "AdmissibilityReport",
+    "Delete",
+    "GeneralizedComponentTranslator",
+    "Insert",
+    "Replace",
+    "UpdateOperation",
+    "UpdateScript",
+    "find_strong_partner",
+    "is_generalized_strong",
+    "run_view_script",
+    "Component",
+    "ComponentAlgebra",
+    "ComponentTranslator",
+    "ConstantComplementTranslator",
+    "StrongViewAnalysis",
+    "TabulatedStrategy",
+    "UpdateProcedure",
+    "UpdateRequest",
+    "UpdateSpecification",
+    "UpdateStrategy",
+    "ViewUpdateSystem",
+    "all_solutions",
+    "analyze_view",
+    "are_strong_complements",
+    "is_admissible",
+    "is_functorial",
+    "is_minimal_solution",
+    "is_nonextraneous_solution",
+    "is_state_independent",
+    "is_symmetric",
+    "minimal_solution",
+    "nonextraneous_solutions",
+    "strong_join_complements",
+]

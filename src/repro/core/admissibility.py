@@ -1,0 +1,406 @@
+"""The admissibility battery: Requirements 1-4 of paper §1.2.
+
+An update strategy is **admissible** (Definition 1.2.14) when it is
+
+1. *nonextraneous* -- no reflected update contains changes unnecessary
+   to achieve the requested view state (Requirement 1, Definition
+   1.2.4);
+2. *functorial* -- identity updates reflect as no change, and reflecting
+   a composite update equals composing the reflections (Requirement 2,
+   Definition 1.2.8);
+3. *symmetric* -- every allowed update can be undone (Requirement 3,
+   Definition 1.2.11);
+4. *state independent* -- whether an update is allowed depends only on
+   information visible in the view (Requirement 4, Definition 1.2.13).
+
+All four are decidable by exhaustive checking over a finite state
+space.  Each check returns the first counterexample found, so failures
+are self-documenting (and drive experiments E2-E6).
+
+On the wording of Definition 1.2.4: solutions to an update from ``s1``
+are uniquely determined by their change-set ``s1 Δ s2`` (since
+``s2 = s1 Δ (s1 Δ s2)``), and a solution is *nonextraneous* when no
+other solution achieves the goal with a strictly smaller change-set,
+*minimal* when its change-set is contained in every other solution's.
+Proposition 1.2.6 (a minimal solution, when it exists, is the only
+nonextraneous one) holds with these readings and is verified in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.relational.enumeration import StateSpace
+from repro.relational.instances import DatabaseInstance
+from repro.core.update import UpdateStrategy
+from repro.views.view import View
+
+
+# -- solutions (Definition 0.1.2(b)) -------------------------------------------
+
+
+def all_solutions(
+    view: View,
+    space: StateSpace,
+    target: DatabaseInstance,
+) -> Tuple[DatabaseInstance, ...]:
+    """All base states whose image under the view is *target*."""
+    return view.preimages(space, target)
+
+
+def _deltas(
+    current: DatabaseInstance, solutions: Tuple[DatabaseInstance, ...]
+) -> List[DatabaseInstance]:
+    return [current.delta(solution) for solution in solutions]
+
+
+def _nonextraneous_flags(deltas: List[DatabaseInstance]) -> List[bool]:
+    """flags[i] iff no other delta is strictly contained in deltas[i].
+
+    Sorting by change-set size lets each delta be compared only against
+    the strictly smaller ones.
+    """
+    order = sorted(range(len(deltas)), key=lambda i: deltas[i].total_rows())
+    flags = [True] * len(deltas)
+    for rank, i in enumerate(order):
+        size_i = deltas[i].total_rows()
+        for j in order[:rank]:
+            if deltas[j].total_rows() < size_i and deltas[j].issubset(
+                deltas[i]
+            ):
+                flags[i] = False
+                break
+    return flags
+
+
+def is_nonextraneous_solution(
+    view: View,
+    space: StateSpace,
+    current: DatabaseInstance,
+    solution: DatabaseInstance,
+) -> bool:
+    """No other solution's change-set is strictly contained in this one's."""
+    my_delta = current.delta(solution)
+    my_size = my_delta.total_rows()
+    target = view.apply(solution, space.assignment)
+    for other in all_solutions(view, space, target):
+        if other == solution:
+            continue
+        other_delta = current.delta(other)
+        if other_delta.total_rows() < my_size and other_delta.issubset(
+            my_delta
+        ):
+            return False
+    return True
+
+
+def is_minimal_solution(
+    view: View,
+    space: StateSpace,
+    current: DatabaseInstance,
+    solution: DatabaseInstance,
+) -> bool:
+    """This solution's change-set is contained in every other's."""
+    my_delta = current.delta(solution)
+    target = view.apply(solution, space.assignment)
+    return all(
+        my_delta.issubset(current.delta(other))
+        for other in all_solutions(view, space, target)
+    )
+
+
+def nonextraneous_solutions(
+    view: View,
+    space: StateSpace,
+    current: DatabaseInstance,
+    target: DatabaseInstance,
+) -> Tuple[DatabaseInstance, ...]:
+    """All nonextraneous solutions of ``(current, (gamma'(current), target))``.
+
+    Example 1.2.5 exhibits a request with *two* incomparable
+    nonextraneous solutions -- the reason minimality cannot be required
+    in general.  Solutions are enumerated once and their change-sets
+    compared pairwise (no per-candidate rescans).
+    """
+    solutions = all_solutions(view, space, target)
+    flags = _nonextraneous_flags(_deltas(current, solutions))
+    return tuple(s for s, keep in zip(solutions, flags) if keep)
+
+
+def minimal_solution(
+    view: View,
+    space: StateSpace,
+    current: DatabaseInstance,
+    target: DatabaseInstance,
+) -> Optional[DatabaseInstance]:
+    """The minimal solution if one exists, else ``None``.
+
+    The minimal solution, if any, has the smallest change-set; check
+    that candidate against all others.
+    """
+    solutions = all_solutions(view, space, target)
+    if not solutions:
+        return None
+    deltas = _deltas(current, solutions)
+    best = min(range(len(solutions)), key=lambda i: deltas[i].total_rows())
+    if all(deltas[best].issubset(delta) for delta in deltas):
+        return solutions[best]
+    return None
+
+
+# -- strategy-level checks -----------------------------------------------------
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one admissibility check with an optional counterexample."""
+
+    name: str
+    passed: bool
+    counterexample: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+def check_nonextraneous(strategy: UpdateStrategy) -> CheckResult:
+    """Requirement 1: every supplied solution is nonextraneous."""
+    view, space = strategy.view, strategy.space
+    for state, target, result in strategy.defined_pairs():
+        if not is_nonextraneous_solution(view, space, state, result):
+            return CheckResult(
+                "nonextraneous",
+                False,
+                f"rho({state!r}, {target!r}) = {result!r} is extraneous",
+            )
+    return CheckResult("nonextraneous", True)
+
+
+def check_functorial(strategy: UpdateStrategy) -> CheckResult:
+    """Requirement 2 (Definition 1.2.8): identity and composition laws."""
+    view, space = strategy.view, strategy.space
+    assignment = space.assignment
+    # (a) identity updates reflect as no change.
+    for state in space.states:
+        image = view.apply(state, assignment)
+        if not strategy.defined(state, image):
+            return CheckResult(
+                "functorial",
+                False,
+                f"identity update undefined at {state!r}",
+            )
+        if strategy.apply(state, image) != state:
+            return CheckResult(
+                "functorial",
+                False,
+                f"identity update moves {state!r}",
+            )
+    # (b) composition: rho(s1, t3) == rho(rho(s1, t2), t3) whenever both
+    # of the right-hand applications are defined.
+    table = strategy.as_table()
+    targets = view.image_states(space)
+    for (state, mid_target), mid_state in table.items():
+        for target in targets:
+            if (mid_state, target) not in table:
+                continue
+            composed = table[(mid_state, target)]
+            direct = table.get((state, target))
+            if direct != composed:
+                return CheckResult(
+                    "functorial",
+                    False,
+                    f"composition law fails: rho(s1={state!r}, t3={target!r})"
+                    f" = {direct!r} but via t2={mid_target!r} = {composed!r}",
+                )
+    return CheckResult("functorial", True)
+
+
+def check_symmetric(strategy: UpdateStrategy) -> CheckResult:
+    """Requirement 3 (Definition 1.2.11): every update can be undone."""
+    view, space = strategy.view, strategy.space
+    assignment = space.assignment
+    for state, target, result in strategy.defined_pairs():
+        original = view.apply(state, assignment)
+        if not strategy.defined(result, original):
+            return CheckResult(
+                "symmetric",
+                False,
+                f"update {original!r} -> {target!r} at {state!r} cannot "
+                "be undone",
+            )
+    return CheckResult("symmetric", True)
+
+
+def check_state_independent(strategy: UpdateStrategy) -> CheckResult:
+    """Requirement 4 (Definition 1.2.13): definedness depends only on the
+    view state, not on which preimage the base is in."""
+    view, space = strategy.view, strategy.space
+    kernel = view.kernel(space)
+    targets = view.image_states(space)
+    for block in kernel.blocks:
+        members = sorted(block, key=repr)
+        for target in targets:
+            defined_flags = {strategy.defined(s, target) for s in members}
+            if len(defined_flags) > 1:
+                return CheckResult(
+                    "state_independent",
+                    False,
+                    f"update to {target!r} is allowed in some but not all "
+                    f"base states with the same view image",
+                )
+    return CheckResult("state_independent", True)
+
+
+def find_functoriality_violation(
+    strategy: UpdateStrategy,
+    max_checks: int = 1_000_000,
+) -> Optional[str]:
+    """Search for a composition-law violation with early exit.
+
+    Cheaper than :func:`check_functorial` when a violation is common:
+    strategy applications are memoised and the search stops at the first
+    counterexample (or after *max_checks* triples).  Returns a
+    description, or ``None`` if no violation was found within budget.
+    """
+    from repro.errors import UpdateRejected
+
+    view, space = strategy.view, strategy.space
+    targets = view.image_states(space)
+    memo: dict = {}
+
+    def apply(state, target):
+        key = (state, target)
+        if key not in memo:
+            try:
+                memo[key] = strategy.apply(state, target)
+            except UpdateRejected:
+                memo[key] = None
+        return memo[key]
+
+    checks = 0
+    for state in space.states:
+        for mid_target in targets:
+            mid_state = apply(state, mid_target)
+            if mid_state is None:
+                continue
+            for target in targets:
+                checks += 1
+                if checks > max_checks:
+                    return None
+                composed = apply(mid_state, target)
+                if composed is None:
+                    continue
+                direct = apply(state, target)
+                if direct != composed:
+                    return (
+                        f"rho(s1, t3) = {direct!r} but "
+                        f"rho(rho(s1, t2), t3) = {composed!r} "
+                        f"for s1={state!r}, t2={mid_target!r}, t3={target!r}"
+                    )
+    return None
+
+
+def find_symmetry_violation(
+    strategy: UpdateStrategy,
+    max_checks: int = 1_000_000,
+) -> Optional[str]:
+    """Search for an un-undoable update with early exit.
+
+    Returns a description of the first violation of Definition 1.2.11,
+    or ``None`` if none was found within budget.
+    """
+    view, space = strategy.view, strategy.space
+    assignment = space.assignment
+    targets = view.image_states(space)
+    checks = 0
+    for state in space.states:
+        original = view.apply(state, assignment)
+        for target in targets:
+            checks += 1
+            if checks > max_checks:
+                return None
+            if not strategy.defined(state, target):
+                continue
+            result = strategy.apply(state, target)
+            if not strategy.defined(result, original):
+                return (
+                    f"update {original!r} -> {target!r} from {state!r} "
+                    "cannot be undone"
+                )
+    return None
+
+
+@dataclass
+class AdmissibilityReport:
+    """The full battery for a strategy (Definition 1.2.14)."""
+
+    nonextraneous: CheckResult
+    functorial: CheckResult
+    symmetric: CheckResult
+    state_independent: CheckResult
+
+    @property
+    def is_admissible(self) -> bool:
+        """All four requirements pass."""
+        return bool(
+            self.nonextraneous
+            and self.functorial
+            and self.symmetric
+            and self.state_independent
+        )
+
+    def checks(self) -> Tuple[CheckResult, ...]:
+        """The individual results."""
+        return (
+            self.nonextraneous,
+            self.functorial,
+            self.symmetric,
+            self.state_independent,
+        )
+
+    def failures(self) -> Tuple[CheckResult, ...]:
+        """The failing checks (with counterexamples)."""
+        return tuple(c for c in self.checks() if not c.passed)
+
+    def summary(self) -> str:
+        """One line per check."""
+        lines = []
+        for check in self.checks():
+            status = "PASS" if check.passed else "FAIL"
+            lines.append(f"{check.name:>18}: {status}")
+            if check.counterexample:
+                lines.append(f"{'':>20}{check.counterexample}")
+        return "\n".join(lines)
+
+
+def analyze_admissibility(strategy: UpdateStrategy) -> AdmissibilityReport:
+    """Run the full battery on a strategy."""
+    return AdmissibilityReport(
+        nonextraneous=check_nonextraneous(strategy),
+        functorial=check_functorial(strategy),
+        symmetric=check_symmetric(strategy),
+        state_independent=check_state_independent(strategy),
+    )
+
+
+def is_admissible(strategy: UpdateStrategy) -> bool:
+    """Definition 1.2.14: nonextraneous + functorial + symmetric +
+    state independent."""
+    return analyze_admissibility(strategy).is_admissible
+
+
+def is_functorial(strategy: UpdateStrategy) -> bool:
+    """Requirement 2 alone."""
+    return bool(check_functorial(strategy))
+
+
+def is_symmetric(strategy: UpdateStrategy) -> bool:
+    """Requirement 3 alone."""
+    return bool(check_symmetric(strategy))
+
+
+def is_state_independent(strategy: UpdateStrategy) -> bool:
+    """Requirement 4 alone."""
+    return bool(check_state_independent(strategy))

@@ -1,0 +1,105 @@
+"""Generalized strong views: isomorphism transport (paper §2.3, end).
+
+"A view which is isomorphic to a strong view ... is called a
+generalized strong view ... Most of our subsequent results carry over
+to this more general case."
+
+A view ``Gamma`` that is isomorphic (mutually definable, equal kernels)
+to a strong view ``Sigma`` inherits ``Sigma``'s update support: an
+update request on ``Gamma`` is carried across the isomorphism, solved
+on ``Sigma`` with its strong complement constant, and the solution is
+the same base state.  :func:`find_strong_partner` locates such a
+``Sigma`` among candidates; :class:`GeneralizedComponentTranslator`
+performs the transported translation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import NotStrongError, UpdateRejected
+from repro.relational.enumeration import StateSpace
+from repro.relational.instances import DatabaseInstance
+from repro.core.components import Component
+from repro.core.constant_complement import ComponentTranslator
+from repro.core.strong import analyze_view
+from repro.core.update import UpdateStrategy
+from repro.views.morphisms import are_isomorphic, view_morphism_table
+from repro.views.view import View
+
+
+def is_generalized_strong(
+    view: View, candidates: Iterable[View], space: StateSpace
+) -> bool:
+    """True iff *view* is isomorphic to some strong view among the
+    candidates (or is itself strong)."""
+    return find_strong_partner(view, candidates, space) is not None
+
+
+def find_strong_partner(
+    view: View, candidates: Iterable[View], space: StateSpace
+) -> Optional[View]:
+    """A strong view isomorphic to *view*, if any.
+
+    *view* itself is checked first (a strong view is trivially its own
+    partner).
+    """
+    if analyze_view(view, space).is_strong:
+        return view
+    for candidate in candidates:
+        if not are_isomorphic(view, candidate, space):
+            continue
+        if analyze_view(candidate, space).is_strong:
+            return candidate
+    return None
+
+
+class GeneralizedComponentTranslator(UpdateStrategy):
+    """Update a generalized strong view via its strong partner.
+
+    The isomorphism gives mutually inverse view morphisms
+    ``f : Gamma -> Sigma`` and ``g : Sigma -> Gamma``; a request
+    ``(s1, t2)`` on ``Gamma`` becomes ``(s1, f(t2))`` on ``Sigma``,
+    solved by the component translator.  Because the two views have the
+    same kernel, the solution reflects the original request exactly.
+    """
+
+    def __init__(
+        self,
+        view: View,
+        partner_component: Component,
+        space: StateSpace,
+    ):
+        super().__init__(view, space)
+        partner = partner_component.view
+        if not are_isomorphic(view, partner, space):
+            raise NotStrongError(
+                f"{view.name!r} is not isomorphic to {partner.name!r}; "
+                "no isomorphism transport possible"
+            )
+        self.partner = partner_component
+        #: ``f``: Gamma states -> Sigma states.
+        self.forward: Dict[DatabaseInstance, DatabaseInstance] = (
+            view_morphism_table(view, partner, space)
+        )
+        self._inner = ComponentTranslator.for_component(
+            partner_component, space
+        )
+
+    def apply(
+        self, state: DatabaseInstance, target: DatabaseInstance
+    ) -> DatabaseInstance:
+        """Translate via the strong partner."""
+        if target not in self.forward:
+            raise UpdateRejected(
+                f"{target!r} is not a legal state of view {self.view.name!r}",
+                reason="illegal-view-state",
+            )
+        solution = self._inner.apply(state, self.forward[target])
+        achieved = self.view.apply(solution, self.space.assignment)
+        if achieved != target:  # pragma: no cover - isomorphism guarantees
+            raise UpdateRejected(
+                "transported solution does not reflect the request",
+                reason="image-mismatch",
+            )
+        return solution

@@ -1,0 +1,192 @@
+"""Tuple-level update operations: inserts, deletes, replacements.
+
+Definition 0.1.1 notes that "insertions, deletions, and replacements
+are commonly considered special cases" of the state-pair notion of
+update.  This module provides those special cases as first-class
+objects: each operation knows how to turn a current (view) state into
+the desired next state, and operations compose into scripts.  The
+façade-level helpers then route the resulting state-pair update
+through whatever strategy serves the view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.errors import UpdateRejected
+from repro.relational.instances import DatabaseInstance
+
+
+class UpdateOperation:
+    """A tuple-level edit, applicable to any database state.
+
+    Subclasses implement :meth:`target_state`.  Operations are *strict*:
+    inserting a present tuple or deleting an absent one raises
+    :class:`~repro.errors.UpdateRejected` (reason ``"no-op"``), so a
+    script's effect is always exactly what it says.  Use
+    :meth:`lenient` for the idempotent reading.
+    """
+
+    def target_state(self, state: DatabaseInstance) -> DatabaseInstance:
+        """The state after this operation."""
+        raise NotImplementedError
+
+    def inverse(self) -> "UpdateOperation":
+        """The operation undoing this one."""
+        raise NotImplementedError
+
+    def lenient(self) -> "LenientOperation":
+        """An idempotent wrapper (no-ops pass through silently)."""
+        return LenientOperation(self)
+
+
+@dataclass(frozen=True)
+class Insert(UpdateOperation):
+    """Insert one tuple into one relation."""
+
+    relation: str
+    row: Tuple[object, ...]
+
+    def target_state(self, state: DatabaseInstance) -> DatabaseInstance:
+        if tuple(self.row) in state.relation(self.relation):
+            raise UpdateRejected(
+                f"{self.row!r} already present in {self.relation!r}",
+                reason="no-op",
+            )
+        return state.inserting(self.relation, self.row)
+
+    def inverse(self) -> "Delete":
+        return Delete(self.relation, self.row)
+
+    def __repr__(self) -> str:
+        return f"+{self.relation}{tuple(self.row)!r}"
+
+
+@dataclass(frozen=True)
+class Delete(UpdateOperation):
+    """Delete one tuple from one relation."""
+
+    relation: str
+    row: Tuple[object, ...]
+
+    def target_state(self, state: DatabaseInstance) -> DatabaseInstance:
+        if tuple(self.row) not in state.relation(self.relation):
+            raise UpdateRejected(
+                f"{self.row!r} not present in {self.relation!r}",
+                reason="no-op",
+            )
+        return state.deleting(self.relation, self.row)
+
+    def inverse(self) -> "Insert":
+        return Insert(self.relation, self.row)
+
+    def __repr__(self) -> str:
+        return f"-{self.relation}{tuple(self.row)!r}"
+
+
+@dataclass(frozen=True)
+class Replace(UpdateOperation):
+    """Replace one tuple by another within one relation."""
+
+    relation: str
+    old_row: Tuple[object, ...]
+    new_row: Tuple[object, ...]
+
+    def target_state(self, state: DatabaseInstance) -> DatabaseInstance:
+        relation = state.relation(self.relation)
+        if tuple(self.old_row) not in relation:
+            raise UpdateRejected(
+                f"{self.old_row!r} not present in {self.relation!r}",
+                reason="no-op",
+            )
+        if tuple(self.new_row) in relation:
+            raise UpdateRejected(
+                f"{self.new_row!r} already present in {self.relation!r}",
+                reason="no-op",
+            )
+        return state.deleting(self.relation, self.old_row).inserting(
+            self.relation, self.new_row
+        )
+
+    def inverse(self) -> "Replace":
+        return Replace(self.relation, self.new_row, self.old_row)
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.relation}: {tuple(self.old_row)!r} -> "
+            f"{tuple(self.new_row)!r}"
+        )
+
+
+@dataclass(frozen=True)
+class LenientOperation(UpdateOperation):
+    """Idempotent wrapper: a no-op outcome passes through unchanged."""
+
+    inner: UpdateOperation
+
+    def target_state(self, state: DatabaseInstance) -> DatabaseInstance:
+        try:
+            return self.inner.target_state(state)
+        except UpdateRejected as exc:
+            if exc.reason == "no-op":
+                return state
+            raise
+
+    def inverse(self) -> "LenientOperation":
+        return LenientOperation(self.inner.inverse())
+
+
+class UpdateScript:
+    """A sequence of operations applied left to right.
+
+    The script's *target* is computed against a given starting state;
+    its inverse is the reversed sequence of inverses, so
+    ``script.inverse().target_state(script.target_state(s)) == s``
+    whenever the forward script applies.
+    """
+
+    def __init__(self, operations: Iterable[UpdateOperation] = ()):
+        self.operations: Tuple[UpdateOperation, ...] = tuple(operations)
+
+    def then(self, operation: UpdateOperation) -> "UpdateScript":
+        """A new script with one more operation."""
+        return UpdateScript(self.operations + (operation,))
+
+    def target_state(self, state: DatabaseInstance) -> DatabaseInstance:
+        """Apply all operations in order."""
+        for operation in self.operations:
+            state = operation.target_state(state)
+        return state
+
+    def inverse(self) -> "UpdateScript":
+        """The undo script."""
+        return UpdateScript(
+            tuple(op.inverse() for op in reversed(self.operations))
+        )
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __repr__(self) -> str:
+        return f"UpdateScript({list(self.operations)!r})"
+
+
+def run_view_script(
+    system,
+    view_name: str,
+    base_state: DatabaseInstance,
+    script: UpdateScript | UpdateOperation,
+) -> DatabaseInstance:
+    """Apply a tuple-level script to a view and reflect it to the base.
+
+    Computes the view's current state, edits it with *script*, and
+    routes the resulting state-pair update through the system's
+    canonical procedure for the view.  Returns the new base state.
+    """
+    if isinstance(script, UpdateOperation):
+        script = UpdateScript([script])
+    view = system.view(view_name)
+    current = view.apply(base_state, system.assignment)
+    target = script.target_state(current)
+    return system.update(view_name, base_state, target)

@@ -1,0 +1,148 @@
+"""Update Procedure 3.2.3: updating arbitrary views through components.
+
+Let ``Gamma1`` be *any* view of ``D`` (not necessarily strong).  A
+component ``Gamma2`` is a **strong join complement** of ``Gamma1`` when
+``Gamma2^c <= Gamma1`` -- the complement of ``Gamma2`` in the component
+algebra is definable from ``Gamma1`` (Section 3.2).  By Lemma 3.2.1 such
+a ``Gamma2`` is in particular an ordinary join complement.
+
+The procedure to service an update ``(s1, (t1, t2))`` on ``Gamma1`` with
+constant ``Gamma2``:
+
+1. let ``f : Gamma1 -> Gamma2^c`` be the unique view morphism
+   (Theorem 2.2.2 guarantees it);
+2. translate the *filtered* update ``(s1, (f'(t1), f'(t2)))`` on the
+   component ``Gamma2^c``, which succeeds uniquely and admissibly by
+   Theorem 3.1.1;
+3. if ``gamma1'(s2) = t2`` the update succeeds; otherwise it is not
+   possible with ``Gamma2`` constant and is rejected.
+
+The **Main Update Theorem 3.2.2** asserts (a) any solution so obtained
+is admissible, and (b) the solution is the same for *every* strong join
+complement for which one exists -- :func:`translations_coincide`
+verifies (b) exhaustively, and experiment E10 reports it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import NotComparableError, UpdateRejected
+from repro.relational.enumeration import StateSpace
+from repro.relational.instances import DatabaseInstance
+from repro.core.components import Component, ComponentAlgebra
+from repro.core.constant_complement import ComponentTranslator
+from repro.core.update import UpdateStrategy
+from repro.views.morphisms import defines, view_morphism_table
+from repro.views.view import View
+
+
+def is_strong_join_complement(
+    view: View, component: Component, space: StateSpace
+) -> bool:
+    """Section 3.2: ``component`` is a strong join complement of *view*
+    iff ``component.complement <= view`` in ``View(D)``."""
+    if component.complement is None:
+        return False
+    return defines(view, component.complement.view, space)
+
+
+def strong_join_complements(
+    view: View, algebra: ComponentAlgebra
+) -> Tuple[Component, ...]:
+    """All components of the algebra that are strong join complements of
+    *view*, smallest (finest filter) first."""
+    space = algebra.space
+    found = tuple(
+        component
+        for component in algebra
+        if is_strong_join_complement(view, component, space)
+    )
+    rank = {
+        c.key: sum(1 for other in found if algebra.leq(other, c))
+        for c in found
+    }
+    return tuple(sorted(found, key=lambda c: (rank[c.key], c.name)))
+
+
+class UpdateProcedure(UpdateStrategy):
+    """Update Procedure 3.2.3 for one view / strong-join-complement pair."""
+
+    def __init__(
+        self,
+        view: View,
+        complement: Component,
+        space: StateSpace,
+    ):
+        super().__init__(view, space)
+        if complement.complement is None:
+            raise NotComparableError(
+                f"component {complement.name!r} has no resolved complement"
+            )
+        self.complement = complement
+        self.filter_component = complement.complement
+        if not defines(view, self.filter_component.view, space):
+            raise NotComparableError(
+                f"{complement.name!r} is not a strong join complement of "
+                f"{view.name!r}: its complement "
+                f"{self.filter_component.name!r} is not defined by the view"
+            )
+        #: The unique morphism f : Gamma1 -> Gamma2^c, as a state table.
+        self.filter_morphism: Dict[DatabaseInstance, DatabaseInstance] = (
+            view_morphism_table(view, self.filter_component.view, space)
+        )
+        self._inner = ComponentTranslator.for_component(
+            self.filter_component, space
+        )
+
+    def apply(
+        self, state: DatabaseInstance, target: DatabaseInstance
+    ) -> DatabaseInstance:
+        """Service ``(state, (gamma1'(state), target))`` per 3.2.3."""
+        if target not in self.filter_morphism:
+            raise UpdateRejected(
+                f"{target!r} is not a legal state of view {self.view.name!r}",
+                reason="illegal-view-state",
+            )
+        filtered_target = self.filter_morphism[target]
+        solution = self._inner.apply(state, filtered_target)
+        achieved = self.view.apply(solution, self.space.assignment)
+        if achieved != target:
+            raise UpdateRejected(
+                f"update to {target!r} cannot be effected with "
+                f"{self.complement.name!r} constant (achieved {achieved!r})",
+                reason="image-mismatch",
+            )
+        return solution
+
+
+def translations_coincide(
+    view: View,
+    complements: Iterable[Component],
+    space: StateSpace,
+) -> bool:
+    """Main Update Theorem 3.2.2(b), checked exhaustively.
+
+    For every state and every target view state, every strong join
+    complement for which the update succeeds must yield the *same*
+    solution.  Returns ``False`` with the first disagreement (used by
+    experiment E10; the test suite asserts ``True`` on the paper's
+    universes).
+    """
+    procedures = [
+        UpdateProcedure(view, component, space) for component in complements
+    ]
+    if not procedures:
+        return True
+    targets = view.image_states(space)
+    for state in space.states:
+        for target in targets:
+            solutions = set()
+            for procedure in procedures:
+                try:
+                    solutions.add(procedure.apply(state, target))
+                except UpdateRejected:
+                    continue
+            if len(solutions) > 1:
+                return False
+    return True

@@ -1,0 +1,175 @@
+"""A façade tying the machinery together for application code.
+
+:class:`ViewUpdateSystem` is what a downstream user instantiates: give
+it a base schema, a type assignment, and (optionally) a pre-built state
+space; register views; call :meth:`build_component_algebra` with
+candidate complements; then service updates with :meth:`update` --
+which routes each request through the paper's Update Procedure 3.2.3
+using the *smallest* available strong join complement, guaranteeing the
+canonical (complement-independent, admissible) reflection of
+Theorem 3.2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import ReproError, UpdateRejected
+from repro.relational.enumeration import StateSpace
+from repro.relational.instances import DatabaseInstance
+from repro.relational.schema import Schema
+from repro.typealgebra.assignment import TypeAssignment
+from repro.core.components import Component, ComponentAlgebra
+from repro.core.procedure import UpdateProcedure, strong_join_complements
+from repro.core.update import UpdateStrategy
+from repro.views.view import View
+
+
+class ViewUpdateSystem:
+    """Canonical view-update support for one base schema.
+
+    Parameters
+    ----------
+    schema:
+        The base schema ``D``.
+    assignment:
+        The fixed type assignment ``mu``.
+    space:
+        A pre-built state space; enumerated from the schema when
+        omitted (small universes only).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        assignment: TypeAssignment,
+        space: Optional[StateSpace] = None,
+    ):
+        self.schema = schema
+        self.assignment = assignment
+        self.space = space or StateSpace.enumerate(schema, assignment)
+        if not self.schema.has_null_model_property(assignment):
+            raise ReproError(
+                f"schema {schema.name!r} lacks the null model property; "
+                "the results of Section 3 do not apply"
+            )
+        self._views: Dict[str, View] = {}
+        self._algebra: Optional[ComponentAlgebra] = None
+        self._procedures: Dict[str, UpdateProcedure] = {}
+
+    # -- registration -------------------------------------------------------------
+
+    def register_view(self, view: View) -> View:
+        """Register a user view; returns it for chaining."""
+        if view.base_schema is not self.schema:
+            raise ReproError(
+                f"view {view.name!r} is over a different base schema"
+            )
+        self._views[view.name] = view
+        self._procedures.pop(view.name, None)
+        return view
+
+    def view(self, name: str) -> View:
+        """Look up a registered view."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ReproError(
+                f"no view named {name!r}; have {sorted(self._views)}"
+            ) from None
+
+    @property
+    def views(self) -> Tuple[View, ...]:
+        """All registered views."""
+        return tuple(self._views.values())
+
+    # -- component algebra -------------------------------------------------------------
+
+    def build_component_algebra(
+        self, candidates: Iterable[View]
+    ) -> ComponentAlgebra:
+        """Discover the component algebra from candidate views.
+
+        Registered views are automatically included as candidates.
+        """
+        all_candidates = list(candidates) + list(self._views.values())
+        self._algebra = ComponentAlgebra.discover(self.space, all_candidates)
+        self._procedures.clear()
+        return self._algebra
+
+    @property
+    def component_algebra(self) -> ComponentAlgebra:
+        """The discovered algebra; raises if not built yet."""
+        if self._algebra is None:
+            raise ReproError(
+                "component algebra not built; call build_component_algebra()"
+            )
+        return self._algebra
+
+    # -- update servicing --------------------------------------------------------------
+
+    def procedure_for(self, view_name: str) -> UpdateProcedure:
+        """The canonical update procedure for a view.
+
+        Uses the *smallest* strong join complement in the algebra --
+        the one that permits the most updates (Theorem 3.2.2 guarantees
+        the choice does not affect the reflections that succeed).
+        """
+        if view_name not in self._procedures:
+            view = self.view(view_name)
+            complements = strong_join_complements(view, self.component_algebra)
+            if not complements:
+                raise ReproError(
+                    f"view {view_name!r} has no strong join complement in "
+                    "the component algebra; register more candidates"
+                )
+            self._procedures[view_name] = UpdateProcedure(
+                view, complements[0], self.space
+            )
+        return self._procedures[view_name]
+
+    def update(
+        self,
+        view_name: str,
+        base_state: DatabaseInstance,
+        view_target: DatabaseInstance,
+    ) -> DatabaseInstance:
+        """Reflect a view update to the base schema.
+
+        Returns the new base state, or raises
+        :class:`~repro.errors.UpdateRejected` when the update is not
+        supported (the formal "undefined" outcome).
+        """
+        if base_state not in self.space:
+            raise UpdateRejected(
+                "current base state is not a legal database",
+                reason="illegal-base-state",
+            )
+        return self.procedure_for(view_name).apply(base_state, view_target)
+
+    def explain_update(
+        self,
+        view_name: str,
+        base_state: DatabaseInstance,
+        view_target: DatabaseInstance,
+    ) -> str:
+        """A human-readable account of how an update was reflected."""
+        procedure = self.procedure_for(view_name)
+        view = self.view(view_name)
+        current_view = view.apply(base_state, self.assignment)
+        lines = [
+            f"view {view_name!r}: {current_view!r} -> {view_target!r}",
+            f"constant complement: {procedure.complement.name!r}",
+            f"filtered through: {procedure.filter_component.name!r}",
+        ]
+        try:
+            solution = procedure.apply(base_state, view_target)
+        except UpdateRejected as exc:
+            lines.append(f"REJECTED: {exc} (reason={exc.reason})")
+            return "\n".join(lines)
+        from repro.relational.display import render_update
+
+        lines.append("ACCEPTED; base changes:")
+        for change_line in render_update(base_state, solution).splitlines():
+            lines.append(f"  {change_line}")
+        return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Update specifications and update strategies (paper §0.1).
+
+* An **update specification** for a schema is a pair of legal states
+  ``(s1, s2)`` -- current and desired (Definition 0.1.1).
+* An **update specification for a view** ``Gamma`` is
+  ``(s1, (t1, t2))`` with ``gamma'(s1) = t1`` (Definition 0.1.2(a)); a
+  *solution* is an ``s2`` with ``gamma'(s2) = t2``.
+* An **update strategy** is a partial function
+  ``rho : LDB(D) x LDB(V) -> LDB(D)`` (Definition 0.1.2(c)); partiality
+  is expressed by raising :class:`~repro.errors.UpdateRejected`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import UpdateRejected
+from repro.relational.enumeration import StateSpace
+from repro.relational.instances import DatabaseInstance
+from repro.views.view import View
+
+
+@dataclass(frozen=True)
+class UpdateSpecification:
+    """A base-schema update specification ``(s1, s2)`` (Definition 0.1.1)."""
+
+    current: DatabaseInstance
+    desired: DatabaseInstance
+
+    def is_identity(self) -> bool:
+        """True iff nothing changes."""
+        return self.current == self.desired
+
+    def delta_size(self) -> int:
+        """Number of changed tuples."""
+        return self.current.delta_size(self.desired)
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """A view update specification ``(s1, (t1, t2))`` (Definition 0.1.2(a)).
+
+    ``t1`` is determined by ``s1`` (it is ``gamma'(s1)``); it is stored
+    explicitly so the object is self-describing and checkable.
+    """
+
+    base_state: DatabaseInstance
+    view_current: DatabaseInstance
+    view_desired: DatabaseInstance
+
+    def check_consistent(self, view: View, assignment) -> None:
+        """Verify ``gamma'(s1) = t1``; raise ``ValueError`` otherwise."""
+        actual = view.apply(self.base_state, assignment)
+        if actual != self.view_current:
+            raise ValueError(
+                f"inconsistent update request: gamma'(s1) != t1 for view "
+                f"{view.name!r}"
+            )
+
+    @classmethod
+    def for_view(
+        cls,
+        view: View,
+        assignment,
+        base_state: DatabaseInstance,
+        view_desired: DatabaseInstance,
+    ) -> "UpdateRequest":
+        """Build a request, computing ``t1 = gamma'(s1)``."""
+        return cls(base_state, view.apply(base_state, assignment), view_desired)
+
+
+class UpdateStrategy:
+    """An update strategy ``rho`` for a view (Definition 0.1.2(c)).
+
+    Subclasses implement :meth:`apply`, raising
+    :class:`~repro.errors.UpdateRejected` where ``rho`` is undefined.
+    """
+
+    #: The view this strategy serves.
+    view: View
+    #: The state space the strategy is defined over.
+    space: StateSpace
+
+    def __init__(self, view: View, space: StateSpace):
+        self.view = view
+        self.space = space
+
+    def apply(
+        self, state: DatabaseInstance, target: DatabaseInstance
+    ) -> DatabaseInstance:
+        """``rho(state, target)``; raises ``UpdateRejected`` if undefined."""
+        raise NotImplementedError
+
+    def defined(
+        self, state: DatabaseInstance, target: DatabaseInstance
+    ) -> bool:
+        """True iff ``rho`` is defined at this pair."""
+        try:
+            self.apply(state, target)
+            return True
+        except UpdateRejected:
+            return False
+
+    def defined_pairs(
+        self,
+    ) -> Iterator[Tuple[DatabaseInstance, DatabaseInstance, DatabaseInstance]]:
+        """Iterate ``(s1, t2, rho(s1, t2))`` over the whole domain.
+
+        Exhaustive -- meant for admissibility analysis on small spaces.
+        """
+        targets = self.view.image_states(self.space)
+        for state in self.space.states:
+            for target in targets:
+                try:
+                    result = self.apply(state, target)
+                except UpdateRejected:
+                    continue
+                yield state, target, result
+
+    def as_table(
+        self,
+    ) -> Dict[Tuple[DatabaseInstance, DatabaseInstance], DatabaseInstance]:
+        """Tabulate the strategy over its whole (defined) domain."""
+        return {
+            (state, target): result
+            for state, target, result in self.defined_pairs()
+        }
+
+
+class TabulatedStrategy(UpdateStrategy):
+    """A strategy given by an explicit table ``(s1, t2) -> s2``.
+
+    Useful for constructing counterexample strategies in tests and for
+    freezing the output of another strategy.
+    """
+
+    def __init__(
+        self,
+        view: View,
+        space: StateSpace,
+        table: Mapping[Tuple[DatabaseInstance, DatabaseInstance], DatabaseInstance],
+    ):
+        super().__init__(view, space)
+        self._table = dict(table)
+
+    def apply(self, state, target):
+        try:
+            return self._table[(state, target)]
+        except KeyError:
+            raise UpdateRejected(
+                f"update not in table for view {self.view.name!r}",
+                reason="not-in-table",
+            ) from None
+
+
+class CallableStrategy(UpdateStrategy):
+    """A strategy wrapping a Python callable ``(s1, t2) -> s2``."""
+
+    def __init__(
+        self,
+        view: View,
+        space: StateSpace,
+        func: Callable[[DatabaseInstance, DatabaseInstance], DatabaseInstance],
+        label: str = "",
+    ):
+        super().__init__(view, space)
+        self._func = func
+        self.label = label
+
+    def apply(self, state, target):
+        return self._func(state, target)
+
+    def __repr__(self) -> str:
+        return f"CallableStrategy({self.label or self._func!r})"

@@ -1,0 +1,45 @@
+"""Null-padded chain decompositions (paper §2.1.1, 2.3.4, 3.2.4).
+
+Example 2.1.1 shows how to make a join dependency *exact* by
+formalising value-inapplicable nulls inside the type algebra: the
+relation ``R[A,B,C,D]`` with ``⋈[AB, BC, CD]`` stores, alongside every
+full tuple, its null-padded subsumed projections, axiomatised by
+first-order subsumption and join rules.  The payoff is that the
+``pi^o`` restriction views (``Gamma_AB^o``, ``Gamma_BC^o``, ...) become
+*truly independent* strong views, generating a component algebra of
+``2^(k-1)`` elements for a chain of ``k`` attributes.
+
+:class:`~repro.decomposition.chain.ChainSchema` generalises the example
+to arbitrary attribute chains and provides:
+
+* the schema (single relation, nullable column types, a closure
+  constraint equivalent to the paper's subsumption + join axioms, with
+  TGD renderings for cross-validation);
+* a **closed-form state generator** -- legal states correspond
+  bijectively to free choices of the edge relations, so ``LDB`` is
+  enumerated without the powerset-and-filter blow-up;
+* the component views for every subset of edges, and plain projection
+  views (like ``Gamma_ABD`` of Example 3.2.4) for non-strong-view
+  experiments.
+"""
+
+from repro.decomposition.nulls import pad_row, segment_of, valid_segments
+from repro.decomposition.chain import ChainConstraint, ChainSchema
+from repro.decomposition.projections import projection_view
+from repro.decomposition.updates import ChainComponentUpdater, TreeComponentUpdater
+from repro.decomposition.tree import TreeSchema
+from repro.decomposition.horizontal import HorizontalSchema, HorizontalUpdater
+
+__all__ = [
+    "ChainComponentUpdater",
+    "ChainConstraint",
+    "ChainSchema",
+    "HorizontalSchema",
+    "HorizontalUpdater",
+    "TreeComponentUpdater",
+    "TreeSchema",
+    "pad_row",
+    "projection_view",
+    "segment_of",
+    "valid_segments",
+]

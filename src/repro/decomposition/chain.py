@@ -1,0 +1,441 @@
+"""Chain schemas: ``R[A1..Ak]`` with an exact null-padded join dependency.
+
+Generalises paper Example 2.1.1 from ``ABCD`` / ``⋈[AB, BC, CD]`` to any
+chain of ``k >= 2`` attributes.  The axioms (maximal representation, as
+in the paper):
+
+* *typed columns* -- column ``i`` holds a value of ``tau_Ai v tau_eta``;
+* *pattern* -- the non-null positions of every tuple form a contiguous
+  segment of length >= 2;
+* *subsumption* -- a tuple with segment ``[i, j]`` (length >= 3) implies
+  its two sub-tuples with segments ``[i, j-1]`` and ``[i+1, j]``;
+* *join* -- if all edge tuples ``(v_m, v_{m+1})`` (segment ``[m, m+1]``)
+  of a candidate chain are present, so is the full chain tuple, for
+  every segment (this subsumes the embedded join dependencies).
+
+**The structure theorem behind this module** (verified in the tests):
+subsumption + join make a legal instance the closure of its *edge set*,
+and conversely any choice of edge relations ``E_m ⊆ D_m x D_{m+1}``
+closes to a legal instance -- so ``LDB`` is in bijection with the
+product of the edge powersets.  That bijection gives:
+
+* :meth:`ChainSchema.state_from_edges` / :meth:`ChainSchema.edges_of` --
+  the two directions;
+* :meth:`ChainSchema.state_space` -- closed-form enumeration of ``LDB``
+  (no powerset-filtering);
+* :meth:`ChainSchema.component_view` -- the ``pi^o`` restriction view
+  for any subset of edges, one relation per maximal interval; these are
+  exactly the components, and the component algebra is the Boolean
+  algebra of edge subsets (``2^(k-1)`` elements, Example 2.3.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.logic.terms import Const, Var
+from repro.relational.constraints import Constraint, TupleGeneratingDependency
+from repro.relational.enumeration import StateSpace
+from repro.relational.instances import DatabaseInstance
+from repro.relational.queries import Project, Query, RelationRef, TypedRestrict
+from repro.relational.relations import Relation
+from repro.relational.schema import RelationSchema, Schema
+from repro.typealgebra.algebra import NULL, TypeAlgebra
+from repro.typealgebra.assignment import TypeAssignment
+from repro.typealgebra.types import AtomicType, Disjunction, TypeExpr
+from repro.views.mappings import QueryMapping
+from repro.views.view import View
+from repro.decomposition.nulls import (
+    maximal_intervals,
+    pad_row,
+    segment_edges,
+    segment_of,
+    valid_segments,
+)
+
+Edge = int
+Pair = Tuple[object, object]
+EdgeSets = Tuple[FrozenSet[Pair], ...]
+
+
+@dataclass(frozen=True)
+class ChainConstraint(Constraint):
+    """The conjunction of pattern + subsumption + join for a chain.
+
+    Decided by the structure theorem: an instance satisfies all three
+    families of axioms iff every tuple has a valid typed pattern *and*
+    the instance equals the closure of its own edge set.  The TGD
+    renderings (:meth:`ChainSchema.subsumption_tgds`,
+    :meth:`ChainSchema.join_tgds`) are cross-validated against this
+    check in the test suite.
+    """
+
+    relation: str
+    width: int
+    #: Domain of each attribute column (frozensets, null excluded).
+    domains: Tuple[FrozenSet[object], ...]
+
+    def holds(self, instance, schema, assignment) -> bool:
+        rows = instance.relation(self.relation).rows
+        edges: List[set] = [set() for _ in range(self.width - 1)]
+        for row in rows:
+            segment = segment_of(row)
+            if segment is None:
+                return False
+            start, end = segment
+            for position in range(start, end + 1):
+                if row[position] not in self.domains[position]:
+                    return False
+            if end - start == 1:
+                edges[start].add((row[start], row[end]))
+        closure = _close_edges(
+            tuple(frozenset(e) for e in edges), self.width
+        )
+        return rows == closure
+
+    def describe(self) -> str:
+        return f"chain closure constraint on {self.relation!r} (width {self.width})"
+
+
+def _close_edges(edges: EdgeSets, width: int) -> FrozenSet[Tuple[object, ...]]:
+    """All tuples whose consecutive pairs all lie in the edge sets."""
+    rows: set = set()
+    for start, end in valid_segments(width):
+        chains: List[Tuple[object, ...]] = [
+            (a,) for a in sorted({p[0] for p in edges[start]}, key=repr)
+        ]
+        for edge_index in range(start, end):
+            extended = []
+            for chain in chains:
+                for left, right in edges[edge_index]:
+                    if left == chain[-1]:
+                        extended.append(chain + (right,))
+            chains = extended
+            if not chains:
+                break
+        for chain in chains:
+            rows.add(pad_row(chain, (start, end), width))
+    return frozenset(rows)
+
+
+class ChainSchema:
+    """A null-padded chain schema over given attribute domains.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names, in chain order (length >= 2).
+    domains:
+        Mapping attribute name -> iterable of (non-null) values.
+    relation_name:
+        Name of the single relation symbol (default ``"R"``).
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        domains: Mapping[str, Iterable[object]],
+        relation_name: str = "R",
+    ):
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        if len(self.attributes) < 2:
+            raise SchemaError("a chain needs at least two attributes")
+        if set(domains) != set(self.attributes):
+            raise SchemaError(
+                "domains must cover exactly the chain attributes"
+            )
+        self.relation_name = relation_name
+        self.domains: Tuple[FrozenSet[object], ...] = tuple(
+            frozenset(domains[attr]) for attr in self.attributes
+        )
+        if any(not domain for domain in self.domains):
+            raise SchemaError("every attribute needs a non-empty domain")
+
+        self.type_algebra = TypeAlgebra.of_attributes(
+            self.attributes, with_null=True
+        )
+        self.assignment = TypeAssignment(
+            {
+                AtomicType(attr): domain
+                for attr, domain in zip(self.attributes, self.domains)
+            }
+            | {AtomicType("eta"): frozenset({NULL})}
+        )
+        self.type_algebra.validate_assignment(self.assignment)
+
+        self.null_type: TypeExpr = AtomicType("eta")
+        #: ``tau_bar_A = tau_A v tau_eta`` per column.
+        self.nullable_types: Tuple[TypeExpr, ...] = tuple(
+            Disjunction(AtomicType(attr), self.null_type)
+            for attr in self.attributes
+        )
+        self.schema = Schema(
+            name=f"chain[{''.join(self.attributes)}]",
+            relations=(
+                RelationSchema(
+                    relation_name, self.attributes, self.nullable_types
+                ),
+            ),
+            constraints=(
+                ChainConstraint(
+                    relation_name, len(self.attributes), self.domains
+                ),
+            ),
+        )
+
+    # -- geometry ------------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Number of attributes ``k``."""
+        return len(self.attributes)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges ``k - 1``."""
+        return self.width - 1
+
+    def edge_pairs(self, edge: Edge) -> Tuple[Pair, ...]:
+        """All possible value pairs of one edge, in sorted order."""
+        return tuple(
+            itertools.product(
+                sorted(self.domains[edge], key=repr),
+                sorted(self.domains[edge + 1], key=repr),
+            )
+        )
+
+    def interval_attributes(self, interval: Tuple[int, int]) -> Tuple[str, ...]:
+        """Attribute names of an interval ``[i, j]`` (inclusive)."""
+        start, end = interval
+        return self.attributes[start : end + 1]
+
+    # -- states <-> edge sets (the structure theorem) ---------------------------------
+
+    def state_from_edges(self, edges: Sequence[Iterable[Pair]]) -> DatabaseInstance:
+        """The legal instance generated by freely chosen edge relations."""
+        if len(edges) != self.edge_count:
+            raise SchemaError(
+                f"need {self.edge_count} edge sets, got {len(edges)}"
+            )
+        frozen = tuple(frozenset(e) for e in edges)
+        for index, edge_set in enumerate(frozen):
+            valid = set(self.edge_pairs(index))
+            bad = edge_set - valid
+            if bad:
+                raise SchemaError(
+                    f"edge {index} has out-of-domain pairs {sorted(bad, key=repr)}"
+                )
+        rows = _close_edges(frozen, self.width)
+        return DatabaseInstance(
+            {self.relation_name: Relation(rows, self.width)}
+        )
+
+    def edges_of(self, state: DatabaseInstance) -> EdgeSets:
+        """The edge sets of a legal instance (inverse of the above)."""
+        edges: List[set] = [set() for _ in range(self.edge_count)]
+        for row in state.relation(self.relation_name):
+            segment = segment_of(row)
+            if segment is not None and segment[1] - segment[0] == 1:
+                edges[segment[0]].add((row[segment[0]], row[segment[1]]))
+        return tuple(frozenset(e) for e in edges)
+
+    def all_states(self) -> Iterator[DatabaseInstance]:
+        """Closed-form enumeration of ``LDB``: one state per choice of
+        edge subsets."""
+        per_edge_subsets = []
+        for edge in range(self.edge_count):
+            pairs = self.edge_pairs(edge)
+            subsets = [
+                frozenset(
+                    pairs[i] for i in range(len(pairs)) if mask & (1 << i)
+                )
+                for mask in range(1 << len(pairs))
+            ]
+            per_edge_subsets.append(subsets)
+        for combo in itertools.product(*per_edge_subsets):
+            yield self.state_from_edges(combo)
+
+    def state_count(self) -> int:
+        """``prod_m 2^(|D_m| * |D_{m+1}|)`` without enumerating."""
+        count = 1
+        for edge in range(self.edge_count):
+            count *= 1 << (
+                len(self.domains[edge]) * len(self.domains[edge + 1])
+            )
+        return count
+
+    def state_space(self, validate: bool = False) -> StateSpace:
+        """The state space, built from the closed-form generator."""
+        return StateSpace.from_states(
+            self.schema, self.assignment, self.all_states(), validate=validate
+        )
+
+    # -- component views ------------------------------------------------------------------
+
+    def component_view(
+        self, edges: Iterable[Edge], name: Optional[str] = None
+    ) -> View:
+        """The ``pi^o`` restriction view for a subset of edges.
+
+        One view relation per maximal interval of the edge set; the
+        interval's relation is the projection onto its attributes of the
+        base tuples whose non-null segment lies inside the interval
+        (columns outside it are null).  For the full ABCD example:
+        ``component_view([0])`` is ``Gamma_AB^o``, ``component_view([0, 2])``
+        the two-relation ``Gamma_AB^o . Gamma_CD^o`` of Example 2.3.4,
+        ``component_view([])`` the zero-like bottom component, and
+        ``component_view([0, 1, 2])`` the top.
+        """
+        edge_set = frozenset(edges)
+        invalid = [e for e in edge_set if not 0 <= e < self.edge_count]
+        if invalid:
+            raise SchemaError(f"no such edges: {sorted(invalid)}")
+        intervals = maximal_intervals(edge_set)
+        base = RelationRef.of(self.schema, self.relation_name)
+        queries: Dict[str, Query] = {}
+        relations: List[RelationSchema] = []
+        for interval in intervals:
+            attrs = self.interval_attributes(interval)
+            outside = tuple(
+                attr for attr in self.attributes if attr not in attrs
+            )
+            restricted: Query = TypedRestrict(
+                base,
+                tuple((attr, self.null_type) for attr in outside),
+            )
+            query = Project(restricted, attrs)
+            relation_name = f"{self.relation_name}_{''.join(attrs)}"
+            queries[relation_name] = query
+            relations.append(
+                RelationSchema(
+                    relation_name,
+                    attrs,
+                    tuple(
+                        self.nullable_types[self.attributes.index(a)]
+                        for a in attrs
+                    ),
+                )
+            )
+        view_name = name or self._component_name(edge_set)
+        view_schema = Schema(
+            name=f"{view_name}.schema",
+            relations=tuple(relations),
+            enforce_column_types=False,
+        )
+        return View(view_name, self.schema, view_schema, QueryMapping(queries))
+
+    def _component_name(self, edge_set: FrozenSet[Edge]) -> str:
+        if not edge_set:
+            return "Γ°[∅]"
+        parts = [
+            "".join(self.interval_attributes(interval))
+            for interval in maximal_intervals(edge_set)
+        ]
+        return "Γ°" + "·".join(parts)
+
+    def all_component_views(self) -> Tuple[View, ...]:
+        """One view per edge subset -- the full component algebra's
+        candidate set (``2^(k-1)`` views)."""
+        views = []
+        for mask in range(1 << self.edge_count):
+            edge_set = frozenset(
+                e for e in range(self.edge_count) if mask & (1 << e)
+            )
+            views.append(self.component_view(edge_set))
+        return tuple(views)
+
+    def edge_views(self) -> Tuple[View, ...]:
+        """The atomic components (one per edge): the generators of the
+        algebra (Example 2.3.4: ``Gamma_AB^o, Gamma_BC^o, Gamma_CD^o``)."""
+        return tuple(
+            self.component_view([edge]) for edge in range(self.edge_count)
+        )
+
+    # -- axioms as TGDs (for cross-validation and documentation) ----------------------------
+
+    def _chain_guards(
+        self, chain_vars: Tuple[Var, ...], start: int
+    ) -> Tuple[Tuple[Var, TypeExpr], ...]:
+        """Type guards tying each chain variable to its attribute type.
+
+        These are the ``tau_A(x)`` conjuncts of the paper's axioms: they
+        keep the rules from firing on bindings where a variable matched
+        the null value.
+        """
+        return tuple(
+            (var, AtomicType(self.attributes[start + offset]))
+            for offset, var in enumerate(chain_vars)
+        )
+
+    def subsumption_tgds(self) -> Tuple[TupleGeneratingDependency, ...]:
+        """Subsumption rules: segment ``[i, j]`` implies both length-
+        ``(j-i)`` sub-segments (full TGDs with null constants)."""
+        tgds = []
+        null = Const(NULL)
+        for start, end in valid_segments(self.width):
+            if end - start < 2:
+                continue
+            chain_vars = tuple(
+                Var(f"x{position}") for position in range(start, end + 1)
+            )
+
+            def padded(variables, segment):
+                terms: List = [null] * self.width
+                for offset, var in enumerate(variables):
+                    terms[segment[0] + offset] = var
+                return (self.relation_name, tuple(terms))
+
+            body = (padded(chain_vars, (start, end)),)
+            head = (
+                padded(chain_vars[:-1], (start, end - 1)),
+                padded(chain_vars[1:], (start + 1, end)),
+            )
+            tgds.append(
+                TupleGeneratingDependency(
+                    body,
+                    head,
+                    name=f"subsume[{start},{end}]",
+                    guards=self._chain_guards(chain_vars, start),
+                )
+            )
+        return tuple(tgds)
+
+    def join_tgds(self) -> Tuple[TupleGeneratingDependency, ...]:
+        """Join rules: all edges of a segment present implies the full
+        segment tuple (includes every embedded join dependency)."""
+        tgds = []
+        null = Const(NULL)
+        for start, end in valid_segments(self.width):
+            if end - start < 2:
+                continue
+            chain_vars = tuple(
+                Var(f"x{position}") for position in range(start, end + 1)
+            )
+            body = []
+            for edge in segment_edges((start, end)):
+                terms: List = [null] * self.width
+                terms[edge] = chain_vars[edge - start]
+                terms[edge + 1] = chain_vars[edge - start + 1]
+                body.append((self.relation_name, tuple(terms)))
+            head_terms: List = [null] * self.width
+            for offset, var in enumerate(chain_vars):
+                head_terms[start + offset] = var
+            head = ((self.relation_name, tuple(head_terms)),)
+            tgds.append(
+                TupleGeneratingDependency(
+                    tuple(body),
+                    head,
+                    name=f"join[{start},{end}]",
+                    guards=self._chain_guards(chain_vars, start),
+                )
+            )
+        return tuple(tgds)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChainSchema({''.join(self.attributes)}, "
+            f"{self.state_count()} states)"
+        )

@@ -1,0 +1,301 @@
+"""Horizontal decompositions through interacting types (paper §2.1).
+
+The paper's type algebra exists precisely so that types may *interact*:
+"if we wish attribute C to be the union of attributes A and B, the
+axiom ``(Ax)(tau_C(x) <-> tau_A(x) v tau_B(x))`` may be used ...  Such
+interactions are highly useful in defining horizontal decompositions."
+
+This module realises that remark.  A :class:`HorizontalSchema` has one
+relation whose *split attribute*'s type is axiomatised as the disjoint
+union of **cell** types; for every subset of cells there is a
+*restriction view* (a selection, the paper's ``rho(R(...))`` mappings)
+keeping the rows whose split value falls in those cells.  These
+restriction views are strongly complemented strong views -- the
+component algebra is the Boolean algebra of cell subsets -- and
+constant-complement update translation is the obvious symbolic
+operation: replace the selected cells' rows, keep the rest.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import SchemaError, UpdateRejected
+from repro.relational.enumeration import StateSpace
+from repro.relational.instances import DatabaseInstance
+from repro.relational.queries import Query, RelationRef, TypedRestrict
+from repro.relational.relations import Relation
+from repro.relational.schema import RelationSchema, Schema
+from repro.typealgebra.algebra import TypeAlgebra
+from repro.typealgebra.assignment import TypeAssignment
+from repro.typealgebra.types import AtomicType, TypeExpr, disjunction_of
+
+
+class HorizontalSchema:
+    """A relation horizontally decomposed by a partition of one column.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names of the single relation.
+    domains:
+        Mapping attribute name -> values, for the non-split attributes.
+    split_attribute:
+        The attribute whose type is the disjoint union of the cells.
+    cells:
+        Mapping cell name -> values; the cells must be pairwise
+        disjoint and non-empty.  Their union is the split attribute's
+        domain.
+    relation_name:
+        Name of the relation symbol (default ``"R"``).
+    """
+
+    def __init__(
+        self,
+        attributes: Iterable[str],
+        domains: Mapping[str, Iterable[object]],
+        split_attribute: str,
+        cells: Mapping[str, Iterable[object]],
+        relation_name: str = "R",
+    ):
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        self.relation_name = relation_name
+        self.split_attribute = split_attribute
+        if split_attribute not in self.attributes:
+            raise SchemaError(
+                f"split attribute {split_attribute!r} not among attributes"
+            )
+        other = [a for a in self.attributes if a != split_attribute]
+        if set(domains) != set(other):
+            raise SchemaError(
+                "domains must cover exactly the non-split attributes"
+            )
+        self.cells: Dict[str, FrozenSet[object]] = {
+            name: frozenset(values) for name, values in cells.items()
+        }
+        if not self.cells:
+            raise SchemaError("at least one cell is required")
+        for name, values in self.cells.items():
+            if not values:
+                raise SchemaError(f"cell {name!r} is empty")
+        all_values = [v for values in self.cells.values() for v in values]
+        if len(all_values) != len(set(all_values)):
+            raise SchemaError("cells must be pairwise disjoint")
+        self.cell_names: Tuple[str, ...] = tuple(sorted(self.cells))
+
+        # Type algebra: one atom per non-split attribute, one per cell;
+        # the split attribute's column type is the cells' disjunction --
+        # the paper's interacting-types axiom.
+        atoms = tuple(AtomicType(a) for a in other) + tuple(
+            AtomicType(f"{split_attribute}.{cell}")
+            for cell in self.cell_names
+        )
+        self.type_algebra = TypeAlgebra(atoms=atoms)
+        assignment_domains = {
+            AtomicType(a): frozenset(domains[a]) for a in other
+        }
+        for cell in self.cell_names:
+            assignment_domains[
+                AtomicType(f"{split_attribute}.{cell}")
+            ] = self.cells[cell]
+        self.assignment = TypeAssignment(assignment_domains)
+
+        self.split_type: TypeExpr = disjunction_of(
+            AtomicType(f"{split_attribute}.{cell}")
+            for cell in self.cell_names
+        )
+        column_types = tuple(
+            self.split_type if attr == split_attribute else AtomicType(attr)
+            for attr in self.attributes
+        )
+        self.schema = Schema(
+            name=f"horizontal[{relation_name}/{split_attribute}]",
+            relations=(
+                RelationSchema(relation_name, self.attributes, column_types),
+            ),
+        )
+        self._split_position = self.attributes.index(split_attribute)
+
+    # -- geometry ----------------------------------------------------------------
+
+    def cell_type(self, cell: str) -> TypeExpr:
+        """The atomic type of one cell."""
+        if cell not in self.cells:
+            raise SchemaError(f"no cell named {cell!r}")
+        return AtomicType(f"{self.split_attribute}.{cell}")
+
+    def cell_of_value(self, value: object) -> Optional[str]:
+        """The cell a split value belongs to, or ``None``."""
+        for cell, values in self.cells.items():
+            if value in values:
+                return cell
+        return None
+
+    def tuple_universe(self) -> Tuple[Tuple[object, ...], ...]:
+        """All possible rows (typed per column)."""
+        from repro.relational.enumeration import tuple_universe
+
+        return tuple_universe(self.schema, self.relation_name, self.assignment)
+
+    def state_count(self) -> int:
+        """``2^|tuple universe|`` -- no other constraints."""
+        return 1 << len(self.tuple_universe())
+
+    def state_space(self) -> StateSpace:
+        """Enumerate ``LDB`` (the unconstrained powerset)."""
+        return StateSpace.enumerate(self.schema, self.assignment)
+
+    # -- cell decomposition of states ------------------------------------------------
+
+    def cell_rows(
+        self, state: DatabaseInstance, cell: str
+    ) -> FrozenSet[Tuple[object, ...]]:
+        """The rows whose split value lies in *cell*."""
+        values = self.cells[cell]
+        if cell not in self.cells:
+            raise SchemaError(f"no cell named {cell!r}")
+        return frozenset(
+            row
+            for row in state.relation(self.relation_name)
+            if row[self._split_position] in values
+        )
+
+    def state_from_cells(
+        self, cell_rows: Mapping[str, Iterable[Tuple[object, ...]]]
+    ) -> DatabaseInstance:
+        """Assemble a state from per-cell row sets (validated)."""
+        rows: set = set()
+        for cell, cell_content in cell_rows.items():
+            if cell not in self.cells:
+                raise SchemaError(f"no cell named {cell!r}")
+            for row in cell_content:
+                row = tuple(row)
+                if row[self._split_position] not in self.cells[cell]:
+                    raise SchemaError(
+                        f"row {row!r} does not belong to cell {cell!r}"
+                    )
+                rows.add(row)
+        state = DatabaseInstance(
+            {self.relation_name: Relation(rows, len(self.attributes))}
+        )
+        self.schema.check_legal(state, self.assignment)
+        return state
+
+    # -- component views ------------------------------------------------------------------
+
+    def component_view(
+        self, cells: Iterable[str], name: Optional[str] = None
+    ):
+        """The restriction view keeping the rows of the given cells.
+
+        A pure selection (no projection): the paper's
+        ``rho(R(tau, ...))`` restriction mapping with
+        ``tau = v_{c in cells} tau_c`` on the split column.
+        """
+        from repro.views.mappings import QueryMapping
+        from repro.views.view import View
+
+        chosen = tuple(sorted(set(cells)))
+        unknown = [c for c in chosen if c not in self.cells]
+        if unknown:
+            raise SchemaError(f"no cells named {unknown}")
+        base = RelationRef.of(self.schema, self.relation_name)
+        selector: TypeExpr = disjunction_of(
+            self.cell_type(cell) for cell in chosen
+        )
+        query: Query = TypedRestrict(
+            base, ((self.split_attribute, selector),)
+        )
+        view_name = name or (
+            "σ[" + "∨".join(chosen) + "]" if chosen else "σ[∅]"
+        )
+        view_schema = Schema(
+            name=f"{view_name}.schema",
+            relations=(
+                RelationSchema(
+                    self.relation_name,
+                    self.attributes,
+                ),
+            ),
+            enforce_column_types=False,
+        )
+        return View(view_name, self.schema, view_schema, QueryMapping(
+            {self.relation_name: query}
+        ))
+
+    def all_component_views(self):
+        """One view per cell subset (``2^k`` views)."""
+        views = []
+        for size in range(len(self.cell_names) + 1):
+            for combo in itertools.combinations(self.cell_names, size):
+                views.append(self.component_view(combo))
+        return tuple(views)
+
+    def __repr__(self) -> str:
+        return (
+            f"HorizontalSchema({self.relation_name}[{','.join(self.attributes)}] "
+            f"split on {self.split_attribute} into {list(self.cell_names)})"
+        )
+
+
+class HorizontalUpdater:
+    """Symbolic constant-complement translation for a cell component.
+
+    Replace the selected cells' rows with the requested view state's
+    rows; keep every other cell untouched.  The complement (the view on
+    the remaining cells) is constant by construction.
+    """
+
+    def __init__(self, schema: HorizontalSchema, cells: Iterable[str]):
+        self.horizontal = schema
+        self.cells = tuple(sorted(set(cells)))
+        unknown = [c for c in self.cells if c not in schema.cells]
+        if unknown:
+            raise SchemaError(f"no cells named {unknown}")
+        self.view = schema.component_view(self.cells)
+        self._selected_values = frozenset(
+            v for cell in self.cells for v in schema.cells[cell]
+        )
+
+    def apply(
+        self, state: DatabaseInstance, target: DatabaseInstance
+    ) -> DatabaseInstance:
+        """Translate the update; rejects ill-typed view states."""
+        schema = self.horizontal
+        name = schema.relation_name
+        if name not in target:
+            raise UpdateRejected(
+                f"view state missing relation {name!r}",
+                reason="illegal-view-state",
+            )
+        split = schema.attributes.index(schema.split_attribute)
+        for row in target.relation(name):
+            if row[split] not in self._selected_values:
+                raise UpdateRejected(
+                    f"row {row!r} lies outside the component's cells",
+                    reason="illegal-view-state",
+                )
+        kept = frozenset(
+            row
+            for row in state.relation(name)
+            if row[split] not in self._selected_values
+        )
+        solution = DatabaseInstance(
+            {name: Relation(kept | target.relation(name).rows,
+                            len(schema.attributes))}
+        )
+        if not schema.schema.is_legal(solution, schema.assignment):
+            raise UpdateRejected(
+                "requested view state is not typed correctly",
+                reason="illegal-view-state",
+            )
+        return solution
+
+    def defined(self, state, target) -> bool:
+        """True iff the update is accepted."""
+        try:
+            self.apply(state, target)
+            return True
+        except UpdateRejected:
+            return False

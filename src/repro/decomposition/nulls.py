@@ -1,0 +1,93 @@
+"""Null-pattern utilities for chain-decomposed relations.
+
+In a null-padded chain relation over attributes ``A1 ... Ak``, every
+tuple's non-null positions form a contiguous *segment* ``[i, j]`` with
+``j > i`` (at least two non-null columns -- the paper's instances and
+the constraints of Example 3.2.4(iii) exclude one-column and all-null
+patterns).  These helpers classify and build such tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.typealgebra.algebra import NULL
+
+
+def segment_of(row: Sequence[object]) -> Optional[Tuple[int, int]]:
+    """The (start, end) of the contiguous non-null segment, or ``None``.
+
+    Returns ``None`` when the non-null positions are not a contiguous
+    segment of length at least two (an illegal pattern).
+    """
+    non_null = [i for i, value in enumerate(row) if value is not NULL]
+    if len(non_null) < 2:
+        return None
+    start, end = non_null[0], non_null[-1]
+    if non_null != list(range(start, end + 1)):
+        return None
+    return (start, end)
+
+
+def pad_row(
+    values: Sequence[object], segment: Tuple[int, int], width: int
+) -> Tuple[object, ...]:
+    """Place *values* at positions ``segment`` and pad with nulls.
+
+    >>> pad_row(("a", "b"), (0, 1), 4)
+    ('a', 'b', n, n)
+    """
+    start, end = segment
+    if end - start + 1 != len(values):
+        raise ValueError(
+            f"segment {segment} holds {end - start + 1} values, "
+            f"got {len(values)}"
+        )
+    row = [NULL] * width
+    for offset, value in enumerate(values):
+        row[start + offset] = value
+    return tuple(row)
+
+
+def valid_segments(width: int) -> Iterator[Tuple[int, int]]:
+    """All valid segments ``[i, j]`` (``j > i``) of a row of *width*.
+
+    For width 4 (the ABCD example): (0,1) AB, (1,2) BC, (2,3) CD,
+    (0,2) ABC, (1,3) BCD, (0,3) ABCD.
+    """
+    for start in range(width):
+        for end in range(start + 1, width):
+            yield (start, end)
+
+
+def segment_edges(segment: Tuple[int, int]) -> Tuple[int, ...]:
+    """The edge indices a segment spans: ``i, i+1, ..., j-1``.
+
+    Edge ``m`` connects attribute ``m`` to attribute ``m+1``.
+    """
+    start, end = segment
+    return tuple(range(start, end))
+
+
+def maximal_intervals(edges: frozenset) -> Tuple[Tuple[int, int], ...]:
+    """Group a set of edge indices into maximal attribute intervals.
+
+    Edge set ``{0, 2}`` of a 4-chain yields intervals ``(0,1), (2,3)``
+    -- the two relations of the ``Gamma_AB^o . Gamma_CD^o`` component of
+    Example 2.3.4.
+    """
+    if not edges:
+        return ()
+    ordered = sorted(edges)
+    intervals = []
+    start = ordered[0]
+    previous = ordered[0]
+    for edge in ordered[1:]:
+        if edge == previous + 1:
+            previous = edge
+            continue
+        intervals.append((start, previous + 1))
+        start = edge
+        previous = edge
+    intervals.append((start, previous + 1))
+    return tuple(intervals)

@@ -1,0 +1,44 @@
+"""Plain projection views of chain schemas (paper Example 3.2.4).
+
+Unlike the ``pi^o`` component views (which filter by null pattern and
+are strong), a *plain* projection ``Gamma_X`` just projects the named
+columns of every tuple, nulls and all.  Example 3.2.4's ``Gamma_ABD`` is
+such a view: it is not a component, but it has strong join complements
+and is updatable through Update Procedure 3.2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.queries import Project, RelationRef
+from repro.views.mappings import QueryMapping
+from repro.views.view import View
+from repro.decomposition.chain import ChainSchema
+
+
+def projection_view(
+    chain: ChainSchema,
+    attributes: Sequence[str],
+    name: Optional[str] = None,
+) -> View:
+    """The plain projection view onto the given chain attributes.
+
+    The view has a single relation named ``<R>_<attrs>`` holding the
+    projection (with nulls retained) of the base relation.
+    """
+    attributes = tuple(attributes)
+    unknown = [a for a in attributes if a not in chain.attributes]
+    if unknown:
+        raise SchemaError(f"chain has no attributes {unknown}")
+    base = RelationRef.of(chain.schema, chain.relation_name)
+    relation_name = f"{chain.relation_name}_{''.join(attributes)}"
+    query = Project(base, attributes)
+    view_name = name or f"Γ_{''.join(attributes)}"
+    return View(
+        view_name,
+        chain.schema,
+        None,
+        QueryMapping({relation_name: query}),
+    )

@@ -1,0 +1,499 @@
+"""Tree schemas: null-padded acyclic join decompositions.
+
+The paper develops its decomposition theory on the *chain*
+``R[A,B,C,D]`` with ``⋈[AB, BC, CD]`` (Example 2.1.1), but nothing in
+the construction is chain-specific: any **join tree** over the
+attributes -- an acyclic graph whose edges are the binary join
+components -- admits the same treatment.  This module generalises
+:class:`~repro.decomposition.chain.ChainSchema` accordingly:
+
+* tuples are *objects* over connected subtrees with at least two
+  nodes, null-padded outside their subtree;
+* subsumption and join axioms close every legal instance over its
+  **edge sets**, so ``LDB`` is in bijection with free choices of one
+  binary relation per tree edge (the structure theorem, again);
+* for every subset ``S`` of tree edges there is a ``pi^o`` component
+  view with one relation per connected component of ``S``; these are
+  strongly complemented strong views, and the component algebra is the
+  Boolean algebra of edge subsets -- ``2^(#edges)`` elements.
+
+A path graph recovers :class:`ChainSchema` exactly (tested); a star
+gives the "hub" decompositions that chains cannot express.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import SchemaError
+from repro.relational.constraints import Constraint
+from repro.relational.enumeration import StateSpace
+from repro.relational.instances import DatabaseInstance
+from repro.relational.queries import Project, Query, RelationRef, TypedRestrict
+from repro.relational.relations import Relation
+from repro.relational.schema import RelationSchema, Schema
+from repro.typealgebra.algebra import NULL, TypeAlgebra
+from repro.typealgebra.assignment import TypeAssignment
+from repro.typealgebra.types import AtomicType, Disjunction, TypeExpr
+
+Edge = Tuple[int, int]
+Pair = Tuple[object, object]
+
+
+def _normalise_edge(edge: Sequence[int]) -> Edge:
+    a, b = edge
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass(frozen=True)
+class TreeConstraint(Constraint):
+    """Pattern + subsumption + join for a tree schema, via closure.
+
+    As for chains: an instance is legal iff every tuple is a typed,
+    connected-subtree object and the instance equals the closure of its
+    own edge set.
+    """
+
+    relation: str
+    width: int
+    edges: Tuple[Edge, ...]
+    domains: Tuple[FrozenSet[object], ...]
+
+    def holds(self, instance, schema, assignment) -> bool:
+        adjacency = _adjacency(self.edges, self.width)
+        rows = instance.relation(self.relation).rows
+        edge_sets: Dict[Edge, Set[Pair]] = {e: set() for e in self.edges}
+        for row in rows:
+            nodes = frozenset(
+                i for i, value in enumerate(row) if value is not NULL
+            )
+            if len(nodes) < 2 or not _is_connected(nodes, adjacency):
+                return False
+            for node in nodes:
+                if row[node] not in self.domains[node]:
+                    return False
+            if len(nodes) == 2:
+                edge = _normalise_edge(tuple(sorted(nodes)))
+                if edge not in edge_sets:
+                    return False  # a 2-node set that is not a tree edge
+                edge_sets[edge].add((row[edge[0]], row[edge[1]]))
+        closure = _close_tree_edges(
+            {e: frozenset(s) for e, s in edge_sets.items()},
+            self.width,
+            self.edges,
+        )
+        return rows == closure
+
+    def describe(self) -> str:
+        return (
+            f"tree closure constraint on {self.relation!r} "
+            f"(edges {self.edges})"
+        )
+
+
+def _adjacency(edges: Iterable[Edge], width: int) -> List[Set[int]]:
+    adjacency: List[Set[int]] = [set() for _ in range(width)]
+    for a, b in edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    return adjacency
+
+
+def _is_connected(nodes: FrozenSet[int], adjacency: List[Set[int]]) -> bool:
+    if not nodes:
+        return False
+    seen = set()
+    stack = [next(iter(nodes))]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(adjacency[node] & nodes - seen)
+    return seen == set(nodes)
+
+
+def _connected_subtrees(
+    width: int, adjacency: List[Set[int]]
+) -> Tuple[FrozenSet[int], ...]:
+    """All connected node sets of size >= 2 (the valid object shapes)."""
+    out = []
+    for mask in range(1, 1 << width):
+        nodes = frozenset(i for i in range(width) if mask & (1 << i))
+        if len(nodes) >= 2 and _is_connected(nodes, adjacency):
+            out.append(nodes)
+    return tuple(out)
+
+
+def _subtree_edges(nodes: FrozenSet[int], edges: Iterable[Edge]) -> Tuple[Edge, ...]:
+    return tuple(
+        e for e in edges if e[0] in nodes and e[1] in nodes
+    )
+
+
+def _close_tree_edges(
+    edge_sets: Mapping[Edge, FrozenSet[Pair]],
+    width: int,
+    edges: Tuple[Edge, ...],
+) -> FrozenSet[Tuple[object, ...]]:
+    """All object tuples whose edge pairs all lie in the edge sets."""
+    adjacency = _adjacency(edges, width)
+    rows: Set[Tuple[object, ...]] = set()
+    for nodes in _connected_subtrees(width, adjacency):
+        tree_edges = _subtree_edges(nodes, edges)
+        # Assign values node by node along a traversal of the subtree.
+        order = _traversal_order(nodes, adjacency)
+        assignments: List[Dict[int, object]] = [{}]
+        for node in order:
+            extended: List[Dict[int, object]] = []
+            # Constraints from edges to already-assigned neighbours.
+            for assignment in assignments:
+                candidates: Optional[Set[object]] = None
+                for edge in tree_edges:
+                    if node not in edge:
+                        continue
+                    other = edge[0] if edge[1] == node else edge[1]
+                    if other not in assignment:
+                        continue
+                    position = 0 if edge[0] == node else 1
+                    values = {
+                        pair[position]
+                        for pair in edge_sets[edge]
+                        if pair[1 - position] == assignment[other]
+                    }
+                    candidates = (
+                        values
+                        if candidates is None
+                        else candidates & values
+                    )
+                if candidates is None:
+                    # First node: any value appearing in any incident
+                    # edge set of the subtree.
+                    candidates = set()
+                    for edge in tree_edges:
+                        if node == edge[0]:
+                            candidates.update(p[0] for p in edge_sets[edge])
+                        elif node == edge[1]:
+                            candidates.update(p[1] for p in edge_sets[edge])
+                for value in candidates:
+                    updated = dict(assignment)
+                    updated[node] = value
+                    extended.append(updated)
+            assignments = extended
+            if not assignments:
+                break
+        for assignment in assignments:
+            # Verify every subtree edge (the traversal guarantees it,
+            # but keep the invariant explicit and cheap).
+            row = tuple(
+                assignment.get(i, NULL) for i in range(width)
+            )
+            rows.add(row)
+    return frozenset(rows)
+
+
+def _traversal_order(
+    nodes: FrozenSet[int], adjacency: List[Set[int]]
+) -> List[int]:
+    """A connected traversal: each node after the first touches a
+    previously visited one."""
+    start = min(nodes)
+    order = [start]
+    seen = {start}
+    while len(order) < len(nodes):
+        for node in sorted(nodes - seen):
+            if adjacency[node] & seen:
+                order.append(node)
+                seen.add(node)
+                break
+        else:  # pragma: no cover - unreachable for connected input
+            raise SchemaError("subtree is not connected")
+    return order
+
+
+class TreeSchema:
+    """A null-padded join-tree schema over given attribute domains.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names (the tree's nodes), in column order.
+    domains:
+        Mapping attribute name -> iterable of (non-null) values.
+    edges:
+        The join tree's edges, as pairs of attribute names.  Must form
+        a tree (connected, acyclic) over the attributes.
+    relation_name:
+        Name of the single relation symbol (default ``"R"``).
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        domains: Mapping[str, Iterable[object]],
+        edges: Iterable[Tuple[str, str]],
+        relation_name: str = "R",
+    ):
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        if len(self.attributes) < 2:
+            raise SchemaError("a tree schema needs at least two attributes")
+        if set(domains) != set(self.attributes):
+            raise SchemaError("domains must cover exactly the attributes")
+        self.relation_name = relation_name
+        self.domains: Tuple[FrozenSet[object], ...] = tuple(
+            frozenset(domains[attr]) for attr in self.attributes
+        )
+        if any(not domain for domain in self.domains):
+            raise SchemaError("every attribute needs a non-empty domain")
+
+        index = {attr: i for i, attr in enumerate(self.attributes)}
+        edge_list: List[Edge] = []
+        for left, right in edges:
+            if left not in index or right not in index:
+                raise SchemaError(f"edge ({left}, {right}) uses unknown attributes")
+            if left == right:
+                raise SchemaError("self-loops are not allowed")
+            edge_list.append(_normalise_edge((index[left], index[right])))
+        self.edges: Tuple[Edge, ...] = tuple(sorted(set(edge_list)))
+        if len(self.edges) != len(self.attributes) - 1:
+            raise SchemaError(
+                f"a tree over {len(self.attributes)} attributes needs "
+                f"exactly {len(self.attributes) - 1} edges, "
+                f"got {len(self.edges)}"
+            )
+        self._adjacency = _adjacency(self.edges, self.width)
+        if not _is_connected(
+            frozenset(range(self.width)), self._adjacency
+        ):
+            raise SchemaError("the edges do not form a connected tree")
+
+        self.type_algebra = TypeAlgebra.of_attributes(
+            self.attributes, with_null=True
+        )
+        self.assignment = TypeAssignment(
+            {
+                AtomicType(attr): domain
+                for attr, domain in zip(self.attributes, self.domains)
+            }
+            | {AtomicType("eta"): frozenset({NULL})}
+        )
+        self.null_type: TypeExpr = AtomicType("eta")
+        self.nullable_types: Tuple[TypeExpr, ...] = tuple(
+            Disjunction(AtomicType(attr), self.null_type)
+            for attr in self.attributes
+        )
+        self.schema = Schema(
+            name=f"tree[{''.join(self.attributes)}]",
+            relations=(
+                RelationSchema(
+                    relation_name, self.attributes, self.nullable_types
+                ),
+            ),
+            constraints=(
+                TreeConstraint(
+                    relation_name, self.width, self.edges, self.domains
+                ),
+            ),
+        )
+
+    # -- geometry ----------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Number of attributes (tree nodes)."""
+        return len(self.attributes)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of tree edges."""
+        return len(self.edges)
+
+    def edge_pairs(self, edge: Edge) -> Tuple[Pair, ...]:
+        """All possible value pairs of one edge."""
+        a, b = edge
+        return tuple(
+            itertools.product(
+                sorted(self.domains[a], key=repr),
+                sorted(self.domains[b], key=repr),
+            )
+        )
+
+    def edge_name(self, edge: Edge) -> str:
+        """Display name of an edge, e.g. ``"AB"``."""
+        return self.attributes[edge[0]] + self.attributes[edge[1]]
+
+    # -- states <-> edge sets ----------------------------------------------------------
+
+    def state_from_edges(
+        self, edge_sets: Mapping[Edge, Iterable[Pair]]
+    ) -> DatabaseInstance:
+        """The legal instance generated by freely chosen edge relations."""
+        frozen: Dict[Edge, FrozenSet[Pair]] = {}
+        for edge in self.edges:
+            chosen = frozenset(edge_sets.get(edge, ()))
+            valid = set(self.edge_pairs(edge))
+            bad = chosen - valid
+            if bad:
+                raise SchemaError(
+                    f"edge {self.edge_name(edge)} has out-of-domain pairs "
+                    f"{sorted(bad, key=repr)}"
+                )
+            frozen[edge] = chosen
+        unknown = set(edge_sets) - set(self.edges)
+        if unknown:
+            raise SchemaError(f"unknown edges: {sorted(unknown)}")
+        rows = _close_tree_edges(frozen, self.width, self.edges)
+        return DatabaseInstance(
+            {self.relation_name: Relation(rows, self.width)}
+        )
+
+    def edges_of(self, state: DatabaseInstance) -> Dict[Edge, FrozenSet[Pair]]:
+        """The edge sets of a legal instance."""
+        out: Dict[Edge, Set[Pair]] = {edge: set() for edge in self.edges}
+        for row in state.relation(self.relation_name):
+            nodes = tuple(
+                sorted(i for i, v in enumerate(row) if v is not NULL)
+            )
+            if len(nodes) == 2:
+                edge = _normalise_edge(nodes)
+                if edge in out:
+                    out[edge].add((row[edge[0]], row[edge[1]]))
+        return {edge: frozenset(pairs) for edge, pairs in out.items()}
+
+    def all_states(self) -> Iterator[DatabaseInstance]:
+        """Closed-form enumeration of ``LDB``."""
+        per_edge: List[List[FrozenSet[Pair]]] = []
+        for edge in self.edges:
+            pairs = self.edge_pairs(edge)
+            per_edge.append(
+                [
+                    frozenset(
+                        pairs[i] for i in range(len(pairs)) if mask & (1 << i)
+                    )
+                    for mask in range(1 << len(pairs))
+                ]
+            )
+        for combo in itertools.product(*per_edge):
+            yield self.state_from_edges(dict(zip(self.edges, combo)))
+
+    def state_count(self) -> int:
+        """``prod_e 2^|domain product of e|``."""
+        count = 1
+        for edge in self.edges:
+            count *= 1 << (
+                len(self.domains[edge[0]]) * len(self.domains[edge[1]])
+            )
+        return count
+
+    def state_space(self, validate: bool = False) -> StateSpace:
+        """The state space, from the closed-form generator."""
+        return StateSpace.from_states(
+            self.schema, self.assignment, self.all_states(), validate=validate
+        )
+
+    # -- component views ------------------------------------------------------------------
+
+    def _components_of_edge_set(
+        self, edge_set: FrozenSet[Edge]
+    ) -> Tuple[FrozenSet[int], ...]:
+        """Maximal connected node sets spanned by an edge subset."""
+        nodes = {n for edge in edge_set for n in edge}
+        adjacency: List[Set[int]] = [set() for _ in range(self.width)]
+        for a, b in edge_set:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        components = []
+        remaining = set(nodes)
+        while remaining:
+            start = min(remaining)
+            seen: Set[int] = set()
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(adjacency[node] - seen)
+            components.append(frozenset(seen))
+            remaining -= seen
+        return tuple(sorted(components, key=min))
+
+    def component_view(
+        self, edges: Iterable[Edge], name: Optional[str] = None
+    ):
+        """The ``pi^o`` component view for a subset of tree edges."""
+        from repro.views.mappings import QueryMapping
+        from repro.views.view import View
+
+        edge_set = frozenset(_normalise_edge(e) for e in edges)
+        unknown = edge_set - set(self.edges)
+        if unknown:
+            raise SchemaError(f"unknown edges: {sorted(unknown)}")
+        base = RelationRef.of(self.schema, self.relation_name)
+        queries: Dict[str, Query] = {}
+        relations: List[RelationSchema] = []
+        parts = []
+        for nodes in self._components_of_edge_set(edge_set):
+            attrs = tuple(
+                self.attributes[i] for i in sorted(nodes)
+            )
+            outside = tuple(
+                attr for attr in self.attributes if attr not in attrs
+            )
+            restricted: Query = TypedRestrict(
+                base, tuple((attr, self.null_type) for attr in outside)
+            )
+            query = Project(restricted, attrs)
+            relation_name = f"{self.relation_name}_{''.join(attrs)}"
+            queries[relation_name] = query
+            relations.append(
+                RelationSchema(
+                    relation_name,
+                    attrs,
+                    tuple(
+                        self.nullable_types[self.attributes.index(a)]
+                        for a in attrs
+                    ),
+                )
+            )
+            parts.append("".join(attrs))
+        view_name = name or (
+            "Γ°" + "·".join(parts) if parts else "Γ°[∅]"
+        )
+        view_schema = Schema(
+            name=f"{view_name}.schema",
+            relations=tuple(relations),
+            enforce_column_types=False,
+        )
+        return View(view_name, self.schema, view_schema, QueryMapping(queries))
+
+    def all_component_views(self):
+        """One view per edge subset (``2^(#edges)`` views)."""
+        views = []
+        edge_list = list(self.edges)
+        for mask in range(1 << len(edge_list)):
+            chosen = frozenset(
+                edge_list[i] for i in range(len(edge_list)) if mask & (1 << i)
+            )
+            views.append(self.component_view(chosen))
+        return tuple(views)
+
+    def __repr__(self) -> str:
+        edge_names = ", ".join(self.edge_name(e) for e in self.edges)
+        return (
+            f"TreeSchema({''.join(self.attributes)}; edges {edge_names}; "
+            f"{self.state_count()} states)"
+        )

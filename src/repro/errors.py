@@ -1,0 +1,134 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the important cases:
+
+* schema/definition-time problems (:class:`SchemaError`,
+  :class:`ArityError`, :class:`UnknownRelationError`, ...);
+* state-time problems (:class:`ConstraintViolation`,
+  :class:`IllegalInstanceError`);
+* update-time outcomes (:class:`UpdateRejected` -- *not* a bug, but the
+  paper's "update not allowed" verdict of Definition 0.1.2(c));
+* analysis failures (:class:`NotStrongError`, :class:`NotAComplementError`,
+  :class:`NotSurjectiveError`) raised when a view does not have the
+  structure an algorithm requires.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A schema, relation schema, or constraint is ill-formed."""
+
+
+class ArityError(SchemaError):
+    """A tuple or column reference does not match a relation's arity."""
+
+
+class UnknownRelationError(SchemaError):
+    """A relation name was used that the schema does not declare."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name was used that the relation does not declare."""
+
+
+class TypeAlgebraError(ReproError):
+    """A type expression or type assignment is ill-formed or inconsistent."""
+
+
+class EvaluationError(ReproError):
+    """A query or formula could not be evaluated over an instance."""
+
+
+class IllegalInstanceError(ReproError):
+    """An instance violates its schema's integrity constraints."""
+
+    def __init__(self, message: str, violations: tuple = ()) -> None:
+        super().__init__(message)
+        #: The constraints found violated, when the caller collected them.
+        self.violations = violations
+
+
+class ConstraintViolation(IllegalInstanceError):
+    """A specific constraint is violated by an instance."""
+
+
+class EnumerationError(ReproError):
+    """State-space enumeration failed or exceeded its configured budget."""
+
+
+class StateSpaceTooLargeError(EnumerationError):
+    """Enumerating ``LDB(D, mu)`` would exceed the ``max_states`` budget."""
+
+
+class NotSurjectiveError(ReproError):
+    """A view mapping is not surjective onto its declared view schema.
+
+    The paper (Section 1.1) *assumes* surjectivity of every view mapping;
+    algorithms that rely on it raise this error instead of silently
+    producing wrong answers.
+    """
+
+
+class NotStrongError(ReproError):
+    """A view is not a strong view, but the operation requires one.
+
+    Carries the :class:`~repro.core.strong.StrongViewAnalysis` that
+    documents which of the defining conditions failed, when available.
+    """
+
+    def __init__(self, message: str, analysis=None) -> None:
+        super().__init__(message)
+        self.analysis = analysis
+
+
+class NotAComplementError(ReproError):
+    """Two views were expected to be (join/meet) complementary but are not."""
+
+
+class NotComparableError(ReproError):
+    """A view was expected to define another (``<=`` in View(D)) but does not."""
+
+
+class UpdateRejected(ReproError):
+    """The requested view update is not allowed by the update strategy.
+
+    This is the formal "undefined" outcome of an update strategy
+    (Definition 0.1.2(c)): raising it is the normal way a strategy refuses
+    an update, not a sign of library malfunction.
+    """
+
+    def __init__(self, message: str, reason: str = "") -> None:
+        super().__init__(message)
+        #: Machine-readable reason tag (e.g. ``"no-solution"``,
+        #: ``"image-mismatch"``, ``"not-constant"``).
+        self.reason = reason
+
+
+class NoSolutionError(UpdateRejected):
+    """No base state at all maps to the requested view state."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, reason="no-solution")
+
+
+class AmbiguousSolutionError(ReproError):
+    """More than one solution satisfied a condition that must pin down one.
+
+    With a genuine join complement this cannot happen (Theorem 1.3.2); the
+    error therefore signals that the alleged complement is not one.
+    """
+
+
+class PosetError(ReproError):
+    """A poset operation failed (no bottom, no least upper bound, ...)."""
+
+
+class NotABooleanAlgebraError(ReproError):
+    """A candidate element set fails the Boolean algebra axioms."""

@@ -1,0 +1,26 @@
+"""Experiment harness: every paper example/theorem as a runnable check.
+
+The paper (PODS 1984 theory) has no numbered tables or figures; its
+evaluation is its worked examples and theorems.  Each becomes an
+experiment here (E1-E12), returning an
+:class:`~repro.harness.experiments.ExperimentResult` with the paper's
+claim, the measured outcome, and a pass flag.  Benchmarks wrap these to
+time the interesting parts; ``python -m repro.harness`` prints the full
+report that ``EXPERIMENTS.md`` records.
+"""
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    run_all,
+    run_experiment,
+)
+from repro.harness.reporting import format_table
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "format_table",
+    "run_all",
+    "run_experiment",
+]

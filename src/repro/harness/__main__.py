@@ -1,0 +1,62 @@
+"""Run every experiment and print the report: ``python -m repro.harness``.
+
+``python -m repro.harness --markdown`` emits the per-experiment record
+in the format used by ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+
+
+def _markdown(results) -> str:
+    lines = []
+    for result, elapsed in results:
+        status = "PASS" if result.passed else "FAIL"
+        lines.append(f"### {result.experiment_id}: {result.title}")
+        lines.append("")
+        lines.append(f"**Paper claim.** {result.paper_claim}.")
+        lines.append("")
+        lines.append(f"**Measured** ({status}, {elapsed:.2f}s):")
+        lines.append("")
+        for key, value in result.observations:
+            lines.append(f"- {key}: `{value}`")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    """Run the requested experiments (all by default)."""
+    markdown = "--markdown" in argv
+    requested = [a for a in argv if not a.startswith("--")] or list(
+        ALL_EXPERIMENTS
+    )
+    failures = 0
+    results = []
+    for experiment_id in requested:
+        func = ALL_EXPERIMENTS[experiment_id.upper()]
+        start = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - start
+        results.append((result, elapsed))
+        if not markdown:
+            print(result.summary())
+            print(f"  elapsed: {elapsed:.2f}s")
+            print()
+        if not result.passed:
+            failures += 1
+    if markdown:
+        print(_markdown(results))
+        return 1 if failures else 0
+    if failures:
+        print(f"{failures} experiment(s) FAILED")
+        return 1
+    print(f"all {len(requested)} experiments passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

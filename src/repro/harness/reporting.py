@@ -1,0 +1,38 @@
+"""Plain-text table rendering for experiment and benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a fixed-width text table.
+
+    >>> print(format_table(("a", "b"), [(1, "x")]))
+    a | b
+    --+--
+    1 | x
+    """
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    separator = "-+-".join("-" * width for width in widths)
+    out: List[str] = [line(list(headers)), separator]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_kv(pairs: Iterable[tuple]) -> str:
+    """Render key/value pairs, aligned."""
+    pairs = list(pairs)
+    width = max((len(str(k)) for k, _ in pairs), default=0)
+    return "\n".join(f"{str(k).ljust(width)} : {v}" for k, v in pairs)

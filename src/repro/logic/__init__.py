@@ -1,0 +1,61 @@
+"""A small first-order logic with equality over relational signatures.
+
+The paper formulates *all* integrity constraints -- functional and join
+dependencies, null-subsumption rules, typed columns -- as first-order
+sentences in the language of the schema plus the type algebra (§2.1).
+This package provides that language and a model checker over finite
+database instances:
+
+* :mod:`~repro.logic.terms` -- variables and constants;
+* :mod:`~repro.logic.formulas` -- relation atoms, type atoms, equality,
+  the connectives, and the quantifiers, with free-variable analysis and
+  capture-free substitution;
+* :mod:`~repro.logic.evaluation` -- satisfaction of a formula by a
+  database instance relative to a type assignment, quantifying over the
+  assignment's universe.
+
+The native constraint classes in :mod:`repro.relational.constraints` are
+fast paths; each has a :meth:`to_formula` rendering into this language so
+tests can cross-validate the two evaluations.
+"""
+
+from repro.logic.terms import Const, Term, Var
+from repro.logic.formulas import (
+    And,
+    Eq,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    TypeAtom,
+    and_all,
+    forall_all,
+    or_all,
+)
+from repro.logic.evaluation import evaluate, holds
+
+__all__ = [
+    "And",
+    "Const",
+    "Eq",
+    "Exists",
+    "ForAll",
+    "Formula",
+    "Iff",
+    "Implies",
+    "Not",
+    "Or",
+    "RelAtom",
+    "Term",
+    "TypeAtom",
+    "Var",
+    "and_all",
+    "evaluate",
+    "forall_all",
+    "holds",
+    "or_all",
+]

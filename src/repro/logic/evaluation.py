@@ -1,0 +1,148 @@
+"""Finite model checking: does an instance satisfy a formula?
+
+A database instance together with a type assignment is a finite
+first-order structure: the domain is the assignment's universe, each
+relation symbol is interpreted by the instance, each atomic type by the
+assignment, and constants by themselves.  :func:`evaluate` decides
+satisfaction of an arbitrary formula under a valuation of its free
+variables; :func:`holds` is the sentence-level entry point used by
+:class:`~repro.relational.constraints.FormulaConstraint`.
+
+This is the executable counterpart of the paper's "a legal database
+instance is just a model of Con(D) and the type axioms" (§2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import EvaluationError
+from repro.logic.formulas import (
+    And,
+    Eq,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    TypeAtom,
+    free_variables,
+)
+from repro.logic.terms import Const, Term, Var
+from repro.relational.instances import DatabaseInstance
+from repro.typealgebra.assignment import TypeAssignment
+
+
+def _value_of(term: Term, valuation: Mapping[Var, object]) -> object:
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        try:
+            return valuation[term]
+        except KeyError:
+            raise EvaluationError(f"unbound variable {term!r}") from None
+    raise EvaluationError(f"unknown term {term!r}")
+
+
+def evaluate(
+    formula: Formula,
+    instance: DatabaseInstance,
+    assignment: TypeAssignment,
+    valuation: Mapping[Var, object] | None = None,
+) -> bool:
+    """Decide whether *instance* satisfies *formula* under *valuation*.
+
+    Quantifiers range over ``assignment.universe``.  Free variables of the
+    formula must all be bound by *valuation*.
+    """
+    valuation = dict(valuation or {})
+    return _eval(formula, instance, assignment, valuation)
+
+
+def _eval(
+    formula: Formula,
+    instance: DatabaseInstance,
+    assignment: TypeAssignment,
+    valuation: Dict[Var, object],
+) -> bool:
+    if isinstance(formula, RelAtom):
+        row = tuple(_value_of(t, valuation) for t in formula.terms)
+        return row in instance.relation(formula.relation)
+    if isinstance(formula, TypeAtom):
+        value = _value_of(formula.term, valuation)
+        return assignment.satisfies(value, formula.type_expr)
+    if isinstance(formula, Eq):
+        return _value_of(formula.left, valuation) == _value_of(
+            formula.right, valuation
+        )
+    if isinstance(formula, Not):
+        return not _eval(formula.operand, instance, assignment, valuation)
+    if isinstance(formula, And):
+        return _eval(formula.left, instance, assignment, valuation) and _eval(
+            formula.right, instance, assignment, valuation
+        )
+    if isinstance(formula, Or):
+        return _eval(formula.left, instance, assignment, valuation) or _eval(
+            formula.right, instance, assignment, valuation
+        )
+    if isinstance(formula, Implies):
+        return (not _eval(formula.antecedent, instance, assignment, valuation)) or _eval(
+            formula.consequent, instance, assignment, valuation
+        )
+    if isinstance(formula, Iff):
+        return _eval(formula.left, instance, assignment, valuation) == _eval(
+            formula.right, instance, assignment, valuation
+        )
+    if isinstance(formula, ForAll):
+        saved = valuation.get(formula.var, _MISSING)
+        try:
+            for value in assignment.universe:
+                valuation[formula.var] = value
+                if not _eval(formula.body, instance, assignment, valuation):
+                    return False
+            return True
+        finally:
+            _restore(valuation, formula.var, saved)
+    if isinstance(formula, Exists):
+        saved = valuation.get(formula.var, _MISSING)
+        try:
+            for value in assignment.universe:
+                valuation[formula.var] = value
+                if _eval(formula.body, instance, assignment, valuation):
+                    return True
+            return False
+        finally:
+            _restore(valuation, formula.var, saved)
+    raise EvaluationError(f"unknown formula node {formula!r}")
+
+
+_MISSING = object()
+
+
+def _restore(valuation: Dict[Var, object], var: Var, saved: object) -> None:
+    if saved is _MISSING:
+        valuation.pop(var, None)
+    else:
+        valuation[var] = saved
+
+
+def holds(
+    formula: Formula,
+    instance: DatabaseInstance,
+    assignment: TypeAssignment,
+) -> bool:
+    """Decide a *sentence* over an instance.
+
+    Raises :class:`~repro.errors.EvaluationError` if the formula has free
+    variables.
+    """
+    free = free_variables(formula)
+    if free:
+        raise EvaluationError(
+            f"formula has free variables {sorted(v.name for v in free)}; "
+            "use evaluate() with a valuation"
+        )
+    return evaluate(formula, instance, assignment)

@@ -1,0 +1,280 @@
+"""First-order formulas over a relational signature plus a type algebra.
+
+Atoms are relation atoms ``R(t1, ..., tn)``, type atoms ``tau(t)`` (the
+unary predicates of the type algebra), and equalities ``t1 = t2``.
+Compound formulas use the classical connectives and quantifiers.
+
+All nodes are immutable dataclasses; formulas support free-variable
+analysis (:func:`free_variables`) and simultaneous substitution
+(:func:`substitute`), which renames bound variables when needed to avoid
+capture.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Mapping, Tuple
+
+from repro.logic.terms import Const, Term, Var
+from repro.typealgebra.types import TypeExpr
+
+
+class Formula:
+    """Base class of all formula nodes."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        """Material implication ``self -> other``."""
+        return Implies(self, other)
+
+    def iff(self, other: "Formula") -> "Formula":
+        """Biconditional ``self <-> other``."""
+        return Iff(self, other)
+
+
+@dataclass(frozen=True, slots=True)
+class RelAtom(Formula):
+    """A relation atom ``R(t1, ..., tn)``."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({args})"
+
+
+@dataclass(frozen=True, slots=True)
+class TypeAtom(Formula):
+    """A type atom ``tau(t)``: term *t* has type *type_expr*."""
+
+    type_expr: TypeExpr
+    term: Term
+
+    def __repr__(self) -> str:
+        return f"{self.type_expr!r}({self.term!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Eq(Formula):
+    """Equality ``left = right``."""
+
+    left: Term
+    right: Term
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} = {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def __repr__(self) -> str:
+        return f"¬{self.operand!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    """Conjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∧ {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    """Disjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∨ {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Implies(Formula):
+    """Material implication."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.antecedent!r} → {self.consequent!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Iff(Formula):
+    """Biconditional."""
+
+    left: Formula
+    right: Formula
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ↔ {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class ForAll(Formula):
+    """Universal quantification over the assignment's universe."""
+
+    var: Var
+    body: Formula
+
+    def __repr__(self) -> str:
+        return f"(∀{self.var!r}){self.body!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(Formula):
+    """Existential quantification over the assignment's universe."""
+
+    var: Var
+    body: Formula
+
+    def __repr__(self) -> str:
+        return f"(∃{self.var!r}){self.body!r}"
+
+
+# -- structural helpers -------------------------------------------------------
+
+
+def free_variables(formula: Formula) -> FrozenSet[Var]:
+    """The free variables of *formula*."""
+    if isinstance(formula, RelAtom):
+        return frozenset(t for t in formula.terms if isinstance(t, Var))
+    if isinstance(formula, TypeAtom):
+        return frozenset([formula.term]) if isinstance(formula.term, Var) else frozenset()
+    if isinstance(formula, Eq):
+        return frozenset(
+            t for t in (formula.left, formula.right) if isinstance(t, Var)
+        )
+    if isinstance(formula, Not):
+        return free_variables(formula.operand)
+    if isinstance(formula, (And, Or)):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, Implies):
+        return free_variables(formula.antecedent) | free_variables(formula.consequent)
+    if isinstance(formula, Iff):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, (ForAll, Exists)):
+        return free_variables(formula.body) - {formula.var}
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def is_sentence(formula: Formula) -> bool:
+    """True iff *formula* has no free variables."""
+    return not free_variables(formula)
+
+
+def _fresh_var(taken: Iterable[str], base: str) -> Var:
+    taken = set(taken)
+    for index in itertools.count():
+        candidate = f"{base}_{index}"
+        if candidate not in taken:
+            return Var(candidate)
+    raise AssertionError("unreachable")
+
+
+def substitute(formula: Formula, mapping: Mapping[Var, Term]) -> Formula:
+    """Simultaneously substitute terms for free variables, avoiding capture."""
+
+    def sub_term(term: Term) -> Term:
+        if isinstance(term, Var) and term in mapping:
+            return mapping[term]
+        return term
+
+    if isinstance(formula, RelAtom):
+        return RelAtom(formula.relation, tuple(sub_term(t) for t in formula.terms))
+    if isinstance(formula, TypeAtom):
+        return TypeAtom(formula.type_expr, sub_term(formula.term))
+    if isinstance(formula, Eq):
+        return Eq(sub_term(formula.left), sub_term(formula.right))
+    if isinstance(formula, Not):
+        return Not(substitute(formula.operand, mapping))
+    if isinstance(formula, And):
+        return And(substitute(formula.left, mapping), substitute(formula.right, mapping))
+    if isinstance(formula, Or):
+        return Or(substitute(formula.left, mapping), substitute(formula.right, mapping))
+    if isinstance(formula, Implies):
+        return Implies(
+            substitute(formula.antecedent, mapping),
+            substitute(formula.consequent, mapping),
+        )
+    if isinstance(formula, Iff):
+        return Iff(substitute(formula.left, mapping), substitute(formula.right, mapping))
+    if isinstance(formula, (ForAll, Exists)):
+        node_type = type(formula)
+        relevant = {v: t for v, t in mapping.items() if v != formula.var}
+        if not relevant:
+            return node_type(formula.var, formula.body)
+        # Rename the bound variable if any incoming term would be captured.
+        incoming_vars = {
+            t.name for t in relevant.values() if isinstance(t, Var)
+        }
+        bound = formula.var
+        body = formula.body
+        if bound.name in incoming_vars:
+            taken = incoming_vars | {v.name for v in free_variables(body)}
+            fresh = _fresh_var(taken, bound.name)
+            body = substitute(body, {bound: fresh})
+            bound = fresh
+        return node_type(bound, substitute(body, relevant))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def and_all(formulas: Iterable[Formula]) -> Formula:
+    """Conjunction of a sequence of formulas (empty = a tautology)."""
+    formulas = list(formulas)
+    if not formulas:
+        x = Var("x")
+        return ForAll(x, Eq(x, x))
+    result = formulas[0]
+    for formula in formulas[1:]:
+        result = And(result, formula)
+    return result
+
+
+def or_all(formulas: Iterable[Formula]) -> Formula:
+    """Disjunction of a sequence of formulas (empty = a contradiction)."""
+    formulas = list(formulas)
+    if not formulas:
+        x = Var("x")
+        return Exists(x, Not(Eq(x, x)))
+    result = formulas[0]
+    for formula in formulas[1:]:
+        result = Or(result, formula)
+    return result
+
+
+def forall_all(variables: Iterable[Var], body: Formula) -> Formula:
+    """Universally close *body* over the given variables (left to right)."""
+    result = body
+    for var in reversed(list(variables)):
+        result = ForAll(var, result)
+    return result
+
+
+def exists_all(variables: Iterable[Var], body: Formula) -> Formula:
+    """Existentially close *body* over the given variables."""
+    result = body
+    for var in reversed(list(variables)):
+        result = Exists(var, result)
+    return result

@@ -1,0 +1,52 @@
+"""Terms of the first-order language: variables and constants.
+
+The language has no function symbols (the paper's schemas do not use
+them), so terms are exactly variables and constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Term:
+    """A first-order term: either a :class:`Var` or a :class:`Const`."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Term):
+    """A variable, identified by name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Term):
+    """A constant denoting a specific domain value.
+
+    The value is stored directly; the evaluator interprets a constant as
+    itself.  This matches the paper's use of names ``K`` whose denotation
+    is fixed by the type assignment.
+    """
+
+    value: object
+
+    def __repr__(self) -> str:
+        return f"«{self.value!r}»"
+
+
+def variables(*names: str) -> tuple[Var, ...]:
+    """Convenience: build several variables at once.
+
+    >>> x, y = variables("x", "y")
+    """
+    return tuple(Var(name) for name in names)

@@ -1,0 +1,89 @@
+"""The relational substrate: relations, instances, schemas, constraints.
+
+This package implements everything the paper takes for granted about
+relational databases:
+
+* :class:`~repro.relational.relations.Relation` -- a finite set of
+  fixed-arity tuples with the usual set and relational-algebra operations;
+* :class:`~repro.relational.instances.DatabaseInstance` -- an indexed set
+  of relations, one per relation symbol, with the relation-by-relation
+  set operations of Notational Convention 1.2.3 (including symmetric
+  difference ``delta``, the measure used to define nonextraneous and
+  minimal update reflections);
+* :class:`~repro.relational.schema.Schema` -- the pair
+  ``(Rel(D), Con(D))`` of relation symbols and integrity constraints;
+* :mod:`~repro.relational.constraints` -- functional, join, and inclusion
+  dependencies, typed columns, tuple/equality-generating dependencies,
+  and arbitrary first-order constraints;
+* :mod:`~repro.relational.queries` -- a relational-algebra query AST used
+  to define database mappings (the paper's "interpretations");
+* :mod:`~repro.relational.enumeration` -- enumeration of ``LDB(D, mu)``
+  over a finite type assignment, producing the
+  :class:`~repro.relational.enumeration.StateSpace` on which all lattice,
+  strongness, and update analyses run;
+* :mod:`~repro.relational.chase` -- the chase procedure for
+  tuple/equality-generating dependencies.
+"""
+
+from repro.relational.relations import Relation
+from repro.relational.instances import DatabaseInstance
+from repro.relational.schema import RelationSchema, Schema
+from repro.relational.constraints import (
+    Constraint,
+    EqualityGeneratingDependency,
+    FormulaConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    JoinDependency,
+    TupleGeneratingDependency,
+    TypedColumnsConstraint,
+)
+from repro.relational.queries import (
+    Difference,
+    Intersection,
+    NaturalJoin,
+    Product,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    TypedRestrict,
+    Union,
+)
+from repro.relational.enumeration import StateSpace, enumerate_instances
+from repro.relational.parser import parse_constraint, parse_query
+from repro.relational.display import render_instance, render_relation, render_update
+
+__all__ = [
+    "Constraint",
+    "DatabaseInstance",
+    "Difference",
+    "EqualityGeneratingDependency",
+    "FormulaConstraint",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "Intersection",
+    "JoinDependency",
+    "NaturalJoin",
+    "Product",
+    "Project",
+    "Query",
+    "Relation",
+    "RelationRef",
+    "RelationSchema",
+    "Rename",
+    "Schema",
+    "Select",
+    "StateSpace",
+    "TupleGeneratingDependency",
+    "TypedColumnsConstraint",
+    "TypedRestrict",
+    "Union",
+    "enumerate_instances",
+    "parse_constraint",
+    "parse_query",
+    "render_instance",
+    "render_relation",
+    "render_update",
+]

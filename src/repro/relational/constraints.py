@@ -1,0 +1,469 @@
+"""Integrity constraints: the ``Con(D)`` half of a schema.
+
+Every constraint exposes:
+
+* :meth:`Constraint.holds` -- fast native satisfaction check over a
+  :class:`~repro.relational.instances.DatabaseInstance`;
+* :meth:`Constraint.to_formula` -- a rendering into the first-order
+  language of :mod:`repro.logic`, witnessing the paper's position that
+  all of these are first-order sentences (§2.1).  Tests cross-validate
+  the two evaluations.
+
+The classes provided cover everything the paper's examples use and the
+classical dependencies the related work ([DaBe78], [CoPa83], ...)
+assumes: functional, join, and inclusion dependencies, typed columns,
+and general tuple/equality-generating dependencies (which also drive the
+chase in :mod:`repro.relational.chase`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Sequence, Tuple
+
+from repro.errors import SchemaError, UnknownAttributeError
+from repro.logic.formulas import (
+    And,
+    Eq,
+    Exists,
+    Formula,
+    Implies,
+    RelAtom,
+    TypeAtom,
+    and_all,
+    exists_all,
+    forall_all,
+)
+from repro.logic.terms import Const, Term, Var
+from repro.relational.instances import DatabaseInstance
+from repro.typealgebra.assignment import TypeAssignment
+from repro.typealgebra.types import TypeExpr
+
+
+class Constraint:
+    """Abstract base class of all integrity constraints."""
+
+    def holds(
+        self,
+        instance: DatabaseInstance,
+        schema: "Schema",  # noqa: F821 -- forward reference, resolved at runtime
+        assignment: TypeAssignment,
+    ) -> bool:
+        """True iff *instance* satisfies this constraint."""
+        raise NotImplementedError
+
+    def to_formula(self, schema) -> Formula:
+        """Render this constraint as a first-order sentence."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return repr(self)
+
+
+def _positions(schema, relation: str, attributes: Sequence[str]) -> Tuple[int, ...]:
+    rel_schema = schema.relation(relation)
+    out = []
+    for attr in attributes:
+        try:
+            out.append(rel_schema.attributes.index(attr))
+        except ValueError:
+            raise UnknownAttributeError(
+                f"relation {relation!r} has no attribute {attr!r}"
+            ) from None
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class FunctionalDependency(Constraint):
+    """``relation : lhs -> rhs`` -- rows agreeing on *lhs* agree on *rhs*."""
+
+    relation: str
+    lhs: Tuple[str, ...]
+    rhs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.lhs:
+            raise SchemaError("functional dependency needs a non-empty LHS")
+        if not self.rhs:
+            raise SchemaError("functional dependency needs a non-empty RHS")
+
+    def holds(self, instance, schema, assignment) -> bool:
+        lhs_pos = _positions(schema, self.relation, self.lhs)
+        rhs_pos = _positions(schema, self.relation, self.rhs)
+        seen: Dict[Tuple, Tuple] = {}
+        for row in instance.relation(self.relation):
+            key = tuple(row[p] for p in lhs_pos)
+            value = tuple(row[p] for p in rhs_pos)
+            if seen.setdefault(key, value) != value:
+                return False
+        return True
+
+    def to_formula(self, schema) -> Formula:
+        rel_schema = schema.relation(self.relation)
+        arity = rel_schema.arity
+        xs = tuple(Var(f"x{i}") for i in range(arity))
+        ys = tuple(Var(f"y{i}") for i in range(arity))
+        lhs_pos = _positions(schema, self.relation, self.lhs)
+        rhs_pos = _positions(schema, self.relation, self.rhs)
+        body = And(RelAtom(self.relation, xs), RelAtom(self.relation, ys))
+        agree_lhs = and_all(Eq(xs[p], ys[p]) for p in lhs_pos)
+        agree_rhs = and_all(Eq(xs[p], ys[p]) for p in rhs_pos)
+        return forall_all(xs + ys, Implies(And(body, agree_lhs), agree_rhs))
+
+    def describe(self) -> str:
+        return (
+            f"{self.relation}: {','.join(self.lhs)} -> {','.join(self.rhs)}"
+        )
+
+
+@dataclass(frozen=True)
+class JoinDependency(Constraint):
+    """``relation : *[X1, ..., Xk]`` -- the relation equals the join of
+    its projections onto the attribute sets ``Xi``.
+
+    The components must cover all attributes of the relation.
+    """
+
+    relation: str
+    components: Tuple[Tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.components) < 2:
+            raise SchemaError("join dependency needs at least two components")
+
+    def holds(self, instance, schema, assignment) -> bool:
+        rel_schema = schema.relation(self.relation)
+        covered = {attr for comp in self.components for attr in comp}
+        if covered != set(rel_schema.attributes):
+            raise SchemaError(
+                f"join dependency components must cover {rel_schema.attributes}"
+            )
+        rows = instance.relation(self.relation).rows
+        if not rows:
+            return True
+        positions = [
+            _positions(schema, self.relation, comp) for comp in self.components
+        ]
+        projections = [
+            {tuple(row[p] for p in pos) for row in rows} for pos in positions
+        ]
+        # A candidate joined row assigns a value to every attribute such
+        # that each component projection is present; the JD holds iff
+        # every such candidate is already a row.
+        attr_values: Dict[str, set] = {
+            attr: {row[i] for row in rows}
+            for i, attr in enumerate(rel_schema.attributes)
+        }
+        attrs = rel_schema.attributes
+        for combo in itertools.product(*(sorted(attr_values[a], key=repr) for a in attrs)):
+            candidate = dict(zip(attrs, combo))
+            in_all = all(
+                tuple(candidate[attrs[p]] for p in pos) in proj
+                for pos, proj in zip(positions, projections)
+            )
+            if in_all and combo not in rows:
+                return False
+        return True
+
+    def to_formula(self, schema) -> Formula:
+        rel_schema = schema.relation(self.relation)
+        attrs = rel_schema.attributes
+        xs = {attr: Var(f"x_{attr}") for attr in attrs}
+        conjuncts = []
+        extra_vars = []
+        for index, comp in enumerate(self.components):
+            terms = []
+            for attr in attrs:
+                if attr in comp:
+                    terms.append(xs[attr])
+                else:
+                    fresh = Var(f"z{index}_{attr}")
+                    extra_vars.append(fresh)
+                    terms.append(fresh)
+            conjuncts.append(
+                exists_all(
+                    [t for t in terms if isinstance(t, Var) and t not in xs.values()],
+                    RelAtom(self.relation, tuple(terms)),
+                )
+            )
+        body = and_all(conjuncts)
+        head = RelAtom(self.relation, tuple(xs[a] for a in attrs))
+        return forall_all(tuple(xs[a] for a in attrs), Implies(body, head))
+
+    def describe(self) -> str:
+        comps = ", ".join("".join(c) for c in self.components)
+        return f"{self.relation}: ⋈[{comps}]"
+
+
+@dataclass(frozen=True)
+class InclusionDependency(Constraint):
+    """``source[source_attrs] <= target[target_attrs]``."""
+
+    source: str
+    source_attrs: Tuple[str, ...]
+    target: str
+    target_attrs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.source_attrs) != len(self.target_attrs):
+            raise SchemaError("inclusion dependency sides must have equal width")
+
+    def holds(self, instance, schema, assignment) -> bool:
+        src_pos = _positions(schema, self.source, self.source_attrs)
+        tgt_pos = _positions(schema, self.target, self.target_attrs)
+        target_proj = {
+            tuple(row[p] for p in tgt_pos)
+            for row in instance.relation(self.target)
+        }
+        return all(
+            tuple(row[p] for p in src_pos) in target_proj
+            for row in instance.relation(self.source)
+        )
+
+    def to_formula(self, schema) -> Formula:
+        src_arity = schema.relation(self.source).arity
+        tgt_arity = schema.relation(self.target).arity
+        xs = tuple(Var(f"x{i}") for i in range(src_arity))
+        src_pos = _positions(schema, self.source, self.source_attrs)
+        tgt_pos = _positions(schema, self.target, self.target_attrs)
+        tgt_terms: list[Term] = []
+        existentials = []
+        for i in range(tgt_arity):
+            if i in tgt_pos:
+                tgt_terms.append(xs[src_pos[tgt_pos.index(i)]])
+            else:
+                fresh = Var(f"y{i}")
+                existentials.append(fresh)
+                tgt_terms.append(fresh)
+        head = exists_all(existentials, RelAtom(self.target, tuple(tgt_terms)))
+        return forall_all(xs, Implies(RelAtom(self.source, xs), head))
+
+    def describe(self) -> str:
+        return (
+            f"{self.source}[{','.join(self.source_attrs)}] ⊆ "
+            f"{self.target}[{','.join(self.target_attrs)}]"
+        )
+
+
+@dataclass(frozen=True)
+class TypedColumnsConstraint(Constraint):
+    """Every value of column *i* satisfies the column's type expression.
+
+    This is the paper's axiom ``R(x, y, ...) -> tau1(x) ^ tau2(y) ^ ...``
+    that records the "attribute definition" of a relation (Example 2.1.1).
+    """
+
+    relation: str
+    column_types: Tuple[TypeExpr, ...]
+
+    def holds(self, instance, schema, assignment) -> bool:
+        extensions = [assignment.extension(t) for t in self.column_types]
+        for row in instance.relation(self.relation):
+            if len(row) != len(extensions):
+                return False
+            for value, extension in zip(row, extensions):
+                if value not in extension:
+                    return False
+        return True
+
+    def to_formula(self, schema) -> Formula:
+        xs = tuple(Var(f"x{i}") for i in range(len(self.column_types)))
+        head = and_all(
+            TypeAtom(t, x) for t, x in zip(self.column_types, xs)
+        )
+        return forall_all(xs, Implies(RelAtom(self.relation, xs), head))
+
+    def describe(self) -> str:
+        return f"{self.relation} columns typed {self.column_types!r}"
+
+
+Atom = Tuple[str, Tuple[Term, ...]]
+"""A relational atom pattern: ``(relation_name, terms)``."""
+
+
+def _atom_matches(
+    atoms: Sequence[Atom], instance: DatabaseInstance
+) -> Iterator[Dict[Var, object]]:
+    """All homomorphisms of the atom conjunction into *instance*."""
+
+    def extend(
+        index: int, binding: Dict[Var, object]
+    ) -> Iterator[Dict[Var, object]]:
+        if index == len(atoms):
+            yield dict(binding)
+            return
+        relation, terms = atoms[index]
+        for row in instance.relation(relation):
+            if len(row) != len(terms):
+                continue
+            local = dict(binding)
+            ok = True
+            for term, value in zip(terms, row):
+                if isinstance(term, Const):
+                    if term.value != value:
+                        ok = False
+                        break
+                elif isinstance(term, Var):
+                    if term in local and local[term] != value:
+                        ok = False
+                        break
+                    local[term] = value
+                else:
+                    raise SchemaError(f"unsupported term {term!r}")
+            if ok:
+                yield from extend(index + 1, local)
+
+    yield from extend(0, {})
+
+
+@dataclass(frozen=True)
+class TupleGeneratingDependency(Constraint):
+    """A (full or embedded) tuple-generating dependency.
+
+    ``body -> exists Z . head``: for every homomorphism of the body atoms
+    into the instance there is an extension to the existential variables
+    of the head making every head atom true.  Full TGDs (no existential
+    variables) are the workhorse of the null-padded schemas of §2.1.1:
+    subsumption rules and exact join dependencies are all full TGDs with
+    the null constant.
+
+    ``guards`` optionally types body variables: a binding only fires the
+    dependency when each guarded variable's value lies in the extension
+    of its type expression.  The paper's chain axioms use this to say
+    "x is a genuine A-value, not the null" (the ``tau_A(x)`` conjuncts
+    of Example 2.1.1).
+    """
+
+    body: Tuple[Atom, ...]
+    head: Tuple[Atom, ...]
+    name: str = ""
+    guards: Tuple[Tuple[Var, TypeExpr], ...] = ()
+
+    def _existential_vars(self) -> Tuple[Var, ...]:
+        body_vars = {
+            t for _, terms in self.body for t in terms if isinstance(t, Var)
+        }
+        head_vars = {
+            t for _, terms in self.head for t in terms if isinstance(t, Var)
+        }
+        return tuple(sorted(head_vars - body_vars, key=lambda v: v.name))
+
+    def is_full(self) -> bool:
+        """True iff the head has no existential variables."""
+        return not self._existential_vars()
+
+    def binding_passes_guards(self, binding, assignment) -> bool:
+        """Whether a body homomorphism satisfies the type guards."""
+        for var, type_expr in self.guards:
+            if var in binding and not assignment.satisfies(
+                binding[var], type_expr
+            ):
+                return False
+        return True
+
+    def holds(self, instance, schema, assignment) -> bool:
+        existentials = self._existential_vars()
+        for binding in _atom_matches(self.body, instance):
+            if not self.binding_passes_guards(binding, assignment):
+                continue
+            if self._head_satisfied(binding, existentials, instance, assignment):
+                continue
+            return False
+        return True
+
+    def _head_satisfied(
+        self, binding, existentials, instance, assignment
+    ) -> bool:
+        if not existentials:
+            return self._check_head(binding, instance)
+        universe = sorted(assignment.universe, key=repr)
+        for combo in itertools.product(universe, repeat=len(existentials)):
+            extended = dict(binding)
+            extended.update(zip(existentials, combo))
+            if self._check_head(extended, instance):
+                return True
+        return False
+
+    def _check_head(self, binding: Mapping[Var, object], instance) -> bool:
+        for relation, terms in self.head:
+            row = []
+            for term in terms:
+                if isinstance(term, Const):
+                    row.append(term.value)
+                else:
+                    if term not in binding:
+                        return False
+                    row.append(binding[term])
+            if tuple(row) not in instance.relation(relation):
+                return False
+        return True
+
+    def to_formula(self, schema) -> Formula:
+        body_vars = sorted(
+            {t for _, terms in self.body for t in terms if isinstance(t, Var)},
+            key=lambda v: v.name,
+        )
+        existentials = self._existential_vars()
+        conjuncts: list[Formula] = [
+            RelAtom(r, terms) for r, terms in self.body
+        ]
+        conjuncts.extend(
+            TypeAtom(type_expr, var) for var, type_expr in self.guards
+        )
+        body = and_all(conjuncts)
+        head = and_all(RelAtom(r, terms) for r, terms in self.head)
+        return forall_all(body_vars, Implies(body, exists_all(existentials, head)))
+
+    def describe(self) -> str:
+        label = f" [{self.name}]" if self.name else ""
+        return f"TGD{label}: {self.body!r} -> {self.head!r}"
+
+
+@dataclass(frozen=True)
+class EqualityGeneratingDependency(Constraint):
+    """``body -> left = right`` for variables bound by the body."""
+
+    body: Tuple[Atom, ...]
+    left: Var
+    right: Var
+    name: str = ""
+
+    def holds(self, instance, schema, assignment) -> bool:
+        for binding in _atom_matches(self.body, instance):
+            if binding.get(self.left) != binding.get(self.right):
+                return False
+        return True
+
+    def to_formula(self, schema) -> Formula:
+        body_vars = sorted(
+            {t for _, terms in self.body for t in terms if isinstance(t, Var)},
+            key=lambda v: v.name,
+        )
+        body = and_all(RelAtom(r, terms) for r, terms in self.body)
+        return forall_all(body_vars, Implies(body, Eq(self.left, self.right)))
+
+    def describe(self) -> str:
+        label = f" [{self.name}]" if self.name else ""
+        return f"EGD{label}: {self.body!r} -> {self.left!r} = {self.right!r}"
+
+
+@dataclass(frozen=True)
+class FormulaConstraint(Constraint):
+    """An arbitrary first-order sentence as a constraint."""
+
+    formula: Formula
+    name: str = ""
+
+    def holds(self, instance, schema, assignment) -> bool:
+        from repro.logic.evaluation import holds as formula_holds
+
+        return formula_holds(self.formula, instance, assignment)
+
+    def to_formula(self, schema) -> Formula:
+        return self.formula
+
+    def describe(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{self.formula!r}"

@@ -1,0 +1,91 @@
+"""Rendering relations and instances as the paper's tables.
+
+The paper presents every instance as a small attribute-headed table;
+these helpers produce the same layout in plain text, so examples and
+interactive sessions can show states the way the paper prints them
+(nulls rendered as ``n``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.relational.instances import DatabaseInstance
+from repro.relational.relations import Relation
+from repro.relational.schema import Schema
+
+
+def _cell(value: object) -> str:
+    return repr(value) if isinstance(value, str) else str(value)
+
+
+def render_relation(
+    relation: Relation,
+    attributes: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render one relation as an attribute-headed table.
+
+    >>> print(render_relation(Relation({("a", "b")}), ("A", "B")))
+    A   | B
+    ----+----
+    'a' | 'b'
+    """
+    attributes = tuple(
+        attributes
+        if attributes is not None
+        else (f"c{i}" for i in range(relation.arity))
+    )
+    rows = [[_cell(v) for v in row] for row in relation.sorted_rows()]
+    widths = [len(a) for a in attributes]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(attributes))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in rows)
+    if not rows:
+        out.append("(empty)")
+    return "\n".join(out)
+
+
+def render_instance(
+    instance: DatabaseInstance, schema: Optional[Schema] = None
+) -> str:
+    """Render every relation of an instance, schema-aware when given."""
+    blocks = []
+    for name, relation in instance.items():
+        attributes = None
+        if schema is not None and name in {
+            rel.name for rel in schema.relations
+        }:
+            attributes = schema.relation(name).attributes
+        blocks.append(
+            render_relation(relation, attributes, title=f"{name}:")
+        )
+    return "\n\n".join(blocks) if blocks else "(no relations)"
+
+
+def render_update(
+    before: DatabaseInstance, after: DatabaseInstance
+) -> str:
+    """Render an update as a +/- change list (the examples' format)."""
+    summary = before.change_summary(after)
+    if not summary:
+        return "(no change)"
+    lines: List[str] = []
+    for name, diff in sorted(summary.items()):
+        for row in diff["inserted"]:
+            lines.append(f"+ {name}({', '.join(_cell(v) for v in row)})")
+        for row in diff["deleted"]:
+            lines.append(f"- {name}({', '.join(_cell(v) for v in row)})")
+    return "\n".join(lines)

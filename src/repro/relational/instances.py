@@ -1,0 +1,209 @@
+"""Database instances: indexed sets of relations (paper §0.1 and 1.2.3).
+
+A :class:`DatabaseInstance` assigns one :class:`~repro.relational.relations.Relation`
+to each relation symbol.  Instances are immutable and hashable so they can
+serve as elements of posets and partitions, keys of translation tables,
+and members of enumerated state spaces.
+
+Notational Convention 1.2.3 defines the set operations ``<=``, ``&``,
+``|``, ``-`` and ``delta`` (symmetric difference) *relation by relation*;
+they are provided here with the same operator spellings as for relations.
+The symmetric difference is the measure used by Definition 1.2.4 to
+compare update reflections: a solution ``s2`` to an update from ``s1`` is
+judged by the "change set" ``s1 delta s2``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro.errors import ArityError, UnknownRelationError
+from repro.relational.relations import Relation, Row
+
+
+class DatabaseInstance:
+    """An immutable assignment of a relation to each relation symbol."""
+
+    __slots__ = ("_relations", "_hash")
+
+    def __init__(self, relations: Mapping[str, Relation | Iterable[Sequence[object]]]):
+        frozen: Dict[str, Relation] = {}
+        for name, rel in relations.items():
+            if not isinstance(rel, Relation):
+                rel = Relation(rel)
+            frozen[name] = rel
+        self._relations: Dict[str, Relation] = frozen
+        self._hash = hash(frozenset(frozen.items()))
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def empty(cls, arities: Mapping[str, int]) -> "DatabaseInstance":
+        """The empty (null-model) instance for the given signature."""
+        return cls({name: Relation((), ar) for name, ar in arities.items()})
+
+    def replacing(self, name: str, relation: Relation) -> "DatabaseInstance":
+        """A copy with the relation for *name* replaced."""
+        if name not in self._relations:
+            raise UnknownRelationError(f"no relation named {name!r}")
+        updated = dict(self._relations)
+        updated[name] = relation
+        return DatabaseInstance(updated)
+
+    def inserting(self, name: str, row: Sequence[object]) -> "DatabaseInstance":
+        """A copy with *row* inserted into relation *name*."""
+        return self.replacing(name, self.relation(name).with_row(row))
+
+    def deleting(self, name: str, row: Sequence[object]) -> "DatabaseInstance":
+        """A copy with *row* removed from relation *name*."""
+        return self.replacing(name, self.relation(name).without_row(row))
+
+    # -- basic protocol --------------------------------------------------------
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """The relation symbols, sorted for determinism."""
+        return tuple(sorted(self._relations))
+
+    def relation(self, name: str) -> Relation:
+        """The relation assigned to *name*."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(f"no relation named {name!r}") from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.relation_names)
+
+    def items(self) -> Iterator[Tuple[str, Relation]]:
+        """(name, relation) pairs in deterministic order."""
+        for name in self.relation_names:
+            yield name, self._relations[name]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseInstance):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{name}={rel!r}" for name, rel in self.items()
+        )
+        return f"DatabaseInstance({body})"
+
+    def total_rows(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def is_empty(self) -> bool:
+        """True iff every relation is empty (the null model)."""
+        return all(rel.is_empty() for rel in self._relations.values())
+
+    # -- relation-by-relation set operations (Notation 1.2.3) -----------------
+
+    def _check_compatible(self, other: "DatabaseInstance") -> None:
+        if not isinstance(other, DatabaseInstance):
+            raise TypeError(
+                f"expected DatabaseInstance, got {type(other).__name__}"
+            )
+        if set(self._relations) != set(other._relations):
+            raise UnknownRelationError(
+                "instances over different relation symbols: "
+                f"{sorted(self._relations)} vs {sorted(other._relations)}"
+            )
+        for name, rel in self._relations.items():
+            if rel.arity != other._relations[name].arity:
+                raise ArityError(
+                    f"relation {name!r}: arity {rel.arity} vs "
+                    f"{other._relations[name].arity}"
+                )
+
+    def _zip(self, other: "DatabaseInstance", op) -> "DatabaseInstance":
+        self._check_compatible(other)
+        return DatabaseInstance(
+            {
+                name: op(rel, other._relations[name])
+                for name, rel in self._relations.items()
+            }
+        )
+
+    def union(self, other: "DatabaseInstance") -> "DatabaseInstance":
+        """Relation-wise union."""
+        return self._zip(other, Relation.union)
+
+    def intersection(self, other: "DatabaseInstance") -> "DatabaseInstance":
+        """Relation-wise intersection."""
+        return self._zip(other, Relation.intersection)
+
+    def difference(self, other: "DatabaseInstance") -> "DatabaseInstance":
+        """Relation-wise difference."""
+        return self._zip(other, Relation.difference)
+
+    def symmetric_difference(self, other: "DatabaseInstance") -> "DatabaseInstance":
+        """Relation-wise symmetric difference -- the update change-set."""
+        return self._zip(other, Relation.symmetric_difference)
+
+    def issubset(self, other: "DatabaseInstance") -> bool:
+        """Relation-wise inclusion (the ordering of ``LDB(D, mu)``)."""
+        self._check_compatible(other)
+        return all(
+            rel.issubset(other._relations[name])
+            for name, rel in self._relations.items()
+        )
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __xor__ = symmetric_difference
+    __le__ = issubset
+
+    def __lt__(self, other: "DatabaseInstance") -> bool:
+        return self.issubset(other) and self != other
+
+    def delta(self, other: "DatabaseInstance") -> "DatabaseInstance":
+        """Alias for :meth:`symmetric_difference` (the paper's Delta)."""
+        return self.symmetric_difference(other)
+
+    def delta_size(self, other: "DatabaseInstance") -> int:
+        """Number of tuples in the symmetric difference with *other*."""
+        self._check_compatible(other)
+        return sum(
+            len(rel.rows ^ other._relations[name].rows)
+            for name, rel in self._relations.items()
+        )
+
+    def change_summary(self, other: "DatabaseInstance") -> Dict[str, Dict[str, Tuple[Row, ...]]]:
+        """Human-readable diff: inserted/deleted rows per relation.
+
+        Returns a mapping ``relation -> {"inserted": rows, "deleted": rows}``
+        describing the update ``self -> other``; relations with no change
+        are omitted.
+        """
+        self._check_compatible(other)
+        summary: Dict[str, Dict[str, Tuple[Row, ...]]] = {}
+        for name, rel in self.items():
+            target = other._relations[name]
+            inserted = target.difference(rel)
+            deleted = rel.difference(target)
+            if inserted.rows or deleted.rows:
+                summary[name] = {
+                    "inserted": inserted.sorted_rows(),
+                    "deleted": deleted.sorted_rows(),
+                }
+        return summary
+
+
+def sorted_instances(instances: Iterable[DatabaseInstance]) -> Tuple[DatabaseInstance, ...]:
+    """Sort instances deterministically (by size, then by repr)."""
+    return tuple(
+        sorted(instances, key=lambda inst: (inst.total_rows(), repr(inst)))
+    )

@@ -1,0 +1,308 @@
+"""A small text syntax for queries and constraints.
+
+View definitions and integrity constraints in examples and interactive
+sessions read better as text than as nested constructors.  The grammar
+is deliberately tiny and close to classical notation:
+
+Queries (``parse_query``, schema-aware)::
+
+    R_SP                                  relation reference
+    project[S, P](R_SPJ)                  projection
+    restrict[C: eta, D: eta](R)           typed restriction (atoms, |)
+    join(R_SP, R_PJ)                      natural join
+    product(a, b) / union(a, b) / intersect(a, b) / diff(a, b)
+    rename[S -> X](R_SP)
+
+Constraints (``parse_constraint``)::
+
+    R: A -> B, C                          functional dependency
+    R: *[A B, B C]                        join dependency
+    R[A, B] <= S[X, Y]                    inclusion dependency
+
+Compositions nest arbitrarily:
+``project[S, J](join(R_SP, R_PJ))``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.constraints import (
+    Constraint,
+    FunctionalDependency,
+    InclusionDependency,
+    JoinDependency,
+)
+from repro.relational.queries import (
+    Difference,
+    Intersection,
+    NaturalJoin,
+    Product,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    TypedRestrict,
+    Union,
+)
+from repro.relational.schema import Schema
+from repro.typealgebra.types import AtomicType, TypeExpr, disjunction_of
+
+
+class QueryParseError(SchemaError):
+    """The query/constraint text is not well formed."""
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_.]*)"
+    r"|(?P<arrow>->)"
+    r"|(?P<punct>[\[\](),|:]))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if not match:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise QueryParseError(
+                f"unexpected character at: {remainder[:20]!r}"
+            )
+        position = match.end()
+        if match.group("name"):
+            tokens.append(("name", match.group("name")))
+        elif match.group("arrow"):
+            tokens.append(("arrow", "->"))
+        else:
+            tokens.append(("punct", match.group("punct")))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    OPERATORS = {
+        "project",
+        "restrict",
+        "rename",
+        "join",
+        "product",
+        "union",
+        "intersect",
+        "diff",
+    }
+
+    def __init__(self, tokens: List[Tuple[str, str]], schema: Schema):
+        self.tokens = tokens
+        self.position = 0
+        self.schema = schema
+
+    # -- token helpers -----------------------------------------------------------
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise QueryParseError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise QueryParseError(
+                f"expected {value or kind!r}, got {token[1]!r}"
+            )
+        return token[1]
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_expr(self) -> Query:
+        kind, value = self.next()
+        if kind != "name":
+            raise QueryParseError(f"expected a name, got {value!r}")
+        if value in self.OPERATORS:
+            return self.parse_operator(value)
+        return RelationRef.of(self.schema, value)
+
+    def parse_operator(self, operator: str) -> Query:
+        bracket = None
+        if self.peek() == ("punct", "["):
+            self.next()
+            bracket = self.parse_bracket_contents(operator)
+            self.expect("punct", "]")
+        self.expect("punct", "(")
+        operands = [self.parse_expr()]
+        while self.peek() == ("punct", ","):
+            self.next()
+            operands.append(self.parse_expr())
+        self.expect("punct", ")")
+        return self.build(operator, bracket, operands)
+
+    def parse_bracket_contents(self, operator: str):
+        if operator == "project":
+            return self.parse_name_list()
+        if operator == "restrict":
+            return self.parse_typed_conditions()
+        if operator == "rename":
+            return self.parse_renames()
+        raise QueryParseError(
+            f"operator {operator!r} takes no [...] arguments"
+        )
+
+    def parse_name_list(self) -> Tuple[str, ...]:
+        names = [self.expect("name")]
+        while self.peek() == ("punct", ","):
+            self.next()
+            names.append(self.expect("name"))
+        return tuple(names)
+
+    def parse_typed_conditions(self) -> Tuple[Tuple[str, TypeExpr], ...]:
+        conditions = [self.parse_one_condition()]
+        while self.peek() == ("punct", ","):
+            self.next()
+            conditions.append(self.parse_one_condition())
+        return tuple(conditions)
+
+    def parse_one_condition(self) -> Tuple[str, TypeExpr]:
+        column = self.expect("name")
+        self.expect("punct", ":")
+        atoms = [AtomicType(self.expect("name"))]
+        while self.peek() == ("punct", "|"):
+            self.next()
+            atoms.append(AtomicType(self.expect("name")))
+        return (column, disjunction_of(atoms))
+
+    def parse_renames(self) -> Tuple[Tuple[str, str], ...]:
+        renames = [self.parse_one_rename()]
+        while self.peek() == ("punct", ","):
+            self.next()
+            renames.append(self.parse_one_rename())
+        return tuple(renames)
+
+    def parse_one_rename(self) -> Tuple[str, str]:
+        old = self.expect("name")
+        self.expect("arrow")
+        new = self.expect("name")
+        return (old, new)
+
+    def build(self, operator: str, bracket, operands: List[Query]) -> Query:
+        def unary() -> Query:
+            if len(operands) != 1:
+                raise QueryParseError(
+                    f"{operator!r} takes one operand, got {len(operands)}"
+                )
+            return operands[0]
+
+        def binary() -> Tuple[Query, Query]:
+            if len(operands) != 2:
+                raise QueryParseError(
+                    f"{operator!r} takes two operands, got {len(operands)}"
+                )
+            return operands[0], operands[1]
+
+        if operator == "project":
+            if bracket is None:
+                raise QueryParseError("project needs [columns]")
+            return Project(unary(), bracket)
+        if operator == "restrict":
+            if bracket is None:
+                raise QueryParseError("restrict needs [col: type, ...]")
+            return TypedRestrict(unary(), bracket)
+        if operator == "rename":
+            if bracket is None:
+                raise QueryParseError("rename needs [old -> new, ...]")
+            return Rename(unary(), bracket)
+        if bracket is not None:
+            raise QueryParseError(f"{operator!r} takes no [...] arguments")
+        if operator == "join":
+            left, right = binary()
+            return NaturalJoin(left, right)
+        if operator == "product":
+            left, right = binary()
+            return Product(left, right)
+        if operator == "union":
+            left, right = binary()
+            return Union(left, right)
+        if operator == "intersect":
+            left, right = binary()
+            return Intersection(left, right)
+        if operator == "diff":
+            left, right = binary()
+            return Difference(left, right)
+        raise QueryParseError(f"unknown operator {operator!r}")
+
+
+def parse_query(text: str, schema: Schema) -> Query:
+    """Parse a relational-algebra expression against a schema.
+
+    >>> # project[S, J](join(R_SP, R_PJ)) etc.; see module docstring.
+    """
+    parser = _Parser(_tokenize(text), schema)
+    query = parser.parse_expr()
+    if not parser.at_end():
+        leftover = parser.tokens[parser.position:]
+        raise QueryParseError(f"trailing input: {leftover!r}")
+    return query
+
+
+# -- constraints -----------------------------------------------------------------
+
+
+_FD = re.compile(
+    r"^\s*(?P<rel>\w+)\s*:\s*(?P<lhs>[\w\s,]+?)\s*->\s*(?P<rhs>[\w\s,]+?)\s*$"
+)
+_JD = re.compile(r"^\s*(?P<rel>\w+)\s*:\s*\*\[(?P<groups>[^\]]*)\]\s*$")
+_IND = re.compile(
+    r"^\s*(?P<src>\w+)\s*\[(?P<src_attrs>[^\]]*)\]\s*<=\s*"
+    r"(?P<tgt>\w+)\s*\[(?P<tgt_attrs>[^\]]*)\]\s*$"
+)
+
+
+def _attr_list(text: str) -> Tuple[str, ...]:
+    attrs = tuple(a.strip() for a in text.split(",") if a.strip())
+    if not attrs:
+        raise QueryParseError(f"empty attribute list in {text!r}")
+    return attrs
+
+
+def parse_constraint(text: str) -> Constraint:
+    """Parse one constraint (FD / JD / IND); see the module docstring."""
+    match = _JD.match(text)
+    if match:
+        groups = []
+        for group in match.group("groups").split(","):
+            attrs = tuple(group.split())
+            if not attrs:
+                raise QueryParseError(f"empty JD component in {text!r}")
+            groups.append(attrs)
+        return JoinDependency(match.group("rel"), tuple(groups))
+    match = _IND.match(text)
+    if match:
+        return InclusionDependency(
+            match.group("src"),
+            _attr_list(match.group("src_attrs")),
+            match.group("tgt"),
+            _attr_list(match.group("tgt_attrs")),
+        )
+    match = _FD.match(text)
+    if match:
+        return FunctionalDependency(
+            match.group("rel"),
+            _attr_list(match.group("lhs")),
+            _attr_list(match.group("rhs")),
+        )
+    raise QueryParseError(f"unrecognised constraint syntax: {text!r}")

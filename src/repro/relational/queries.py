@@ -1,0 +1,318 @@
+"""Relational-algebra query ASTs: the syntax of database mappings.
+
+The paper defines a database mapping as an *interpretation* of the view's
+language into the base language (§2.1) -- operationally, each view
+relation is a definable query over the base schema.  This module provides
+the query language: named-column relational algebra with projection,
+selection, natural join, product, union, intersection, difference,
+renaming, and the typed restriction ``pi^o`` used by the component views
+of Example 2.1.1 (project *and* keep only rows whose dropped columns are
+null / whose kept columns are non-null).
+
+Every query node knows its output ``columns`` (a tuple of names) and can
+``evaluate`` against a :class:`~repro.relational.instances.DatabaseInstance`
+plus :class:`~repro.typealgebra.assignment.TypeAssignment`, producing a
+:class:`~repro.relational.relations.Relation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+from repro.errors import EvaluationError, SchemaError
+from repro.relational.instances import DatabaseInstance
+from repro.relational.relations import Relation, Row
+from repro.typealgebra.assignment import TypeAssignment
+from repro.typealgebra.types import TypeExpr
+
+
+class Query:
+    """Abstract query node.
+
+    Subclasses implement :attr:`columns` (output column names, in order)
+    and :meth:`evaluate`.
+    """
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    @property
+    def arity(self) -> int:
+        """Number of output columns."""
+        return len(self.columns)
+
+    def evaluate(
+        self, instance: DatabaseInstance, assignment: TypeAssignment
+    ) -> Relation:
+        """Evaluate against an instance under a type assignment."""
+        raise NotImplementedError
+
+    def _position(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise EvaluationError(
+                f"query has no column {column!r} (columns: {self.columns})"
+            ) from None
+
+    # -- fluent construction helpers -------------------------------------------
+
+    def project(self, columns: Sequence[str]) -> "Project":
+        """Projection onto named columns."""
+        return Project(self, tuple(columns))
+
+    def where(self, predicate: Callable[..., bool], columns: Sequence[str]) -> "Select":
+        """Selection by a predicate over the named columns."""
+        return Select(self, predicate, tuple(columns))
+
+    def join(self, other: "Query") -> "NaturalJoin":
+        """Natural join on shared column names."""
+        return NaturalJoin(self, other)
+
+    def rename(self, mapping: dict) -> "Rename":
+        """Rename output columns."""
+        return Rename(self, tuple(mapping.items()))
+
+
+@dataclass(frozen=True)
+class RelationRef(Query):
+    """Reference to a base relation, with its schema's column names."""
+
+    relation: str
+    _columns: Tuple[str, ...]
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self._columns
+
+    def evaluate(self, instance, assignment) -> Relation:
+        rel = instance.relation(self.relation)
+        if rel.arity != len(self._columns):
+            raise EvaluationError(
+                f"relation {self.relation!r} has arity {rel.arity}, "
+                f"reference declares {len(self._columns)} columns"
+            )
+        return rel
+
+    @classmethod
+    def of(cls, schema, relation: str) -> "RelationRef":
+        """Reference relation *relation* of *schema* with its attributes."""
+        return cls(relation, schema.relation(relation).attributes)
+
+
+@dataclass(frozen=True)
+class Project(Query):
+    """Projection onto named columns (may reorder; duplicates removed)."""
+
+    source: Query
+    keep: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.keep)) != len(self.keep):
+            raise SchemaError(f"duplicate projection columns {self.keep}")
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.keep
+
+    def evaluate(self, instance, assignment) -> Relation:
+        source_rel = self.source.evaluate(instance, assignment)
+        positions = [self.source._position(c) for c in self.keep]
+        return source_rel.project(positions)
+
+
+@dataclass(frozen=True)
+class Select(Query):
+    """Selection by a Python predicate over named columns.
+
+    The predicate receives the values of *over* (in order) as positional
+    arguments.  For a logic-level selection use
+    :class:`TypedRestrict` or encode the condition in the view schema's
+    constraints instead.
+    """
+
+    source: Query
+    predicate: Callable[..., bool]
+    over: Tuple[str, ...]
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.source.columns
+
+    def evaluate(self, instance, assignment) -> Relation:
+        source_rel = self.source.evaluate(instance, assignment)
+        positions = [self.source._position(c) for c in self.over]
+
+        def keep(row: Row) -> bool:
+            return bool(self.predicate(*(row[p] for p in positions)))
+
+        return source_rel.select(keep)
+
+
+@dataclass(frozen=True)
+class TypedRestrict(Query):
+    """Rows whose column values satisfy given type expressions.
+
+    ``conditions`` maps column name -> type expression; a row survives
+    iff every named column's value lies in the extension of its type.
+    Combined with :class:`Project` this expresses the paper's restriction
+    mappings ``rho(R(tau1, ..., taun))`` and the ``pi^o`` projections of
+    Example 2.1.1.
+    """
+
+    source: Query
+    conditions: Tuple[Tuple[str, TypeExpr], ...]
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.source.columns
+
+    def evaluate(self, instance, assignment) -> Relation:
+        source_rel = self.source.evaluate(instance, assignment)
+        checks = [
+            (self.source._position(column), assignment.extension(type_expr))
+            for column, type_expr in self.conditions
+        ]
+
+        def keep(row: Row) -> bool:
+            return all(row[pos] in ext for pos, ext in checks)
+
+        return source_rel.select(keep)
+
+
+@dataclass(frozen=True)
+class NaturalJoin(Query):
+    """Natural join on shared column names.
+
+    Output columns: all of the left's, then the right's non-shared ones.
+    """
+
+    left: Query
+    right: Query
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        shared = set(self.left.columns) & set(self.right.columns)
+        return self.left.columns + tuple(
+            c for c in self.right.columns if c not in shared
+        )
+
+    def evaluate(self, instance, assignment) -> Relation:
+        left_rel = self.left.evaluate(instance, assignment)
+        right_rel = self.right.evaluate(instance, assignment)
+        shared = [c for c in self.left.columns if c in self.right.columns]
+        pairs = [
+            (self.left._position(c), self.right._position(c)) for c in shared
+        ]
+        if not pairs:
+            return left_rel.product(right_rel)
+        return left_rel.join_on(right_rel, pairs)
+
+
+@dataclass(frozen=True)
+class Product(Query):
+    """Cartesian product; column names must be disjoint."""
+
+    left: Query
+    right: Query
+
+    def __post_init__(self) -> None:
+        overlap = set(self.left.columns) & set(self.right.columns)
+        if overlap:
+            raise SchemaError(
+                f"product operands share columns {sorted(overlap)}; rename first"
+            )
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.left.columns + self.right.columns
+
+    def evaluate(self, instance, assignment) -> Relation:
+        return self.left.evaluate(instance, assignment).product(
+            self.right.evaluate(instance, assignment)
+        )
+
+
+def _check_union_compatible(left: Query, right: Query) -> None:
+    if left.arity != right.arity:
+        raise SchemaError(
+            f"operands have arities {left.arity} and {right.arity}"
+        )
+
+
+@dataclass(frozen=True)
+class Union(Query):
+    """Set union; operands must have equal arity (left's names win)."""
+
+    left: Query
+    right: Query
+
+    def __post_init__(self) -> None:
+        _check_union_compatible(self.left, self.right)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.left.columns
+
+    def evaluate(self, instance, assignment) -> Relation:
+        return self.left.evaluate(instance, assignment).union(
+            self.right.evaluate(instance, assignment)
+        )
+
+
+@dataclass(frozen=True)
+class Intersection(Query):
+    """Set intersection; operands must have equal arity."""
+
+    left: Query
+    right: Query
+
+    def __post_init__(self) -> None:
+        _check_union_compatible(self.left, self.right)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.left.columns
+
+    def evaluate(self, instance, assignment) -> Relation:
+        return self.left.evaluate(instance, assignment).intersection(
+            self.right.evaluate(instance, assignment)
+        )
+
+
+@dataclass(frozen=True)
+class Difference(Query):
+    """Set difference; operands must have equal arity."""
+
+    left: Query
+    right: Query
+
+    def __post_init__(self) -> None:
+        _check_union_compatible(self.left, self.right)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return self.left.columns
+
+    def evaluate(self, instance, assignment) -> Relation:
+        return self.left.evaluate(instance, assignment).difference(
+            self.right.evaluate(instance, assignment)
+        )
+
+
+@dataclass(frozen=True)
+class Rename(Query):
+    """Rename output columns (mapping old-name -> new-name)."""
+
+    source: Query
+    mapping: Tuple[Tuple[str, str], ...]
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        table = dict(self.mapping)
+        return tuple(table.get(c, c) for c in self.source.columns)
+
+    def evaluate(self, instance, assignment) -> Relation:
+        return self.source.evaluate(instance, assignment)

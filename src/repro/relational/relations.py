@@ -1,0 +1,223 @@
+"""Finite relations: sets of fixed-arity tuples.
+
+A :class:`Relation` is an immutable, hashable wrapper around a frozenset
+of equal-length tuples.  It supports the Boolean set operations (union,
+intersection, difference, symmetric difference) that Notational
+Convention 1.2.3 lifts relation-by-relation to whole database states,
+plus the positional relational-algebra primitives that the query layer
+(:mod:`repro.relational.queries`) builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Iterator, Sequence, Tuple
+
+from repro.errors import ArityError
+
+Row = Tuple[object, ...]
+
+
+def _sort_key(row: Row) -> Tuple[str, ...]:
+    return tuple(repr(v) for v in row)
+
+
+class Relation:
+    """An immutable finite relation of fixed arity.
+
+    Parameters
+    ----------
+    rows:
+        The tuples of the relation.  Every row must be a tuple of length
+        *arity*.
+    arity:
+        Number of columns.  When omitted it is inferred from the rows;
+        the empty relation then defaults to arity 0 unless given.
+    """
+
+    __slots__ = ("_rows", "_arity")
+
+    def __init__(self, rows: Iterable[Sequence[object]] = (), arity: int | None = None):
+        frozen = frozenset(tuple(row) for row in rows)
+        if arity is None:
+            arities = {len(row) for row in frozen}
+            if len(arities) > 1:
+                raise ArityError(f"rows of mixed arity: {sorted(arities)}")
+            arity = arities.pop() if arities else 0
+        else:
+            for row in frozen:
+                if len(row) != arity:
+                    raise ArityError(
+                        f"row {row!r} has arity {len(row)}, expected {arity}"
+                    )
+        self._rows: FrozenSet[Row] = frozen
+        self._arity = arity
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        """The underlying frozenset of tuples."""
+        return self._rows
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return self._arity
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._arity == other._arity and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._arity, self._rows))
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(row) for row in self.sorted_rows())
+        return f"Relation[{self._arity}]{{{body}}}"
+
+    def sorted_rows(self) -> Tuple[Row, ...]:
+        """Rows in a deterministic order (lexicographic by ``repr``)."""
+        return tuple(sorted(self._rows, key=_sort_key))
+
+    def is_empty(self) -> bool:
+        """True iff the relation has no rows."""
+        return not self._rows
+
+    # -- set operations (same-arity) ----------------------------------------
+
+    def _check_compatible(self, other: "Relation") -> None:
+        if not isinstance(other, Relation):
+            raise TypeError(f"expected Relation, got {type(other).__name__}")
+        if self._arity != other._arity:
+            raise ArityError(
+                f"arity mismatch: {self._arity} vs {other._arity}"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union of two same-arity relations."""
+        self._check_compatible(other)
+        return Relation(self._rows | other._rows, self._arity)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection of two same-arity relations."""
+        self._check_compatible(other)
+        return Relation(self._rows & other._rows, self._arity)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference of two same-arity relations."""
+        self._check_compatible(other)
+        return Relation(self._rows - other._rows, self._arity)
+
+    def symmetric_difference(self, other: "Relation") -> "Relation":
+        """Symmetric difference ``(A | B) - (A & B)`` (Notation 1.2.3)."""
+        self._check_compatible(other)
+        return Relation(self._rows ^ other._rows, self._arity)
+
+    def issubset(self, other: "Relation") -> bool:
+        """True iff every row of ``self`` is a row of ``other``."""
+        self._check_compatible(other)
+        return self._rows <= other._rows
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __xor__ = symmetric_difference
+    __le__ = issubset
+
+    def __lt__(self, other: "Relation") -> bool:
+        self._check_compatible(other)
+        return self._rows < other._rows
+
+    def with_row(self, row: Sequence[object]) -> "Relation":
+        """A new relation with *row* inserted."""
+        row = tuple(row)
+        if len(row) != self._arity:
+            raise ArityError(
+                f"row {row!r} has arity {len(row)}, expected {self._arity}"
+            )
+        return Relation(self._rows | {row}, self._arity)
+
+    def without_row(self, row: Sequence[object]) -> "Relation":
+        """A new relation with *row* removed (no-op if absent)."""
+        row = tuple(row)
+        return Relation(self._rows - {row}, self._arity)
+
+    # -- positional relational algebra --------------------------------------
+
+    def project(self, positions: Sequence[int]) -> "Relation":
+        """Projection onto the given column positions (0-based).
+
+        Positions may repeat or reorder columns.
+        """
+        for pos in positions:
+            if not 0 <= pos < self._arity:
+                raise ArityError(
+                    f"position {pos} out of range for arity {self._arity}"
+                )
+        positions = tuple(positions)
+        return Relation(
+            {tuple(row[p] for p in positions) for row in self._rows},
+            len(positions),
+        )
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """Selection of the rows satisfying *predicate*."""
+        return Relation(
+            {row for row in self._rows if predicate(row)}, self._arity
+        )
+
+    def product(self, other: "Relation") -> "Relation":
+        """Cartesian product (column concatenation)."""
+        if not isinstance(other, Relation):
+            raise TypeError(f"expected Relation, got {type(other).__name__}")
+        return Relation(
+            {left + right for left in self._rows for right in other._rows},
+            self._arity + other._arity,
+        )
+
+    def join_on(
+        self, other: "Relation", pairs: Sequence[Tuple[int, int]]
+    ) -> "Relation":
+        """Equi-join on the given (self-position, other-position) pairs.
+
+        The result keeps all of ``self``'s columns followed by the
+        columns of ``other`` that are *not* join columns, in order --
+        the standard natural-join column convention once names are
+        resolved by the query layer.
+        """
+        for left_pos, right_pos in pairs:
+            if not 0 <= left_pos < self._arity:
+                raise ArityError(f"left position {left_pos} out of range")
+            if not 0 <= right_pos < other._arity:
+                raise ArityError(f"right position {right_pos} out of range")
+        right_join_positions = {right for _, right in pairs}
+        kept_right = [
+            pos for pos in range(other._arity) if pos not in right_join_positions
+        ]
+        # Hash join: bucket the right side by its join-key.
+        buckets: dict = {}
+        for row in other._rows:
+            key = tuple(row[right] for _, right in pairs)
+            buckets.setdefault(key, []).append(row)
+        out = set()
+        for row in self._rows:
+            key = tuple(row[left] for left, _ in pairs)
+            for match in buckets.get(key, ()):
+                out.add(row + tuple(match[p] for p in kept_right))
+        return Relation(out, self._arity + len(kept_right))
+
+
+#: The empty relation of a given arity, memoised for convenience.
+def empty_relation(arity: int) -> Relation:
+    """The empty relation with the given arity."""
+    return Relation((), arity)

@@ -1,0 +1,202 @@
+"""Relational schemas: the pair ``(Rel(D), Con(D))`` (paper §0.1, §2.1).
+
+A :class:`RelationSchema` declares one relation symbol -- its attribute
+names and, optionally, a type expression per column.  A :class:`Schema`
+collects finitely many relation schemas and a set of integrity
+constraints; :meth:`Schema.is_legal` decides membership of an instance in
+``LDB(D, mu)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import (
+    ArityError,
+    ConstraintViolation,
+    SchemaError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from repro.relational.constraints import Constraint, TypedColumnsConstraint
+from repro.relational.instances import DatabaseInstance
+from repro.typealgebra.assignment import TypeAssignment
+from repro.typealgebra.types import AtomicType, TypeExpr
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """One relation symbol: name, attributes, optional column types.
+
+    When *column_types* is omitted, each attribute ``A`` defaults to the
+    atomic type ``tau_A`` of the same name -- the traditional attribute
+    discipline recovered inside the type-algebra framework (§2.1).
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+    column_types: Optional[Tuple[TypeExpr, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f"relation {self.name!r} has duplicate attributes"
+            )
+        if self.column_types is not None and len(self.column_types) != len(
+            self.attributes
+        ):
+            raise ArityError(
+                f"relation {self.name!r}: {len(self.column_types)} column "
+                f"types for {len(self.attributes)} attributes"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.attributes)
+
+    def effective_column_types(self) -> Tuple[TypeExpr, ...]:
+        """Column types, defaulting attribute ``A`` to atom ``tau_A``."""
+        if self.column_types is not None:
+            return self.column_types
+        return tuple(AtomicType(attr) for attr in self.attributes)
+
+    def position(self, attribute: str) -> int:
+        """0-based position of an attribute."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise UnknownAttributeError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A relational database schema ``D = (Rel(D), Con(D))``."""
+
+    name: str
+    relations: Tuple[RelationSchema, ...]
+    constraints: Tuple[Constraint, ...] = ()
+    #: When true (the default), column types are enforced as implicit
+    #: typed-column constraints in addition to ``constraints``.
+    enforce_column_types: bool = True
+    _by_name: Mapping[str, RelationSchema] = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        by_name: Dict[str, RelationSchema] = {}
+        for rel in self.relations:
+            if rel.name in by_name:
+                raise SchemaError(f"duplicate relation name {rel.name!r}")
+            by_name[rel.name] = rel
+        object.__setattr__(self, "_by_name", by_name)
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        """Relation symbols in declaration order."""
+        return tuple(rel.name for rel in self.relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        """The relation schema for *name*."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownRelationError(
+                f"schema {self.name!r} has no relation {name!r}"
+            ) from None
+
+    def arities(self) -> Dict[str, int]:
+        """Mapping relation name -> arity."""
+        return {rel.name: rel.arity for rel in self.relations}
+
+    def empty_instance(self) -> DatabaseInstance:
+        """The null model (every relation empty)."""
+        return DatabaseInstance.empty(self.arities())
+
+    # -- legality ----------------------------------------------------------------
+
+    def all_constraints(self) -> Tuple[Constraint, ...]:
+        """Declared constraints plus implicit typed-column constraints."""
+        implicit: List[Constraint] = []
+        if self.enforce_column_types:
+            for rel in self.relations:
+                implicit.append(
+                    TypedColumnsConstraint(rel.name, rel.effective_column_types())
+                )
+        return tuple(implicit) + self.constraints
+
+    def conforms_to_signature(self, instance: DatabaseInstance) -> bool:
+        """True iff *instance* has exactly this schema's relations/arities."""
+        if set(instance.relation_names) != set(self.relation_names):
+            return False
+        return all(
+            instance.relation(rel.name).arity == rel.arity
+            for rel in self.relations
+        )
+
+    def is_legal(
+        self, instance: DatabaseInstance, assignment: TypeAssignment
+    ) -> bool:
+        """Membership test for ``LDB(D, mu)``."""
+        if not self.conforms_to_signature(instance):
+            return False
+        return all(
+            constraint.holds(instance, self, assignment)
+            for constraint in self.all_constraints()
+        )
+
+    def check_legal(
+        self, instance: DatabaseInstance, assignment: TypeAssignment
+    ) -> None:
+        """Raise :class:`~repro.errors.ConstraintViolation` listing every
+        violated constraint; return ``None`` if the instance is legal."""
+        if not self.conforms_to_signature(instance):
+            raise ConstraintViolation(
+                f"instance signature does not match schema {self.name!r}"
+            )
+        violated = tuple(
+            constraint
+            for constraint in self.all_constraints()
+            if not constraint.holds(instance, self, assignment)
+        )
+        if violated:
+            details = "; ".join(c.describe() for c in violated)
+            raise ConstraintViolation(
+                f"instance violates {len(violated)} constraint(s): {details}",
+                violations=violated,
+            )
+
+    def has_null_model_property(self, assignment: TypeAssignment) -> bool:
+        """True iff the empty instance is legal (paper §2.3).
+
+        The null model property is the precondition of every result in
+        Section 3 of the paper.
+        """
+        return self.is_legal(self.empty_instance(), assignment)
+
+    # -- construction helpers ------------------------------------------------------
+
+    def with_constraints(self, extra: Iterable[Constraint]) -> "Schema":
+        """A copy of this schema with additional constraints."""
+        return Schema(
+            name=self.name,
+            relations=self.relations,
+            constraints=self.constraints + tuple(extra),
+            enforce_column_types=self.enforce_column_types,
+        )
+
+    def renamed(self, name: str) -> "Schema":
+        """A copy of this schema under a different name."""
+        return Schema(
+            name=name,
+            relations=self.relations,
+            constraints=self.constraints,
+            enforce_column_types=self.enforce_column_types,
+        )

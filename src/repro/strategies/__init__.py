@@ -1,0 +1,31 @@
+"""Baseline update strategies the paper argues against (or improves on).
+
+These are the comparators for the constant-component-complement
+approach:
+
+* :class:`~repro.strategies.exhaustive.SolutionEnumerator` -- brute
+  enumeration of all/nonextraneous/minimal solutions to a view update
+  (the semantic ground truth everything else is judged by);
+* :class:`~repro.strategies.minimal_change.MinimalChangeStrategy` --
+  "reflect with the smallest change" ([Kell82]-style); Example 1.2.7
+  shows (and experiment E4 measures) that it is **not functorial**;
+* :class:`~repro.strategies.minimal_change.NonextraneousPickStrategy`
+  -- pick *some* nonextraneous solution deterministically; symmetric
+  failures (Example 1.2.10, experiment E5) arise from insert/delete
+  asymmetry;
+* arbitrary-complement translation -- available directly as
+  :class:`repro.core.constant_complement.ConstantComplementTranslator`
+  with a non-strong complement (Example 1.3.6 / 3.3.1, experiment E12).
+"""
+
+from repro.strategies.exhaustive import SolutionEnumerator
+from repro.strategies.minimal_change import (
+    MinimalChangeStrategy,
+    NonextraneousPickStrategy,
+)
+
+__all__ = [
+    "MinimalChangeStrategy",
+    "NonextraneousPickStrategy",
+    "SolutionEnumerator",
+]

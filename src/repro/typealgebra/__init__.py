@@ -1,0 +1,43 @@
+"""Type algebras: the Boolean algebra of unary type predicates (paper §2.1).
+
+A *type algebra* is a triple ``(T, K, A)`` where ``T`` is a finite set of
+unary predicate symbols closed under the Boolean operations, ``K`` is a set
+of constant symbols (*names*), and ``A`` is a set of axioms rich enough to
+decide ``tau(k)`` for every type ``tau`` and name ``k``.
+
+This package provides:
+
+* :class:`~repro.typealgebra.types.TypeExpr` and its subclasses -- the free
+  Boolean algebra of type expressions over a set of atomic types, with
+  the operations ``|`` (disjunction), ``&`` (conjunction) and ``~``
+  (negation), plus the bounds :data:`~repro.typealgebra.types.TOP` and
+  :data:`~repro.typealgebra.types.BOTTOM`;
+* :class:`~repro.typealgebra.algebra.TypeAlgebra` -- the ``(T, K, A)``
+  triple, including *null types* (types axiomatised to contain exactly one
+  value, the paper's value-inapplicable nulls);
+* :class:`~repro.typealgebra.assignment.TypeAssignment` -- a model of the
+  axioms: an assignment of a finite set to each atomic type and of a value
+  to each name.
+"""
+
+from repro.typealgebra.types import (
+    TOP,
+    BOTTOM,
+    AtomicType,
+    TypeExpr,
+    atoms_of,
+)
+from repro.typealgebra.algebra import NullValue, TypeAlgebra, NULL
+from repro.typealgebra.assignment import TypeAssignment
+
+__all__ = [
+    "TOP",
+    "BOTTOM",
+    "NULL",
+    "AtomicType",
+    "NullValue",
+    "TypeAlgebra",
+    "TypeAssignment",
+    "TypeExpr",
+    "atoms_of",
+]

@@ -1,0 +1,198 @@
+"""The type algebra triple ``(T, K, A)`` and null values (paper §2.1).
+
+The axioms ``A`` supported here are the ones the paper actually uses:
+
+* *membership axioms* -- for each name ``k`` and atomic type ``tau``,
+  whether ``tau(k)`` holds;
+* *null-type axioms* -- ``tau_eta(eta) ^ (Ax)(tau_eta(x) -> x = eta)``,
+  declaring a type with exactly one value (a value-inapplicable null);
+* *disjointness axioms* -- pairs of atomic types declared to have empty
+  intersection (the usual situation for distinct attribute domains).
+
+A :class:`~repro.typealgebra.assignment.TypeAssignment` is checked against
+these axioms by :meth:`TypeAlgebra.validate_assignment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from repro.errors import TypeAlgebraError
+from repro.typealgebra.types import AtomicType
+
+
+class NullValue:
+    """The canonical value-inapplicable null value ``eta``.
+
+    A single shared instance, :data:`NULL`, is used throughout the library
+    so that null-padded tuples compare and hash consistently.  It is *not*
+    SQL's three-valued-logic null: the paper's nulls are ordinary domain
+    elements of a one-element type, and equality on them is classical.
+    """
+
+    _instance: "NullValue | None" = None
+
+    def __new__(cls) -> "NullValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "n"
+
+    def __reduce__(self):
+        return (NullValue, ())
+
+
+#: The shared null value (rendered ``n``, as in the paper's examples).
+NULL = NullValue()
+
+
+@dataclass(frozen=True)
+class TypeAlgebra:
+    """A type algebra ``(T, K, A)``.
+
+    Parameters
+    ----------
+    atoms:
+        The atomic types generating the Boolean algebra ``T``.
+    names:
+        The constant symbols ``K``, as a mapping name -> value.  Null
+        types contribute their null symbol automatically.
+    memberships:
+        For each name, the set of atomic-type names it belongs to.
+    null_types:
+        The subset of *atoms* axiomatised as null types: each is
+        constrained to have exactly the one-element extension
+        ``{names[symbol]}``, given as a mapping atomic-type-name ->
+        null-symbol-name.
+    disjoint_pairs:
+        Pairs of atomic-type names axiomatised to be disjoint.
+    """
+
+    atoms: Tuple[AtomicType, ...]
+    names: Mapping[str, object] = field(default_factory=dict)
+    memberships: Mapping[str, FrozenSet[str]] = field(default_factory=dict)
+    null_types: Mapping[str, str] = field(default_factory=dict)
+    disjoint_pairs: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        atom_names = {a.name for a in self.atoms}
+        if len(atom_names) != len(self.atoms):
+            raise TypeAlgebraError("duplicate atomic type names")
+        for null_atom, null_symbol in self.null_types.items():
+            if null_atom not in atom_names:
+                raise TypeAlgebraError(
+                    f"null type {null_atom!r} is not a declared atom"
+                )
+            if null_symbol not in self.names:
+                raise TypeAlgebraError(
+                    f"null symbol {null_symbol!r} has no declared value"
+                )
+        for name, types in self.memberships.items():
+            if name not in self.names:
+                raise TypeAlgebraError(f"membership for unknown name {name!r}")
+            unknown = set(types) - atom_names
+            if unknown:
+                raise TypeAlgebraError(
+                    f"membership of {name!r} mentions unknown types {unknown}"
+                )
+        for left, right in self.disjoint_pairs:
+            if left not in atom_names or right not in atom_names:
+                raise TypeAlgebraError(
+                    f"disjointness axiom mentions unknown types ({left}, {right})"
+                )
+
+    @classmethod
+    def of_attributes(
+        cls,
+        attribute_names: Iterable[str],
+        with_null: bool = False,
+        disjoint: bool = True,
+    ) -> "TypeAlgebra":
+        """Build the standard attribute-style algebra.
+
+        One atomic type per attribute name; optionally a null type
+        ``eta`` (atom ``"eta"``, value :data:`NULL`); attribute types are
+        pairwise disjoint (and disjoint from the null type) when
+        *disjoint* is true -- the traditional non-interacting attributes
+        of [Maie83], recovered inside the richer framework.
+        """
+        attribute_names = tuple(attribute_names)
+        atoms = tuple(AtomicType(name) for name in attribute_names)
+        names: Dict[str, object] = {}
+        memberships: Dict[str, FrozenSet[str]] = {}
+        null_types: Dict[str, str] = {}
+        if with_null:
+            atoms = atoms + (AtomicType("eta"),)
+            names["eta"] = NULL
+            memberships["eta"] = frozenset({"eta"})
+            null_types["eta"] = "eta"
+        pairs: Tuple[Tuple[str, str], ...] = ()
+        if disjoint:
+            all_names = [a.name for a in atoms]
+            pairs = tuple(
+                (all_names[i], all_names[j])
+                for i in range(len(all_names))
+                for j in range(i + 1, len(all_names))
+            )
+        return cls(
+            atoms=atoms,
+            names=names,
+            memberships=memberships,
+            null_types=null_types,
+            disjoint_pairs=pairs,
+        )
+
+    def atom(self, name: str) -> AtomicType:
+        """Look up an atomic type by name."""
+        for candidate in self.atoms:
+            if candidate.name == name:
+                return candidate
+        raise TypeAlgebraError(f"no atomic type named {name!r}")
+
+    def has_atom(self, name: str) -> bool:
+        """True iff an atomic type with this name is declared."""
+        return any(candidate.name == name for candidate in self.atoms)
+
+    def is_null_type(self, atom: AtomicType) -> bool:
+        """True iff *atom* is axiomatised as a (one-valued) null type."""
+        return atom.name in self.null_types
+
+    def validate_assignment(self, assignment) -> None:
+        """Check that *assignment* is a model of the axioms ``A``.
+
+        Raises :class:`~repro.errors.TypeAlgebraError` on the first
+        violated axiom; returns ``None`` if the assignment is a model.
+        """
+        for atom in self.atoms:
+            if atom not in assignment.domains:
+                raise TypeAlgebraError(f"assignment missing atom {atom!r}")
+        for null_atom_name, null_symbol in self.null_types.items():
+            atom = self.atom(null_atom_name)
+            expected = frozenset({self.names[null_symbol]})
+            if assignment.domains[atom] != expected:
+                raise TypeAlgebraError(
+                    f"null type {null_atom_name!r} must have extension "
+                    f"{set(expected)!r}, got {set(assignment.domains[atom])!r}"
+                )
+        for name, value in self.names.items():
+            declared = self.memberships.get(name, frozenset())
+            for atom in self.atoms:
+                holds = value in assignment.domains[atom]
+                should_hold = atom.name in declared
+                if holds != should_hold:
+                    raise TypeAlgebraError(
+                        f"name {name!r}: membership in {atom!r} is {holds}, "
+                        f"axioms require {should_hold}"
+                    )
+        for left_name, right_name in self.disjoint_pairs:
+            left = assignment.domains[self.atom(left_name)]
+            right = assignment.domains[self.atom(right_name)]
+            overlap = left & right
+            if overlap:
+                raise TypeAlgebraError(
+                    f"types {left_name!r} and {right_name!r} must be "
+                    f"disjoint but share {overlap!r}"
+                )

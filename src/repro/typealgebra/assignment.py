@@ -1,0 +1,114 @@
+"""Type assignments: models of a type algebra's axioms (paper §2.1).
+
+A type assignment fixes, once and for all within a situation, the finite
+extension of each atomic type.  Users never update it; all state-space
+enumeration and all view-update reasoning happens *relative to* a fixed
+assignment ``mu``, exactly as the paper works with ``LDB(D, mu)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from repro.errors import TypeAlgebraError
+from repro.typealgebra.types import (
+    AtomicType,
+    BottomType,
+    Conjunction,
+    Disjunction,
+    Negation,
+    TopType,
+    TypeExpr,
+)
+
+
+@dataclass(frozen=True, eq=False)
+class TypeAssignment:
+    """An interpretation of atomic types as finite sets of values.
+
+    The *universe* is the union of all atom extensions; negation is
+    interpreted relative to it.  Instances are immutable and hashable.
+    """
+
+    domains: Mapping[AtomicType, FrozenSet[object]]
+    _universe: FrozenSet[object] = field(init=False, repr=False, compare=False)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TypeAssignment):
+            return NotImplemented
+        return dict(self.domains) == dict(other.domains)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.domains.items()))
+
+    def __post_init__(self) -> None:
+        frozen: Dict[AtomicType, FrozenSet[object]] = {}
+        for atom, values in self.domains.items():
+            if not isinstance(atom, AtomicType):
+                raise TypeAlgebraError(
+                    f"domain keys must be atomic types, got {atom!r}"
+                )
+            frozen[atom] = frozenset(values)
+        object.__setattr__(self, "domains", frozen)
+        universe = frozenset().union(*frozen.values()) if frozen else frozenset()
+        object.__setattr__(self, "_universe", universe)
+
+    @classmethod
+    def from_names(
+        cls, domains: Mapping[str, Iterable[object]]
+    ) -> "TypeAssignment":
+        """Convenience constructor keying domains by atom *name*."""
+        return cls(
+            {AtomicType(name): frozenset(vals) for name, vals in domains.items()}
+        )
+
+    @property
+    def universe(self) -> FrozenSet[object]:
+        """The union of all atomic-type extensions."""
+        return self._universe
+
+    def extension(self, expr: TypeExpr) -> FrozenSet[object]:
+        """The set of universe values satisfying the type expression."""
+        if isinstance(expr, AtomicType):
+            try:
+                return self.domains[expr]
+            except KeyError:
+                raise TypeAlgebraError(
+                    f"assignment does not interpret atom {expr!r}"
+                ) from None
+        if isinstance(expr, TopType):
+            return self._universe
+        if isinstance(expr, BottomType):
+            return frozenset()
+        if isinstance(expr, Disjunction):
+            return self.extension(expr.left) | self.extension(expr.right)
+        if isinstance(expr, Conjunction):
+            return self.extension(expr.left) & self.extension(expr.right)
+        if isinstance(expr, Negation):
+            return self._universe - self.extension(expr.operand)
+        raise TypeAlgebraError(f"unknown type expression {expr!r}")
+
+    def satisfies(self, value: object, expr: TypeExpr) -> bool:
+        """True iff *value* is in the extension of *expr*."""
+        return value in self.extension(expr)
+
+    def equivalent(self, left: TypeExpr, right: TypeExpr) -> bool:
+        """Semantic equivalence of two type expressions (same extension)."""
+        return self.extension(left) == self.extension(right)
+
+    def subtype(self, left: TypeExpr, right: TypeExpr) -> bool:
+        """True iff every value of *left* is a value of *right*."""
+        return self.extension(left) <= self.extension(right)
+
+    def restrict(self, atoms: Iterable[AtomicType]) -> "TypeAssignment":
+        """The sub-assignment interpreting only the given atoms."""
+        atoms = tuple(atoms)
+        missing = [a for a in atoms if a not in self.domains]
+        if missing:
+            raise TypeAlgebraError(f"atoms not interpreted: {missing!r}")
+        return TypeAssignment({a: self.domains[a] for a in atoms})
+
+    def sorted_extension(self, expr: TypeExpr) -> Tuple[object, ...]:
+        """Extension of *expr* in a deterministic order (by ``repr``)."""
+        return tuple(sorted(self.extension(expr), key=repr))

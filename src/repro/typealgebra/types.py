@@ -1,0 +1,178 @@
+"""Type expressions: the free Boolean algebra over atomic types.
+
+The paper's types (§2.1(a)) form a Boolean algebra under disjunction,
+conjunction, and negation, with greatest element ``tau_u`` (universally
+true) and least element ``tau_bot`` (universally false).  We realise this
+as a small expression AST with Python operator overloads:
+
+>>> a, b = AtomicType("A"), AtomicType("B")
+>>> expr = (a | b) & ~AtomicType("N")
+>>> sorted(t.name for t in atoms_of(expr))
+['A', 'B', 'N']
+
+Semantic questions (extension, equivalence) are answered relative to a
+:class:`~repro.typealgebra.assignment.TypeAssignment`, which interprets
+each atom as a finite set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator
+
+
+class TypeExpr:
+    """A Boolean combination of atomic types.
+
+    Instances are immutable and hashable.  Combine with ``|``, ``&`` and
+    ``~``.  Equality is *syntactic* (up to the dataclass fields); semantic
+    equivalence is decided by
+    :meth:`repro.typealgebra.assignment.TypeAssignment.equivalent`.
+    """
+
+    __slots__ = ()
+
+    def __or__(self, other: "TypeExpr") -> "TypeExpr":
+        if not isinstance(other, TypeExpr):
+            return NotImplemented
+        return Disjunction(self, other)
+
+    def __and__(self, other: "TypeExpr") -> "TypeExpr":
+        if not isinstance(other, TypeExpr):
+            return NotImplemented
+        return Conjunction(self, other)
+
+    def __invert__(self) -> "TypeExpr":
+        return Negation(self)
+
+    def atoms(self) -> FrozenSet["AtomicType"]:
+        """The atomic types occurring in this expression."""
+        return frozenset(self._iter_atoms())
+
+    def _iter_atoms(self) -> Iterator["AtomicType"]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class AtomicType(TypeExpr):
+    """An atomic (generator) type, identified by name.
+
+    In the traditional framework each attribute ``A`` gives one atomic
+    type ``tau_A``; null types are also atomic (see
+    :class:`~repro.typealgebra.algebra.TypeAlgebra`).
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("atomic type name must be non-empty")
+
+    def _iter_atoms(self) -> Iterator["AtomicType"]:
+        yield self
+
+    def __repr__(self) -> str:
+        return f"τ[{self.name}]"
+
+
+@dataclass(frozen=True, slots=True)
+class TopType(TypeExpr):
+    """The universally true type ``tau_u`` (greatest element)."""
+
+    def _iter_atoms(self) -> Iterator[AtomicType]:
+        return iter(())
+
+    def __repr__(self) -> str:
+        return "τ_⊤"
+
+
+@dataclass(frozen=True, slots=True)
+class BottomType(TypeExpr):
+    """The universally false type ``tau_bot`` (least element)."""
+
+    def _iter_atoms(self) -> Iterator[AtomicType]:
+        return iter(())
+
+    def __repr__(self) -> str:
+        return "τ_⊥"
+
+
+@dataclass(frozen=True, slots=True)
+class Disjunction(TypeExpr):
+    """``left v right`` -- a value has this type iff it has either."""
+
+    left: TypeExpr
+    right: TypeExpr
+
+    def _iter_atoms(self) -> Iterator[AtomicType]:
+        yield from self.left._iter_atoms()
+        yield from self.right._iter_atoms()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∨ {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Conjunction(TypeExpr):
+    """``left ^ right`` -- a value has this type iff it has both."""
+
+    left: TypeExpr
+    right: TypeExpr
+
+    def _iter_atoms(self) -> Iterator[AtomicType]:
+        yield from self.left._iter_atoms()
+        yield from self.right._iter_atoms()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∧ {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Negation(TypeExpr):
+    """``~operand`` -- a value has this type iff it does not have the operand."""
+
+    operand: TypeExpr
+
+    def _iter_atoms(self) -> Iterator[AtomicType]:
+        yield from self.operand._iter_atoms()
+
+    def __repr__(self) -> str:
+        return f"¬{self.operand!r}"
+
+
+#: The greatest element of every type algebra.
+TOP: TypeExpr = TopType()
+
+#: The least element of every type algebra.
+BOTTOM: TypeExpr = BottomType()
+
+
+def atoms_of(expr: TypeExpr) -> FrozenSet[AtomicType]:
+    """Return the set of atomic types occurring in *expr*."""
+    return expr.atoms()
+
+
+def disjunction_of(exprs) -> TypeExpr:
+    """Fold a sequence of type expressions into one disjunction.
+
+    The empty disjunction is :data:`BOTTOM`.
+    """
+    result: TypeExpr = BOTTOM
+    first = True
+    for expr in exprs:
+        result = expr if first else Disjunction(result, expr)
+        first = False
+    return result
+
+
+def conjunction_of(exprs) -> TypeExpr:
+    """Fold a sequence of type expressions into one conjunction.
+
+    The empty conjunction is :data:`TOP`.
+    """
+    result: TypeExpr = TOP
+    first = True
+    for expr in exprs:
+        result = expr if first else Conjunction(result, expr)
+        first = False
+    return result

@@ -1,0 +1,78 @@
+"""Views of a schema and the partial lattice they form (paper §0.1, §2.2).
+
+A *view* of a base schema ``D`` is a pair ``Gamma = (V, gamma)`` where
+``V`` is a schema and ``gamma`` a database mapping whose induced state
+function ``gamma' : LDB(D) -> LDB(V)`` is surjective.  This package
+provides:
+
+* :mod:`~repro.views.mappings` -- database mappings, both query-defined
+  (the paper's interpretations) and function-defined (for the
+  Bancilhon-Spyratos-style arbitrary views used in counterexamples);
+* :mod:`~repro.views.view` -- :class:`~repro.views.view.View` with
+  cached image tables and kernels over a
+  :class:`~repro.relational.enumeration.StateSpace`, plus the identity
+  and zero views;
+* :mod:`~repro.views.morphisms` -- the (at most one) morphism between
+  two views, implicit/explicit definability (Theorem 2.2.2, decided by
+  kernel refinement over the finite state space), and view isomorphism;
+* :mod:`~repro.views.lattice` -- the embedding of views into
+  ``Part(LDB(D))``: the ordering ``<=``, join/meet complements
+  (Definitions 1.3.1 and 1.3.4), full complementarity, and product
+  views.
+"""
+
+from repro.views.mappings import (
+    ComposedMapping,
+    DatabaseMapping,
+    FunctionMapping,
+    IdentityMapping,
+    QueryMapping,
+    ZeroMapping,
+)
+from repro.views.view import View, identity_view, zero_view
+from repro.views.morphisms import (
+    are_isomorphic,
+    defines,
+    view_leq,
+    view_morphism_table,
+)
+from repro.views.implied import (
+    complete_view_schema,
+    implied_functional_dependencies,
+    implied_join_dependency,
+    is_implied,
+    surjectivity_deficit,
+)
+from repro.views.lattice import (
+    are_complementary,
+    are_join_complements,
+    are_meet_complements,
+    find_join_complements,
+    product_view,
+)
+
+__all__ = [
+    "ComposedMapping",
+    "DatabaseMapping",
+    "FunctionMapping",
+    "IdentityMapping",
+    "QueryMapping",
+    "View",
+    "ZeroMapping",
+    "are_complementary",
+    "are_isomorphic",
+    "are_join_complements",
+    "are_meet_complements",
+    "complete_view_schema",
+    "implied_functional_dependencies",
+    "implied_join_dependency",
+    "is_implied",
+    "surjectivity_deficit",
+    "defines",
+    "find_join_complements",
+    "identity_view",
+    "product_view",
+    "view_leq",
+    "view_morphism_table",
+    "zero_view",
+]

@@ -1,0 +1,126 @@
+"""Implied constraints of a view (paper §1.1).
+
+"An implied constraint of view ``Gamma = (V, gamma)`` is a constraint
+on ``V`` which is true for every instance of the form ``gamma'(s)``" --
+and the paper's fix for the surjectivity problem is to endow the view
+schema with its implied constraints, so that illegal targets (like the
+join-violating insert of Example 1.1.1) are simply not view states.
+
+Over a finite state space the notion is decidable by quantification
+over the image:
+
+* :func:`is_implied` -- does one constraint hold in every image state?
+* :func:`implied_functional_dependencies` -- all FDs over a view
+  relation that the view implies (the classical dependency-inference
+  question, answered semantically);
+* :func:`implied_join_dependency` -- does the view imply a given JD?
+* :func:`complete_view_schema` -- extend the view's schema with a set
+  of candidate constraints that hold on the image, and report whether
+  the completed schema is *exact* (its LDB equals the image -- the
+  standing surjectivity assumption).  The paper notes (after Example
+  1.1.1, citing [Hegn84]) that first-order candidates do not always
+  suffice; :func:`surjectivity_deficit` measures exactly the gap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Tuple
+
+from repro.relational.constraints import (
+    Constraint,
+    FunctionalDependency,
+    JoinDependency,
+)
+from repro.relational.enumeration import StateSpace
+from repro.relational.schema import Schema
+from repro.views.view import View
+
+
+def is_implied(
+    constraint: Constraint,
+    view: View,
+    space: StateSpace,
+    view_schema: Schema,
+) -> bool:
+    """True iff *constraint* holds in every image state of the view."""
+    return all(
+        constraint.holds(image, view_schema, space.assignment)
+        for image in view.image_states(space)
+    )
+
+
+def implied_functional_dependencies(
+    view: View,
+    space: StateSpace,
+    relation: str,
+    view_schema: Schema,
+    max_lhs: int = 2,
+) -> Tuple[FunctionalDependency, ...]:
+    """All implied FDs ``X -> A`` on one view relation.
+
+    Enumerates left-hand sides up to *max_lhs* attributes and single
+    right-hand attributes, returning the (non-trivial) dependencies
+    that hold in every image state.
+    """
+    attributes = view_schema.relation(relation).attributes
+    found: List[FunctionalDependency] = []
+    for size in range(1, max_lhs + 1):
+        for lhs in itertools.combinations(attributes, size):
+            for rhs in attributes:
+                if rhs in lhs:
+                    continue
+                fd = FunctionalDependency(relation, lhs, (rhs,))
+                if is_implied(fd, view, space, view_schema):
+                    found.append(fd)
+    return tuple(found)
+
+
+def implied_join_dependency(
+    view: View,
+    space: StateSpace,
+    relation: str,
+    components: Tuple[Tuple[str, ...], ...],
+    view_schema: Schema,
+) -> bool:
+    """Does the view imply ``relation : ⋈[components]``?
+
+    Example 1.1.1's diagnosis: the join view implies ``⋈[SP, PJ]``.
+    """
+    return is_implied(
+        JoinDependency(relation, components), view, space, view_schema
+    )
+
+
+def complete_view_schema(
+    view: View,
+    space: StateSpace,
+    view_schema: Schema,
+    candidates: Iterable[Constraint],
+) -> Schema:
+    """The view schema extended with every implied candidate constraint."""
+    implied = tuple(
+        constraint
+        for constraint in candidates
+        if is_implied(constraint, view, space, view_schema)
+    )
+    return view_schema.with_constraints(implied)
+
+
+def surjectivity_deficit(
+    view: View,
+    space: StateSpace,
+    view_schema: Schema,
+    max_candidates: int = 1 << 22,
+) -> int:
+    """How many legal states of *view_schema* are not images.
+
+    Zero means the schema's constraints capture the image exactly (the
+    paper's surjectivity assumption holds); positive means further
+    implied constraints are needed -- possibly ones not expressible
+    with the schema's constraint vocabulary at all ([Hegn84]).
+    """
+    view_space = StateSpace.enumerate(
+        view_schema, space.assignment, max_candidates
+    )
+    return len(view.surjectivity_gap(space, view_space))

@@ -1,0 +1,96 @@
+"""The partial lattice of views: complements (paper §1.3, §2.2).
+
+Views embed into ``Part(LDB(D))`` via kernels; join and meet are those
+of partitions where they exist as views.  Two views are:
+
+* **join complementary** iff ``gamma1 x gamma2`` is injective -- kernel
+  supremum (common refinement) is discrete (Definition 1.3.1);
+* **meet complementary** iff ``gamma1 x gamma2`` is surjective onto
+  ``LDB(V1) x LDB(V2)`` (Definition 1.3.4) -- every pair of view states
+  is jointly realised;
+* **complementary** iff both, in which case every update to either view
+  is possible with the other constant (Observation 1.3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.relational.enumeration import StateSpace
+from repro.views.mappings import PairingMapping
+from repro.views.view import View
+
+
+def are_join_complements(left: View, right: View, space: StateSpace) -> bool:
+    """Definition 1.3.1(a): is ``gamma1 x gamma2`` injective?"""
+    left_table = left.image_table(space)
+    right_table = right.image_table(space)
+    pairs = set(zip(left_table, right_table))
+    return len(pairs) == len(space)
+
+
+def are_meet_complements(left: View, right: View, space: StateSpace) -> bool:
+    """Definition 1.3.4(a): is ``gamma1 x gamma2`` surjective onto the
+    product of the view state sets?
+
+    ``LDB(Vi)`` is taken to be the image of ``gamma_i`` (the paper's
+    surjectivity assumption).
+    """
+    left_table = left.image_table(space)
+    right_table = right.image_table(space)
+    pairs = set(zip(left_table, right_table))
+    return len(pairs) == len(set(left_table)) * len(set(right_table))
+
+
+def are_complementary(left: View, right: View, space: StateSpace) -> bool:
+    """Definition 1.3.4(b): join complementary and meet complementary.
+
+    Equivalently: ``gamma1 x gamma2`` is a bijection onto the product of
+    the view state sets, so any update to either view is possible while
+    holding the other constant (Observation 1.3.5).
+    """
+    return are_join_complements(left, right, space) and are_meet_complements(
+        left, right, space
+    )
+
+
+def find_join_complements(
+    view: View, candidates: Iterable[View], space: StateSpace
+) -> Tuple[View, ...]:
+    """All candidates that are join complements of *view*.
+
+    Example 1.3.6 / the Bancilhon-Spyratos non-uniqueness phenomenon:
+    expect this to return *several* views in general.
+    """
+    return tuple(
+        candidate
+        for candidate in candidates
+        if are_join_complements(view, candidate, space)
+    )
+
+
+def find_complementary(
+    view: View, candidates: Iterable[View], space: StateSpace
+) -> Tuple[View, ...]:
+    """All candidates fully complementary to *view*."""
+    return tuple(
+        candidate
+        for candidate in candidates
+        if are_complementary(view, candidate, space)
+    )
+
+
+def product_view(left: View, right: View, name: str | None = None) -> View:
+    """The product view pairing two views' states.
+
+    Its kernel is the supremum of the two kernels, so *left* and *right*
+    are join complementary exactly when the product view is injective --
+    a convenient executable restatement of Definition 1.3.1 used in
+    tests.
+    """
+    return View(
+        name or f"({left.name} × {right.name})",
+        left.base_schema,
+        None,
+        PairingMapping(left.mapping, right.mapping),
+    )

@@ -1,0 +1,193 @@
+"""Database mappings: the ``gamma`` of a view ``(V, gamma)``.
+
+The paper defines a database mapping as an interpretation of the target
+schema's language into the source's (§2.1); operationally each target
+relation is given by a query over the source.  :class:`QueryMapping`
+realises exactly that.  :class:`FunctionMapping` admits *arbitrary*
+state functions -- the Bancilhon-Spyratos position that any function
+defines a view -- which the paper argues against but which we need to
+reproduce its counterexamples (e.g. the symmetric-difference view of
+Example 1.3.6 could also be given this way).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.errors import EvaluationError, SchemaError
+from repro.relational.instances import DatabaseInstance
+from repro.relational.queries import Query
+from repro.relational.schema import Schema
+from repro.typealgebra.assignment import TypeAssignment
+
+
+class DatabaseMapping:
+    """Abstract database mapping between two schemas."""
+
+    def apply(
+        self, instance: DatabaseInstance, assignment: TypeAssignment
+    ) -> DatabaseInstance:
+        """The induced state function ``gamma'`` on one state."""
+        raise NotImplementedError
+
+    def target_arities(self) -> Dict[str, int]:
+        """Signature of the produced instances (name -> arity)."""
+        raise NotImplementedError
+
+
+class QueryMapping(DatabaseMapping):
+    """A mapping defined by one query per target relation.
+
+    This is the paper's notion of interpretation: every target relation
+    symbol is interpreted by a formula (here: a relational-algebra
+    query) over the source signature.
+    """
+
+    def __init__(self, queries: Mapping[str, Query]):
+        if not isinstance(queries, Mapping):
+            raise SchemaError("queries must be a mapping name -> Query")
+        self._queries: Dict[str, Query] = dict(queries)
+
+    @property
+    def queries(self) -> Dict[str, Query]:
+        """The defining queries (copy)."""
+        return dict(self._queries)
+
+    def apply(self, instance, assignment) -> DatabaseInstance:
+        return DatabaseInstance(
+            {
+                name: query.evaluate(instance, assignment)
+                for name, query in self._queries.items()
+            }
+        )
+
+    def target_arities(self) -> Dict[str, int]:
+        return {name: q.arity for name, q in self._queries.items()}
+
+    def __repr__(self) -> str:
+        return f"QueryMapping({sorted(self._queries)})"
+
+
+class FunctionMapping(DatabaseMapping):
+    """A mapping defined by an arbitrary Python function on states.
+
+    The function must be deterministic and total on the legal states it
+    will be applied to.  Used for theoretic counterexamples; prefer
+    :class:`QueryMapping` for anything meant to model a real view.
+    """
+
+    def __init__(
+        self,
+        func: Callable[[DatabaseInstance, TypeAssignment], DatabaseInstance],
+        arities: Mapping[str, int],
+        label: str = "",
+    ):
+        self._func = func
+        self._arities = dict(arities)
+        self.label = label
+
+    def apply(self, instance, assignment) -> DatabaseInstance:
+        result = self._func(instance, assignment)
+        if not isinstance(result, DatabaseInstance):
+            raise EvaluationError(
+                "function mapping must return a DatabaseInstance"
+            )
+        return result
+
+    def target_arities(self) -> Dict[str, int]:
+        return dict(self._arities)
+
+    def __repr__(self) -> str:
+        return f"FunctionMapping({self.label or self._func!r})"
+
+
+class IdentityMapping(DatabaseMapping):
+    """The identity mapping ``D -> D`` (defines the identity view ``1_D``)."""
+
+    def __init__(self, schema: Schema):
+        self._schema = schema
+
+    def apply(self, instance, assignment) -> DatabaseInstance:
+        return instance
+
+    def target_arities(self) -> Dict[str, int]:
+        return self._schema.arities()
+
+    def __repr__(self) -> str:
+        return f"IdentityMapping({self._schema.name!r})"
+
+
+class ZeroMapping(DatabaseMapping):
+    """The zero mapping (defines the zero view ``0_D``).
+
+    The zero view preserves the type assignment but contains no
+    relations at all (paper §2.2); every state maps to the unique empty
+    structure.
+    """
+
+    def apply(self, instance, assignment) -> DatabaseInstance:
+        return DatabaseInstance({})
+
+    def target_arities(self) -> Dict[str, int]:
+        return {}
+
+    def __repr__(self) -> str:
+        return "ZeroMapping()"
+
+
+class ComposedMapping(DatabaseMapping):
+    """Composition ``outer . inner`` (apply *inner* first)."""
+
+    def __init__(self, outer: DatabaseMapping, inner: DatabaseMapping):
+        self.outer = outer
+        self.inner = inner
+
+    def apply(self, instance, assignment) -> DatabaseInstance:
+        return self.outer.apply(self.inner.apply(instance, assignment), assignment)
+
+    def target_arities(self) -> Dict[str, int]:
+        return self.outer.target_arities()
+
+    def __repr__(self) -> str:
+        return f"ComposedMapping({self.outer!r} ∘ {self.inner!r})"
+
+
+class PairingMapping(DatabaseMapping):
+    """The pairing ``gamma1 x gamma2`` with disjointly renamed relations.
+
+    Produces, for each state ``s``, an instance holding the relations of
+    ``gamma1'(s)`` prefixed ``left.`` and those of ``gamma2'(s)``
+    prefixed ``right.``.  This is the mapping underlying the product
+    view used to test join complementarity (``gamma1 x gamma2``
+    injective) directly.
+    """
+
+    def __init__(self, left: DatabaseMapping, right: DatabaseMapping):
+        self.left = left
+        self.right = right
+
+    def apply(self, instance, assignment) -> DatabaseInstance:
+        left_instance = self.left.apply(instance, assignment)
+        right_instance = self.right.apply(instance, assignment)
+        combined = {}
+        for name in left_instance:
+            combined[f"left.{name}"] = left_instance.relation(name)
+        for name in right_instance:
+            combined[f"right.{name}"] = right_instance.relation(name)
+        return DatabaseInstance(combined)
+
+    def target_arities(self) -> Dict[str, int]:
+        arities = {
+            f"left.{name}": arity
+            for name, arity in self.left.target_arities().items()
+        }
+        arities.update(
+            {
+                f"right.{name}": arity
+                for name, arity in self.right.target_arities().items()
+            }
+        )
+        return arities
+
+    def __repr__(self) -> str:
+        return f"PairingMapping({self.left!r}, {self.right!r})"

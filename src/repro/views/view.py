@@ -1,0 +1,192 @@
+"""Views ``Gamma = (V, gamma)`` with cached per-state-space analyses.
+
+A :class:`View` couples a view schema with a database mapping from a
+base schema.  All semantic questions (image, kernel, surjectivity) are
+asked relative to a :class:`~repro.relational.enumeration.StateSpace`
+of the base schema; results are cached per space, keyed by identity,
+since state spaces are immutable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import NotSurjectiveError, SchemaError
+from repro.algebra.partitions import Partition
+from repro.relational.enumeration import StateSpace
+from repro.relational.instances import DatabaseInstance, sorted_instances
+from repro.relational.schema import Schema
+from repro.typealgebra.assignment import TypeAssignment
+from repro.views.mappings import DatabaseMapping, IdentityMapping, ZeroMapping
+
+
+class View:
+    """A view of a base schema.
+
+    Parameters
+    ----------
+    name:
+        Display name (``Gamma_1`` etc.).
+    base_schema:
+        The base schema ``D``.
+    view_schema:
+        The view schema ``V``.  Its signature must match the mapping's
+        target arities.  Pass ``None`` to mean "the image schema": a
+        constraint-free schema whose legal states are *defined* to be
+        the image of the mapping (the paper's standing surjectivity
+        assumption then holds by construction).
+    mapping:
+        The database mapping ``gamma``.
+    """
+
+    __slots__ = (
+        "name",
+        "base_schema",
+        "view_schema",
+        "mapping",
+        "_image_cache",
+        "_kernel_cache",
+        "_preimage_cache",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        base_schema: Schema,
+        view_schema: Optional[Schema],
+        mapping: DatabaseMapping,
+    ):
+        if view_schema is not None:
+            declared = {
+                rel.name: rel.arity for rel in view_schema.relations
+            }
+            if declared != mapping.target_arities():
+                raise SchemaError(
+                    f"view {name!r}: view schema signature {declared} does "
+                    f"not match mapping signature {mapping.target_arities()}"
+                )
+        self.name = name
+        self.base_schema = base_schema
+        self.view_schema = view_schema
+        self.mapping = mapping
+        self._image_cache: Dict[int, Tuple[DatabaseInstance, ...]] = {}
+        self._kernel_cache: Dict[int, Partition] = {}
+        self._preimage_cache: Dict[int, Dict[DatabaseInstance, Tuple[DatabaseInstance, ...]]] = {}
+
+    def __repr__(self) -> str:
+        return f"View({self.name!r})"
+
+    # -- pointwise application --------------------------------------------------
+
+    def apply(
+        self, state: DatabaseInstance, assignment: TypeAssignment
+    ) -> DatabaseInstance:
+        """``gamma'(state)``."""
+        return self.mapping.apply(state, assignment)
+
+    # -- per-space analyses --------------------------------------------------------
+
+    def image_table(self, space: StateSpace) -> Tuple[DatabaseInstance, ...]:
+        """``gamma'`` tabulated over the space (aligned with its states)."""
+        key = id(space)
+        if key not in self._image_cache:
+            self._image_cache[key] = tuple(
+                self.mapping.apply(state, space.assignment)
+                for state in space.states
+            )
+        return self._image_cache[key]
+
+    def image_states(self, space: StateSpace) -> Tuple[DatabaseInstance, ...]:
+        """The distinct view states, deterministically ordered."""
+        return sorted_instances(set(self.image_table(space)))
+
+    def kernel(self, space: StateSpace) -> Partition:
+        """``Pi(Gamma) = ker(gamma')`` as a partition of the states."""
+        key = id(space)
+        if key not in self._kernel_cache:
+            table = self.image_table(space)
+            self._kernel_cache[key] = Partition.from_kernel(
+                space.states, lambda s: table[space.index(s)]
+            )
+        return self._kernel_cache[key]
+
+    def preimages(
+        self, space: StateSpace, view_state: DatabaseInstance
+    ) -> Tuple[DatabaseInstance, ...]:
+        """All base states mapping to *view_state* (cached per space)."""
+        key = id(space)
+        if key not in self._preimage_cache:
+            fibres: Dict[DatabaseInstance, list] = {}
+            for state, image in zip(space.states, self.image_table(space)):
+                fibres.setdefault(image, []).append(state)
+            self._preimage_cache[key] = {
+                image: tuple(states) for image, states in fibres.items()
+            }
+        return self._preimage_cache[key].get(view_state, ())
+
+    # -- surjectivity (the paper's standing assumption, §1.1) ----------------------
+
+    def is_surjective_onto(
+        self, space: StateSpace, view_space: StateSpace
+    ) -> bool:
+        """True iff the image is all of the given view state space."""
+        return set(self.image_table(space)) == set(view_space.states)
+
+    def surjectivity_gap(
+        self, space: StateSpace, view_space: StateSpace
+    ) -> Tuple[DatabaseInstance, ...]:
+        """View states not in the image -- the states whose absence of a
+        reflection Example 1.1.1 demonstrates."""
+        image = set(self.image_table(space))
+        return tuple(t for t in view_space.states if t not in image)
+
+    def check_surjective(
+        self, space: StateSpace, view_space: StateSpace
+    ) -> None:
+        """Raise :class:`~repro.errors.NotSurjectiveError` with the gap."""
+        gap = self.surjectivity_gap(space, view_space)
+        if gap:
+            raise NotSurjectiveError(
+                f"view {self.name!r} misses {len(gap)} view state(s); "
+                "add the implied constraints to the view schema"
+            )
+
+    def view_space(self, space: StateSpace) -> StateSpace:
+        """The image as a state space of the view schema.
+
+        When ``view_schema`` is ``None`` a constraint-free image schema
+        is fabricated; either way the returned space's states are
+        exactly the image (so surjectivity holds by construction, as the
+        paper assumes after §1.1).
+        """
+        schema = self.view_schema
+        if schema is None:
+            from repro.relational.schema import RelationSchema
+
+            arities = self.mapping.target_arities()
+            schema = Schema(
+                name=f"{self.name}.image",
+                relations=tuple(
+                    RelationSchema(
+                        name,
+                        tuple(f"c{i}" for i in range(arity)),
+                    )
+                    for name, arity in sorted(arities.items())
+                ),
+                enforce_column_types=False,
+            )
+        return StateSpace.from_states(
+            schema, space.assignment, self.image_states(space), validate=False
+        )
+
+
+def identity_view(schema: Schema, name: str = "1_D") -> View:
+    """The identity view ``1_D = (D, 1)`` -- a join complement of every
+    view, under which only the identity update is possible (§1.3)."""
+    return View(name, schema, schema, IdentityMapping(schema))
+
+
+def zero_view(schema: Schema, name: str = "0_D") -> View:
+    """The zero view ``0_D`` -- no relations, kernel indiscrete (§2.2)."""
+    zero_schema = Schema(name="zero", relations=(), enforce_column_types=False)
+    return View(name, schema, zero_schema, ZeroMapping())

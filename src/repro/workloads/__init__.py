@@ -1,0 +1,49 @@
+"""Workloads: the paper's example universes and random generators.
+
+* :mod:`~repro.workloads.scenarios` -- faithful executable builds of
+  every universe the paper's examples use: the SPJ join schema of
+  Example 1.1.1 (both the paper-exact instance and a small enumerable
+  variant), the inverted SPJ schema of Example 1.2.5, the two-unary
+  R/S/T⊕ universe of Example 1.3.6, and the ABCD chain of Examples
+  2.1.1 / 2.3.4 / 3.2.4 (paper-exact domains for instance-level checks,
+  small domains for exhaustive state-space analyses);
+* :mod:`~repro.workloads.generators` -- seeded random schemas,
+  instances, and update workloads for the scaling and comparison
+  benchmarks (S1-S4).
+"""
+
+from repro.workloads.scenarios import (
+    SPJScenario,
+    TwoUnaryScenario,
+    abcd_chain_paper,
+    abcd_chain_small,
+    abcd_chain_tiny,
+    paper_chain_instance,
+    spj_inverse_scenario,
+    spj_mini_scenario,
+    spj_paper_instance,
+    spj_scenario,
+    two_unary_scenario,
+)
+from repro.workloads.generators import (
+    random_chain_states,
+    random_two_unary_states,
+    random_update_workload,
+)
+
+__all__ = [
+    "SPJScenario",
+    "TwoUnaryScenario",
+    "abcd_chain_paper",
+    "abcd_chain_small",
+    "abcd_chain_tiny",
+    "paper_chain_instance",
+    "random_chain_states",
+    "random_two_unary_states",
+    "random_update_workload",
+    "spj_inverse_scenario",
+    "spj_mini_scenario",
+    "spj_paper_instance",
+    "spj_scenario",
+    "two_unary_scenario",
+]

@@ -1,0 +1,80 @@
+"""Seeded random workload generators for the scaling benchmarks.
+
+All generators take an explicit ``seed`` and use a private
+``random.Random`` so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.relational.enumeration import StateSpace
+from repro.relational.instances import DatabaseInstance
+from repro.views.view import View
+from repro.decomposition.chain import ChainSchema
+
+
+def random_chain_states(
+    chain: ChainSchema, count: int, seed: int = 0
+) -> Tuple[DatabaseInstance, ...]:
+    """Random legal states of a chain schema (uniform over edge sets)."""
+    rng = random.Random(seed)
+    states = []
+    for _ in range(count):
+        edges = []
+        for edge in range(chain.edge_count):
+            pairs = chain.edge_pairs(edge)
+            edges.append(
+                frozenset(p for p in pairs if rng.random() < 0.5)
+            )
+        states.append(chain.state_from_edges(edges))
+    return tuple(states)
+
+
+def random_two_unary_states(
+    domain: Sequence[str], count: int, seed: int = 0
+) -> Tuple[DatabaseInstance, ...]:
+    """Random states of the two-unary-relation schema of Example 1.3.6."""
+    rng = random.Random(seed)
+    states = []
+    for _ in range(count):
+        r_rows = {(x,) for x in domain if rng.random() < 0.5}
+        s_rows = {(x,) for x in domain if rng.random() < 0.5}
+        states.append(DatabaseInstance({"R": r_rows, "S": s_rows}))
+    return tuple(states)
+
+
+def random_update_workload(
+    view: View,
+    space: StateSpace,
+    count: int,
+    seed: int = 0,
+) -> Tuple[Tuple[DatabaseInstance, DatabaseInstance], ...]:
+    """Random (base state, target view state) update requests.
+
+    Targets are drawn from the view's image, so every request is
+    solvable in principle (the paper's surjectivity assumption); whether
+    a given *strategy* accepts it is exactly what the comparison
+    benchmarks measure.
+    """
+    rng = random.Random(seed)
+    states = space.states
+    targets = view.image_states(space)
+    workload = []
+    for _ in range(count):
+        workload.append(
+            (states[rng.randrange(len(states))], targets[rng.randrange(len(targets))])
+        )
+    return tuple(workload)
+
+
+def random_subsets(
+    items: Sequence, count: int, seed: int = 0, probability: float = 0.5
+) -> List[frozenset]:
+    """Random subsets of a ground sequence (helper for property tests)."""
+    rng = random.Random(seed)
+    return [
+        frozenset(x for x in items if rng.random() < probability)
+        for _ in range(count)
+    ]

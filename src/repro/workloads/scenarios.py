@@ -1,0 +1,365 @@
+"""The paper's example universes, built faithfully and executably.
+
+Every example in the paper gets a builder here; integration tests and
+the experiment harness consume these rather than re-constructing
+instances ad hoc.  Where the paper's domains make exhaustive state
+enumeration impractical (Example 1.1.1 uses 3-4 values per attribute),
+a *small* variant with 2-value domains is provided alongside the
+*paper-exact* instance; all the phenomena (side effects, extraneous
+updates, missing minimal solutions, non-functoriality, ...) are
+domain-size independent and reproduce in the small variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.relational.constraints import JoinDependency
+from repro.relational.enumeration import StateSpace
+from repro.relational.instances import DatabaseInstance
+from repro.relational.queries import (
+    Difference,
+    NaturalJoin,
+    Project,
+    RelationRef,
+    Union,
+)
+from repro.relational.schema import RelationSchema, Schema
+from repro.typealgebra.assignment import TypeAssignment
+from repro.views.mappings import QueryMapping
+from repro.views.view import View
+from repro.decomposition.chain import ChainSchema
+
+
+# ---------------------------------------------------------------------------
+# Example 1.1.1 family: base R_SP, R_PJ; view = join R_SPJ
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SPJScenario:
+    """The supplier-part-job universe of Example 1.1.1.
+
+    ``schema`` has two binary relations and *no constraints whatever*;
+    ``join_view`` maps a state to the join ``R_SPJ``.  ``view_schema``
+    (when built with the join dependency) carries the implied constraint
+    ``⋈[SP, PJ]`` that restores surjectivity (§1.1).
+    """
+
+    schema: Schema
+    assignment: TypeAssignment
+    join_view: View
+    view_schema_plain: Schema
+    view_schema_with_jd: Schema
+    space: Optional[StateSpace] = None
+
+    def view_space_plain(self) -> StateSpace:
+        """LDB of the unconstrained view schema (not all are images)."""
+        return StateSpace.enumerate(self.view_schema_plain, self.assignment)
+
+    def view_space_with_jd(self) -> StateSpace:
+        """LDB of the view schema with the implied join dependency."""
+        return StateSpace.enumerate(self.view_schema_with_jd, self.assignment)
+
+
+def _spj_build(
+    suppliers: Tuple[str, ...],
+    parts: Tuple[str, ...],
+    jobs: Tuple[str, ...],
+    enumerate_space: bool,
+) -> SPJScenario:
+    schema = Schema(
+        name="D_spj",
+        relations=(
+            RelationSchema("R_SP", ("S", "P")),
+            RelationSchema("R_PJ", ("P", "J")),
+        ),
+    )
+    assignment = TypeAssignment.from_names(
+        {"S": suppliers, "P": parts, "J": jobs}
+    )
+    join_query = NaturalJoin(
+        RelationRef.of(schema, "R_SP"), RelationRef.of(schema, "R_PJ")
+    )
+    join_view = View(
+        "Γ_SPJ", schema, None, QueryMapping({"R_SPJ": join_query})
+    )
+    view_relation = RelationSchema("R_SPJ", ("S", "P", "J"))
+    view_schema_plain = Schema(name="V_spj", relations=(view_relation,))
+    view_schema_with_jd = Schema(
+        name="V_spj_jd",
+        relations=(view_relation,),
+        constraints=(JoinDependency("R_SPJ", (("S", "P"), ("P", "J"))),),
+    )
+    space = (
+        StateSpace.enumerate(schema, assignment) if enumerate_space else None
+    )
+    return SPJScenario(
+        schema=schema,
+        assignment=assignment,
+        join_view=join_view,
+        view_schema_plain=view_schema_plain,
+        view_schema_with_jd=view_schema_with_jd,
+        space=space,
+    )
+
+
+def spj_scenario() -> SPJScenario:
+    """Small SPJ universe (2 values per attribute; 256 states)."""
+    return _spj_build(("s1", "s2"), ("p1", "p2"), ("j1", "j2"), True)
+
+
+def spj_mini_scenario() -> SPJScenario:
+    """Minimal SPJ universe (1 supplier, 2 parts, 2 jobs; 64 states).
+
+    Large enough to exhibit the non-functoriality of Example 1.2.7 and
+    the symmetry failure of Example 1.2.10, small enough for exhaustive
+    strategy analyses in unit tests.
+    """
+    return _spj_build(("s1",), ("p1", "p2"), ("j1", "j2"), True)
+
+
+def spj_paper_instance() -> Tuple[SPJScenario, DatabaseInstance]:
+    """The paper-exact Example 1.1.1 instance, without state enumeration.
+
+    Returns the scenario (paper domains) and the printed base instance:
+    R_SP = {(s1,p1), (s1,p2), (s2,p3)},
+    R_PJ = {(p1,j1), (p1,j2), (p3,j1), (p4,j3)}.
+    """
+    scenario = _spj_build(
+        ("s1", "s2", "s3"),
+        ("p1", "p2", "p3", "p4"),
+        ("j1", "j2", "j3", "j4"),
+        False,
+    )
+    instance = DatabaseInstance(
+        {
+            "R_SP": {("s1", "p1"), ("s1", "p2"), ("s2", "p3")},
+            "R_PJ": {
+                ("p1", "j1"),
+                ("p1", "j2"),
+                ("p3", "j1"),
+                ("p4", "j3"),
+            },
+        }
+    )
+    return scenario, instance
+
+
+# ---------------------------------------------------------------------------
+# Example 1.2.5 family: base R_SPJ with ⋈[SP, PJ]; views = projections
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SPJInverseScenario:
+    """Example 1.2.5: the join schema "turned around"."""
+
+    schema: Schema
+    assignment: TypeAssignment
+    sp_view: View
+    pj_view: View
+    space: StateSpace
+    #: The paper's initial instance (adapted to the scenario's domains).
+    initial: DatabaseInstance
+
+
+def spj_inverse_scenario() -> SPJInverseScenario:
+    """Base ``R_SPJ`` constrained by ``⋈[SP, PJ]``; views π_SP, π_PJ.
+
+    Domains kept small (S: 3, P: 2, J: 2) so the space enumerates; the
+    initial instance mirrors the paper's
+    {(s1,p1,j1), (s1,p1,j2), (s2,p2,j2)} (with j2 for the third row --
+    any row with a distinct part works the same).
+    """
+    schema = Schema(
+        name="D_spj_inv",
+        relations=(RelationSchema("R_SPJ", ("S", "P", "J")),),
+        constraints=(JoinDependency("R_SPJ", (("S", "P"), ("P", "J"))),),
+    )
+    assignment = TypeAssignment.from_names(
+        {"S": ("s1", "s2", "s3"), "P": ("p1", "p2"), "J": ("j1", "j2")}
+    )
+    base = RelationRef.of(schema, "R_SPJ")
+    sp_view = View(
+        "Γ_SP", schema, None, QueryMapping({"R_SP": Project(base, ("S", "P"))})
+    )
+    pj_view = View(
+        "Γ_PJ", schema, None, QueryMapping({"R_PJ": Project(base, ("P", "J"))})
+    )
+    space = StateSpace.enumerate(schema, assignment)
+    initial = DatabaseInstance(
+        {
+            "R_SPJ": {
+                ("s1", "p1", "j1"),
+                ("s1", "p1", "j2"),
+                ("s2", "p2", "j2"),
+            }
+        }
+    )
+    return SPJInverseScenario(
+        schema=schema,
+        assignment=assignment,
+        sp_view=sp_view,
+        pj_view=pj_view,
+        space=space,
+        initial=initial,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Example 1.3.6 family: two unary relations; complements galore
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TwoUnaryScenario:
+    """Example 1.3.6: R, S unary, no constraints; three mutual complements.
+
+    ``gamma1`` keeps R, ``gamma2`` keeps S, ``gamma3`` computes the
+    symmetric difference T.  Any two are complementary, but only the
+    first two are strong views.
+    """
+
+    schema: Schema
+    assignment: TypeAssignment
+    gamma1: View
+    gamma2: View
+    gamma3: View
+    space: StateSpace
+    #: The paper's example instance: R = {a1, a2}, S = {a2, a3}.
+    initial: DatabaseInstance
+
+    def boolean_function_views(self) -> Dict[str, View]:
+        """The 16 views ``T_f = {x : f(x in R, x in S)}``.
+
+        A systematic family for complement counting (experiment E7):
+        exactly four of them (S, not-S, XOR, XNOR) are join complements
+        of ``gamma1``, of which only S is a strong view.
+        """
+        from repro.views.mappings import FunctionMapping
+
+        views: Dict[str, View] = {}
+        universe = sorted(self.assignment.universe, key=repr)
+
+        def make(name: str, truth: Tuple[bool, bool, bool, bool]) -> View:
+            # truth = f(0,0), f(0,1), f(1,0), f(1,1)
+            def func(instance, assignment, truth=truth):
+                rows = set()
+                r_rows = {row[0] for row in instance.relation("R")}
+                s_rows = {row[0] for row in instance.relation("S")}
+                for x in universe:
+                    index = 2 * (x in r_rows) + (x in s_rows)
+                    if truth[index]:
+                        rows.add((x,))
+                from repro.relational.instances import DatabaseInstance
+                from repro.relational.relations import Relation
+
+                return DatabaseInstance({"T": Relation(rows, 1)})
+
+            return View(
+                name,
+                self.schema,
+                None,
+                FunctionMapping(func, {"T": 1}, label=name),
+            )
+
+        for code in range(16):
+            truth = tuple(bool(code & (1 << i)) for i in range(4))
+            views[f"T_f{code:02d}"] = make(f"T_f{code:02d}", truth)
+        return views
+
+
+def two_unary_scenario(domain: Tuple[str, ...] = ("a1", "a2", "a3", "a4")) -> TwoUnaryScenario:
+    """Build the Example 1.3.6 universe (default domain of 4 values)."""
+    schema = Schema(
+        name="D_rs",
+        relations=(
+            RelationSchema("R", ("A",)),
+            RelationSchema("S", ("B",)),
+        ),
+    )
+    assignment = TypeAssignment.from_names({"A": domain, "B": domain})
+    r_ref = RelationRef.of(schema, "R")
+    s_ref = RelationRef.of(schema, "S")
+    gamma1 = View("Γ1", schema, None, QueryMapping({"R": r_ref}))
+    gamma2 = View("Γ2", schema, None, QueryMapping({"S": s_ref}))
+    symmetric_difference = Union(
+        Difference(r_ref, s_ref), Difference(s_ref, r_ref)
+    )
+    gamma3 = View("Γ3", schema, None, QueryMapping({"T": symmetric_difference}))
+    space = StateSpace.enumerate(schema, assignment)
+    initial = DatabaseInstance(
+        {"R": {("a1",), ("a2",)}, "S": {("a2",), ("a3",)}}
+    )
+    return TwoUnaryScenario(
+        schema=schema,
+        assignment=assignment,
+        gamma1=gamma1,
+        gamma2=gamma2,
+        gamma3=gamma3,
+        space=space,
+        initial=initial,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Example 2.1.1 family: the ABCD chain
+# ---------------------------------------------------------------------------
+
+
+def abcd_chain_tiny() -> ChainSchema:
+    """ABCD chain with singleton domains (8 states) for fast unit tests."""
+    return ChainSchema(
+        ("A", "B", "C", "D"),
+        {"A": ("a1",), "B": ("b1",), "C": ("c1",), "D": ("d1",)},
+    )
+
+
+def abcd_chain_small() -> ChainSchema:
+    """ABCD chain with small domains (64 states) for exhaustive analyses.
+
+    The C domain has two values so that the ``Gamma_ABD`` projection of
+    Example 3.2.4 genuinely loses information: only ``Γ°BCD`` (and the
+    trivial top) is a strong join complement of it, exactly as the paper
+    states -- with singleton inner domains everything would degenerate
+    to being definable.
+    """
+    return ChainSchema(
+        ("A", "B", "C", "D"),
+        {"A": ("a1", "a2"), "B": ("b1",), "C": ("c1", "c2"), "D": ("d1",)},
+    )
+
+
+def abcd_chain_paper() -> ChainSchema:
+    """ABCD chain with the paper's Example 2.1.1 domains.
+
+    The state space is astronomically large; use this only for
+    instance-level checks (legality of the printed instance, pointwise
+    view application), never for enumeration.
+    """
+    return ChainSchema(
+        ("A", "B", "C", "D"),
+        {
+            "A": ("a1", "a2"),
+            "B": ("b1", "b2", "b3"),
+            "C": ("c1", "c3", "c4"),
+            "D": ("d1", "d4"),
+        },
+    )
+
+
+def paper_chain_instance(chain: ChainSchema) -> DatabaseInstance:
+    """The exact instance printed in Example 2.1.1.
+
+    Built from its edge sets via the structure theorem; the test suite
+    verifies the materialised tuples match the paper's table verbatim.
+    """
+    return chain.state_from_edges(
+        [
+            {("a1", "b1"), ("a2", "b2"), ("a2", "b3")},
+            {("b1", "c1"), ("b3", "c3")},
+            {("c1", "d1"), ("c4", "d4")},
+        ]
+    )

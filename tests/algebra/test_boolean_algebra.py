@@ -1,0 +1,133 @@
+"""Unit tests for :mod:`repro.algebra.boolean_algebra`."""
+
+import pytest
+
+from repro.errors import NotABooleanAlgebraError
+from repro.algebra.boolean_algebra import (
+    FiniteBooleanAlgebra,
+    try_boolean_algebra,
+)
+
+
+def powerset_elements(n):
+    return [frozenset(i for i in range(n) if mask & (1 << i)) for mask in range(1 << n)]
+
+
+def subset_leq(a, b):
+    return a <= b
+
+
+@pytest.fixture
+def b3():
+    """The powerset algebra on 3 atoms."""
+    return FiniteBooleanAlgebra(powerset_elements(3), subset_leq)
+
+
+class TestConstruction:
+    def test_powerset_accepted(self, b3):
+        assert len(b3) == 8
+        assert b3.bottom == frozenset()
+        assert b3.top == frozenset({0, 1, 2})
+
+    def test_single_element_algebra(self):
+        algebra = FiniteBooleanAlgebra([frozenset()], subset_leq)
+        assert algebra.top == algebra.bottom
+        assert algebra.atoms() == ()
+
+    def test_empty_rejected(self):
+        with pytest.raises(NotABooleanAlgebraError):
+            FiniteBooleanAlgebra([], subset_leq)
+
+    def test_missing_meet_rejected(self):
+        # {bottom, a, b, top-ish}: remove the meet of two elements.
+        elements = [
+            frozenset(),
+            frozenset({1}),
+            frozenset({2}),
+            frozenset({1, 2}),
+            frozenset({1, 3}),
+        ]
+        # {1,2} and {1,3} have lower bounds {} and {1}; meet {1} exists...
+        # remove {1} so no meet exists.
+        with pytest.raises(NotABooleanAlgebraError):
+            FiniteBooleanAlgebra(elements, subset_leq)
+
+    def test_non_distributive_rejected(self):
+        # The diamond M3: bottom, three incomparable middles, top --
+        # a lattice, complemented, but not distributive (and complements
+        # not unique).
+        elements = ["bot", "x", "y", "z", "top"]
+
+        def leq(a, b):
+            if a == b or a == "bot" or b == "top":
+                return True
+            return False
+
+        with pytest.raises(NotABooleanAlgebraError):
+            FiniteBooleanAlgebra(elements, leq)
+
+    def test_missing_complement_rejected(self):
+        # A 3-chain is a distributive lattice but the middle element has
+        # no complement.
+        elements = [0, 1, 2]
+        with pytest.raises(NotABooleanAlgebraError):
+            FiniteBooleanAlgebra(elements, lambda a, b: a <= b)
+
+    def test_try_returns_none(self):
+        assert try_boolean_algebra([0, 1, 2], lambda a, b: a <= b) is None
+        assert try_boolean_algebra(powerset_elements(1), subset_leq) is not None
+
+
+class TestOperations:
+    def test_meet_join(self, b3):
+        a = frozenset({0, 1})
+        b = frozenset({1, 2})
+        assert b3.meet(a, b) == frozenset({1})
+        assert b3.join(a, b) == frozenset({0, 1, 2})
+
+    def test_complement(self, b3):
+        assert b3.complement(frozenset({0})) == frozenset({1, 2})
+        assert b3.complement(b3.top) == b3.bottom
+
+    def test_complement_involution(self, b3):
+        for element in b3.elements:
+            assert b3.complement(b3.complement(element)) == element
+
+    def test_de_morgan(self, b3):
+        for a in b3.elements:
+            for b in b3.elements:
+                left = b3.complement(b3.meet(a, b))
+                right = b3.join(b3.complement(a), b3.complement(b))
+                assert left == right
+
+    def test_leq(self, b3):
+        assert b3.leq(frozenset(), frozenset({0}))
+        assert not b3.leq(frozenset({0}), frozenset({1}))
+
+
+class TestStructure:
+    def test_atoms(self, b3):
+        assert set(b3.atoms()) == {
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({2}),
+        }
+
+    def test_atom_decomposition(self, b3):
+        assert b3.atom_decomposition(frozenset({0, 2})) == {
+            frozenset({0}),
+            frozenset({2}),
+        }
+
+    def test_powerset_isomorphism(self, b3):
+        assert b3.is_isomorphic_to_powerset_of_atoms()
+
+    def test_generated_by_atoms(self, b3):
+        assert b3.generated_by(b3.atoms())
+
+    def test_not_generated_by_top_alone(self, b3):
+        assert not b3.generated_by([b3.top])
+
+    def test_contains(self, b3):
+        assert frozenset({0}) in b3
+        assert frozenset({9}) not in b3

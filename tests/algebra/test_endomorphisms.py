@@ -1,0 +1,154 @@
+"""Unit tests for :mod:`repro.algebra.endomorphisms` (Lemma 2.3.2)."""
+
+import pytest
+
+from repro.errors import PosetError
+from repro.algebra.endomorphisms import (
+    bottom_endomorphism,
+    complement_in,
+    complemented_strong_endomorphisms,
+    enumerate_strong_endomorphisms,
+    fixpoints,
+    identity_endomorphism,
+    is_complement_pair,
+    is_idempotent,
+    is_strong_endomorphism,
+    pointwise_leq,
+)
+from repro.algebra.morphisms import PosetMorphism
+from repro.algebra.poset import FinitePoset
+
+
+def powerset_poset(ground):
+    items = sorted(ground)
+    subsets = [
+        frozenset(items[i] for i in range(len(items)) if mask & (1 << i))
+        for mask in range(1 << len(items))
+    ]
+    return FinitePoset.from_leq(subsets, lambda a, b: a <= b)
+
+
+@pytest.fixture
+def p2():
+    return powerset_poset({1, 2})
+
+
+def restriction(poset, keep):
+    """The endomorphism X -> X & keep on a powerset poset."""
+    return PosetMorphism.from_callable(poset, poset, lambda s: s & keep)
+
+
+class TestDistinguishedEndomorphisms:
+    def test_identity(self, p2):
+        identity = identity_endomorphism(p2)
+        assert is_strong_endomorphism(identity)
+        assert fixpoints(identity) == frozenset(p2.elements)
+
+    def test_bottom(self, p2):
+        bottom = bottom_endomorphism(p2)
+        assert is_strong_endomorphism(bottom)
+        assert fixpoints(bottom) == {frozenset()}
+
+    def test_bounds_in_pointwise_order(self, p2):
+        bottom = bottom_endomorphism(p2)
+        identity = identity_endomorphism(p2)
+        for endo in (restriction(p2, frozenset({1})),):
+            assert pointwise_leq(bottom, endo)
+            assert pointwise_leq(endo, identity)
+
+
+class TestPredicates:
+    def test_restriction_is_strong(self, p2):
+        endo = restriction(p2, frozenset({1}))
+        assert is_idempotent(endo)
+        assert is_strong_endomorphism(endo)
+
+    def test_non_idempotent_rejected(self):
+        chain = FinitePoset.from_relation([0, 1, 2], [(0, 1), (1, 2)])
+        step_down = PosetMorphism(chain, chain, {0: 0, 1: 0, 2: 1})
+        assert not is_idempotent(step_down)
+        assert not is_strong_endomorphism(step_down)
+
+    def test_non_downset_fixpoints_rejected(self):
+        chain = FinitePoset.from_relation([0, 1, 2], [(0, 1), (1, 2)])
+        # Idempotent, monotone, but fixpoints {0, 2} is not a down-set.
+        jump = PosetMorphism(chain, chain, {0: 0, 1: 2, 2: 2})
+        assert is_idempotent(jump)
+        assert jump.is_monotone()
+        assert not is_strong_endomorphism(jump)
+
+
+class TestComplements:
+    def test_restrictions_complement(self, p2):
+        f = restriction(p2, frozenset({1}))
+        g = restriction(p2, frozenset({2}))
+        assert is_complement_pair(f, g)
+        assert is_complement_pair(g, f)
+
+    def test_identity_and_bottom_complement(self, p2):
+        assert is_complement_pair(
+            identity_endomorphism(p2), bottom_endomorphism(p2)
+        )
+
+    def test_non_complement(self, p2):
+        f = restriction(p2, frozenset({1}))
+        assert not is_complement_pair(f, f)
+        assert not is_complement_pair(f, identity_endomorphism(p2))
+
+    def test_complement_in_candidates(self, p2):
+        f = restriction(p2, frozenset({1}))
+        candidates = [
+            identity_endomorphism(p2),
+            bottom_endomorphism(p2),
+            restriction(p2, frozenset({2})),
+        ]
+        found = complement_in(f, candidates)
+        assert found == restriction(p2, frozenset({2}))
+
+    def test_complement_in_empty(self, p2):
+        assert complement_in(restriction(p2, frozenset({1})), []) is None
+
+
+class TestEnumeration:
+    def test_enumerates_all_strong_endos_of_chain(self):
+        # On the chain 0 < 1 < 2 the strong endomorphisms are exactly
+        # the "cap at a down-set" maps... enumerate and verify each.
+        chain = FinitePoset.from_relation([0, 1, 2], [(0, 1), (1, 2)])
+        endos = list(enumerate_strong_endomorphisms(chain))
+        assert all(is_strong_endomorphism(e) for e in endos)
+        # Independent brute force over all 27 functions:
+        import itertools
+
+        expected = 0
+        for values in itertools.product([0, 1, 2], repeat=3):
+            table = dict(zip([0, 1, 2], values))
+            candidate = PosetMorphism(chain, chain, table)
+            if is_strong_endomorphism(candidate):
+                expected += 1
+        assert len(endos) == expected
+
+    def test_powerset_complemented_endos_form_boolean_algebra(self, p2):
+        complemented = complemented_strong_endomorphisms(p2)
+        # The four restrictions X -> X & K for K subseteq {1, 2}.
+        assert len(complemented) == 4
+        tables = {tuple(sorted(e.table.items(), key=repr)) for e in complemented}
+        for keep in (frozenset(), frozenset({1}), frozenset({2}), frozenset({1, 2})):
+            endo = restriction(p2, keep)
+            assert tuple(sorted(endo.table.items(), key=repr)) in tables
+
+    def test_budget_enforced(self, p2):
+        with pytest.raises(PosetError):
+            list(enumerate_strong_endomorphisms(p2, limit=1))
+
+
+class TestLemma232:
+    """Lemma 2.3.2(b): a complement pair induces a product isomorphism,
+    and the induced decomposition recombines by join."""
+
+    def test_product_decomposition_recombines(self, p2):
+        f = restriction(p2, frozenset({1}))
+        g = restriction(p2, frozenset({2}))
+        assert is_complement_pair(f, g)
+        for element in p2.elements:
+            rebuilt = p2.join(f(element), g(element))
+            assert rebuilt == element

@@ -1,0 +1,179 @@
+"""Unit tests for :mod:`repro.algebra.morphisms` (strong morphisms, §2.3)."""
+
+import pytest
+
+from repro.errors import PosetError
+from repro.algebra.morphisms import PosetMorphism, order_isomorphic
+from repro.algebra.poset import FinitePoset
+
+
+def powerset_poset(ground):
+    """The powerset of *ground* under inclusion."""
+    subsets = []
+    items = sorted(ground)
+    for mask in range(1 << len(items)):
+        subsets.append(
+            frozenset(items[i] for i in range(len(items)) if mask & (1 << i))
+        )
+    return FinitePoset.from_leq(subsets, lambda a, b: a <= b)
+
+
+@pytest.fixture
+def p2():
+    """Powerset of {1, 2}."""
+    return powerset_poset({1, 2})
+
+
+@pytest.fixture
+def p1():
+    """Powerset of {1}."""
+    return powerset_poset({1})
+
+
+@pytest.fixture
+def restrict_to_1(p2, p1):
+    """The map X -> X intersect {1}: the prototypical strong morphism."""
+    return PosetMorphism.from_callable(p2, p1, lambda s: s & {1})
+
+
+class TestBasics:
+    def test_call_and_table(self, restrict_to_1):
+        assert restrict_to_1(frozenset({1, 2})) == frozenset({1})
+        assert restrict_to_1(frozenset({2})) == frozenset()
+        assert len(restrict_to_1.table) == 4
+
+    def test_missing_element(self, restrict_to_1):
+        with pytest.raises(PosetError):
+            restrict_to_1(frozenset({9}))
+
+    def test_table_must_cover_source(self, p2, p1):
+        with pytest.raises(PosetError):
+            PosetMorphism(p2, p1, {})
+
+    def test_values_must_be_in_target(self, p2, p1):
+        with pytest.raises(PosetError):
+            PosetMorphism.from_callable(p2, p1, lambda s: s)
+
+    def test_image(self, restrict_to_1, p1):
+        assert set(restrict_to_1.image()) == set(p1.elements)
+
+    def test_compose(self, p2, p1, restrict_to_1):
+        identity = PosetMorphism.from_callable(p1, p1, lambda s: s)
+        composed = identity.compose(restrict_to_1)
+        assert composed.table == restrict_to_1.table
+
+    def test_equality(self, p2, p1):
+        f = PosetMorphism.from_callable(p2, p1, lambda s: s & {1})
+        g = PosetMorphism.from_callable(p2, p1, lambda s: s & {1})
+        assert f == g
+        assert hash(f) == hash(g)
+
+
+class TestMorphismPredicates:
+    def test_monotone(self, restrict_to_1):
+        assert restrict_to_1.is_monotone()
+
+    def test_non_monotone(self, p2, p1):
+        flip = PosetMorphism.from_callable(
+            p2, p1, lambda s: frozenset({1}) - (s & {1})
+        )
+        assert not flip.is_monotone()
+
+    def test_preserves_bottom(self, restrict_to_1):
+        assert restrict_to_1.preserves_bottom()
+
+    def test_is_morphism(self, restrict_to_1):
+        assert restrict_to_1.is_morphism()
+
+    def test_surjective(self, restrict_to_1, p2, p1):
+        assert restrict_to_1.is_surjective()
+        constant = PosetMorphism.from_callable(p2, p1, lambda s: frozenset())
+        assert not constant.is_surjective()
+
+
+class TestLeastPreimages:
+    def test_least_preimage(self, restrict_to_1):
+        assert restrict_to_1.least_preimage(frozenset({1})) == frozenset({1})
+        assert restrict_to_1.least_preimage(frozenset()) == frozenset()
+
+    def test_least_preimage_not_in_image(self, restrict_to_1):
+        assert restrict_to_1.least_preimage(frozenset({9})) is None
+
+    def test_admits_least_preimages(self, restrict_to_1):
+        assert restrict_to_1.admits_least_preimages()
+
+    def test_least_right_inverse(self, restrict_to_1):
+        sharp = restrict_to_1.least_right_inverse()
+        assert sharp(frozenset({1})) == frozenset({1})
+        assert sharp.is_morphism()
+
+    def test_lp_set(self, restrict_to_1):
+        assert restrict_to_1.lp_set() == {frozenset(), frozenset({1})}
+
+    def test_no_least_preimage(self):
+        # Map the V-poset's two maximal elements to one point: the
+        # preimage of that point {a, b} has no least element.
+        vee = FinitePoset.from_relation(
+            ["bot", "a", "b"], [("bot", "a"), ("bot", "b")]
+        )
+        two = FinitePoset.from_relation(["0", "1"], [("0", "1")])
+        collapse = PosetMorphism(
+            vee, two, {"bot": "0", "a": "1", "b": "1"}
+        )
+        assert collapse.least_preimage("1") is None
+        assert not collapse.admits_least_preimages()
+        with pytest.raises(PosetError):
+            collapse.least_right_inverse()
+
+
+class TestStrongness:
+    def test_projection_is_strong(self, restrict_to_1):
+        assert restrict_to_1.is_downward_stationary()
+        assert restrict_to_1.is_least_right_invertible()
+        assert restrict_to_1.is_strong()
+
+    def test_endomorphism(self, restrict_to_1):
+        theta = restrict_to_1.endomorphism()
+        assert theta(frozenset({1, 2})) == frozenset({1})
+        assert theta(frozenset({2})) == frozenset()
+        # Lemma 2.3.1(a): theta is idempotent with down-set fixpoints.
+        for element in theta.source.elements:
+            assert theta(theta(element)) == theta(element)
+
+    def test_not_downward_stationary(self):
+        # Chain 0 < 1 < 2 mapped 0,1 -> 0; 2 -> 1: lp = {0, 2}, and 2's
+        # down-set includes 1 which is not a least preimage.
+        chain = FinitePoset.from_relation([0, 1, 2], [(0, 1), (1, 2)])
+        two = FinitePoset.from_relation(["lo", "hi"], [("lo", "hi")])
+        squash = PosetMorphism(chain, two, {0: "lo", 1: "lo", 2: "hi"})
+        assert squash.is_morphism()
+        assert squash.admits_least_preimages()
+        assert squash.lp_set() == {0, 2}
+        assert not squash.is_downward_stationary()
+        assert not squash.is_strong()
+
+
+class TestOrderIsomorphic:
+    def test_identity_is_iso(self, p1):
+        mapping = {e: e for e in p1.elements}
+        assert order_isomorphic(mapping, p1, p1)
+
+    def test_non_injective_fails(self, p1):
+        bottom = p1.bottom()
+        mapping = {e: bottom for e in p1.elements}
+        assert not order_isomorphic(mapping, p1, p1)
+
+    def test_order_reversal_fails(self):
+        chain = FinitePoset.from_relation([0, 1], [(0, 1)])
+        mapping = {0: 1, 1: 0}
+        assert not order_isomorphic(mapping, chain, chain)
+
+    def test_product_decomposition(self, p2, p1):
+        # P({1,2}) ~ P({1}) x P({2}) via X -> (X & {1}, X & {2}).
+        q = powerset_poset({2})
+        product = p1.product(q)
+        mapping = {
+            element: (element & {1}, element & {2})
+            for element in p2.elements
+        }
+        assert order_isomorphic(mapping, p2, product)

@@ -1,0 +1,124 @@
+"""Unit tests for :mod:`repro.algebra.partitions`."""
+
+import pytest
+
+from repro.errors import PosetError
+from repro.algebra.partitions import Partition
+
+
+GROUND = frozenset(range(6))
+
+
+@pytest.fixture
+def by_parity():
+    return Partition.from_kernel(GROUND, lambda n: n % 2)
+
+
+@pytest.fixture
+def by_third():
+    return Partition.from_kernel(GROUND, lambda n: n % 3)
+
+
+class TestConstruction:
+    def test_from_kernel(self, by_parity):
+        assert len(by_parity) == 2
+        assert by_parity.same_block(0, 2)
+        assert not by_parity.same_block(0, 1)
+
+    def test_discrete(self):
+        partition = Partition.discrete(GROUND)
+        assert partition.is_discrete()
+        assert len(partition) == 6
+
+    def test_indiscrete(self):
+        partition = Partition.indiscrete(GROUND)
+        assert partition.is_indiscrete()
+        assert len(partition) == 1
+
+    def test_indiscrete_of_empty(self):
+        assert len(Partition.indiscrete([])) == 0
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(PosetError):
+            Partition([set(), {1}])
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(PosetError):
+            Partition([{1, 2}, {2, 3}])
+
+    def test_block_of_unknown(self, by_parity):
+        with pytest.raises(PosetError):
+            by_parity.block_of(99)
+
+
+class TestEqualityHash:
+    def test_equal(self, by_parity):
+        clone = Partition([{0, 2, 4}, {1, 3, 5}])
+        assert by_parity == clone
+        assert hash(by_parity) == hash(clone)
+
+    def test_hashable_in_set(self, by_parity, by_third):
+        assert len({by_parity, by_third, by_parity}) == 2
+
+
+class TestOrdering:
+    def test_refines(self, by_parity):
+        finer = Partition.discrete(GROUND)
+        assert finer.refines(by_parity)
+        assert not by_parity.refines(finer)
+
+    def test_refines_self(self, by_parity):
+        assert by_parity.refines(by_parity)
+
+    def test_paper_order_finer_is_greater(self, by_parity):
+        finer = Partition.discrete(GROUND)
+        assert by_parity.leq(finer)
+        assert not finer.leq(by_parity)
+
+    def test_different_ground_rejected(self, by_parity):
+        other = Partition.discrete([10, 11])
+        with pytest.raises(PosetError):
+            by_parity.refines(other)
+
+
+class TestLattice:
+    def test_sup_is_common_refinement(self, by_parity, by_third):
+        sup = by_parity.sup(by_third)
+        # parity x mod-3 distinguishes everything in 0..5.
+        assert sup.is_discrete()
+
+    def test_sup_with_self(self, by_parity):
+        assert by_parity.sup(by_parity) == by_parity
+
+    def test_inf_is_transitive_closure(self, by_parity, by_third):
+        inf = by_parity.inf(by_third)
+        # 0~2 (parity), 2~5 (mod 3), 5~1 (parity) ... all connected.
+        assert inf.is_indiscrete()
+
+    def test_inf_nontrivial(self):
+        left = Partition([{0, 1}, {2, 3}, {4, 5}])
+        right = Partition([{0}, {1, 2}, {3}, {4}, {5}])
+        inf = left.inf(right)
+        assert inf.block_of(0) == frozenset({0, 1, 2, 3})
+        assert inf.block_of(4) == frozenset({4, 5})
+
+    def test_lattice_laws(self, by_parity, by_third):
+        # absorption: p sup (p inf q) == p
+        assert by_parity.sup(by_parity.inf(by_third)) == by_parity
+        assert by_parity.inf(by_parity.sup(by_third)) == by_parity
+
+
+class TestComplements:
+    def test_join_complement(self, by_parity, by_third):
+        assert by_parity.is_join_complement_of(by_third)
+
+    def test_not_join_complement(self, by_parity):
+        coarse = Partition.indiscrete(GROUND)
+        assert not by_parity.is_join_complement_of(coarse)
+
+    def test_meet_complement(self, by_parity, by_third):
+        assert by_parity.is_meet_complement_of(by_third)
+
+    def test_index_pairs(self):
+        partition = Partition([{1, 2}, {3}])
+        assert partition.index_pairs() == ((1, 2),)

@@ -1,0 +1,175 @@
+"""Unit tests for :mod:`repro.algebra.poset`."""
+
+import pytest
+
+from repro.errors import PosetError
+from repro.algebra.poset import FinitePoset
+
+
+def divisibility(values):
+    return FinitePoset.from_leq(values, lambda a, b: b % a == 0)
+
+
+@pytest.fixture
+def diamond():
+    """The diamond: bottom < a, b < top (a, b incomparable)."""
+    return FinitePoset.from_relation(
+        ["bot", "a", "b", "top"],
+        [("bot", "a"), ("bot", "b"), ("a", "top"), ("b", "top")],
+    )
+
+
+@pytest.fixture
+def vee():
+    """The V: bot < a, b with no top."""
+    return FinitePoset.from_relation(
+        ["bot", "a", "b"], [("bot", "a"), ("bot", "b")]
+    )
+
+
+class TestConstruction:
+    def test_from_leq(self):
+        poset = divisibility([1, 2, 3, 6])
+        assert poset.leq(1, 6)
+        assert poset.leq(2, 6)
+        assert not poset.leq(2, 3)
+
+    def test_duplicate_elements_rejected(self):
+        with pytest.raises(PosetError):
+            FinitePoset.from_leq([1, 1], lambda a, b: True)
+
+    def test_non_antisymmetric_rejected(self):
+        with pytest.raises(PosetError):
+            FinitePoset.from_leq([1, 2], lambda a, b: True)
+
+    def test_from_relation_transitive_closure(self):
+        poset = FinitePoset.from_relation([1, 2, 3], [(1, 2), (2, 3)])
+        assert poset.leq(1, 3)
+
+    def test_irreflexive_leq_rejected(self):
+        with pytest.raises(PosetError):
+            FinitePoset.from_leq([1, 2], lambda a, b: a < b)
+
+
+class TestBasics:
+    def test_container_protocol(self, diamond):
+        assert len(diamond) == 4
+        assert "a" in diamond
+        assert "z" not in diamond
+        assert set(diamond) == {"bot", "a", "b", "top"}
+
+    def test_index(self, diamond):
+        assert diamond.elements[diamond.index("a")] == "a"
+        with pytest.raises(PosetError):
+            diamond.index("z")
+
+    def test_comparable(self, diamond):
+        assert diamond.comparable("bot", "a")
+        assert not diamond.comparable("a", "b")
+
+    def test_lt(self, diamond):
+        assert diamond.lt("bot", "a")
+        assert not diamond.lt("a", "a")
+
+
+class TestBounds:
+    def test_bottom_top(self, diamond):
+        assert diamond.bottom() == "bot"
+        assert diamond.top() == "top"
+        assert diamond.has_bottom()
+        assert diamond.has_top()
+
+    def test_no_top(self, vee):
+        assert vee.has_bottom()
+        assert not vee.has_top()
+        with pytest.raises(PosetError):
+            vee.top()
+
+    def test_no_bottom(self):
+        poset = FinitePoset.from_relation([1, 2, 3], [(1, 3), (2, 3)])
+        assert not poset.has_bottom()
+        with pytest.raises(PosetError):
+            poset.bottom()
+
+    def test_minimal_maximal(self, vee):
+        assert vee.minimal_elements() == ("bot",)
+        assert set(vee.maximal_elements()) == {"a", "b"}
+
+
+class TestJoinsAndMeets:
+    def test_join_in_diamond(self, diamond):
+        assert diamond.join("a", "b") == "top"
+        assert diamond.join("bot", "a") == "a"
+
+    def test_meet_in_diamond(self, diamond):
+        assert diamond.meet("a", "b") == "bot"
+        assert diamond.meet("a", "top") == "a"
+
+    def test_missing_join(self, vee):
+        assert vee.join("a", "b") is None
+
+    def test_join_all(self, diamond):
+        assert diamond.join_all(["bot", "a", "b"]) == "top"
+
+    def test_upper_lower_bounds(self, diamond):
+        assert set(diamond.upper_bounds(["a", "b"])) == {"top"}
+        assert set(diamond.lower_bounds(["a", "b"])) == {"bot"}
+
+    def test_is_lattice(self, diamond, vee):
+        assert diamond.is_lattice()
+        assert not vee.is_lattice()
+
+    def test_non_unique_lub(self):
+        # bot < a,b < c,d: upper bounds of {a,b} are {c,d}, no least.
+        poset = FinitePoset.from_relation(
+            ["bot", "a", "b", "c", "d"],
+            [
+                ("bot", "a"),
+                ("bot", "b"),
+                ("a", "c"),
+                ("b", "c"),
+                ("a", "d"),
+                ("b", "d"),
+            ],
+        )
+        assert poset.join("a", "b") is None
+
+
+class TestDownSets:
+    def test_principal_down_set(self, diamond):
+        assert set(diamond.down_set("a")) == {"bot", "a"}
+        assert set(diamond.down_set("top")) == {"bot", "a", "b", "top"}
+
+    def test_is_down_set(self, diamond):
+        assert diamond.is_down_set({"bot", "a"})
+        assert not diamond.is_down_set({"a"})
+        assert diamond.is_down_set(set())
+
+    def test_enumerate_down_sets(self, diamond):
+        down_sets = set(diamond.down_sets())
+        # Diamond has 6 down-sets: {}, {bot}, {bot,a}, {bot,b},
+        # {bot,a,b}, all.
+        assert len(down_sets) == 6
+        assert frozenset() in down_sets
+        assert frozenset({"bot", "a", "b", "top"}) in down_sets
+
+
+class TestStructure:
+    def test_covers(self, diamond):
+        assert diamond.covers("bot", "a")
+        assert not diamond.covers("bot", "top")
+        assert not diamond.covers("a", "b")
+
+    def test_product(self, vee):
+        product = vee.product(vee)
+        assert len(product) == 9
+        assert product.bottom() == ("bot", "bot")
+        assert product.leq(("bot", "a"), ("a", "a"))
+        assert not product.leq(("a", "bot"), ("bot", "a"))
+
+    def test_restrict(self, diamond):
+        sub = diamond.restrict(["bot", "a"])
+        assert len(sub) == 2
+        assert sub.leq("bot", "a")
+        with pytest.raises(PosetError):
+            diamond.restrict(["nope"])

@@ -1,0 +1,98 @@
+"""Shared fixtures: the paper's universes, built once per session.
+
+Scenario construction enumerates state spaces and caches image tables,
+which is the expensive part of most tests; session scoping keeps the
+suite fast without coupling tests (everything exposed is immutable or
+treated as such by convention).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.components import ComponentAlgebra
+from repro.workloads.scenarios import (
+    abcd_chain_paper,
+    abcd_chain_small,
+    abcd_chain_tiny,
+    paper_chain_instance,
+    spj_inverse_scenario,
+    spj_mini_scenario,
+    spj_paper_instance,
+    spj_scenario,
+    two_unary_scenario,
+)
+
+
+@pytest.fixture(scope="session")
+def spj():
+    """Small SPJ universe (Example 1.1.1 family) with its state space."""
+    return spj_scenario()
+
+
+@pytest.fixture(scope="session")
+def spj_mini():
+    """Minimal SPJ universe for exhaustive strategy analyses."""
+    return spj_mini_scenario()
+
+
+@pytest.fixture(scope="session")
+def spj_paper():
+    """(scenario, paper instance) with Example 1.1.1's exact domains."""
+    return spj_paper_instance()
+
+
+@pytest.fixture(scope="session")
+def spj_inverse():
+    """Example 1.2.5's inverted schema with state space and instance."""
+    return spj_inverse_scenario()
+
+
+@pytest.fixture(scope="session")
+def two_unary():
+    """Example 1.3.6's R/S/T⊕ universe."""
+    return two_unary_scenario()
+
+
+@pytest.fixture(scope="session")
+def tiny_chain():
+    """ABCD chain with singleton domains (8 states)."""
+    return abcd_chain_tiny()
+
+
+@pytest.fixture(scope="session")
+def tiny_space(tiny_chain):
+    """State space of the tiny chain."""
+    return tiny_chain.state_space()
+
+
+@pytest.fixture(scope="session")
+def small_chain():
+    """ABCD chain with small non-degenerate domains (64 states)."""
+    return abcd_chain_small()
+
+
+@pytest.fixture(scope="session")
+def small_space(small_chain):
+    """State space of the small chain."""
+    return small_chain.state_space()
+
+
+@pytest.fixture(scope="session")
+def small_algebra(small_chain, small_space):
+    """The 8-element component algebra of the small chain."""
+    return ComponentAlgebra.discover(
+        small_space, small_chain.all_component_views()
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_chain():
+    """ABCD chain with the paper's Example 2.1.1 domains (no space!)."""
+    return abcd_chain_paper()
+
+
+@pytest.fixture(scope="session")
+def paper_instance(paper_chain):
+    """The exact instance printed in Example 2.1.1."""
+    return paper_chain_instance(paper_chain)

@@ -1,0 +1,145 @@
+"""Unit tests for :mod:`repro.core.constant_complement`."""
+
+import pytest
+
+from repro.errors import NotAComplementError, UpdateRejected
+from repro.core.components import ComponentAlgebra
+from repro.core.constant_complement import (
+    ComponentTranslator,
+    ConstantComplementTranslator,
+    translators_agree,
+)
+from repro.core.strong import analyze_view
+
+
+class TestEnumerativeTranslator:
+    def test_identity_update(self, two_unary):
+        translator = ConstantComplementTranslator(
+            two_unary.gamma1, two_unary.gamma2, two_unary.space
+        )
+        current = two_unary.gamma1.apply(
+            two_unary.initial, two_unary.assignment
+        )
+        assert translator.apply(two_unary.initial, current) == two_unary.initial
+
+    def test_insert_reflection(self, two_unary):
+        translator = ConstantComplementTranslator(
+            two_unary.gamma1, two_unary.gamma2, two_unary.space
+        )
+        target = two_unary.gamma1.apply(
+            two_unary.initial, two_unary.assignment
+        ).inserting("R", ("a4",))
+        solution = translator.apply(two_unary.initial, target)
+        assert solution == two_unary.initial.inserting("R", ("a4",))
+
+    def test_keeps_complement_constant(self, two_unary):
+        translator = ConstantComplementTranslator(
+            two_unary.gamma1, two_unary.gamma3, two_unary.space
+        )
+        target = two_unary.gamma1.apply(
+            two_unary.initial, two_unary.assignment
+        ).inserting("R", ("a4",))
+        solution = translator.apply(two_unary.initial, target)
+        assert two_unary.gamma3.apply(
+            solution, two_unary.assignment
+        ) == two_unary.gamma3.apply(two_unary.initial, two_unary.assignment)
+
+    def test_solution_unique(self, two_unary):
+        """Theorem 1.3.2: at most one solution with constant complement;
+        the translator's table construction enforces exactly that."""
+        translator = ConstantComplementTranslator(
+            two_unary.gamma1, two_unary.gamma2, two_unary.space
+        )
+        for state in two_unary.space.states[:8]:
+            comp_state = two_unary.gamma2.apply(state, two_unary.assignment)
+            for target in two_unary.gamma1.image_states(two_unary.space)[:8]:
+                matches = [
+                    s
+                    for s in two_unary.space.states
+                    if two_unary.gamma1.apply(s, two_unary.assignment) == target
+                    and two_unary.gamma2.apply(s, two_unary.assignment)
+                    == comp_state
+                ]
+                assert len(matches) <= 1
+
+    def test_non_complement_detected(self, two_unary):
+        from repro.views.view import zero_view
+
+        with pytest.raises(NotAComplementError):
+            ConstantComplementTranslator(
+                two_unary.gamma1, zero_view(two_unary.schema), two_unary.space
+            )
+
+    def test_rejection_when_not_achievable(self, spj_inverse):
+        translator = ConstantComplementTranslator(
+            spj_inverse.sp_view, spj_inverse.pj_view, spj_inverse.space
+        )
+        view_state = spj_inverse.sp_view.apply(
+            spj_inverse.initial, spj_inverse.assignment
+        )
+        target = view_state.deleting("R_SP", ("s2", "p2"))
+        with pytest.raises(UpdateRejected) as exc_info:
+            translator.apply(spj_inverse.initial, target)
+        assert exc_info.value.reason == "not-constant-achievable"
+
+
+class TestComponentTranslator:
+    def test_requires_strong_complements(self, two_unary):
+        a1 = analyze_view(two_unary.gamma1, two_unary.space)
+        a2 = analyze_view(two_unary.gamma2, two_unary.space)
+        translator = ComponentTranslator(a1, a2, two_unary.space)
+        target = two_unary.gamma1.apply(
+            two_unary.initial, two_unary.assignment
+        ).inserting("R", ("a4",))
+        solution = translator.apply(two_unary.initial, target)
+        assert solution == two_unary.initial.inserting("R", ("a4",))
+
+    def test_wrong_pair_rejected(self, small_chain, small_space):
+        ab = analyze_view(small_chain.component_view([0]), small_space)
+        cd = analyze_view(small_chain.component_view([2]), small_space)
+        with pytest.raises(NotAComplementError):
+            ComponentTranslator(ab, cd, small_space)
+
+    def test_illegal_view_state_rejected(self, two_unary):
+        a1 = analyze_view(two_unary.gamma1, two_unary.space)
+        a2 = analyze_view(two_unary.gamma2, two_unary.space)
+        translator = ComponentTranslator(a1, a2, two_unary.space)
+        from repro.relational.instances import DatabaseInstance
+
+        bogus = DatabaseInstance({"R": {("zzz",)}})
+        with pytest.raises(UpdateRejected) as exc_info:
+            translator.apply(two_unary.initial, bogus)
+        assert exc_info.value.reason == "illegal-view-state"
+
+    def test_for_component(self, small_algebra, small_space):
+        ab = small_algebra.named("Γ°AB")
+        translator = ComponentTranslator.for_component(ab, small_space)
+        assert translator.view is ab.view
+
+    def test_agreement_with_enumerative(self, small_algebra, small_space):
+        """The closed form and the table lookup compute the same map
+        (Theorem 3.1.1's formula is correct)."""
+        ab = small_algebra.named("Γ°AB")
+        constructive = ComponentTranslator.for_component(ab, small_space)
+        enumerative = ConstantComplementTranslator(
+            ab.view, ab.complement.view, small_space
+        )
+        assert translators_agree(enumerative, constructive)
+
+    def test_formula_decomposition(self, small_algebra, small_chain, small_space):
+        """s2 = gamma1#(t2) v gamma2^Theta(s1): new AB part + old BCD part."""
+        ab = small_algebra.named("Γ°AB")
+        translator = ComponentTranslator.for_component(ab, small_space)
+        state = small_chain.state_from_edges(
+            [{("a1", "b1")}, {("b1", "c1")}, {("c1", "d1")}]
+        )
+        new_ab_state = small_chain.state_from_edges(
+            [{("a2", "b1")}, set(), set()]
+        )
+        target = ab.view.apply(new_ab_state, small_space.assignment)
+        solution = translator.apply(state, target)
+        assert small_chain.edges_of(solution) == (
+            frozenset({("a2", "b1")}),
+            frozenset({("b1", "c1")}),
+            frozenset({("c1", "d1")}),
+        )

@@ -1,0 +1,177 @@
+"""Unit tests for :mod:`repro.core.generalized` (generalized strong views)."""
+
+import pytest
+
+from repro.errors import NotStrongError, UpdateRejected
+from repro.core.constant_complement import ComponentTranslator
+from repro.core.generalized import (
+    GeneralizedComponentTranslator,
+    find_strong_partner,
+    is_generalized_strong,
+)
+from repro.relational.queries import RelationRef, Rename
+from repro.views.mappings import QueryMapping
+from repro.views.view import View
+
+
+@pytest.fixture(scope="module")
+def renamed_gamma1(two_unary):
+    """A view isomorphic to Gamma1 but with different syntax (renamed
+    relation and column) -- a *generalized* strong view whose own
+    mapping analysis still happens to be strong, so we also build a
+    genuinely-non-strong isomorph below."""
+    return View(
+        "Γ1-renamed",
+        two_unary.schema,
+        None,
+        QueryMapping(
+            {
+                "Records": Rename(
+                    RelationRef.of(two_unary.schema, "R"), (("A", "X"),)
+                )
+            }
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def complemented_r_view(two_unary):
+    """The view showing the *complement set* of R: same kernel as
+    Gamma1 (it determines and is determined by R), but anti-monotone,
+    hence not a strong view itself."""
+    from repro.relational.instances import DatabaseInstance
+    from repro.relational.relations import Relation
+    from repro.views.mappings import FunctionMapping
+
+    universe = sorted(two_unary.assignment.universe, key=repr)
+
+    def func(instance, assignment):
+        present = {row[0] for row in instance.relation("R")}
+        rows = {(x,) for x in universe if x not in present}
+        return DatabaseInstance({"CoR": Relation(rows, 1)})
+
+    return View(
+        "Γ1-complemented",
+        two_unary.schema,
+        None,
+        FunctionMapping(func, {"CoR": 1}, label="co-R"),
+    )
+
+
+class TestPartnerSearch:
+    def test_strong_view_is_its_own_partner(self, two_unary):
+        partner = find_strong_partner(
+            two_unary.gamma1, [two_unary.gamma2], two_unary.space
+        )
+        assert partner is two_unary.gamma1
+
+    def test_non_strong_isomorph_finds_partner(
+        self, two_unary, complemented_r_view
+    ):
+        from repro.core.strong import analyze_view
+
+        assert not analyze_view(complemented_r_view, two_unary.space).is_strong
+        partner = find_strong_partner(
+            complemented_r_view,
+            [two_unary.gamma2, two_unary.gamma1],
+            two_unary.space,
+        )
+        assert partner is two_unary.gamma1
+
+    def test_no_partner(self, two_unary):
+        """Gamma3 is not isomorphic to Gamma1 or Gamma2."""
+        assert (
+            find_strong_partner(
+                two_unary.gamma3,
+                [two_unary.gamma1, two_unary.gamma2],
+                two_unary.space,
+            )
+            is None
+        )
+        assert not is_generalized_strong(
+            two_unary.gamma3,
+            [two_unary.gamma1, two_unary.gamma2],
+            two_unary.space,
+        )
+
+    def test_generalized_strong_predicate(
+        self, two_unary, complemented_r_view
+    ):
+        assert is_generalized_strong(
+            complemented_r_view, [two_unary.gamma1], two_unary.space
+        )
+
+
+class TestTransportedTranslation:
+    @pytest.fixture(scope="class")
+    def algebra(self, two_unary):
+        from repro.core.components import ComponentAlgebra
+
+        return ComponentAlgebra.discover(
+            two_unary.space, [two_unary.gamma1, two_unary.gamma2]
+        )
+
+    def test_translation_via_partner(
+        self, two_unary, complemented_r_view, algebra
+    ):
+        component = algebra.named("Γ1")
+        translator = GeneralizedComponentTranslator(
+            complemented_r_view, component, two_unary.space
+        )
+        state = two_unary.initial
+        current = complemented_r_view.apply(state, two_unary.assignment)
+        # Remove a4 from the complement view == insert a4 into R.
+        target = current.deleting("CoR", ("a4",))
+        solution = translator.apply(state, target)
+        assert solution == state.inserting("R", ("a4",))
+
+    def test_agrees_with_direct_translation(
+        self, two_unary, renamed_gamma1, algebra
+    ):
+        component = algebra.named("Γ1")
+        transported = GeneralizedComponentTranslator(
+            renamed_gamma1, component, two_unary.space
+        )
+        direct = ComponentTranslator.for_component(
+            component, two_unary.space
+        )
+        targets = renamed_gamma1.image_states(two_unary.space)
+        for state in two_unary.space.states[::16]:
+            for target in targets[::3]:
+                direct_target = component.view.apply(
+                    # any preimage of target works; use the transported
+                    # morphism implicitly via a state with that image
+                    transported.apply(state, target),
+                    two_unary.assignment,
+                )
+                assert transported.apply(state, target) == direct.apply(
+                    state, direct_target
+                )
+
+    def test_non_isomorphic_rejected(self, two_unary, algebra):
+        with pytest.raises(NotStrongError):
+            GeneralizedComponentTranslator(
+                two_unary.gamma3, algebra.named("Γ1"), two_unary.space
+            )
+
+    def test_illegal_target_rejected(
+        self, two_unary, complemented_r_view, algebra
+    ):
+        translator = GeneralizedComponentTranslator(
+            complemented_r_view, algebra.named("Γ1"), two_unary.space
+        )
+        from repro.relational.instances import DatabaseInstance
+
+        bogus = DatabaseInstance({"CoR": {("zzz",)}})
+        with pytest.raises(UpdateRejected):
+            translator.apply(two_unary.initial, bogus)
+
+    def test_admissible(self, two_unary, complemented_r_view, algebra):
+        """The transported strategy inherits admissibility."""
+        from repro.core.admissibility import analyze_admissibility
+
+        translator = GeneralizedComponentTranslator(
+            complemented_r_view, algebra.named("Γ1"), two_unary.space
+        )
+        report = analyze_admissibility(translator)
+        assert report.is_admissible, report.summary()

@@ -1,0 +1,138 @@
+"""Unit tests for :mod:`repro.core.operations` (tuple-level DSL)."""
+
+import pytest
+
+from repro.errors import UpdateRejected
+from repro.core.operations import (
+    Delete,
+    Insert,
+    Replace,
+    UpdateScript,
+    run_view_script,
+)
+from repro.relational.instances import DatabaseInstance
+from repro.relational.relations import Relation
+
+
+@pytest.fixture
+def state():
+    return DatabaseInstance({"R": {("a",), ("b",)}, "S": Relation((), 1)})
+
+
+class TestInsert:
+    def test_insert(self, state):
+        result = Insert("R", ("c",)).target_state(state)
+        assert ("c",) in result.relation("R")
+
+    def test_insert_present_rejected(self, state):
+        with pytest.raises(UpdateRejected) as exc_info:
+            Insert("R", ("a",)).target_state(state)
+        assert exc_info.value.reason == "no-op"
+
+    def test_inverse(self, state):
+        op = Insert("R", ("c",))
+        assert op.inverse().target_state(op.target_state(state)) == state
+
+    def test_lenient(self, state):
+        assert Insert("R", ("a",)).lenient().target_state(state) == state
+
+
+class TestDelete:
+    def test_delete(self, state):
+        result = Delete("R", ("a",)).target_state(state)
+        assert ("a",) not in result.relation("R")
+
+    def test_delete_absent_rejected(self, state):
+        with pytest.raises(UpdateRejected):
+            Delete("R", ("z",)).target_state(state)
+
+    def test_inverse_roundtrip(self, state):
+        op = Delete("R", ("a",))
+        assert op.inverse().target_state(op.target_state(state)) == state
+
+
+class TestReplace:
+    def test_replace(self, state):
+        result = Replace("R", ("a",), ("c",)).target_state(state)
+        assert result.relation("R").rows == {("b",), ("c",)}
+
+    def test_replace_missing_old(self, state):
+        with pytest.raises(UpdateRejected):
+            Replace("R", ("z",), ("c",)).target_state(state)
+
+    def test_replace_existing_new(self, state):
+        with pytest.raises(UpdateRejected):
+            Replace("R", ("a",), ("b",)).target_state(state)
+
+    def test_inverse(self, state):
+        op = Replace("R", ("a",), ("c",))
+        assert op.inverse().target_state(op.target_state(state)) == state
+
+
+class TestScript:
+    def test_sequencing(self, state):
+        script = (
+            UpdateScript()
+            .then(Insert("R", ("c",)))
+            .then(Delete("R", ("a",)))
+            .then(Insert("S", ("x",)))
+        )
+        result = script.target_state(state)
+        assert result.relation("R").rows == {("b",), ("c",)}
+        assert result.relation("S").rows == {("x",)}
+        assert len(script) == 3
+
+    def test_inverse_script(self, state):
+        script = UpdateScript(
+            [Insert("R", ("c",)), Replace("R", ("b",), ("d",))]
+        )
+        forward = script.target_state(state)
+        assert script.inverse().target_state(forward) == state
+
+    def test_empty_script_is_identity(self, state):
+        assert UpdateScript().target_state(state) == state
+
+    def test_mid_script_failure_aborts(self, state):
+        script = UpdateScript(
+            [Insert("R", ("c",)), Insert("R", ("c",))]  # second is a no-op
+        )
+        with pytest.raises(UpdateRejected):
+            script.target_state(state)
+
+
+class TestRunViewScript:
+    @pytest.fixture(scope="class")
+    def system(self, small_chain, small_space):
+        from repro.core.system import ViewUpdateSystem
+
+        system = ViewUpdateSystem(
+            small_chain.schema, small_chain.assignment, small_space
+        )
+        system.register_view(small_chain.component_view([0]))
+        system.build_component_algebra(small_chain.all_component_views())
+        return system
+
+    def test_script_reflected_to_base(self, system, small_chain):
+        state = small_chain.state_from_edges(
+            [{("a1", "b1")}, {("b1", "c1")}, set()]
+        )
+        new_state = run_view_script(
+            system,
+            "Γ°AB",
+            state,
+            UpdateScript(
+                [Delete("R_AB", ("a1", "b1")), Insert("R_AB", ("a2", "b1"))]
+            ),
+        )
+        assert small_chain.edges_of(new_state) == (
+            frozenset({("a2", "b1")}),
+            frozenset({("b1", "c1")}),
+            frozenset(),
+        )
+
+    def test_single_operation_accepted(self, system, small_chain):
+        state = small_chain.state_from_edges([set(), set(), set()])
+        new_state = run_view_script(
+            system, "Γ°AB", state, Insert("R_AB", ("a1", "b1"))
+        )
+        assert small_chain.edges_of(new_state)[0] == frozenset({("a1", "b1")})

@@ -1,0 +1,133 @@
+"""Unit tests for :mod:`repro.core.procedure` (Update Procedure 3.2.3)."""
+
+import pytest
+
+from repro.errors import NotComparableError, UpdateRejected
+from repro.typealgebra.algebra import NULL
+from repro.core.procedure import (
+    UpdateProcedure,
+    is_strong_join_complement,
+    strong_join_complements,
+    translations_coincide,
+)
+from repro.decomposition.projections import projection_view
+
+
+@pytest.fixture(scope="module")
+def gabd(small_chain):
+    return projection_view(small_chain, ("A", "B", "D"))
+
+
+class TestStrongJoinComplements:
+    def test_classification(self, gabd, small_algebra, small_space):
+        names = {
+            c.name: is_strong_join_complement(gabd, c, small_space)
+            for c in small_algebra
+        }
+        assert names["Γ°BCD"] is True
+        assert names["Γ°ABCD"] is True  # trivial: complement is 0
+        assert names["Γ°AB"] is False
+        assert names["Γ°CD"] is False
+        assert names["Γ°AB·CD"] is False
+
+    def test_sorted_smallest_first(self, gabd, small_algebra):
+        found = strong_join_complements(gabd, small_algebra)
+        assert [c.name for c in found] == ["Γ°BCD", "Γ°ABCD"]
+
+    def test_component_itself_has_all(self, small_algebra):
+        """For the component Γ°AB, every component >= Γ°BCD... its strong
+        join complements are those whose complement <= Γ°AB."""
+        ab = small_algebra.named("Γ°AB")
+        found = strong_join_complements(ab.view, small_algebra)
+        names = {c.name for c in found}
+        # complement of Γ°BCD is Γ°AB <= Γ°AB: yes.
+        assert "Γ°BCD" in names
+        # complement of Γ°ABCD is Γ°[∅] <= anything: yes.
+        assert "Γ°ABCD" in names
+        # complement of Γ°BC is Γ°AB·CD which is not <= Γ°AB.
+        assert "Γ°BC" not in names
+
+
+class TestProcedure:
+    @pytest.fixture
+    def procedure(self, gabd, small_algebra, small_space):
+        return UpdateProcedure(
+            gabd, small_algebra.named("Γ°BCD"), small_space
+        )
+
+    def test_identity_update(self, procedure, small_space):
+        for state in small_space.states[:10]:
+            current = procedure.view.apply(state, small_space.assignment)
+            assert procedure.apply(state, current) == state
+
+    def test_accepted_update(self, procedure, small_chain, small_space):
+        state = small_chain.state_from_edges(
+            [{("a1", "b1")}, set(), {("c1", "d1")}]
+        )
+        view_state = procedure.view.apply(state, small_space.assignment)
+        target = view_state.deleting("R_ABD", ("a1", "b1", NULL))
+        solution = procedure.apply(state, target)
+        assert procedure.view.apply(solution, small_space.assignment) == target
+        # The complement stayed constant.
+        complement_view = procedure.complement.view
+        assert complement_view.apply(
+            solution, small_space.assignment
+        ) == complement_view.apply(state, small_space.assignment)
+
+    def test_rejected_update(self, procedure, small_chain, small_space):
+        state = small_chain.state_from_edges(
+            [{("a1", "b1")}, set(), {("c1", "d1")}]
+        )
+        view_state = procedure.view.apply(state, small_space.assignment)
+        target = view_state.deleting("R_ABD", (NULL, NULL, "d1"))
+        with pytest.raises(UpdateRejected) as exc_info:
+            procedure.apply(state, target)
+        assert exc_info.value.reason == "image-mismatch"
+
+    def test_illegal_view_state_rejected(self, procedure, small_space):
+        from repro.relational.instances import DatabaseInstance
+
+        bogus = DatabaseInstance({"R_ABD": {("x", "y", "z")}})
+        with pytest.raises(UpdateRejected) as exc_info:
+            procedure.apply(small_space.states[0], bogus)
+        assert exc_info.value.reason == "illegal-view-state"
+
+    def test_non_sjc_rejected_at_construction(
+        self, gabd, small_algebra, small_space
+    ):
+        with pytest.raises(NotComparableError):
+            UpdateProcedure(gabd, small_algebra.named("Γ°AB"), small_space)
+
+
+class TestTheorem322:
+    def test_translations_coincide(
+        self, gabd, small_algebra, small_space
+    ):
+        complements = strong_join_complements(gabd, small_algebra)
+        assert translations_coincide(gabd, complements, small_space)
+
+    def test_smaller_complement_allows_more(
+        self, gabd, small_algebra, small_space
+    ):
+        """Γ°BCD (smaller complement... larger filter Γ°AB) accepts at
+        least every update the trivial one does, and strictly more."""
+        bcd = UpdateProcedure(
+            gabd, small_algebra.named("Γ°BCD"), small_space
+        )
+        top = UpdateProcedure(
+            gabd, small_algebra.named("Γ°ABCD"), small_space
+        )
+        targets = gabd.image_states(small_space)
+        bcd_count = 0
+        top_count = 0
+        for state in small_space.states:
+            for target in targets:
+                if top.defined(state, target):
+                    top_count += 1
+                    assert bcd.defined(state, target)
+                if bcd.defined(state, target):
+                    bcd_count += 1
+        assert bcd_count > top_count
+
+    def test_empty_complement_list(self, gabd, small_space):
+        assert translations_coincide(gabd, [], small_space)

@@ -1,0 +1,122 @@
+"""Unit tests for :mod:`repro.core.strong` (strong views, §2.3)."""
+
+import pytest
+
+from repro.errors import NotStrongError
+from repro.core.strong import analyze_view, is_strong_view
+from repro.views.view import identity_view, zero_view
+from repro.decomposition.projections import projection_view
+
+
+class TestAnalysis:
+    def test_gamma1_strong(self, two_unary):
+        analysis = analyze_view(two_unary.gamma1, two_unary.space)
+        assert analysis.is_strong
+        assert analysis.failures() == ()
+        analysis.require_strong()  # does not raise
+
+    def test_gamma3_not_strong(self, two_unary):
+        analysis = analyze_view(two_unary.gamma3, two_unary.space)
+        assert not analysis.is_strong
+        assert "monotone" in analysis.failures()
+        with pytest.raises(NotStrongError) as exc_info:
+            analysis.require_strong()
+        assert exc_info.value.analysis is analysis
+
+    def test_identity_and_zero_strong(self, two_unary):
+        assert is_strong_view(identity_view(two_unary.schema), two_unary.space)
+        assert is_strong_view(zero_view(two_unary.schema), two_unary.space)
+
+    def test_component_views_strong(self, small_chain, small_space):
+        for view in small_chain.all_component_views():
+            assert is_strong_view(view, small_space), view.name
+
+    def test_plain_projection_not_strong(self, small_chain, small_space):
+        """Gamma_ABD of Example 3.2.4 is not itself a strong view."""
+        gabd = projection_view(small_chain, ("A", "B", "D"))
+        analysis = analyze_view(gabd, small_space)
+        assert not analysis.is_strong
+
+    def test_sp_projection_of_jd_schema_not_strong(self, spj_inverse):
+        """π_SP of the ⋈[SP,PJ] schema admits no least preimages
+        (inserting (s,p) requires *some* (p,j), no canonical least)."""
+        analysis = analyze_view(spj_inverse.sp_view, spj_inverse.space)
+        assert not analysis.is_strong
+
+
+class TestSharpAndTheta:
+    @pytest.fixture
+    def gamma1_analysis(self, two_unary):
+        return analyze_view(two_unary.gamma1, two_unary.space)
+
+    def test_sharp_is_least_preimage(self, gamma1_analysis, two_unary):
+        sharp = gamma1_analysis.sharp
+        for view_state, least in sharp.items():
+            assert (
+                two_unary.gamma1.apply(least, two_unary.assignment)
+                == view_state
+            )
+            # Least: below every other preimage.
+            for other in two_unary.gamma1.preimages(two_unary.space, view_state):
+                assert least.issubset(other)
+
+    def test_theta_idempotent(self, gamma1_analysis, two_unary):
+        theta = gamma1_analysis.theta
+        for state in two_unary.space.states:
+            assert theta[theta[state]] == theta[state]
+
+    def test_theta_below_identity(self, gamma1_analysis, two_unary):
+        theta = gamma1_analysis.theta
+        for state in two_unary.space.states:
+            assert theta[state].issubset(state)
+
+    def test_fixpoints_are_down_set(self, gamma1_analysis, two_unary):
+        fixpoints = set(gamma1_analysis.fixpoints())
+        for state in fixpoints:
+            for lower in two_unary.space.states:
+                if lower.issubset(state):
+                    assert lower in fixpoints
+
+    def test_theta_key_identifies_isomorphic_views(self, small_chain, small_space):
+        ab = small_chain.component_view([0])
+        ab_clone = small_chain.component_view([0], name="clone")
+        key1 = analyze_view(ab, small_space).theta_key()
+        key2 = analyze_view(ab_clone, small_space).theta_key()
+        assert key1 == key2
+
+    def test_theta_morphism_is_strong_endomorphism(self, gamma1_analysis):
+        from repro.algebra.endomorphisms import is_strong_endomorphism
+
+        theta = gamma1_analysis.theta_morphism()
+        assert is_strong_endomorphism(theta)
+
+    def test_theta_unavailable_for_non_strong(self, two_unary):
+        analysis = analyze_view(two_unary.gamma3, two_unary.space)
+        with pytest.raises(NotStrongError):
+            analysis.theta_morphism()
+        with pytest.raises(NotStrongError):
+            analysis.fixpoints()
+
+
+class TestChainExample234:
+    """Example 2.3.4: the Γ°AB endomorphism restricts to the AB part."""
+
+    def test_theta_restricts_to_edge(self, small_chain, small_space):
+        ab = small_chain.component_view([0])
+        analysis = analyze_view(ab, small_space)
+        for state in small_space.states:
+            edges = small_chain.edges_of(state)
+            expected = small_chain.state_from_edges(
+                [edges[0], frozenset(), frozenset()]
+            )
+            assert analysis.theta[state] == expected
+
+    def test_sharp_pads_with_nulls(self, small_chain, small_space):
+        """The least preimage appends nulls: the figure in 2.3.4."""
+        ab = small_chain.component_view([0])
+        analysis = analyze_view(ab, small_space)
+        state = small_chain.state_from_edges(
+            [{("a1", "b1")}, set(), set()]
+        )
+        view_state = ab.apply(state, small_space.assignment)
+        assert analysis.sharp[view_state] == state

@@ -1,0 +1,130 @@
+"""Unit tests for :mod:`repro.core.system` (the façade)."""
+
+import pytest
+
+from repro.errors import ReproError, UpdateRejected
+from repro.typealgebra.algebra import NULL
+from repro.core.system import ViewUpdateSystem
+from repro.decomposition.projections import projection_view
+
+
+@pytest.fixture(scope="module")
+def system(small_chain, small_space):
+    system = ViewUpdateSystem(
+        small_chain.schema, small_chain.assignment, small_space
+    )
+    system.register_view(projection_view(small_chain, ("A", "B", "D")))
+    system.build_component_algebra(small_chain.all_component_views())
+    return system
+
+
+class TestSetup:
+    def test_views_registered(self, system):
+        assert system.view("Γ_ABD").name == "Γ_ABD"
+        assert len(system.views) == 1
+
+    def test_unknown_view(self, system):
+        with pytest.raises(ReproError):
+            system.view("nope")
+
+    def test_algebra_built(self, system):
+        assert len(system.component_algebra) == 8
+
+    def test_algebra_required_before_use(self, small_chain, small_space):
+        fresh = ViewUpdateSystem(
+            small_chain.schema, small_chain.assignment, small_space
+        )
+        with pytest.raises(ReproError):
+            fresh.component_algebra
+
+    def test_foreign_view_rejected(self, system, two_unary):
+        with pytest.raises(ReproError):
+            system.register_view(two_unary.gamma1)
+
+    def test_null_model_property_required(self, two_unary):
+        """A schema without the null model property is refused."""
+        from repro.logic.formulas import Exists, RelAtom
+        from repro.logic.terms import Var
+        from repro.relational.constraints import FormulaConstraint
+        from repro.relational.enumeration import StateSpace
+
+        x = Var("x")
+        constrained = two_unary.schema.with_constraints(
+            [FormulaConstraint(Exists(x, RelAtom("R", (x,))), "R-nonempty")]
+        )
+        space = StateSpace.enumerate(constrained, two_unary.assignment)
+        with pytest.raises(ReproError):
+            ViewUpdateSystem(constrained, two_unary.assignment, space)
+
+
+class TestUpdateRouting:
+    def test_procedure_uses_smallest_complement(self, system):
+        procedure = system.procedure_for("Γ_ABD")
+        assert procedure.complement.name == "Γ°BCD"
+
+    def test_update_roundtrip(self, system, small_chain):
+        state = small_chain.state_from_edges(
+            [{("a1", "b1")}, set(), {("c1", "d1")}]
+        )
+        view = system.view("Γ_ABD")
+        view_state = view.apply(state, small_chain.assignment)
+        target = view_state.deleting("R_ABD", ("a1", "b1", NULL))
+        solution = system.update("Γ_ABD", state, target)
+        assert view.apply(solution, small_chain.assignment) == target
+
+    def test_update_rejection_propagates(self, system, small_chain):
+        state = small_chain.state_from_edges(
+            [{("a1", "b1")}, set(), {("c1", "d1")}]
+        )
+        view = system.view("Γ_ABD")
+        view_state = view.apply(state, small_chain.assignment)
+        target = view_state.deleting("R_ABD", (NULL, NULL, "d1"))
+        with pytest.raises(UpdateRejected):
+            system.update("Γ_ABD", state, target)
+
+    def test_illegal_base_state_rejected(self, system, small_chain):
+        from repro.relational.instances import DatabaseInstance
+        from repro.relational.relations import Relation
+
+        bogus = DatabaseInstance({"R": Relation({("x", "y", "z", "w")}, 4)})
+        with pytest.raises(UpdateRejected) as exc_info:
+            system.update("Γ_ABD", bogus, bogus)
+        assert exc_info.value.reason == "illegal-base-state"
+
+    def test_explain_accepted(self, system, small_chain):
+        state = small_chain.state_from_edges(
+            [{("a1", "b1")}, set(), {("c1", "d1")}]
+        )
+        view = system.view("Γ_ABD")
+        view_state = view.apply(state, small_chain.assignment)
+        target = view_state.deleting("R_ABD", ("a1", "b1", NULL))
+        explanation = system.explain_update("Γ_ABD", state, target)
+        assert "ACCEPTED" in explanation
+        assert "Γ°BCD" in explanation
+
+    def test_explain_rejected(self, system, small_chain):
+        state = small_chain.state_from_edges(
+            [{("a1", "b1")}, set(), {("c1", "d1")}]
+        )
+        view = system.view("Γ_ABD")
+        view_state = view.apply(state, small_chain.assignment)
+        target = view_state.deleting("R_ABD", (NULL, NULL, "d1"))
+        explanation = system.explain_update("Γ_ABD", state, target)
+        assert "REJECTED" in explanation
+
+    def test_view_without_complement(self, small_chain, small_space, two_unary):
+        system = ViewUpdateSystem(
+            small_chain.schema, small_chain.assignment, small_space
+        )
+        # Build the algebra with only the bottom/top bounds available.
+        system.build_component_algebra([])
+        gabd = system.register_view(
+            projection_view(small_chain, ("A", "B", "D"), name="lonely")
+        )
+        system.build_component_algebra([])
+        # Only 1_D/0_D components exist; complement of 1 is 0 <= anything,
+        # so the trivial procedure exists -- it accepts only identities.
+        procedure = system.procedure_for("lonely")
+        state = small_space.states[0]
+        current = gabd.apply(state, small_chain.assignment)
+        assert procedure.apply(state, current) == state

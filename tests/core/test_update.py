@@ -1,0 +1,98 @@
+"""Unit tests for :mod:`repro.core.update`."""
+
+import pytest
+
+from repro.errors import UpdateRejected
+from repro.core.update import (
+    CallableStrategy,
+    TabulatedStrategy,
+    UpdateRequest,
+    UpdateSpecification,
+    UpdateStrategy,
+)
+
+
+class TestUpdateSpecification:
+    def test_identity(self, two_unary):
+        spec = UpdateSpecification(two_unary.initial, two_unary.initial)
+        assert spec.is_identity()
+        assert spec.delta_size() == 0
+
+    def test_delta(self, two_unary):
+        target = two_unary.initial.inserting("R", ("a4",))
+        spec = UpdateSpecification(two_unary.initial, target)
+        assert not spec.is_identity()
+        assert spec.delta_size() == 1
+
+
+class TestUpdateRequest:
+    def test_for_view_computes_t1(self, two_unary):
+        target = two_unary.initial.inserting("R", ("a4",))
+        request = UpdateRequest.for_view(
+            two_unary.gamma1,
+            two_unary.assignment,
+            two_unary.initial,
+            two_unary.gamma1.apply(target, two_unary.assignment),
+        )
+        assert request.view_current == two_unary.gamma1.apply(
+            two_unary.initial, two_unary.assignment
+        )
+        request.check_consistent(two_unary.gamma1, two_unary.assignment)
+
+    def test_inconsistent_rejected(self, two_unary):
+        bogus = two_unary.gamma2.apply(two_unary.initial, two_unary.assignment)
+        request = UpdateRequest(two_unary.initial, bogus, bogus)
+        with pytest.raises(ValueError):
+            request.check_consistent(two_unary.gamma1, two_unary.assignment)
+
+
+class TestTabulatedStrategy:
+    @pytest.fixture
+    def strategy(self, two_unary):
+        state = two_unary.initial
+        current = two_unary.gamma1.apply(state, two_unary.assignment)
+        target = current.inserting("R", ("a4",))
+        solution = state.inserting("R", ("a4",))
+        return TabulatedStrategy(
+            two_unary.gamma1,
+            two_unary.space,
+            {(state, target): solution},
+        )
+
+    def test_defined_pair(self, strategy, two_unary):
+        state = two_unary.initial
+        current = two_unary.gamma1.apply(state, two_unary.assignment)
+        target = current.inserting("R", ("a4",))
+        assert strategy.defined(state, target)
+        assert strategy.apply(state, target) == state.inserting("R", ("a4",))
+
+    def test_undefined_pair_raises(self, strategy, two_unary):
+        with pytest.raises(UpdateRejected) as exc_info:
+            strategy.apply(two_unary.initial, two_unary.initial)
+        assert exc_info.value.reason == "not-in-table"
+        assert not strategy.defined(two_unary.initial, two_unary.initial)
+
+    def test_defined_pairs_iterates_table(self, strategy):
+        pairs = list(strategy.defined_pairs())
+        assert len(pairs) == 1
+
+    def test_as_table_roundtrip(self, strategy):
+        table = strategy.as_table()
+        assert len(table) == 1
+
+
+class TestCallableStrategy:
+    def test_wraps_function(self, two_unary):
+        strategy = CallableStrategy(
+            two_unary.gamma1,
+            two_unary.space,
+            lambda state, target: state,
+            label="noop",
+        )
+        assert strategy.apply(two_unary.initial, None) == two_unary.initial
+        assert "noop" in repr(strategy)
+
+    def test_base_class_is_abstract(self, two_unary):
+        strategy = UpdateStrategy(two_unary.gamma1, two_unary.space)
+        with pytest.raises(NotImplementedError):
+            strategy.apply(two_unary.initial, two_unary.initial)

@@ -1,0 +1,214 @@
+"""Unit tests for :mod:`repro.decomposition.chain`."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.typealgebra.algebra import NULL
+from repro.decomposition.chain import ChainSchema
+from repro.relational.instances import DatabaseInstance
+from repro.relational.relations import Relation
+
+
+class TestConstruction:
+    def test_needs_two_attributes(self):
+        with pytest.raises(SchemaError):
+            ChainSchema(("A",), {"A": ("a1",)})
+
+    def test_domains_must_cover(self):
+        with pytest.raises(SchemaError):
+            ChainSchema(("A", "B"), {"A": ("a1",)})
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            ChainSchema(("A", "B"), {"A": ("a1",), "B": ()})
+
+    def test_geometry(self, small_chain):
+        assert small_chain.width == 4
+        assert small_chain.edge_count == 3
+        assert small_chain.interval_attributes((1, 3)) == ("B", "C", "D")
+
+    def test_type_algebra_has_null(self, small_chain):
+        assert small_chain.type_algebra.has_atom("eta")
+        assert small_chain.assignment.extension(
+            small_chain.null_type
+        ) == frozenset({NULL})
+
+
+class TestStructureTheorem:
+    def test_state_from_edges_roundtrip(self, small_chain):
+        edges = (
+            frozenset({("a1", "b1"), ("a2", "b1")}),
+            frozenset({("b1", "c2")}),
+            frozenset(),
+        )
+        state = small_chain.state_from_edges(edges)
+        assert small_chain.edges_of(state) == edges
+
+    def test_closure_generates_joins(self, tiny_chain):
+        state = tiny_chain.state_from_edges(
+            [{("a1", "b1")}, {("b1", "c1")}, {("c1", "d1")}]
+        )
+        rows = state.relation("R").rows
+        assert ("a1", "b1", "c1", "d1") in rows
+        assert ("a1", "b1", "c1", NULL) in rows
+        assert (NULL, "b1", "c1", "d1") in rows
+        assert len(rows) == 6  # one tuple per valid segment
+
+    def test_broken_chain_no_join(self, tiny_chain):
+        state = tiny_chain.state_from_edges(
+            [{("a1", "b1")}, set(), {("c1", "d1")}]
+        )
+        rows = state.relation("R").rows
+        assert rows == {
+            ("a1", "b1", NULL, NULL),
+            (NULL, NULL, "c1", "d1"),
+        }
+
+    def test_out_of_domain_edge_rejected(self, tiny_chain):
+        with pytest.raises(SchemaError):
+            tiny_chain.state_from_edges([{("zz", "b1")}, set(), set()])
+
+    def test_wrong_edge_count_rejected(self, tiny_chain):
+        with pytest.raises(SchemaError):
+            tiny_chain.state_from_edges([set(), set()])
+
+    def test_state_count_formula(self, small_chain):
+        assert small_chain.state_count() == len(list(small_chain.all_states()))
+
+    def test_all_states_legal(self, tiny_chain):
+        for state in tiny_chain.all_states():
+            assert tiny_chain.schema.is_legal(state, tiny_chain.assignment)
+
+    def test_all_states_distinct(self, tiny_chain):
+        states = list(tiny_chain.all_states())
+        assert len(states) == len(set(states)) == 8
+
+    def test_state_space_has_null_model(self, small_space):
+        assert small_space.has_null_model()
+
+
+class TestChainConstraint:
+    def test_rejects_bad_pattern(self, tiny_chain):
+        bad = DatabaseInstance(
+            {"R": Relation({("a1", NULL, "c1", NULL)}, 4)}
+        )
+        assert not tiny_chain.schema.is_legal(bad, tiny_chain.assignment)
+
+    def test_rejects_missing_subsumed(self, tiny_chain):
+        bad = DatabaseInstance(
+            {"R": Relation({("a1", "b1", "c1", "d1")}, 4)}
+        )
+        assert not tiny_chain.schema.is_legal(bad, tiny_chain.assignment)
+
+    def test_rejects_missing_join(self, tiny_chain):
+        rows = {
+            ("a1", "b1", NULL, NULL),
+            (NULL, "b1", "c1", NULL),
+            # missing the joined (a1, b1, c1, n)
+        }
+        bad = DatabaseInstance({"R": Relation(rows, 4)})
+        assert not tiny_chain.schema.is_legal(bad, tiny_chain.assignment)
+
+    def test_rejects_out_of_domain(self, tiny_chain):
+        bad = DatabaseInstance(
+            {"R": Relation({("zz", "b1", NULL, NULL)}, 4)}
+        )
+        assert not tiny_chain.schema.is_legal(bad, tiny_chain.assignment)
+
+    def test_agrees_with_tgds(self, tiny_chain):
+        """ChainConstraint == pattern check + TGD satisfaction, sampled
+        over all legal states and several illegal ones."""
+        tgds = tiny_chain.subsumption_tgds() + tiny_chain.join_tgds()
+        schema, assignment = tiny_chain.schema, tiny_chain.assignment
+        for state in tiny_chain.all_states():
+            assert all(t.holds(state, schema, assignment) for t in tgds)
+        broken = DatabaseInstance(
+            {"R": Relation({("a1", "b1", "c1", "d1")}, 4)}
+        )
+        assert not all(t.holds(broken, schema, assignment) for t in tgds)
+
+
+class TestComponentViews:
+    def test_single_edge_view(self, tiny_chain):
+        view = tiny_chain.component_view([0])
+        assert view.name == "Γ°AB"
+        state = tiny_chain.state_from_edges(
+            [{("a1", "b1")}, {("b1", "c1")}, set()]
+        )
+        image = view.apply(state, tiny_chain.assignment)
+        assert image.relation("R_AB").rows == {("a1", "b1")}
+
+    def test_interval_view_keeps_interior_nulls(self, tiny_chain):
+        view = tiny_chain.component_view([0, 1])
+        assert view.name == "Γ°ABC"
+        state = tiny_chain.state_from_edges(
+            [{("a1", "b1")}, {("b1", "c1")}, set()]
+        )
+        image = view.apply(state, tiny_chain.assignment)
+        assert image.relation("R_ABC").rows == {
+            ("a1", "b1", NULL),
+            (NULL, "b1", "c1"),
+            ("a1", "b1", "c1"),
+        }
+
+    def test_split_view_two_relations(self, tiny_chain):
+        view = tiny_chain.component_view([0, 2])
+        assert view.name == "Γ°AB·CD"
+        arities = view.mapping.target_arities()
+        assert arities == {"R_AB": 2, "R_CD": 2}
+
+    def test_empty_edge_set_is_zero_like(self, tiny_chain):
+        view = tiny_chain.component_view([])
+        state = tiny_chain.state_from_edges(
+            [{("a1", "b1")}, set(), set()]
+        )
+        image = view.apply(state, tiny_chain.assignment)
+        assert image.relation_names == ()
+
+    def test_unknown_edge_rejected(self, tiny_chain):
+        with pytest.raises(SchemaError):
+            tiny_chain.component_view([7])
+
+    def test_all_component_views_count(self, small_chain):
+        assert len(small_chain.all_component_views()) == 8
+
+    def test_edge_views_are_atoms(self, small_chain):
+        assert [v.name for v in small_chain.edge_views()] == [
+            "Γ°AB",
+            "Γ°BC",
+            "Γ°CD",
+        ]
+
+    def test_view_respects_edges(self, small_chain, small_space):
+        """gamma°_S(state) depends only on the S-edges of the state."""
+        view = small_chain.component_view([0, 2])
+        for state in small_space.states[:16]:
+            edges = small_chain.edges_of(state)
+            twin = small_chain.state_from_edges(
+                [edges[0], frozenset(), edges[2]]
+            )
+            assert view.apply(
+                state, small_chain.assignment
+            ) == view.apply(twin, small_chain.assignment)
+
+
+class TestLongerChains:
+    def test_width_5(self):
+        chain = ChainSchema(
+            ("A", "B", "C", "D", "E"),
+            {name: (name.lower() + "1",) for name in "ABCDE"},
+        )
+        assert chain.edge_count == 4
+        assert chain.state_count() == 16
+        state = chain.state_from_edges(
+            [{("a1", "b1")}, {("b1", "c1")}, {("c1", "d1")}, {("d1", "e1")}]
+        )
+        # Segments of a 5-chain: C(5,2) = 10.
+        assert state.total_rows() == 10
+        assert chain.schema.is_legal(state, chain.assignment)
+
+    def test_width_2_trivial_chain(self):
+        chain = ChainSchema(("A", "B"), {"A": ("a1",), "B": ("b1", "b2")})
+        assert chain.edge_count == 1
+        views = chain.all_component_views()
+        assert len(views) == 2

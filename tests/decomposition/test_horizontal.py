@@ -1,0 +1,159 @@
+"""Unit tests for :mod:`repro.decomposition.horizontal`."""
+
+import pytest
+
+from repro.errors import SchemaError, UpdateRejected
+from repro.core.components import ComponentAlgebra
+from repro.core.constant_complement import ConstantComplementTranslator
+from repro.decomposition.horizontal import HorizontalSchema, HorizontalUpdater
+from repro.relational.instances import DatabaseInstance
+from repro.relational.relations import Relation
+
+
+@pytest.fixture(scope="module")
+def accounts():
+    """Accounts split horizontally by region."""
+    return HorizontalSchema(
+        attributes=("Owner", "Region"),
+        domains={"Owner": ("alice", "bob")},
+        split_attribute="Region",
+        cells={"eu": ("de", "fr"), "us": ("ny",)},
+    )
+
+
+@pytest.fixture(scope="module")
+def accounts_space(accounts):
+    return accounts.state_space()
+
+
+class TestConstruction:
+    def test_basic(self, accounts):
+        assert accounts.cell_names == ("eu", "us")
+        assert accounts.cell_of_value("de") == "eu"
+        assert accounts.cell_of_value("ny") == "us"
+        assert accounts.cell_of_value("zz") is None
+
+    def test_split_attribute_must_exist(self):
+        with pytest.raises(SchemaError):
+            HorizontalSchema(
+                ("A",), {"A": ("x",)}, "Z", {"c": ("v",)}
+            )
+
+    def test_cells_must_be_disjoint(self):
+        with pytest.raises(SchemaError):
+            HorizontalSchema(
+                ("A", "B"),
+                {"A": ("x",)},
+                "B",
+                {"c1": ("v",), "c2": ("v",)},
+            )
+
+    def test_cells_must_be_nonempty(self):
+        with pytest.raises(SchemaError):
+            HorizontalSchema(
+                ("A", "B"), {"A": ("x",)}, "B", {"c1": ()}
+            )
+
+    def test_domains_cover_other_attributes(self):
+        with pytest.raises(SchemaError):
+            HorizontalSchema(
+                ("A", "B"), {}, "B", {"c1": ("v",)}
+            )
+
+    def test_state_count(self, accounts, accounts_space):
+        # |universe| = 2 owners x 3 regions = 6 rows -> 64 states.
+        assert accounts.state_count() == 64
+        assert len(accounts_space) == 64
+
+
+class TestCellDecomposition:
+    def test_cell_rows(self, accounts):
+        state = DatabaseInstance(
+            {"R": {("alice", "de"), ("bob", "ny")}}
+        )
+        assert accounts.cell_rows(state, "eu") == {("alice", "de")}
+        assert accounts.cell_rows(state, "us") == {("bob", "ny")}
+
+    def test_state_from_cells_roundtrip(self, accounts):
+        state = accounts.state_from_cells(
+            {"eu": {("alice", "fr")}, "us": {("bob", "ny")}}
+        )
+        assert accounts.cell_rows(state, "eu") == {("alice", "fr")}
+
+    def test_state_from_cells_validates_membership(self, accounts):
+        with pytest.raises(SchemaError):
+            accounts.state_from_cells({"eu": {("alice", "ny")}})
+
+    def test_state_from_cells_unknown_cell(self, accounts):
+        with pytest.raises(SchemaError):
+            accounts.state_from_cells({"asia": set()})
+
+
+class TestComponentViews:
+    def test_selection_semantics(self, accounts):
+        view = accounts.component_view(["eu"])
+        state = DatabaseInstance(
+            {"R": {("alice", "de"), ("bob", "ny")}}
+        )
+        image = view.apply(state, accounts.assignment)
+        assert image.relation("R").rows == {("alice", "de")}
+
+    def test_view_count(self, accounts):
+        assert len(accounts.all_component_views()) == 4
+
+    def test_unknown_cell_rejected(self, accounts):
+        with pytest.raises(SchemaError):
+            accounts.component_view(["asia"])
+
+    def test_component_algebra(self, accounts, accounts_space):
+        algebra = ComponentAlgebra.discover(
+            accounts_space, accounts.all_component_views()
+        )
+        assert len(algebra) == 4
+        assert algebra.is_boolean()
+        eu = algebra.named("σ[eu]")
+        assert algebra.complement_of(eu).name == "σ[us]"
+
+    def test_components_fully_complementary(self, accounts, accounts_space):
+        from repro.views.lattice import are_complementary
+
+        eu = accounts.component_view(["eu"])
+        us = accounts.component_view(["us"])
+        assert are_complementary(eu, us, accounts_space)
+
+
+class TestHorizontalUpdater:
+    def test_replaces_selected_cells_only(self, accounts):
+        updater = HorizontalUpdater(accounts, ["eu"])
+        state = DatabaseInstance(
+            {"R": {("alice", "de"), ("bob", "ny")}}
+        )
+        target = DatabaseInstance({"R": {("bob", "fr")}})
+        solution = updater.apply(state, target)
+        assert solution.relation("R").rows == {("bob", "fr"), ("bob", "ny")}
+
+    def test_rejects_rows_outside_cells(self, accounts):
+        updater = HorizontalUpdater(accounts, ["eu"])
+        state = DatabaseInstance({"R": Relation((), 2)})
+        target = DatabaseInstance({"R": {("bob", "ny")}})  # us row
+        with pytest.raises(UpdateRejected):
+            updater.apply(state, target)
+
+    def test_rejects_ill_typed(self, accounts):
+        updater = HorizontalUpdater(accounts, ["eu"])
+        state = DatabaseInstance({"R": Relation((), 2)})
+        target = DatabaseInstance({"R": {("ghost", "de")}})
+        assert not updater.defined(state, target)
+
+    def test_agrees_with_enumerative_translator(self, accounts, accounts_space):
+        updater = HorizontalUpdater(accounts, ["eu"])
+        complement = accounts.component_view(["us"])
+        translator = ConstantComplementTranslator(
+            updater.view, complement, accounts_space
+        )
+        targets = updater.view.image_states(accounts_space)
+        for state in accounts_space.states[::5]:
+            for target in targets[::2]:
+                assert updater.apply(state, target) == translator.apply(
+                    state, target
+                )

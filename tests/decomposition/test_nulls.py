@@ -1,0 +1,83 @@
+"""Unit tests for :mod:`repro.decomposition.nulls`."""
+
+import pytest
+
+from repro.typealgebra.algebra import NULL
+from repro.decomposition.nulls import (
+    maximal_intervals,
+    pad_row,
+    segment_edges,
+    segment_of,
+    valid_segments,
+)
+
+
+class TestSegmentOf:
+    def test_full_segment(self):
+        assert segment_of(("a", "b", "c", "d")) == (0, 3)
+
+    def test_edge_segment(self):
+        assert segment_of(("a", "b", NULL, NULL)) == (0, 1)
+        assert segment_of((NULL, "b", "c", NULL)) == (1, 2)
+        assert segment_of((NULL, NULL, "c", "d")) == (2, 3)
+
+    def test_interior_segment(self):
+        assert segment_of(("a", "b", "c", NULL)) == (0, 2)
+
+    def test_single_column_invalid(self):
+        assert segment_of(("a", NULL, NULL, NULL)) is None
+
+    def test_all_null_invalid(self):
+        assert segment_of((NULL, NULL, NULL, NULL)) is None
+
+    def test_gap_invalid(self):
+        assert segment_of(("a", NULL, "c", NULL)) is None
+        assert segment_of(("a", "b", NULL, "d")) is None
+
+
+class TestPadRow:
+    def test_pads_outside_segment(self):
+        assert pad_row(("a", "b"), (0, 1), 4) == ("a", "b", NULL, NULL)
+        assert pad_row(("b", "c"), (1, 2), 4) == (NULL, "b", "c", NULL)
+
+    def test_roundtrip_with_segment_of(self):
+        row = pad_row(("b", "c", "d"), (1, 3), 4)
+        assert segment_of(row) == (1, 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pad_row(("a",), (0, 1), 4)
+
+
+class TestValidSegments:
+    def test_width_4(self):
+        segments = set(valid_segments(4))
+        assert segments == {
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (0, 2),
+            (1, 3),
+            (0, 3),
+        }
+
+    def test_width_2(self):
+        assert list(valid_segments(2)) == [(0, 1)]
+
+
+class TestEdges:
+    def test_segment_edges(self):
+        assert segment_edges((0, 3)) == (0, 1, 2)
+        assert segment_edges((1, 2)) == (1,)
+
+    def test_maximal_intervals_contiguous(self):
+        assert maximal_intervals(frozenset({0, 1, 2})) == ((0, 3),)
+
+    def test_maximal_intervals_split(self):
+        assert maximal_intervals(frozenset({0, 2})) == ((0, 1), (2, 3))
+
+    def test_maximal_intervals_empty(self):
+        assert maximal_intervals(frozenset()) == ()
+
+    def test_maximal_intervals_singleton(self):
+        assert maximal_intervals(frozenset({1})) == ((1, 2),)

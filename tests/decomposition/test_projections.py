@@ -1,0 +1,54 @@
+"""Unit tests for :mod:`repro.decomposition.projections`."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.typealgebra.algebra import NULL
+from repro.decomposition.projections import projection_view
+
+
+class TestProjectionView:
+    def test_projects_with_nulls(self, tiny_chain):
+        view = projection_view(tiny_chain, ("A", "B", "D"))
+        state = tiny_chain.state_from_edges(
+            [{("a1", "b1")}, {("b1", "c1")}, {("c1", "d1")}]
+        )
+        image = view.apply(state, tiny_chain.assignment)
+        rows = image.relation("R_ABD").rows
+        # (a1,b1,c1,d1) -> (a1,b1,d1); (a1,b1,c1,n) and (a1,b1,n,n)
+        # both -> (a1,b1,n); etc.
+        assert ("a1", "b1", "d1") in rows
+        assert ("a1", "b1", NULL) in rows
+        assert (NULL, NULL, "d1") in rows
+
+    def test_default_name(self, tiny_chain):
+        assert projection_view(tiny_chain, ("A", "D")).name == "Γ_AD"
+
+    def test_custom_name(self, tiny_chain):
+        assert projection_view(tiny_chain, ("A",), name="mine").name == "mine"
+
+    def test_unknown_attribute(self, tiny_chain):
+        with pytest.raises(SchemaError):
+            projection_view(tiny_chain, ("A", "Z"))
+
+    def test_full_projection_is_injective(self, tiny_chain, tiny_space):
+        """Projecting every column loses nothing."""
+        view = projection_view(tiny_chain, ("A", "B", "C", "D"))
+        assert view.kernel(tiny_space).is_discrete()
+
+    def test_paper_view_state(self, paper_chain, paper_instance):
+        """Example 3.2.4's printed Γ_ABD state (9 tuples)."""
+        view = projection_view(paper_chain, ("A", "B", "D"))
+        image = view.apply(paper_instance, paper_chain.assignment)
+        expected = {
+            ("a1", "b1", "d1"),
+            ("a1", "b1", NULL),
+            (NULL, "b1", "d1"),
+            (NULL, NULL, "d1"),
+            (NULL, "b1", NULL),
+            ("a2", "b2", NULL),
+            ("a2", "b3", NULL),
+            (NULL, "b3", NULL),
+            (NULL, NULL, "d4"),
+        }
+        assert image.relation("R_ABD").rows == expected

@@ -1,0 +1,225 @@
+"""Unit tests for :mod:`repro.decomposition.tree` (join-tree schemas)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.typealgebra.algebra import NULL
+from repro.core.components import ComponentAlgebra
+from repro.decomposition.chain import ChainSchema
+from repro.decomposition.tree import TreeSchema
+from repro.relational.instances import DatabaseInstance
+from repro.relational.relations import Relation
+
+
+@pytest.fixture(scope="module")
+def star():
+    """A star: hub B with leaves A, C, D."""
+    return TreeSchema(
+        ("A", "B", "C", "D"),
+        {"A": ("a1",), "B": ("b1", "b2"), "C": ("c1",), "D": ("d1",)},
+        [("A", "B"), ("B", "C"), ("B", "D")],
+    )
+
+
+@pytest.fixture(scope="module")
+def path_tree():
+    """The ABCD chain expressed as a tree."""
+    return TreeSchema(
+        ("A", "B", "C", "D"),
+        {"A": ("a1",), "B": ("b1",), "C": ("c1",), "D": ("d1",)},
+        [("A", "B"), ("B", "C"), ("C", "D")],
+    )
+
+
+class TestConstruction:
+    def test_geometry(self, star):
+        assert star.width == 4
+        assert star.edge_count == 3
+        assert star.edge_name((0, 1)) == "AB"
+
+    def test_not_a_tree_too_few_edges(self):
+        with pytest.raises(SchemaError):
+            TreeSchema(
+                ("A", "B", "C"),
+                {"A": ("a",), "B": ("b",), "C": ("c",)},
+                [("A", "B")],
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(SchemaError):
+            TreeSchema(
+                ("A", "B", "C"),
+                {"A": ("a",), "B": ("b",), "C": ("c",)},
+                [("A", "B"), ("B", "C"), ("C", "A")],
+            )
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(SchemaError):
+            TreeSchema(
+                ("A", "B", "C", "D"),
+                {n: (n.lower(),) for n in "ABCD"},
+                [("A", "B"), ("C", "D"), ("A", "B")],
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SchemaError):
+            TreeSchema(
+                ("A", "B"),
+                {"A": ("a",), "B": ("b",)},
+                [("A", "A")],
+            )
+
+    def test_unknown_attribute_in_edge(self):
+        with pytest.raises(SchemaError):
+            TreeSchema(
+                ("A", "B"),
+                {"A": ("a",), "B": ("b",)},
+                [("A", "Z")],
+            )
+
+
+class TestStructureTheorem:
+    def test_star_closure(self, star):
+        state = star.state_from_edges(
+            {
+                (0, 1): {("a1", "b1")},
+                (1, 2): {("b1", "c1")},
+                (1, 3): {("b1", "d1")},
+            }
+        )
+        rows = state.relation("R").rows
+        # Edges:
+        assert ("a1", "b1", NULL, NULL) in rows
+        assert (NULL, "b1", "c1", NULL) in rows
+        assert (NULL, "b1", NULL, "d1") in rows
+        # Pairwise joins through the hub:
+        assert ("a1", "b1", "c1", NULL) in rows
+        assert ("a1", "b1", NULL, "d1") in rows
+        assert (NULL, "b1", "c1", "d1") in rows
+        # The full object:
+        assert ("a1", "b1", "c1", "d1") in rows
+        assert len(rows) == 7
+
+    def test_hub_values_partition_the_join(self, star):
+        """Objects only join through a shared hub value."""
+        state = star.state_from_edges(
+            {
+                (0, 1): {("a1", "b1")},
+                (1, 2): {("b2", "c1")},  # different hub value
+                (1, 3): set(),
+            }
+        )
+        rows = state.relation("R").rows
+        assert rows == {
+            ("a1", "b1", NULL, NULL),
+            (NULL, "b2", "c1", NULL),
+        }
+
+    def test_edges_roundtrip(self, star):
+        edge_sets = {
+            (0, 1): frozenset({("a1", "b1"), ("a1", "b2")}),
+            (1, 2): frozenset({("b2", "c1")}),
+            (1, 3): frozenset(),
+        }
+        state = star.state_from_edges(edge_sets)
+        assert star.edges_of(state) == edge_sets
+
+    def test_all_states_legal_and_counted(self, star):
+        states = list(star.all_states())
+        assert len(states) == star.state_count() == 2**2 * 2**2 * 2**2
+        for state in states[:12]:
+            assert star.schema.is_legal(state, star.assignment)
+
+    def test_out_of_domain_rejected(self, star):
+        with pytest.raises(SchemaError):
+            star.state_from_edges({(0, 1): {("zz", "b1")}})
+
+    def test_unknown_edge_rejected(self, star):
+        with pytest.raises(SchemaError):
+            star.state_from_edges({(0, 3): {("a1", "d1")}})
+
+
+class TestTreeConstraint:
+    def test_rejects_disconnected_pattern(self, star):
+        # A and C non-null without the hub B: not a connected subtree.
+        bad = DatabaseInstance(
+            {"R": Relation({("a1", NULL, "c1", NULL)}, 4)}
+        )
+        assert not star.schema.is_legal(bad, star.assignment)
+
+    def test_rejects_missing_subsumption(self, star):
+        bad = DatabaseInstance(
+            {"R": Relation({("a1", "b1", "c1", NULL)}, 4)}
+        )
+        assert not star.schema.is_legal(bad, star.assignment)
+
+    def test_rejects_missing_join(self, star):
+        rows = {
+            ("a1", "b1", NULL, NULL),
+            (NULL, "b1", "c1", NULL),
+            # missing ("a1", "b1", "c1", n)
+        }
+        bad = DatabaseInstance({"R": Relation(rows, 4)})
+        assert not star.schema.is_legal(bad, star.assignment)
+
+
+class TestChainEquivalence:
+    """A path tree's states coincide with the chain construction's."""
+
+    def test_same_state_sets(self, path_tree):
+        chain = ChainSchema(
+            ("A", "B", "C", "D"),
+            {"A": ("a1",), "B": ("b1",), "C": ("c1",), "D": ("d1",)},
+        )
+        chain_states = {
+            state.relation("R").rows for state in chain.all_states()
+        }
+        tree_states = {
+            state.relation("R").rows for state in path_tree.all_states()
+        }
+        assert chain_states == tree_states
+
+
+class TestComponentViews:
+    def test_single_edge_view(self, star):
+        view = star.component_view([(0, 1)])
+        assert view.name == "Γ°AB"
+        state = star.state_from_edges(
+            {(0, 1): {("a1", "b2")}, (1, 2): {("b1", "c1")}}
+        )
+        image = view.apply(state, star.assignment)
+        assert image.relation("R_AB").rows == {("a1", "b2")}
+
+    def test_two_leaf_edges_share_hub(self, star):
+        """Edges AB and BC form one connected component ABС."""
+        view = star.component_view([(0, 1), (1, 2)])
+        assert view.name == "Γ°ABC"
+        arities = view.mapping.target_arities()
+        assert arities == {"R_ABC": 3}
+
+    def test_component_count(self, star):
+        assert len(star.all_component_views()) == 8
+
+    def test_component_algebra(self, star):
+        """The star's component algebra: Boolean, 8 elements, 3 atoms."""
+        space = star.state_space()
+        algebra = ComponentAlgebra.discover(
+            space, star.all_component_views()
+        )
+        assert len(algebra) == 8
+        assert len(algebra.atoms()) == 3
+        assert algebra.is_boolean()
+        ab = algebra.named("Γ°AB")
+        # Complement of AB is the BC+BD component (one connected piece
+        # through the hub: BCD).
+        assert algebra.complement_of(ab).name == "Γ°BCD"
+
+    def test_empty_component(self, star):
+        view = star.component_view([])
+        assert view.name == "Γ°[∅]"
+        state = star.state_from_edges({(0, 1): {("a1", "b1")}})
+        assert view.apply(state, star.assignment).relation_names == ()
+
+    def test_unknown_edges_rejected(self, star):
+        with pytest.raises(SchemaError):
+            star.component_view([(0, 3)])

@@ -1,0 +1,102 @@
+"""Unit tests for :class:`repro.decomposition.updates.TreeComponentUpdater`."""
+
+import pytest
+
+from repro.errors import SchemaError, UpdateRejected
+from repro.core.components import ComponentAlgebra
+from repro.core.constant_complement import ConstantComplementTranslator
+from repro.decomposition.tree import TreeSchema
+from repro.decomposition.updates import TreeComponentUpdater
+from repro.relational.instances import DatabaseInstance
+
+
+@pytest.fixture(scope="module")
+def star():
+    return TreeSchema(
+        ("A", "B", "C", "D"),
+        {"A": ("a1",), "B": ("b1", "b2"), "C": ("c1",), "D": ("d1",)},
+        [("A", "B"), ("B", "C"), ("B", "D")],
+    )
+
+
+class TestBasics:
+    def test_unknown_edge_rejected(self, star):
+        with pytest.raises(SchemaError):
+            TreeComponentUpdater(star, [(0, 3)])
+
+    def test_repr(self, star):
+        assert "Γ°AB" in repr(TreeComponentUpdater(star, [(0, 1)]))
+
+
+class TestTranslation:
+    def test_replace_edge_part(self, star):
+        updater = TreeComponentUpdater(star, [(0, 1)])
+        state = star.state_from_edges(
+            {(0, 1): {("a1", "b1")}, (1, 2): {("b1", "c1")}}
+        )
+        new_part = star.state_from_edges({(0, 1): {("a1", "b2")}})
+        target = updater.view.apply(new_part, star.assignment)
+        solution = updater.apply(state, target)
+        edges = star.edges_of(solution)
+        assert edges[(0, 1)] == frozenset({("a1", "b2")})
+        assert edges[(1, 2)] == frozenset({("b1", "c1")})
+
+    def test_multi_edge_component(self, star):
+        updater = TreeComponentUpdater(star, [(1, 2), (1, 3)])
+        state = star.state_from_edges({(0, 1): {("a1", "b1")}})
+        new_part = star.state_from_edges(
+            {(1, 2): {("b2", "c1")}, (1, 3): {("b2", "d1")}}
+        )
+        target = updater.view.apply(new_part, star.assignment)
+        solution = updater.apply(state, target)
+        edges = star.edges_of(solution)
+        assert edges[(0, 1)] == frozenset({("a1", "b1")})
+        assert edges[(1, 2)] == frozenset({("b2", "c1")})
+        assert edges[(1, 3)] == frozenset({("b2", "d1")})
+        # The BCD join through b2 materialised in the base:
+        from repro.typealgebra.algebra import NULL
+
+        assert (NULL, "b2", "c1", "d1") in solution.relation("R")
+
+    def test_unclosed_target_rejected(self, star):
+        from repro.typealgebra.algebra import NULL
+
+        updater = TreeComponentUpdater(star, [(1, 2), (1, 3)])
+        state = star.schema.empty_instance()
+        target = DatabaseInstance(
+            {
+                "R_BCD": {
+                    ("b1", "c1", NULL),
+                    ("b1", NULL, "d1"),
+                    # missing the joined (b1, c1, d1)
+                }
+            }
+        )
+        with pytest.raises(UpdateRejected):
+            updater.apply(state, target)
+
+    def test_out_of_domain_rejected(self, star):
+        from repro.typealgebra.algebra import NULL
+
+        updater = TreeComponentUpdater(star, [(0, 1)])
+        state = star.schema.empty_instance()
+        target = DatabaseInstance({"R_AB": {("zz", "b1")}})
+        with pytest.raises(UpdateRejected):
+            updater.apply(state, target)
+
+    def test_agrees_with_enumerative(self, star):
+        space = star.state_space()
+        updater = TreeComponentUpdater(star, [(0, 1)])
+        algebra = ComponentAlgebra.discover(
+            space, star.all_component_views()
+        )
+        component = algebra.component_of_view(updater.view)
+        translator = ConstantComplementTranslator(
+            component.view, component.complement.view, space
+        )
+        targets = component.view.image_states(space)
+        for state in space.states[::5]:
+            for target in targets[::2]:
+                assert updater.apply(state, target) == translator.apply(
+                    state, target
+                )

@@ -1,0 +1,133 @@
+"""Unit tests for :mod:`repro.decomposition.updates` (symbolic updater)."""
+
+import pytest
+
+from repro.errors import SchemaError, UpdateRejected
+from repro.typealgebra.algebra import NULL
+from repro.core.constant_complement import ComponentTranslator
+from repro.decomposition.updates import ChainComponentUpdater
+from repro.relational.instances import DatabaseInstance
+from repro.relational.relations import Relation
+
+
+class TestBasics:
+    def test_unknown_edges_rejected(self, small_chain):
+        with pytest.raises(SchemaError):
+            ChainComponentUpdater(small_chain, [9])
+
+    def test_repr(self, small_chain):
+        updater = ChainComponentUpdater(small_chain, [0])
+        assert "Γ°AB" in repr(updater)
+
+
+class TestTranslation:
+    def test_replace_component_part(self, small_chain):
+        updater = ChainComponentUpdater(small_chain, [0])
+        state = small_chain.state_from_edges(
+            [{("a1", "b1")}, {("b1", "c1")}, {("c1", "d1")}]
+        )
+        target = DatabaseInstance({"R_AB": {("a2", "b1")}})
+        solution = updater.apply(state, target)
+        assert small_chain.edges_of(solution) == (
+            frozenset({("a2", "b1")}),
+            frozenset({("b1", "c1")}),
+            frozenset({("c1", "d1")}),
+        )
+
+    def test_split_component(self, small_chain):
+        updater = ChainComponentUpdater(small_chain, [0, 2])
+        state = small_chain.state_from_edges(
+            [{("a1", "b1")}, {("b1", "c1")}, {("c1", "d1")}]
+        )
+        target = DatabaseInstance(
+            {"R_AB": Relation((), 2), "R_CD": {("c2", "d1")}}
+        )
+        solution = updater.apply(state, target)
+        assert small_chain.edges_of(solution) == (
+            frozenset(),
+            frozenset({("b1", "c1")}),
+            frozenset({("c2", "d1")}),
+        )
+
+    def test_interval_component_with_closure(self, small_chain):
+        updater = ChainComponentUpdater(small_chain, [1, 2])
+        state = small_chain.state_from_edges(
+            [{("a1", "b1")}, set(), set()]
+        )
+        # Request BC = {(b1,c1)}, CD = {(c1,d1)}: the view state must
+        # contain the joined (b1,c1,d1) row too (inherited constraint).
+        new_part = small_chain.state_from_edges(
+            [set(), {("b1", "c1")}, {("c1", "d1")}]
+        )
+        target = updater.view.apply(new_part, small_chain.assignment)
+        solution = updater.apply(state, target)
+        assert small_chain.edges_of(solution) == (
+            frozenset({("a1", "b1")}),
+            frozenset({("b1", "c1")}),
+            frozenset({("c1", "d1")}),
+        )
+
+    def test_unclosed_view_state_rejected(self, small_chain):
+        updater = ChainComponentUpdater(small_chain, [1, 2])
+        state = small_chain.schema.empty_instance()
+        # Edges present but the joined row missing: violates the
+        # inherited join dependency.
+        target = DatabaseInstance(
+            {
+                "R_BCD": {
+                    ("b1", "c1", NULL),
+                    (NULL, "c1", "d1"),
+                    # missing ("b1", "c1", "d1")
+                }
+            }
+        )
+        with pytest.raises(UpdateRejected) as exc_info:
+            updater.apply(state, target)
+        assert exc_info.value.reason == "illegal-view-state"
+
+    def test_bad_pattern_rejected(self, small_chain):
+        updater = ChainComponentUpdater(small_chain, [1, 2])
+        state = small_chain.schema.empty_instance()
+        target = DatabaseInstance({"R_BCD": {("b1", NULL, "d1")}})
+        with pytest.raises(UpdateRejected):
+            updater.apply(state, target)
+
+    def test_out_of_domain_rejected(self, small_chain):
+        updater = ChainComponentUpdater(small_chain, [0])
+        state = small_chain.schema.empty_instance()
+        target = DatabaseInstance({"R_AB": {("zz", "b1")}})
+        with pytest.raises(UpdateRejected):
+            updater.apply(state, target)
+
+    def test_missing_relation_rejected(self, small_chain):
+        updater = ChainComponentUpdater(small_chain, [0])
+        state = small_chain.schema.empty_instance()
+        target = DatabaseInstance({"WRONG": Relation((), 2)})
+        with pytest.raises(UpdateRejected):
+            updater.apply(state, target)
+
+    def test_defined_wrapper(self, small_chain):
+        updater = ChainComponentUpdater(small_chain, [0])
+        state = small_chain.schema.empty_instance()
+        good = DatabaseInstance({"R_AB": {("a1", "b1")}})
+        bad = DatabaseInstance({"R_AB": {("zz", "b1")}})
+        assert updater.defined(state, good)
+        assert not updater.defined(state, bad)
+
+
+class TestAgreementWithTableTranslator:
+    """The symbolic updater computes exactly the Theorem 3.1.1 map."""
+
+    @pytest.mark.parametrize("edges", [(0,), (2,), (0, 2), (0, 1), (0, 1, 2)])
+    def test_agrees_everywhere(self, small_chain, small_space, small_algebra, edges):
+        updater = ChainComponentUpdater(small_chain, edges)
+        component = small_algebra.component_of_view(updater.view)
+        translator = ComponentTranslator.for_component(component, small_space)
+        targets = component.view.image_states(small_space)
+        for state in small_space.states[::5]:
+            for target in targets[::3]:
+                # Align relation names: the algebra's representative view
+                # may differ in name but the states coincide.
+                expected = translator.apply(state, target)
+                actual = updater.apply(state, target)
+                assert actual == expected

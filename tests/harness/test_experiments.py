@@ -1,0 +1,37 @@
+"""Every experiment must pass: the paper's claims hold on this build."""
+
+import pytest
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+)
+
+
+@pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+def test_experiment_passes(experiment_id):
+    result = run_experiment(experiment_id)
+    assert isinstance(result, ExperimentResult)
+    assert result.passed, result.summary()
+
+
+class TestExperimentResult:
+    def test_expect_records_failure(self):
+        result = ExperimentResult("EX", "title", "claim")
+        result.expect("key", 1, 2)
+        assert not result.passed
+        assert any("EXPECTED" in key for key, _ in result.observations)
+
+    def test_observe_does_not_judge(self):
+        result = ExperimentResult("EX", "title", "claim")
+        result.observe("key", "anything")
+        assert result.passed
+
+    def test_summary_format(self):
+        result = ExperimentResult("EX", "My Title", "the claim")
+        result.expect("good", True, True)
+        summary = result.summary()
+        assert "[EX]" in summary
+        assert "PASS" in summary
+        assert "the claim" in summary

@@ -1,0 +1,24 @@
+"""Unit tests for the harness CLI (:mod:`repro.harness.__main__`)."""
+
+from repro.harness.__main__ import main
+
+
+class TestMain:
+    def test_runs_selection(self, capsys):
+        exit_code = main(["E1", "E2"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "[E1]" in captured
+        assert "[E2]" in captured
+        assert "all 2 experiments passed" in captured
+
+    def test_lowercase_ids_accepted(self, capsys):
+        assert main(["e1"]) == 0
+
+    def test_markdown_mode(self, capsys):
+        exit_code = main(["--markdown", "E1"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "### E1:" in captured
+        assert "**Paper claim.**" in captured
+        assert "**Measured**" in captured

@@ -1,0 +1,33 @@
+"""Unit tests for :mod:`repro.harness.reporting`."""
+
+from repro.harness.reporting import format_kv, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ("name", "value"), [("alpha", 1), ("b", 22222)]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        table = format_table(("a",), [])
+        assert table.splitlines()[0] == "a"
+
+    def test_wide_cells_stretch_columns(self):
+        table = format_table(("h",), [("longer-than-header",)])
+        assert "longer-than-header" in table
+
+
+class TestFormatKV:
+    def test_pairs(self):
+        text = format_kv([("key", 1), ("longer-key", 2)])
+        lines = text.splitlines()
+        assert lines[0].endswith(": 1")
+        assert lines[1].endswith(": 2")
+
+    def test_empty(self):
+        assert format_kv([]) == ""

@@ -1,0 +1,121 @@
+"""Unit tests for :mod:`repro.logic.evaluation` (finite model checking)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.logic.evaluation import evaluate, holds
+from repro.logic.formulas import (
+    And,
+    Eq,
+    Exists,
+    ForAll,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    TypeAtom,
+)
+from repro.logic.terms import Const, Var, variables
+from repro.relational.instances import DatabaseInstance
+from repro.typealgebra.assignment import TypeAssignment
+from repro.typealgebra.types import AtomicType
+
+
+x, y = variables("x", "y")
+
+
+@pytest.fixture
+def assignment():
+    return TypeAssignment.from_names({"A": ("a1", "a2"), "B": ("b1",)})
+
+
+@pytest.fixture
+def instance():
+    return DatabaseInstance({"R": {("a1", "b1")}, "S": {("a1",), ("a2",)}})
+
+
+class TestAtoms:
+    def test_rel_atom_with_constants(self, instance, assignment):
+        assert holds(RelAtom("R", (Const("a1"), Const("b1"))), instance, assignment)
+        assert not holds(
+            RelAtom("R", (Const("a2"), Const("b1"))), instance, assignment
+        )
+
+    def test_type_atom(self, instance, assignment):
+        assert holds(
+            TypeAtom(AtomicType("A"), Const("a1")), instance, assignment
+        )
+        assert not holds(
+            TypeAtom(AtomicType("A"), Const("b1")), instance, assignment
+        )
+
+    def test_equality(self, instance, assignment):
+        assert holds(Eq(Const(1), Const(1)), instance, assignment)
+        assert not holds(Eq(Const(1), Const(2)), instance, assignment)
+
+
+class TestConnectives:
+    def test_truth_table(self, instance, assignment):
+        true = Eq(Const(1), Const(1))
+        false = Eq(Const(1), Const(2))
+        assert holds(And(true, true), instance, assignment)
+        assert not holds(And(true, false), instance, assignment)
+        assert holds(Or(false, true), instance, assignment)
+        assert not holds(Or(false, false), instance, assignment)
+        assert holds(Not(false), instance, assignment)
+        assert holds(Implies(false, false), instance, assignment)
+        assert not holds(Implies(true, false), instance, assignment)
+        assert holds(Iff(false, false), instance, assignment)
+        assert not holds(Iff(true, false), instance, assignment)
+
+
+class TestQuantifiers:
+    def test_forall_over_universe(self, instance, assignment):
+        # Not everything is in S (b1 is not).
+        assert not holds(
+            ForAll(x, RelAtom("S", (x,))), instance, assignment
+        )
+        # Everything in S is an A-value.
+        assert holds(
+            ForAll(
+                x,
+                Implies(RelAtom("S", (x,)), TypeAtom(AtomicType("A"), x)),
+            ),
+            instance,
+            assignment,
+        )
+
+    def test_exists(self, instance, assignment):
+        assert holds(Exists(x, RelAtom("S", (x,))), instance, assignment)
+        assert not holds(
+            Exists(x, RelAtom("R", (x, Const("zzz")))), instance, assignment
+        )
+
+    def test_nested(self, instance, assignment):
+        formula = Exists(x, Exists(y, RelAtom("R", (x, y))))
+        assert holds(formula, instance, assignment)
+
+    def test_shadowing(self, instance, assignment):
+        # (exists x) (exists x) S(x): inner binder shadows outer.
+        formula = Exists(x, Exists(x, RelAtom("S", (x,))))
+        assert holds(formula, instance, assignment)
+
+    def test_valuation_restored_after_quantifier(self, instance, assignment):
+        # evaluate with x pre-bound; inner forall rebinds and must restore.
+        formula = And(
+            ForAll(x, Eq(x, x)),
+            RelAtom("S", (x,)),
+        )
+        assert evaluate(formula, instance, assignment, {x: "a1"})
+        assert not evaluate(formula, instance, assignment, {x: "b1"})
+
+
+class TestErrors:
+    def test_free_variable_rejected_by_holds(self, instance, assignment):
+        with pytest.raises(EvaluationError):
+            holds(RelAtom("S", (x,)), instance, assignment)
+
+    def test_unbound_variable_in_evaluate(self, instance, assignment):
+        with pytest.raises(EvaluationError):
+            evaluate(RelAtom("S", (x,)), instance, assignment, {})

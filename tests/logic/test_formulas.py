@@ -1,0 +1,131 @@
+"""Unit tests for :mod:`repro.logic.formulas` and terms."""
+
+import pytest
+
+from repro.logic.formulas import (
+    And,
+    Eq,
+    Exists,
+    ForAll,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    TypeAtom,
+    and_all,
+    exists_all,
+    forall_all,
+    free_variables,
+    is_sentence,
+    or_all,
+    substitute,
+)
+from repro.logic.terms import Const, Var, variables
+from repro.typealgebra.types import AtomicType
+
+
+x, y, z = variables("x", "y", "z")
+
+
+class TestTerms:
+    def test_var_name_required(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_const_holds_value(self):
+        assert Const(42).value == 42
+
+    def test_variables_helper(self):
+        assert variables("a", "b") == (Var("a"), Var("b"))
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        assert free_variables(RelAtom("R", (x, Const(1), y))) == {x, y}
+
+    def test_type_atom(self):
+        assert free_variables(TypeAtom(AtomicType("A"), x)) == {x}
+        assert free_variables(TypeAtom(AtomicType("A"), Const(1))) == frozenset()
+
+    def test_equality(self):
+        assert free_variables(Eq(x, y)) == {x, y}
+
+    def test_connectives(self):
+        formula = And(RelAtom("R", (x,)), Or(Eq(y, y), Not(Eq(z, z))))
+        assert free_variables(formula) == {x, y, z}
+
+    def test_quantifier_binds(self):
+        assert free_variables(ForAll(x, RelAtom("R", (x, y)))) == {y}
+        assert free_variables(Exists(y, Eq(x, y))) == {x}
+
+    def test_is_sentence(self):
+        assert is_sentence(ForAll(x, Eq(x, x)))
+        assert not is_sentence(Eq(x, x))
+
+    def test_implies_iff(self):
+        assert free_variables(Implies(Eq(x, x), Eq(y, y))) == {x, y}
+        assert free_variables(Iff(Eq(x, x), Eq(y, y))) == {x, y}
+
+
+class TestSubstitution:
+    def test_simple(self):
+        formula = RelAtom("R", (x, y))
+        result = substitute(formula, {x: Const(1)})
+        assert result == RelAtom("R", (Const(1), y))
+
+    def test_bound_variable_untouched(self):
+        formula = ForAll(x, RelAtom("R", (x, y)))
+        result = substitute(formula, {x: Const(1)})
+        assert result == formula
+
+    def test_capture_avoidance(self):
+        # substituting y := x into (forall x) R(x, y) must rename the binder
+        formula = ForAll(x, RelAtom("R", (x, y)))
+        result = substitute(formula, {y: x})
+        assert isinstance(result, ForAll)
+        assert result.var != x  # renamed
+        # The free x must appear in the body, bound one renamed.
+        body = result.body
+        assert isinstance(body, RelAtom)
+        assert body.terms[1] == x
+        assert body.terms[0] == result.var
+
+    def test_simultaneous(self):
+        formula = Eq(x, y)
+        result = substitute(formula, {x: y, y: x})
+        assert result == Eq(y, x)
+
+    def test_type_atom(self):
+        formula = TypeAtom(AtomicType("A"), x)
+        assert substitute(formula, {x: Const(7)}) == TypeAtom(
+            AtomicType("A"), Const(7)
+        )
+
+
+class TestFolds:
+    def test_and_all_empty_is_valid(self):
+        sentence = and_all([])
+        assert is_sentence(sentence)
+
+    def test_or_all_empty_is_contradiction(self):
+        sentence = or_all([])
+        assert is_sentence(sentence)
+
+    def test_forall_all_order(self):
+        closed = forall_all([x, y], Eq(x, y))
+        assert isinstance(closed, ForAll)
+        assert closed.var == x
+        assert isinstance(closed.body, ForAll)
+
+    def test_exists_all(self):
+        closed = exists_all([x], Eq(x, x))
+        assert is_sentence(closed)
+
+    def test_sugar_methods(self):
+        p, q = Eq(x, x), Eq(y, y)
+        assert isinstance(p & q, And)
+        assert isinstance(p | q, Or)
+        assert isinstance(~p, Not)
+        assert isinstance(p.implies(q), Implies)
+        assert isinstance(p.iff(q), Iff)

@@ -1,0 +1,246 @@
+"""Integration tests: the paper's worked examples, line by line.
+
+The experiment harness (tests/harness) already asserts each example's
+headline claim; these tests pin down the *details* the paper prints --
+specific tuples, specific reflections, specific rejections.
+"""
+
+import pytest
+
+from repro.errors import UpdateRejected
+from repro.typealgebra.algebra import NULL
+from repro.core.constant_complement import ConstantComplementTranslator
+from repro.views.lattice import are_complementary
+
+
+class TestExample111:
+    """The join view and its side effects."""
+
+    def test_printed_join(self, spj_paper):
+        scenario, instance = spj_paper
+        view_state = scenario.join_view.apply(instance, scenario.assignment)
+        assert view_state.relation("R_SPJ").rows == {
+            ("s1", "p1", "j1"),
+            ("s1", "p1", "j2"),
+            ("s2", "p3", "j1"),
+        }
+
+    def test_naive_insertion_side_effects(self, spj_paper):
+        scenario, instance = spj_paper
+        naive = instance.inserting("R_SP", ("s3", "p3")).inserting(
+            "R_PJ", ("p3", "j3")
+        )
+        achieved = scenario.join_view.apply(naive, scenario.assignment)
+        # Instance (b) of the paper: the intended tuple plus two side
+        # effects.
+        assert ("s3", "p3", "j3") in achieved.relation("R_SPJ")
+        assert ("s3", "p3", "j1") in achieved.relation("R_SPJ")
+        assert ("s2", "p3", "j3") in achieved.relation("R_SPJ")
+
+
+class TestExample121:
+    """Extraneous deletion of (p4, j3)."""
+
+    def test_deltas_nested(self, spj_paper):
+        scenario, instance = spj_paper
+        lean = instance.deleting("R_PJ", ("p1", "j1"))
+        fat = lean.deleting("R_PJ", ("p4", "j3"))
+        view = scenario.join_view
+        target = view.apply(instance, scenario.assignment).deleting(
+            "R_SPJ", ("s1", "p1", "j1")
+        )
+        assert view.apply(lean, scenario.assignment) == target
+        assert view.apply(fat, scenario.assignment) == target
+        assert instance.delta(lean) < instance.delta(fat)
+
+
+class TestExample122:
+    """Two incomparable nonextraneous deletions of (s2, p3, j1)."""
+
+    def test_both_options_work(self, spj_paper):
+        scenario, instance = spj_paper
+        view = scenario.join_view
+        target = view.apply(instance, scenario.assignment).deleting(
+            "R_SPJ", ("s2", "p3", "j1")
+        )
+        by_sp = instance.deleting("R_SP", ("s2", "p3"))
+        by_pj = instance.deleting("R_PJ", ("p3", "j1"))
+        assert view.apply(by_sp, scenario.assignment) == target
+        assert view.apply(by_pj, scenario.assignment) == target
+        # Neither change-set contains the other: no minimal solution.
+        delta_sp = instance.delta(by_sp)
+        delta_pj = instance.delta(by_pj)
+        assert not delta_sp.issubset(delta_pj)
+        assert not delta_pj.issubset(delta_sp)
+
+
+class TestExample1210:
+    """Insert (s1,p4,j4) minimally; the undo has two options."""
+
+    def test_minimal_insert_reflection(self, spj_paper):
+        scenario, instance = spj_paper
+        view = scenario.join_view
+        reflected = (
+            instance.inserting("R_SP", ("s1", "p4"))
+            .inserting("R_PJ", ("p4", "j4"))
+            .deleting("R_PJ", ("p4", "j3"))
+        )
+        target = view.apply(instance, scenario.assignment).inserting(
+            "R_SPJ", ("s1", "p4", "j4")
+        )
+        assert view.apply(reflected, scenario.assignment) == target
+
+    def test_undo_has_two_nonextraneous_options(self, spj_paper):
+        scenario, instance = spj_paper
+        view = scenario.join_view
+        after_insert = (
+            instance.inserting("R_SP", ("s1", "p4"))
+            .inserting("R_PJ", ("p4", "j4"))
+            .deleting("R_PJ", ("p4", "j3"))
+        )
+        original_view = view.apply(instance, scenario.assignment)
+        undo_sp = after_insert.deleting("R_SP", ("s1", "p4"))
+        undo_pj = after_insert.deleting("R_PJ", ("p4", "j4"))
+        assert view.apply(undo_sp, scenario.assignment) == original_view
+        assert view.apply(undo_pj, scenario.assignment) == original_view
+        # ... and neither undo restores the deleted (p4, j3).
+        assert undo_sp != instance
+        assert undo_pj != instance
+
+
+class TestExample136:
+    """R/S/T⊕: the printed instance and the bad Gamma3-constant insert."""
+
+    def test_printed_views(self, two_unary):
+        assignment = two_unary.assignment
+        assert two_unary.gamma1.apply(two_unary.initial, assignment).relation(
+            "R"
+        ).rows == {("a1",), ("a2",)}
+        assert two_unary.gamma2.apply(two_unary.initial, assignment).relation(
+            "S"
+        ).rows == {("a2",), ("a3",)}
+        assert two_unary.gamma3.apply(two_unary.initial, assignment).relation(
+            "T"
+        ).rows == {("a1",), ("a3",)}
+
+    def test_insert_with_gamma2_constant_is_minimal(self, two_unary):
+        translator = ConstantComplementTranslator(
+            two_unary.gamma1, two_unary.gamma2, two_unary.space
+        )
+        target = two_unary.gamma1.apply(
+            two_unary.initial, two_unary.assignment
+        ).inserting("R", ("a4",))
+        solution = translator.apply(two_unary.initial, target)
+        assert solution == two_unary.initial.inserting("R", ("a4",))
+
+    def test_insert_with_gamma3_constant_touches_s(self, two_unary):
+        translator = ConstantComplementTranslator(
+            two_unary.gamma1, two_unary.gamma3, two_unary.space
+        )
+        target = two_unary.gamma1.apply(
+            two_unary.initial, two_unary.assignment
+        ).inserting("R", ("a4",))
+        solution = translator.apply(two_unary.initial, target)
+        # Keeping T constant forces a4 into S as well.
+        assert ("a4",) in solution.relation("S")
+        assert solution.delta_size(two_unary.initial) == 2
+
+
+class TestExample211:
+    """The null-padded ABCD instance."""
+
+    def test_subsumption_closure(self, paper_chain, paper_instance):
+        rows = paper_instance.relation("R").rows
+        # (a1,b1,c1,d1) implies both length-3 projections:
+        assert ("a1", "b1", "c1", NULL) in rows
+        assert (NULL, "b1", "c1", "d1") in rows
+        # ... which imply the edges:
+        assert ("a1", "b1", NULL, NULL) in rows
+        assert (NULL, "b1", "c1", NULL) in rows
+        assert (NULL, NULL, "c1", "d1") in rows
+
+    def test_join_rule(self, paper_chain):
+        """Adding the missing edge triggers the join (exactness)."""
+        with_edge = paper_chain.state_from_edges(
+            [
+                {("a1", "b1"), ("a2", "b2"), ("a2", "b3")},
+                {("b1", "c1"), ("b3", "c3")},
+                {("c1", "d1"), ("c4", "d4"), ("c3", "d4")},  # added (c3,d4)
+            ]
+        )
+        rows = with_edge.relation("R").rows
+        assert ("a2", "b3", "c3", "d4") in rows  # the join fires
+
+    def test_independence_of_ab_and_bcd(self, paper_chain):
+        """Γ°AB and Γ°BCD are meet complements *because* of the nulls:
+        the B-column values need not match across components."""
+        state = paper_chain.state_from_edges(
+            [{("a1", "b2")}, {("b3", "c3")}, set()]
+        )
+        # b2 in the AB part, b3 in the BC part: legal.
+        assert paper_chain.schema.is_legal(state, paper_chain.assignment)
+
+
+class TestExample324:
+    """The Γ_ABD update walkthrough, on the small chain."""
+
+    @pytest.fixture
+    def setup(self, small_chain, small_space, small_algebra):
+        from repro.core.procedure import UpdateProcedure
+        from repro.decomposition.projections import projection_view
+
+        gabd = projection_view(small_chain, ("A", "B", "D"))
+        procedure = UpdateProcedure(
+            gabd, small_algebra.named("Γ°BCD"), small_space
+        )
+        return gabd, procedure
+
+    def test_edge_deletion_filters_through_ab(
+        self, setup, small_chain, small_space
+    ):
+        gabd, procedure = setup
+        state = small_chain.state_from_edges(
+            [{("a1", "b1"), ("a2", "b1")}, set(), set()]
+        )
+        view_state = gabd.apply(state, small_space.assignment)
+        target = view_state.deleting("R_ABD", ("a2", "b1", NULL))
+        solution = procedure.apply(state, target)
+        assert small_chain.edges_of(solution)[0] == frozenset({("a1", "b1")})
+
+    def test_d_only_deletion_rejected(self, setup, small_chain, small_space):
+        gabd, procedure = setup
+        state = small_chain.state_from_edges(
+            [set(), set(), {("c1", "d1"), ("c2", "d1")}]
+        )
+        view_state = gabd.apply(state, small_space.assignment)
+        # The view shows only (n, n, d1); deleting it maps to "do
+        # nothing" through Γ°AB.
+        target = view_state.deleting("R_ABD", (NULL, NULL, "d1"))
+        with pytest.raises(UpdateRejected):
+            procedure.apply(state, target)
+
+
+class TestExample331:
+    """Non-strong join complements give inadmissible updates."""
+
+    def test_gamma3_complementary_but_not_strong(self, two_unary):
+        from repro.core.strong import analyze_view
+
+        assert are_complementary(
+            two_unary.gamma1, two_unary.gamma3, two_unary.space
+        )
+        assert not analyze_view(two_unary.gamma3, two_unary.space).is_strong
+
+    def test_gamma3_constant_insert_is_extraneous(self, two_unary):
+        from repro.core.admissibility import is_nonextraneous_solution
+
+        translator = ConstantComplementTranslator(
+            two_unary.gamma1, two_unary.gamma3, two_unary.space
+        )
+        target = two_unary.gamma1.apply(
+            two_unary.initial, two_unary.assignment
+        ).inserting("R", ("a4",))
+        solution = translator.apply(two_unary.initial, target)
+        assert not is_nonextraneous_solution(
+            two_unary.gamma1, two_unary.space, two_unary.initial, solution
+        )

@@ -1,0 +1,175 @@
+"""Boundary tests: where the component machinery correctly offers nothing.
+
+The constant-complement-through-components approach is deliberately
+conservative: when a schema's constraints could force a translator to
+invent or guess data, no component exists and the machinery must say
+so rather than misbehave.  These tests pin down classic such cases --
+they are *positive* tests of the framework's honesty, and document the
+boundary the related work ([DaBe78], [Kell82], ...) lives beyond.
+"""
+
+import pytest
+
+from repro.core.components import ComponentAlgebra
+from repro.core.strong import analyze_view
+from repro.relational.constraints import (
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.relational.enumeration import StateSpace
+from repro.relational.queries import Project, RelationRef
+from repro.relational.schema import RelationSchema, Schema
+from repro.typealgebra.assignment import TypeAssignment
+from repro.views.mappings import QueryMapping
+from repro.views.view import View
+
+
+@pytest.fixture(scope="module")
+def fd_schema():
+    """R(A, B) with the FD A -> B."""
+    schema = Schema(
+        name="fd",
+        relations=(RelationSchema("R", ("A", "B")),),
+        constraints=(FunctionalDependency("R", ("A",), ("B",)),),
+    )
+    assignment = TypeAssignment.from_names(
+        {"A": ("a1", "a2"), "B": ("b1", "b2")}
+    )
+    return schema, assignment, StateSpace.enumerate(schema, assignment)
+
+
+@pytest.fixture(scope="module")
+def ind_schema():
+    """R(A), S(A) with the inclusion dependency R[A] <= S[A]."""
+    schema = Schema(
+        name="ind",
+        relations=(
+            RelationSchema("R", ("A",)),
+            RelationSchema("S", ("A",)),
+        ),
+        constraints=(InclusionDependency("R", ("A",), "S", ("A",)),),
+    )
+    assignment = TypeAssignment.from_names({"A": ("a1", "a2")})
+    return schema, assignment, StateSpace.enumerate(schema, assignment)
+
+
+class TestFDSchemas:
+    """Projections of key-constrained relations are not strong views:
+    inserting a key value gives no canonical (least) non-key value."""
+
+    def test_key_projection_not_strong(self, fd_schema):
+        schema, assignment, space = fd_schema
+        view = View(
+            "π_A",
+            schema,
+            None,
+            QueryMapping({"R_A": Project(RelationRef.of(schema, "R"), ("A",))}),
+        )
+        analysis = analyze_view(view, space)
+        assert not analysis.is_strong
+        assert "least-preimages" in analysis.failures()
+
+    def test_component_algebra_trivial(self, fd_schema):
+        schema, assignment, space = fd_schema
+        pi_a = View(
+            "π_A",
+            schema,
+            None,
+            QueryMapping({"R_A": Project(RelationRef.of(schema, "R"), ("A",))}),
+        )
+        pi_b = View(
+            "π_B",
+            schema,
+            None,
+            QueryMapping({"R_B": Project(RelationRef.of(schema, "R"), ("B",))}),
+        )
+        algebra = ComponentAlgebra.discover(space, [pi_a, pi_b])
+        # Only the bounds survive: {0_D, 1_D}.
+        assert len(algebra) == 2
+        assert algebra.top.complement is algebra.bottom
+
+
+class TestINDSchemas:
+    """Inclusion dependencies couple the relations asymmetrically."""
+
+    def test_superset_side_is_strong(self, ind_schema):
+        schema, assignment, space = ind_schema
+        keep_s = View(
+            "Γ_S",
+            schema,
+            None,
+            QueryMapping({"S": RelationRef.of(schema, "S")}),
+        )
+        assert analyze_view(keep_s, space).is_strong
+
+    def test_subset_side_is_not_strong(self, ind_schema):
+        """Keeping R: its least preimage (R, R) exists, but the
+        fixpoints {S = R} are not downward closed."""
+        schema, assignment, space = ind_schema
+        keep_r = View(
+            "Γ_R",
+            schema,
+            None,
+            QueryMapping({"R": RelationRef.of(schema, "R")}),
+        )
+        analysis = analyze_view(keep_r, space)
+        assert not analysis.is_strong
+        assert "downward-stationary" in analysis.failures()
+
+    def test_no_nontrivial_components(self, ind_schema):
+        schema, assignment, space = ind_schema
+        keep_s = View(
+            "Γ_S", schema, None,
+            QueryMapping({"S": RelationRef.of(schema, "S")}),
+        )
+        keep_r = View(
+            "Γ_R", schema, None,
+            QueryMapping({"R": RelationRef.of(schema, "R")}),
+        )
+        algebra = ComponentAlgebra.discover(space, [keep_s, keep_r])
+        # Γ_S is strong but has no strong complement (Γ_R is not
+        # strong, and nothing else is available): bounds only.
+        assert len(algebra) == 2
+
+    def test_join_complementary_anyway(self, ind_schema):
+        """The pair is a perfectly fine *join* complement pair -- the
+        Bancilhon-Spyratos machinery would accept it; the component
+        restriction is what rejects it."""
+        from repro.views.lattice import are_join_complements
+
+        schema, assignment, space = ind_schema
+        keep_s = View(
+            "Γ_S", schema, None,
+            QueryMapping({"S": RelationRef.of(schema, "S")}),
+        )
+        keep_r = View(
+            "Γ_R", schema, None,
+            QueryMapping({"R": RelationRef.of(schema, "R")}),
+        )
+        assert are_join_complements(keep_r, keep_s, space)
+
+
+class TestNullModelRequirement:
+    """Section 3's results presuppose the null model property; the
+    façade refuses schemas lacking it (instead of silently computing
+    with an ill-founded poset)."""
+
+    def test_refusal(self):
+        from repro.errors import ReproError
+        from repro.core.system import ViewUpdateSystem
+        from repro.logic.formulas import Exists, RelAtom
+        from repro.logic.terms import Var
+        from repro.relational.constraints import FormulaConstraint
+
+        x = Var("x")
+        schema = Schema(
+            name="nonempty",
+            relations=(RelationSchema("R", ("A",)),),
+            constraints=(
+                FormulaConstraint(Exists(x, RelAtom("R", (x,))), "nonempty"),
+            ),
+        )
+        assignment = TypeAssignment.from_names({"A": ("a1",)})
+        space = StateSpace.enumerate(schema, assignment)
+        with pytest.raises(ReproError):
+            ViewUpdateSystem(schema, assignment, space)

@@ -1,0 +1,271 @@
+"""Integration tests: the paper's propositions and theorems, executed.
+
+Everything here is an exhaustive check over a finite universe -- the
+computational reading of each statement.
+"""
+
+import pytest
+
+from repro.errors import UpdateRejected
+from repro.algebra.endomorphisms import (
+    complemented_strong_endomorphisms,
+)
+from repro.algebra.morphisms import PosetMorphism
+from repro.core.admissibility import (
+    analyze_admissibility,
+    check_functorial,
+    check_symmetric,
+    minimal_solution,
+    nonextraneous_solutions,
+)
+from repro.core.components import are_strong_complements
+from repro.core.constant_complement import (
+    ComponentTranslator,
+    ConstantComplementTranslator,
+)
+from repro.core.strong import analyze_view
+from repro.views.lattice import are_complementary, are_join_complements
+from repro.views.morphisms import defines, view_morphism_table
+
+
+class TestProposition126:
+    """A minimal solution, when it exists, is the only nonextraneous one."""
+
+    def test_exhaustive_small_chain(self, small_chain, small_space):
+        from repro.decomposition.projections import projection_view
+
+        view = projection_view(small_chain, ("A", "B", "D"))
+        targets = view.image_states(small_space)[:10]
+        for current in small_space.states[::7]:
+            for target in targets:
+                minimal = minimal_solution(view, small_space, current, target)
+                candidates = nonextraneous_solutions(
+                    view, small_space, current, target
+                )
+                if minimal is not None:
+                    assert candidates == (minimal,)
+                else:
+                    # No minimal: zero or several nonextraneous.
+                    assert len(candidates) != 1
+
+
+class TestObservation129:
+    """Functorial strategies are path independent."""
+
+    def test_path_independence(self, two_unary):
+        strategy = ConstantComplementTranslator(
+            two_unary.gamma1, two_unary.gamma2, two_unary.space
+        )
+        assert check_functorial(strategy).passed
+        state = two_unary.initial
+        image = two_unary.gamma1.apply(state, two_unary.assignment)
+        mid = image.inserting("R", ("a4",))
+        final = image.deleting("R", ("a1",))
+        via_mid = strategy.apply(strategy.apply(state, mid), final)
+        direct = strategy.apply(state, final)
+        assert via_mid == direct
+
+
+class TestTheorem132:
+    """At most one solution with a constant join complement."""
+
+    def test_uniqueness(self, two_unary):
+        for left, right in (
+            (two_unary.gamma1, two_unary.gamma2),
+            (two_unary.gamma1, two_unary.gamma3),
+        ):
+            assert are_join_complements(left, right, two_unary.space)
+            table = {}
+            for state in two_unary.space.states:
+                key = (
+                    left.apply(state, two_unary.assignment),
+                    right.apply(state, two_unary.assignment),
+                )
+                assert key not in table
+                table[key] = state
+
+
+class TestProposition133:
+    """Constant-complement strategies are functorial and symmetric --
+    even with a badly behaved complement."""
+
+    def test_gamma3_constant_functorial_symmetric(self, two_unary):
+        strategy = ConstantComplementTranslator(
+            two_unary.gamma1, two_unary.gamma3, two_unary.space
+        )
+        assert check_functorial(strategy).passed
+        assert check_symmetric(strategy).passed
+
+
+class TestObservation135:
+    """Full complementarity makes every update possible."""
+
+    def test_totality(self, two_unary):
+        assert are_complementary(
+            two_unary.gamma1, two_unary.gamma2, two_unary.space
+        )
+        strategy = ConstantComplementTranslator(
+            two_unary.gamma1, two_unary.gamma2, two_unary.space
+        )
+        targets = two_unary.gamma1.image_states(two_unary.space)
+        for state in two_unary.space.states:
+            for target in targets:
+                assert strategy.defined(state, target)
+
+
+class TestTheorem222AndProposition221:
+    """Implicit definability = explicit definability; unique morphisms."""
+
+    def test_morphism_exists_iff_kernel_refines(
+        self, small_chain, small_space
+    ):
+        from repro.decomposition.projections import projection_view
+
+        views = [
+            projection_view(small_chain, ("A", "B", "D")),
+            small_chain.component_view([0]),
+            small_chain.component_view([2]),
+            small_chain.component_view([0, 1, 2]),
+        ]
+        for source in views:
+            for target in views:
+                implicit = (
+                    source.kernel(small_space).refines(
+                        target.kernel(small_space)
+                    )
+                )
+                assert implicit == defines(source, target, small_space)
+
+    def test_morphism_unique(self, small_chain, small_space):
+        """Any function commuting with the view mappings equals the
+        canonical table (Proposition 2.2.1(a))."""
+        from repro.decomposition.projections import projection_view
+
+        source = projection_view(small_chain, ("A", "B", "D"))
+        target = small_chain.component_view([0])
+        table = view_morphism_table(source, target, small_space)
+        # A commuting function is determined on every source-view state,
+        # because gamma_source' is surjective onto them; hence there is
+        # exactly one.
+        source_states = set(source.image_states(small_space))
+        assert set(table) == source_states
+
+
+class TestLemma231And232:
+    """Strong endomorphisms from strong morphisms; Boolean structure."""
+
+    def test_component_thetas_are_all_complemented_endos(self, tiny_chain, tiny_space):
+        """Brute-force enumeration of the complemented strong
+        endomorphisms of the 8-state poset recovers exactly the 8
+        component endomorphisms -- syntax-free validation of the
+        component algebra."""
+        brute = complemented_strong_endomorphisms(tiny_space.poset)
+        brute_tables = {
+            tuple(endo(s) for s in tiny_space.states) for endo in brute
+        }
+        component_tables = set()
+        for view in tiny_chain.all_component_views():
+            analysis = analyze_view(view, tiny_space).require_strong()
+            component_tables.add(
+                tuple(analysis.theta[s] for s in tiny_space.states)
+            )
+        assert component_tables == brute_tables
+        assert len(brute_tables) == 8
+
+    def test_strong_complement_unique(self, small_chain, small_space):
+        """Theorem 2.3.3(b): at most one strong complement."""
+        analyses = [
+            analyze_view(view, small_space)
+            for view in small_chain.all_component_views()
+        ]
+        for analysis in analyses:
+            complements = [
+                other
+                for other in analyses
+                if are_strong_complements(analysis, other)
+            ]
+            assert len(complements) == 1
+
+
+class TestTheorem311:
+    """Component updates always succeed, uniquely and admissibly --
+    exhaustive over the tiny chain (the small chain is covered by the
+    harness)."""
+
+    def test_tiny_chain_components(self, tiny_chain, tiny_space):
+        from repro.core.components import ComponentAlgebra
+
+        algebra = ComponentAlgebra.discover(
+            tiny_space, tiny_chain.all_component_views()
+        )
+        for component in algebra:
+            translator = ComponentTranslator.for_component(
+                component, tiny_space
+            )
+            targets = component.view.image_states(tiny_space)
+            for state in tiny_space.states:
+                for target in targets:
+                    solution = translator.apply(state, target)
+                    # Correct image and constant complement:
+                    assert (
+                        component.view.apply(solution, tiny_space.assignment)
+                        == target
+                    )
+                    comp_view = component.complement.view
+                    assert comp_view.apply(
+                        solution, tiny_space.assignment
+                    ) == comp_view.apply(state, tiny_space.assignment)
+            report = analyze_admissibility(translator)
+            assert report.is_admissible, (component.name, report.summary())
+
+
+class TestLemma321:
+    """A strong join complement is in particular a join complement."""
+
+    def test_on_small_chain(self, small_chain, small_space, small_algebra):
+        from repro.core.procedure import is_strong_join_complement
+        from repro.decomposition.projections import projection_view
+
+        gabd = projection_view(small_chain, ("A", "B", "D"))
+        for component in small_algebra:
+            if is_strong_join_complement(gabd, component, small_space):
+                assert are_join_complements(
+                    gabd, component.view, small_space
+                ), component.name
+
+
+class TestLemma331:
+    """For a *strong* view, an ordinary join complement that is a
+    component is automatically a strong join complement."""
+
+    def test_exhaustive_over_components(self, small_space, small_algebra):
+        from repro.core.procedure import is_strong_join_complement
+
+        # Every component's view is a strong view; test all pairs.
+        for strong_view_component in small_algebra:
+            view = strong_view_component.view
+            for candidate in small_algebra:
+                ordinary = are_join_complements(
+                    view, candidate.view, small_space
+                )
+                strong = is_strong_join_complement(
+                    view, candidate, small_space
+                )
+                # Lemma 3.3.1: ordinary implies strong (for strong views);
+                # the converse is Lemma 3.2.1.
+                assert ordinary == strong, (
+                    view.name,
+                    candidate.name,
+                )
+
+    def test_two_unary(self, two_unary):
+        from repro.core.components import ComponentAlgebra
+        from repro.core.procedure import is_strong_join_complement
+
+        algebra = ComponentAlgebra.discover(
+            two_unary.space, [two_unary.gamma1, two_unary.gamma2]
+        )
+        g1 = algebra.named("Γ1")
+        g2 = algebra.named("Γ2")
+        assert are_join_complements(g1.view, g2.view, two_unary.space)
+        assert is_strong_join_complement(g1.view, g2, two_unary.space)

@@ -1,0 +1,103 @@
+"""Property-based tests: the chain structure theorem and components.
+
+The decomposition module's closed-form enumeration rests on the
+bijection between legal states and free edge choices; these properties
+pin it down on randomly drawn edge sets, including a wider chain than
+the fixtures use.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decomposition.chain import ChainSchema
+from repro.decomposition.nulls import segment_of
+
+
+CHAIN = ChainSchema(
+    ("A", "B", "C", "D"),
+    {"A": ("a1", "a2"), "B": ("b1", "b2"), "C": ("c1",), "D": ("d1", "d2")},
+)
+
+
+def edge_strategy(edge_index):
+    return st.frozensets(
+        st.sampled_from(CHAIN.edge_pairs(edge_index)), max_size=4
+    )
+
+
+EDGES = st.tuples(edge_strategy(0), edge_strategy(1), edge_strategy(2))
+
+
+@given(EDGES)
+@settings(max_examples=40)
+def test_state_is_legal(edges):
+    state = CHAIN.state_from_edges(edges)
+    assert CHAIN.schema.is_legal(state, CHAIN.assignment)
+
+
+@given(EDGES)
+@settings(max_examples=40)
+def test_edges_roundtrip(edges):
+    state = CHAIN.state_from_edges(edges)
+    assert CHAIN.edges_of(state) == tuple(frozenset(e) for e in edges)
+
+
+@given(EDGES)
+@settings(max_examples=40)
+def test_every_tuple_has_valid_segment(edges):
+    state = CHAIN.state_from_edges(edges)
+    for row in state.relation("R"):
+        assert segment_of(row) is not None
+
+
+@given(EDGES, EDGES)
+@settings(max_examples=30)
+def test_state_order_is_edgewise_inclusion(e1, e2):
+    """The bijection is an order isomorphism: s1 <= s2 iff every edge
+    set of s1 is included in s2's."""
+    s1 = CHAIN.state_from_edges(e1)
+    s2 = CHAIN.state_from_edges(e2)
+    edgewise = all(a <= b for a, b in zip(e1, e2))
+    assert s1.issubset(s2) == edgewise
+
+
+@given(EDGES, EDGES)
+@settings(max_examples=30)
+def test_join_is_edgewise_union(e1, e2):
+    s1 = CHAIN.state_from_edges(e1)
+    s2 = CHAIN.state_from_edges(e2)
+    joined = CHAIN.state_from_edges(
+        [a | b for a, b in zip(e1, e2)]
+    )
+    assert s1.issubset(joined) and s2.issubset(joined)
+    # It is the least such state (edgewise union is the lattice join).
+    assert CHAIN.edges_of(joined) == tuple(
+        frozenset(a | b) for a, b in zip(e1, e2)
+    )
+
+
+@given(EDGES)
+@settings(max_examples=30)
+def test_component_view_depends_only_on_its_edges(edges):
+    view = CHAIN.component_view([0, 2])
+    state = CHAIN.state_from_edges(edges)
+    masked = CHAIN.state_from_edges([edges[0], frozenset(), edges[2]])
+    assert view.apply(state, CHAIN.assignment) == view.apply(
+        masked, CHAIN.assignment
+    )
+
+
+@given(EDGES)
+@settings(max_examples=30)
+def test_subsumption_tgds_hold(edges):
+    state = CHAIN.state_from_edges(edges)
+    for tgd in CHAIN.subsumption_tgds():
+        assert tgd.holds(state, CHAIN.schema, CHAIN.assignment)
+
+
+@given(EDGES)
+@settings(max_examples=30)
+def test_join_tgds_hold(edges):
+    state = CHAIN.state_from_edges(edges)
+    for tgd in CHAIN.join_tgds():
+        assert tgd.holds(state, CHAIN.schema, CHAIN.assignment)

@@ -1,0 +1,99 @@
+"""Property-based tests: instance set-operation laws (Notation 1.2.3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.instances import DatabaseInstance
+from repro.relational.relations import Relation
+
+
+VALUES = st.sampled_from(["a", "b", "c", "d"])
+ROWS_1 = st.frozensets(st.tuples(VALUES), max_size=4)
+ROWS_2 = st.frozensets(st.tuples(VALUES, VALUES), max_size=4)
+
+
+@st.composite
+def instances(draw):
+    return DatabaseInstance(
+        {
+            "R": Relation(draw(ROWS_2), 2),
+            "S": Relation(draw(ROWS_1), 1),
+        }
+    )
+
+
+@given(instances(), instances())
+def test_delta_symmetric(a, b):
+    assert a.delta(b) == b.delta(a)
+
+
+@given(instances(), instances())
+def test_delta_determines_target(a, b):
+    # s2 = s1 Δ (s1 Δ s2): a change-set applied to the source gives the
+    # target -- the algebraic fact behind nonextraneousness.
+    assert a ^ (a ^ b) == b
+
+
+@given(instances())
+def test_delta_self_is_empty(a):
+    assert a.delta(a).is_empty()
+    assert a.delta_size(a) == 0
+
+
+@given(instances(), instances(), instances())
+def test_delta_triangle(a, b, c):
+    # Δ is a metric-like operation: a Δ c ⊆ (a Δ b) ∪ (b Δ c).
+    assert (a ^ c).issubset((a ^ b) | (b ^ c))
+
+
+@given(instances(), instances())
+def test_union_is_least_upper_bound(a, b):
+    union = a | b
+    assert a.issubset(union) and b.issubset(union)
+
+
+@given(instances(), instances())
+def test_intersection_is_greatest_lower_bound(a, b):
+    meet = a & b
+    assert meet.issubset(a) and meet.issubset(b)
+
+
+@given(instances(), instances(), instances())
+def test_distributivity(a, b, c):
+    assert a & (b | c) == (a & b) | (a & c)
+    assert a | (b & c) == (a | b) & (a | c)
+
+
+@given(instances(), instances())
+def test_de_morgan_via_difference(a, b):
+    universe = a | b
+    assert universe - (a & b) == (universe - a) | (universe - b)
+
+
+@given(instances(), instances())
+def test_subset_antisymmetric(a, b):
+    if a.issubset(b) and b.issubset(a):
+        assert a == b
+
+
+@given(instances(), instances())
+def test_delta_size_matches_delta(a, b):
+    assert a.delta_size(b) == (a ^ b).total_rows()
+
+
+@given(instances(), instances())
+def test_change_summary_reconstructs(a, b):
+    summary = a.change_summary(b)
+    rebuilt = a
+    for name, diff in summary.items():
+        for row in diff["inserted"]:
+            rebuilt = rebuilt.inserting(name, row)
+        for row in diff["deleted"]:
+            rebuilt = rebuilt.deleting(name, row)
+    assert rebuilt == b
+
+
+@given(instances())
+def test_hash_consistency(a):
+    clone = DatabaseInstance({name: a.relation(name) for name in a})
+    assert a == clone and hash(a) == hash(clone)

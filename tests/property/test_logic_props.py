@@ -1,0 +1,160 @@
+"""Property-based tests: the logic layer's semantic laws."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic.evaluation import evaluate
+from repro.logic.formulas import (
+    And,
+    Eq,
+    Exists,
+    ForAll,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    free_variables,
+    substitute,
+)
+from repro.logic.terms import Const, Var
+from repro.relational.instances import DatabaseInstance
+from repro.typealgebra.assignment import TypeAssignment
+
+
+ASSIGNMENT = TypeAssignment.from_names({"A": ("u", "v", "w")})
+VALUES = ("u", "v", "w")
+VARS = tuple(Var(name) for name in ("x", "y", "z"))
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0:
+        kind = draw(st.integers(min_value=0, max_value=1))
+        terms = st.one_of(
+            st.sampled_from(VARS),
+            st.sampled_from(VALUES).map(Const),
+        )
+        if kind == 0:
+            return RelAtom("R", (draw(terms), draw(terms)))
+        return Eq(draw(terms), draw(terms))
+    kind = draw(st.integers(min_value=0, max_value=6))
+    if kind == 0:
+        return draw(formulas(depth=0))
+    if kind == 1:
+        return Not(draw(formulas(depth=depth - 1)))
+    if kind in (2, 3):
+        node = And if kind == 2 else Or
+        return node(
+            draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1))
+        )
+    if kind == 4:
+        return Implies(
+            draw(formulas(depth=depth - 1)), draw(formulas(depth=depth - 1))
+        )
+    node = ForAll if kind == 5 else Exists
+    return node(draw(st.sampled_from(VARS)), draw(formulas(depth=depth - 1)))
+
+
+@st.composite
+def instances(draw):
+    rows = draw(
+        st.frozensets(
+            st.tuples(st.sampled_from(VALUES), st.sampled_from(VALUES)),
+            max_size=5,
+        )
+    )
+    from repro.relational.relations import Relation
+
+    return DatabaseInstance({"R": Relation(rows, 2)})
+
+
+FULL_VALUATION = st.fixed_dictionaries(
+    {var: st.sampled_from(VALUES) for var in VARS}
+)
+
+
+@given(formulas(), instances(), FULL_VALUATION)
+def test_double_negation(formula, instance, valuation):
+    assert evaluate(Not(Not(formula)), instance, ASSIGNMENT, valuation) == (
+        evaluate(formula, instance, ASSIGNMENT, valuation)
+    )
+
+
+@given(formulas(), formulas(), instances(), FULL_VALUATION)
+def test_de_morgan(left, right, instance, valuation):
+    lhs = evaluate(Not(And(left, right)), instance, ASSIGNMENT, valuation)
+    rhs = evaluate(
+        Or(Not(left), Not(right)), instance, ASSIGNMENT, valuation
+    )
+    assert lhs == rhs
+
+
+@given(formulas(), instances(), FULL_VALUATION)
+def test_quantifier_duality(formula, instance, valuation):
+    x = VARS[0]
+    forall = evaluate(ForAll(x, formula), instance, ASSIGNMENT, valuation)
+    not_exists_not = evaluate(
+        Not(Exists(x, Not(formula))), instance, ASSIGNMENT, valuation
+    )
+    assert forall == not_exists_not
+
+
+@given(formulas(), instances(), FULL_VALUATION)
+def test_substitution_lemma(formula, instance, valuation):
+    """Evaluating phi[x := c] equals evaluating phi with x bound to c."""
+    x = VARS[0]
+    for value in VALUES:
+        substituted = substitute(formula, {x: Const(value)})
+        direct = evaluate(
+            formula, instance, ASSIGNMENT, {**valuation, x: value}
+        )
+        via_subst = evaluate(substituted, instance, ASSIGNMENT, valuation)
+        assert direct == via_subst
+
+
+@given(formulas())
+def test_substitution_removes_free_variable(formula):
+    x = VARS[0]
+    substituted = substitute(formula, {x: Const("u")})
+    assert x not in free_variables(substituted)
+
+
+@given(formulas(), formulas(), instances(), FULL_VALUATION)
+def test_implication_definition(left, right, instance, valuation):
+    lhs = evaluate(Implies(left, right), instance, ASSIGNMENT, valuation)
+    rhs = evaluate(Or(Not(left), right), instance, ASSIGNMENT, valuation)
+    assert lhs == rhs
+
+
+@given(formulas(), formulas(), instances(), FULL_VALUATION)
+def test_iff_definition(left, right, instance, valuation):
+    lhs = evaluate(Iff(left, right), instance, ASSIGNMENT, valuation)
+    rhs = evaluate(
+        And(Implies(left, right), Implies(right, left)),
+        instance,
+        ASSIGNMENT,
+        valuation,
+    )
+    assert lhs == rhs
+
+
+@given(formulas(), instances(), instances(), FULL_VALUATION)
+def test_monotone_fragment(formula, small, large, valuation):
+    """Positive-existential formulas are preserved under instance growth."""
+    from repro.logic.formulas import And as AndNode, Or as OrNode
+
+    def is_positive(node):
+        if isinstance(node, (RelAtom, Eq)):
+            return True
+        if isinstance(node, (AndNode, OrNode)):
+            return is_positive(node.left) and is_positive(node.right)
+        if isinstance(node, Exists):
+            return is_positive(node.body)
+        return False
+
+    if not is_positive(formula):
+        return
+    union = small.union(large)
+    if evaluate(formula, small, ASSIGNMENT, valuation):
+        assert evaluate(formula, union, ASSIGNMENT, valuation)

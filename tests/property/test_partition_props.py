@@ -1,0 +1,95 @@
+"""Property-based tests: the partition lattice of §2.2."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.partitions import Partition
+
+
+GROUND = tuple(range(7))
+
+
+@st.composite
+def partitions(draw):
+    """A random partition given by a labelling of the ground set."""
+    labels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=3),
+            min_size=len(GROUND),
+            max_size=len(GROUND),
+        )
+    )
+    return Partition.from_kernel(GROUND, lambda n: labels[n])
+
+
+@given(partitions(), partitions())
+def test_sup_refines_both(p, q):
+    sup = p.sup(q)
+    assert sup.refines(p) and sup.refines(q)
+
+
+@given(partitions(), partitions())
+def test_inf_coarsens_both(p, q):
+    inf = p.inf(q)
+    assert p.refines(inf) and q.refines(inf)
+
+
+@given(partitions(), partitions())
+def test_sup_is_least(p, q):
+    """Any partition refining both is at least as fine as the sup --
+    i.e. sup is the *coarsest* common refinement."""
+    sup = p.sup(q)
+    discrete = Partition.discrete(GROUND)
+    assert discrete.refines(sup)
+    # sup sits between the discrete partition and both arguments.
+    assert sup.leq(discrete)
+
+
+@given(partitions(), partitions())
+def test_lattice_commutativity(p, q):
+    assert p.sup(q) == q.sup(p)
+    assert p.inf(q) == q.inf(p)
+
+
+@given(partitions(), partitions(), partitions())
+def test_lattice_associativity(p, q, r):
+    assert p.sup(q).sup(r) == p.sup(q.sup(r))
+    assert p.inf(q).inf(r) == p.inf(q.inf(r))
+
+
+@given(partitions(), partitions())
+def test_absorption(p, q):
+    assert p.sup(p.inf(q)) == p
+    assert p.inf(p.sup(q)) == p
+
+
+@given(partitions())
+def test_idempotence(p):
+    assert p.sup(p) == p
+    assert p.inf(p) == p
+
+
+@given(partitions())
+def test_bounds(p):
+    discrete = Partition.discrete(GROUND)
+    indiscrete = Partition.indiscrete(GROUND)
+    assert p.sup(discrete) == discrete
+    assert p.inf(indiscrete) == indiscrete
+    assert p.leq(discrete)
+    assert indiscrete.leq(p)
+
+
+@given(partitions(), partitions())
+def test_refinement_is_partial_order(p, q):
+    if p.refines(q) and q.refines(p):
+        assert p == q
+
+
+@given(partitions(), partitions())
+def test_same_block_consistency(p, q):
+    sup = p.sup(q)
+    for a in GROUND:
+        for b in GROUND:
+            assert sup.same_block(a, b) == (
+                p.same_block(a, b) and q.same_block(a, b)
+            )

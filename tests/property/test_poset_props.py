@@ -1,0 +1,90 @@
+"""Property-based tests: poset laws on random subset lattices."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.morphisms import PosetMorphism
+from repro.algebra.poset import FinitePoset
+
+
+GROUND = (0, 1, 2)
+ALL_SUBSETS = tuple(
+    frozenset(i for i in GROUND if mask & (1 << i)) for mask in range(8)
+)
+CUBE = FinitePoset.from_leq(ALL_SUBSETS, lambda a, b: a <= b)
+
+subsets = st.sampled_from(ALL_SUBSETS)
+keep_sets = st.sampled_from(ALL_SUBSETS)
+
+
+@given(subsets, subsets)
+def test_join_meet_exist_in_lattice(a, b):
+    assert CUBE.join(a, b) == a | b
+    assert CUBE.meet(a, b) == a & b
+
+
+@given(subsets, subsets, subsets)
+def test_join_associative(a, b, c):
+    assert CUBE.join(CUBE.join(a, b), c) == CUBE.join(a, CUBE.join(b, c))
+
+
+@given(subsets, subsets)
+def test_order_consistency(a, b):
+    assert CUBE.leq(a, b) == (a <= b)
+    assert CUBE.covers(a, b) == (a < b and len(b - a) == 1)
+
+
+@given(subsets)
+def test_down_set_matches_powerset(a):
+    expected = {s for s in ALL_SUBSETS if s <= a}
+    assert set(CUBE.down_set(a)) == expected
+
+
+@given(st.sets(subsets, max_size=5))
+def test_down_closure_detection(elements):
+    closure = set()
+    for element in elements:
+        closure.update(s for s in ALL_SUBSETS if s <= element)
+    assert CUBE.is_down_set(closure)
+    if closure != set(elements):
+        # A strict subset missing a lower element is not a down-set --
+        # unless what remains happens to still be downward closed.
+        pass
+
+
+@given(keep_sets, keep_sets)
+@settings(max_examples=30)
+def test_restriction_endomorphisms_compose(keep1, keep2):
+    """X -> X & K endomorphisms compose to the meet of their keeps."""
+    f = PosetMorphism.from_callable(CUBE, CUBE, lambda s: s & keep1)
+    g = PosetMorphism.from_callable(CUBE, CUBE, lambda s: s & keep2)
+    composed = f.compose(g)
+    expected = PosetMorphism.from_callable(
+        CUBE, CUBE, lambda s: s & (keep1 & keep2)
+    )
+    assert composed == expected
+
+
+@given(keep_sets)
+@settings(max_examples=20)
+def test_restriction_theta_is_itself(keep):
+    """For a strong endomorphism, theta = f# . f = f (Lemma 2.3.1)."""
+    f = PosetMorphism.from_callable(CUBE, CUBE, lambda s: s & keep)
+    # Treat f as a morphism onto its image.
+    image = sorted(set(f.table.values()), key=lambda s: (len(s), sorted(s)))
+    image_poset = CUBE.restrict(image)
+    onto = PosetMorphism(CUBE, image_poset, f.table)
+    theta = onto.endomorphism()
+    assert theta.table == f.table
+
+
+@given(keep_sets, subsets)
+@settings(max_examples=30)
+def test_least_preimage_is_least(keep, probe):
+    f = PosetMorphism.from_callable(CUBE, CUBE, lambda s: s & keep)
+    value = probe & keep
+    least = f.least_preimage(value)
+    assert least == value  # the restriction's least preimage is itself
+    for other in ALL_SUBSETS:
+        if other & keep == value:
+            assert CUBE.leq(least, other)

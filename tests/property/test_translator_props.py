@@ -1,0 +1,99 @@
+"""Property-based tests: the paper's theorems as random-instance laws.
+
+These exercise Theorems 3.1.1 and 3.2.2 on randomly drawn states and
+targets of the small-chain universe -- the hypothesis-driven counterpart
+of the exhaustive checks in tests/paper/test_theorems.py.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UpdateRejected
+from repro.core.admissibility import is_nonextraneous_solution
+from repro.core.components import ComponentAlgebra
+from repro.core.constant_complement import ComponentTranslator
+from repro.core.procedure import UpdateProcedure
+from repro.decomposition.projections import projection_view
+from repro.workloads.scenarios import abcd_chain_small
+
+
+CHAIN = abcd_chain_small()
+SPACE = CHAIN.state_space()
+ALGEBRA = ComponentAlgebra.discover(SPACE, CHAIN.all_component_views())
+AB = ALGEBRA.named("Γ°AB")
+TRANSLATOR = ComponentTranslator.for_component(AB, SPACE)
+AB_TARGETS = AB.view.image_states(SPACE)
+GABD = projection_view(CHAIN, ("A", "B", "D"))
+PROC_BCD = UpdateProcedure(GABD, ALGEBRA.named("Γ°BCD"), SPACE)
+PROC_TOP = UpdateProcedure(GABD, ALGEBRA.named("Γ°ABCD"), SPACE)
+GABD_TARGETS = GABD.image_states(SPACE)
+
+states = st.sampled_from(SPACE.states)
+ab_targets = st.sampled_from(AB_TARGETS)
+gabd_targets = st.sampled_from(GABD_TARGETS)
+
+
+@given(states, ab_targets)
+@settings(max_examples=60)
+def test_component_update_total_and_correct(state, target):
+    """Theorem 3.1.1: every component update has a solution achieving
+    the target with the complement constant."""
+    solution = TRANSLATOR.apply(state, target)
+    assert AB.view.apply(solution, SPACE.assignment) == target
+    complement = AB.complement.view
+    assert complement.apply(solution, SPACE.assignment) == complement.apply(
+        state, SPACE.assignment
+    )
+
+
+@given(states, ab_targets)
+@settings(max_examples=40)
+def test_component_update_nonextraneous(state, target):
+    """Theorem 3.1.1: the solution is nonextraneous."""
+    solution = TRANSLATOR.apply(state, target)
+    assert is_nonextraneous_solution(AB.view, SPACE, state, solution)
+
+
+@given(states, ab_targets, ab_targets)
+@settings(max_examples=40)
+def test_component_update_composes(state, mid, target):
+    """Functoriality as a random law."""
+    via_mid = TRANSLATOR.apply(TRANSLATOR.apply(state, mid), target)
+    direct = TRANSLATOR.apply(state, target)
+    assert via_mid == direct
+
+
+@given(states, ab_targets)
+@settings(max_examples=40)
+def test_component_update_reversible(state, target):
+    """Symmetry as a random law."""
+    original = AB.view.apply(state, SPACE.assignment)
+    forward = TRANSLATOR.apply(state, target)
+    backward = TRANSLATOR.apply(forward, original)
+    assert backward == state
+
+
+@given(states, gabd_targets)
+@settings(max_examples=60)
+def test_theorem_322_complement_independence(state, target):
+    """When both strong join complements accept an update, the
+    reflections agree."""
+    outcomes = []
+    for procedure in (PROC_BCD, PROC_TOP):
+        try:
+            outcomes.append(procedure.apply(state, target))
+        except UpdateRejected:
+            pass
+    assert len(set(outcomes)) <= 1
+
+
+@given(states, gabd_targets)
+@settings(max_examples=40)
+def test_procedure_never_lies(state, target):
+    """If the procedure returns, the view really reaches the target."""
+    try:
+        solution = PROC_BCD.apply(state, target)
+    except UpdateRejected:
+        return
+    assert GABD.apply(solution, SPACE.assignment) == target

@@ -1,0 +1,82 @@
+"""Property-based tests: tree decomposition structure theorem."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decomposition.tree import TreeSchema
+from repro.decomposition.updates import TreeComponentUpdater
+
+
+STAR = TreeSchema(
+    ("A", "B", "C", "D"),
+    {"A": ("a1", "a2"), "B": ("b1", "b2"), "C": ("c1",), "D": ("d1",)},
+    [("A", "B"), ("B", "C"), ("B", "D")],
+)
+
+
+def edge_sets_strategy():
+    pieces = {}
+    for edge in STAR.edges:
+        pieces[edge] = st.frozensets(
+            st.sampled_from(STAR.edge_pairs(edge)), max_size=4
+        )
+    return st.fixed_dictionaries(pieces)
+
+
+@given(edge_sets_strategy())
+@settings(max_examples=40)
+def test_states_legal(edge_sets):
+    state = STAR.state_from_edges(edge_sets)
+    assert STAR.schema.is_legal(state, STAR.assignment)
+
+
+@given(edge_sets_strategy())
+@settings(max_examples=40)
+def test_edges_roundtrip(edge_sets):
+    state = STAR.state_from_edges(edge_sets)
+    assert STAR.edges_of(state) == edge_sets
+
+
+@given(edge_sets_strategy(), edge_sets_strategy())
+@settings(max_examples=30)
+def test_order_is_edgewise(e1, e2):
+    s1 = STAR.state_from_edges(e1)
+    s2 = STAR.state_from_edges(e2)
+    edgewise = all(e1[edge] <= e2[edge] for edge in STAR.edges)
+    assert s1.issubset(s2) == edgewise
+
+
+@given(edge_sets_strategy())
+@settings(max_examples=25)
+def test_component_view_depends_only_on_its_edges(edge_sets):
+    component_edges = [(0, 1), (1, 3)]
+    view = STAR.component_view(component_edges)
+    state = STAR.state_from_edges(edge_sets)
+    masked_sets = {
+        edge: (edge_sets[edge] if edge in {(0, 1), (1, 3)} else frozenset())
+        for edge in STAR.edges
+    }
+    masked = STAR.state_from_edges(masked_sets)
+    assert view.apply(state, STAR.assignment) == view.apply(
+        masked, STAR.assignment
+    )
+
+
+@given(edge_sets_strategy(), edge_sets_strategy())
+@settings(max_examples=25)
+def test_symbolic_update_splices_edges(current_sets, donor_sets):
+    """The updater replaces exactly the component edges."""
+    updater = TreeComponentUpdater(STAR, [(0, 1)])
+    state = STAR.state_from_edges(current_sets)
+    donor = STAR.state_from_edges(
+        {
+            edge: (donor_sets[edge] if edge == (0, 1) else frozenset())
+            for edge in STAR.edges
+        }
+    )
+    target = updater.view.apply(donor, STAR.assignment)
+    solution = updater.apply(state, target)
+    result_edges = STAR.edges_of(solution)
+    assert result_edges[(0, 1)] == donor_sets[(0, 1)]
+    assert result_edges[(1, 2)] == current_sets[(1, 2)]
+    assert result_edges[(1, 3)] == current_sets[(1, 3)]

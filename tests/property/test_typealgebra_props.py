@@ -1,0 +1,85 @@
+"""Property-based tests: the Boolean algebra of types (§2.1(a))."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.typealgebra.assignment import TypeAssignment
+from repro.typealgebra.types import BOTTOM, TOP, AtomicType
+
+
+ATOMS = (AtomicType("A"), AtomicType("B"), AtomicType("C"))
+ASSIGNMENT = TypeAssignment(
+    {
+        ATOMS[0]: frozenset({"a1", "a2", "x"}),
+        ATOMS[1]: frozenset({"b1", "x"}),
+        ATOMS[2]: frozenset({"c1"}),
+    }
+)
+
+
+@st.composite
+def type_exprs(draw, depth=3):
+    if depth == 0:
+        return draw(st.sampled_from(ATOMS + (TOP, BOTTOM)))
+    kind = draw(st.integers(min_value=0, max_value=4))
+    if kind == 0:
+        return draw(st.sampled_from(ATOMS + (TOP, BOTTOM)))
+    if kind == 1:
+        return ~draw(type_exprs(depth=depth - 1))
+    left = draw(type_exprs(depth=depth - 1))
+    right = draw(type_exprs(depth=depth - 1))
+    return left | right if kind in (2, 3) else left & right
+
+
+@given(type_exprs(), type_exprs())
+def test_commutativity(s, t):
+    assert ASSIGNMENT.equivalent(s | t, t | s)
+    assert ASSIGNMENT.equivalent(s & t, t & s)
+
+
+@given(type_exprs(), type_exprs(), type_exprs())
+def test_distributivity(s, t, u):
+    assert ASSIGNMENT.equivalent(s & (t | u), (s & t) | (s & u))
+    assert ASSIGNMENT.equivalent(s | (t & u), (s | t) & (s | u))
+
+
+@given(type_exprs())
+def test_complement_laws(s):
+    assert ASSIGNMENT.equivalent(s | ~s, TOP)
+    assert ASSIGNMENT.equivalent(s & ~s, BOTTOM)
+
+
+@given(type_exprs())
+def test_double_negation(s):
+    assert ASSIGNMENT.equivalent(~~s, s)
+
+
+@given(type_exprs(), type_exprs())
+def test_de_morgan(s, t):
+    assert ASSIGNMENT.equivalent(~(s | t), ~s & ~t)
+    assert ASSIGNMENT.equivalent(~(s & t), ~s | ~t)
+
+
+@given(type_exprs(), type_exprs())
+def test_absorption(s, t):
+    assert ASSIGNMENT.equivalent(s | (s & t), s)
+    assert ASSIGNMENT.equivalent(s & (s | t), s)
+
+
+@given(type_exprs())
+def test_bounds(s):
+    assert ASSIGNMENT.equivalent(s | TOP, TOP)
+    assert ASSIGNMENT.equivalent(s & TOP, s)
+    assert ASSIGNMENT.equivalent(s | BOTTOM, s)
+    assert ASSIGNMENT.equivalent(s & BOTTOM, BOTTOM)
+
+
+@given(type_exprs(), type_exprs())
+def test_subtype_is_order(s, t):
+    if ASSIGNMENT.subtype(s, t) and ASSIGNMENT.subtype(t, s):
+        assert ASSIGNMENT.equivalent(s, t)
+
+
+@given(type_exprs())
+def test_extension_within_universe(s):
+    assert ASSIGNMENT.extension(s) <= ASSIGNMENT.universe

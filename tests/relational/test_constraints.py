@@ -1,0 +1,276 @@
+"""Unit tests for :mod:`repro.relational.constraints`.
+
+Each native constraint is checked directly and cross-validated against
+its own first-order rendering (``to_formula``) via the logic evaluator,
+witnessing the paper's claim that these are all first-order sentences.
+"""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.logic.evaluation import holds
+from repro.logic.terms import Const, Var
+from repro.relational.constraints import (
+    EqualityGeneratingDependency,
+    FormulaConstraint,
+    FunctionalDependency,
+    InclusionDependency,
+    JoinDependency,
+    TupleGeneratingDependency,
+    TypedColumnsConstraint,
+)
+from repro.relational.instances import DatabaseInstance
+from repro.relational.relations import Relation
+from repro.relational.schema import RelationSchema, Schema
+from repro.typealgebra.assignment import TypeAssignment
+from repro.typealgebra.types import AtomicType
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        name="D",
+        relations=(
+            RelationSchema("R", ("A", "B", "C")),
+            RelationSchema("S", ("A",)),
+        ),
+        enforce_column_types=False,
+    )
+
+
+@pytest.fixture
+def assignment():
+    return TypeAssignment.from_names(
+        {"A": ("a1", "a2"), "B": ("b1", "b2"), "C": ("c1", "c2")}
+    )
+
+
+def cross_validate(constraint, instance, schema, assignment):
+    """Native check must agree with the first-order rendering."""
+    native = constraint.holds(instance, schema, assignment)
+    logical = holds(constraint.to_formula(schema), instance, assignment)
+    assert native == logical, constraint.describe()
+    return native
+
+
+class TestFunctionalDependency:
+    def test_holds(self, schema, assignment):
+        fd = FunctionalDependency("R", ("A",), ("B",))
+        good = DatabaseInstance(
+            {"R": {("a1", "b1", "c1"), ("a1", "b1", "c2")}, "S": set()}
+        )
+        assert cross_validate(fd, good, schema, assignment)
+
+    def test_violated(self, schema, assignment):
+        fd = FunctionalDependency("R", ("A",), ("B",))
+        bad = DatabaseInstance(
+            {"R": {("a1", "b1", "c1"), ("a1", "b2", "c1")}, "S": set()}
+        )
+        assert not cross_validate(fd, bad, schema, assignment)
+
+    def test_composite_lhs(self, schema, assignment):
+        fd = FunctionalDependency("R", ("A", "B"), ("C",))
+        good = DatabaseInstance(
+            {"R": {("a1", "b1", "c1"), ("a1", "b2", "c2")}, "S": set()}
+        )
+        assert cross_validate(fd, good, schema, assignment)
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(SchemaError):
+            FunctionalDependency("R", (), ("B",))
+        with pytest.raises(SchemaError):
+            FunctionalDependency("R", ("A",), ())
+
+    def test_describe(self):
+        assert "A -> B" in FunctionalDependency("R", ("A",), ("B",)).describe()
+
+
+class TestJoinDependency:
+    @pytest.fixture
+    def jd(self):
+        return JoinDependency("R", (("A", "B"), ("B", "C")))
+
+    def test_holds_on_join_closed(self, jd, schema, assignment):
+        good = DatabaseInstance(
+            {
+                "R": {
+                    ("a1", "b1", "c1"),
+                    ("a1", "b1", "c2"),
+                    ("a2", "b1", "c1"),
+                    ("a2", "b1", "c2"),
+                },
+                "S": set(),
+            }
+        )
+        assert cross_validate(jd, good, schema, assignment)
+
+    def test_violated(self, jd, schema, assignment):
+        bad = DatabaseInstance(
+            {"R": {("a1", "b1", "c1"), ("a2", "b1", "c2")}, "S": set()}
+        )
+        assert not cross_validate(jd, bad, schema, assignment)
+
+    def test_empty_holds(self, jd, schema, assignment):
+        empty = DatabaseInstance({"R": set(), "S": set()})
+        empty = DatabaseInstance(
+            {"R": Relation((), 3), "S": set()}
+        )
+        assert jd.holds(empty, schema, assignment)
+
+    def test_single_component_rejected(self):
+        with pytest.raises(SchemaError):
+            JoinDependency("R", (("A", "B", "C"),))
+
+    def test_noncovering_components_rejected(self, schema, assignment):
+        jd = JoinDependency("R", (("A",), ("B",)))
+        inst = DatabaseInstance({"R": {("a1", "b1", "c1")}, "S": set()})
+        with pytest.raises(SchemaError):
+            jd.holds(inst, schema, assignment)
+
+
+class TestInclusionDependency:
+    def test_holds(self, schema, assignment):
+        ind = InclusionDependency("S", ("A",), "R", ("A",))
+        good = DatabaseInstance(
+            {"R": {("a1", "b1", "c1")}, "S": {("a1",)}}
+        )
+        assert cross_validate(ind, good, schema, assignment)
+
+    def test_violated(self, schema, assignment):
+        ind = InclusionDependency("S", ("A",), "R", ("A",))
+        bad = DatabaseInstance({"R": set(), "S": {("a1",)}})
+        bad = DatabaseInstance(
+            {"R": Relation((), 3), "S": {("a1",)}}
+        )
+        assert not cross_validate(ind, bad, schema, assignment)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            InclusionDependency("S", ("A",), "R", ("A", "B"))
+
+
+class TestTypedColumns:
+    def test_holds(self, schema, assignment):
+        constraint = TypedColumnsConstraint(
+            "S", (AtomicType("A"),)
+        )
+        good = DatabaseInstance(
+            {"R": Relation((), 3), "S": {("a1",)}}
+        )
+        assert cross_validate(constraint, good, schema, assignment)
+
+    def test_violated(self, schema, assignment):
+        constraint = TypedColumnsConstraint("S", (AtomicType("B"),))
+        bad = DatabaseInstance(
+            {"R": Relation((), 3), "S": {("a1",)}}
+        )
+        assert not cross_validate(constraint, bad, schema, assignment)
+
+
+class TestTupleGeneratingDependency:
+    def test_full_tgd_holds(self, schema, assignment):
+        # R(x, y, z) -> S(x)
+        x, y, z = Var("x"), Var("y"), Var("z")
+        tgd = TupleGeneratingDependency(
+            (("R", (x, y, z)),), (("S", (x,)),)
+        )
+        assert tgd.is_full()
+        good = DatabaseInstance(
+            {"R": {("a1", "b1", "c1")}, "S": {("a1",)}}
+        )
+        assert cross_validate(tgd, good, schema, assignment)
+
+    def test_full_tgd_violated(self, schema, assignment):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        tgd = TupleGeneratingDependency(
+            (("R", (x, y, z)),), (("S", (x,)),)
+        )
+        bad = DatabaseInstance(
+            {"R": {("a1", "b1", "c1")}, "S": Relation((), 1)}
+        )
+        assert not cross_validate(tgd, bad, schema, assignment)
+
+    def test_embedded_tgd(self, schema, assignment):
+        # S(x) -> exists y, z: R(x, y, z)
+        x, y, z = Var("x"), Var("y"), Var("z")
+        tgd = TupleGeneratingDependency(
+            (("S", (x,)),), (("R", (x, y, z)),)
+        )
+        assert not tgd.is_full()
+        good = DatabaseInstance(
+            {"R": {("a1", "b2", "c1")}, "S": {("a1",)}}
+        )
+        assert cross_validate(tgd, good, schema, assignment)
+        bad = DatabaseInstance({"R": Relation((), 3), "S": {("a1",)}})
+        assert not cross_validate(tgd, bad, schema, assignment)
+
+    def test_constants_in_body(self, schema, assignment):
+        # R(a1, y, z) -> S(y)... with constants
+        y, z = Var("y"), Var("z")
+        tgd = TupleGeneratingDependency(
+            (("R", (Const("a1"), y, z)),), (("S", (Const("a1"),)),)
+        )
+        good = DatabaseInstance(
+            {"R": {("a2", "b1", "c1")}, "S": Relation((), 1)}
+        )
+        # Body never matches (no a1 rows), so the TGD holds vacuously.
+        assert tgd.holds(good, schema, assignment)
+
+
+class TestEqualityGeneratingDependency:
+    def test_holds(self, schema, assignment):
+        # R(x, y, z) ^ R(x, y', z') -> y = y'  (an FD as an EGD)
+        x, y1, z1, y2, z2 = (
+            Var("x"),
+            Var("y1"),
+            Var("z1"),
+            Var("y2"),
+            Var("z2"),
+        )
+        egd = EqualityGeneratingDependency(
+            (("R", (x, y1, z1)), ("R", (x, y2, z2))), y1, y2
+        )
+        good = DatabaseInstance(
+            {"R": {("a1", "b1", "c1"), ("a1", "b1", "c2")}, "S": set()}
+        )
+        good = DatabaseInstance(
+            {"R": {("a1", "b1", "c1"), ("a1", "b1", "c2")},
+             "S": Relation((), 1)}
+        )
+        assert cross_validate(egd, good, schema, assignment)
+
+    def test_violated_matches_fd(self, schema, assignment):
+        x, y1, z1, y2, z2 = (
+            Var("x"),
+            Var("y1"),
+            Var("z1"),
+            Var("y2"),
+            Var("z2"),
+        )
+        egd = EqualityGeneratingDependency(
+            (("R", (x, y1, z1)), ("R", (x, y2, z2))), y1, y2
+        )
+        fd = FunctionalDependency("R", ("A",), ("B",))
+        bad = DatabaseInstance(
+            {"R": {("a1", "b1", "c1"), ("a1", "b2", "c1")},
+             "S": Relation((), 1)}
+        )
+        assert not egd.holds(bad, schema, assignment)
+        assert egd.holds(bad, schema, assignment) == fd.holds(
+            bad, schema, assignment
+        )
+
+
+class TestFormulaConstraint:
+    def test_wraps_sentence(self, schema, assignment):
+        from repro.logic.formulas import Exists, RelAtom
+
+        x = Var("x")
+        constraint = FormulaConstraint(
+            Exists(x, RelAtom("S", (x,))), name="S-nonempty"
+        )
+        empty = DatabaseInstance({"R": Relation((), 3), "S": Relation((), 1)})
+        full = DatabaseInstance({"R": Relation((), 3), "S": {("a1",)}})
+        assert not constraint.holds(empty, schema, assignment)
+        assert constraint.holds(full, schema, assignment)
+        assert "S-nonempty" in constraint.describe()

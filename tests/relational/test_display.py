@@ -1,0 +1,73 @@
+"""Unit tests for :mod:`repro.relational.display`."""
+
+from repro.typealgebra.algebra import NULL
+from repro.relational.display import (
+    render_instance,
+    render_relation,
+    render_update,
+)
+from repro.relational.instances import DatabaseInstance
+from repro.relational.relations import Relation
+from repro.relational.schema import RelationSchema, Schema
+
+
+class TestRenderRelation:
+    def test_with_attributes(self):
+        text = render_relation(Relation({("a", "b")}), ("A", "B"))
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "'a'" in lines[2]
+
+    def test_default_column_names(self):
+        text = render_relation(Relation({("a",)}))
+        assert "c0" in text
+
+    def test_null_rendered_as_n(self):
+        text = render_relation(Relation({("a", NULL)}), ("A", "B"))
+        assert " n" in text or "| n" in text
+
+    def test_empty_relation(self):
+        text = render_relation(Relation((), 2), ("A", "B"))
+        assert "(empty)" in text
+
+    def test_title(self):
+        text = render_relation(Relation({("a",)}), ("A",), title="R:")
+        assert text.splitlines()[0] == "R:"
+
+    def test_deterministic_row_order(self):
+        relation = Relation({("b",), ("a",)})
+        first = render_relation(relation, ("A",))
+        second = render_relation(relation, ("A",))
+        assert first == second
+        assert first.index("'a'") < first.index("'b'")
+
+
+class TestRenderInstance:
+    def test_schema_aware_headers(self):
+        schema = Schema(
+            name="D", relations=(RelationSchema("R", ("X", "Y")),)
+        )
+        instance = DatabaseInstance({"R": {("a", "b")}})
+        text = render_instance(instance, schema)
+        assert "X" in text and "Y" in text
+        assert "R:" in text
+
+    def test_without_schema(self):
+        instance = DatabaseInstance({"R": {("a",)}})
+        assert "c0" in render_instance(instance)
+
+    def test_empty_instance(self):
+        assert render_instance(DatabaseInstance({})) == "(no relations)"
+
+
+class TestRenderUpdate:
+    def test_change_list(self):
+        before = DatabaseInstance({"R": {("a",)}})
+        after = DatabaseInstance({"R": {("b",)}})
+        text = render_update(before, after)
+        assert "+ R('b')" in text
+        assert "- R('a')" in text
+
+    def test_no_change(self):
+        instance = DatabaseInstance({"R": {("a",)}})
+        assert render_update(instance, instance) == "(no change)"

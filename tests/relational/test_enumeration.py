@@ -1,0 +1,170 @@
+"""Unit tests for :mod:`repro.relational.enumeration`."""
+
+import pytest
+
+from repro.errors import (
+    EnumerationError,
+    IllegalInstanceError,
+    StateSpaceTooLargeError,
+)
+from repro.relational.constraints import (
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.relational.enumeration import (
+    StateSpace,
+    constraint_relations,
+    enumerate_instances,
+    tuple_universe,
+)
+from repro.relational.instances import DatabaseInstance
+from repro.relational.schema import RelationSchema, Schema
+from repro.typealgebra.assignment import TypeAssignment
+
+
+@pytest.fixture
+def schema():
+    return Schema(name="D", relations=(RelationSchema("R", ("A", "B")),))
+
+
+@pytest.fixture
+def assignment():
+    return TypeAssignment.from_names({"A": ("a1", "a2"), "B": ("b1",)})
+
+
+class TestTupleUniverse:
+    def test_typed_product(self, schema, assignment):
+        universe = tuple_universe(schema, "R", assignment)
+        assert set(universe) == {("a1", "b1"), ("a2", "b1")}
+
+
+class TestEnumerate:
+    def test_unconstrained_powerset(self, schema, assignment):
+        states = list(enumerate_instances(schema, assignment))
+        assert len(states) == 4  # 2^2 subsets of a 2-tuple universe
+
+    def test_constraint_filtering(self, assignment):
+        schema = Schema(
+            name="D",
+            relations=(RelationSchema("R", ("A", "B")),),
+            constraints=(FunctionalDependency("R", ("B",), ("A",)),),
+        )
+        states = list(enumerate_instances(schema, assignment))
+        # Both tuples share b1, so they cannot coexist: 3 legal states.
+        assert len(states) == 3
+
+    def test_prune_and_naive_agree(self, assignment):
+        schema = Schema(
+            name="D",
+            relations=(
+                RelationSchema("R", ("A", "B")),
+                RelationSchema("S", ("A",)),
+            ),
+            constraints=(
+                FunctionalDependency("R", ("B",), ("A",)),
+                InclusionDependency("S", ("A",), "R", ("A",)),
+            ),
+        )
+        pruned = set(enumerate_instances(schema, assignment, prune=True))
+        naive = set(enumerate_instances(schema, assignment, prune=False))
+        assert pruned == naive
+        assert len(pruned) > 0
+
+    def test_budget_enforced(self, assignment):
+        schema = Schema(
+            name="D", relations=(RelationSchema("R", ("A", "B")),)
+        )
+        with pytest.raises(StateSpaceTooLargeError):
+            list(enumerate_instances(schema, assignment, max_candidates=2))
+
+
+class TestConstraintClassification:
+    def test_single_relation(self):
+        fd = FunctionalDependency("R", ("A",), ("B",))
+        assert constraint_relations(fd) == frozenset({"R"})
+
+    def test_cross_relation(self):
+        ind = InclusionDependency("S", ("A",), "R", ("A",))
+        assert constraint_relations(ind) == frozenset({"S", "R"})
+
+    def test_unknown_is_none(self):
+        from repro.relational.constraints import FormulaConstraint
+        from repro.logic.formulas import Eq
+        from repro.logic.terms import Const
+
+        constraint = FormulaConstraint(Eq(Const(1), Const(1)))
+        assert constraint_relations(constraint) is None
+
+
+class TestStateSpace:
+    def test_enumerate(self, schema, assignment):
+        space = StateSpace.enumerate(schema, assignment)
+        assert len(space) == 4
+        assert space.has_null_model()
+        assert space.bottom() == schema.empty_instance()
+
+    def test_deterministic_order(self, schema, assignment):
+        first = StateSpace.enumerate(schema, assignment)
+        second = StateSpace.enumerate(schema, assignment)
+        assert first.states == second.states
+
+    def test_membership_and_index(self, schema, assignment):
+        space = StateSpace.enumerate(schema, assignment)
+        for index, state in enumerate(space.states):
+            assert state in space
+            assert space.index(state) == index
+
+    def test_from_states_validates(self, schema, assignment):
+        bad = DatabaseInstance({"R": {("zzz", "b1")}})
+        with pytest.raises(IllegalInstanceError):
+            StateSpace.from_states(schema, assignment, [bad])
+
+    def test_from_states_skip_validation(self, schema, assignment):
+        odd = DatabaseInstance({"R": {("zzz", "b1")}})
+        space = StateSpace.from_states(
+            schema, assignment, [odd], validate=False
+        )
+        assert odd in space
+
+    def test_duplicates_rejected(self, schema, assignment):
+        inst = schema.empty_instance()
+        with pytest.raises(EnumerationError):
+            StateSpace(schema, assignment, [inst, inst])
+
+    def test_empty_rejected(self, schema, assignment):
+        with pytest.raises(EnumerationError):
+            StateSpace(schema, assignment, [])
+
+    def test_poset_structure(self, schema, assignment):
+        space = StateSpace.enumerate(schema, assignment)
+        bottom = space.bottom()
+        for state in space:
+            assert space.leq(bottom, state)
+        full = DatabaseInstance({"R": {("a1", "b1"), ("a2", "b1")}})
+        assert space.poset.top() == full
+
+    def test_join_via_union(self, schema, assignment):
+        space = StateSpace.enumerate(schema, assignment)
+        a = DatabaseInstance({"R": {("a1", "b1")}})
+        b = DatabaseInstance({"R": {("a2", "b1")}})
+        joined = space.join(a, b)
+        assert joined == a.union(b)
+
+    def test_join_falls_back_to_poset(self, assignment):
+        # With the FD B -> A, the union of the two singletons is illegal;
+        # they have no common upper bound at all, so join is None.
+        schema = Schema(
+            name="D",
+            relations=(RelationSchema("R", ("A", "B")),),
+            constraints=(FunctionalDependency("R", ("B",), ("A",)),),
+        )
+        space = StateSpace.enumerate(schema, assignment)
+        a = DatabaseInstance({"R": {("a1", "b1")}})
+        b = DatabaseInstance({"R": {("a2", "b1")}})
+        assert space.join(a, b) is None
+
+    def test_meet_via_intersection(self, schema, assignment):
+        space = StateSpace.enumerate(schema, assignment)
+        a = DatabaseInstance({"R": {("a1", "b1")}})
+        b = DatabaseInstance({"R": {("a1", "b1"), ("a2", "b1")}})
+        assert space.meet(a, b) == a

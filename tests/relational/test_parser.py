@@ -1,0 +1,192 @@
+"""Unit tests for :mod:`repro.relational.parser`."""
+
+import pytest
+
+from repro.relational.constraints import (
+    FunctionalDependency,
+    InclusionDependency,
+    JoinDependency,
+)
+from repro.relational.instances import DatabaseInstance
+from repro.relational.parser import (
+    QueryParseError,
+    parse_constraint,
+    parse_query,
+)
+from repro.relational.schema import RelationSchema, Schema
+from repro.typealgebra.assignment import TypeAssignment
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        name="D",
+        relations=(
+            RelationSchema("R_SP", ("S", "P")),
+            RelationSchema("R_PJ", ("P", "J")),
+        ),
+    )
+
+
+@pytest.fixture
+def assignment():
+    return TypeAssignment.from_names(
+        {"S": ("s1", "s2"), "P": ("p1", "p2"), "J": ("j1", "j2")}
+    )
+
+
+@pytest.fixture
+def instance():
+    return DatabaseInstance(
+        {
+            "R_SP": {("s1", "p1"), ("s2", "p2")},
+            "R_PJ": {("p1", "j1"), ("p1", "j2")},
+        }
+    )
+
+
+class TestQueryParsing:
+    def test_relation_reference(self, schema, instance, assignment):
+        query = parse_query("R_SP", schema)
+        assert query.columns == ("S", "P")
+        assert len(query.evaluate(instance, assignment)) == 2
+
+    def test_projection(self, schema, instance, assignment):
+        query = parse_query("project[P](R_SP)", schema)
+        assert query.evaluate(instance, assignment).rows == {("p1",), ("p2",)}
+
+    def test_join(self, schema, instance, assignment):
+        query = parse_query("join(R_SP, R_PJ)", schema)
+        assert query.columns == ("S", "P", "J")
+        assert query.evaluate(instance, assignment).rows == {
+            ("s1", "p1", "j1"),
+            ("s1", "p1", "j2"),
+        }
+
+    def test_nested(self, schema, instance, assignment):
+        query = parse_query("project[S, J](join(R_SP, R_PJ))", schema)
+        assert query.evaluate(instance, assignment).rows == {
+            ("s1", "j1"),
+            ("s1", "j2"),
+        }
+
+    def test_union_and_diff(self, schema, instance, assignment):
+        query = parse_query(
+            "diff(union(project[P](R_SP), project[P](R_PJ)),"
+            " project[P](R_PJ))",
+            schema,
+        )
+        assert query.evaluate(instance, assignment).rows == {("p2",)}
+
+    def test_intersect(self, schema, instance, assignment):
+        query = parse_query(
+            "intersect(project[P](R_SP), project[P](R_PJ))", schema
+        )
+        assert query.evaluate(instance, assignment).rows == {("p1",)}
+
+    def test_rename_then_product(self, schema, instance, assignment):
+        query = parse_query(
+            "product(project[S](R_SP), rename[P -> P2](project[P](R_PJ)))",
+            schema,
+        )
+        assert query.columns == ("S", "P2")
+        assert len(query.evaluate(instance, assignment)) == 2
+
+    def test_typed_restrict(self, schema, assignment):
+        query = parse_query("restrict[S: S](R_SP)", schema)
+        inst = DatabaseInstance(
+            {"R_SP": {("s1", "p1")}, "R_PJ": {("p1", "j1")}}
+        )
+        assert len(query.evaluate(inst, assignment)) == 1
+
+    def test_typed_restrict_disjunction(self, schema, assignment):
+        query = parse_query("restrict[S: S | P](R_SP)", schema)
+        inst = DatabaseInstance(
+            {"R_SP": {("p2", "p1")}, "R_PJ": {("p1", "j1")}}
+        )
+        assert len(query.evaluate(inst, assignment)) == 1
+
+    def test_parses_match_constructed(self, schema):
+        from repro.relational.queries import NaturalJoin, Project, RelationRef
+
+        parsed = parse_query("project[S](join(R_SP, R_PJ))", schema)
+        built = Project(
+            NaturalJoin(
+                RelationRef.of(schema, "R_SP"), RelationRef.of(schema, "R_PJ")
+            ),
+            ("S",),
+        )
+        assert parsed == built
+
+
+class TestQueryErrors:
+    def test_unknown_relation(self, schema):
+        with pytest.raises(Exception):
+            parse_query("NOPE", schema)
+
+    def test_trailing_input(self, schema):
+        with pytest.raises(QueryParseError):
+            parse_query("R_SP R_PJ", schema)
+
+    def test_missing_bracket(self, schema):
+        with pytest.raises(QueryParseError):
+            parse_query("project(R_SP)", schema)
+
+    def test_wrong_arity(self, schema):
+        with pytest.raises(QueryParseError):
+            parse_query("join(R_SP)", schema)
+
+    def test_bracket_on_join(self, schema):
+        with pytest.raises(QueryParseError):
+            parse_query("join[S](R_SP, R_PJ)", schema)
+
+    def test_garbage(self, schema):
+        with pytest.raises(QueryParseError):
+            parse_query("project[S](R_SP) @@", schema)
+
+    def test_unexpected_end(self, schema):
+        with pytest.raises(QueryParseError):
+            parse_query("project[S](", schema)
+
+
+class TestConstraintParsing:
+    def test_fd(self):
+        constraint = parse_constraint("R: A -> B, C")
+        assert constraint == FunctionalDependency("R", ("A",), ("B", "C"))
+
+    def test_fd_composite_lhs(self):
+        constraint = parse_constraint("R: A, B -> C")
+        assert constraint == FunctionalDependency("R", ("A", "B"), ("C",))
+
+    def test_jd(self):
+        constraint = parse_constraint("R: *[A B, B C]")
+        assert constraint == JoinDependency("R", (("A", "B"), ("B", "C")))
+
+    def test_ind(self):
+        constraint = parse_constraint("R[A, B] <= S[X, Y]")
+        assert constraint == InclusionDependency(
+            "R", ("A", "B"), "S", ("X", "Y")
+        )
+
+    def test_round_trip_with_scenario(self, schema, assignment):
+        """The parsed JD agrees with the constructed one semantically."""
+        jd = parse_constraint("R_SPJ: *[S P, P J]")
+        view_schema = Schema(
+            name="V", relations=(RelationSchema("R_SPJ", ("S", "P", "J")),)
+        )
+        good = DatabaseInstance(
+            {"R_SPJ": {("s1", "p1", "j1"), ("s1", "p1", "j2")}}
+        )
+        bad = DatabaseInstance(
+            {"R_SPJ": {("s1", "p1", "j1"), ("s2", "p1", "j2")}}
+        )
+        assert jd.holds(good, view_schema, assignment)
+        assert not jd.holds(bad, view_schema, assignment)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_constraint("not a constraint")
+
+    def test_empty_jd_component(self):
+        with pytest.raises(QueryParseError):
+            parse_constraint("R: *[A B, ]")

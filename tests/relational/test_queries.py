@@ -1,0 +1,202 @@
+"""Unit tests for :mod:`repro.relational.queries`."""
+
+import pytest
+
+from repro.errors import EvaluationError, SchemaError
+from repro.relational.instances import DatabaseInstance
+from repro.relational.queries import (
+    Difference,
+    Intersection,
+    NaturalJoin,
+    Product,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    TypedRestrict,
+    Union,
+)
+from repro.relational.schema import RelationSchema, Schema
+from repro.typealgebra.assignment import TypeAssignment
+from repro.typealgebra.types import AtomicType
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        name="D",
+        relations=(
+            RelationSchema("R_SP", ("S", "P")),
+            RelationSchema("R_PJ", ("P", "J")),
+        ),
+    )
+
+
+@pytest.fixture
+def assignment():
+    return TypeAssignment.from_names(
+        {"S": ("s1", "s2"), "P": ("p1", "p2"), "J": ("j1", "j2")}
+    )
+
+
+@pytest.fixture
+def instance():
+    return DatabaseInstance(
+        {
+            "R_SP": {("s1", "p1"), ("s2", "p2")},
+            "R_PJ": {("p1", "j1"), ("p1", "j2")},
+        }
+    )
+
+
+class TestRelationRef:
+    def test_of(self, schema, instance, assignment):
+        ref = RelationRef.of(schema, "R_SP")
+        assert ref.columns == ("S", "P")
+        assert ref.evaluate(instance, assignment).rows == {
+            ("s1", "p1"),
+            ("s2", "p2"),
+        }
+
+    def test_arity_mismatch_detected(self, assignment):
+        ref = RelationRef("R", ("A", "B", "C"))
+        bad = DatabaseInstance({"R": {("x", "y")}})
+        with pytest.raises(EvaluationError):
+            ref.evaluate(bad, assignment)
+
+
+class TestProject:
+    def test_basic(self, schema, instance, assignment):
+        query = Project(RelationRef.of(schema, "R_SP"), ("P",))
+        assert query.evaluate(instance, assignment).rows == {("p1",), ("p2",)}
+        assert query.columns == ("P",)
+
+    def test_reorder(self, schema, instance, assignment):
+        query = Project(RelationRef.of(schema, "R_SP"), ("P", "S"))
+        assert ("p1", "s1") in query.evaluate(instance, assignment)
+
+    def test_unknown_column(self, schema, instance, assignment):
+        query = Project(RelationRef.of(schema, "R_SP"), ("Z",))
+        with pytest.raises(EvaluationError):
+            query.evaluate(instance, assignment)
+
+    def test_duplicate_columns_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Project(RelationRef.of(schema, "R_SP"), ("S", "S"))
+
+    def test_fluent(self, schema, instance, assignment):
+        query = RelationRef.of(schema, "R_SP").project(["S"])
+        assert query.evaluate(instance, assignment).rows == {("s1",), ("s2",)}
+
+
+class TestSelect:
+    def test_predicate(self, schema, instance, assignment):
+        query = Select(
+            RelationRef.of(schema, "R_SP"), lambda s: s == "s1", ("S",)
+        )
+        assert query.evaluate(instance, assignment).rows == {("s1", "p1")}
+
+    def test_columns_unchanged(self, schema):
+        query = Select(RelationRef.of(schema, "R_SP"), lambda s: True, ("S",))
+        assert query.columns == ("S", "P")
+
+
+class TestTypedRestrict:
+    def test_restrict_by_type(self, schema, instance, assignment):
+        query = TypedRestrict(
+            RelationRef.of(schema, "R_SP"), (("S", AtomicType("S")),)
+        )
+        # all values are in S's extension, nothing filtered
+        assert len(query.evaluate(instance, assignment)) == 2
+
+    def test_filters_nonmembers(self, schema, assignment):
+        query = TypedRestrict(
+            RelationRef.of(schema, "R_SP"), (("S", AtomicType("P")),)
+        )
+        inst = DatabaseInstance(
+            {"R_SP": {("s1", "p1")}, "R_PJ": {("p1", "j1")}}
+        )
+        assert query.evaluate(inst, assignment).is_empty()
+
+
+class TestNaturalJoin:
+    def test_shared_column(self, schema, instance, assignment):
+        query = NaturalJoin(
+            RelationRef.of(schema, "R_SP"), RelationRef.of(schema, "R_PJ")
+        )
+        assert query.columns == ("S", "P", "J")
+        assert query.evaluate(instance, assignment).rows == {
+            ("s1", "p1", "j1"),
+            ("s1", "p1", "j2"),
+        }
+
+    def test_no_shared_column_is_product(self, schema, instance, assignment):
+        left = Project(RelationRef.of(schema, "R_SP"), ("S",))
+        right = Project(RelationRef.of(schema, "R_PJ"), ("J",))
+        query = NaturalJoin(left, right)
+        assert len(query.evaluate(instance, assignment)) == 4
+
+
+class TestProduct:
+    def test_product(self, schema, instance, assignment):
+        left = Project(RelationRef.of(schema, "R_SP"), ("S",))
+        right = Project(RelationRef.of(schema, "R_PJ"), ("J",))
+        query = Product(left, right)
+        assert query.columns == ("S", "J")
+        assert len(query.evaluate(instance, assignment)) == 4
+
+    def test_shared_columns_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Product(
+                RelationRef.of(schema, "R_SP"),
+                RelationRef.of(schema, "R_SP"),
+            )
+
+
+class TestBooleanOperators:
+    def test_union(self, schema, instance, assignment):
+        sp = Project(RelationRef.of(schema, "R_SP"), ("P",))
+        pj = Project(RelationRef.of(schema, "R_PJ"), ("P",))
+        assert Union(sp, pj).evaluate(instance, assignment).rows == {
+            ("p1",),
+            ("p2",),
+        }
+
+    def test_intersection(self, schema, instance, assignment):
+        sp = Project(RelationRef.of(schema, "R_SP"), ("P",))
+        pj = Project(RelationRef.of(schema, "R_PJ"), ("P",))
+        assert Intersection(sp, pj).evaluate(instance, assignment).rows == {
+            ("p1",)
+        }
+
+    def test_difference(self, schema, instance, assignment):
+        sp = Project(RelationRef.of(schema, "R_SP"), ("P",))
+        pj = Project(RelationRef.of(schema, "R_PJ"), ("P",))
+        assert Difference(sp, pj).evaluate(instance, assignment).rows == {
+            ("p2",)
+        }
+
+    def test_arity_mismatch_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Union(
+                RelationRef.of(schema, "R_SP"),
+                Project(RelationRef.of(schema, "R_PJ"), ("P",)),
+            )
+
+
+class TestRename:
+    def test_rename(self, schema, instance, assignment):
+        query = Rename(RelationRef.of(schema, "R_SP"), (("S", "X"),))
+        assert query.columns == ("X", "P")
+        # Renaming does not change the rows.
+        assert query.evaluate(instance, assignment).rows == {
+            ("s1", "p1"),
+            ("s2", "p2"),
+        }
+
+    def test_rename_enables_self_product(self, schema, instance, assignment):
+        renamed = Rename(
+            RelationRef.of(schema, "R_SP"), (("S", "S2"), ("P", "P2"))
+        )
+        query = Product(RelationRef.of(schema, "R_SP"), renamed)
+        assert len(query.evaluate(instance, assignment)) == 4

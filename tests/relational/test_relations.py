@@ -1,0 +1,163 @@
+"""Unit tests for :mod:`repro.relational.relations`."""
+
+import pytest
+
+from repro.errors import ArityError
+from repro.relational.relations import Relation, empty_relation
+
+
+class TestConstruction:
+    def test_infers_arity(self):
+        rel = Relation({("a", "b"), ("c", "d")})
+        assert rel.arity == 2
+        assert len(rel) == 2
+
+    def test_empty_defaults_to_arity_zero(self):
+        assert Relation(()).arity == 0
+
+    def test_explicit_arity_for_empty(self):
+        assert Relation((), 3).arity == 3
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ArityError):
+            Relation({("a",), ("b", "c")})
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ArityError):
+            Relation({("a", "b")}, arity=3)
+
+    def test_rows_coerced_to_tuples(self):
+        rel = Relation([["a", "b"]])
+        assert ("a", "b") in rel
+
+    def test_duplicates_collapse(self):
+        rel = Relation([("a",), ("a",)])
+        assert len(rel) == 1
+
+
+class TestEqualityAndHash:
+    def test_equal_relations(self):
+        assert Relation({("a",)}) == Relation([("a",)])
+
+    def test_arity_matters_for_empty(self):
+        assert Relation((), 1) != Relation((), 2)
+
+    def test_hashable(self):
+        assert len({Relation({("a",)}), Relation({("a",)})}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert Relation(()) != frozenset()
+
+
+class TestSetOperations:
+    def setup_method(self):
+        self.left = Relation({("a",), ("b",)})
+        self.right = Relation({("b",), ("c",)})
+
+    def test_union(self):
+        assert (self.left | self.right).rows == {("a",), ("b",), ("c",)}
+
+    def test_intersection(self):
+        assert (self.left & self.right).rows == {("b",)}
+
+    def test_difference(self):
+        assert (self.left - self.right).rows == {("a",)}
+
+    def test_symmetric_difference(self):
+        assert (self.left ^ self.right).rows == {("a",), ("c",)}
+
+    def test_symmetric_difference_identity(self):
+        # A delta B == (A | B) - (A & B)  (Notation 1.2.3)
+        expected = (self.left | self.right) - (self.left & self.right)
+        assert self.left ^ self.right == expected
+
+    def test_subset(self):
+        assert Relation({("a",)}) <= self.left
+        assert not (self.left <= self.right)
+
+    def test_proper_subset(self):
+        assert Relation({("a",)}) < self.left
+        assert not (self.left < self.left)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ArityError):
+            self.left | Relation({("a", "b")})
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            self.left.union({("a",)})
+
+
+class TestRowEdits:
+    def test_with_row(self):
+        rel = Relation({("a",)}).with_row(("b",))
+        assert rel.rows == {("a",), ("b",)}
+
+    def test_with_row_wrong_arity(self):
+        with pytest.raises(ArityError):
+            Relation({("a",)}).with_row(("b", "c"))
+
+    def test_without_row(self):
+        rel = Relation({("a",), ("b",)}).without_row(("a",))
+        assert rel.rows == {("b",)}
+
+    def test_without_absent_row_is_noop(self):
+        rel = Relation({("a",)})
+        assert rel.without_row(("z",)) == rel
+
+
+class TestAlgebra:
+    def test_project(self):
+        rel = Relation({("a", "b", "c"), ("a", "b", "d")})
+        assert rel.project([0, 1]).rows == {("a", "b")}
+
+    def test_project_reorder_and_repeat(self):
+        rel = Relation({("a", "b")})
+        assert rel.project([1, 0, 1]).rows == {("b", "a", "b")}
+
+    def test_project_out_of_range(self):
+        with pytest.raises(ArityError):
+            Relation({("a",)}).project([1])
+
+    def test_select(self):
+        rel = Relation({("a", 1), ("b", 2)})
+        assert rel.select(lambda row: row[1] > 1).rows == {("b", 2)}
+
+    def test_product(self):
+        left = Relation({("a",)})
+        right = Relation({("x",), ("y",)})
+        assert left.product(right).rows == {("a", "x"), ("a", "y")}
+
+    def test_product_arities_add(self):
+        assert Relation((), 2).product(Relation((), 3)).arity == 5
+
+    def test_join_on(self):
+        sp = Relation({("s1", "p1"), ("s2", "p2")})
+        pj = Relation({("p1", "j1"), ("p1", "j2")})
+        joined = sp.join_on(pj, [(1, 0)])
+        assert joined.rows == {("s1", "p1", "j1"), ("s1", "p1", "j2")}
+
+    def test_join_on_no_matches(self):
+        sp = Relation({("s1", "p9")})
+        pj = Relation({("p1", "j1")})
+        assert sp.join_on(pj, [(1, 0)]).is_empty()
+
+    def test_join_position_checks(self):
+        with pytest.raises(ArityError):
+            Relation({("a",)}).join_on(Relation({("b",)}), [(5, 0)])
+
+
+class TestMisc:
+    def test_sorted_rows_deterministic(self):
+        rel = Relation({("b",), ("a",)})
+        assert rel.sorted_rows() == (("a",), ("b",))
+
+    def test_empty_relation_helper(self):
+        assert empty_relation(4).arity == 4
+        assert empty_relation(4).is_empty()
+
+    def test_repr_contains_rows(self):
+        assert "'a'" in repr(Relation({("a",)}))
+
+    def test_iteration(self):
+        assert set(Relation({("a",), ("b",)})) == {("a",), ("b",)}

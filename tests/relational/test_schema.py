@@ -1,0 +1,176 @@
+"""Unit tests for :mod:`repro.relational.schema`."""
+
+import pytest
+
+from repro.errors import (
+    ArityError,
+    ConstraintViolation,
+    SchemaError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from repro.relational.constraints import FunctionalDependency
+from repro.relational.instances import DatabaseInstance
+from repro.relational.schema import RelationSchema, Schema
+from repro.typealgebra.assignment import TypeAssignment
+from repro.typealgebra.types import AtomicType, Disjunction
+
+
+@pytest.fixture
+def assignment():
+    return TypeAssignment.from_names({"A": ("a1", "a2"), "B": ("b1",)})
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        name="D",
+        relations=(RelationSchema("R", ("A", "B")),),
+        constraints=(FunctionalDependency("R", ("A",), ("B",)),),
+    )
+
+
+class TestRelationSchema:
+    def test_basic(self):
+        rel = RelationSchema("R", ("A", "B"))
+        assert rel.arity == 2
+        assert rel.position("B") == 1
+
+    def test_unknown_attribute(self):
+        with pytest.raises(UnknownAttributeError):
+            RelationSchema("R", ("A",)).position("Z")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("A", "A"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("A",))
+
+    def test_column_types_default_to_attribute_atoms(self):
+        rel = RelationSchema("R", ("A", "B"))
+        assert rel.effective_column_types() == (
+            AtomicType("A"),
+            AtomicType("B"),
+        )
+
+    def test_explicit_column_types(self):
+        custom = Disjunction(AtomicType("A"), AtomicType("B"))
+        rel = RelationSchema("R", ("X",), (custom,))
+        assert rel.effective_column_types() == (custom,)
+
+    def test_column_type_count_checked(self):
+        with pytest.raises(ArityError):
+            RelationSchema("R", ("A", "B"), (AtomicType("A"),))
+
+
+class TestSchema:
+    def test_lookup(self, schema):
+        assert schema.relation("R").arity == 2
+        with pytest.raises(UnknownRelationError):
+            schema.relation("Z")
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                name="D",
+                relations=(
+                    RelationSchema("R", ("A",)),
+                    RelationSchema("R", ("B",)),
+                ),
+            )
+
+    def test_arities(self, schema):
+        assert schema.arities() == {"R": 2}
+
+    def test_empty_instance(self, schema):
+        empty = schema.empty_instance()
+        assert empty.is_empty()
+        assert empty.relation("R").arity == 2
+
+    def test_signature_conformance(self, schema):
+        good = DatabaseInstance({"R": {("a1", "b1")}})
+        assert schema.conforms_to_signature(good)
+        assert not schema.conforms_to_signature(DatabaseInstance({}))
+        wrong_arity = DatabaseInstance({"R": {("a1",)}})
+        assert not schema.conforms_to_signature(wrong_arity)
+
+
+class TestLegality:
+    def test_legal(self, schema, assignment):
+        inst = DatabaseInstance({"R": {("a1", "b1"), ("a2", "b1")}})
+        assert schema.is_legal(inst, assignment)
+        schema.check_legal(inst, assignment)  # does not raise
+
+    def test_constraint_violation(self, assignment):
+        schema = Schema(
+            name="D",
+            relations=(RelationSchema("R", ("A", "B")),),
+            constraints=(FunctionalDependency("R", ("A",), ("B",)),),
+        )
+        # Need two B values to violate the FD.
+        assignment = TypeAssignment.from_names(
+            {"A": ("a1",), "B": ("b1", "b2")}
+        )
+        bad = DatabaseInstance({"R": {("a1", "b1"), ("a1", "b2")}})
+        assert not schema.is_legal(bad, assignment)
+        with pytest.raises(ConstraintViolation) as exc_info:
+            schema.check_legal(bad, assignment)
+        assert exc_info.value.violations
+
+    def test_column_types_enforced_by_default(self, schema, assignment):
+        bad = DatabaseInstance({"R": {("zzz", "b1")}})
+        assert not schema.is_legal(bad, assignment)
+
+    def test_column_types_enforcement_can_be_disabled(self, assignment):
+        loose = Schema(
+            name="D",
+            relations=(RelationSchema("R", ("A", "B")),),
+            enforce_column_types=False,
+        )
+        odd = DatabaseInstance({"R": {("zzz", "b1")}})
+        assert loose.is_legal(odd, assignment)
+
+    def test_signature_mismatch_is_illegal(self, schema, assignment):
+        assert not schema.is_legal(DatabaseInstance({}), assignment)
+        with pytest.raises(ConstraintViolation):
+            schema.check_legal(DatabaseInstance({}), assignment)
+
+    def test_null_model_property(self, schema, assignment):
+        assert schema.has_null_model_property(assignment)
+
+    def test_null_model_property_can_fail(self, assignment):
+        from repro.relational.constraints import FormulaConstraint
+        from repro.logic.formulas import Exists, RelAtom
+        from repro.logic.terms import Var
+
+        x = Var("x")
+        y = Var("y")
+        nonempty = Schema(
+            name="D",
+            relations=(RelationSchema("R", ("A", "B")),),
+            constraints=(
+                FormulaConstraint(
+                    Exists(x, Exists(y, RelAtom("R", (x, y)))), "nonempty"
+                ),
+            ),
+        )
+        assert not nonempty.has_null_model_property(assignment)
+
+
+class TestDerivedSchemas:
+    def test_with_constraints(self, schema, assignment):
+        extra = FunctionalDependency("R", ("B",), ("A",))
+        extended = schema.with_constraints([extra])
+        assert len(extended.constraints) == len(schema.constraints) + 1
+        assignment = TypeAssignment.from_names(
+            {"A": ("a1", "a2"), "B": ("b1",)}
+        )
+        bad = DatabaseInstance({"R": {("a1", "b1"), ("a2", "b1")}})
+        assert schema.is_legal(bad, assignment)
+        assert not extended.is_legal(bad, assignment)
+
+    def test_renamed(self, schema):
+        assert schema.renamed("D2").name == "D2"
+        assert schema.renamed("D2").relations == schema.relations

@@ -1,0 +1,50 @@
+"""Unit tests for :mod:`repro.strategies.exhaustive`."""
+
+import pytest
+
+from repro.strategies.exhaustive import SolutionEnumerator
+
+
+class TestSolutionReport:
+    @pytest.fixture
+    def enumerator(self, spj_inverse):
+        return SolutionEnumerator(spj_inverse.sp_view, spj_inverse.space)
+
+    def test_report_classifies(self, enumerator, spj_inverse):
+        current = spj_inverse.initial
+        target = spj_inverse.sp_view.apply(
+            current, spj_inverse.assignment
+        ).inserting("R_SP", ("s3", "p1"))
+        report = enumerator.report(current, target)
+        assert report.solvable
+        assert len(report.solutions) == 9
+        assert len(report.nonextraneous) == 3
+        assert report.extraneous_count == 6
+        assert not report.has_minimal
+        assert report.minimal is None
+
+    def test_identity_request_minimal(self, enumerator, spj_inverse):
+        current = spj_inverse.initial
+        target = spj_inverse.sp_view.apply(current, spj_inverse.assignment)
+        report = enumerator.report(current, target)
+        assert report.has_minimal
+        assert report.minimal == current
+        assert report.nonextraneous == (current,)
+
+    def test_solutions_all_achieve_target(self, enumerator, spj_inverse):
+        current = spj_inverse.initial
+        target = spj_inverse.sp_view.apply(
+            current, spj_inverse.assignment
+        ).inserting("R_SP", ("s3", "p1"))
+        report = enumerator.report(current, target)
+        for solution in report.solutions:
+            assert (
+                spj_inverse.sp_view.apply(solution, spj_inverse.assignment)
+                == target
+            )
+
+    def test_requests_without_minimal_nonempty(self, two_unary):
+        """In the Example 1.3.6 universe every Gamma1 update has a
+        minimal solution (just change R)."""
+        enumerator = SolutionEnumerator(two_unary.gamma1, two_unary.space)
+        assert enumerator.requests_without_minimal() == ()

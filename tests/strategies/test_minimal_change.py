@@ -1,0 +1,107 @@
+"""Unit tests for :mod:`repro.strategies.minimal_change`."""
+
+import pytest
+
+from repro.errors import UpdateRejected
+from repro.core.admissibility import (
+    check_nonextraneous,
+    find_functoriality_violation,
+    find_symmetry_violation,
+    is_nonextraneous_solution,
+)
+from repro.strategies.minimal_change import (
+    MinimalChangeStrategy,
+    NonextraneousPickStrategy,
+)
+
+
+class TestMinimalChangeStrategy:
+    def test_returns_minimal_when_unique(self, two_unary):
+        strategy = MinimalChangeStrategy(two_unary.gamma1, two_unary.space)
+        target = two_unary.gamma1.apply(
+            two_unary.initial, two_unary.assignment
+        ).inserting("R", ("a4",))
+        solution = strategy.apply(two_unary.initial, target)
+        assert solution == two_unary.initial.inserting("R", ("a4",))
+
+    def test_reject_mode(self, spj_inverse):
+        strategy = MinimalChangeStrategy(
+            spj_inverse.sp_view, spj_inverse.space, tie_break="reject"
+        )
+        target = spj_inverse.sp_view.apply(
+            spj_inverse.initial, spj_inverse.assignment
+        ).inserting("R_SP", ("s3", "p1"))
+        with pytest.raises(UpdateRejected) as exc_info:
+            strategy.apply(spj_inverse.initial, target)
+        assert exc_info.value.reason == "no-minimal"
+
+    def test_pick_mode_returns_nonextraneous(self, spj_inverse):
+        strategy = MinimalChangeStrategy(
+            spj_inverse.sp_view, spj_inverse.space, tie_break="pick"
+        )
+        target = spj_inverse.sp_view.apply(
+            spj_inverse.initial, spj_inverse.assignment
+        ).inserting("R_SP", ("s3", "p1"))
+        solution = strategy.apply(spj_inverse.initial, target)
+        assert is_nonextraneous_solution(
+            spj_inverse.sp_view,
+            spj_inverse.space,
+            spj_inverse.initial,
+            solution,
+        )
+
+    def test_pick_mode_deterministic(self, spj_inverse):
+        strategy = MinimalChangeStrategy(
+            spj_inverse.sp_view, spj_inverse.space, tie_break="pick"
+        )
+        target = spj_inverse.sp_view.apply(
+            spj_inverse.initial, spj_inverse.assignment
+        ).inserting("R_SP", ("s3", "p1"))
+        first = strategy.apply(spj_inverse.initial, target)
+        second = strategy.apply(spj_inverse.initial, target)
+        assert first == second
+
+    def test_unknown_tie_break(self, two_unary):
+        with pytest.raises(ValueError):
+            MinimalChangeStrategy(
+                two_unary.gamma1, two_unary.space, tie_break="whatever"
+            )
+
+
+class TestPaperFailures:
+    """The phenomena that motivate the paper, on these implementations."""
+
+    def test_not_functorial(self, spj_mini):
+        """Example 1.2.7: minimal change violates the composition law."""
+        strategy = MinimalChangeStrategy(
+            spj_mini.join_view, spj_mini.space, tie_break="pick"
+        )
+        assert find_functoriality_violation(strategy) is not None
+
+    def test_reject_mode_not_symmetric(self, spj_mini):
+        """Example 1.2.10: minimal-only strategies cannot undo inserts."""
+        strategy = MinimalChangeStrategy(
+            spj_mini.join_view, spj_mini.space, tie_break="reject"
+        )
+        assert find_symmetry_violation(strategy) is not None
+
+    def test_nonextraneous_requirement_satisfied(self, two_unary):
+        """Requirement 1 holds by construction."""
+        strategy = MinimalChangeStrategy(
+            two_unary.gamma1, two_unary.space, tie_break="pick"
+        )
+        assert check_nonextraneous(strategy).passed
+
+
+class TestNonextraneousPick:
+    def test_always_defined_on_images(self, spj_inverse):
+        strategy = NonextraneousPickStrategy(
+            spj_inverse.sp_view, spj_inverse.space
+        )
+        targets = spj_inverse.sp_view.image_states(spj_inverse.space)[:6]
+        for target in targets:
+            solution = strategy.apply(spj_inverse.initial, target)
+            assert (
+                spj_inverse.sp_view.apply(solution, spj_inverse.assignment)
+                == target
+            )

@@ -1,0 +1,123 @@
+"""Unit tests for :mod:`repro.typealgebra.algebra`."""
+
+import pytest
+
+from repro.errors import TypeAlgebraError
+from repro.typealgebra.algebra import NULL, NullValue, TypeAlgebra
+from repro.typealgebra.assignment import TypeAssignment
+from repro.typealgebra.types import AtomicType
+
+
+class TestNullValue:
+    def test_singleton(self):
+        assert NullValue() is NULL
+
+    def test_repr(self):
+        assert repr(NULL) == "n"
+
+    def test_hashable(self):
+        assert len({NULL, NullValue()}) == 1
+
+
+class TestOfAttributes:
+    def test_basic(self):
+        algebra = TypeAlgebra.of_attributes(["A", "B"])
+        assert algebra.has_atom("A")
+        assert algebra.has_atom("B")
+        assert not algebra.has_atom("eta")
+
+    def test_with_null(self):
+        algebra = TypeAlgebra.of_attributes(["A"], with_null=True)
+        assert algebra.has_atom("eta")
+        assert algebra.names["eta"] is NULL
+        assert algebra.is_null_type(AtomicType("eta"))
+        assert not algebra.is_null_type(AtomicType("A"))
+
+    def test_disjointness_axioms_generated(self):
+        algebra = TypeAlgebra.of_attributes(["A", "B"], with_null=True)
+        # 3 atoms -> 3 unordered pairs.
+        assert len(algebra.disjoint_pairs) == 3
+
+    def test_atom_lookup(self):
+        algebra = TypeAlgebra.of_attributes(["A"])
+        assert algebra.atom("A") == AtomicType("A")
+        with pytest.raises(TypeAlgebraError):
+            algebra.atom("Z")
+
+
+class TestValidation:
+    @pytest.fixture
+    def algebra(self):
+        return TypeAlgebra.of_attributes(["A", "B"], with_null=True)
+
+    def test_valid_assignment(self, algebra):
+        assignment = TypeAssignment.from_names(
+            {"A": ("a1",), "B": ("b1",), "eta": (NULL,)}
+        )
+        algebra.validate_assignment(assignment)  # does not raise
+
+    def test_missing_atom(self, algebra):
+        assignment = TypeAssignment.from_names({"A": ("a1",)})
+        with pytest.raises(TypeAlgebraError):
+            algebra.validate_assignment(assignment)
+
+    def test_null_extension_must_be_singleton(self, algebra):
+        assignment = TypeAssignment.from_names(
+            {"A": ("a1",), "B": ("b1",), "eta": (NULL, "x")}
+        )
+        with pytest.raises(TypeAlgebraError):
+            algebra.validate_assignment(assignment)
+
+    def test_disjointness_enforced(self, algebra):
+        assignment = TypeAssignment.from_names(
+            {"A": ("v", "a1"), "B": ("v",), "eta": (NULL,)}
+        )
+        with pytest.raises(TypeAlgebraError):
+            algebra.validate_assignment(assignment)
+
+    def test_membership_axioms(self):
+        algebra = TypeAlgebra(
+            atoms=(AtomicType("A"),),
+            names={"k": "a1"},
+            memberships={"k": frozenset({"A"})},
+        )
+        good = TypeAssignment.from_names({"A": ("a1", "a2")})
+        algebra.validate_assignment(good)
+        bad = TypeAssignment.from_names({"A": ("a2",)})
+        with pytest.raises(TypeAlgebraError):
+            algebra.validate_assignment(bad)
+
+
+class TestConstructionErrors:
+    def test_duplicate_atoms(self):
+        with pytest.raises(TypeAlgebraError):
+            TypeAlgebra(atoms=(AtomicType("A"), AtomicType("A")))
+
+    def test_null_type_must_be_atom(self):
+        with pytest.raises(TypeAlgebraError):
+            TypeAlgebra(
+                atoms=(AtomicType("A"),),
+                names={"n": NULL},
+                null_types={"Z": "n"},
+            )
+
+    def test_null_symbol_needs_value(self):
+        with pytest.raises(TypeAlgebraError):
+            TypeAlgebra(
+                atoms=(AtomicType("A"),),
+                null_types={"A": "n"},
+            )
+
+    def test_membership_for_unknown_name(self):
+        with pytest.raises(TypeAlgebraError):
+            TypeAlgebra(
+                atoms=(AtomicType("A"),),
+                memberships={"ghost": frozenset({"A"})},
+            )
+
+    def test_disjointness_over_unknown_type(self):
+        with pytest.raises(TypeAlgebraError):
+            TypeAlgebra(
+                atoms=(AtomicType("A"),),
+                disjoint_pairs=(("A", "Z"),),
+            )

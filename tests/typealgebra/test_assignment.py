@@ -1,0 +1,90 @@
+"""Unit tests for :mod:`repro.typealgebra.assignment`."""
+
+import pytest
+
+from repro.errors import TypeAlgebraError
+from repro.typealgebra.assignment import TypeAssignment
+from repro.typealgebra.types import BOTTOM, TOP, AtomicType
+
+
+@pytest.fixture
+def assignment():
+    return TypeAssignment.from_names(
+        {"A": ("a1", "a2"), "B": ("b1",), "N": ("n",)}
+    )
+
+
+a, b, n = AtomicType("A"), AtomicType("B"), AtomicType("N")
+
+
+class TestExtension:
+    def test_atomic(self, assignment):
+        assert assignment.extension(a) == {"a1", "a2"}
+
+    def test_universe(self, assignment):
+        assert assignment.universe == {"a1", "a2", "b1", "n"}
+
+    def test_top_and_bottom(self, assignment):
+        assert assignment.extension(TOP) == assignment.universe
+        assert assignment.extension(BOTTOM) == frozenset()
+
+    def test_disjunction(self, assignment):
+        assert assignment.extension(a | b) == {"a1", "a2", "b1"}
+
+    def test_conjunction(self, assignment):
+        assert assignment.extension(a & b) == frozenset()
+
+    def test_negation_relative_to_universe(self, assignment):
+        assert assignment.extension(~a) == {"b1", "n"}
+
+    def test_de_morgan(self, assignment):
+        left = assignment.extension(~(a | b))
+        right = assignment.extension(~a & ~b)
+        assert left == right
+
+    def test_unknown_atom(self, assignment):
+        with pytest.raises(TypeAlgebraError):
+            assignment.extension(AtomicType("Z"))
+
+
+class TestPredicates:
+    def test_satisfies(self, assignment):
+        assert assignment.satisfies("a1", a)
+        assert not assignment.satisfies("b1", a)
+
+    def test_equivalent(self, assignment):
+        assert assignment.equivalent(a | b, b | a)
+        assert not assignment.equivalent(a, b)
+
+    def test_boolean_laws_semantically(self, assignment):
+        # complement law: a v ~a == TOP, a ^ ~a == BOTTOM
+        assert assignment.equivalent(a | ~a, TOP)
+        assert assignment.equivalent(a & ~a, BOTTOM)
+        # absorption
+        assert assignment.equivalent(a & (a | b), a)
+
+    def test_subtype(self, assignment):
+        assert assignment.subtype(a, a | b)
+        assert not assignment.subtype(a | b, a)
+
+
+class TestStructure:
+    def test_restrict(self, assignment):
+        restricted = assignment.restrict([a])
+        assert restricted.universe == {"a1", "a2"}
+        with pytest.raises(TypeAlgebraError):
+            assignment.restrict([AtomicType("Z")])
+
+    def test_sorted_extension_deterministic(self, assignment):
+        assert assignment.sorted_extension(a) == ("a1", "a2")
+
+    def test_immutable_hashable(self, assignment):
+        clone = TypeAssignment.from_names(
+            {"A": ("a1", "a2"), "B": ("b1",), "N": ("n",)}
+        )
+        assert assignment == clone
+        assert hash(assignment) == hash(clone)
+
+    def test_keys_must_be_atoms(self):
+        with pytest.raises(TypeAlgebraError):
+            TypeAssignment({"A": frozenset({"a1"})})  # str key, not AtomicType

@@ -1,0 +1,76 @@
+"""Unit tests for :mod:`repro.typealgebra.types`."""
+
+import pytest
+
+from repro.typealgebra.types import (
+    BOTTOM,
+    TOP,
+    AtomicType,
+    Conjunction,
+    Disjunction,
+    Negation,
+    atoms_of,
+    conjunction_of,
+    disjunction_of,
+)
+
+
+class TestConstruction:
+    def test_atomic(self):
+        atom = AtomicType("A")
+        assert atom.name == "A"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            AtomicType("")
+
+    def test_operators(self):
+        a, b = AtomicType("A"), AtomicType("B")
+        assert isinstance(a | b, Disjunction)
+        assert isinstance(a & b, Conjunction)
+        assert isinstance(~a, Negation)
+
+    def test_hashable_and_equal(self):
+        assert AtomicType("A") == AtomicType("A")
+        assert hash(AtomicType("A") | AtomicType("B")) == hash(
+            AtomicType("A") | AtomicType("B")
+        )
+
+    def test_syntactic_inequality(self):
+        a, b = AtomicType("A"), AtomicType("B")
+        assert (a | b) != (b | a)  # equality is syntactic
+
+
+class TestAtoms:
+    def test_atoms_of_compound(self):
+        a, b, c = AtomicType("A"), AtomicType("B"), AtomicType("C")
+        expr = (a | b) & ~c
+        assert atoms_of(expr) == frozenset({a, b, c})
+
+    def test_bounds_have_no_atoms(self):
+        assert atoms_of(TOP) == frozenset()
+        assert atoms_of(BOTTOM) == frozenset()
+
+
+class TestFolds:
+    def test_disjunction_of_empty_is_bottom(self):
+        assert disjunction_of([]) is BOTTOM
+
+    def test_conjunction_of_empty_is_top(self):
+        assert conjunction_of([]) is TOP
+
+    def test_disjunction_of_single(self):
+        a = AtomicType("A")
+        assert disjunction_of([a]) == a
+
+    def test_folds_nest(self):
+        a, b, c = AtomicType("A"), AtomicType("B"), AtomicType("C")
+        expr = disjunction_of([a, b, c])
+        assert atoms_of(expr) == frozenset({a, b, c})
+
+    def test_reprs(self):
+        a = AtomicType("A")
+        assert "A" in repr(a)
+        assert "∨" in repr(a | a)
+        assert "∧" in repr(a & a)
+        assert "¬" in repr(~a)

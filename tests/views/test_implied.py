@@ -1,0 +1,110 @@
+"""Unit tests for :mod:`repro.views.implied` (implied constraints, §1.1)."""
+
+import pytest
+
+from repro.relational.constraints import (
+    FunctionalDependency,
+    JoinDependency,
+)
+from repro.views.implied import (
+    complete_view_schema,
+    implied_functional_dependencies,
+    implied_join_dependency,
+    is_implied,
+    surjectivity_deficit,
+)
+
+
+class TestIsImplied:
+    def test_join_view_implies_jd(self, spj):
+        """Example 1.1.1's diagnosis: the join view implies ⋈[SP, PJ]."""
+        jd = JoinDependency("R_SPJ", (("S", "P"), ("P", "J")))
+        assert is_implied(
+            jd, spj.join_view, spj.space, spj.view_schema_plain
+        )
+        assert implied_join_dependency(
+            spj.join_view,
+            spj.space,
+            "R_SPJ",
+            (("S", "P"), ("P", "J")),
+            spj.view_schema_plain,
+        )
+
+    def test_non_implied_fd(self, spj):
+        fd = FunctionalDependency("R_SPJ", ("S",), ("P",))
+        assert not is_implied(
+            fd, spj.join_view, spj.space, spj.view_schema_plain
+        )
+
+
+class TestImpliedFDs:
+    def test_projection_of_fd_schema(self):
+        """A view projecting a key-constrained relation inherits the FD."""
+        from repro.relational.constraints import FunctionalDependency
+        from repro.relational.enumeration import StateSpace
+        from repro.relational.queries import Project, RelationRef
+        from repro.relational.schema import RelationSchema, Schema
+        from repro.typealgebra.assignment import TypeAssignment
+        from repro.views.mappings import QueryMapping
+        from repro.views.view import View
+
+        base = Schema(
+            name="D",
+            relations=(RelationSchema("R", ("A", "B", "C")),),
+            constraints=(FunctionalDependency("R", ("A",), ("B", "C")),),
+        )
+        assignment = TypeAssignment.from_names(
+            {"A": ("a1", "a2"), "B": ("b1", "b2"), "C": ("c1",)}
+        )
+        space = StateSpace.enumerate(base, assignment)
+        view = View(
+            "π_AB",
+            base,
+            None,
+            QueryMapping(
+                {"R_AB": Project(RelationRef.of(base, "R"), ("A", "B"))}
+            ),
+        )
+        view_schema = Schema(
+            name="V",
+            relations=(RelationSchema("R_AB", ("A", "B")),),
+        )
+        fds = implied_functional_dependencies(
+            view, space, "R_AB", view_schema, max_lhs=1
+        )
+        assert FunctionalDependency("R_AB", ("A",), ("B",)) in fds
+        assert FunctionalDependency("R_AB", ("B",), ("A",)) not in fds
+
+    def test_join_view_has_no_unary_fds(self, spj):
+        fds = implied_functional_dependencies(
+            spj.join_view, spj.space, "R_SPJ", spj.view_schema_plain, max_lhs=1
+        )
+        assert fds == ()
+
+
+class TestCompletion:
+    def test_complete_adds_only_implied(self, spj):
+        candidates = [
+            JoinDependency("R_SPJ", (("S", "P"), ("P", "J"))),
+            FunctionalDependency("R_SPJ", ("S",), ("P",)),  # not implied
+        ]
+        completed = complete_view_schema(
+            spj.join_view, spj.space, spj.view_schema_plain, candidates
+        )
+        assert len(completed.constraints) == 1
+        assert isinstance(completed.constraints[0], JoinDependency)
+
+    def test_deficit_before_and_after(self, spj):
+        """The JD closes the surjectivity gap entirely (this universe)."""
+        before = surjectivity_deficit(
+            spj.join_view, spj.space, spj.view_schema_plain
+        )
+        assert before > 0
+        completed = complete_view_schema(
+            spj.join_view,
+            spj.space,
+            spj.view_schema_plain,
+            [JoinDependency("R_SPJ", (("S", "P"), ("P", "J")))],
+        )
+        after = surjectivity_deficit(spj.join_view, spj.space, completed)
+        assert after == 0

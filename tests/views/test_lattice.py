@@ -1,0 +1,107 @@
+"""Unit tests for :mod:`repro.views.lattice` (complements, §1.3/§2.2)."""
+
+import pytest
+
+from repro.views.lattice import (
+    are_complementary,
+    are_join_complements,
+    are_meet_complements,
+    find_complementary,
+    find_join_complements,
+    product_view,
+)
+from repro.views.view import identity_view, zero_view
+
+
+class TestJoinComplements:
+    def test_example_136_pairs(self, two_unary):
+        assert are_join_complements(
+            two_unary.gamma1, two_unary.gamma2, two_unary.space
+        )
+        assert are_join_complements(
+            two_unary.gamma1, two_unary.gamma3, two_unary.space
+        )
+        assert are_join_complements(
+            two_unary.gamma2, two_unary.gamma3, two_unary.space
+        )
+
+    def test_identity_complements_everything(self, two_unary):
+        identity = identity_view(two_unary.schema)
+        for view in (two_unary.gamma1, two_unary.gamma2, two_unary.gamma3):
+            assert are_join_complements(view, identity, two_unary.space)
+
+    def test_zero_complements_nothing_proper(self, two_unary):
+        zero = zero_view(two_unary.schema)
+        assert not are_join_complements(two_unary.gamma1, zero, two_unary.space)
+        # ... except the identity view itself.
+        identity = identity_view(two_unary.schema)
+        assert are_join_complements(identity, zero, two_unary.space)
+
+    def test_view_not_its_own_complement(self, two_unary):
+        assert not are_join_complements(
+            two_unary.gamma1, two_unary.gamma1, two_unary.space
+        )
+
+    def test_projections_of_jd_schema(self, spj_inverse):
+        """Example 1.2.5: π_SP and π_PJ jointly determine R_SPJ."""
+        assert are_join_complements(
+            spj_inverse.sp_view, spj_inverse.pj_view, spj_inverse.space
+        )
+
+
+class TestMeetComplements:
+    def test_independent_relations(self, two_unary):
+        assert are_meet_complements(
+            two_unary.gamma1, two_unary.gamma2, two_unary.space
+        )
+
+    def test_projections_not_meet_complements(self, spj_inverse):
+        """The SP and PJ projections share the P column: not independent."""
+        assert not are_meet_complements(
+            spj_inverse.sp_view, spj_inverse.pj_view, spj_inverse.space
+        )
+
+    def test_chain_components_meet_complements(self, small_chain, small_space):
+        """Γ°AB and Γ°BCD are truly independent -- the paper's point in
+        Example 2.1.1 about why nulls are needed."""
+        ab = small_chain.component_view([0])
+        bcd = small_chain.component_view([1, 2])
+        assert are_meet_complements(ab, bcd, small_space)
+        assert are_complementary(ab, bcd, small_space)
+
+
+class TestSearch:
+    def test_find_join_complements(self, two_unary):
+        found = find_join_complements(
+            two_unary.gamma1,
+            [two_unary.gamma2, two_unary.gamma3, two_unary.gamma1],
+            two_unary.space,
+        )
+        assert set(v.name for v in found) == {"Γ2", "Γ3"}
+
+    def test_find_complementary(self, two_unary):
+        identity = identity_view(two_unary.schema)
+        found = find_complementary(
+            two_unary.gamma1,
+            [two_unary.gamma2, identity],
+            two_unary.space,
+        )
+        # identity is a join complement but not a meet complement.
+        assert [v.name for v in found] == ["Γ2"]
+
+
+class TestProductView:
+    def test_product_kernel_is_sup(self, two_unary):
+        product = product_view(two_unary.gamma1, two_unary.gamma2)
+        expected = two_unary.gamma1.kernel(two_unary.space).sup(
+            two_unary.gamma2.kernel(two_unary.space)
+        )
+        assert product.kernel(two_unary.space) == expected
+
+    def test_join_complement_iff_product_injective(self, two_unary):
+        product = product_view(two_unary.gamma1, two_unary.gamma2)
+        assert product.kernel(two_unary.space).is_discrete()
+
+    def test_name_defaults(self, two_unary):
+        product = product_view(two_unary.gamma1, two_unary.gamma2)
+        assert "Γ1" in product.name and "Γ2" in product.name

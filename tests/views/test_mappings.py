@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.views.mappings`."""
+
+import pytest
+
+from repro.errors import EvaluationError, SchemaError
+from repro.relational.instances import DatabaseInstance
+from repro.relational.queries import Project, RelationRef
+from repro.relational.relations import Relation
+from repro.views.mappings import (
+    ComposedMapping,
+    FunctionMapping,
+    IdentityMapping,
+    PairingMapping,
+    QueryMapping,
+    ZeroMapping,
+)
+
+
+@pytest.fixture
+def instance(two_unary):
+    return two_unary.initial
+
+
+class TestQueryMapping:
+    def test_apply(self, two_unary, instance):
+        mapping = QueryMapping(
+            {"R_only": RelationRef.of(two_unary.schema, "R")}
+        )
+        image = mapping.apply(instance, two_unary.assignment)
+        assert image.relation("R_only").rows == {("a1",), ("a2",)}
+
+    def test_target_arities(self, two_unary):
+        mapping = QueryMapping(
+            {"X": Project(RelationRef.of(two_unary.schema, "R"), ("A",))}
+        )
+        assert mapping.target_arities() == {"X": 1}
+
+    def test_requires_mapping(self):
+        with pytest.raises(SchemaError):
+            QueryMapping([("X", None)])
+
+    def test_queries_copied(self, two_unary):
+        queries = {"X": RelationRef.of(two_unary.schema, "R")}
+        mapping = QueryMapping(queries)
+        queries.clear()
+        assert mapping.queries  # internal copy unaffected
+
+
+class TestFunctionMapping:
+    def test_apply(self, two_unary, instance):
+        mapping = FunctionMapping(
+            lambda inst, assignment: DatabaseInstance(
+                {"C": Relation({(inst.total_rows(),)}, 1)}
+            ),
+            {"C": 1},
+            label="count",
+        )
+        image = mapping.apply(instance, two_unary.assignment)
+        assert image.relation("C").rows == {(4,)}
+
+    def test_bad_return_type(self, two_unary, instance):
+        mapping = FunctionMapping(lambda inst, assignment: 42, {"C": 1})
+        with pytest.raises(EvaluationError):
+            mapping.apply(instance, two_unary.assignment)
+
+    def test_repr_uses_label(self):
+        mapping = FunctionMapping(lambda i, a: i, {}, label="mylabel")
+        assert "mylabel" in repr(mapping)
+
+
+class TestIdentityAndZero:
+    def test_identity(self, two_unary, instance):
+        mapping = IdentityMapping(two_unary.schema)
+        assert mapping.apply(instance, two_unary.assignment) is instance
+        assert mapping.target_arities() == {"R": 1, "S": 1}
+
+    def test_zero(self, two_unary, instance):
+        mapping = ZeroMapping()
+        image = mapping.apply(instance, two_unary.assignment)
+        assert image.relation_names == ()
+        assert mapping.target_arities() == {}
+
+
+class TestComposition:
+    def test_composed(self, two_unary, instance):
+        keep_r = QueryMapping({"R": RelationRef.of(two_unary.schema, "R")})
+        zero = ZeroMapping()
+        composed = ComposedMapping(zero, keep_r)
+        image = composed.apply(instance, two_unary.assignment)
+        assert image.relation_names == ()
+        assert composed.target_arities() == {}
+
+
+class TestPairing:
+    def test_pairing_disjoint_names(self, two_unary, instance):
+        keep_r = QueryMapping({"X": RelationRef.of(two_unary.schema, "R")})
+        keep_s = QueryMapping({"X": RelationRef.of(two_unary.schema, "S")})
+        paired = PairingMapping(keep_r, keep_s)
+        image = paired.apply(instance, two_unary.assignment)
+        assert image.relation("left.X").rows == {("a1",), ("a2",)}
+        assert image.relation("right.X").rows == {("a2",), ("a3",)}
+        assert paired.target_arities() == {"left.X": 1, "right.X": 1}

@@ -1,0 +1,104 @@
+"""Unit tests for :mod:`repro.views.morphisms` (definability, §2.2)."""
+
+import pytest
+
+from repro.errors import NotComparableError
+from repro.views.morphisms import (
+    are_isomorphic,
+    defines,
+    view_leq,
+    view_morphism_table,
+)
+from repro.views.view import identity_view, zero_view
+from repro.decomposition.projections import projection_view
+
+
+class TestDefines:
+    def test_identity_defines_everything(self, two_unary):
+        identity = identity_view(two_unary.schema)
+        for view in (two_unary.gamma1, two_unary.gamma2, two_unary.gamma3):
+            assert defines(identity, view, two_unary.space)
+
+    def test_everything_defines_zero(self, two_unary):
+        zero = zero_view(two_unary.schema)
+        for view in (two_unary.gamma1, two_unary.gamma2, two_unary.gamma3):
+            assert defines(view, zero, two_unary.space)
+
+    def test_incomparable_views(self, two_unary):
+        assert not defines(two_unary.gamma1, two_unary.gamma2, two_unary.space)
+        assert not defines(two_unary.gamma2, two_unary.gamma1, two_unary.space)
+
+    def test_view_leq_orientation(self, two_unary):
+        identity = identity_view(two_unary.schema)
+        assert view_leq(two_unary.gamma1, identity, two_unary.space)
+        assert not view_leq(identity, two_unary.gamma1, two_unary.space)
+
+    def test_chain_component_definability(self, small_chain, small_space):
+        """Gamma_ABD defines Γ°AB but not Γ°CD (Example 3.2.4's geometry)."""
+        gabd = projection_view(small_chain, ("A", "B", "D"))
+        ab = small_chain.component_view([0])
+        cd = small_chain.component_view([2])
+        assert defines(gabd, ab, small_space)
+        assert not defines(gabd, cd, small_space)
+
+
+class TestMorphismTable:
+    def test_table_well_defined(self, small_chain, small_space):
+        gabd = projection_view(small_chain, ("A", "B", "D"))
+        ab = small_chain.component_view([0])
+        table = view_morphism_table(gabd, ab, small_space)
+        # The table must commute: f(gamma1'(s)) == gamma_ab'(s).
+        for state in small_space.states:
+            source_state = gabd.apply(state, small_space.assignment)
+            target_state = ab.apply(state, small_space.assignment)
+            assert table[source_state] == target_state
+
+    def test_no_morphism_raises(self, two_unary):
+        with pytest.raises(NotComparableError):
+            view_morphism_table(
+                two_unary.gamma1, two_unary.gamma2, two_unary.space
+            )
+
+    def test_morphism_to_self_is_identity(self, two_unary):
+        table = view_morphism_table(
+            two_unary.gamma1, two_unary.gamma1, two_unary.space
+        )
+        assert all(key == value for key, value in table.items())
+
+
+class TestIsomorphism:
+    def test_self_isomorphic(self, two_unary):
+        assert are_isomorphic(two_unary.gamma1, two_unary.gamma1, two_unary.space)
+
+    def test_distinct_views_not_isomorphic(self, two_unary):
+        assert not are_isomorphic(
+            two_unary.gamma1, two_unary.gamma2, two_unary.space
+        )
+
+    def test_isomorphic_with_different_syntax(self, two_unary):
+        """Two syntactically different mappings with the same kernel."""
+        from repro.relational.queries import RelationRef, Rename
+        from repro.views.mappings import QueryMapping
+        from repro.views.view import View
+
+        renamed = View(
+            "Γ1-renamed",
+            two_unary.schema,
+            None,
+            QueryMapping(
+                {
+                    "R2": Rename(
+                        RelationRef.of(two_unary.schema, "R"), (("A", "X"),)
+                    )
+                }
+            ),
+        )
+        assert are_isomorphic(two_unary.gamma1, renamed, two_unary.space)
+
+    def test_proposition_221b(self, small_chain, small_space):
+        """Mutual definability iff isomorphic (Proposition 2.2.1(b))."""
+        ab = small_chain.component_view([0])
+        ab_again = small_chain.component_view([0], name="Γ°AB-again")
+        assert defines(ab, ab_again, small_space)
+        assert defines(ab_again, ab, small_space)
+        assert are_isomorphic(ab, ab_again, small_space)

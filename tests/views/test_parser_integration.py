@@ -1,0 +1,74 @@
+"""Integration: views defined textually equal views built from ASTs."""
+
+import pytest
+
+from repro.relational.parser import parse_query
+from repro.views.mappings import QueryMapping
+from repro.views.morphisms import are_isomorphic
+from repro.views.view import View
+
+
+class TestTextualViews:
+    def test_join_view_from_text(self, spj):
+        textual = View(
+            "Γ_SPJ_text",
+            spj.schema,
+            None,
+            QueryMapping({"R_SPJ": parse_query("join(R_SP, R_PJ)", spj.schema)}),
+        )
+        assert are_isomorphic(textual, spj.join_view, spj.space)
+        for state in spj.space.states[::32]:
+            assert textual.apply(state, spj.assignment) == spj.join_view.apply(
+                state, spj.assignment
+            )
+
+    def test_symmetric_difference_from_text(self, two_unary):
+        textual = View(
+            "Γ3_text",
+            two_unary.schema,
+            None,
+            QueryMapping(
+                {"T": parse_query("union(diff(R, S), diff(S, R))", two_unary.schema)}
+            ),
+        )
+        assert are_isomorphic(textual, two_unary.gamma3, two_unary.space)
+
+    def test_component_view_from_text(self, small_chain, small_space):
+        """The π°_AB view written textually: restrict then project."""
+        textual = View(
+            "Γ°AB_text",
+            small_chain.schema,
+            None,
+            QueryMapping(
+                {
+                    "R_AB": parse_query(
+                        "project[A, B](restrict[C: eta, D: eta](R))",
+                        small_chain.schema,
+                    )
+                }
+            ),
+        )
+        built = small_chain.component_view([0])
+        assert are_isomorphic(textual, built, small_space)
+        for state in small_space.states[::7]:
+            left = textual.apply(state, small_chain.assignment)
+            right = built.apply(state, small_chain.assignment)
+            assert left.relation("R_AB") == right.relation("R_AB")
+
+    def test_textual_component_is_strong(self, small_chain, small_space):
+        from repro.core.strong import analyze_view
+
+        textual = View(
+            "Γ°CD_text",
+            small_chain.schema,
+            None,
+            QueryMapping(
+                {
+                    "R_CD": parse_query(
+                        "project[C, D](restrict[A: eta, B: eta](R))",
+                        small_chain.schema,
+                    )
+                }
+            ),
+        )
+        assert analyze_view(textual, small_space).is_strong

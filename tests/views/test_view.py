@@ -1,0 +1,96 @@
+"""Unit tests for :mod:`repro.views.view`."""
+
+import pytest
+
+from repro.errors import NotSurjectiveError, SchemaError
+from repro.relational.enumeration import StateSpace
+from repro.relational.queries import Project, RelationRef
+from repro.relational.schema import RelationSchema, Schema
+from repro.views.mappings import QueryMapping
+from repro.views.view import View, identity_view, zero_view
+
+
+class TestConstruction:
+    def test_schema_signature_checked(self, two_unary):
+        view_schema = Schema(
+            name="V",
+            relations=(RelationSchema("X", ("A", "B")),),  # wrong arity
+            enforce_column_types=False,
+        )
+        with pytest.raises(SchemaError):
+            View(
+                "bad",
+                two_unary.schema,
+                view_schema,
+                QueryMapping({"X": RelationRef.of(two_unary.schema, "R")}),
+            )
+
+    def test_none_schema_means_image(self, two_unary):
+        assert two_unary.gamma1.view_schema is None
+
+
+class TestApplication:
+    def test_apply(self, two_unary):
+        image = two_unary.gamma1.apply(two_unary.initial, two_unary.assignment)
+        assert image.relation("R").rows == {("a1",), ("a2",)}
+
+    def test_image_table_aligned(self, two_unary):
+        table = two_unary.gamma1.image_table(two_unary.space)
+        assert len(table) == len(two_unary.space)
+        for state, image in zip(two_unary.space.states, table):
+            assert image == two_unary.gamma1.apply(state, two_unary.assignment)
+
+    def test_image_table_cached(self, two_unary):
+        first = two_unary.gamma1.image_table(two_unary.space)
+        second = two_unary.gamma1.image_table(two_unary.space)
+        assert first is second
+
+    def test_image_states_distinct(self, two_unary):
+        images = two_unary.gamma1.image_states(two_unary.space)
+        assert len(images) == 16  # 2^4 subsets of the domain
+        assert len(set(images)) == len(images)
+
+    def test_preimages(self, two_unary):
+        image = two_unary.gamma1.apply(two_unary.initial, two_unary.assignment)
+        preimages = two_unary.gamma1.preimages(two_unary.space, image)
+        assert two_unary.initial in preimages
+        # Gamma1 forgets S: one preimage per S-subset.
+        assert len(preimages) == 16
+
+
+class TestKernel:
+    def test_kernel_blocks(self, two_unary):
+        kernel = two_unary.gamma1.kernel(two_unary.space)
+        assert len(kernel) == 16
+        assert kernel.ground_set == frozenset(two_unary.space.states)
+
+    def test_identity_kernel_discrete(self, two_unary):
+        identity = identity_view(two_unary.schema)
+        assert identity.kernel(two_unary.space).is_discrete()
+
+    def test_zero_kernel_indiscrete(self, two_unary):
+        zero = zero_view(two_unary.schema)
+        assert zero.kernel(two_unary.space).is_indiscrete()
+
+
+class TestSurjectivity:
+    def test_join_view_not_surjective_without_jd(self, spj):
+        """Example 1.1.1: the plain view schema admits non-image states."""
+        view_space = spj.view_space_plain()
+        gap = spj.join_view.surjectivity_gap(spj.space, view_space)
+        assert gap  # states violating the implied JD
+        with pytest.raises(NotSurjectiveError):
+            spj.join_view.check_surjective(spj.space, view_space)
+
+    def test_join_view_surjective_with_jd(self, spj):
+        """Adding the implied JD makes the mapping surjective."""
+        view_space = spj.view_space_with_jd()
+        assert spj.join_view.is_surjective_onto(spj.space, view_space)
+        spj.join_view.check_surjective(spj.space, view_space)
+
+    def test_view_space_is_image(self, two_unary):
+        view_space = two_unary.gamma1.view_space(two_unary.space)
+        assert isinstance(view_space, StateSpace)
+        assert set(view_space.states) == set(
+            two_unary.gamma1.image_states(two_unary.space)
+        )

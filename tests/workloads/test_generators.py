@@ -1,0 +1,66 @@
+"""Unit tests for :mod:`repro.workloads.generators`."""
+
+from repro.workloads.generators import (
+    random_chain_states,
+    random_subsets,
+    random_two_unary_states,
+    random_update_workload,
+)
+
+
+class TestChainStates:
+    def test_states_legal(self, small_chain):
+        states = random_chain_states(small_chain, 10, seed=1)
+        assert len(states) == 10
+        for state in states:
+            assert small_chain.schema.is_legal(state, small_chain.assignment)
+
+    def test_seeded_reproducible(self, small_chain):
+        first = random_chain_states(small_chain, 5, seed=42)
+        second = random_chain_states(small_chain, 5, seed=42)
+        assert first == second
+
+    def test_different_seeds_differ(self, small_chain):
+        first = random_chain_states(small_chain, 8, seed=1)
+        second = random_chain_states(small_chain, 8, seed=2)
+        assert first != second
+
+
+class TestTwoUnaryStates:
+    def test_shapes(self):
+        states = random_two_unary_states(("a1", "a2", "a3"), 6, seed=0)
+        assert len(states) == 6
+        for state in states:
+            assert set(state.relation_names) == {"R", "S"}
+
+
+class TestUpdateWorkload:
+    def test_targets_in_image(self, two_unary):
+        workload = random_update_workload(
+            two_unary.gamma1, two_unary.space, 20, seed=3
+        )
+        images = set(two_unary.gamma1.image_states(two_unary.space))
+        for state, target in workload:
+            assert state in two_unary.space
+            assert target in images
+
+    def test_reproducible(self, two_unary):
+        first = random_update_workload(two_unary.gamma1, two_unary.space, 5, 9)
+        second = random_update_workload(two_unary.gamma1, two_unary.space, 5, 9)
+        assert first == second
+
+
+class TestRandomSubsets:
+    def test_count_and_bounds(self):
+        subsets = random_subsets(range(10), 7, seed=5)
+        assert len(subsets) == 7
+        for subset in subsets:
+            assert subset <= frozenset(range(10))
+
+    def test_probability_extremes(self):
+        assert random_subsets([1, 2], 3, seed=0, probability=0.0) == [
+            frozenset()
+        ] * 3
+        assert random_subsets([1, 2], 3, seed=0, probability=1.0) == [
+            frozenset({1, 2})
+        ] * 3
