@@ -29,7 +29,14 @@ from repro.core.constant_complement import (
 )
 from repro.decomposition.chain import ChainSchema
 from repro.decomposition.updates import ChainComponentUpdater
+from repro.kernel.config import kernel_mode
 from repro.workloads.generators import random_chain_states
+
+
+def note_chain(benchmark, chain):
+    """Record |LDB| and the active kernel for BENCH_kernel.json."""
+    benchmark.extra_info["ldb"] = chain.state_count()
+    benchmark.extra_info["kernel"] = kernel_mode()
 
 
 def make_chain(a, b, c, d):
@@ -69,6 +76,7 @@ def workload_for(chain, updater, count=50):
 @pytest.mark.parametrize("label", list(SIZES))
 def test_s1_symbolic_translation(benchmark, label):
     chain = make_chain(*SIZES[label])
+    note_chain(benchmark, chain)
     updater = ChainComponentUpdater(chain, [0])
     requests = workload_for(chain, updater)
 
@@ -83,6 +91,7 @@ def test_s1_symbolic_translation(benchmark, label):
 @pytest.mark.parametrize("label", list(SIZES))
 def test_s1_table_translation_including_setup(benchmark, label):
     chain = make_chain(*SIZES[label])
+    note_chain(benchmark, chain)
     updater = ChainComponentUpdater(chain, [0])
     requests = workload_for(chain, updater)
 
@@ -105,6 +114,7 @@ def test_s1_table_translation_including_setup(benchmark, label):
 @pytest.mark.parametrize("label", list(SIZES))
 def test_s1_enumerative_translation_including_setup(benchmark, label):
     chain = make_chain(*SIZES[label])
+    note_chain(benchmark, chain)
     updater = ChainComponentUpdater(chain, [0])
     requests = workload_for(chain, updater)
     complement = chain.component_view([1, 2])
@@ -141,6 +151,7 @@ def test_s1_agreement(small_chain, small_space, small_algebra):
 def test_s1_symbolic_on_unenumerable_universe(benchmark):
     """The crossover in the limit: |LDB| ~ 7.9e28, symbolic still fast."""
     chain = make_chain(8, 8, 8, 6)
+    note_chain(benchmark, chain)
     assert chain.state_count() > 10**28
     updater = ChainComponentUpdater(chain, [0])
     requests = workload_for(chain, updater, count=20)

@@ -16,11 +16,18 @@ one that scales.
 
 import pytest
 
+from repro.kernel.config import kernel_mode
 from repro.relational.constraints import FunctionalDependency, JoinDependency
 from repro.relational.enumeration import StateSpace, enumerate_instances
 from repro.relational.schema import RelationSchema, Schema
 from repro.typealgebra.assignment import TypeAssignment
 from repro.workloads.scenarios import abcd_chain_small
+
+
+def note_ldb(benchmark, count):
+    """Record |LDB| and the active kernel for BENCH_kernel.json."""
+    benchmark.extra_info["ldb"] = count
+    benchmark.extra_info["kernel"] = kernel_mode()
 
 
 def constrained_schema():
@@ -48,6 +55,7 @@ def test_s4_naive_enumeration(benchmark):
         iterations=1,
     )
     assert states  # non-empty LDB
+    note_ldb(benchmark, len(states))
 
 
 def test_s4_pruned_enumeration(benchmark):
@@ -60,6 +68,7 @@ def test_s4_pruned_enumeration(benchmark):
     )
     naive = list(enumerate_instances(schema, assignment, prune=False))
     assert set(states) == set(naive)  # same LDB, different cost
+    note_ldb(benchmark, len(states))
 
 
 def test_s4_closed_form_chain(benchmark):
@@ -69,6 +78,7 @@ def test_s4_closed_form_chain(benchmark):
         lambda: list(chain.all_states()), rounds=1, iterations=1
     )
     assert len(states) == chain.state_count() == 64
+    note_ldb(benchmark, len(states))
 
 
 def test_s4_statespace_with_poset(benchmark):
@@ -81,3 +91,4 @@ def test_s4_statespace_with_poset(benchmark):
         return len(space)
 
     assert benchmark.pedantic(kernel, rounds=1, iterations=1) == 64
+    note_ldb(benchmark, 64)

@@ -3,13 +3,24 @@
 Scenario construction (state-space enumeration, component-algebra
 discovery) is excluded from the timed regions by building everything
 once per session here.
+
+A ``pytest_sessionfinish`` hook persists every benchmark run to
+``BENCH_kernel.json`` at the repo root -- per-bench wall-clock, any
+``extra_info`` the bench recorded (notably ``ldb``, the state-space
+size), and the active kernel mode.  The file is merged across runs and
+keyed by kernel mode, so running the suite under ``REPRO_KERNEL=bitset``
+and ``REPRO_KERNEL=naive`` yields side-by-side baselines.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.core.components import ComponentAlgebra
+from repro.kernel.config import kernel_mode
 from repro.workloads.scenarios import (
     abcd_chain_small,
     paper_chain_instance,
@@ -54,4 +65,34 @@ def small_space(small_chain):
 def small_algebra(small_chain, small_space):
     return ComponentAlgebra.discover(
         small_space, small_chain.all_component_views()
+    )
+
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    mode = kernel_mode()
+    try:
+        payload = json.loads(BENCH_JSON.read_text())
+    except (OSError, ValueError):
+        payload = {}
+    if not isinstance(payload, dict):
+        payload = {}
+    entries = payload.setdefault(mode, {})
+    for meta in bench_session.benchmarks:
+        stats = meta.stats
+        entry = {
+            "seconds": stats.mean,
+            "min_seconds": stats.min,
+            "rounds": getattr(stats, "rounds", None),
+            "kernel": mode,
+        }
+        entry.update(meta.extra_info)
+        entries[meta.fullname] = entry
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )

@@ -14,6 +14,9 @@ View Update Support through Boolean Algebras of Components* (PODS
 * strong views, the **component algebra**, constant-complement update
   translation, and Update Procedure 3.2.3 (:mod:`repro.core`);
 * null-padded chain decompositions (:mod:`repro.decomposition`);
+* the bitset state-space kernel: integer-encoded instances backing the
+  enumeration, poset, and component-discovery hot paths
+  (:mod:`repro.kernel`, escape hatch ``REPRO_KERNEL=naive``);
 * baseline strategies, workloads, and the experiment harness
   (:mod:`repro.strategies`, :mod:`repro.workloads`, :mod:`repro.harness`).
 
@@ -56,10 +59,12 @@ from repro.core import (
     analyze_view,
 )
 from repro.decomposition import ChainSchema
+from repro.kernel import KERNEL_ENV_VAR, TupleCodec, kernel_mode, use_kernel
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "KERNEL_ENV_VAR",
     "NULL",
     "ChainSchema",
     "Component",
@@ -74,6 +79,7 @@ __all__ = [
     "ReproError",
     "Schema",
     "StateSpace",
+    "TupleCodec",
     "TypeAlgebra",
     "TypeAssignment",
     "UpdateProcedure",
@@ -82,6 +88,8 @@ __all__ = [
     "ViewUpdateSystem",
     "analyze_view",
     "identity_view",
+    "kernel_mode",
+    "use_kernel",
     "zero_view",
     "__version__",
 ]

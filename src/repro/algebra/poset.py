@@ -36,7 +36,7 @@ class FinitePoset:
     transitively closed by the caller).
     """
 
-    __slots__ = ("_elements", "_index", "_below")
+    __slots__ = ("_elements", "_index", "_below", "_above")
 
     def __init__(self, elements: Sequence[Hashable], below: Sequence[int]):
         """Internal constructor; prefer :meth:`from_leq`.
@@ -51,6 +51,7 @@ class FinitePoset:
         if len(self._index) != len(self._elements):
             raise PosetError("poset elements must be distinct")
         self._below: Tuple[int, ...] = tuple(below)
+        self._above: Optional[Tuple[int, ...]] = None
 
     # -- constructors ------------------------------------------------------------
 
@@ -74,6 +75,54 @@ class FinitePoset:
         poset = cls(elements, below)
         poset._check_partial_order()
         return poset
+
+    @classmethod
+    def from_masks(
+        cls,
+        elements: Iterable[Hashable],
+        masks: Sequence[int],
+    ) -> "FinitePoset":
+        """Build the inclusion order of bitmask-encoded elements.
+
+        ``masks[i]`` is an integer set-encoding of ``elements[i]`` (e.g.
+        from :class:`repro.kernel.bitspace.TupleCodec`); the order is
+        mask inclusion.  Instead of the ``n^2`` pairwise comparisons of
+        :meth:`from_leq`, this inverts the encoding once -- for each
+        tuple-bit ``t``, ``contain[t]`` is the mask of elements whose
+        encoding has ``t`` -- and computes each down-set as
+        ``all & ~OR(contain[t] for t outside the element)``, i.e. work
+        proportional to ``n * width`` integer ops.
+
+        Mask inclusion over distinct masks is a partial order by
+        construction, so no :meth:`_check_partial_order` pass is run.
+        """
+        elements = tuple(elements)
+        masks = tuple(masks)
+        if len(masks) != len(elements):
+            raise PosetError("from_masks needs one mask per element")
+        if len(set(masks)) != len(masks):
+            raise PosetError("element masks must be distinct")
+        n = len(elements)
+        width = max(masks).bit_length() if masks else 0
+        contain = [0] * width
+        for i, mask in enumerate(masks):
+            probe = mask
+            while probe:
+                t = (probe & -probe).bit_length() - 1
+                probe &= probe - 1
+                contain[t] |= 1 << i
+        full = (1 << n) - 1
+        universe = (1 << width) - 1
+        below: List[int] = []
+        for mask in masks:
+            down = full
+            probe = universe & ~mask
+            while probe:
+                t = (probe & -probe).bit_length() - 1
+                probe &= probe - 1
+                down &= ~contain[t]
+            below.append(down)
+        return cls(elements, below)
 
     @classmethod
     def from_relation(
@@ -184,13 +233,23 @@ class FinitePoset:
     def _down_mask(self, element: Hashable) -> int:
         return self._below[self.index(element)]
 
+    def _up_matrix(self) -> Tuple[int, ...]:
+        """Transpose of :meth:`leq_matrix`: ``matrix[i]`` has bit ``j``
+        set iff ``elements[i] <= elements[j]`` (cached)."""
+        if self._above is None:
+            n = len(self._elements)
+            above = [0] * n
+            for j in range(n):
+                probe = self._below[j]
+                while probe:
+                    i = (probe & -probe).bit_length() - 1
+                    probe &= probe - 1
+                    above[i] |= 1 << j
+            self._above = tuple(above)
+        return self._above
+
     def _up_mask(self, element: Hashable) -> int:
-        i = self.index(element)
-        mask = 0
-        for j in range(len(self._elements)):
-            if self._below[j] & (1 << i):
-                mask |= 1 << j
-        return mask
+        return self._up_matrix()[self.index(element)]
 
     # -- bounds and extremes -----------------------------------------------------------
 
@@ -204,24 +263,23 @@ class FinitePoset:
 
     def maximal_elements(self) -> Tuple[Hashable, ...]:
         """Elements with nothing strictly above them."""
-        out = []
-        for i, e in enumerate(self._elements):
-            above = sum(
-                1
-                for j in range(len(self._elements))
-                if j != i and self._below[j] & (1 << i)
-            )
-            if above == 0:
-                out.append(e)
-        return tuple(out)
+        up = self._up_matrix()
+        return tuple(
+            e
+            for i, e in enumerate(self._elements)
+            if up[i] == (1 << i)
+        )
 
     def bottom(self) -> Hashable:
         """The least element; raises :class:`PosetError` if none exists."""
-        full = (1 << len(self._elements)) - 1
-        for i, e in enumerate(self._elements):
-            if self._up_mask(e) == full:
-                return e
-        raise PosetError("poset has no bottom element")
+        common = (1 << len(self._elements)) - 1 if self._elements else 0
+        for mask in self._below:
+            common &= mask
+            if not common:
+                break
+        if not common:
+            raise PosetError("poset has no bottom element")
+        return self._elements[(common & -common).bit_length() - 1]
 
     def has_bottom(self) -> bool:
         """True iff a least element exists (a ⊥-poset)."""

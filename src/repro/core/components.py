@@ -43,10 +43,19 @@ def theta_leq(left: StrongViewAnalysis, right: StrongViewAnalysis) -> bool:
     By Theorem 2.3.3(a) this coincides with the view ordering
     ``Gamma1 <= Gamma2`` for strong views (cross-validated in tests
     against kernel refinement).
+
+    Since every ``theta`` value is itself a state, the pointwise subset
+    tests are single bit probes of the state poset's order matrix.
     """
-    assert left.theta is not None and right.theta is not None
+    if left.theta is None or right.theta is None:
+        raise ReproError(
+            "theta_leq needs analyses carrying endomorphism tables "
+            "(both views must admit least preimages)"
+        )
+    below = left.space.poset.leq_matrix()
     return all(
-        left.theta[s].issubset(right.theta[s]) for s in left.space.states
+        (below[hi] >> lo) & 1
+        for lo, hi in zip(left._theta_indices(), right._theta_indices())
     )
 
 
@@ -64,36 +73,57 @@ def are_strong_complements(
     2. *injectivity*: the pairs ``(theta1(s), theta2(s))`` are distinct
        (with (1), they then exhaust the product set);
     3. *order*: ``x <= y  iff  theta1(x) <= theta1(y) and
-       theta2(x) <= theta2(y)``, checked on the poset's bitmask matrix.
+       theta2(x) <= theta2(y)``.  Per state ``y``, the right-hand side
+       is a mask -- the union of ``{x : theta1(x) = f}`` selectors over
+       the fixpoints ``f <= theta1(y)``, intersected with the theta2
+       analogue -- memoized per distinct theta value, so the whole check
+       is one mask comparison per state instead of ``n^2`` bit probes.
     """
     if not (left.is_strong and right.is_strong):
         return False
+    if left.theta is None or right.theta is None:
+        raise ReproError(
+            "strong analyses must carry endomorphism tables"
+        )
     space = left.space
-    assert left.theta is not None and right.theta is not None
-    states = space.states
-    n = len(states)
-    left_fix = left.fixpoints()
-    right_fix = right.fixpoints()
-    if len(left_fix) * len(right_fix) != n:
+    n = len(space.states)
+    if len(left.fixpoints()) * len(right.fixpoints()) != n:
         return False
-    pairs = {(left.theta[s], right.theta[s]) for s in states}
-    if len(pairs) != n:
+    left_index = left._theta_indices()
+    right_index = right._theta_indices()
+    if len(set(zip(left_index, right_index))) != n:
         return False
-    poset = space.poset
-    below = poset.leq_matrix()
-    left_index = [poset.index(left.theta[s]) for s in states]
-    right_index = [poset.index(right.theta[s]) for s in states]
+    below = space.poset.leq_matrix()
+
+    left_sel: Dict[int, int] = {}
+    right_sel: Dict[int, int] = {}
     for x in range(n):
-        x_bit = 1 << x
-        lx_bit = 1 << left_index[x]
-        rx_bit = 1 << right_index[x]
-        for y in range(n):
-            direct = bool(below[y] & x_bit)
-            componentwise = bool(below[left_index[y]] & lx_bit) and bool(
-                below[right_index[y]] & rx_bit
-            )
-            if direct != componentwise:
-                return False
+        f = left_index[x]
+        left_sel[f] = left_sel.get(f, 0) | (1 << x)
+        f = right_index[x]
+        right_sel[f] = right_sel.get(f, 0) | (1 << x)
+
+    def pulled(sel: Dict[int, int], cache: Dict[int, int], fy: int) -> int:
+        # {x : theta(x) <= theta(y)} as a mask, memoized on theta(y).
+        mask = cache.get(fy)
+        if mask is None:
+            mask = 0
+            probe = below[fy]
+            while probe:
+                f = (probe & -probe).bit_length() - 1
+                probe &= probe - 1
+                mask |= sel.get(f, 0)
+            cache[fy] = mask
+        return mask
+
+    left_pulled: Dict[int, int] = {}
+    right_pulled: Dict[int, int] = {}
+    for y in range(n):
+        componentwise = pulled(left_sel, left_pulled, left_index[y]) & pulled(
+            right_sel, right_pulled, right_index[y]
+        )
+        if componentwise != below[y]:
+            return False
     return True
 
 
@@ -114,13 +144,19 @@ class Component:
     @property
     def theta(self) -> Dict[DatabaseInstance, DatabaseInstance]:
         """The endomorphism table ``gamma^Theta``."""
-        assert self.analysis.theta is not None
+        if self.analysis.theta is None:
+            raise ReproError(
+                f"component {self.name!r} has no endomorphism table"
+            )
         return self.analysis.theta
 
     @property
     def sharp(self) -> Dict[DatabaseInstance, DatabaseInstance]:
         """The least-right-inverse table ``gamma#``."""
-        assert self.analysis.sharp is not None
+        if self.analysis.sharp is None:
+            raise ReproError(
+                f"component {self.name!r} has no least-right-inverse table"
+            )
         return self.analysis.sharp
 
     def fixpoints(self) -> Tuple[DatabaseInstance, ...]:

@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.errors import NotStrongError
+from repro.errors import NotStrongError, ReproError
 from repro.algebra.morphisms import PosetMorphism
 from repro.algebra.poset import FinitePoset
+from repro.kernel.config import bitset_enabled
 from repro.relational.enumeration import StateSpace
 from repro.relational.instances import DatabaseInstance
 from repro.views.view import View
@@ -45,6 +46,10 @@ class StrongViewAnalysis:
     sharp: Optional[Dict[DatabaseInstance, DatabaseInstance]] = None
     #: ``gamma^Theta : base state -> base state`` (None unless strong-ish).
     theta: Optional[Dict[DatabaseInstance, DatabaseInstance]] = None
+    #: Memoized :meth:`theta_key` (the bitset kernel seeds it directly).
+    _theta_key_cache: Optional[Tuple[int, ...]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_strong(self) -> bool:
@@ -93,10 +98,28 @@ class StrongViewAnalysis:
     def fixpoints(self) -> Tuple[DatabaseInstance, ...]:
         """``lp(gamma')``: the least preimages = fixpoints of theta."""
         self.require_strong()
-        assert self.theta is not None
+        states = self.space.states
         return tuple(
-            s for s in self.space.states if self.theta[s] == s
+            states[i]
+            for i, k in enumerate(self._theta_indices())
+            if k == i
         )
+
+    def _theta_indices(self) -> Tuple[int, ...]:
+        """The endomorphism as state indices (memoized; no strongness
+        requirement, so the pointwise order is computable on any
+        analysis that carries a theta table)."""
+        if self._theta_key_cache is None:
+            if self.theta is None:
+                raise ReproError(
+                    f"view {self.view.name!r} has no endomorphism table "
+                    "(least preimages not admitted)"
+                )
+            index = self.space.index
+            self._theta_key_cache = tuple(
+                index(self.theta[s]) for s in self.space.states
+            )
+        return self._theta_key_cache
 
     def theta_key(self) -> Tuple[int, ...]:
         """A canonical hashable key for the endomorphism.
@@ -106,14 +129,15 @@ class StrongViewAnalysis:
         of state indices) therefore identifies views up to isomorphism.
         """
         self.require_strong()
-        assert self.theta is not None
-        return tuple(
-            self.space.index(self.theta[s]) for s in self.space.states
-        )
+        return self._theta_indices()
 
 
 def image_poset(view: View, space: StateSpace) -> FinitePoset:
     """The view states under relation-wise inclusion."""
+    if bitset_enabled():
+        from repro.kernel.strongfast import image_poset_bitset
+
+        return image_poset_bitset(view.image_states(space))
     return FinitePoset.from_leq(
         view.image_states(space), lambda a, b: a.issubset(b)
     )
@@ -125,7 +149,16 @@ def analyze_view(view: View, space: StateSpace) -> StrongViewAnalysis:
     The target poset is the image of ``gamma'`` (the paper's standing
     surjectivity assumption makes this ``LDB(V, mu)``), so surjectivity
     holds by construction and is not a separate condition here.
+
+    Under the bitset kernel (the default) the analysis runs on down-set
+    masks and index vectors (:mod:`repro.kernel.strongfast`); set
+    ``REPRO_KERNEL=naive`` for the original tuple-by-tuple predicates.
+    Both produce identical analyses (enforced by ``tests/kernel/``).
     """
+    if bitset_enabled():
+        from repro.kernel.strongfast import analyze_view_bitset
+
+        return analyze_view_bitset(view, space)
     target = image_poset(view, space)
     table = {
         state: image

@@ -1,0 +1,74 @@
+"""Kernel-mode selection: ``bitset`` (default) vs ``naive``.
+
+The bitset kernel is a pure optimisation -- both modes compute the same
+state spaces, posets, tables, and algebras, and the equivalence suite
+enforces that.  The ``naive`` mode exists as an escape hatch (debugging,
+cross-checking, benchmarking the speedup itself) and is selected with::
+
+    REPRO_KERNEL=naive python ...
+
+or, programmatically and temporarily, with::
+
+    with use_kernel("naive"):
+        ...
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.errors import ReproError
+
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+BITSET = "bitset"
+NAIVE = "naive"
+_VALID_MODES = (BITSET, NAIVE)
+
+#: Process-local override installed by :func:`use_kernel`; wins over the
+#: environment variable while active.
+_override: Optional[str] = None
+
+
+def _validated(mode: str, origin: str) -> str:
+    normalized = mode.strip().lower()
+    if normalized not in _VALID_MODES:
+        raise ReproError(
+            f"unknown kernel mode {mode!r} (from {origin}); "
+            f"expected one of {_VALID_MODES}"
+        )
+    return normalized
+
+
+def kernel_mode() -> str:
+    """The active kernel mode: ``"bitset"`` or ``"naive"``.
+
+    Resolution order: :func:`use_kernel` override, then the
+    ``REPRO_KERNEL`` environment variable, then the default ``bitset``.
+    """
+    if _override is not None:
+        return _override
+    env = os.environ.get(KERNEL_ENV_VAR)
+    if env is None:
+        return BITSET
+    return _validated(env, f"${KERNEL_ENV_VAR}")
+
+
+def bitset_enabled() -> bool:
+    """True iff the bitset kernel is active."""
+    return kernel_mode() == BITSET
+
+
+@contextmanager
+def use_kernel(mode: str) -> Iterator[str]:
+    """Context manager pinning the kernel mode (reentrant)."""
+    global _override
+    mode = _validated(mode, "use_kernel()")
+    previous = _override
+    _override = mode
+    try:
+        yield mode
+    finally:
+        _override = previous

@@ -1,0 +1,169 @@
+"""The strong-view analysis (paper §2.3) computed on mask vectors.
+
+Produces a :class:`~repro.core.strong.StrongViewAnalysis` identical to
+the naive one in :func:`repro.core.strong.analyze_view` -- same
+morphism, same verdicts, same ``gamma#``/``gamma^Theta`` tables -- but
+replaces the quadratic tuple-by-tuple predicate checks with integer
+arithmetic over the state-space poset's down-set masks:
+
+* the image poset is built from instance bitmasks
+  (:meth:`FinitePoset.from_masks`), not ``n^2`` ``issubset`` calls;
+* monotonicity (of ``gamma'`` and of ``gamma#``) walks only the
+  *comparable* pairs -- the set bits of each down-set mask -- testing
+  one bit of the target's order matrix per pair;
+* least preimages come from fiber masks: the least element of a fiber
+  is the member whose down-set covers the whole fiber;
+* downward stationarity is one mask-containment pass over ``lp``.
+
+The resulting predicate values are seeded into the
+:class:`~repro.algebra.morphisms.PosetMorphism` caches so later calls
+through the generic API do not silently re-run the slow paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.kernel.bitspace import TupleCodec
+from repro.algebra.morphisms import PosetMorphism
+from repro.algebra.poset import FinitePoset
+from repro.relational.instances import DatabaseInstance, sorted_instances
+
+
+def _monotone_on_comparable_pairs(
+    below_source, below_target, fidx: List[int]
+) -> bool:
+    """``x <= y  =>  f(x) <= f(y)``, checked on comparable pairs only.
+
+    Sound and complete: incomparable pairs impose no condition, so
+    walking the set bits of each down-set mask covers the whole
+    definition without the naive all-pairs sweep.
+    """
+    for y, below_y in enumerate(below_source):
+        target_row = below_target[fidx[y]]
+        probe = below_y & ~(1 << y)
+        while probe:
+            x = (probe & -probe).bit_length() - 1
+            probe &= probe - 1
+            if not (target_row >> fidx[x]) & 1:
+                return False
+    return True
+
+
+def image_poset_bitset(states) -> FinitePoset:
+    """The ⊥-poset of a family of instances, via bitmask encoding."""
+    states = tuple(states)
+    codec = TupleCodec.from_instances(states)
+    return FinitePoset.from_masks(states, codec.encode_all(states))
+
+
+def analyze_view_bitset(view, space) -> "StrongViewAnalysis":  # noqa: F821
+    """Bitset-kernel twin of :func:`repro.core.strong.analyze_view`."""
+    from repro.core.strong import StrongViewAnalysis
+
+    states = space.states
+    n = len(states)
+    source = space.poset
+    below_s = source.leq_matrix()
+
+    raw_table = view.image_table(space)
+    image_states = sorted_instances(set(raw_table))
+    target = image_poset_bitset(image_states)
+    below_t = target.leq_matrix()
+    target_index = {state: i for i, state in enumerate(image_states)}
+    fidx = [target_index[image] for image in raw_table]
+
+    table = dict(zip(states, raw_table))
+    morphism = PosetMorphism(source, target, table)
+
+    is_monotone = _monotone_on_comparable_pairs(below_s, below_t, fidx)
+    morphism._cache["monotone"] = is_monotone
+
+    preserves_bottom = (
+        source.has_bottom()
+        and target.has_bottom()
+        and table[source.bottom()] == target.bottom()
+    )
+
+    # Fibers of gamma' as masks over source state indices.
+    m = len(image_states)
+    fibers = [0] * m
+    for i, f in enumerate(fidx):
+        fibers[f] |= 1 << i
+    # Least preimage per image state: the fiber member whose up-set
+    # contains the entire fiber (it is below every other member).
+    # States are ordered by size, so the least element (when it exists)
+    # tends to be an early set bit.
+    up_s = source._up_matrix()
+    sharp_idx: List[Optional[int]] = [None] * m
+    admits_lp = True
+    for f in range(m):
+        fiber = fibers[f]
+        probe = fiber
+        least = None
+        while probe:
+            x = (probe & -probe).bit_length() - 1
+            probe &= probe - 1
+            if fiber & ~up_s[x] == 0:
+                least = x
+                break
+        if least is None:
+            admits_lp = False
+            break
+        sharp_idx[f] = least
+    morphism._cache["admits_lp"] = admits_lp
+
+    sharp_table: Optional[Dict[DatabaseInstance, DatabaseInstance]] = None
+    theta_table: Optional[Dict[DatabaseInstance, DatabaseInstance]] = None
+    theta_idx: Optional[List[int]] = None
+    sharp_monotone = False
+    downward_stationary = False
+    if admits_lp:
+        sharp_table = {
+            image_states[f]: states[sharp_idx[f]] for f in range(m)
+        }
+        sharp = PosetMorphism(target, source, sharp_table)
+        sharp_order_ok = _monotone_on_comparable_pairs(
+            below_t, below_s, sharp_idx
+        )
+        sharp._cache["monotone"] = sharp_order_ok
+        # `sharp_is_monotone` mirrors the naive path's sharp.is_morphism():
+        # monotone *and* bottom-preserving.
+        sharp_monotone = sharp_order_ok and (
+            target.has_bottom()
+            and source.has_bottom()
+            and sharp_table[target.bottom()] == source.bottom()
+        )
+        morphism._cache["lri"] = admits_lp and sharp_monotone
+
+        lp_mask = 0
+        for f in range(m):
+            lp_mask |= 1 << sharp_idx[f]
+        downward_stationary = True
+        probe = lp_mask
+        while probe:
+            x = (probe & -probe).bit_length() - 1
+            probe &= probe - 1
+            if below_s[x] & ~lp_mask:
+                downward_stationary = False
+                break
+        morphism._cache["down_stat"] = downward_stationary
+
+        theta_idx = [sharp_idx[f] for f in fidx]
+        theta_table = {states[i]: states[theta_idx[i]] for i in range(n)}
+
+    analysis = StrongViewAnalysis(
+        view=view,
+        space=space,
+        morphism=morphism,
+        is_monotone=is_monotone,
+        preserves_bottom=preserves_bottom,
+        admits_least_preimages=admits_lp,
+        sharp_is_monotone=sharp_monotone,
+        is_downward_stationary=downward_stationary,
+        sharp=sharp_table,
+        theta=theta_table,
+    )
+    if analysis.is_strong and theta_idx is not None:
+        analysis._theta_key_cache = tuple(theta_idx)
+    return analysis

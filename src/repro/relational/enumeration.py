@@ -32,6 +32,9 @@ from repro.errors import (
     StateSpaceTooLargeError,
 )
 from repro.algebra.poset import FinitePoset
+from repro.kernel.bitspace import TupleCodec
+from repro.kernel.config import bitset_enabled
+from repro.kernel.enumfast import legal_subset_masks
 from repro.relational.constraints import (
     Constraint,
     EqualityGeneratingDependency,
@@ -109,8 +112,17 @@ def enumerate_instances(
         for rel in schema.relations
     }
     candidate_count = 1
-    for rows in universes.values():
-        candidate_count *= 1 << len(rows)
+    for name, rows in universes.items():
+        subset_count = 1 << len(rows)
+        # Even with pruning, every relation's subset loop iterates
+        # 2^|universe| candidates before any filtering can discard one,
+        # so the budget must bound each relation individually.
+        if subset_count > max_candidates:
+            raise StateSpaceTooLargeError(
+                f"{subset_count} candidate subsets for relation {name!r} "
+                f"exceed the budget of {max_candidates}"
+            )
+        candidate_count *= subset_count
         if candidate_count > max_candidates and not prune:
             raise StateSpaceTooLargeError(
                 f"{candidate_count}+ candidate instances exceed the "
@@ -136,14 +148,30 @@ def enumerate_instances(
     names = [rel.name for rel in schema.relations]
     arities = schema.arities()
 
+    use_bitset = bitset_enabled()
+
     def relation_choices(name: str) -> List[Relation]:
         choices = []
         singleton_constraints = per_relation[name]
+        rows = universes[name]
+        arity = arities[name]
+        if use_bitset:
+            # Constraints compiled once to mask predicates; legal masks
+            # arrive in ascending numeric order, matching `_subsets`.
+            row_count = len(rows)
+            for mask in legal_subset_masks(
+                schema, assignment, name, rows, singleton_constraints
+            ):
+                subset = [
+                    rows[i] for i in range(row_count) if (mask >> i) & 1
+                ]
+                choices.append(Relation(subset, arity))
+            return choices
         other_empty = {
             other: Relation((), arities[other]) for other in names
         }
-        for subset in _subsets(universes[name]):
-            relation = Relation(subset, arities[name])
+        for subset in _subsets(rows):
+            relation = Relation(subset, arity)
             if singleton_constraints:
                 probe = DatabaseInstance({**other_empty, name: relation})
                 if not all(
@@ -181,7 +209,15 @@ class StateSpace:
     built lazily on first use.
     """
 
-    __slots__ = ("schema", "assignment", "_states", "_index", "_poset")
+    __slots__ = (
+        "schema",
+        "assignment",
+        "_states",
+        "_index",
+        "_poset",
+        "_codec",
+        "_masks",
+    )
 
     def __init__(
         self,
@@ -200,6 +236,8 @@ class StateSpace:
         if len(self._index) != len(self._states):
             raise EnumerationError("duplicate states supplied")
         self._poset: Optional[FinitePoset] = None
+        self._codec: Optional[TupleCodec] = None
+        self._masks: Optional[Tuple[int, ...]] = None
 
     @classmethod
     def enumerate(
@@ -253,15 +291,41 @@ class StateSpace:
         """Index of a state (raises ``KeyError`` if not legal/present)."""
         return self._index[state]
 
+    # -- bitset kernel -------------------------------------------------------------
+
+    @property
+    def codec(self) -> TupleCodec:
+        """The tuple codec over the rows observed across all states.
+
+        Built from the states themselves (not the typed universe) so it
+        also covers generator-built spaces whose rows may fall outside
+        any typed universe.
+        """
+        if self._codec is None:
+            self._codec = TupleCodec.from_instances(self._states)
+        return self._codec
+
+    @property
+    def masks(self) -> Tuple[int, ...]:
+        """Per-state bitmasks under :attr:`codec`, in state order."""
+        if self._masks is None:
+            self._masks = self.codec.encode_all(self._states)
+        return self._masks
+
     # -- poset structure -----------------------------------------------------------
 
     @property
     def poset(self) -> FinitePoset:
         """The ⊥-poset of states under relation-wise inclusion."""
         if self._poset is None:
-            self._poset = FinitePoset.from_leq(
-                self._states, lambda a, b: a.issubset(b)
-            )
+            if bitset_enabled():
+                self._poset = FinitePoset.from_masks(
+                    self._states, self.masks
+                )
+            else:
+                self._poset = FinitePoset.from_leq(
+                    self._states, lambda a, b: a.issubset(b)
+                )
         return self._poset
 
     def leq(self, low: DatabaseInstance, high: DatabaseInstance) -> bool:

@@ -1,0 +1,58 @@
+"""Unit tests for :mod:`repro.kernel.config` (mode selection)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.kernel.config import (
+    KERNEL_ENV_VAR,
+    bitset_enabled,
+    kernel_mode,
+    use_kernel,
+)
+
+
+class TestKernelMode:
+    def test_default_is_bitset(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        assert kernel_mode() == "bitset"
+        assert bitset_enabled()
+
+    def test_env_var_selects_naive(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "naive")
+        assert kernel_mode() == "naive"
+        assert not bitset_enabled()
+
+    def test_env_var_is_normalised(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "  BitSet ")
+        assert kernel_mode() == "bitset"
+
+    def test_invalid_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "vectorised")
+        with pytest.raises(ReproError, match="unknown kernel mode"):
+            kernel_mode()
+
+    def test_invalid_override_raises(self):
+        with pytest.raises(ReproError, match="unknown kernel mode"):
+            with use_kernel("nope"):
+                pass  # pragma: no cover
+
+
+class TestUseKernel:
+    def test_override_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "bitset")
+        with use_kernel("naive"):
+            assert kernel_mode() == "naive"
+        assert kernel_mode() == "bitset"
+
+    def test_reentrant(self):
+        with use_kernel("naive"):
+            with use_kernel("bitset"):
+                assert kernel_mode() == "bitset"
+            assert kernel_mode() == "naive"
+
+    def test_restores_on_exception(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        with pytest.raises(RuntimeError):
+            with use_kernel("naive"):
+                raise RuntimeError("boom")
+        assert kernel_mode() == "bitset"

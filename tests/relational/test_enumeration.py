@@ -77,6 +77,25 @@ class TestEnumerate:
         with pytest.raises(StateSpaceTooLargeError):
             list(enumerate_instances(schema, assignment, max_candidates=2))
 
+    def test_budget_enforced_with_prune(self):
+        # Regression: the per-relation subset loop iterates 2^|universe|
+        # candidates before any filtering, so the budget must bound each
+        # relation even when pruning is on.
+        assignment = TypeAssignment.from_names(
+            {"A": tuple(f"a{i}" for i in range(8)), "B": ("b1",)}
+        )
+        schema = Schema(
+            name="D",
+            relations=(RelationSchema("R", ("A", "B")),),
+            constraints=(FunctionalDependency("R", ("B",), ("A",)),),
+        )
+        with pytest.raises(StateSpaceTooLargeError):
+            list(
+                enumerate_instances(
+                    schema, assignment, max_candidates=100, prune=True
+                )
+            )
+
 
 class TestConstraintClassification:
     def test_single_relation(self):
