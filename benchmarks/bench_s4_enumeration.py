@@ -14,11 +14,9 @@ bite; the closed form beats both by orders of magnitude and is the only
 one that scales.
 """
 
-import pytest
-
 from repro.kernel.config import kernel_mode
 from repro.relational.constraints import FunctionalDependency, JoinDependency
-from repro.relational.enumeration import StateSpace, enumerate_instances
+from repro.relational.enumeration import enumerate_instances
 from repro.relational.schema import RelationSchema, Schema
 from repro.typealgebra.assignment import TypeAssignment
 from repro.workloads.scenarios import abcd_chain_small

@@ -23,7 +23,6 @@ from repro.core.components import ComponentAlgebra
 from repro.kernel.config import kernel_mode
 from repro.workloads.scenarios import (
     abcd_chain_small,
-    paper_chain_instance,
     spj_inverse_scenario,
     spj_mini_scenario,
     spj_paper_instance,

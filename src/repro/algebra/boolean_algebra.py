@@ -16,7 +16,6 @@ from typing import (
     FrozenSet,
     Hashable,
     Iterable,
-    List,
     Optional,
     Tuple,
 )

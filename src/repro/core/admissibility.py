@@ -29,8 +29,8 @@ test suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.relational.enumeration import StateSpace
 from repro.relational.instances import DatabaseInstance
@@ -116,15 +116,19 @@ def nonextraneous_solutions(
     space: StateSpace,
     current: DatabaseInstance,
     target: DatabaseInstance,
+    solutions: Optional[Tuple[DatabaseInstance, ...]] = None,
 ) -> Tuple[DatabaseInstance, ...]:
     """All nonextraneous solutions of ``(current, (gamma'(current), target))``.
 
     Example 1.2.5 exhibits a request with *two* incomparable
     nonextraneous solutions -- the reason minimality cannot be required
     in general.  Solutions are enumerated once and their change-sets
-    compared pairwise (no per-candidate rescans).
+    compared pairwise (no per-candidate rescans).  Callers holding a
+    precomputed fibre (e.g. from the engine's preimage-index artifact)
+    pass it as *solutions* to skip the lookup.
     """
-    solutions = all_solutions(view, space, target)
+    if solutions is None:
+        solutions = all_solutions(view, space, target)
     flags = _nonextraneous_flags(_deltas(current, solutions))
     return tuple(s for s, keep in zip(solutions, flags) if keep)
 
@@ -134,13 +138,16 @@ def minimal_solution(
     space: StateSpace,
     current: DatabaseInstance,
     target: DatabaseInstance,
+    solutions: Optional[Tuple[DatabaseInstance, ...]] = None,
 ) -> Optional[DatabaseInstance]:
     """The minimal solution if one exists, else ``None``.
 
     The minimal solution, if any, has the smallest change-set; check
-    that candidate against all others.
+    that candidate against all others.  *solutions*, when given, is the
+    precomputed fibre of *target*.
     """
-    solutions = all_solutions(view, space, target)
+    if solutions is None:
+        solutions = all_solutions(view, space, target)
     if not solutions:
         return None
     deltas = _deltas(current, solutions)

@@ -24,7 +24,7 @@ asserts they agree on every state of every example universe.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.errors import (
     AmbiguousSolutionError,
@@ -34,7 +34,7 @@ from repro.errors import (
 from repro.relational.enumeration import StateSpace
 from repro.relational.instances import DatabaseInstance
 from repro.core.components import Component, are_strong_complements
-from repro.core.strong import StrongViewAnalysis, analyze_view
+from repro.core.strong import StrongViewAnalysis
 from repro.core.update import UpdateStrategy
 from repro.views.view import View
 

@@ -12,7 +12,7 @@ through whatever strategy serves the view.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Tuple
 
 from repro.errors import UpdateRejected
 from repro.relational.instances import DatabaseInstance

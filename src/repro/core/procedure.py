@@ -25,7 +25,7 @@ verifies (b) exhaustively, and experiment E10 reports it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Tuple
 
 from repro.errors import NotComparableError, UpdateRejected
 from repro.relational.enumeration import StateSpace

@@ -8,20 +8,28 @@ which routes each request through the paper's Update Procedure 3.2.3
 using the *smallest* available strong join complement, guaranteeing the
 canonical (complement-independent, admissible) reflection of
 Theorem 3.2.2.
+
+Since the engine layer landed this class is a thin wrapper over an
+:class:`~repro.engine.engine.Session`: every expensive derivation
+(state space, component algebra, update procedures) is memoized in the
+engine's artifact store and shared with any other session over equal
+inputs.  :meth:`update` keeps the legacy raise-on-reject contract;
+use :meth:`Session.update` directly for structured
+:class:`~repro.engine.engine.UpdateOutcome` results.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
-from repro.errors import ReproError, UpdateRejected
+from repro.engine.engine import Engine, Session, current_engine
 from repro.relational.enumeration import StateSpace
 from repro.relational.instances import DatabaseInstance
 from repro.relational.schema import Schema
 from repro.typealgebra.assignment import TypeAssignment
-from repro.core.components import Component, ComponentAlgebra
-from repro.core.procedure import UpdateProcedure, strong_join_complements
-from repro.core.update import UpdateStrategy
+from repro.core.components import ComponentAlgebra
+from repro.core.procedure import UpdateProcedure
+from repro.errors import UpdateRejected
 from repro.views.view import View
 
 
@@ -35,8 +43,11 @@ class ViewUpdateSystem:
     assignment:
         The fixed type assignment ``mu``.
     space:
-        A pre-built state space; enumerated from the schema when
+        A pre-built state space; enumerated through the engine when
         omitted (small universes only).
+    engine:
+        The engine servicing this system; defaults to the ambient
+        :func:`~repro.engine.engine.current_engine`.
     """
 
     def __init__(
@@ -44,44 +55,48 @@ class ViewUpdateSystem:
         schema: Schema,
         assignment: TypeAssignment,
         space: Optional[StateSpace] = None,
+        engine: Optional[Engine] = None,
     ):
-        self.schema = schema
-        self.assignment = assignment
-        self.space = space or StateSpace.enumerate(schema, assignment)
-        if not self.schema.has_null_model_property(assignment):
-            raise ReproError(
-                f"schema {schema.name!r} lacks the null model property; "
-                "the results of Section 3 do not apply"
-            )
-        self._views: Dict[str, View] = {}
-        self._algebra: Optional[ComponentAlgebra] = None
-        self._procedures: Dict[str, UpdateProcedure] = {}
+        self.engine = engine if engine is not None else current_engine()
+        # The session checks the null model property *before* any
+        # state-space enumeration, so inapplicable schemas fail fast.
+        self._session: Session = self.engine.session(
+            schema, assignment, space
+        )
+
+    # -- session delegation -------------------------------------------------------
+
+    @property
+    def session(self) -> Session:
+        """The underlying engine session."""
+        return self._session
+
+    @property
+    def schema(self) -> Schema:
+        return self._session.schema
+
+    @property
+    def assignment(self) -> TypeAssignment:
+        return self._session.assignment
+
+    @property
+    def space(self) -> StateSpace:
+        return self._session.space
 
     # -- registration -------------------------------------------------------------
 
     def register_view(self, view: View) -> View:
         """Register a user view; returns it for chaining."""
-        if view.base_schema is not self.schema:
-            raise ReproError(
-                f"view {view.name!r} is over a different base schema"
-            )
-        self._views[view.name] = view
-        self._procedures.pop(view.name, None)
-        return view
+        return self._session.register_view(view)
 
     def view(self, name: str) -> View:
         """Look up a registered view."""
-        try:
-            return self._views[name]
-        except KeyError:
-            raise ReproError(
-                f"no view named {name!r}; have {sorted(self._views)}"
-            ) from None
+        return self._session.view(name)
 
     @property
     def views(self) -> Tuple[View, ...]:
         """All registered views."""
-        return tuple(self._views.values())
+        return self._session.views
 
     # -- component algebra -------------------------------------------------------------
 
@@ -92,19 +107,12 @@ class ViewUpdateSystem:
 
         Registered views are automatically included as candidates.
         """
-        all_candidates = list(candidates) + list(self._views.values())
-        self._algebra = ComponentAlgebra.discover(self.space, all_candidates)
-        self._procedures.clear()
-        return self._algebra
+        return self._session.build_component_algebra(candidates)
 
     @property
     def component_algebra(self) -> ComponentAlgebra:
         """The discovered algebra; raises if not built yet."""
-        if self._algebra is None:
-            raise ReproError(
-                "component algebra not built; call build_component_algebra()"
-            )
-        return self._algebra
+        return self._session.component_algebra
 
     # -- update servicing --------------------------------------------------------------
 
@@ -115,18 +123,7 @@ class ViewUpdateSystem:
         the one that permits the most updates (Theorem 3.2.2 guarantees
         the choice does not affect the reflections that succeed).
         """
-        if view_name not in self._procedures:
-            view = self.view(view_name)
-            complements = strong_join_complements(view, self.component_algebra)
-            if not complements:
-                raise ReproError(
-                    f"view {view_name!r} has no strong join complement in "
-                    "the component algebra; register more candidates"
-                )
-            self._procedures[view_name] = UpdateProcedure(
-                view, complements[0], self.space
-            )
-        return self._procedures[view_name]
+        return self._session.procedure_for(view_name)
 
     def update(
         self,
@@ -140,12 +137,7 @@ class ViewUpdateSystem:
         :class:`~repro.errors.UpdateRejected` when the update is not
         supported (the formal "undefined" outcome).
         """
-        if base_state not in self.space:
-            raise UpdateRejected(
-                "current base state is not a legal database",
-                reason="illegal-base-state",
-            )
-        return self.procedure_for(view_name).apply(base_state, view_target)
+        return self._session.update(view_name, base_state, view_target).require()
 
     def explain_update(
         self,

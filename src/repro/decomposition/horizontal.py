@@ -19,7 +19,7 @@ operation: replace the selected cells' rows, keep the rest.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from repro.errors import SchemaError, UpdateRejected
 from repro.relational.enumeration import StateSpace
@@ -142,9 +142,32 @@ class HorizontalSchema:
         """``2^|tuple universe|`` -- no other constraints."""
         return 1 << len(self.tuple_universe())
 
-    def state_space(self) -> StateSpace:
-        """Enumerate ``LDB`` (the unconstrained powerset)."""
+    def fingerprint(self) -> str:
+        """Stable content hash of the horizontal-decomposition spec."""
+        from repro.engine.fingerprint import stable_fingerprint
+
+        return stable_fingerprint(
+            "HorizontalSchema",
+            self.relation_name,
+            self.attributes,
+            self.split_attribute,
+            self.cells,
+            {
+                attr: self.assignment.domains[AtomicType(attr)]
+                for attr in self.attributes
+                if attr != self.split_attribute
+            },
+        )
+
+    def build_state_space(self) -> StateSpace:
+        """Enumerate ``LDB`` (the unconstrained powerset), uncached."""
         return StateSpace.enumerate(self.schema, self.assignment)
+
+    def state_space(self) -> StateSpace:
+        """The state space, memoized through the active engine."""
+        from repro.engine.engine import current_engine
+
+        return current_engine().space(self.schema, self.assignment)
 
     # -- cell decomposition of states ------------------------------------------------
 

@@ -398,11 +398,29 @@ class TreeSchema:
             )
         return count
 
-    def state_space(self, validate: bool = False) -> StateSpace:
-        """The state space, from the closed-form generator."""
+    def fingerprint(self) -> str:
+        """Stable content hash of the tree specification."""
+        from repro.engine.fingerprint import stable_fingerprint
+
+        return stable_fingerprint(
+            "TreeSchema",
+            self.relation_name,
+            self.attributes,
+            self.domains,
+            self.edges,
+        )
+
+    def build_state_space(self, validate: bool = False) -> StateSpace:
+        """Materialise the space from the closed-form generator (uncached)."""
         return StateSpace.from_states(
             self.schema, self.assignment, self.all_states(), validate=validate
         )
+
+    def state_space(self, validate: bool = False) -> StateSpace:
+        """The state space, memoized through the active engine."""
+        from repro.engine.engine import current_engine
+
+        return current_engine().space_from(self, validate=validate)
 
     # -- component views ------------------------------------------------------------------
 

@@ -1,0 +1,464 @@
+"""The engine facade: compiled artifacts and update-servicing sessions.
+
+:class:`Engine` is the single entry point through which the rest of the
+library derives expensive structure from declarative inputs:
+
+* :meth:`Engine.space` / :meth:`Engine.space_from` -- the state space
+  ``LDB(D, mu)`` (enumerated or generator-built);
+* :meth:`Engine.poset` -- its ⊥-poset;
+* :meth:`Engine.analysis` -- a view's strong analysis (§2.3);
+* :meth:`Engine.preimage_index` -- a view's tabulated inverse;
+* :meth:`Engine.algebra` -- the component algebra of Theorem 2.3.4;
+* :meth:`Engine.procedure` -- Update Procedure 3.2.3 instances.
+
+Each derivation is memoized in an :class:`~repro.engine.store.ArtifactStore`
+keyed by input fingerprints and the active kernel mode, so equal inputs
+-- even independently constructed ones -- share one artifact.
+
+:meth:`Engine.session` returns a :class:`Session`: the stateful handle
+application code drives (register views, build the algebra, service
+updates).  :meth:`Session.update` returns a structured
+:class:`UpdateOutcome` instead of steering control flow by exception;
+callers that want the legacy raise-on-reject behaviour use
+:meth:`UpdateOutcome.require`.
+
+A module-level *current engine* (:func:`current_engine`) lets layers
+that predate the engine -- scenario constructors, decomposition
+generators -- route their state-space construction through whatever
+engine the caller activated, without threading a parameter through
+every signature.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.components import ComponentAlgebra
+from repro.core.procedure import UpdateProcedure, strong_join_complements
+from repro.core.strong import StrongViewAnalysis, analyze_view
+from repro.engine.fingerprint import is_content_addressed, stable_fingerprint
+from repro.engine.store import ArtifactKey, ArtifactStore
+from repro.errors import ReproError, UpdateRejected
+from repro.kernel.config import kernel_mode
+from repro.algebra.poset import FinitePoset
+from repro.relational.enumeration import StateSpace
+from repro.relational.instances import DatabaseInstance
+from repro.relational.schema import Schema
+from repro.typealgebra.assignment import TypeAssignment
+from repro.views.view import View
+
+__all__ = [
+    "Engine",
+    "Session",
+    "UpdateOutcome",
+    "current_engine",
+    "default_engine",
+    "set_default_engine",
+]
+
+
+@dataclass(frozen=True)
+class UpdateOutcome:
+    """Structured result of one view-update request.
+
+    Replaces bare-exception control flow: a rejection is a value
+    carrying the formal reason ("undefined" outcome of Procedure 3.2.3)
+    rather than only a raised error, so harness code can tabulate
+    outcomes and callers can still opt back into raising via
+    :meth:`require`.
+    """
+
+    view_name: str
+    accepted: bool
+    base_before: DatabaseInstance
+    view_target: DatabaseInstance
+    #: The reflected base state (``None`` when rejected).
+    base_after: Optional[DatabaseInstance] = None
+    #: Name of the constant strong join complement used.
+    complement: Optional[str] = None
+    #: Name of the component the target was filtered through.
+    filter_component: Optional[str] = None
+    #: Machine-readable rejection reason ("" when accepted).
+    reason: str = ""
+    #: Human-readable account of the rejection ("" when accepted).
+    message: str = ""
+    #: Admissibility evidence: why the reflection is canonical.
+    evidence: Tuple[str, ...] = ()
+    #: Wall-clock seconds spent servicing the request.
+    elapsed: float = 0.0
+
+    def require(self) -> DatabaseInstance:
+        """The new base state; raises :class:`UpdateRejected` if rejected."""
+        if not self.accepted or self.base_after is None:
+            raise UpdateRejected(
+                self.message or f"update of view {self.view_name!r} rejected",
+                reason=self.reason,
+            )
+        return self.base_after
+
+
+class Engine:
+    """Artifact-compiling facade over the paper's machinery."""
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        max_entries: int = 256,
+        cache_dir: Optional[str] = None,
+    ):
+        self.store = store or ArtifactStore(
+            max_entries=max_entries, cache_dir=cache_dir
+        )
+
+    # -- keys --------------------------------------------------------------------
+
+    @staticmethod
+    def _key(kind: str, *parts: object) -> ArtifactKey:
+        return ArtifactKey(kind, stable_fingerprint(*parts), kernel_mode())
+
+    @staticmethod
+    def _space_key(space: StateSpace) -> ArtifactKey:
+        """The canonical key under which a space anchors its dependents."""
+        return ArtifactKey("space", space.fingerprint(), kernel_mode())
+
+    # -- state spaces ------------------------------------------------------------
+
+    def space(
+        self,
+        schema: Schema,
+        assignment: TypeAssignment,
+        max_candidates: int = 1 << 22,
+        prune: bool = True,
+    ) -> StateSpace:
+        """The enumerated state space ``LDB(D, mu)`` (memoized)."""
+        key = self._key(
+            "space", "enumerate", schema, assignment, max_candidates, prune
+        )
+        space = self.store.get_or_build(
+            key,
+            lambda: StateSpace.enumerate(
+                schema, assignment, max_candidates, prune
+            ),
+            persist=True,
+        )
+        return self._anchor_space(space)
+
+    def space_from(self, spec: object, validate: bool = False) -> StateSpace:
+        """A generator-built space from a fingerprintable *spec*.
+
+        The spec must implement ``fingerprint()`` and
+        ``build_state_space(validate=...)`` (the decomposition schemas'
+        closed-form generators).
+        """
+        key = self._key("space", "spec", spec, validate)
+        space = self.store.get_or_build(
+            key,
+            lambda: spec.build_state_space(validate=validate),
+            persist=is_content_addressed(spec),
+        )
+        return self._anchor_space(space)
+
+    def _anchor_space(self, space: StateSpace) -> StateSpace:
+        """Register *space* under its canonical content key.
+
+        Request-level keys (enumeration parameters, generator specs) are
+        aliases; derived artifacts always hang off the canonical key so
+        that equal spaces reached by different routes share dependents.
+        """
+        canonical = self._space_key(space)
+        return self.store.ensure(canonical, space)
+
+    # -- derived artifacts -------------------------------------------------------
+
+    def poset(self, space: StateSpace) -> FinitePoset:
+        """The space's ⊥-poset (memoized across equal spaces)."""
+        space_key = self._space_key(space)
+        key = ArtifactKey("poset", space_key.fingerprint, space_key.kernel)
+        return self.store.get_or_build(
+            key, lambda: space.poset, dependencies=(space_key,)
+        )
+
+    def analysis(self, view: View, space: StateSpace) -> StrongViewAnalysis:
+        """The view's strong analysis over *space* (Definition 2.2/§2.3)."""
+        key = self._key("analysis", view, space)
+        return self.store.get_or_build(
+            key,
+            lambda: analyze_view(view, space),
+            dependencies=(self._space_key(space),),
+            persist=is_content_addressed(view),
+        )
+
+    def preimage_index(
+        self, view: View, space: StateSpace
+    ) -> Dict[DatabaseInstance, Tuple[DatabaseInstance, ...]]:
+        """The view's full fibre index over *space* (memoized)."""
+        key = self._key("preimages", view, space)
+        return self.store.get_or_build(
+            key,
+            lambda: view.preimage_index(space),
+            dependencies=(self._space_key(space),),
+            persist=is_content_addressed(view),
+        )
+
+    def algebra(
+        self, space: StateSpace, candidates: Iterable[View]
+    ) -> ComponentAlgebra:
+        """The component algebra discovered from *candidates* (memoized)."""
+        candidates = tuple(candidates)
+        key = self._key(
+            "algebra", space, tuple(v.fingerprint() for v in candidates)
+        )
+        persist = all(is_content_addressed(v) for v in candidates)
+        return self.store.get_or_build(
+            key,
+            lambda: ComponentAlgebra.discover(space, candidates),
+            dependencies=(self._space_key(space),),
+            persist=persist,
+        )
+
+    def procedure(
+        self, view: View, algebra: ComponentAlgebra
+    ) -> UpdateProcedure:
+        """Update Procedure 3.2.3 for *view*, using the smallest strong
+        join complement in *algebra* (canonical per Theorem 3.2.2)."""
+        space = algebra.space
+        member_fingerprints = tuple(
+            component.view.fingerprint() for component in algebra
+        )
+        key = self._key("procedure", view, space, member_fingerprints)
+
+        def build() -> UpdateProcedure:
+            complements = strong_join_complements(view, algebra)
+            if not complements:
+                raise ReproError(
+                    f"view {view.name!r} has no strong join complement in "
+                    "the component algebra; register more candidates"
+                )
+            return UpdateProcedure(view, complements[0], space)
+
+        persist = is_content_addressed(view) and all(
+            is_content_addressed(component.view) for component in algebra
+        )
+        return self.store.get_or_build(
+            key,
+            build,
+            dependencies=(self._space_key(space),),
+            persist=persist,
+        )
+
+    # -- invalidation ------------------------------------------------------------
+
+    def invalidate_space(self, space: StateSpace) -> int:
+        """Drop the space's canonical artifact and everything derived
+        from it; returns the number of artifacts dropped."""
+        return self.store.invalidate(self._space_key(space))
+
+    # -- sessions ----------------------------------------------------------------
+
+    def session(
+        self,
+        schema: Schema,
+        assignment: TypeAssignment,
+        space: Optional[StateSpace] = None,
+    ) -> "Session":
+        """A stateful update-servicing handle bound to this engine."""
+        return Session(self, schema, assignment, space)
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-artifact-kind cache counters (see :class:`ArtifactStore`)."""
+        return self.store.stats()
+
+    @contextmanager
+    def activate(self) -> Iterator["Engine"]:
+        """Make this engine the :func:`current_engine` within the block."""
+        _ACTIVE_ENGINES.append(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE_ENGINES.pop()
+
+
+class Session:
+    """One update-servicing session over a fixed ``(D, mu)``.
+
+    The null model property -- the standing precondition of every
+    Section 3 result -- is checked *before* any state-space work, so an
+    inapplicable schema fails fast instead of after an exponential
+    enumeration.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        schema: Schema,
+        assignment: TypeAssignment,
+        space: Optional[StateSpace] = None,
+    ):
+        if not schema.has_null_model_property(assignment):
+            raise ReproError(
+                f"schema {schema.name!r} lacks the null model property; "
+                "the results of Section 3 do not apply"
+            )
+        self.engine = engine
+        self.schema = schema
+        self.assignment = assignment
+        self._space = space
+        self._views: Dict[str, View] = {}
+        self._algebra: Optional[ComponentAlgebra] = None
+
+    # -- the state space (built lazily through the engine) -----------------------
+
+    @property
+    def space(self) -> StateSpace:
+        if self._space is None:
+            self._space = self.engine.space(self.schema, self.assignment)
+        return self._space
+
+    # -- registration ------------------------------------------------------------
+
+    def register_view(self, view: View) -> View:
+        """Register a user view; returns it for chaining."""
+        if (
+            view.base_schema is not self.schema
+            and view.base_schema != self.schema
+        ):
+            raise ReproError(
+                f"view {view.name!r} is over a different base schema"
+            )
+        self._views[view.name] = view
+        return view
+
+    def view(self, name: str) -> View:
+        """Look up a registered view."""
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ReproError(
+                f"no view named {name!r}; have {sorted(self._views)}"
+            ) from None
+
+    @property
+    def views(self) -> Tuple[View, ...]:
+        """All registered views."""
+        return tuple(self._views.values())
+
+    # -- component algebra -------------------------------------------------------
+
+    def build_component_algebra(
+        self, candidates: Iterable[View] = ()
+    ) -> ComponentAlgebra:
+        """Discover the component algebra from candidate views.
+
+        Registered views are automatically included as candidates.
+        """
+        all_candidates = tuple(candidates) + tuple(self._views.values())
+        self._algebra = self.engine.algebra(self.space, all_candidates)
+        return self._algebra
+
+    @property
+    def component_algebra(self) -> ComponentAlgebra:
+        """The discovered algebra; raises if not built yet."""
+        if self._algebra is None:
+            raise ReproError(
+                "component algebra not built; call build_component_algebra()"
+            )
+        return self._algebra
+
+    # -- update servicing --------------------------------------------------------
+
+    def procedure_for(self, view_name: str) -> UpdateProcedure:
+        """The canonical update procedure for a registered view."""
+        return self.engine.procedure(
+            self.view(view_name), self.component_algebra
+        )
+
+    def update(
+        self,
+        view_name: str,
+        base_state: DatabaseInstance,
+        view_target: DatabaseInstance,
+    ) -> UpdateOutcome:
+        """Service one view-update request (Procedure 3.2.3).
+
+        Never raises for the formal "undefined" outcome; inspect
+        :attr:`UpdateOutcome.accepted` / :attr:`UpdateOutcome.reason`,
+        or call :meth:`UpdateOutcome.require` for the legacy behaviour.
+        Configuration errors (unknown view, no complement) still raise.
+        """
+        started = time.perf_counter()
+        if base_state not in self.space:
+            return UpdateOutcome(
+                view_name=view_name,
+                accepted=False,
+                base_before=base_state,
+                view_target=view_target,
+                reason="illegal-base-state",
+                message="current base state is not a legal database",
+                elapsed=time.perf_counter() - started,
+            )
+        procedure = self.procedure_for(view_name)
+        complement = procedure.complement.name
+        filter_component = procedure.filter_component.name
+        try:
+            solution = procedure.apply(base_state, view_target)
+        except UpdateRejected as exc:
+            return UpdateOutcome(
+                view_name=view_name,
+                accepted=False,
+                base_before=base_state,
+                view_target=view_target,
+                complement=complement,
+                filter_component=filter_component,
+                reason=exc.reason,
+                message=str(exc),
+                elapsed=time.perf_counter() - started,
+            )
+        evidence = (
+            f"constant complement: {complement!r} held fixed",
+            f"target filtered through component {filter_component!r}",
+            "reflection is complement-independent and admissible "
+            "(Theorem 3.2.2)",
+        )
+        return UpdateOutcome(
+            view_name=view_name,
+            accepted=True,
+            base_before=base_state,
+            view_target=view_target,
+            base_after=solution,
+            complement=complement,
+            filter_component=filter_component,
+            evidence=evidence,
+            elapsed=time.perf_counter() - started,
+        )
+
+
+# -- the current-engine protocol ---------------------------------------------------
+
+_DEFAULT_ENGINE: Optional[Engine] = None
+_ACTIVE_ENGINES: List[Engine] = []
+
+
+def default_engine() -> Engine:
+    """The process-wide fallback engine (created on first use)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = Engine()
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: Optional[Engine]) -> None:
+    """Replace the process-wide fallback engine (``None`` resets it)."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+
+
+def current_engine() -> Engine:
+    """The innermost :meth:`Engine.activate`\\ d engine, else the default."""
+    if _ACTIVE_ENGINES:
+        return _ACTIVE_ENGINES[-1]
+    return default_engine()

@@ -1,0 +1,252 @@
+"""The content-addressed artifact store behind the engine facade.
+
+Every derived structure the library computes -- state spaces, ⊥-posets,
+strong analyses, preimage indexes, component algebras, update
+procedures -- is an *artifact*: a pure function of fingerprintable
+inputs plus the active kernel mode.  :class:`ArtifactStore` memoizes
+them under :class:`ArtifactKey`\\ s with
+
+* an in-memory LRU (bounded by ``max_entries``),
+* an optional on-disk pickle cache (directory from the
+  ``REPRO_CACHE_DIR`` environment variable or the constructor), used
+  only for artifacts whose inputs are content-addressed,
+* dependency-aware invalidation (dropping a space drops the posets,
+  analyses, algebras, and procedures derived from it), and
+* per-kind hit/miss/build-time counters for the harness' ``--stats``
+  report.
+
+The store is deliberately ignorant of *what* it caches: builders are
+supplied by the :class:`~repro.engine.engine.Engine`, which owns the
+mapping from semantic operations to keys and dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional, Set
+
+__all__ = ["ArtifactKey", "ArtifactStore", "CACHE_DIR_ENV_VAR", "KindStats"]
+
+#: Environment variable naming the on-disk cache directory.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Identity of one cached artifact.
+
+    ``kind`` names the derivation ("space", "analysis", ...); the
+    fingerprint hashes the inputs; ``kernel`` records the active
+    computation mode, since bitset- and naive-built structures may
+    differ representationally even when semantically equal.
+    """
+
+    kind: str
+    fingerprint: str
+    kernel: str
+
+    def filename(self) -> str:
+        """The on-disk cache filename for this key."""
+        return f"{self.kind}-{self.kernel}-{self.fingerprint}.pkl"
+
+
+@dataclass
+class KindStats:
+    """Counters for one artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    builds: int = 0
+    build_seconds: float = 0.0
+    evictions: int = 0
+    persist_failures: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "builds": self.builds,
+            "build_seconds": round(self.build_seconds, 6),
+            "evictions": self.evictions,
+            "persist_failures": self.persist_failures,
+        }
+
+
+@dataclass
+class _Entry:
+    value: object
+    dependencies: tuple = ()
+
+
+@dataclass
+class ArtifactStore:
+    """LRU + optional disk cache of artifacts keyed by fingerprints."""
+
+    max_entries: int = 256
+    cache_dir: Optional[str] = None
+    _entries: "OrderedDict[ArtifactKey, _Entry]" = field(
+        default_factory=OrderedDict, repr=False
+    )
+    _dependents: Dict[ArtifactKey, Set[ArtifactKey]] = field(
+        default_factory=dict, repr=False
+    )
+    _stats: Dict[str, KindStats] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cache_dir is None:
+            self.cache_dir = os.environ.get(CACHE_DIR_ENV_VAR) or None
+        if self.max_entries < 1:
+            raise ValueError("max_entries must be positive")
+
+    # -- core protocol -----------------------------------------------------------
+
+    def get_or_build(
+        self,
+        key: ArtifactKey,
+        builder: Callable[[], object],
+        dependencies: Iterable[ArtifactKey] = (),
+        persist: bool = False,
+    ) -> object:
+        """The artifact for *key*, from memory, disk, or *builder*.
+
+        *dependencies* are the keys this artifact was derived from:
+        invalidating any of them invalidates this artifact too.
+        *persist* opts the artifact into the on-disk cache; callers must
+        only set it for content-addressed inputs (transient fingerprints
+        are meaningless in other processes).
+        """
+        stats = self._stats.setdefault(key.kind, KindStats())
+        entry = self._entries.get(key)
+        if entry is not None:
+            stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry.value
+
+        stats.misses += 1
+        dependencies = tuple(dependencies)
+        value = self._load_from_disk(key) if persist else None
+        if value is not None:
+            stats.disk_hits += 1
+        else:
+            started = time.perf_counter()
+            value = builder()
+            stats.builds += 1
+            stats.build_seconds += time.perf_counter() - started
+            if persist:
+                self._save_to_disk(key, value, stats)
+        self._insert(key, _Entry(value, dependencies))
+        return value
+
+    def ensure(
+        self,
+        key: ArtifactKey,
+        value: object,
+        dependencies: Iterable[ArtifactKey] = (),
+    ) -> object:
+        """Register an already-built value without touching the counters.
+
+        Used to anchor aliases (a space reached via enumeration
+        parameters also lives under its canonical content key); returns
+        the previously registered value if one exists.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            return entry.value
+        self._insert(key, _Entry(value, tuple(dependencies)))
+        return value
+
+    def peek(self, key: ArtifactKey) -> Optional[object]:
+        """The cached value, without counting a hit or touching the LRU."""
+        entry = self._entries.get(key)
+        return None if entry is None else entry.value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    # -- invalidation ------------------------------------------------------------
+
+    def invalidate(self, key: ArtifactKey) -> int:
+        """Drop *key* and everything derived from it; return the count."""
+        dropped = 0
+        frontier = [key]
+        while frontier:
+            current = frontier.pop()
+            if current in self._entries:
+                del self._entries[current]
+                dropped += 1
+            frontier.extend(self._dependents.pop(current, ()))
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the disk cache is untouched)."""
+        self._entries.clear()
+        self._dependents.clear()
+
+    # -- statistics --------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-kind counters, keyed by artifact kind."""
+        return {
+            kind: stats.as_dict() for kind, stats in sorted(self._stats.items())
+        }
+
+    def reset_stats(self) -> None:
+        self._stats.clear()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _insert(self, key: ArtifactKey, entry: _Entry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        for dependency in entry.dependencies:
+            self._dependents.setdefault(dependency, set()).add(key)
+        while len(self._entries) > self.max_entries:
+            evicted, _ = self._entries.popitem(last=False)
+            self._stats.setdefault(evicted.kind, KindStats()).evictions += 1
+
+    def _disk_path(self, key: ArtifactKey) -> Optional[Path]:
+        if not self.cache_dir:
+            return None
+        return Path(self.cache_dir) / key.filename()
+
+    def _load_from_disk(self, key: ArtifactKey) -> Optional[object]:
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # Missing or corrupt entry: rebuild (and overwrite) below.
+            # Unpickling arbitrary bytes can raise nearly anything
+            # (ValueError, KeyError, ImportError, ...), so the guard is
+            # deliberately broad -- a cache must never be load-bearing.
+            return None
+
+    def _save_to_disk(
+        self, key: ArtifactKey, value: object, stats: KindStats
+    ) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            with tmp.open("wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+        except (OSError, pickle.PickleError, TypeError, AttributeError):
+            # Persistence is best-effort; unpicklable or unwritable
+            # artifacts simply stay memory-only.
+            stats.persist_failures += 1

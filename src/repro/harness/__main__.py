@@ -1,7 +1,11 @@
 """Run every experiment and print the report: ``python -m repro.harness``.
 
 ``python -m repro.harness --markdown`` emits the per-experiment record
-in the format used by ``EXPERIMENTS.md``.
+in the format used by ``EXPERIMENTS.md``.  ``--stats`` appends the
+engine's artifact-cache counters: all requested experiments run through
+one shared :class:`~repro.engine.engine.Engine`, so recurring universes
+(the small ABCD chain of E8-E11, the two-unary universe of E7/E10/E12)
+surface as cache hits rather than repeated enumerations.
 """
 
 from __future__ import annotations
@@ -9,7 +13,8 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.engine.engine import Engine
+from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
 
 
 def _markdown(results) -> str:
@@ -28,18 +33,36 @@ def _markdown(results) -> str:
     return "\n".join(lines)
 
 
+def _stats_report(engine: Engine) -> str:
+    lines = ["engine artifact cache:"]
+    for kind, counters in engine.stats().items():
+        lines.append(
+            f"  {kind}: {counters['hits']} hits, {counters['misses']} misses,"
+            f" {counters['builds']} builds"
+            f" ({counters['build_seconds']:.3f}s building)"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: list[str]) -> int:
     """Run the requested experiments (all by default)."""
     markdown = "--markdown" in argv
+    show_stats = "--stats" in argv
     requested = [a for a in argv if not a.startswith("--")] or list(
         ALL_EXPERIMENTS
     )
+    unknown = [a for a in requested if a.upper() not in ALL_EXPERIMENTS]
+    if unknown:
+        known = ", ".join(ALL_EXPERIMENTS)
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        print(f"known experiments: {known}")
+        return 2
+    engine = Engine()
     failures = 0
     results = []
     for experiment_id in requested:
-        func = ALL_EXPERIMENTS[experiment_id.upper()]
         start = time.perf_counter()
-        result = func()
+        result = run_experiment(experiment_id.upper(), engine=engine)
         elapsed = time.perf_counter() - start
         results.append((result, elapsed))
         if not markdown:
@@ -50,7 +73,12 @@ def main(argv: list[str]) -> int:
             failures += 1
     if markdown:
         print(_markdown(results))
+        if show_stats:
+            print(_stats_report(engine))
         return 1 if failures else 0
+    if show_stats:
+        print(_stats_report(engine))
+        print()
     if failures:
         print(f"{failures} experiment(s) FAILED")
         return 1

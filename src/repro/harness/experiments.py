@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.engine.engine import Engine, current_engine
 from repro.errors import UpdateRejected
 from repro.relational.constraints import JoinDependency
 from repro.relational.instances import DatabaseInstance
@@ -22,9 +23,7 @@ from repro.core.admissibility import (
     analyze_admissibility,
     find_functoriality_violation,
     find_symmetry_violation,
-    nonextraneous_solutions,
 )
-from repro.core.components import ComponentAlgebra
 from repro.core.constant_complement import (
     ComponentTranslator,
     ConstantComplementTranslator,
@@ -35,7 +34,6 @@ from repro.core.procedure import (
     strong_join_complements,
     translations_coincide,
 )
-from repro.core.strong import analyze_view
 from repro.decomposition.projections import projection_view
 from repro.strategies.exhaustive import SolutionEnumerator
 from repro.strategies.minimal_change import MinimalChangeStrategy
@@ -343,7 +341,7 @@ def experiment_e7() -> ExperimentResult:
     ):
         result.expect(
             f"{view.name} strong",
-            analyze_view(view, space).is_strong,
+            current_engine().analysis(view, space).is_strong,
             expected,
         )
     family = scenario.boolean_function_views()
@@ -355,7 +353,7 @@ def experiment_e7() -> ExperimentResult:
     strong_complements = [
         name
         for name in join_complements
-        if analyze_view(family[name], space).is_strong
+        if current_engine().analysis(family[name], space).is_strong
     ]
     result.expect(
         "join complements of Γ1 in 16-view family", len(join_complements), 4
@@ -393,7 +391,7 @@ def experiment_e8() -> ExperimentResult:
     )
     chain = abcd_chain_small()
     space = chain.state_space()
-    algebra = ComponentAlgebra.discover(space, chain.all_component_views())
+    algebra = current_engine().algebra(space, chain.all_component_views())
     result.expect("algebra size", len(algebra), 8)
     result.expect("algebra is Boolean", algebra.is_boolean(), True)
     result.expect(
@@ -437,7 +435,7 @@ def experiment_e9() -> ExperimentResult:
     )
     chain = abcd_chain_small()
     space = chain.state_space()
-    algebra = ComponentAlgebra.discover(space, chain.all_component_views())
+    algebra = current_engine().algebra(space, chain.all_component_views())
     for component in algebra:
         translator = ComponentTranslator.for_component(component, space)
         targets = component.view.image_states(space)
@@ -480,7 +478,7 @@ def experiment_e10() -> ExperimentResult:
     )
     chain = abcd_chain_small()
     space = chain.state_space()
-    algebra = ComponentAlgebra.discover(space, chain.all_component_views())
+    algebra = current_engine().algebra(space, chain.all_component_views())
     gabd = projection_view(chain, ("A", "B", "D"))
     complements = strong_join_complements(gabd, algebra)
     result.expect(
@@ -531,7 +529,7 @@ def experiment_e11() -> ExperimentResult:
     )
     chain = abcd_chain_small()
     space = chain.state_space()
-    algebra = ComponentAlgebra.discover(space, chain.all_component_views())
+    algebra = current_engine().algebra(space, chain.all_component_views())
     gabd = projection_view(chain, ("A", "B", "D"))
     procedure = UpdateProcedure(gabd, algebra.named("Γ°BCD"), space)
     state = chain.state_from_edges(
@@ -630,7 +628,7 @@ def experiment_x1() -> ExperimentResult:
     )
     space = star.state_space()
     result.expect("states = product of edge powersets", len(space), 64)
-    algebra = ComponentAlgebra.discover(space, star.all_component_views())
+    algebra = current_engine().algebra(space, star.all_component_views())
     result.expect("algebra size", len(algebra), 8)
     result.expect("algebra is Boolean", algebra.is_boolean(), True)
     ab = algebra.named("Γ°AB")
@@ -667,9 +665,7 @@ def experiment_x2() -> ExperimentResult:
         cells={"eu": ("de", "fr"), "us": ("ny",)},
     )
     space = accounts.state_space()
-    algebra = ComponentAlgebra.discover(
-        space, accounts.all_component_views()
-    )
+    algebra = current_engine().algebra(space, accounts.all_component_views())
     result.expect("algebra size", len(algebra), 4)
     result.expect("algebra is Boolean", algebra.is_boolean(), True)
     eu = algebra.named("σ[eu]")
@@ -703,11 +699,28 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by id ("E1" ... "E12")."""
-    return ALL_EXPERIMENTS[experiment_id]()
+def run_experiment(
+    experiment_id: str, engine: Optional[Engine] = None
+) -> ExperimentResult:
+    """Run one experiment by id ("E1" ... "E12").
+
+    The experiment's scenario construction and analyses route through
+    *engine* (default: the ambient engine), so artifacts are shared
+    with previous runs over the same universes.
+    """
+    engine = engine if engine is not None else current_engine()
+    with engine.activate():
+        return ALL_EXPERIMENTS[experiment_id]()
 
 
-def run_all() -> List[ExperimentResult]:
-    """Run every experiment, in order."""
-    return [func() for func in ALL_EXPERIMENTS.values()]
+def run_all(engine: Optional[Engine] = None) -> List[ExperimentResult]:
+    """Run every experiment, in order, sharing one engine.
+
+    Universes recur across experiments (E8-E11 all analyse the small
+    ABCD chain; E7/E10/E12 share the two-unary universe), so a shared
+    engine turns repeated state-space enumerations and algebra
+    discoveries into artifact-cache hits -- see ``engine.stats()``.
+    """
+    engine = engine if engine is not None else current_engine()
+    with engine.activate():
+        return [func() for func in ALL_EXPERIMENTS.values()]

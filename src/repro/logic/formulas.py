@@ -16,7 +16,7 @@ import itertools
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Mapping, Tuple
 
-from repro.logic.terms import Const, Term, Var
+from repro.logic.terms import Term, Var
 from repro.typealgebra.types import TypeExpr
 
 

@@ -15,10 +15,10 @@ termination is then only guaranteed by the ``max_rounds`` bound.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, Set, Tuple
 
 from repro.errors import EvaluationError
-from repro.logic.terms import Const, Var
+from repro.logic.terms import Const
 from repro.relational.constraints import (
     TupleGeneratingDependency,
     _atom_matches,

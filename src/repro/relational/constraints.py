@@ -19,14 +19,13 @@ chase in :mod:`repro.relational.chase`).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, is_dataclass
 from typing import Dict, Iterator, Mapping, Sequence, Tuple
 
 from repro.errors import SchemaError, UnknownAttributeError
 from repro.logic.formulas import (
     And,
     Eq,
-    Exists,
     Formula,
     Implies,
     RelAtom,
@@ -43,6 +42,22 @@ from repro.typealgebra.types import TypeExpr
 
 class Constraint:
     """Abstract base class of all integrity constraints."""
+
+    def fingerprint(self) -> str:
+        """Stable content hash (used by the engine's artifact cache).
+
+        Concrete constraints are frozen dataclasses over declarative
+        content (attribute tuples, type expressions, formulas), so the
+        generic dataclass tokenization covers them all.
+        """
+        from repro.engine.fingerprint import (
+            dataclass_token,
+            stable_fingerprint,
+        )
+
+        if is_dataclass(self):
+            return stable_fingerprint(dataclass_token(self))
+        return stable_fingerprint(type(self).__qualname__, repr(self))
 
     def holds(
         self,

@@ -8,7 +8,7 @@ interactive sessions can show states the way the paper prints them
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.relational.instances import DatabaseInstance
 from repro.relational.relations import Relation

@@ -26,6 +26,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
+from repro.engine.fingerprint import stable_fingerprint
 from repro.errors import (
     EnumerationError,
     IllegalInstanceError,
@@ -217,6 +218,7 @@ class StateSpace:
         "_poset",
         "_codec",
         "_masks",
+        "_fingerprint",
     )
 
     def __init__(
@@ -238,6 +240,7 @@ class StateSpace:
         self._poset: Optional[FinitePoset] = None
         self._codec: Optional[TupleCodec] = None
         self._masks: Optional[Tuple[int, ...]] = None
+        self._fingerprint: Optional[str] = None
 
     @classmethod
     def enumerate(
@@ -362,6 +365,44 @@ class StateSpace:
         if intersection in self._index:
             return intersection
         return self.poset.meet(a, b)
+
+    # -- identity ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of ``(D, mu, LDB(D, mu))`` (memoized).
+
+        Hashing the states themselves (not just the schema and
+        assignment) keeps generator-built spaces honest: two spaces over
+        the same schema but different supplied state sets differ.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = stable_fingerprint(
+                "StateSpace", self.schema, self.assignment, self._states
+            )
+        return self._fingerprint
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StateSpace):
+            return NotImplemented
+        if self is other:
+            return True
+        return self.fingerprint() == other.fingerprint()
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint())
+
+    # -- pickling ------------------------------------------------------------------
+    #
+    # Lazy derived structure (poset, codec, masks) is rebuilt on demand;
+    # the memoized fingerprint is dropped because spaces over schemas
+    # with transient mappings are only fingerprintable in-process.
+
+    def __getstate__(self):
+        return (self.schema, self.assignment, self._states)
+
+    def __setstate__(self, state) -> None:
+        schema, assignment, states = state
+        self.__init__(schema, assignment, states)
 
     def __repr__(self) -> str:
         return (

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.engine.fingerprint import stable_fingerprint
 from repro.errors import (
     ArityError,
     ConstraintViolation,
@@ -72,6 +73,12 @@ class RelationSchema:
             raise UnknownAttributeError(
                 f"relation {self.name!r} has no attribute {attribute!r}"
             ) from None
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this relation schema."""
+        return stable_fingerprint(
+            "RelationSchema", self.name, self.attributes, self.column_types
+        )
 
 
 @dataclass(frozen=True)
@@ -180,6 +187,23 @@ class Schema:
         Section 3 of the paper.
         """
         return self.is_legal(self.empty_instance(), assignment)
+
+    # -- fingerprinting ----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the full ``(Rel(D), Con(D))`` pair.
+
+        Two independently constructed but equal schemas fingerprint
+        identically, so they share every artifact the engine layer
+        derives (state spaces, analyses, component algebras).
+        """
+        return stable_fingerprint(
+            "Schema",
+            self.name,
+            self.relations,
+            self.constraints,
+            self.enforce_column_types,
+        )
 
     # -- construction helpers ------------------------------------------------------
 

@@ -11,14 +11,14 @@ there?* (more than one exactly when no minimal one exists).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
+from repro.engine.engine import Engine, current_engine
 from repro.relational.enumeration import StateSpace
 from repro.relational.instances import DatabaseInstance
 from repro.core.admissibility import (
-    all_solutions,
-    is_minimal_solution,
-    is_nonextraneous_solution,
+    minimal_solution,
+    nonextraneous_solutions,
 )
 from repro.views.view import View
 
@@ -51,29 +51,42 @@ class SolutionReport:
 
 
 class SolutionEnumerator:
-    """Enumerate and classify all solutions of view update requests."""
+    """Enumerate and classify all solutions of view update requests.
 
-    def __init__(self, view: View, space: StateSpace):
+    The full fibre index ``view state -> preimages`` comes from the
+    engine's artifact store, so enumerators over the same view and
+    space -- across strategies, experiments, sessions -- share one
+    tabulated inverse.
+    """
+
+    def __init__(
+        self, view: View, space: StateSpace, engine: Optional[Engine] = None
+    ):
         self.view = view
         self.space = space
+        self.engine = engine if engine is not None else current_engine()
+        self._fibres: Optional[
+            Dict[DatabaseInstance, Tuple[DatabaseInstance, ...]]
+        ] = None
+
+    def solutions_for(
+        self, target: DatabaseInstance
+    ) -> Tuple[DatabaseInstance, ...]:
+        """All base states achieving *target* (engine-memoized)."""
+        if self._fibres is None:
+            self._fibres = self.engine.preimage_index(self.view, self.space)
+        return self._fibres.get(target, ())
 
     def report(
         self, current: DatabaseInstance, target: DatabaseInstance
     ) -> SolutionReport:
         """Full classification for one request."""
-        solutions = all_solutions(self.view, self.space, target)
-        nonextraneous = tuple(
-            s
-            for s in solutions
-            if is_nonextraneous_solution(self.view, self.space, current, s)
+        solutions = self.solutions_for(target)
+        nonextraneous = nonextraneous_solutions(
+            self.view, self.space, current, target, solutions=solutions
         )
-        minimal = next(
-            (
-                s
-                for s in solutions
-                if is_minimal_solution(self.view, self.space, current, s)
-            ),
-            None,
+        minimal = minimal_solution(
+            self.view, self.space, current, target, solutions=solutions
         )
         return SolutionReport(
             current=current,

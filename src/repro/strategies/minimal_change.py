@@ -20,8 +20,9 @@ constant-component-complement approach.
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Dict, Literal, Optional, Tuple
 
+from repro.engine.engine import Engine, current_engine
 from repro.errors import UpdateRejected
 from repro.relational.enumeration import StateSpace
 from repro.relational.instances import DatabaseInstance
@@ -41,7 +42,30 @@ def _deterministic_pick(current, candidates):
     )
 
 
-class MinimalChangeStrategy(UpdateStrategy):
+class _EngineBackedStrategy(UpdateStrategy):
+    """Shared plumbing: the fibre index comes from the engine's store."""
+
+    def __init__(
+        self,
+        view: View,
+        space: StateSpace,
+        engine: Optional[Engine] = None,
+    ):
+        super().__init__(view, space)
+        self.engine = engine if engine is not None else current_engine()
+        self._fibres: Optional[
+            Dict[DatabaseInstance, Tuple[DatabaseInstance, ...]]
+        ] = None
+
+    def solutions_for(
+        self, target: DatabaseInstance
+    ) -> Tuple[DatabaseInstance, ...]:
+        if self._fibres is None:
+            self._fibres = self.engine.preimage_index(self.view, self.space)
+        return self._fibres.get(target, ())
+
+
+class MinimalChangeStrategy(_EngineBackedStrategy):
     """Pick the minimal solution; configurable behaviour when none exists."""
 
     def __init__(
@@ -49,8 +73,9 @@ class MinimalChangeStrategy(UpdateStrategy):
         view: View,
         space: StateSpace,
         tie_break: Literal["reject", "pick"] = "reject",
+        engine: Optional[Engine] = None,
     ):
-        super().__init__(view, space)
+        super().__init__(view, space, engine)
         if tie_break not in ("reject", "pick"):
             raise ValueError(f"unknown tie_break {tie_break!r}")
         self.tie_break = tie_break
@@ -58,11 +83,14 @@ class MinimalChangeStrategy(UpdateStrategy):
     def apply(
         self, state: DatabaseInstance, target: DatabaseInstance
     ) -> DatabaseInstance:
-        minimal = minimal_solution(self.view, self.space, state, target)
+        solutions = self.solutions_for(target)
+        minimal = minimal_solution(
+            self.view, self.space, state, target, solutions=solutions
+        )
         if minimal is not None:
             return minimal
         candidates = nonextraneous_solutions(
-            self.view, self.space, state, target
+            self.view, self.space, state, target, solutions=solutions
         )
         if not candidates:
             raise UpdateRejected(
@@ -77,14 +105,18 @@ class MinimalChangeStrategy(UpdateStrategy):
         return _deterministic_pick(state, candidates)
 
 
-class NonextraneousPickStrategy(UpdateStrategy):
+class NonextraneousPickStrategy(_EngineBackedStrategy):
     """Always return a deterministically chosen nonextraneous solution."""
 
     def apply(
         self, state: DatabaseInstance, target: DatabaseInstance
     ) -> DatabaseInstance:
         candidates = nonextraneous_solutions(
-            self.view, self.space, state, target
+            self.view,
+            self.space,
+            state,
+            target,
+            solutions=self.solutions_for(target),
         )
         if not candidates:
             raise UpdateRejected(

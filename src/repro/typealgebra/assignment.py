@@ -112,3 +112,13 @@ class TypeAssignment:
     def sorted_extension(self, expr: TypeExpr) -> Tuple[object, ...]:
         """Extension of *expr* in a deterministic order (by ``repr``)."""
         return tuple(sorted(self.extension(expr), key=repr))
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the atom extensions.
+
+        Keys the engine's artifact cache: two assignments with equal
+        domains share every ``LDB(D, mu)``-derived artifact.
+        """
+        from repro.engine.fingerprint import stable_fingerprint
+
+        return stable_fingerprint("TypeAssignment", self.domains)

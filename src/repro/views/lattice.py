@@ -14,7 +14,7 @@ of partitions where they exist as views.  Two views are:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, Tuple
 
 from repro.relational.enumeration import StateSpace
 from repro.views.mappings import PairingMapping

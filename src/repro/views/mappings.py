@@ -12,8 +12,13 @@ Example 1.3.6 could also be given this way).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Tuple
+from typing import Callable, Dict, Mapping
 
+from repro.engine.fingerprint import (
+    contains_transient,
+    stable_fingerprint,
+    transient_token,
+)
 from repro.errors import EvaluationError, SchemaError
 from repro.relational.instances import DatabaseInstance
 from repro.relational.queries import Query
@@ -24,6 +29,11 @@ from repro.typealgebra.assignment import TypeAssignment
 class DatabaseMapping:
     """Abstract database mapping between two schemas."""
 
+    #: Whether :meth:`fingerprint` is stable across processes.  Mappings
+    #: wrapping arbitrary callables set this ``False``; artifacts derived
+    #: from them are then never persisted to the on-disk cache.
+    is_content_addressed: bool = True
+
     def apply(
         self, instance: DatabaseInstance, assignment: TypeAssignment
     ) -> DatabaseInstance:
@@ -32,6 +42,10 @@ class DatabaseMapping:
 
     def target_arities(self) -> Dict[str, int]:
         """Signature of the produced instances (name -> arity)."""
+        raise NotImplementedError
+
+    def fingerprint(self) -> str:
+        """Stable content hash keying the engine's artifact cache."""
         raise NotImplementedError
 
 
@@ -64,6 +78,15 @@ class QueryMapping(DatabaseMapping):
     def target_arities(self) -> Dict[str, int]:
         return {name: q.arity for name, q in self._queries.items()}
 
+    def fingerprint(self) -> str:
+        return stable_fingerprint("QueryMapping", self._queries)
+
+    @property
+    def is_content_addressed(self) -> bool:  # type: ignore[override]
+        # A query tree is declarative unless a Select smuggled in a raw
+        # Python predicate, which only tokenizes per-process.
+        return not contains_transient(self._queries)
+
     def __repr__(self) -> str:
         return f"QueryMapping({sorted(self._queries)})"
 
@@ -86,6 +109,8 @@ class FunctionMapping(DatabaseMapping):
         self._arities = dict(arities)
         self.label = label
 
+    is_content_addressed = False
+
     def apply(self, instance, assignment) -> DatabaseInstance:
         result = self._func(instance, assignment)
         if not isinstance(result, DatabaseInstance):
@@ -96,6 +121,13 @@ class FunctionMapping(DatabaseMapping):
 
     def target_arities(self) -> Dict[str, int]:
         return dict(self._arities)
+
+    def fingerprint(self) -> str:
+        # Arbitrary callables have no content hash; a per-process token
+        # still lets repeated *uses* of this object share artifacts.
+        return stable_fingerprint(
+            "FunctionMapping", transient_token(self), self._arities, self.label
+        )
 
     def __repr__(self) -> str:
         return f"FunctionMapping({self.label or self._func!r})"
@@ -112,6 +144,9 @@ class IdentityMapping(DatabaseMapping):
 
     def target_arities(self) -> Dict[str, int]:
         return self._schema.arities()
+
+    def fingerprint(self) -> str:
+        return stable_fingerprint("IdentityMapping", self._schema)
 
     def __repr__(self) -> str:
         return f"IdentityMapping({self._schema.name!r})"
@@ -131,6 +166,9 @@ class ZeroMapping(DatabaseMapping):
     def target_arities(self) -> Dict[str, int]:
         return {}
 
+    def fingerprint(self) -> str:
+        return stable_fingerprint("ZeroMapping")
+
     def __repr__(self) -> str:
         return "ZeroMapping()"
 
@@ -147,6 +185,19 @@ class ComposedMapping(DatabaseMapping):
 
     def target_arities(self) -> Dict[str, int]:
         return self.outer.target_arities()
+
+    def fingerprint(self) -> str:
+        return stable_fingerprint(
+            "ComposedMapping", self.outer.fingerprint(), self.inner.fingerprint()
+        )
+
+    @property
+    def is_content_addressed(self) -> bool:  # type: ignore[override]
+        from repro.engine.fingerprint import is_content_addressed
+
+        return is_content_addressed(self.outer) and is_content_addressed(
+            self.inner
+        )
 
     def __repr__(self) -> str:
         return f"ComposedMapping({self.outer!r} ∘ {self.inner!r})"
@@ -188,6 +239,19 @@ class PairingMapping(DatabaseMapping):
             }
         )
         return arities
+
+    def fingerprint(self) -> str:
+        return stable_fingerprint(
+            "PairingMapping", self.left.fingerprint(), self.right.fingerprint()
+        )
+
+    @property
+    def is_content_addressed(self) -> bool:  # type: ignore[override]
+        from repro.engine.fingerprint import is_content_addressed
+
+        return is_content_addressed(self.left) and is_content_addressed(
+            self.right
+        )
 
     def __repr__(self) -> str:
         return f"PairingMapping({self.left!r}, {self.right!r})"

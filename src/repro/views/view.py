@@ -11,6 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.engine.fingerprint import (
+    is_content_addressed as fingerprint_is_content_addressed,
+    stable_fingerprint,
+)
 from repro.errors import NotSurjectiveError, SchemaError
 from repro.algebra.partitions import Partition
 from repro.relational.enumeration import StateSpace
@@ -44,6 +48,7 @@ class View:
         "base_schema",
         "view_schema",
         "mapping",
+        "_fingerprint",
         "_image_cache",
         "_kernel_cache",
         "_preimage_cache",
@@ -69,12 +74,58 @@ class View:
         self.base_schema = base_schema
         self.view_schema = view_schema
         self.mapping = mapping
+        self._fingerprint: Optional[str] = None
         self._image_cache: Dict[int, Tuple[DatabaseInstance, ...]] = {}
         self._kernel_cache: Dict[int, Partition] = {}
         self._preimage_cache: Dict[int, Dict[DatabaseInstance, Tuple[DatabaseInstance, ...]]] = {}
 
     def __repr__(self) -> str:
         return f"View({self.name!r})"
+
+    # -- fingerprinting ----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable content hash of ``(V, gamma)`` (memoized).
+
+        Two independently constructed but equal views fingerprint
+        identically and therefore share every engine artifact (strong
+        analysis, preimage index, update procedure).
+        """
+        if self._fingerprint is None:
+            self._fingerprint = stable_fingerprint(
+                "View",
+                self.name,
+                self.base_schema,
+                self.view_schema,
+                self.mapping,
+            )
+        return self._fingerprint
+
+    @property
+    def is_content_addressed(self) -> bool:
+        """True iff the fingerprint is stable across processes."""
+        return fingerprint_is_content_addressed(self.mapping)
+
+    # -- pickling ----------------------------------------------------------------
+    #
+    # Per-space caches are keyed by ``id(space)``; after unpickling in a
+    # different process those ids could collide with unrelated spaces, so
+    # the caches are dropped.  The memoized fingerprint is dropped too:
+    # transient fingerprints are only meaningful in-process.
+
+    def __getstate__(self):
+        return (self.name, self.base_schema, self.view_schema, self.mapping)
+
+    def __setstate__(self, state) -> None:
+        name, base_schema, view_schema, mapping = state
+        self.name = name
+        self.base_schema = base_schema
+        self.view_schema = view_schema
+        self.mapping = mapping
+        self._fingerprint = None
+        self._image_cache = {}
+        self._kernel_cache = {}
+        self._preimage_cache = {}
 
     # -- pointwise application --------------------------------------------------
 
@@ -110,10 +161,15 @@ class View:
             )
         return self._kernel_cache[key]
 
-    def preimages(
-        self, space: StateSpace, view_state: DatabaseInstance
-    ) -> Tuple[DatabaseInstance, ...]:
-        """All base states mapping to *view_state* (cached per space)."""
+    def preimage_index(
+        self, space: StateSpace
+    ) -> Dict[DatabaseInstance, Tuple[DatabaseInstance, ...]]:
+        """The full fibre index ``view state -> (gamma')^{-1}`` (cached).
+
+        This is the tabulated inverse that every update strategy walks;
+        the engine layer memoizes it as an artifact so that independent
+        strategies over the same view and space share one table.
+        """
         key = id(space)
         if key not in self._preimage_cache:
             fibres: Dict[DatabaseInstance, list] = {}
@@ -122,7 +178,13 @@ class View:
             self._preimage_cache[key] = {
                 image: tuple(states) for image, states in fibres.items()
             }
-        return self._preimage_cache[key].get(view_state, ())
+        return self._preimage_cache[key]
+
+    def preimages(
+        self, space: StateSpace, view_state: DatabaseInstance
+    ) -> Tuple[DatabaseInstance, ...]:
+        """All base states mapping to *view_state* (cached per space)."""
+        return self.preimage_index(space).get(view_state, ())
 
     # -- surjectivity (the paper's standing assumption, §1.1) ----------------------
 

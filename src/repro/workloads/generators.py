@@ -7,7 +7,7 @@ All generators take an explicit ``seed`` and use a private
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.relational.enumeration import StateSpace
 from repro.relational.instances import DatabaseInstance

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.engine.engine import current_engine
 from repro.relational.constraints import JoinDependency
 from repro.relational.enumeration import StateSpace
 from repro.relational.instances import DatabaseInstance
@@ -56,11 +57,11 @@ class SPJScenario:
 
     def view_space_plain(self) -> StateSpace:
         """LDB of the unconstrained view schema (not all are images)."""
-        return StateSpace.enumerate(self.view_schema_plain, self.assignment)
+        return current_engine().space(self.view_schema_plain, self.assignment)
 
     def view_space_with_jd(self) -> StateSpace:
         """LDB of the view schema with the implied join dependency."""
-        return StateSpace.enumerate(self.view_schema_with_jd, self.assignment)
+        return current_engine().space(self.view_schema_with_jd, self.assignment)
 
 
 def _spj_build(
@@ -93,7 +94,7 @@ def _spj_build(
         constraints=(JoinDependency("R_SPJ", (("S", "P"), ("P", "J"))),),
     )
     space = (
-        StateSpace.enumerate(schema, assignment) if enumerate_space else None
+        current_engine().space(schema, assignment) if enumerate_space else None
     )
     return SPJScenario(
         schema=schema,
@@ -188,7 +189,7 @@ def spj_inverse_scenario() -> SPJInverseScenario:
     pj_view = View(
         "Γ_PJ", schema, None, QueryMapping({"R_PJ": Project(base, ("P", "J"))})
     )
-    space = StateSpace.enumerate(schema, assignment)
+    space = current_engine().space(schema, assignment)
     initial = DatabaseInstance(
         {
             "R_SPJ": {
@@ -289,7 +290,7 @@ def two_unary_scenario(domain: Tuple[str, ...] = ("a1", "a2", "a3", "a4")) -> Tw
         Difference(r_ref, s_ref), Difference(s_ref, r_ref)
     )
     gamma3 = View("Γ3", schema, None, QueryMapping({"T": symmetric_difference}))
-    space = StateSpace.enumerate(schema, assignment)
+    space = current_engine().space(schema, assignment)
     initial = DatabaseInstance(
         {"R": {("a1",), ("a2",)}, "S": {("a2",), ("a3",)}}
     )

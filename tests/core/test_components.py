@@ -11,7 +11,6 @@ from repro.core.components import (
 from repro.core.strong import analyze_view
 from repro.views.morphisms import defines
 from repro.views.view import identity_view, zero_view
-from repro.decomposition.projections import projection_view
 
 
 class TestStrongComplements:

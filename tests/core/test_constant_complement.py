@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import NotAComplementError, UpdateRejected
-from repro.core.components import ComponentAlgebra
 from repro.core.constant_complement import (
     ComponentTranslator,
     ConstantComplementTranslator,

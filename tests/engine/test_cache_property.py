@@ -1,0 +1,84 @@
+"""Property tests: cached artifacts are indistinguishable from cold builds.
+
+For random small schemas, the state space served from the artifact cache
+-- whether an in-memory hit or a disk round-trip through
+``REPRO_CACHE_DIR`` -- must equal the cold-built one, under both kernel
+modes.
+"""
+
+import shutil
+import tempfile
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.engine import Engine
+from repro.kernel.config import use_kernel
+from repro.relational.schema import RelationSchema, Schema
+from repro.typealgebra.assignment import TypeAssignment
+
+
+@contextmanager
+def fresh_cache_dir():
+    path = tempfile.mkdtemp(prefix="repro-cache-")
+    try:
+        yield path
+    finally:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+def small_universe(size_a, size_b, use_second_relation):
+    relations = [RelationSchema("R", ("A",))]
+    domains = {"A": tuple(f"a{i}" for i in range(size_a))}
+    if use_second_relation:
+        relations.append(RelationSchema("S", ("B",)))
+        domains["B"] = tuple(f"b{i}" for i in range(size_b))
+    schema = Schema(name="Drand", relations=tuple(relations))
+    return schema, TypeAssignment.from_names(domains)
+
+
+universes = st.tuples(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=3),
+    st.booleans(),
+)
+
+
+@pytest.mark.parametrize("mode", ["bitset", "naive"])
+@given(params=universes)
+@settings(max_examples=20, deadline=None)
+def test_memory_hit_equals_cold_build(mode, params):
+    schema, assignment = small_universe(*params)
+    with use_kernel(mode):
+        engine = Engine()
+        cold = engine.space(schema, assignment)
+        warm = engine.space(schema, assignment)
+        assert warm is cold
+        assert engine.stats()["space"]["hits"] >= 1
+
+        independent = Engine().space(schema, assignment)
+        assert independent == cold
+        assert independent.fingerprint() == cold.fingerprint()
+
+
+@pytest.mark.parametrize("mode", ["bitset", "naive"])
+@given(params=universes)
+@settings(max_examples=10, deadline=None)
+def test_disk_round_trip_equals_cold_build(mode, params):
+    schema, assignment = small_universe(*params)
+    with use_kernel(mode), fresh_cache_dir() as cache_dir:
+        cold_engine = Engine(cache_dir=cache_dir)
+        cold = cold_engine.space(schema, assignment)
+        assert cold_engine.stats()["space"]["builds"] == 1
+
+        warm_engine = Engine(cache_dir=cache_dir)
+        loaded = warm_engine.space(schema, assignment)
+        counters = warm_engine.stats()["space"]
+        assert counters["disk_hits"] == 1
+        assert counters["builds"] == 0
+
+        assert loaded == cold
+        assert hash(loaded) == hash(cold)
+        assert tuple(loaded.states) == tuple(cold.states)

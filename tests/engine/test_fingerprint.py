@@ -1,0 +1,95 @@
+"""Unit tests for :mod:`repro.engine.fingerprint`."""
+
+import pytest
+
+from repro.engine.fingerprint import (
+    FingerprintError,
+    canonical_token,
+    contains_transient,
+    dataclass_token,
+    is_content_addressed,
+    stable_fingerprint,
+    transient_token,
+)
+from repro.relational.constraints import FunctionalDependency
+from repro.relational.schema import RelationSchema, Schema
+from repro.typealgebra.assignment import TypeAssignment
+
+
+def unary_schema(name="D"):
+    return Schema(
+        name=name,
+        relations=(RelationSchema("R", ("A",)), RelationSchema("S", ("B",))),
+    )
+
+
+class TestCanonicalToken:
+    def test_primitives_pass_through(self):
+        for value in (None, True, 3, 2.5, "x", b"y"):
+            assert canonical_token(value) == value
+
+    def test_containers_recurse_deterministically(self):
+        assert canonical_token((1, 2)) == ("seq", 1, 2)
+        assert canonical_token([1, 2]) == ("seq", 1, 2)
+        assert canonical_token({2, 1}) == canonical_token({1, 2})
+        assert canonical_token({"b": 1, "a": 2}) == canonical_token(
+            {"a": 2, "b": 1}
+        )
+
+    def test_fingerprint_protocol_delegation(self):
+        schema = unary_schema()
+        assert canonical_token(schema) == ("#", schema.fingerprint())
+
+    def test_dataclass_token_uses_compared_fields(self):
+        fd = FunctionalDependency("R", ("A",), ("B",))
+        token = dataclass_token(fd)
+        assert token[0] == "FunctionalDependency"
+        assert ("relation", "R") in token
+
+    def test_opaque_object_raises(self):
+        class Opaque:
+            __slots__ = ()
+
+        with pytest.raises(FingerprintError):
+            canonical_token(Opaque())
+
+    def test_callables_tokenize_as_transient(self):
+        def f():
+            pass
+
+        token = canonical_token(f)
+        assert token[0] == "callable"
+        assert contains_transient((f,))
+        assert not contains_transient((1, "x", (2.5,)))
+
+
+class TestStableFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        assert unary_schema().fingerprint() == unary_schema().fingerprint()
+
+    def test_different_content_different_fingerprint(self):
+        assert (
+            unary_schema("D1").fingerprint() != unary_schema("D2").fingerprint()
+        )
+
+    def test_assignment_fingerprint_ignores_dict_order(self):
+        a1 = TypeAssignment.from_names({"A": ("x",), "B": ("y",)})
+        a2 = TypeAssignment.from_names({"B": ("y",), "A": ("x",)})
+        assert a1.fingerprint() == a2.fingerprint()
+
+    def test_parts_are_positional(self):
+        assert stable_fingerprint("a", "b") != stable_fingerprint("b", "a")
+
+
+class TestTransientTokens:
+    def test_memoized_per_object(self):
+        class Box:
+            pass
+
+        box = Box()
+        assert transient_token(box) == transient_token(box)
+        assert transient_token(box) != transient_token(Box())
+
+    def test_content_addressed_default_true(self):
+        assert is_content_addressed(unary_schema())
+        assert is_content_addressed(object())

@@ -1,0 +1,23 @@
+"""The experiment harness reuses artifacts across runs of one engine."""
+
+from repro.engine.engine import Engine
+from repro.harness.experiments import run_all
+
+
+def test_second_harness_run_is_served_from_cache():
+    engine = Engine()
+    first = run_all(engine=engine)
+    assert all(result.passed for result in first)
+    cold = engine.stats()
+
+    second = run_all(engine=engine)
+    assert all(result.passed for result in second)
+    warm = engine.stats()
+
+    # Re-running E1-E12 builds no new state space: every universe the
+    # harness touches is already compiled.
+    assert warm["space"]["builds"] == cold["space"]["builds"]
+    assert warm["space"]["hits"] > cold["space"]["hits"]
+    # Repeated universes (the chain of E8-E11) hit the algebra cache.
+    assert warm["algebra"]["builds"] == cold["algebra"]["builds"]
+    assert warm["algebra"]["hits"] > cold["algebra"]["hits"]

@@ -1,0 +1,131 @@
+"""Unit tests for :mod:`repro.engine.store`."""
+
+import pickle
+
+import pytest
+
+from repro.engine.store import ArtifactKey, ArtifactStore
+
+
+def key(kind, fp, kernel="bitset"):
+    return ArtifactKey(kind, fp, kernel)
+
+
+class TestMemoization:
+    def test_build_once_then_hit(self):
+        store = ArtifactStore()
+        calls = []
+        build = lambda: calls.append(1) or "value"  # noqa: E731
+        assert store.get_or_build(key("space", "f1"), build) == "value"
+        assert store.get_or_build(key("space", "f1"), build) == "value"
+        assert calls == [1]
+        counters = store.stats()["space"]
+        assert counters["hits"] == 1
+        assert counters["misses"] == 1
+        assert counters["builds"] == 1
+
+    def test_distinct_kernels_do_not_collide(self):
+        store = ArtifactStore()
+        store.get_or_build(key("space", "f1", "bitset"), lambda: "b")
+        assert (
+            store.get_or_build(key("space", "f1", "naive"), lambda: "n") == "n"
+        )
+
+    def test_ensure_is_stat_neutral(self):
+        store = ArtifactStore()
+        store.ensure(key("space", "f1"), "anchored")
+        assert store.stats() == {}
+        assert store.get_or_build(key("space", "f1"), lambda: "x") == "anchored"
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        store = ArtifactStore(max_entries=2)
+        store.get_or_build(key("k", "a"), lambda: 1)
+        store.get_or_build(key("k", "b"), lambda: 2)
+        store.get_or_build(key("k", "a"), lambda: 1)  # refresh a
+        store.get_or_build(key("k", "c"), lambda: 3)  # evicts b
+        assert key("k", "b") not in store
+        assert key("k", "a") in store
+        assert store.stats()["k"]["evictions"] == 1
+
+
+class TestInvalidation:
+    def test_cascade_to_dependents(self):
+        store = ArtifactStore()
+        space = key("space", "s")
+        poset = key("poset", "s")
+        algebra = key("algebra", "s")
+        store.get_or_build(space, lambda: "S")
+        store.get_or_build(poset, lambda: "P", dependencies=(space,))
+        store.get_or_build(algebra, lambda: "A", dependencies=(poset,))
+        dropped = store.invalidate(space)
+        assert dropped == 3
+        assert len(store) == 0
+
+    def test_unrelated_entries_survive(self):
+        store = ArtifactStore()
+        store.get_or_build(key("space", "s1"), lambda: 1)
+        store.get_or_build(key("space", "s2"), lambda: 2)
+        store.invalidate(key("space", "s1"))
+        assert key("space", "s2") in store
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path):
+        store = ArtifactStore(cache_dir=str(tmp_path))
+        value = {"payload": (1, 2, 3)}
+        store.get_or_build(key("space", "f1"), lambda: value, persist=True)
+        assert (tmp_path / key("space", "f1").filename()).exists()
+
+        fresh = ArtifactStore(cache_dir=str(tmp_path))
+        loaded = fresh.get_or_build(
+            key("space", "f1"), lambda: pytest_fail(), persist=True
+        )
+        assert loaded == value
+        counters = fresh.stats()["space"]
+        assert counters["disk_hits"] == 1
+        assert counters["builds"] == 0
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b"not a pickle", b"garbage\n", b"", b"\x80\x05broken"],
+    )
+    def test_corrupt_entry_rebuilds(self, tmp_path, garbage):
+        store = ArtifactStore(cache_dir=str(tmp_path))
+        path = tmp_path / key("space", "f1").filename()
+        path.write_bytes(garbage)
+        assert (
+            store.get_or_build(key("space", "f1"), lambda: "fresh", persist=True)
+            == "fresh"
+        )
+        assert pickle.loads(path.read_bytes()) == "fresh"
+
+    def test_unpicklable_value_stays_memory_only(self, tmp_path):
+        store = ArtifactStore(cache_dir=str(tmp_path))
+        value = lambda: None  # noqa: E731
+        built = store.get_or_build(
+            key("space", "f1"), lambda: value, persist=True
+        )
+        assert built is value
+        assert store.stats()["space"]["persist_failures"] == 1
+        assert not (tmp_path / key("space", "f1").filename()).exists()
+
+    def test_no_dir_means_no_persistence(self, tmp_path, monkeypatch):
+        from repro.engine.store import CACHE_DIR_ENV_VAR
+
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+        store = ArtifactStore()
+        store.get_or_build(key("space", "f1"), lambda: 1, persist=True)
+        assert store.cache_dir is None
+
+    def test_cache_dir_from_environment(self, tmp_path, monkeypatch):
+        from repro.engine.store import CACHE_DIR_ENV_VAR
+
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        store = ArtifactStore()
+        assert store.cache_dir == str(tmp_path)
+
+
+def pytest_fail():
+    raise AssertionError("builder must not run on a disk hit")

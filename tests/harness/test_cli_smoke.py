@@ -1,0 +1,26 @@
+"""End-to-end smoke test: the harness CLI as CI runs it."""
+
+import os
+import subprocess
+import sys
+
+EXPERIMENTS = tuple(f"E{i}" for i in range(1, 13))
+
+
+def test_harness_cli_markdown_all_pass():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.harness", "--markdown", *EXPERIMENTS],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    output = completed.stdout
+    for experiment_id in EXPERIMENTS:
+        assert experiment_id in output
+    assert "PASS" in output
+    assert "FAIL" not in output

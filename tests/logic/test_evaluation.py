@@ -16,7 +16,7 @@ from repro.logic.formulas import (
     RelAtom,
     TypeAtom,
 )
-from repro.logic.terms import Const, Var, variables
+from repro.logic.terms import Const, variables
 from repro.relational.instances import DatabaseInstance
 from repro.typealgebra.assignment import TypeAssignment
 from repro.typealgebra.types import AtomicType

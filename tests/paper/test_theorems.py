@@ -4,13 +4,9 @@ Everything here is an exhaustive check over a finite universe -- the
 computational reading of each statement.
 """
 
-import pytest
-
-from repro.errors import UpdateRejected
 from repro.algebra.endomorphisms import (
     complemented_strong_endomorphisms,
 )
-from repro.algebra.morphisms import PosetMorphism
 from repro.core.admissibility import (
     analyze_admissibility,
     check_functorial,

@@ -1,6 +1,6 @@
 """Property-based tests: instance set-operation laws (Notation 1.2.3)."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.relational.instances import DatabaseInstance

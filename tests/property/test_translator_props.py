@@ -5,7 +5,6 @@ targets of the small-chain universe -- the hypothesis-driven counterpart
 of the exhaustive checks in tests/paper/test_theorems.py.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """Unit tests for :mod:`repro.views.implied` (implied constraints, §1.1)."""
 
-import pytest
-
 from repro.relational.constraints import (
     FunctionalDependency,
     JoinDependency,

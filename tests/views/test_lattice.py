@@ -1,7 +1,5 @@
 """Unit tests for :mod:`repro.views.lattice` (complements, §1.3/§2.2)."""
 
-import pytest
-
 from repro.views.lattice import (
     are_complementary,
     are_join_complements,

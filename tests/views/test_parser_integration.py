@@ -1,7 +1,5 @@
 """Integration: views defined textually equal views built from ASTs."""
 
-import pytest
-
 from repro.relational.parser import parse_query
 from repro.views.mappings import QueryMapping
 from repro.views.morphisms import are_isomorphic

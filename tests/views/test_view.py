@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import NotSurjectiveError, SchemaError
 from repro.relational.enumeration import StateSpace
-from repro.relational.queries import Project, RelationRef
+from repro.relational.queries import RelationRef
 from repro.relational.schema import RelationSchema, Schema
 from repro.views.mappings import QueryMapping
 from repro.views.view import View, identity_view, zero_view

@@ -1,7 +1,5 @@
 """Unit tests for :mod:`repro.workloads.scenarios`."""
 
-import pytest
-
 from repro.typealgebra.algebra import NULL
 
 
