@@ -35,9 +35,12 @@ Quickstart::
 """
 
 from repro.errors import (
+    DeadlineExceededError,
+    KernelFailureError,
     NotAComplementError,
     NotStrongError,
     ReproError,
+    ResilienceError,
     UpdateRejected,
 )
 from repro.relational import (
@@ -72,11 +75,14 @@ __all__ = [
     "ComponentTranslator",
     "ConstantComplementTranslator",
     "DatabaseInstance",
+    "DeadlineExceededError",
+    "KernelFailureError",
     "NotAComplementError",
     "NotStrongError",
     "Relation",
     "RelationSchema",
     "ReproError",
+    "ResilienceError",
     "Schema",
     "StateSpace",
     "TupleCodec",

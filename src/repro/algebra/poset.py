@@ -26,6 +26,8 @@ from typing import (
 )
 
 from repro.errors import PosetError
+from repro.resilience.faults import fault_check
+from repro.resilience.guard import current_guard
 
 
 class FinitePoset:
@@ -63,8 +65,11 @@ class FinitePoset:
     ) -> "FinitePoset":
         """Build from a comparison callable (must be a partial order)."""
         elements = tuple(elements)
+        guard = current_guard()
         below: List[int] = []
         for i, upper in enumerate(elements):
+            if guard is not None:
+                guard.tick()
             mask = 0
             for j, lower in enumerate(elements):
                 if leq(lower, upper):
@@ -96,12 +101,14 @@ class FinitePoset:
         Mask inclusion over distinct masks is a partial order by
         construction, so no :meth:`_check_partial_order` pass is run.
         """
+        fault_check("kernel.poset")
         elements = tuple(elements)
         masks = tuple(masks)
         if len(masks) != len(elements):
             raise PosetError("from_masks needs one mask per element")
         if len(set(masks)) != len(masks):
             raise PosetError("element masks must be distinct")
+        guard = current_guard()
         n = len(elements)
         width = max(masks).bit_length() if masks else 0
         contain = [0] * width
@@ -115,6 +122,8 @@ class FinitePoset:
         universe = (1 << width) - 1
         below: List[int] = []
         for mask in masks:
+            if guard is not None:
+                guard.tick()
             down = full
             probe = universe & ~mask
             while probe:

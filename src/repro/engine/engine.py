@@ -22,6 +22,22 @@ updates).  :meth:`Session.update` returns a structured
 callers that want the legacy raise-on-reject behaviour use
 :meth:`UpdateOutcome.require`.
 
+Every derivation runs through the resilience layer:
+
+* a wall-clock deadline / step budget (``Engine(deadline_ms=...)``,
+  ``Engine(max_steps=...)``, or the ``REPRO_DEADLINE_MS`` environment
+  variable) installs an :class:`~repro.resilience.guard.ExecutionGuard`
+  that the hot loops check cooperatively, raising a typed
+  :class:`~repro.errors.DeadlineExceededError` instead of hanging;
+* an *unexpected* (non-:class:`~repro.errors.ReproError`) crash inside
+  a bitset-kernel derivation is retried once under the naive kernel --
+  the degradation ladder bitset -> naive -> typed
+  :class:`~repro.errors.KernelFailureError` carrying both tracebacks --
+  and counted in the store's per-kind ``degradations`` stat;
+* :meth:`Session.update` wraps whatever still escapes in
+  :class:`~repro.errors.UnexpectedFailureError`, so callers always see
+  either a structured outcome or a :class:`~repro.errors.ReproError`.
+
 A module-level *current engine* (:func:`current_engine`) lets layers
 that predate the engine -- scenario constructors, decomposition
 generators -- route their state-space construction through whatever
@@ -32,17 +48,30 @@ every signature.
 from __future__ import annotations
 
 import time
+import traceback
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.components import ComponentAlgebra
 from repro.core.procedure import UpdateProcedure, strong_join_complements
 from repro.core.strong import StrongViewAnalysis, analyze_view
 from repro.engine.fingerprint import is_content_addressed, stable_fingerprint
 from repro.engine.store import ArtifactKey, ArtifactStore
-from repro.errors import ReproError, UpdateRejected
-from repro.kernel.config import kernel_mode
+from repro.errors import (
+    DeadlineExceededError,
+    KernelFailureError,
+    ReproError,
+    UnexpectedFailureError,
+    UpdateRejected,
+)
+from repro.kernel.config import BITSET, NAIVE, kernel_mode, use_kernel
+from repro.resilience.guard import (
+    ExecutionGuard,
+    current_guard,
+    deadline_from_env,
+    guarded,
+)
 from repro.algebra.poset import FinitePoset
 from repro.relational.enumeration import StateSpace
 from repro.relational.instances import DatabaseInstance
@@ -108,10 +137,94 @@ class Engine:
         store: Optional[ArtifactStore] = None,
         max_entries: int = 256,
         cache_dir: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        max_steps: Optional[int] = None,
     ):
         self.store = store or ArtifactStore(
             max_entries=max_entries, cache_dir=cache_dir
         )
+        #: Per-derivation wall-clock deadline (``None`` falls back to
+        #: ``REPRO_DEADLINE_MS``; unset there means no deadline).
+        self.deadline_ms = deadline_ms
+        #: Per-derivation cooperative step budget (``None`` = none).
+        self.max_steps = max_steps
+
+    # -- resilience --------------------------------------------------------------
+
+    def _effective_deadline_ms(self) -> Optional[float]:
+        if self.deadline_ms is not None:
+            return self.deadline_ms
+        return deadline_from_env()
+
+    @contextmanager
+    def _guard_scope(self) -> Iterator[None]:
+        """Install a fresh guard for one derivation, unless the caller
+        already holds one (nested derivations share the outer budget)."""
+        if current_guard() is not None:
+            yield
+            return
+        deadline = self._effective_deadline_ms()
+        if deadline is None and self.max_steps is None:
+            yield
+            return
+        with guarded(
+            ExecutionGuard(deadline_ms=deadline, max_steps=self.max_steps)
+        ):
+            yield
+
+    def _resilient(
+        self, kind: str, builder: Callable[[], object]
+    ) -> Callable[[], object]:
+        """Wrap *builder* in the guard scope and degradation ladder.
+
+        Typed :class:`ReproError`\\ s pass straight through (they are
+        already fail-closed).  An *unexpected* exception under the
+        bitset kernel triggers one retry under the naive kernel (the
+        two are semantically equivalent, so the degraded artifact is
+        valid under the original key); if that also crashes -- or the
+        naive kernel crashed with no rung left below it -- a
+        :class:`KernelFailureError` carries every traceback out.
+        """
+
+        def build() -> object:
+            with self._guard_scope():
+                try:
+                    return builder()
+                except DeadlineExceededError:
+                    self.store.record_deadline_hit(kind)
+                    raise
+                except ReproError:
+                    raise
+                except Exception:
+                    first_tb = traceback.format_exc()
+                    if kernel_mode() != BITSET:
+                        raise KernelFailureError(
+                            f"naive-kernel derivation of {kind!r} failed "
+                            "unexpectedly (no degradation rung below the "
+                            "naive kernel)",
+                            kind=kind,
+                            naive_traceback=first_tb,
+                        )
+                    self.store.record_degradation(kind)
+                    try:
+                        with use_kernel(NAIVE):
+                            return builder()
+                    except DeadlineExceededError:
+                        self.store.record_deadline_hit(kind)
+                        raise
+                    except ReproError:
+                        raise
+                    except Exception:
+                        raise KernelFailureError(
+                            f"derivation of {kind!r} failed under the "
+                            "bitset kernel and again under the naive "
+                            "kernel",
+                            kind=kind,
+                            bitset_traceback=first_tb,
+                            naive_traceback=traceback.format_exc(),
+                        )
+
+        return build
 
     # -- keys --------------------------------------------------------------------
 
@@ -139,8 +252,11 @@ class Engine:
         )
         space = self.store.get_or_build(
             key,
-            lambda: StateSpace.enumerate(
-                schema, assignment, max_candidates, prune
+            self._resilient(
+                "space",
+                lambda: StateSpace.enumerate(
+                    schema, assignment, max_candidates, prune
+                ),
             ),
             persist=True,
         )
@@ -156,7 +272,9 @@ class Engine:
         key = self._key("space", "spec", spec, validate)
         space = self.store.get_or_build(
             key,
-            lambda: spec.build_state_space(validate=validate),
+            self._resilient(
+                "space", lambda: spec.build_state_space(validate=validate)
+            ),
             persist=is_content_addressed(spec),
         )
         return self._anchor_space(space)
@@ -178,7 +296,9 @@ class Engine:
         space_key = self._space_key(space)
         key = ArtifactKey("poset", space_key.fingerprint, space_key.kernel)
         return self.store.get_or_build(
-            key, lambda: space.poset, dependencies=(space_key,)
+            key,
+            self._resilient("poset", lambda: space.poset),
+            dependencies=(space_key,),
         )
 
     def analysis(self, view: View, space: StateSpace) -> StrongViewAnalysis:
@@ -186,7 +306,7 @@ class Engine:
         key = self._key("analysis", view, space)
         return self.store.get_or_build(
             key,
-            lambda: analyze_view(view, space),
+            self._resilient("analysis", lambda: analyze_view(view, space)),
             dependencies=(self._space_key(space),),
             persist=is_content_addressed(view),
         )
@@ -198,7 +318,9 @@ class Engine:
         key = self._key("preimages", view, space)
         return self.store.get_or_build(
             key,
-            lambda: view.preimage_index(space),
+            self._resilient(
+                "preimages", lambda: view.preimage_index(space)
+            ),
             dependencies=(self._space_key(space),),
             persist=is_content_addressed(view),
         )
@@ -214,7 +336,10 @@ class Engine:
         persist = all(is_content_addressed(v) for v in candidates)
         return self.store.get_or_build(
             key,
-            lambda: ComponentAlgebra.discover(space, candidates),
+            self._resilient(
+                "algebra",
+                lambda: ComponentAlgebra.discover(space, candidates),
+            ),
             dependencies=(self._space_key(space),),
             persist=persist,
         )
@@ -244,7 +369,7 @@ class Engine:
         )
         return self.store.get_or_build(
             key,
-            build,
+            self._resilient("procedure", build),
             dependencies=(self._space_key(space),),
             persist=persist,
         )
@@ -388,9 +513,30 @@ class Session:
         Never raises for the formal "undefined" outcome; inspect
         :attr:`UpdateOutcome.accepted` / :attr:`UpdateOutcome.reason`,
         or call :meth:`UpdateOutcome.require` for the legacy behaviour.
-        Configuration errors (unknown view, no complement) still raise.
+        Configuration errors (unknown view, no complement) still raise
+        -- always as :class:`ReproError` subclasses: anything
+        unexpected that escapes the engine's degradation ladder is
+        wrapped in :class:`UnexpectedFailureError` (fail closed, never
+        a bare ``KeyError``/``AttributeError``).
         """
         started = time.perf_counter()
+        try:
+            return self._update(view_name, base_state, view_target, started)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise UnexpectedFailureError(
+                f"internal failure servicing an update of view "
+                f"{view_name!r}: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _update(
+        self,
+        view_name: str,
+        base_state: DatabaseInstance,
+        view_target: DatabaseInstance,
+        started: float,
+    ) -> UpdateOutcome:
         if base_state not in self.space:
             return UpdateOutcome(
                 view_name=view_name,

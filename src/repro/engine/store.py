@@ -7,13 +7,22 @@ inputs plus the active kernel mode.  :class:`ArtifactStore` memoizes
 them under :class:`ArtifactKey`\\ s with
 
 * an in-memory LRU (bounded by ``max_entries``),
-* an optional on-disk pickle cache (directory from the
-  ``REPRO_CACHE_DIR`` environment variable or the constructor), used
-  only for artifacts whose inputs are content-addressed,
+* an optional on-disk cache (directory from the ``REPRO_CACHE_DIR``
+  environment variable or the constructor), used only for artifacts
+  whose inputs are content-addressed,
 * dependency-aware invalidation (dropping a space drops the posets,
-  analyses, algebras, and procedures derived from it), and
-* per-kind hit/miss/build-time counters for the harness' ``--stats``
+  analyses, algebras, and procedures derived from it -- in memory *and*
+  on disk, so stale artifacts cannot resurrect), and
+* per-kind counters (hits, misses, builds, corrupt entries, I/O
+  retries, degradations, deadline hits) for the harness' ``--stats``
   report.
+
+The disk format is hardened: each pickle is wrapped in a checksummed,
+format-versioned envelope (magic + version + length + SHA-256), so
+truncation, bit rot, and version skew are detected *before* bytes reach
+the unpickler and count as silent misses; transient ``OSError``\\ s on
+load/save are retried a bounded number of times with backoff.  A cache
+must never be load-bearing: every failure mode degrades to a rebuild.
 
 The store is deliberately ignorant of *what* it caches: builders are
 supplied by the :class:`~repro.engine.engine.Engine`, which owns the
@@ -22,18 +31,71 @@ mapping from semantic operations to keys and dependencies.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import struct
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Optional, Set
 
-__all__ = ["ArtifactKey", "ArtifactStore", "CACHE_DIR_ENV_VAR", "KindStats"]
+from repro.resilience.faults import fault_check, fault_corrupt
+
+__all__ = [
+    "ArtifactKey",
+    "ArtifactStore",
+    "CACHE_DIR_ENV_VAR",
+    "ENVELOPE_VERSION",
+    "KindStats",
+]
 
 #: Environment variable naming the on-disk cache directory.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Magic prefix of every on-disk artifact (detects foreign files).
+ENVELOPE_MAGIC = b"RPRO"
+
+#: Bump on any incompatible change to the persisted representation;
+#: entries with another version are silent misses, not unpickle crashes.
+ENVELOPE_VERSION = 1
+
+#: Header layout: magic, format version, payload length, SHA-256 digest.
+_HEADER = struct.Struct(">4sHQ32s")
+
+
+def _wrap_payload(payload: bytes) -> bytes:
+    """Wrap pickled bytes in the checksummed envelope."""
+    return (
+        _HEADER.pack(
+            ENVELOPE_MAGIC,
+            ENVELOPE_VERSION,
+            len(payload),
+            hashlib.sha256(payload).digest(),
+        )
+        + payload
+    )
+
+
+def _unwrap_payload(blob: bytes) -> Optional[bytes]:
+    """The payload of an enveloped blob, or ``None`` if damaged.
+
+    Rejects short reads, foreign magic, version skew, truncated or
+    over-long payloads, and checksum mismatches -- without relying on
+    the unpickler to crash on garbage.
+    """
+    if len(blob) < _HEADER.size:
+        return None
+    magic, version, length, digest = _HEADER.unpack_from(blob)
+    if magic != ENVELOPE_MAGIC or version != ENVELOPE_VERSION:
+        return None
+    payload = blob[_HEADER.size :]
+    if len(payload) != length:
+        return None
+    if hashlib.sha256(payload).digest() != digest:
+        return None
+    return payload
 
 
 @dataclass(frozen=True)
@@ -66,6 +128,15 @@ class KindStats:
     build_seconds: float = 0.0
     evictions: int = 0
     persist_failures: int = 0
+    #: Persisted entries rejected by the integrity envelope (or the
+    #: unpickler) and rebuilt.
+    corrupt_entries: int = 0
+    #: Transient ``OSError`` retries on load/save.
+    io_retries: int = 0
+    #: Bitset-kernel derivations retried under the naive kernel.
+    degradations: int = 0
+    #: Derivations cancelled by an :class:`ExecutionGuard`.
+    deadline_hits: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -76,6 +147,10 @@ class KindStats:
             "build_seconds": round(self.build_seconds, 6),
             "evictions": self.evictions,
             "persist_failures": self.persist_failures,
+            "corrupt_entries": self.corrupt_entries,
+            "io_retries": self.io_retries,
+            "degradations": self.degradations,
+            "deadline_hits": self.deadline_hits,
         }
 
 
@@ -91,6 +166,10 @@ class ArtifactStore:
 
     max_entries: int = 256
     cache_dir: Optional[str] = None
+    #: Bounded retry for transient ``OSError`` on disk load/save.
+    io_attempts: int = 3
+    #: Base backoff (seconds) between attempts; doubles per retry.
+    io_backoff: float = 0.01
     _entries: "OrderedDict[ArtifactKey, _Entry]" = field(
         default_factory=OrderedDict, repr=False
     )
@@ -99,11 +178,16 @@ class ArtifactStore:
     )
     _stats: Dict[str, KindStats] = field(default_factory=dict, repr=False)
 
+    #: Injectable for tests; module-level so backoff is patchable.
+    _sleep = staticmethod(time.sleep)
+
     def __post_init__(self) -> None:
         if self.cache_dir is None:
             self.cache_dir = os.environ.get(CACHE_DIR_ENV_VAR) or None
         if self.max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if self.io_attempts < 1:
+            raise ValueError("io_attempts must be positive")
 
     # -- core protocol -----------------------------------------------------------
 
@@ -131,7 +215,7 @@ class ArtifactStore:
 
         stats.misses += 1
         dependencies = tuple(dependencies)
-        value = self._load_from_disk(key) if persist else None
+        value = self._load_from_disk(key, stats) if persist else None
         if value is not None:
             stats.disk_hits += 1
         else:
@@ -177,7 +261,12 @@ class ArtifactStore:
     # -- invalidation ------------------------------------------------------------
 
     def invalidate(self, key: ArtifactKey) -> int:
-        """Drop *key* and everything derived from it; return the count."""
+        """Drop *key* and everything derived from it; return the count.
+
+        Persisted files are deleted for every visited key -- including
+        keys already evicted from memory -- so a stale artifact cannot
+        resurrect from disk after its inputs were invalidated.
+        """
         dropped = 0
         frontier = [key]
         while frontier:
@@ -185,6 +274,7 @@ class ArtifactStore:
             if current in self._entries:
                 del self._entries[current]
                 dropped += 1
+            self._delete_persisted(current)
             frontier.extend(self._dependents.pop(current, ()))
         return dropped
 
@@ -204,6 +294,14 @@ class ArtifactStore:
     def reset_stats(self) -> None:
         self._stats.clear()
 
+    def record_degradation(self, kind: str) -> None:
+        """Count one bitset -> naive degradation for *kind*."""
+        self._stats.setdefault(kind, KindStats()).degradations += 1
+
+    def record_deadline_hit(self, kind: str) -> None:
+        """Count one deadline/step-budget cancellation for *kind*."""
+        self._stats.setdefault(kind, KindStats()).deadline_hits += 1
+
     # -- internals ---------------------------------------------------------------
 
     def _insert(self, key: ArtifactKey, entry: _Entry) -> None:
@@ -220,18 +318,69 @@ class ArtifactStore:
             return None
         return Path(self.cache_dir) / key.filename()
 
-    def _load_from_disk(self, key: ArtifactKey) -> Optional[object]:
+    def _temp_path(self, path: Path) -> Path:
+        """A per-process temp name next to *path*.
+
+        ``path.with_suffix(".tmp")`` would let concurrent processes
+        writing the same artifact clobber each other's half-written
+        temp files; the pid makes the name unique per writer while the
+        final ``replace`` stays atomic.
+        """
+        return path.parent / f"{path.name}.{os.getpid()}.tmp"
+
+    def _delete_persisted(self, key: ArtifactKey) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            # Best effort: an undeletable stale file is still rejected
+            # by fingerprint mismatch only if inputs changed; nothing
+            # more can be done here without making invalidation fail.
+            pass
+
+    def _load_from_disk(
+        self, key: ArtifactKey, stats: KindStats
+    ) -> Optional[object]:
         path = self._disk_path(key)
         if path is None:
             return None
+        blob: Optional[bytes] = None
+        for attempt in range(self.io_attempts):
+            try:
+                fault_check("store.load")
+                blob = path.read_bytes()
+                break
+            except FileNotFoundError:
+                return None
+            except OSError:
+                # Transient I/O failure: bounded retry with backoff,
+                # then give up and rebuild -- never propagate.
+                if attempt + 1 >= self.io_attempts:
+                    return None
+                stats.io_retries += 1
+                self._sleep(self.io_backoff * (2**attempt))
+            except Exception:
+                # Anything else a filesystem could throw is still just
+                # a miss: the cache is never load-bearing.
+                return None
+        if blob is None:
+            return None
+        blob = fault_corrupt("store.load", blob)
+        payload = _unwrap_payload(blob)
+        if payload is None:
+            stats.corrupt_entries += 1
+            self._delete_persisted(key)
+            return None
         try:
-            with path.open("rb") as handle:
-                return pickle.load(handle)
+            return pickle.loads(payload)
         except Exception:
-            # Missing or corrupt entry: rebuild (and overwrite) below.
-            # Unpickling arbitrary bytes can raise nearly anything
-            # (ValueError, KeyError, ImportError, ...), so the guard is
-            # deliberately broad -- a cache must never be load-bearing.
+            # A checksum-valid payload that still fails to unpickle
+            # means version skew in the *pickled classes* (not the
+            # envelope); same remedy -- silent miss and rebuild.
+            stats.corrupt_entries += 1
+            self._delete_persisted(key)
             return None
 
     def _save_to_disk(
@@ -241,12 +390,31 @@ class ArtifactStore:
         if path is None:
             return
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
-            with tmp.open("wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            tmp.replace(path)
-        except (OSError, pickle.PickleError, TypeError, AttributeError):
-            # Persistence is best-effort; unpicklable or unwritable
-            # artifacts simply stay memory-only.
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, TypeError, AttributeError):
+            # Persistence is best-effort; unpicklable artifacts simply
+            # stay memory-only.
             stats.persist_failures += 1
+            return
+        blob = _wrap_payload(payload)
+        tmp = self._temp_path(path)
+        for attempt in range(self.io_attempts):
+            try:
+                fault_check("store.save")
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp.write_bytes(blob)
+                tmp.replace(path)
+                return
+            except OSError:
+                if attempt + 1 >= self.io_attempts:
+                    break
+                stats.io_retries += 1
+                self._sleep(self.io_backoff * (2**attempt))
+            except Exception:
+                # Persistence is best-effort under *any* failure mode.
+                break
+        stats.persist_failures += 1
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass

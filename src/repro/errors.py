@@ -132,3 +132,77 @@ class PosetError(ReproError):
 
 class NotABooleanAlgebraError(ReproError):
     """A candidate element set fails the Boolean algebra axioms."""
+
+
+class ResilienceError(ReproError):
+    """Base class for the fail-closed resilience layer's typed failures.
+
+    The library's contract (Definition 0.1.2(c) generalised to the whole
+    system) is that it either answers correctly or *visibly* refuses: a
+    runaway derivation, a crashed kernel, or a rotten cache entry must
+    surface as a subclass of this error, never as a bare ``KeyError`` or
+    a silent wrong answer.
+    """
+
+
+class DeadlineExceededError(ResilienceError):
+    """A derivation ran past its wall-clock deadline or step budget.
+
+    Raised cooperatively from inside the enumeration and kernel hot
+    loops by :class:`repro.resilience.guard.ExecutionGuard`, so a
+    pathological schema fails closed instead of hanging the session.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        elapsed_ms: float = 0.0,
+        deadline_ms=None,
+        steps: int = 0,
+        max_steps=None,
+    ) -> None:
+        super().__init__(message)
+        #: Wall-clock milliseconds spent when the guard tripped.
+        self.elapsed_ms = elapsed_ms
+        #: The configured deadline in milliseconds (``None`` if unset).
+        self.deadline_ms = deadline_ms
+        #: Cooperative steps counted when the guard tripped.
+        self.steps = steps
+        #: The configured step budget (``None`` if unset).
+        self.max_steps = max_steps
+
+
+class KernelFailureError(ResilienceError):
+    """A kernel derivation crashed with an unexpected exception.
+
+    The engine's degradation ladder (bitset -> naive -> typed failure)
+    raises this only after the naive retry also failed -- or when the
+    naive kernel, with no rung left below it, crashed directly.  Both
+    tracebacks are carried so the underlying defect is not lost.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "",
+        bitset_traceback: str = "",
+        naive_traceback: str = "",
+    ) -> None:
+        super().__init__(message)
+        #: The artifact kind being derived ("space", "analysis", ...).
+        self.kind = kind
+        #: Formatted traceback of the bitset-kernel failure ("" if the
+        #: bitset kernel was never involved).
+        self.bitset_traceback = bitset_traceback
+        #: Formatted traceback of the naive-kernel failure.
+        self.naive_traceback = naive_traceback
+
+
+class UnexpectedFailureError(ResilienceError):
+    """An update-servicing step crashed outside any typed failure path.
+
+    The last line of defence in :meth:`Session.update`: whatever slipped
+    through the degradation ladder and the store's hardening is wrapped
+    here (with the original exception chained) so callers still see a
+    :class:`ReproError` subclass.
+    """

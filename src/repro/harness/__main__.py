@@ -6,6 +6,11 @@ engine's artifact-cache counters: all requested experiments run through
 one shared :class:`~repro.engine.engine.Engine`, so recurring universes
 (the small ABCD chain of E8-E11, the two-unary universe of E7/E10/E12)
 surface as cache hits rather than repeated enumerations.
+
+``--deadline=MS`` bounds every derivation's wall-clock time (the
+``REPRO_DEADLINE_MS`` environment variable supplies the same default);
+an experiment whose derivations exceed it is reported as a deadline
+failure instead of hanging the run.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import sys
 import time
 
 from repro.engine.engine import Engine
+from repro.errors import DeadlineExceededError
 from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
 
 
@@ -36,18 +42,39 @@ def _markdown(results) -> str:
 def _stats_report(engine: Engine) -> str:
     lines = ["engine artifact cache:"]
     for kind, counters in engine.stats().items():
-        lines.append(
+        line = (
             f"  {kind}: {counters['hits']} hits, {counters['misses']} misses,"
             f" {counters['builds']} builds"
             f" ({counters['build_seconds']:.3f}s building)"
         )
+        resilience = [
+            f"{counters[name]} {label}"
+            for name, label in (
+                ("degradations", "degradations"),
+                ("deadline_hits", "deadline hits"),
+                ("corrupt_entries", "corrupt entries"),
+                ("io_retries", "I/O retries"),
+            )
+            if counters[name]
+        ]
+        if resilience:
+            line += f" [{', '.join(resilience)}]"
+        lines.append(line)
     return "\n".join(lines)
+
+
+def _deadline_ms(argv: list[str]) -> float | None:
+    for arg in argv:
+        if arg.startswith("--deadline="):
+            return float(arg.split("=", 1)[1])
+    return None
 
 
 def main(argv: list[str]) -> int:
     """Run the requested experiments (all by default)."""
     markdown = "--markdown" in argv
     show_stats = "--stats" in argv
+    deadline_ms = _deadline_ms(argv)
     requested = [a for a in argv if not a.startswith("--")] or list(
         ALL_EXPERIMENTS
     )
@@ -57,12 +84,20 @@ def main(argv: list[str]) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}")
         print(f"known experiments: {known}")
         return 2
-    engine = Engine()
+    engine = Engine(deadline_ms=deadline_ms)
     failures = 0
     results = []
     for experiment_id in requested:
         start = time.perf_counter()
-        result = run_experiment(experiment_id.upper(), engine=engine)
+        try:
+            result = run_experiment(experiment_id.upper(), engine=engine)
+        except DeadlineExceededError as exc:
+            elapsed = time.perf_counter() - start
+            print(f"{experiment_id.upper()}: DEADLINE EXCEEDED -- {exc}")
+            print(f"  elapsed: {elapsed:.2f}s")
+            print()
+            failures += 1
+            continue
         elapsed = time.perf_counter() - start
         results.append((result, elapsed))
         if not markdown:

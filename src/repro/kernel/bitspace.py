@@ -35,6 +35,8 @@ from repro.errors import ReproError
 from repro.relational.instances import DatabaseInstance
 from repro.relational.relations import Relation, Row, _sort_key
 from repro.relational.schema import Schema
+from repro.resilience.faults import fault_check
+from repro.resilience.guard import current_guard
 from repro.typealgebra.assignment import TypeAssignment
 
 
@@ -170,7 +172,14 @@ class TupleCodec:
         self, instances: Iterable[DatabaseInstance]
     ) -> Tuple[int, ...]:
         """Encode a family of instances."""
-        return tuple(self.encode(instance) for instance in instances)
+        fault_check("kernel.encode")
+        guard = current_guard()
+        masks = []
+        for instance in instances:
+            if guard is not None:
+                guard.tick()
+            masks.append(self.encode(instance))
+        return tuple(masks)
 
     def decode(self, mask: int) -> DatabaseInstance:
         """The instance of a bitmask (inverse of :meth:`encode`)."""

@@ -38,6 +38,8 @@ from repro.relational.constraints import (
 from repro.relational.instances import DatabaseInstance
 from repro.relational.relations import Relation, Row
 from repro.relational.schema import Schema
+from repro.resilience.faults import current_plan
+from repro.resilience.guard import current_guard
 from repro.typealgebra.assignment import TypeAssignment
 
 MaskPredicate = Callable[[int], bool]
@@ -231,8 +233,14 @@ def legal_subset_masks(
     allowed, predicates = compile_relation_filter(
         schema, assignment, relation, rows, constraints
     )
+    guard = current_guard()
+    plan = current_plan()
     sub = 0
     while True:
+        if guard is not None:
+            guard.tick()
+        if plan is not None:
+            plan.check("enumeration.step")
         if all(predicate(sub) for predicate in predicates):
             yield sub
         if sub == allowed:

@@ -28,6 +28,8 @@ from repro.kernel.bitspace import TupleCodec
 from repro.algebra.morphisms import PosetMorphism
 from repro.algebra.poset import FinitePoset
 from repro.relational.instances import DatabaseInstance, sorted_instances
+from repro.resilience.faults import fault_check
+from repro.resilience.guard import current_guard
 
 
 def _monotone_on_comparable_pairs(
@@ -39,7 +41,10 @@ def _monotone_on_comparable_pairs(
     walking the set bits of each down-set mask covers the whole
     definition without the naive all-pairs sweep.
     """
+    guard = current_guard()
     for y, below_y in enumerate(below_source):
+        if guard is not None:
+            guard.tick()
         target_row = below_target[fidx[y]]
         probe = below_y & ~(1 << y)
         while probe:
@@ -61,6 +66,7 @@ def analyze_view_bitset(view, space) -> "StrongViewAnalysis":  # noqa: F821
     """Bitset-kernel twin of :func:`repro.core.strong.analyze_view`."""
     from repro.core.strong import StrongViewAnalysis
 
+    fault_check("kernel.analysis")
     states = space.states
     n = len(states)
     source = space.poset
@@ -95,9 +101,12 @@ def analyze_view_bitset(view, space) -> "StrongViewAnalysis":  # noqa: F821
     # States are ordered by size, so the least element (when it exists)
     # tends to be an early set bit.
     up_s = source._up_matrix()
+    guard = current_guard()
     sharp_idx: List[Optional[int]] = [None] * m
     admits_lp = True
     for f in range(m):
+        if guard is not None:
+            guard.tick()
         fiber = fibers[f]
         probe = fiber
         least = None

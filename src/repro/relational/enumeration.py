@@ -48,6 +48,8 @@ from repro.relational.constraints import (
 from repro.relational.instances import DatabaseInstance, sorted_instances
 from repro.relational.relations import Relation
 from repro.relational.schema import Schema
+from repro.resilience.faults import current_plan
+from repro.resilience.guard import current_guard
 from repro.typealgebra.assignment import TypeAssignment
 
 
@@ -121,13 +123,14 @@ def enumerate_instances(
         if subset_count > max_candidates:
             raise StateSpaceTooLargeError(
                 f"{subset_count} candidate subsets for relation {name!r} "
-                f"exceed the budget of {max_candidates}"
+                f"of schema {schema.name!r} exceed the budget of "
+                f"{max_candidates}"
             )
         candidate_count *= subset_count
         if candidate_count > max_candidates and not prune:
             raise StateSpaceTooLargeError(
-                f"{candidate_count}+ candidate instances exceed the "
-                f"budget of {max_candidates}"
+                f"{candidate_count}+ candidate instances of schema "
+                f"{schema.name!r} exceed the budget of {max_candidates}"
             )
 
     all_constraints = schema.all_constraints()
@@ -171,7 +174,13 @@ def enumerate_instances(
         other_empty = {
             other: Relation((), arities[other]) for other in names
         }
+        guard = current_guard()
+        plan = current_plan()
         for subset in _subsets(rows):
+            if guard is not None:
+                guard.tick()
+            if plan is not None:
+                plan.check("enumeration.step")
             relation = Relation(subset, arity)
             if singleton_constraints:
                 probe = DatabaseInstance({**other_empty, name: relation})
@@ -189,11 +198,18 @@ def enumerate_instances(
         pruned_count *= len(choices)
     if pruned_count > max_candidates:
         raise StateSpaceTooLargeError(
-            f"{pruned_count} candidate instances (after pruning) exceed "
-            f"the budget of {max_candidates}"
+            f"{pruned_count} candidate instances of schema "
+            f"{schema.name!r} (after pruning) exceed the budget of "
+            f"{max_candidates}"
         )
 
+    guard = current_guard()
+    plan = current_plan()
     for combo in itertools.product(*choice_lists):
+        if guard is not None:
+            guard.tick()
+        if plan is not None:
+            plan.check("enumeration.step")
         instance = DatabaseInstance(dict(zip(names, combo)))
         if all(
             c.holds(instance, schema, assignment) for c in global_constraints

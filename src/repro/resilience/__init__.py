@@ -1,0 +1,64 @@
+"""The resilience layer: fail closed, never silently corrupt.
+
+Constant-complement translation is only trustworthy if the system
+either answers correctly or *visibly* refuses (the paper already models
+refusal as a first-class outcome, Definition 0.1.2(c)).  This package
+makes that guarantee operational for the machinery around the theory:
+
+* :mod:`repro.resilience.guard` -- wall-clock deadlines and step
+  budgets (:class:`ExecutionGuard`), checked cooperatively inside the
+  enumeration and kernel hot loops, raising a typed
+  :class:`~repro.errors.DeadlineExceededError` instead of hanging;
+* :mod:`repro.resilience.faults` -- seeded, deterministic fault
+  injection (:class:`FaultPlan`) consulted at named fault points by the
+  store, the kernels, and enumeration, powering the chaos suite and the
+  ``REPRO_FAULT_SEED`` CI matrix entry.
+
+The degradation ladder (bitset kernel -> naive kernel -> typed
+:class:`~repro.errors.KernelFailureError`) and the checksummed cache
+envelope live in :mod:`repro.engine`, which consumes this package.
+"""
+
+from repro.resilience.faults import (
+    CORRUPT,
+    DELAY,
+    FAULT_POINTS,
+    FAULT_SEED_ENV_VAR,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    RAISE,
+    current_plan,
+    fault_check,
+    fault_corrupt,
+    inject,
+    install_plan,
+)
+from repro.resilience.guard import (
+    DEADLINE_ENV_VAR,
+    ExecutionGuard,
+    current_guard,
+    deadline_from_env,
+    guarded,
+)
+
+__all__ = [
+    "CORRUPT",
+    "DEADLINE_ENV_VAR",
+    "DELAY",
+    "ExecutionGuard",
+    "FAULT_POINTS",
+    "FAULT_SEED_ENV_VAR",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "RAISE",
+    "current_guard",
+    "current_plan",
+    "deadline_from_env",
+    "fault_check",
+    "fault_corrupt",
+    "guarded",
+    "inject",
+    "install_plan",
+]

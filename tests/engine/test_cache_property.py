@@ -17,7 +17,16 @@ from hypothesis import strategies as st
 from repro.engine.engine import Engine
 from repro.kernel.config import use_kernel
 from repro.relational.schema import RelationSchema, Schema
+from repro.resilience.faults import inject
 from repro.typealgebra.assignment import TypeAssignment
+
+
+@pytest.fixture(autouse=True)
+def hermetic_faults():
+    """These properties assert exact hit/build counters; suspend any
+    ambient ``REPRO_FAULT_SEED`` plan so misses are never injected."""
+    with inject(None):
+        yield
 
 
 @contextmanager

@@ -5,6 +5,15 @@ import pickle
 import pytest
 
 from repro.engine.store import ArtifactKey, ArtifactStore
+from repro.resilience.faults import inject
+
+
+@pytest.fixture(autouse=True)
+def hermetic_faults():
+    """These tests assert exact counter values; suspend any ambient
+    ``REPRO_FAULT_SEED`` plan so only explicitly injected faults fire."""
+    with inject(None):
+        yield
 
 
 def key(kind, fp, kernel="bitset"):
@@ -99,7 +108,13 @@ class TestDiskCache:
             store.get_or_build(key("space", "f1"), lambda: "fresh", persist=True)
             == "fresh"
         )
-        assert pickle.loads(path.read_bytes()) == "fresh"
+        assert store.stats()["space"]["corrupt_entries"] == 1
+        # The rebuilt value was re-persisted in the enveloped format.
+        fresh = ArtifactStore(cache_dir=str(tmp_path))
+        assert (
+            fresh.get_or_build(key("space", "f1"), boom, persist=True)
+            == "fresh"
+        )
 
     def test_unpicklable_value_stays_memory_only(self, tmp_path):
         store = ArtifactStore(cache_dir=str(tmp_path))
@@ -125,6 +140,134 @@ class TestDiskCache:
         monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
         store = ArtifactStore()
         assert store.cache_dir == str(tmp_path)
+
+
+class TestDiskInvalidation:
+    def test_invalidate_deletes_persisted_files(self, tmp_path):
+        """Regression: a persisted artifact must not resurrect from
+        disk after its key was invalidated."""
+        store = ArtifactStore(cache_dir=str(tmp_path))
+        space = key("space", "s")
+        analysis = key("analysis", "s")
+        store.get_or_build(space, lambda: "S", persist=True)
+        store.get_or_build(
+            analysis, lambda: "A", dependencies=(space,), persist=True
+        )
+        assert (tmp_path / space.filename()).exists()
+        assert (tmp_path / analysis.filename()).exists()
+        store.invalidate(space)
+        assert not (tmp_path / space.filename()).exists()
+        assert not (tmp_path / analysis.filename()).exists()
+        # A fresh store rebuilds instead of reloading stale bytes.
+        fresh = ArtifactStore(cache_dir=str(tmp_path))
+        assert (
+            fresh.get_or_build(space, lambda: "S2", persist=True) == "S2"
+        )
+
+    def test_invalidate_reaches_disk_for_evicted_entries(self, tmp_path):
+        """Files are deleted even for keys no longer in the LRU."""
+        store = ArtifactStore(cache_dir=str(tmp_path), max_entries=1)
+        first = key("space", "s1")
+        store.get_or_build(first, lambda: "S1", persist=True)
+        store.get_or_build(key("space", "s2"), lambda: "S2", persist=True)
+        assert first not in store  # evicted from memory
+        store.invalidate(first)
+        assert not (tmp_path / first.filename()).exists()
+
+
+class TestTempFiles:
+    def test_temp_name_is_per_process(self, tmp_path):
+        import os
+
+        store = ArtifactStore(cache_dir=str(tmp_path))
+        path = tmp_path / key("space", "f1").filename()
+        tmp = store._temp_path(path)
+        assert str(os.getpid()) in tmp.name
+        assert tmp.name.startswith(path.name)
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        store = ArtifactStore(cache_dir=str(tmp_path))
+        store.get_or_build(key("space", "f1"), lambda: "v", persist=True)
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+
+class TestTransientIO:
+    def test_load_retries_transient_oserror(self, tmp_path, monkeypatch):
+        from repro.resilience.faults import FaultPlan, FaultRule, inject
+
+        store = ArtifactStore(cache_dir=str(tmp_path))
+        store.get_or_build(key("space", "f1"), lambda: "v", persist=True)
+        monkeypatch.setattr(
+            ArtifactStore, "_sleep", staticmethod(lambda s: None)
+        )
+        fresh = ArtifactStore(cache_dir=str(tmp_path))
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    "store.load",
+                    times=2,
+                    exception=lambda: OSError("flaky disk"),
+                ),
+            )
+        )
+        with inject(plan):
+            loaded = fresh.get_or_build(key("space", "f1"), boom, persist=True)
+        assert loaded == "v"
+        counters = fresh.stats()["space"]
+        assert counters["io_retries"] == 2
+        assert counters["disk_hits"] == 1
+
+    def test_load_gives_up_and_rebuilds(self, tmp_path, monkeypatch):
+        from repro.resilience.faults import FaultPlan, FaultRule, inject
+
+        store = ArtifactStore(cache_dir=str(tmp_path))
+        store.get_or_build(key("space", "f1"), lambda: "v", persist=True)
+        monkeypatch.setattr(
+            ArtifactStore, "_sleep", staticmethod(lambda s: None)
+        )
+        fresh = ArtifactStore(cache_dir=str(tmp_path))
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    "store.load", exception=lambda: OSError("dead disk")
+                ),
+            )
+        )
+        with inject(plan):
+            value = fresh.get_or_build(
+                key("space", "f1"), lambda: "rebuilt", persist=True
+            )
+        assert value == "rebuilt"
+        assert fresh.stats()["space"]["builds"] == 1
+
+    def test_save_gives_up_after_bounded_retries(self, tmp_path, monkeypatch):
+        from repro.resilience.faults import FaultPlan, FaultRule, inject
+
+        monkeypatch.setattr(
+            ArtifactStore, "_sleep", staticmethod(lambda s: None)
+        )
+        store = ArtifactStore(cache_dir=str(tmp_path))
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    "store.save", exception=lambda: OSError("read-only")
+                ),
+            )
+        )
+        with inject(plan):
+            built = store.get_or_build(
+                key("space", "f1"), lambda: "v", persist=True
+            )
+        assert built == "v"
+        counters = store.stats()["space"]
+        assert counters["persist_failures"] == 1
+        assert counters["io_retries"] == store.io_attempts - 1
+        assert not (tmp_path / key("space", "f1").filename()).exists()
+
+
+def boom():
+    raise AssertionError("builder must not run on a disk hit")
 
 
 def pytest_fail():

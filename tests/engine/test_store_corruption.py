@@ -1,0 +1,143 @@
+"""Corruption matrix for the hardened disk cache.
+
+Every damage mode applied to a *valid* persisted entry must read as a
+silent miss: the builder runs again, the damaged file is removed, and
+the ``corrupt_entries`` counter records the event.  No damage mode may
+surface an exception to the caller -- a cache is never load-bearing.
+"""
+
+import struct
+
+import pytest
+
+from repro.engine.store import (
+    ENVELOPE_MAGIC,
+    ENVELOPE_VERSION,
+    ArtifactKey,
+    ArtifactStore,
+    _HEADER,
+    _unwrap_payload,
+    _wrap_payload,
+)
+from repro.resilience.faults import inject
+
+KEY = ArtifactKey("space", "f1", "bitset")
+VALUE = {"states": (1, 2, 3), "label": "artifact"}
+
+
+@pytest.fixture(autouse=True)
+def hermetic_faults():
+    """The corruption matrix asserts exact counter values; suspend any
+    ambient ``REPRO_FAULT_SEED`` plan for the duration of each test."""
+    with inject(None):
+        yield
+
+
+def persist_valid_entry(tmp_path):
+    store = ArtifactStore(cache_dir=str(tmp_path))
+    store.get_or_build(KEY, lambda: VALUE, persist=True)
+    return tmp_path / KEY.filename()
+
+
+def truncate_half(blob: bytes) -> bytes:
+    return blob[: len(blob) // 2]
+
+
+def truncate_inside_header(blob: bytes) -> bytes:
+    return blob[: _HEADER.size - 3]
+
+
+def flip_payload_byte(blob: bytes) -> bytes:
+    mutated = bytearray(blob)
+    mutated[-1] ^= 0x40
+    return bytes(mutated)
+
+def flip_header_byte(blob: bytes) -> bytes:
+    mutated = bytearray(blob)
+    mutated[0] ^= 0x01  # damages the magic
+    return bytes(mutated)
+
+
+def wrong_version(blob: bytes) -> bytes:
+    magic, _version, length, digest = _HEADER.unpack_from(blob)
+    return (
+        _HEADER.pack(magic, ENVELOPE_VERSION + 1, length, digest)
+        + blob[_HEADER.size :]
+    )
+
+
+def empty_file(blob: bytes) -> bytes:
+    return b""
+
+
+def extra_trailing_bytes(blob: bytes) -> bytes:
+    return blob + b"\x00\x00\x00\x00"
+
+
+DAMAGE_MODES = [
+    truncate_half,
+    truncate_inside_header,
+    flip_payload_byte,
+    flip_header_byte,
+    wrong_version,
+    empty_file,
+    extra_trailing_bytes,
+]
+
+
+@pytest.mark.parametrize("damage", DAMAGE_MODES, ids=lambda f: f.__name__)
+class TestDamagedEntries:
+    def test_silent_miss_and_rebuild(self, tmp_path, damage):
+        path = persist_valid_entry(tmp_path)
+        path.write_bytes(damage(path.read_bytes()))
+
+        store = ArtifactStore(cache_dir=str(tmp_path))
+        rebuilt = store.get_or_build(KEY, lambda: "rebuilt", persist=True)
+        assert rebuilt == "rebuilt"
+        counters = store.stats()["space"]
+        assert counters["corrupt_entries"] == 1
+        assert counters["builds"] == 1
+        assert counters["disk_hits"] == 0
+
+    def test_rebuild_replaces_damaged_file(self, tmp_path, damage):
+        path = persist_valid_entry(tmp_path)
+        path.write_bytes(damage(path.read_bytes()))
+
+        store = ArtifactStore(cache_dir=str(tmp_path))
+        store.get_or_build(KEY, lambda: "rebuilt", persist=True)
+        # The re-persisted entry is valid again for the next process.
+        fresh = ArtifactStore(cache_dir=str(tmp_path))
+        assert (
+            fresh.get_or_build(KEY, lambda: "never", persist=True)
+            == "rebuilt"
+        )
+        assert fresh.stats()["space"]["disk_hits"] == 1
+
+    def test_unwrap_rejects_without_raising(self, tmp_path, damage):
+        blob = damage(_wrap_payload(b"payload"))
+        assert _unwrap_payload(blob) is None
+
+
+class TestEnvelopeFormat:
+    def test_round_trip(self):
+        payload = b"some pickled artifact bytes"
+        assert _unwrap_payload(_wrap_payload(payload)) == payload
+
+    def test_header_layout(self):
+        blob = _wrap_payload(b"x")
+        magic, version, length, _digest = _HEADER.unpack_from(blob)
+        assert magic == ENVELOPE_MAGIC
+        assert version == ENVELOPE_VERSION
+        assert length == 1
+
+    def test_foreign_file_is_rejected(self):
+        assert _unwrap_payload(b"not an artifact at all") is None
+
+    def test_length_field_is_checked(self):
+        payload = b"payload"
+        blob = _wrap_payload(payload)
+        magic, version, _length, digest = struct.unpack_from(
+            _HEADER.format, blob
+        )
+        lying = _HEADER.pack(magic, version, len(payload) + 5, digest)
+        assert _unwrap_payload(lying + payload) is None

@@ -27,6 +27,10 @@ class TestHierarchy:
             "AmbiguousSolutionError",
             "PosetError",
             "NotABooleanAlgebraError",
+            "ResilienceError",
+            "DeadlineExceededError",
+            "KernelFailureError",
+            "UnexpectedFailureError",
         ):
             assert issubclass(getattr(errors, name), errors.ReproError), name
 
@@ -47,6 +51,16 @@ class TestHierarchy:
         assert issubclass(
             errors.StateSpaceTooLargeError, errors.EnumerationError
         )
+
+    def test_resilience_error_family(self):
+        for name in (
+            "DeadlineExceededError",
+            "KernelFailureError",
+            "UnexpectedFailureError",
+        ):
+            assert issubclass(
+                getattr(errors, name), errors.ResilienceError
+            ), name
 
 
 class TestPayloads:
@@ -69,6 +83,30 @@ class TestPayloads:
         marker = object()
         exc = errors.NotStrongError("not strong", analysis=marker)
         assert exc.analysis is marker
+
+    def test_deadline_exceeded_payload(self):
+        exc = errors.DeadlineExceededError(
+            "too slow",
+            elapsed_ms=12.5,
+            deadline_ms=10.0,
+            steps=2048,
+            max_steps=1024,
+        )
+        assert exc.elapsed_ms == 12.5
+        assert exc.deadline_ms == 10.0
+        assert exc.steps == 2048
+        assert exc.max_steps == 1024
+
+    def test_kernel_failure_payload(self):
+        exc = errors.KernelFailureError(
+            "both rungs failed",
+            kind="analysis",
+            bitset_traceback="tb-bitset",
+            naive_traceback="tb-naive",
+        )
+        assert exc.kind == "analysis"
+        assert exc.bitset_traceback == "tb-bitset"
+        assert exc.naive_traceback == "tb-naive"
 
     def test_catch_all(self):
         with pytest.raises(errors.ReproError):
