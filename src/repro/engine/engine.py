@@ -34,9 +34,19 @@ Every derivation runs through the resilience layer:
   the degradation ladder bitset -> naive -> typed
   :class:`~repro.errors.KernelFailureError` carrying both tracebacks --
   and counted in the store's per-kind ``degradations`` stat;
+* a per-derivation :class:`~repro.resilience.breaker.CircuitBreaker`
+  watches those outcomes: a derivation that keeps producing kernel
+  failures stops being admitted to the ladder and instead fails fast
+  with a typed :class:`~repro.errors.CircuitOpenError` (or, in
+  pin-naive mode, builds directly on the naive rung), until a
+  half-open probe succeeds or :meth:`Engine.reset_breaker` is called;
 * :meth:`Session.update` wraps whatever still escapes in
   :class:`~repro.errors.UnexpectedFailureError`, so callers always see
   either a structured outcome or a :class:`~repro.errors.ReproError`.
+
+:meth:`Engine.stats` bundles both vantage points into one snapshot:
+``{"artifacts": <per-kind store counters>, "breaker": <circuit
+states>}``, each a deep copy safe to mutate or serialize.
 
 A module-level *current engine* (:func:`current_engine`) lets layers
 that predate the engine -- scenario constructors, decomposition
@@ -66,6 +76,7 @@ from repro.errors import (
     UpdateRejected,
 )
 from repro.kernel.config import BITSET, NAIVE, kernel_mode, use_kernel
+from repro.resilience.breaker import PINNED, CircuitBreaker
 from repro.resilience.guard import (
     ExecutionGuard,
     current_guard,
@@ -139,6 +150,10 @@ class Engine:
         cache_dir: Optional[str] = None,
         deadline_ms: Optional[float] = None,
         max_steps: Optional[int] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown_ms: Optional[float] = None,
+        breaker_mode: Optional[str] = None,
     ):
         self.store = store or ArtifactStore(
             max_entries=max_entries, cache_dir=cache_dir
@@ -148,6 +163,13 @@ class Engine:
         self.deadline_ms = deadline_ms
         #: Per-derivation cooperative step budget (``None`` = none).
         self.max_steps = max_steps
+        #: The derivation circuit breaker; explicit knobs win, then the
+        #: ``REPRO_BREAKER_*`` environment variables, then defaults.
+        self.breaker = breaker or CircuitBreaker.from_env(
+            threshold=breaker_threshold,
+            cooldown_ms=breaker_cooldown_ms,
+            mode=breaker_mode,
+        )
 
     # -- resilience --------------------------------------------------------------
 
@@ -173,23 +195,34 @@ class Engine:
             yield
 
     def _resilient(
-        self, kind: str, builder: Callable[[], object]
+        self, kind: str, fingerprint: str, builder: Callable[[], object]
     ) -> Callable[[], object]:
-        """Wrap *builder* in the guard scope and degradation ladder.
+        """Wrap *builder* in the breaker gate, guard scope, and ladder.
 
-        Typed :class:`ReproError`\\ s pass straight through (they are
-        already fail-closed).  An *unexpected* exception under the
-        bitset kernel triggers one retry under the naive kernel (the
-        two are semantically equivalent, so the degraded artifact is
-        valid under the original key); if that also crashes -- or the
-        naive kernel crashed with no rung left below it -- a
-        :class:`KernelFailureError` carries every traceback out.
+        The circuit breaker is consulted first: an open circuit either
+        raises :class:`~repro.errors.CircuitOpenError` immediately
+        (fail-fast mode) or routes the build to the pinned naive rung
+        (pin-naive mode), skipping the ladder entirely.
+
+        Admitted builds run the ladder.  Typed :class:`ReproError`\\ s
+        pass straight through (they are already fail-closed).  An
+        *unexpected* exception under the bitset kernel triggers one
+        retry under the naive kernel (the two are semantically
+        equivalent, so the degraded artifact is valid under the
+        original key); if that also crashes -- or the naive kernel
+        crashed with no rung left below it -- a
+        :class:`KernelFailureError` carries every traceback out.  The
+        breaker hears about every outcome: clean success, degraded
+        success, or kernel failure.
         """
 
         def build() -> object:
+            verdict = self.breaker.admit(kind, fingerprint)
+            if verdict == PINNED:
+                return self._build_pinned(kind, fingerprint, builder)
             with self._guard_scope():
                 try:
-                    return builder()
+                    value = builder()
                 except DeadlineExceededError:
                     self.store.record_deadline_hit(kind)
                     raise
@@ -198,6 +231,7 @@ class Engine:
                 except Exception:
                     first_tb = traceback.format_exc()
                     if kernel_mode() != BITSET:
+                        self.breaker.record_failure(kind, fingerprint)
                         raise KernelFailureError(
                             f"naive-kernel derivation of {kind!r} failed "
                             "unexpectedly (no degradation rung below the "
@@ -208,13 +242,14 @@ class Engine:
                     self.store.record_degradation(kind)
                     try:
                         with use_kernel(NAIVE):
-                            return builder()
+                            value = builder()
                     except DeadlineExceededError:
                         self.store.record_deadline_hit(kind)
                         raise
                     except ReproError:
                         raise
                     except Exception:
+                        self.breaker.record_failure(kind, fingerprint)
                         raise KernelFailureError(
                             f"derivation of {kind!r} failed under the "
                             "bitset kernel and again under the naive "
@@ -223,8 +258,43 @@ class Engine:
                             bitset_traceback=first_tb,
                             naive_traceback=traceback.format_exc(),
                         )
+                    self.breaker.record_degraded(kind, fingerprint)
+                    return value
+                self.breaker.record_success(kind, fingerprint)
+                return value
 
         return build
+
+    def _build_pinned(
+        self, kind: str, fingerprint: str, builder: Callable[[], object]
+    ) -> object:
+        """Build directly on the naive rung (open circuit, pin-naive).
+
+        The doomed bitset attempt is skipped, so the request is served
+        degraded without re-paying the crash; counted under the store's
+        ``degradations`` stat like any other naive-served build.  A
+        pinned success does *not* close the circuit -- only a half-open
+        probe that survives the full ladder does.
+        """
+        self.store.record_degradation(kind)
+        with self._guard_scope():
+            try:
+                with use_kernel(NAIVE):
+                    return builder()
+            except DeadlineExceededError:
+                self.store.record_deadline_hit(kind)
+                raise
+            except ReproError:
+                raise
+            except Exception:
+                self.breaker.record_failure(kind, fingerprint)
+                raise KernelFailureError(
+                    f"pinned naive-kernel derivation of {kind!r} failed "
+                    "unexpectedly (circuit open; no rung below the naive "
+                    "kernel)",
+                    kind=kind,
+                    naive_traceback=traceback.format_exc(),
+                )
 
     # -- keys --------------------------------------------------------------------
 
@@ -254,6 +324,7 @@ class Engine:
             key,
             self._resilient(
                 "space",
+                key.fingerprint,
                 lambda: StateSpace.enumerate(
                     schema, assignment, max_candidates, prune
                 ),
@@ -273,7 +344,9 @@ class Engine:
         space = self.store.get_or_build(
             key,
             self._resilient(
-                "space", lambda: spec.build_state_space(validate=validate)
+                "space",
+                key.fingerprint,
+                lambda: spec.build_state_space(validate=validate),
             ),
             persist=is_content_addressed(spec),
         )
@@ -297,7 +370,7 @@ class Engine:
         key = ArtifactKey("poset", space_key.fingerprint, space_key.kernel)
         return self.store.get_or_build(
             key,
-            self._resilient("poset", lambda: space.poset),
+            self._resilient("poset", key.fingerprint, lambda: space.poset),
             dependencies=(space_key,),
         )
 
@@ -306,7 +379,11 @@ class Engine:
         key = self._key("analysis", view, space)
         return self.store.get_or_build(
             key,
-            self._resilient("analysis", lambda: analyze_view(view, space)),
+            self._resilient(
+                "analysis",
+                key.fingerprint,
+                lambda: analyze_view(view, space),
+            ),
             dependencies=(self._space_key(space),),
             persist=is_content_addressed(view),
         )
@@ -319,7 +396,9 @@ class Engine:
         return self.store.get_or_build(
             key,
             self._resilient(
-                "preimages", lambda: view.preimage_index(space)
+                "preimages",
+                key.fingerprint,
+                lambda: view.preimage_index(space),
             ),
             dependencies=(self._space_key(space),),
             persist=is_content_addressed(view),
@@ -338,6 +417,7 @@ class Engine:
             key,
             self._resilient(
                 "algebra",
+                key.fingerprint,
                 lambda: ComponentAlgebra.discover(space, candidates),
             ),
             dependencies=(self._space_key(space),),
@@ -369,7 +449,7 @@ class Engine:
         )
         return self.store.get_or_build(
             key,
-            self._resilient("procedure", build),
+            self._resilient("procedure", key.fingerprint, build),
             dependencies=(self._space_key(space),),
             persist=persist,
         )
@@ -394,9 +474,30 @@ class Engine:
 
     # -- bookkeeping -------------------------------------------------------------
 
-    def stats(self) -> Dict[str, Dict[str, float]]:
-        """Per-artifact-kind cache counters (see :class:`ArtifactStore`)."""
-        return self.store.stats()
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """One deep-copied snapshot of the engine's health.
+
+        ``stats()["artifacts"]`` holds the store's per-kind cache
+        counters (see :class:`ArtifactStore`); ``stats()["breaker"]``
+        holds the circuit breaker's per-derivation states.  Both are
+        copies -- mutating the result cannot corrupt live bookkeeping,
+        and concurrent readers get internally consistent views.
+        """
+        return {
+            "artifacts": self.store.stats(),
+            "breaker": self.breaker.snapshot(),
+        }
+
+    def reset_breaker(
+        self, kind: Optional[str] = None, fingerprint: Optional[str] = None
+    ) -> int:
+        """Close circuits after an operator fix; returns how many.
+
+        ``reset_breaker()`` forgets every tracked derivation;
+        narrowing by *kind* (and optionally *fingerprint*) clears just
+        those.  The next request runs the full ladder again.
+        """
+        return self.breaker.reset(kind, fingerprint)
 
     @contextmanager
     def activate(self) -> Iterator["Engine"]:

@@ -14,8 +14,26 @@ them under :class:`ArtifactKey`\\ s with
   analyses, algebras, and procedures derived from it -- in memory *and*
   on disk, so stale artifacts cannot resurrect), and
 * per-kind counters (hits, misses, builds, corrupt entries, I/O
-  retries, degradations, deadline hits) for the harness' ``--stats``
-  report.
+  retries, degradations, deadline hits, coalesced builds, lease
+  contention) for the harness' ``--stats`` report.
+
+The store is safe under concurrent use, across threads *and*
+processes:
+
+* one :class:`threading.RLock` guards the LRU, the dependency maps,
+  and every counter; builders always run *outside* it (lock ordering:
+  the store lock is innermost and never held across user code);
+* an in-process **single-flight registry**: N threads requesting the
+  same missing key trigger exactly one build -- the leader builds, the
+  rest block on its result (or re-raise its typed error) and count as
+  ``coalesced_builds``;
+* a **cross-process advisory lease**
+  (:class:`~repro.resilience.locks.FileLease`) around each persisted
+  build, so a second process waits for the winner and then reads its
+  envelope from disk instead of rebuilding (``lease_waits`` /
+  ``lease_takeovers`` / ``lease_timeouts`` counters); stale leases are
+  taken over after ``REPRO_CACHE_LOCK_TTL_MS``, and startup sweeps
+  dead writers' per-pid temp files.
 
 The disk format is hardened: each pickle is wrapped in a checksummed,
 format-versioned envelope (magic + version + length + SHA-256), so
@@ -35,6 +53,7 @@ import hashlib
 import os
 import pickle
 import struct
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -42,6 +61,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, Optional, Set
 
 from repro.resilience.faults import fault_check, fault_corrupt
+from repro.resilience.locks import FileLease, sweep_stale_temp_files
 
 __all__ = [
     "ArtifactKey",
@@ -137,6 +157,15 @@ class KindStats:
     degradations: int = 0
     #: Derivations cancelled by an :class:`ExecutionGuard`.
     deadline_hits: int = 0
+    #: Requests that joined another thread's in-flight build instead of
+    #: building (the single-flight registry at work).
+    coalesced_builds: int = 0
+    #: Lease acquisitions that had to wait behind another process.
+    lease_waits: int = 0
+    #: Stale leases (dead/expired holder) taken over.
+    lease_takeovers: int = 0
+    #: Lease waits that gave up (TTL) and built unleased.
+    lease_timeouts: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -151,6 +180,10 @@ class KindStats:
             "io_retries": self.io_retries,
             "degradations": self.degradations,
             "deadline_hits": self.deadline_hits,
+            "coalesced_builds": self.coalesced_builds,
+            "lease_waits": self.lease_waits,
+            "lease_takeovers": self.lease_takeovers,
+            "lease_timeouts": self.lease_timeouts,
         }
 
 
@@ -158,6 +191,17 @@ class KindStats:
 class _Entry:
     value: object
     dependencies: tuple = ()
+
+
+class _InFlight:
+    """One in-progress build: followers block on :attr:`event`."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: object = None
+        self.error: Optional[BaseException] = None
 
 
 @dataclass
@@ -168,7 +212,8 @@ class ArtifactStore:
     cache_dir: Optional[str] = None
     #: Bounded retry for transient ``OSError`` on disk load/save.
     io_attempts: int = 3
-    #: Base backoff (seconds) between attempts; doubles per retry.
+    #: Base backoff (seconds) between attempts; doubles per retry.  The
+    #: cross-process lease reuses the same base for its waits.
     io_backoff: float = 0.01
     _entries: "OrderedDict[ArtifactKey, _Entry]" = field(
         default_factory=OrderedDict, repr=False
@@ -177,6 +222,17 @@ class ArtifactStore:
         default_factory=dict, repr=False
     )
     _stats: Dict[str, KindStats] = field(default_factory=dict, repr=False)
+    #: Keys currently being built, for in-process single-flight.
+    _inflight: Dict[ArtifactKey, _InFlight] = field(
+        default_factory=dict, repr=False
+    )
+    #: Guards ``_entries``/``_dependents``/``_stats``/``_inflight``.
+    #: Innermost lock: never held while a builder or disk I/O runs.
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False
+    )
+    #: Stale temp files removed by the startup sweep (diagnostic).
+    swept_temp_files: int = field(default=0, repr=False)
 
     #: Injectable for tests; module-level so backoff is patchable.
     _sleep = staticmethod(time.sleep)
@@ -188,6 +244,9 @@ class ArtifactStore:
             raise ValueError("max_entries must be positive")
         if self.io_attempts < 1:
             raise ValueError("io_attempts must be positive")
+        if self.cache_dir:
+            # Reclaim temp files leaked by writers that died mid-save.
+            self.swept_temp_files = sweep_stale_temp_files(self.cache_dir)
 
     # -- core protocol -----------------------------------------------------------
 
@@ -205,27 +264,116 @@ class ArtifactStore:
         *persist* opts the artifact into the on-disk cache; callers must
         only set it for content-addressed inputs (transient fingerprints
         are meaningless in other processes).
-        """
-        stats = self._stats.setdefault(key.kind, KindStats())
-        entry = self._entries.get(key)
-        if entry is not None:
-            stats.hits += 1
-            self._entries.move_to_end(key)
-            return entry.value
 
-        stats.misses += 1
-        dependencies = tuple(dependencies)
+        Concurrent callers coalesce: the first thread to miss becomes
+        the *leader* and builds; every other thread requesting the same
+        key blocks until the leader finishes, then shares its value --
+        or re-raises its (typed) error, so a failing build fails every
+        waiter closed rather than retrying N times.
+        """
+        with self._lock:
+            stats = self._stats.setdefault(key.kind, KindStats())
+            entry = self._entries.get(key)
+            if entry is not None:
+                stats.hits += 1
+                self._entries.move_to_end(key)
+                return entry.value
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _InFlight()
+                self._inflight[key] = flight
+                stats.misses += 1
+                leader = True
+            else:
+                stats.coalesced_builds += 1
+                leader = False
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value
+        try:
+            value = self._service_miss(
+                key, builder, tuple(dependencies), persist, stats
+            )
+            flight.value = value
+            return value
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+
+    def _service_miss(
+        self,
+        key: ArtifactKey,
+        builder: Callable[[], object],
+        dependencies: tuple,
+        persist: bool,
+        stats: KindStats,
+    ) -> object:
+        """Leader path: disk, then (leased) build; insert on success."""
         value = self._load_from_disk(key, stats) if persist else None
         if value is not None:
-            stats.disk_hits += 1
+            with self._lock:
+                stats.disk_hits += 1
         else:
-            started = time.perf_counter()
-            value = builder()
+            value = self._build(key, builder, persist, stats)
+        with self._lock:
+            self._insert(key, _Entry(value, dependencies))
+        return value
+
+    def _build(
+        self,
+        key: ArtifactKey,
+        builder: Callable[[], object],
+        persist: bool,
+        stats: KindStats,
+    ) -> object:
+        """Run *builder*, under a cross-process lease when persisting.
+
+        The lease makes a second *process* wait for the winner and read
+        its envelope from disk rather than duplicate the build; it is
+        advisory, so every lease failure degrades to building unleased.
+        """
+        path = self._disk_path(key) if persist else None
+        if path is None:
+            return self._timed_build(builder, stats)
+        lease = FileLease(path, backoff=self.io_backoff, sleep=self._sleep)
+        lease.acquire()
+        try:
+            with self._lock:
+                if lease.waited:
+                    stats.lease_waits += 1
+                if lease.took_over:
+                    stats.lease_takeovers += 1
+                if lease.timed_out:
+                    stats.lease_timeouts += 1
+            if lease.waited or lease.took_over:
+                # The previous holder may have finished this very
+                # build while we waited; prefer its persisted result.
+                value = self._load_from_disk(key, stats)
+                if value is not None:
+                    with self._lock:
+                        stats.disk_hits += 1
+                    return value
+            value = self._timed_build(builder, stats)
+            self._save_to_disk(key, value, stats)
+            return value
+        finally:
+            lease.release()
+
+    def _timed_build(
+        self, builder: Callable[[], object], stats: KindStats
+    ) -> object:
+        started = time.perf_counter()
+        value = builder()
+        elapsed = time.perf_counter() - started
+        with self._lock:
             stats.builds += 1
-            stats.build_seconds += time.perf_counter() - started
-            if persist:
-                self._save_to_disk(key, value, stats)
-        self._insert(key, _Entry(value, dependencies))
+            stats.build_seconds += elapsed
         return value
 
     def ensure(
@@ -240,23 +388,27 @@ class ArtifactStore:
         parameters also lives under its canonical content key); returns
         the previously registered value if one exists.
         """
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            return entry.value
-        self._insert(key, _Entry(value, tuple(dependencies)))
-        return value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                return entry.value
+            self._insert(key, _Entry(value, tuple(dependencies)))
+            return value
 
     def peek(self, key: ArtifactKey) -> Optional[object]:
         """The cached value, without counting a hit or touching the LRU."""
-        entry = self._entries.get(key)
-        return None if entry is None else entry.value
+        with self._lock:
+            entry = self._entries.get(key)
+            return None if entry is None else entry.value
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: object) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     # -- invalidation ------------------------------------------------------------
 
@@ -265,42 +417,58 @@ class ArtifactStore:
 
         Persisted files are deleted for every visited key -- including
         keys already evicted from memory -- so a stale artifact cannot
-        resurrect from disk after its inputs were invalidated.
+        resurrect from disk after its inputs were invalidated.  The
+        store lock is held across the whole cascade walk, so a racing
+        build cannot re-insert a dependent mid-invalidation and leave
+        the dependency maps half-torn.
         """
-        dropped = 0
-        frontier = [key]
-        while frontier:
-            current = frontier.pop()
-            if current in self._entries:
-                del self._entries[current]
-                dropped += 1
-            self._delete_persisted(current)
-            frontier.extend(self._dependents.pop(current, ()))
-        return dropped
+        with self._lock:
+            dropped = 0
+            frontier = [key]
+            while frontier:
+                current = frontier.pop()
+                if current in self._entries:
+                    del self._entries[current]
+                    dropped += 1
+                self._delete_persisted(current)
+                frontier.extend(self._dependents.pop(current, ()))
+            return dropped
 
     def clear(self) -> None:
         """Drop every in-memory entry (the disk cache is untouched)."""
-        self._entries.clear()
-        self._dependents.clear()
+        with self._lock:
+            self._entries.clear()
+            self._dependents.clear()
 
     # -- statistics --------------------------------------------------------------
 
     def stats(self) -> Dict[str, Dict[str, float]]:
-        """Per-kind counters, keyed by artifact kind."""
-        return {
-            kind: stats.as_dict() for kind, stats in sorted(self._stats.items())
-        }
+        """A deep-copied snapshot of per-kind counters.
+
+        Taken under the store lock, so a concurrent reader sees a
+        consistent point-in-time view -- never a half-updated counter
+        set -- and mutating the returned dicts cannot corrupt the live
+        statistics.
+        """
+        with self._lock:
+            return {
+                kind: stats.as_dict()
+                for kind, stats in sorted(self._stats.items())
+            }
 
     def reset_stats(self) -> None:
-        self._stats.clear()
+        with self._lock:
+            self._stats.clear()
 
     def record_degradation(self, kind: str) -> None:
         """Count one bitset -> naive degradation for *kind*."""
-        self._stats.setdefault(kind, KindStats()).degradations += 1
+        with self._lock:
+            self._stats.setdefault(kind, KindStats()).degradations += 1
 
     def record_deadline_hit(self, kind: str) -> None:
         """Count one deadline/step-budget cancellation for *kind*."""
-        self._stats.setdefault(kind, KindStats()).deadline_hits += 1
+        with self._lock:
+            self._stats.setdefault(kind, KindStats()).deadline_hits += 1
 
     # -- internals ---------------------------------------------------------------
 
@@ -359,7 +527,8 @@ class ArtifactStore:
                 # then give up and rebuild -- never propagate.
                 if attempt + 1 >= self.io_attempts:
                     return None
-                stats.io_retries += 1
+                with self._lock:
+                    stats.io_retries += 1
                 self._sleep(self.io_backoff * (2**attempt))
             except Exception:
                 # Anything else a filesystem could throw is still just
@@ -370,7 +539,8 @@ class ArtifactStore:
         blob = fault_corrupt("store.load", blob)
         payload = _unwrap_payload(blob)
         if payload is None:
-            stats.corrupt_entries += 1
+            with self._lock:
+                stats.corrupt_entries += 1
             self._delete_persisted(key)
             return None
         try:
@@ -379,7 +549,8 @@ class ArtifactStore:
             # A checksum-valid payload that still fails to unpickle
             # means version skew in the *pickled classes* (not the
             # envelope); same remedy -- silent miss and rebuild.
-            stats.corrupt_entries += 1
+            with self._lock:
+                stats.corrupt_entries += 1
             self._delete_persisted(key)
             return None
 
@@ -394,7 +565,8 @@ class ArtifactStore:
         except (pickle.PickleError, TypeError, AttributeError):
             # Persistence is best-effort; unpicklable artifacts simply
             # stay memory-only.
-            stats.persist_failures += 1
+            with self._lock:
+                stats.persist_failures += 1
             return
         blob = _wrap_payload(payload)
         tmp = self._temp_path(path)
@@ -408,12 +580,14 @@ class ArtifactStore:
             except OSError:
                 if attempt + 1 >= self.io_attempts:
                     break
-                stats.io_retries += 1
+                with self._lock:
+                    stats.io_retries += 1
                 self._sleep(self.io_backoff * (2**attempt))
             except Exception:
                 # Persistence is best-effort under *any* failure mode.
                 break
-        stats.persist_failures += 1
+        with self._lock:
+            stats.persist_failures += 1
         try:
             tmp.unlink(missing_ok=True)
         except OSError:

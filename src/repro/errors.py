@@ -198,6 +198,38 @@ class KernelFailureError(ResilienceError):
         self.naive_traceback = naive_traceback
 
 
+class CircuitOpenError(ResilienceError):
+    """A derivation's circuit breaker is open: failing fast, not retrying.
+
+    After ``threshold`` consecutive :class:`KernelFailureError`\\ s for
+    one ``(kind, fingerprint)`` derivation, the engine's
+    :class:`~repro.resilience.breaker.CircuitBreaker` stops re-running
+    the degradation ladder and raises this instead -- a deterministic
+    crash re-crashing on every request would otherwise burn a full
+    bitset + naive build per caller.  The breaker re-probes after a
+    cooldown (half-open), and :meth:`Engine.reset_breaker` clears it
+    manually.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "",
+        fingerprint: str = "",
+        failures: int = 0,
+        retry_after_ms: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        #: The artifact kind being derived ("space", "analysis", ...).
+        self.kind = kind
+        #: Fingerprint of the derivation's inputs.
+        self.fingerprint = fingerprint
+        #: Consecutive kernel failures recorded when the circuit opened.
+        self.failures = failures
+        #: Milliseconds until the breaker will allow a half-open probe.
+        self.retry_after_ms = retry_after_ms
+
+
 class UnexpectedFailureError(ResilienceError):
     """An update-servicing step crashed outside any typed failure path.
 

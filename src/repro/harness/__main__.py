@@ -11,12 +11,19 @@ surface as cache hits rather than repeated enumerations.
 ``REPRO_DEADLINE_MS`` environment variable supplies the same default);
 an experiment whose derivations exceed it is reported as a deadline
 failure instead of hanging the run.
+
+``--workers=N`` services the experiments from N threads sharing the
+one engine -- a live demonstration of the concurrency layer: repeated
+universes coalesce into single builds (the ``coalesced`` counter in
+``--stats``) instead of racing, and the report order stays
+deterministic regardless of completion order.
 """
 
 from __future__ import annotations
 
 import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.engine.engine import Engine
 from repro.errors import DeadlineExceededError
@@ -40,8 +47,9 @@ def _markdown(results) -> str:
 
 
 def _stats_report(engine: Engine) -> str:
+    snapshot = engine.stats()
     lines = ["engine artifact cache:"]
-    for kind, counters in engine.stats().items():
+    for kind, counters in snapshot["artifacts"].items():
         line = (
             f"  {kind}: {counters['hits']} hits, {counters['misses']} misses,"
             f" {counters['builds']} builds"
@@ -54,20 +62,58 @@ def _stats_report(engine: Engine) -> str:
                 ("deadline_hits", "deadline hits"),
                 ("corrupt_entries", "corrupt entries"),
                 ("io_retries", "I/O retries"),
+                ("coalesced_builds", "coalesced"),
+                ("lease_waits", "lease waits"),
+                ("lease_takeovers", "lease takeovers"),
+                ("lease_timeouts", "lease timeouts"),
             )
             if counters[name]
         ]
         if resilience:
             line += f" [{', '.join(resilience)}]"
         lines.append(line)
+    breaker = snapshot["breaker"]
+    if breaker["entries"]:
+        lines.append(
+            f"circuit breaker ({breaker['mode']}, "
+            f"threshold {breaker['threshold']}): "
+            f"{breaker['open']} open circuit(s)"
+        )
+        for label, entry in breaker["entries"].items():
+            lines.append(
+                f"  {label}: {entry['state']}, "
+                f"{entry['failures']} failure(s), {entry['trips']} trip(s)"
+            )
     return "\n".join(lines)
 
 
-def _deadline_ms(argv: list[str]) -> float | None:
+def _flag_value(argv: list[str], name: str) -> str | None:
+    prefix = f"--{name}="
     for arg in argv:
-        if arg.startswith("--deadline="):
-            return float(arg.split("=", 1)[1])
+        if arg.startswith(prefix):
+            return arg.split("=", 1)[1]
     return None
+
+
+def _deadline_ms(argv: list[str]) -> float | None:
+    raw = _flag_value(argv, "deadline")
+    return None if raw is None else float(raw)
+
+
+def _workers(argv: list[str]) -> int:
+    raw = _flag_value(argv, "workers")
+    return 1 if raw is None else max(1, int(raw))
+
+
+def _run_one(experiment_id: str, engine: Engine):
+    """One experiment through the shared engine: ``(result, elapsed,
+    error)`` where exactly one of *result*/*error* is set."""
+    start = time.perf_counter()
+    try:
+        result = run_experiment(experiment_id.upper(), engine=engine)
+    except DeadlineExceededError as exc:
+        return None, time.perf_counter() - start, str(exc)
+    return result, time.perf_counter() - start, None
 
 
 def main(argv: list[str]) -> int:
@@ -75,6 +121,7 @@ def main(argv: list[str]) -> int:
     markdown = "--markdown" in argv
     show_stats = "--stats" in argv
     deadline_ms = _deadline_ms(argv)
+    workers = _workers(argv)
     requested = [a for a in argv if not a.startswith("--")] or list(
         ALL_EXPERIMENTS
     )
@@ -85,20 +132,23 @@ def main(argv: list[str]) -> int:
         print(f"known experiments: {known}")
         return 2
     engine = Engine(deadline_ms=deadline_ms)
+    if workers == 1:
+        outcomes = [_run_one(eid, engine) for eid in requested]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_one, eid, engine) for eid in requested
+            ]
+            outcomes = [future.result() for future in futures]
     failures = 0
     results = []
-    for experiment_id in requested:
-        start = time.perf_counter()
-        try:
-            result = run_experiment(experiment_id.upper(), engine=engine)
-        except DeadlineExceededError as exc:
-            elapsed = time.perf_counter() - start
-            print(f"{experiment_id.upper()}: DEADLINE EXCEEDED -- {exc}")
+    for experiment_id, (result, elapsed, error) in zip(requested, outcomes):
+        if error is not None:
+            print(f"{experiment_id.upper()}: DEADLINE EXCEEDED -- {error}")
             print(f"  elapsed: {elapsed:.2f}s")
             print()
             failures += 1
             continue
-        elapsed = time.perf_counter() - start
         results.append((result, elapsed))
         if not markdown:
             print(result.summary())

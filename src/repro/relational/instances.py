@@ -94,6 +94,16 @@ class DatabaseInstance:
     def __hash__(self) -> int:
         return self._hash
 
+    def __getstate__(self) -> Dict[str, Relation]:
+        # The cached hash is built on str hashes, which are randomized
+        # per process; pickling it would poison cross-process set/dict
+        # lookups on unpickled instances. Recompute it on load instead.
+        return self._relations
+
+    def __setstate__(self, state: Dict[str, Relation]) -> None:
+        self._relations = state
+        self._hash = hash(frozenset(state.items()))
+
     def __repr__(self) -> str:
         body = ", ".join(
             f"{name}={rel!r}" for name, rel in self.items()

@@ -12,7 +12,16 @@ makes that guarantee operational for the machinery around the theory:
 * :mod:`repro.resilience.faults` -- seeded, deterministic fault
   injection (:class:`FaultPlan`) consulted at named fault points by the
   store, the kernels, and enumeration, powering the chaos suite and the
-  ``REPRO_FAULT_SEED`` CI matrix entry.
+  ``REPRO_FAULT_SEED`` CI matrix entry;
+* :mod:`repro.resilience.locks` -- advisory cross-process file leases
+  (:class:`FileLease`) around disk-cache builds, with TTL-based
+  stale-lease takeover (``REPRO_CACHE_LOCK_TTL_MS``) and a startup
+  sweep of dead writers' temp files;
+* :mod:`repro.resilience.breaker` -- a per-derivation circuit breaker
+  (:class:`CircuitBreaker`) that converts deterministic kernel crashes
+  into fast typed :class:`~repro.errors.CircuitOpenError`\\ s (or pins
+  the derivation to the naive kernel) instead of re-running the
+  degradation ladder per request.
 
 The degradation ladder (bitset kernel -> naive kernel -> typed
 :class:`~repro.errors.KernelFailureError`) and the checksummed cache
@@ -41,17 +50,44 @@ from repro.resilience.guard import (
     deadline_from_env,
     guarded,
 )
+from repro.resilience.locks import (
+    DEFAULT_LOCK_TTL_MS,
+    FileLease,
+    LOCK_DISABLE_ENV_VAR,
+    LOCK_TTL_ENV_VAR,
+    leases_enabled,
+    lock_ttl_ms,
+    sweep_stale_temp_files,
+)
+from repro.resilience.breaker import (
+    BREAKER_COOLDOWN_ENV_VAR,
+    BREAKER_MODE_ENV_VAR,
+    BREAKER_THRESHOLD_ENV_VAR,
+    CircuitBreaker,
+    FAIL_FAST,
+    PIN_NAIVE,
+)
 
 __all__ = [
+    "BREAKER_COOLDOWN_ENV_VAR",
+    "BREAKER_MODE_ENV_VAR",
+    "BREAKER_THRESHOLD_ENV_VAR",
     "CORRUPT",
+    "CircuitBreaker",
     "DEADLINE_ENV_VAR",
+    "DEFAULT_LOCK_TTL_MS",
     "DELAY",
     "ExecutionGuard",
+    "FAIL_FAST",
     "FAULT_POINTS",
     "FAULT_SEED_ENV_VAR",
     "FaultPlan",
     "FaultRule",
+    "FileLease",
     "InjectedFault",
+    "LOCK_DISABLE_ENV_VAR",
+    "LOCK_TTL_ENV_VAR",
+    "PIN_NAIVE",
     "RAISE",
     "current_guard",
     "current_plan",
@@ -61,4 +97,7 @@ __all__ = [
     "guarded",
     "inject",
     "install_plan",
+    "leases_enabled",
+    "lock_ttl_ms",
+    "sweep_stale_temp_files",
 ]

@@ -1,0 +1,293 @@
+"""A circuit breaker for deterministically failing derivations.
+
+The engine's degradation ladder (bitset -> naive -> typed
+:class:`~repro.errors.KernelFailureError`) is the right response to a
+*transient* kernel crash; against a *deterministic* one it re-runs two
+doomed builds on every request.  A :class:`CircuitBreaker` remembers,
+per ``(kind, fingerprint)``, how many consecutive kernel failures a
+derivation has produced, and once the threshold is crossed it stops
+admitting ladder runs:
+
+* in **fail-fast** mode (the default) further requests raise a typed
+  :class:`~repro.errors.CircuitOpenError` immediately -- callers get
+  the fail-closed verdict in microseconds instead of after a full
+  bitset + naive build;
+* in **pin-naive** mode further requests are *pinned* to the naive
+  kernel: the engine builds directly on the naive rung, skipping the
+  bitset attempt that keeps crashing.  In this mode successful-but-
+  degraded builds (bitset crashed, naive succeeded) also count toward
+  the threshold, since each one re-pays the doomed bitset attempt.
+
+The breaker follows the classical state machine::
+
+    CLOSED --- threshold consecutive failures ---> OPEN
+    OPEN   --- cooldown elapsed -----------------> HALF-OPEN
+    HALF-OPEN: exactly one probe runs the full ladder;
+               success -> CLOSED, failure -> OPEN (fresh cooldown)
+
+Everything is guarded by one lock and the clock is injectable, so the
+state machine is thread-safe and unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import CircuitOpenError
+
+__all__ = [
+    "ALLOW",
+    "BREAKER_COOLDOWN_ENV_VAR",
+    "BREAKER_MODE_ENV_VAR",
+    "BREAKER_THRESHOLD_ENV_VAR",
+    "CLOSED",
+    "CircuitBreaker",
+    "DEFAULT_COOLDOWN_MS",
+    "DEFAULT_THRESHOLD",
+    "FAIL_FAST",
+    "HALF_OPEN",
+    "OPEN",
+    "PIN_NAIVE",
+    "PINNED",
+    "PROBE",
+]
+
+#: Environment overrides for engines built without explicit knobs.
+BREAKER_THRESHOLD_ENV_VAR = "REPRO_BREAKER_THRESHOLD"
+BREAKER_COOLDOWN_ENV_VAR = "REPRO_BREAKER_COOLDOWN_MS"
+BREAKER_MODE_ENV_VAR = "REPRO_BREAKER_MODE"
+
+DEFAULT_THRESHOLD = 3
+DEFAULT_COOLDOWN_MS = 30_000.0
+
+#: Breaker modes.
+FAIL_FAST = "fail-fast"
+PIN_NAIVE = "pin-naive"
+_MODES = (FAIL_FAST, PIN_NAIVE)
+
+#: Circuit states (as reported by :meth:`CircuitBreaker.snapshot`).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Admission verdicts returned by :meth:`CircuitBreaker.admit`.
+ALLOW = "allow"  # closed circuit: run the normal ladder
+PROBE = "probe"  # half-open: this caller is the single probe
+PINNED = "pinned"  # open, pin-naive mode: build on the naive rung only
+
+
+@dataclass
+class _DerivationState:
+    """Mutable breaker bookkeeping for one ``(kind, fingerprint)``."""
+
+    failures: int = 0  # consecutive; reset on success
+    state: str = CLOSED
+    opened_at: float = 0.0
+    trips: int = 0
+    probing: bool = False
+
+
+class CircuitBreaker:
+    """Thread-safe per-derivation circuit breaker (see module docs)."""
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_THRESHOLD,
+        cooldown_ms: float = DEFAULT_COOLDOWN_MS,
+        mode: str = FAIL_FAST,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be positive")
+        if cooldown_ms < 0:
+            raise ValueError("cooldown_ms must be non-negative")
+        if mode not in _MODES:
+            raise ValueError(
+                f"unknown breaker mode {mode!r}; expected one of {_MODES}"
+            )
+        self.threshold = threshold
+        self.cooldown_ms = cooldown_ms
+        self.mode = mode
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._states: Dict[Tuple[str, str], _DerivationState] = {}
+
+    @classmethod
+    def from_env(
+        cls,
+        threshold: Optional[int] = None,
+        cooldown_ms: Optional[float] = None,
+        mode: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "CircuitBreaker":
+        """A breaker from explicit knobs, falling back to environment.
+
+        Malformed environment values raise eagerly (a typo'd threshold
+        must not silently mean "default threshold").
+        """
+        if threshold is None:
+            raw = os.environ.get(BREAKER_THRESHOLD_ENV_VAR)
+            threshold = (
+                DEFAULT_THRESHOLD
+                if raw is None or not raw.strip()
+                else int(raw)
+            )
+        if cooldown_ms is None:
+            raw = os.environ.get(BREAKER_COOLDOWN_ENV_VAR)
+            cooldown_ms = (
+                DEFAULT_COOLDOWN_MS
+                if raw is None or not raw.strip()
+                else float(raw)
+            )
+        if mode is None:
+            raw = os.environ.get(BREAKER_MODE_ENV_VAR)
+            mode = FAIL_FAST if raw is None or not raw.strip() else raw.strip()
+        return cls(
+            threshold=threshold, cooldown_ms=cooldown_ms, mode=mode,
+            clock=clock,
+        )
+
+    # -- admission ------------------------------------------------------------
+
+    def admit(self, kind: str, fingerprint: str) -> str:
+        """Gate one derivation attempt.
+
+        Returns :data:`ALLOW` (closed circuit -- run the ladder),
+        :data:`PROBE` (half-open -- this caller is the single probe, and
+        must report back via ``record_success``/``record_failure``), or
+        :data:`PINNED` (open in pin-naive mode -- build naive-only).
+        Raises :class:`CircuitOpenError` when open in fail-fast mode.
+        """
+        with self._lock:
+            state = self._states.get((kind, fingerprint))
+            if state is None or state.state == CLOSED:
+                return ALLOW
+            now = self._clock()
+            if (
+                state.state == OPEN
+                and (now - state.opened_at) * 1e3 >= self.cooldown_ms
+            ):
+                state.state = HALF_OPEN
+                state.probing = False
+            if state.state == HALF_OPEN and not state.probing:
+                state.probing = True
+                return PROBE
+            # Open, or half-open with the probe already in flight.
+            if self.mode == PIN_NAIVE:
+                return PINNED
+            remaining = max(
+                0.0, self.cooldown_ms - (now - state.opened_at) * 1e3
+            )
+            raise CircuitOpenError(
+                f"circuit open for derivation {kind!r} "
+                f"(fingerprint {fingerprint[:12]}...): "
+                f"{state.failures} consecutive kernel failures; "
+                f"half-open probe in {remaining:.0f}ms, or call "
+                "Engine.reset_breaker()",
+                kind=kind,
+                fingerprint=fingerprint,
+                failures=state.failures,
+                retry_after_ms=remaining,
+            )
+
+    # -- outcome reporting ----------------------------------------------------
+
+    def record_success(self, kind: str, fingerprint: str) -> None:
+        """A clean build: close the circuit and forget the derivation."""
+        with self._lock:
+            self._states.pop((kind, fingerprint), None)
+
+    def record_degraded(self, kind: str, fingerprint: str) -> None:
+        """A degraded build: bitset crashed, the naive retry succeeded.
+
+        The request was served, so in fail-fast mode this is a success
+        (there is nothing to fail fast *to*).  In pin-naive mode it is
+        the very signal the breaker exists for: each degraded build
+        re-pays a doomed bitset attempt that pinning would skip.
+        """
+        if self.mode == PIN_NAIVE:
+            self._record_failure(kind, fingerprint)
+        else:
+            self.record_success(kind, fingerprint)
+
+    def record_failure(self, kind: str, fingerprint: str) -> None:
+        """A :class:`KernelFailureError`: count it, maybe open."""
+        self._record_failure(kind, fingerprint)
+
+    def _record_failure(self, kind: str, fingerprint: str) -> None:
+        with self._lock:
+            state = self._states.setdefault(
+                (kind, fingerprint), _DerivationState()
+            )
+            state.failures += 1
+            if state.state == HALF_OPEN:
+                # The probe failed: back to open, fresh cooldown.
+                state.state = OPEN
+                state.opened_at = self._clock()
+                state.trips += 1
+                state.probing = False
+            elif state.state == CLOSED:
+                if state.failures >= self.threshold:
+                    state.state = OPEN
+                    state.opened_at = self._clock()
+                    state.trips += 1
+            else:
+                # Already open (a pinned build failed): restart the
+                # cooldown so probes back off while it keeps crashing.
+                state.opened_at = self._clock()
+
+    # -- management -----------------------------------------------------------
+
+    def reset(
+        self, kind: Optional[str] = None, fingerprint: Optional[str] = None
+    ) -> int:
+        """Forget tracked derivations; return how many were cleared.
+
+        ``reset()`` clears everything; ``reset(kind)`` clears one kind;
+        ``reset(kind, fingerprint)`` clears one derivation.
+        """
+        with self._lock:
+            matches = [
+                key
+                for key in self._states
+                if (kind is None or key[0] == kind)
+                and (fingerprint is None or key[1] == fingerprint)
+            ]
+            for key in matches:
+                del self._states[key]
+            return len(matches)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A deep-copied view of the breaker for ``Engine.stats()``."""
+        with self._lock:
+            now = self._clock()
+            entries = {}
+            for (kind, fingerprint), state in sorted(self._states.items()):
+                effective = state.state
+                if (
+                    effective == OPEN
+                    and (now - state.opened_at) * 1e3 >= self.cooldown_ms
+                ):
+                    effective = HALF_OPEN
+                entries[f"{kind}:{fingerprint[:12]}"] = {
+                    "kind": kind,
+                    "fingerprint": fingerprint,
+                    "state": effective,
+                    "failures": state.failures,
+                    "trips": state.trips,
+                }
+            return {
+                "mode": self.mode,
+                "threshold": self.threshold,
+                "cooldown_ms": self.cooldown_ms,
+                "open": sum(
+                    1
+                    for entry in entries.values()
+                    if entry["state"] != CLOSED
+                ),
+                "entries": entries,
+            }

@@ -58,6 +58,8 @@ FAULT_SEED_ENV_VAR = "REPRO_FAULT_SEED"
 FAULT_POINTS: Tuple[str, ...] = (
     "store.load",
     "store.save",
+    "lock.acquire",
+    "lock.release",
     "kernel.encode",
     "kernel.poset",
     "kernel.analysis",
@@ -126,8 +128,10 @@ class FaultPlan:
         Every rule here is *recoverable by design*: transient I/O
         errors are absorbed by the store's bounded retry, corrupted
         cache bytes by the integrity envelope (silent miss + rebuild),
-        and delays are just latency.  Rates are low enough that the
-        bounded retries fail all attempts with negligible probability.
+        failed lease acquisitions by the advisory contract (the build
+        simply runs unleased), and delays are just latency.  Rates are
+        low enough that the bounded retries fail all attempts with
+        negligible probability.
         """
         io_error = lambda: OSError("injected transient I/O failure")  # noqa: E731
         return cls(
@@ -136,6 +140,7 @@ class FaultPlan:
                 FaultRule("store.load", RAISE, rate=0.02, exception=io_error),
                 FaultRule("store.save", RAISE, rate=0.02, exception=io_error),
                 FaultRule("store.load", CORRUPT, rate=0.02),
+                FaultRule("lock.acquire", RAISE, rate=0.02),
                 FaultRule(
                     "enumeration.step", DELAY, rate=0.001, delay=0.0002
                 ),

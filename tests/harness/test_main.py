@@ -22,3 +22,17 @@ class TestMain:
         assert "### E1:" in captured
         assert "**Paper claim.**" in captured
         assert "**Measured**" in captured
+
+    def test_workers_mode_matches_serial(self, capsys):
+        """--workers=N serves the same experiments through one shared
+        engine, with the report in deterministic request order."""
+        exit_code = main(["--workers=4", "--stats", "E1", "E2", "E7"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert captured.index("[E1]") < captured.index("[E2]")
+        assert captured.index("[E2]") < captured.index("[E7]")
+        assert "all 3 experiments passed" in captured
+        assert "engine artifact cache:" in captured
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["E999"]) == 2

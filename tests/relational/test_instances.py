@@ -61,6 +61,38 @@ class TestEqualityAndHash:
     def test_usable_as_dict_key(self, instance):
         assert {instance: 1}[instance] == 1
 
+    def test_pickled_hash_survives_hash_randomization(self, instance):
+        """The cached hash must be recomputed on unpickle: it is built
+        on per-process-randomized str hashes, and artifacts pickled by
+        one process are looked up in sets/dicts by another (the shared
+        ``REPRO_CACHE_DIR`` cross-process cache)."""
+        import os
+        import pickle
+        import subprocess
+        import sys
+
+        code = (
+            "import pickle, sys\n"
+            "from repro.relational.instances import DatabaseInstance\n"
+            "inst = DatabaseInstance("
+            "{'R': {('a', 'b')}, 'S': {('x',), ('y',)}})\n"
+            "sys.stdout.buffer.write(pickle.dumps(inst))\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        blob = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            check=True,
+        ).stdout
+        foreign = pickle.loads(blob)
+        assert foreign == instance
+        assert hash(foreign) == hash(instance)
+        assert foreign in {instance}
+
 
 class TestSetOperations:
     def setup_method(self):

@@ -1,0 +1,342 @@
+"""The derivation circuit breaker: unit tests and engine integration."""
+
+import pytest
+
+from repro.engine.engine import Engine
+from repro.errors import CircuitOpenError, KernelFailureError, ReproError
+from repro.kernel.config import BITSET, use_kernel
+from repro.resilience.breaker import (
+    ALLOW,
+    CLOSED,
+    CircuitBreaker,
+    FAIL_FAST,
+    HALF_OPEN,
+    OPEN,
+    PIN_NAIVE,
+    PINNED,
+    PROBE,
+)
+from repro.resilience.faults import FaultPlan, FaultRule, inject
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_engine_env(monkeypatch):
+    """Counter assertions need engines unaffected by ambient knobs
+    (a shared ``REPRO_CACHE_DIR`` would serve rebuilds from disk)."""
+    for var in (
+        "REPRO_CACHE_DIR",
+        "REPRO_BREAKER_THRESHOLD",
+        "REPRO_BREAKER_COOLDOWN_MS",
+        "REPRO_BREAKER_MODE",
+    ):
+        monkeypatch.delenv(var, raising=False)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance_ms(self, ms):
+        self.now += ms / 1e3
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestStateMachine:
+    def test_closed_admits(self, clock):
+        breaker = CircuitBreaker(threshold=3, clock=clock)
+        assert breaker.admit("space", "fp") == ALLOW
+
+    def test_trips_after_threshold(self, clock):
+        breaker = CircuitBreaker(threshold=3, clock=clock)
+        for _ in range(2):
+            breaker.record_failure("space", "fp")
+            assert breaker.admit("space", "fp") == ALLOW
+        breaker.record_failure("space", "fp")
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.admit("space", "fp")
+        assert excinfo.value.kind == "space"
+        assert excinfo.value.fingerprint == "fp"
+        assert excinfo.value.failures == 3
+        assert excinfo.value.retry_after_ms > 0
+
+    def test_circuit_open_error_is_typed(self):
+        assert issubclass(CircuitOpenError, ReproError)
+
+    def test_success_resets_the_count(self, clock):
+        breaker = CircuitBreaker(threshold=2, clock=clock)
+        breaker.record_failure("space", "fp")
+        breaker.record_success("space", "fp")
+        breaker.record_failure("space", "fp")
+        assert breaker.admit("space", "fp") == ALLOW
+
+    def test_derivations_are_independent(self, clock):
+        breaker = CircuitBreaker(threshold=1, clock=clock)
+        breaker.record_failure("space", "fp-bad")
+        with pytest.raises(CircuitOpenError):
+            breaker.admit("space", "fp-bad")
+        assert breaker.admit("space", "fp-good") == ALLOW
+        assert breaker.admit("analysis", "fp-bad") == ALLOW
+
+    def test_half_open_single_probe(self, clock):
+        breaker = CircuitBreaker(threshold=1, cooldown_ms=100, clock=clock)
+        breaker.record_failure("space", "fp")
+        clock.advance_ms(150)
+        assert breaker.admit("space", "fp") == PROBE
+        # The probe is in flight: everyone else still bounces.
+        with pytest.raises(CircuitOpenError):
+            breaker.admit("space", "fp")
+
+    def test_probe_success_closes(self, clock):
+        breaker = CircuitBreaker(threshold=1, cooldown_ms=100, clock=clock)
+        breaker.record_failure("space", "fp")
+        clock.advance_ms(150)
+        assert breaker.admit("space", "fp") == PROBE
+        breaker.record_success("space", "fp")
+        assert breaker.admit("space", "fp") == ALLOW
+        assert breaker.snapshot()["entries"] == {}
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self, clock):
+        breaker = CircuitBreaker(threshold=1, cooldown_ms=100, clock=clock)
+        breaker.record_failure("space", "fp")
+        clock.advance_ms(150)
+        assert breaker.admit("space", "fp") == PROBE
+        breaker.record_failure("space", "fp")
+        with pytest.raises(CircuitOpenError):
+            breaker.admit("space", "fp")
+        clock.advance_ms(150)  # cooldown restarted at the probe failure
+        assert breaker.admit("space", "fp") == PROBE
+
+    def test_pin_naive_serves_instead_of_raising(self, clock):
+        breaker = CircuitBreaker(threshold=1, mode=PIN_NAIVE, clock=clock)
+        breaker.record_failure("space", "fp")
+        assert breaker.admit("space", "fp") == PINNED
+
+    def test_degraded_counts_only_in_pin_naive(self, clock):
+        fail_fast = CircuitBreaker(threshold=1, mode=FAIL_FAST, clock=clock)
+        fail_fast.record_degraded("space", "fp")
+        assert fail_fast.admit("space", "fp") == ALLOW
+        pinning = CircuitBreaker(threshold=1, mode=PIN_NAIVE, clock=clock)
+        pinning.record_degraded("space", "fp")
+        assert pinning.admit("space", "fp") == PINNED
+
+    def test_reset_scopes(self, clock):
+        breaker = CircuitBreaker(threshold=1, clock=clock)
+        for key in ("a", "b"):
+            breaker.record_failure("space", key)
+        breaker.record_failure("analysis", "a")
+        assert breaker.reset("space", "a") == 1
+        assert breaker.reset("space") == 1
+        assert breaker.reset() == 1
+        assert breaker.admit("analysis", "a") == ALLOW
+
+    def test_snapshot_shape(self, clock):
+        breaker = CircuitBreaker(threshold=2, cooldown_ms=100, clock=clock)
+        breaker.record_failure("space", "f" * 40)
+        snap = breaker.snapshot()
+        assert snap["mode"] == FAIL_FAST
+        assert snap["open"] == 0
+        (entry,) = snap["entries"].values()
+        assert entry["state"] == CLOSED
+        assert entry["failures"] == 1
+        breaker.record_failure("space", "f" * 40)
+        assert breaker.snapshot()["open"] == 1
+        (entry,) = breaker.snapshot()["entries"].values()
+        assert entry["state"] == OPEN
+        clock.advance_ms(150)
+        (entry,) = breaker.snapshot()["entries"].values()
+        assert entry["state"] == HALF_OPEN
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_ms=-1)
+        with pytest.raises(ValueError):
+            CircuitBreaker(mode="explode")
+
+
+class TestEnvKnobs:
+    def test_defaults(self, monkeypatch):
+        for var in (
+            "REPRO_BREAKER_THRESHOLD",
+            "REPRO_BREAKER_COOLDOWN_MS",
+            "REPRO_BREAKER_MODE",
+        ):
+            monkeypatch.delenv(var, raising=False)
+        breaker = CircuitBreaker.from_env()
+        assert breaker.threshold == 3
+        assert breaker.cooldown_ms == 30_000.0
+        assert breaker.mode == FAIL_FAST
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "5")
+        monkeypatch.setenv("REPRO_BREAKER_COOLDOWN_MS", "1000")
+        monkeypatch.setenv("REPRO_BREAKER_MODE", PIN_NAIVE)
+        breaker = CircuitBreaker.from_env()
+        assert breaker.threshold == 5
+        assert breaker.cooldown_ms == 1000.0
+        assert breaker.mode == PIN_NAIVE
+
+    def test_explicit_knobs_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "5")
+        assert CircuitBreaker.from_env(threshold=7).threshold == 7
+
+    def test_malformed_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "several")
+        with pytest.raises(ValueError):
+            CircuitBreaker.from_env()
+
+
+def _bitset_only_plan():
+    """Only the bitset rung crashes: every ladder run degrades."""
+    return FaultPlan(
+        rules=(FaultRule("kernel.analysis", kernel=BITSET),)
+    )
+
+
+class FlakyAnalyze:
+    """A stand-in for the engine's ``analyze_view`` builder target.
+
+    While :attr:`crashing` it fails on *both* ladder rungs (the crash
+    is kernel-independent, like a real deterministic bug); flip it off
+    and the real analysis runs.  :attr:`calls` counts builder entries,
+    which is how the tests prove fail-fast skips the ladder entirely.
+    """
+
+    def __init__(self, real):
+        self.real = real
+        self.crashing = True
+        self.calls = 0
+
+    def __call__(self, view, space):
+        self.calls += 1
+        if self.crashing:
+            raise RuntimeError("deterministic analysis crash")
+        return self.real(view, space)
+
+
+@pytest.fixture
+def flaky_analyze(monkeypatch):
+    from repro.core.strong import analyze_view
+
+    flaky = FlakyAnalyze(analyze_view)
+    monkeypatch.setattr("repro.engine.engine.analyze_view", flaky)
+    return flaky
+
+
+class TestEngineIntegration:
+    def _fail_once(self, engine, view, space):
+        with use_kernel(BITSET):
+            with pytest.raises(KernelFailureError):
+                engine.analysis(view, space)
+        engine.store.clear()  # next request must re-derive
+
+    def test_trips_then_fails_fast_without_ladder(
+        self, small_chain, small_space, flaky_analyze
+    ):
+        """After K kernel failures the ladder stops running: the
+        request dies in the breaker before the builder is invoked."""
+        from repro.decomposition.projections import projection_view
+
+        engine = Engine(breaker_threshold=2, breaker_cooldown_ms=60_000)
+        view = projection_view(small_chain, ("A", "B", "D"))
+        for _ in range(2):
+            self._fail_once(engine, view, small_space)
+        # Each ladder run pays both rungs: bitset attempt + naive retry.
+        assert flaky_analyze.calls == 4
+        with use_kernel(BITSET):
+            with pytest.raises(CircuitOpenError):
+                engine.analysis(view, small_space)
+        # Fail-fast: the builder never ran again.
+        assert flaky_analyze.calls == 4
+        assert engine.stats()["breaker"]["open"] == 1
+        counters = engine.stats()["artifacts"]["analysis"]
+        assert counters["degradations"] == 2
+
+    def test_reset_breaker_reruns_the_ladder(
+        self, small_chain, small_space, flaky_analyze
+    ):
+        from repro.decomposition.projections import projection_view
+
+        engine = Engine(breaker_threshold=1, breaker_cooldown_ms=60_000)
+        view = projection_view(small_chain, ("A", "B", "D"))
+        self._fail_once(engine, view, small_space)
+        with use_kernel(BITSET):
+            with pytest.raises(CircuitOpenError):
+                engine.analysis(view, small_space)
+        assert engine.reset_breaker("analysis") == 1
+        flaky_analyze.crashing = False  # "operator fixed the bug"
+        with use_kernel(BITSET):
+            analysis = engine.analysis(view, small_space)
+        assert analysis is not None
+        assert engine.stats()["breaker"]["entries"] == {}
+
+    def test_half_open_probe_recovers(
+        self, small_chain, small_space, flaky_analyze
+    ):
+        from repro.decomposition.projections import projection_view
+
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            threshold=1, cooldown_ms=100, clock=clock
+        )
+        engine = Engine(breaker=breaker)
+        view = projection_view(small_chain, ("A", "B", "D"))
+        self._fail_once(engine, view, small_space)
+        with use_kernel(BITSET):
+            with pytest.raises(CircuitOpenError):
+                engine.analysis(view, small_space)
+        clock.advance_ms(150)
+        flaky_analyze.crashing = False
+        with use_kernel(BITSET):  # the probe runs clean and closes
+            engine.analysis(view, small_space)
+        assert engine.stats()["breaker"]["entries"] == {}
+
+    def test_pin_naive_skips_the_bitset_rung(self, small_chain, small_space):
+        """Once pinned, requests are served degraded without re-paying
+        the doomed bitset attempt: the bitset fault stops firing."""
+        from repro.decomposition.projections import projection_view
+
+        engine = Engine(
+            breaker_threshold=2,
+            breaker_cooldown_ms=60_000,
+            breaker_mode=PIN_NAIVE,
+        )
+        view = projection_view(small_chain, ("A", "B", "D"))
+        plan = _bitset_only_plan()
+        with use_kernel(BITSET), inject(plan):
+            for _ in range(2):  # degraded builds count toward the trip
+                engine.analysis(view, small_space)
+                engine.store.clear()
+            fired_before = len(plan.log)
+            pinned = engine.analysis(view, small_space)
+            # Pinned: the naive rung served without a bitset crash.
+            assert len(plan.log) == fired_before
+        assert pinned is not None
+        counters = engine.stats()["artifacts"]["analysis"]
+        assert counters["degradations"] == 3
+        assert engine.stats()["breaker"]["open"] == 1
+
+    def test_pinned_naive_crash_is_typed(
+        self, small_chain, small_space, flaky_analyze
+    ):
+        from repro.decomposition.projections import projection_view
+
+        engine = Engine(
+            breaker_threshold=1,
+            breaker_cooldown_ms=60_000,
+            breaker_mode=PIN_NAIVE,
+        )
+        view = projection_view(small_chain, ("A", "B", "D"))
+        self._fail_once(engine, view, small_space)
+        with use_kernel(BITSET):
+            with pytest.raises(KernelFailureError) as excinfo:
+                engine.analysis(view, small_space)
+        assert "pinned" in str(excinfo.value)

@@ -12,6 +12,13 @@ from repro.resilience.guard import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_cache(monkeypatch):
+    """Exact counter assertions: a shared ``REPRO_CACHE_DIR`` could
+    serve the space from disk and skip the guarded builder."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
 @pytest.mark.parametrize("kernel", [BITSET, NAIVE])
 class TestStepBudgetThroughEngine:
     def test_enumeration_trips_the_budget(self, two_unary, kernel):
@@ -20,15 +27,15 @@ class TestStepBudgetThroughEngine:
             with pytest.raises(DeadlineExceededError) as info:
                 engine.space(two_unary.schema, two_unary.assignment)
         assert info.value.max_steps == 1
-        assert engine.stats()["space"]["deadline_hits"] == 1
-        assert engine.stats()["space"]["degradations"] == 0
+        assert engine.stats()["artifacts"]["space"]["deadline_hits"] == 1
+        assert engine.stats()["artifacts"]["space"]["degradations"] == 0
 
     def test_generous_budget_still_completes(self, two_unary, kernel):
         engine = Engine(max_steps=10_000_000)
         with use_kernel(kernel):
             space = engine.space(two_unary.schema, two_unary.assignment)
         assert len(space.states) > 0
-        assert engine.stats()["space"]["deadline_hits"] == 0
+        assert engine.stats()["artifacts"]["space"]["deadline_hits"] == 0
 
 
 class TestWallClockThroughEngine:
@@ -40,7 +47,7 @@ class TestWallClockThroughEngine:
         with pytest.raises(DeadlineExceededError) as info:
             engine.space(two_unary.schema, two_unary.assignment)
         assert info.value.deadline_ms == 0.0
-        assert engine.stats()["space"]["deadline_hits"] == 1
+        assert engine.stats()["artifacts"]["space"]["deadline_hits"] == 1
 
     def test_environment_deadline(self, two_unary, monkeypatch):
         monkeypatch.setattr("repro.resilience.guard._CLOCK_CHECK_EVERY", 1)
@@ -73,7 +80,7 @@ class TestGuardScoping:
         with guarded(ExecutionGuard()):
             space = engine.space(two_unary.schema, two_unary.assignment)
         assert len(space.states) > 0
-        assert engine.stats()["space"]["deadline_hits"] == 0
+        assert engine.stats()["artifacts"]["space"]["deadline_hits"] == 0
 
     def test_outer_budget_spans_nested_derivations(self, two_unary):
         engine = Engine()
@@ -110,4 +117,4 @@ class TestBudgetErrorPayload:
         message = str(info.value)
         assert repr(two_unary.schema.name) in message
         assert "budget of 2" in message
-        assert engine.stats()["space"]["degradations"] == 0
+        assert engine.stats()["artifacts"]["space"]["degradations"] == 0

@@ -15,6 +15,13 @@ from repro.kernel.config import BITSET, NAIVE, use_kernel
 from repro.resilience.faults import FaultPlan, FaultRule, inject
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_cache(monkeypatch):
+    """Exact counter assertions: a shared ``REPRO_CACHE_DIR`` could
+    serve artifacts from disk and skip the degradation ladder."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
 def bitset_analysis_fault():
     return FaultPlan(
         seed=7, rules=(FaultRule("kernel.analysis", kernel=BITSET),)
@@ -27,7 +34,7 @@ class TestDegradedAnalysis:
         view = projection_view(small_chain, ("A", "B", "D"))
         with use_kernel(BITSET), inject(bitset_analysis_fault()):
             degraded = engine.analysis(view, small_space)
-        assert engine.stats()["analysis"]["degradations"] == 1
+        assert engine.stats()["artifacts"]["analysis"]["degradations"] == 1
 
         with use_kernel(NAIVE):
             clean = analyze_view(view, small_space)
@@ -50,7 +57,7 @@ class TestDegradedAnalysis:
         with use_kernel(BITSET):  # same key, no faults active
             again = engine.analysis(view, small_space)
         assert again is degraded
-        counters = engine.stats()["analysis"]
+        counters = engine.stats()["artifacts"]["analysis"]
         assert counters["hits"] == 1
         assert counters["degradations"] == 1
 
@@ -67,7 +74,7 @@ class TestBothRungsFailing:
         assert "InjectedFault" in error.bitset_traceback
         assert "InjectedFault" in error.naive_traceback
         # The failed retry still counts as a degradation attempt.
-        assert engine.stats()["space"]["degradations"] == 1
+        assert engine.stats()["artifacts"]["space"]["degradations"] == 1
 
     def test_kernel_failure_is_a_typed_error(self):
         assert issubclass(KernelFailureError, ResilienceError)
@@ -86,7 +93,7 @@ class TestNaiveModeFailures:
                     engine.space(two_unary.schema, two_unary.assignment)
         assert info.value.bitset_traceback == ""
         assert "InjectedFault" in info.value.naive_traceback
-        assert engine.stats()["space"]["degradations"] == 0
+        assert engine.stats()["artifacts"]["space"]["degradations"] == 0
 
 
 class TestTypedErrorsPassThrough:
@@ -98,7 +105,7 @@ class TestTypedErrorsPassThrough:
             engine.space(
                 two_unary.schema, two_unary.assignment, max_candidates=2
             )
-        assert engine.stats()["space"]["degradations"] == 0
+        assert engine.stats()["artifacts"]["space"]["degradations"] == 0
 
 
 class TestDegradationAcrossExperiments:
@@ -117,6 +124,7 @@ class TestDegradationAcrossExperiments:
             ]
         assert [r.passed for r in results] == [True] * len(results)
         total_degradations = sum(
-            counters["degradations"] for counters in engine.stats().values()
+            counters["degradations"]
+            for counters in engine.stats()["artifacts"].values()
         )
         assert total_degradations > 0
