@@ -112,9 +112,10 @@ def complement_in(
     """
     found: List[PosetMorphism] = []
     for g in candidates:
-        if is_complement_pair(f, g):
-            if not any(g == prior for prior in found):
-                found.append(g)
+        if is_complement_pair(f, g) and not any(
+            g == prior for prior in found
+        ):
+            found.append(g)
     if len(found) > 1:
         raise PosetError(
             f"found {len(found)} complements; Lemma 2.3.2 guarantees at "

@@ -229,7 +229,7 @@ class ComponentAlgebra:
         # Keep the strongly complemented ones.
         keys = list(by_key)
         complemented: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
-        for i, key in enumerate(keys):
+        for key in keys:
             if key in complemented:
                 continue
             for other in keys:

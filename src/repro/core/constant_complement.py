@@ -29,6 +29,7 @@ from typing import Dict, Tuple
 from repro.errors import (
     AmbiguousSolutionError,
     NotAComplementError,
+    NotStrongError,
     UpdateRejected,
 )
 from repro.relational.enumeration import StateSpace
@@ -156,7 +157,16 @@ class ComponentTranslator(UpdateStrategy):
         """
         sharp = self.view_analysis.sharp
         theta_c = self.complement_analysis.theta
-        assert sharp is not None and theta_c is not None
+        if sharp is None or theta_c is None:
+            missing = "gamma#" if sharp is None else "gamma'^Theta"
+            raise NotStrongError(
+                f"constant-complement translation for view"
+                f" {self.view.name!r} requires both strong analyses"
+                f" to carry their tables, but {missing} is missing:"
+                " Theorem 3.1.1 presumes a strongly complemented"
+                " strong view pair (least preimages on the view,"
+                " endomorphism on the complement)"
+            )
         if target not in sharp:
             raise UpdateRejected(
                 f"{target!r} is not a legal state of view "

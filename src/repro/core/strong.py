@@ -92,7 +92,14 @@ class StrongViewAnalysis:
     def theta_morphism(self) -> PosetMorphism:
         """``gamma^Theta`` as a poset endomorphism of the state space."""
         self.require_strong()
-        assert self.theta is not None
+        if self.theta is None:
+            raise NotStrongError(
+                f"view {self.view.name!r} passed the strongness check"
+                " but carries no endomorphism table: least preimages"
+                " were not admitted (Lemma 2.3.1 requires gamma^Theta"
+                " = lp . gamma to be total)",
+                analysis=self,
+            )
         return PosetMorphism(self.space.poset, self.space.poset, self.theta)
 
     def fixpoints(self) -> Tuple[DatabaseInstance, ...]:

@@ -53,6 +53,7 @@ class UpdateRequest:
         """Verify ``gamma'(s1) = t1``; raise ``ValueError`` otherwise."""
         actual = view.apply(self.base_state, assignment)
         if actual != self.view_current:
+            # reprolint: disable=RL001 -- documented ValueError on malformed request tuples; asserted by tests/core/test_update.py
             raise ValueError(
                 f"inconsistent update request: gamma'(s1) != t1 for view "
                 f"{view.name!r}"

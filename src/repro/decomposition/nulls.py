@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Sequence, Tuple
 
+from repro.errors import SchemaError
 from repro.typealgebra.algebra import NULL
 
 
@@ -39,7 +40,7 @@ def pad_row(
     """
     start, end = segment
     if end - start + 1 != len(values):
-        raise ValueError(
+        raise SchemaError(
             f"segment {segment} holds {end - start + 1} values, "
             f"got {len(values)}"
         )

@@ -65,7 +65,7 @@ _ENGINE_EXPORTS = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _STORE_EXPORTS:
         from repro.engine import store
 

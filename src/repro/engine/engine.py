@@ -154,7 +154,7 @@ class Engine:
         breaker_threshold: Optional[int] = None,
         breaker_cooldown_ms: Optional[float] = None,
         breaker_mode: Optional[str] = None,
-    ):
+    ) -> None:
         self.store = store or ArtifactStore(
             max_entries=max_entries, cache_dir=cache_dir
         )
@@ -238,7 +238,7 @@ class Engine:
                             "naive kernel)",
                             kind=kind,
                             naive_traceback=first_tb,
-                        )
+                        ) from None
                     self.store.record_degradation(kind)
                     try:
                         with use_kernel(NAIVE):
@@ -257,7 +257,7 @@ class Engine:
                             kind=kind,
                             bitset_traceback=first_tb,
                             naive_traceback=traceback.format_exc(),
-                        )
+                        ) from None
                     self.breaker.record_degraded(kind, fingerprint)
                     return value
                 self.breaker.record_success(kind, fingerprint)
@@ -294,7 +294,7 @@ class Engine:
                     "kernel)",
                     kind=kind,
                     naive_traceback=traceback.format_exc(),
-                )
+                ) from None
 
     # -- keys --------------------------------------------------------------------
 
@@ -524,7 +524,7 @@ class Session:
         schema: Schema,
         assignment: TypeAssignment,
         space: Optional[StateSpace] = None,
-    ):
+    ) -> None:
         if not schema.has_null_model_property(assignment):
             raise ReproError(
                 f"schema {schema.name!r} lacks the null model property; "

@@ -58,7 +58,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Optional, Set
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
 
 from repro.resilience.faults import fault_check, fault_corrupt
 from repro.resilience.locks import FileLease, sweep_stale_temp_files
@@ -190,7 +190,7 @@ class KindStats:
 @dataclass
 class _Entry:
     value: object
-    dependencies: tuple = ()
+    dependencies: Tuple["ArtifactKey", ...] = ()
 
 
 class _InFlight:
@@ -241,8 +241,10 @@ class ArtifactStore:
         if self.cache_dir is None:
             self.cache_dir = os.environ.get(CACHE_DIR_ENV_VAR) or None
         if self.max_entries < 1:
+            # reprolint: disable=RL001 -- argument validation on the public capacity knob; stdlib idiom
             raise ValueError("max_entries must be positive")
         if self.io_attempts < 1:
+            # reprolint: disable=RL001 -- argument validation on the public capacity knob; stdlib idiom
             raise ValueError("io_attempts must be positive")
         if self.cache_dir:
             # Reclaim temp files leaked by writers that died mid-save.
@@ -290,6 +292,7 @@ class ArtifactStore:
         if not leader:
             flight.event.wait()
             if flight.error is not None:
+                # reprolint: disable=RL001 -- re-raise of the single-flight leader's recorded error, already typed at the build site
                 raise flight.error
             return flight.value
         try:
@@ -310,7 +313,7 @@ class ArtifactStore:
         self,
         key: ArtifactKey,
         builder: Callable[[], object],
-        dependencies: tuple,
+        dependencies: Tuple[ArtifactKey, ...],
         persist: bool,
         stats: KindStats,
     ) -> object:
@@ -472,6 +475,7 @@ class ArtifactStore:
 
     # -- internals ---------------------------------------------------------------
 
+    # reprolint: holds-lock
     def _insert(self, key: ArtifactKey, entry: _Entry) -> None:
         self._entries[key] = entry
         self._entries.move_to_end(key)
@@ -502,6 +506,7 @@ class ArtifactStore:
             return
         try:
             path.unlink(missing_ok=True)
+        # reprolint: disable=RL008 -- cache-file cleanup is best-effort; the stale entry is rejected by checksum on read
         except OSError:
             # Best effort: an undeletable stale file is still rejected
             # by fingerprint mismatch only if inputs changed; nothing
@@ -590,5 +595,6 @@ class ArtifactStore:
             stats.persist_failures += 1
         try:
             tmp.unlink(missing_ok=True)
+        # reprolint: disable=RL008 -- temp-file cleanup after a failed persist; the cache is never load-bearing
         except OSError:
             pass

@@ -238,3 +238,9 @@ class UnexpectedFailureError(ResilienceError):
     here (with the original exception chained) so callers still see a
     :class:`ReproError` subclass.
     """
+
+
+class LintError(ReproError):
+    """A ``repro.lint`` run could not proceed (bad paths, bad baseline,
+    unknown rule id).  Rule *findings* are data, not exceptions; this is
+    for failures of the lint machinery itself."""

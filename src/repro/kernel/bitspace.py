@@ -66,8 +66,11 @@ class TupleCodec:
         self._names: Tuple[str, ...] = tuple(sorted(self._arities))
         self._bit_of: Dict[Tuple[str, Row], int] = {}
         slots: List[Tuple[str, Row]] = []
+        guard = current_guard()
         for name in self._names:
             for row in rows_by_relation.get(name, ()):
+                if guard is not None:
+                    guard.tick()
                 slot = (name, row)
                 if slot in self._bit_of:
                     raise ReproError(f"duplicate codec slot {slot!r}")
@@ -103,7 +106,10 @@ class TupleCodec:
         arities: Dict[str, int] = {}
         observed: Dict[str, set] = {}
         first = True
+        guard = current_guard()
         for instance in instances:
+            if guard is not None:
+                guard.tick()
             if first:
                 for name, rel in instance.items():
                     arities[name] = rel.arity
@@ -157,8 +163,11 @@ class TupleCodec:
         """The bitmask of an instance (raises on out-of-table rows)."""
         mask = 0
         bit_of = self._bit_of
+        # reprolint: disable=RL002 -- bounded by one instance's rows; the
+        # per-family caller loop ticks (encode_all), and a guard lookup
+        # here would tax the innermost hot path
         for name, rel in instance.items():
-            for row in rel.rows:
+            for row in rel.rows:  # reprolint: disable=RL002 -- as above
                 try:
                     mask |= 1 << bit_of[(name, row)]
                 except KeyError:
@@ -188,6 +197,8 @@ class TupleCodec:
                 f"mask {mask:#x} has bits outside the {self.width}-slot table"
             )
         rows: Dict[str, List[Row]] = {name: [] for name in self._names}
+        # reprolint: disable=RL002 -- one bit per set slot: bounded by the
+        # codec width for a single decode
         while mask:
             bit = (mask & -mask).bit_length() - 1
             mask &= mask - 1

@@ -60,7 +60,10 @@ def _compile_typed_columns_mask(
     """Bitmask of the universe rows satisfying the column types."""
     extensions = [assignment.extension(t) for t in constraint.column_types]
     allowed = 0
+    guard = current_guard()
     for i, row in enumerate(rows):
+        if guard is not None:
+            guard.tick()
         if len(row) != len(extensions):
             continue
         if all(value in ext for value, ext in zip(row, extensions)):
@@ -77,9 +80,14 @@ def _compile_fd(
     rhs = _attribute_positions(schema, constraint.relation, constraint.rhs)
     conflicts: List[int] = [0] * len(rows)
     by_lhs: Dict[Tuple, List[int]] = {}
+    guard = current_guard()
     for i, row in enumerate(rows):
+        if guard is not None:
+            guard.tick()
         by_lhs.setdefault(tuple(row[p] for p in lhs), []).append(i)
     for group in by_lhs.values():
+        if guard is not None:
+            guard.tick()
         if len(group) < 2:
             continue
         for i in group:
@@ -89,11 +97,16 @@ def _compile_fd(
                     conflicts[i] |= 1 << j
     interesting = 0
     for i, conflict in enumerate(conflicts):
+        if guard is not None:
+            guard.tick()
         if conflict:
             interesting |= 1 << i
 
     def predicate(mask: int) -> bool:
         probe = mask & interesting
+        # reprolint: disable=RL002 -- bounded by one candidate subset's
+        # conflict rows; the enumeration loop consuming this predicate
+        # ticks per candidate (legal_subset_masks)
         while probe:
             i = (probe & -probe).bit_length() - 1
             probe &= probe - 1
@@ -125,13 +138,18 @@ def _compile_jd(
     # subset.
     same_projection: List[Tuple[int, ...]] = []
     groups: List[Dict[Tuple, int]] = []
+    guard = current_guard()
     for pos in positions:
         grouped: Dict[Tuple, int] = {}
         for i, row in enumerate(rows):
+            if guard is not None:
+                guard.tick()
             key = tuple(row[p] for p in pos)
             grouped[key] = grouped.get(key, 0) | (1 << i)
         groups.append(grouped)
-    for i, row in enumerate(rows):
+    for row in rows:
+        if guard is not None:
+            guard.tick()
         same_projection.append(
             tuple(
                 grouped[tuple(row[p] for p in pos)]
@@ -143,12 +161,16 @@ def _compile_jd(
     def predicate(mask: int) -> bool:
         if not mask:
             return True
+        # reprolint: disable=RL002 -- one pass over the (fixed) tuple
+        # universe per candidate subset; the enumeration loop consuming
+        # this predicate ticks per candidate (legal_subset_masks)
         for i in range(row_count):
             if (mask >> i) & 1:
                 continue
             needs = same_projection[i]
             phantom = True
-            for need in needs:
+            for need in needs:  # reprolint: disable=RL002 -- as above
+
                 if not mask & need:
                     phantom = False
                     break
@@ -200,6 +222,8 @@ def compile_relation_filter(
     """
     allowed = (1 << len(rows)) - 1 if rows else 0
     predicates: List[MaskPredicate] = []
+    # reprolint: disable=RL002 -- bounded by the schema's declared
+    # constraint list; runs once per compile, not per state
     for constraint in constraints:
         if isinstance(constraint, TypedColumnsConstraint):
             allowed &= _compile_typed_columns_mask(

@@ -93,15 +93,17 @@ def analyze_view_bitset(view, space) -> "StrongViewAnalysis":  # noqa: F821
 
     # Fibers of gamma' as masks over source state indices.
     m = len(image_states)
+    guard = current_guard()
     fibers = [0] * m
     for i, f in enumerate(fidx):
+        if guard is not None:
+            guard.tick()
         fibers[f] |= 1 << i
     # Least preimage per image state: the fiber member whose up-set
     # contains the entire fiber (it is below every other member).
     # States are ordered by size, so the least element (when it exists)
     # tends to be an early set bit.
     up_s = source._up_matrix()
-    guard = current_guard()
     sharp_idx: List[Optional[int]] = [None] * m
     admits_lp = True
     for f in range(m):
@@ -147,10 +149,14 @@ def analyze_view_bitset(view, space) -> "StrongViewAnalysis":  # noqa: F821
 
         lp_mask = 0
         for f in range(m):
+            if guard is not None:
+                guard.tick()
             lp_mask |= 1 << sharp_idx[f]
         downward_stationary = True
         probe = lp_mask
         while probe:
+            if guard is not None:
+                guard.tick()
             x = (probe & -probe).bit_length() - 1
             probe &= probe - 1
             if below_s[x] & ~lp_mask:

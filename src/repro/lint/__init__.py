@@ -1,0 +1,57 @@
+"""``reprolint``: AST-based invariant checks for the repro stack.
+
+Four PRs of growth piled up invariants that were enforced only by
+docstrings and reviewer memory -- "raise typed ``ReproError``\\ s only",
+"hot loops must tick the guard", "store state only under
+``self._lock``", "fingerprints must be deterministic", "fault points
+and ``FAULT_POINTS`` must stay in sync", "every ``REPRO_*`` knob is
+documented".  This package turns each of those into a machine-checkable
+rule over the source tree, in the same spirit in which the library
+itself turns the paper's well-behavedness conditions (admissibility,
+strong complementation) into executable analyses.
+
+Everything is standard library: sources are parsed with :mod:`ast`,
+comments with :mod:`tokenize`.  The pieces:
+
+* :mod:`repro.lint.findings` -- the :class:`Finding` record every rule
+  emits (``rule``, ``path``, ``line``, ``message``);
+* :mod:`repro.lint.project` -- the parsed source tree rules run over;
+* :mod:`repro.lint.registry` -- the rule registry (``RL001``..) and the
+  :class:`Rule` base class;
+* :mod:`repro.lint.rules` -- one module per rule;
+* :mod:`repro.lint.suppress` -- ``# reprolint: disable=RL00x`` inline
+  suppressions (with a ``-- justification`` tail) and the
+  ``# reprolint: holds-lock`` method marker;
+* :mod:`repro.lint.baseline` -- the committed grandfather file for
+  findings accepted as-is;
+* :mod:`repro.lint.cli` -- ``python -m repro.lint`` (text/JSON output,
+  rule selection, baseline handling; exit 0 clean / 1 findings).
+
+Run it locally with::
+
+    PYTHONPATH=src python -m repro.lint src/repro
+
+CI runs the same command (JSON format) as the blocking
+``lint-invariants`` job.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+from repro.lint.project import Project, SourceFile
+from repro.lint.registry import Rule, all_rules, get_rule, rule_ids
+from repro.lint.runner import run_rules, select_rules
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "get_rule",
+    "rule_ids",
+    "run_rules",
+    "select_rules",
+]

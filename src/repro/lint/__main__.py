@@ -1,0 +1,16 @@
+"""Entry point for ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an
+        # error worth a traceback. 2 mirrors a usage-level failure.
+        sys.stderr.close()
+        sys.exit(2)

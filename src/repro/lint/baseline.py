@@ -1,0 +1,93 @@
+"""The committed baseline of grandfathered findings.
+
+The baseline is a JSON file listing findings that are accepted as-is.
+Policy (see DESIGN.md "Static guarantees"): the committed baseline is
+kept **empty** -- every violation is either fixed or carries an inline
+``# reprolint: disable`` with a justification, which keeps the reason
+next to the code it excuses.  The baseline mechanism exists for
+transitions: a new rule can land with its pre-existing findings
+grandfathered (``--update-baseline``) and then be burned down, without
+ever turning the CI job red in between.
+
+Matching is on ``(rule, path, message)`` -- deliberately line-free, so
+unrelated edits that shift a grandfathered finding a few lines do not
+resurrect it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Set, Tuple
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+_Key = Tuple[str, str, str]
+
+
+def _key(rule: str, path: str, message: str) -> _Key:
+    return (rule, path, message)
+
+
+@dataclass
+class Baseline:
+    path: str
+    entries: Set[_Key] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls(path=path)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise LintError(
+                f"unreadable baseline file {path!r}: {exc}"
+            ) from exc
+        if (
+            not isinstance(data, dict)
+            or not isinstance(data.get("findings"), list)
+        ):
+            raise LintError(
+                f"baseline file {path!r} must be a JSON object with a"
+                " 'findings' list"
+            )
+        entries: Set[_Key] = set()
+        for item in data["findings"]:
+            try:
+                entries.add(
+                    _key(item["rule"], item["path"], item["message"])
+                )
+            except (TypeError, KeyError) as exc:
+                raise LintError(
+                    f"malformed baseline entry in {path!r}: {item!r}"
+                ) from exc
+        return cls(path=path, entries=entries)
+
+    def contains(self, finding: Finding) -> bool:
+        return (
+            _key(finding.rule, finding.path, finding.message)
+            in self.entries
+        )
+
+    def filter(self, findings: Iterable[Finding]) -> List[Finding]:
+        return [f for f in findings if not self.contains(f)]
+
+    def write(self, findings: Iterable[Finding]) -> None:
+        payload = {
+            "comment": (
+                "reprolint baseline: grandfathered findings. Policy is"
+                " to keep this empty -- prefer fixing, or an inline"
+                " '# reprolint: disable=RLxxx -- why' at the site."
+            ),
+            "findings": [
+                f.baseline_key()
+                for f in sorted(set(findings))
+            ],
+        }
+        with open(self.path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")

@@ -1,0 +1,163 @@
+"""``python -m repro.lint`` command line.
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.errors import LintError
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.registry import all_rules, rule_ids
+from repro.lint.runner import run_rules, select_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "reprolint: AST-based invariant checks for the repro"
+            " source tree"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSON baseline of grandfathered findings; matched"
+            " findings are not reported"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the --baseline file to contain exactly the"
+            " current findings, then exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RLxxx",
+        help=(
+            "run only this rule (repeatable; accepts comma-separated"
+            " lists)"
+        ),
+    )
+    parser.add_argument(
+        "--strict-suppressions",
+        action="store_true",
+        help=(
+            "report any '# reprolint: disable' comment that lacks a"
+            " ' -- justification' tail"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _wanted_rules(values: Optional[Sequence[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    wanted: List[str] = []
+    for value in values:
+        wanted.extend(v.strip() for v in value.split(",") if v.strip())
+    return wanted
+
+
+def _render_text(findings: Sequence[Finding]) -> str:
+    lines = [f.render() for f in findings]
+    lines.append(
+        f"reprolint: {len(findings)} finding(s)"
+        if findings
+        else "reprolint: clean"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(
+    findings: Sequence[Finding], rules: Sequence[str]
+) -> str:
+    counts: dict = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return json.dumps(
+        {
+            "findings": [f.to_json() for f in findings],
+            "counts": counts,
+            "total": len(findings),
+            "rules_run": list(rules),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    opts = parser.parse_args(argv)
+    if opts.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id} {rule.name}: {rule.summary}")
+        return EXIT_CLEAN
+    try:
+        rules = select_rules(all_rules(), _wanted_rules(opts.rule))
+        if opts.rule and not rules:
+            raise LintError(
+                f"no matching rules among {', '.join(rule_ids())}"
+            )
+        project = Project.from_paths(opts.paths)
+        findings = run_rules(
+            project,
+            rules,
+            strict_suppressions=opts.strict_suppressions,
+        )
+        if opts.baseline:
+            baseline = Baseline.load(opts.baseline)
+            if opts.update_baseline:
+                baseline.write(findings)
+                print(
+                    f"reprolint: baseline {opts.baseline} updated with"
+                    f" {len(findings)} finding(s)"
+                )
+                return EXIT_CLEAN
+            findings = baseline.filter(findings)
+        elif opts.update_baseline:
+            raise LintError("--update-baseline requires --baseline=FILE")
+    except LintError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if opts.format == "json":
+        print(_render_json(findings, [r.id for r in rules]))
+    else:
+        print(_render_text(findings))
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -1,0 +1,42 @@
+"""The finding record emitted by every reprolint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is stored relative to the project root so findings are
+    stable across checkouts (the baseline relies on this).  ``line`` is
+    1-based.  Ordering is (path, line, rule) so reports read in file
+    order.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def baseline_key(self) -> Dict[str, str]:
+        """Identity used by the baseline: deliberately line-free.
+
+        A grandfathered finding should survive unrelated edits that
+        shift it a few lines; it is matched on what it says and where
+        it lives, not on exact position.
+        """
+        return {"rule": self.rule, "path": self.path, "message": self.message}

@@ -1,0 +1,176 @@
+"""The parsed source tree a lint run operates over.
+
+A :class:`Project` owns:
+
+* the list of parsed :class:`SourceFile` objects (AST + raw source +
+  inline suppressions),
+* the project *root* (common ancestor of the input paths) that
+  findings are reported relative to,
+* the nearest ``README.md`` above the root, which registry rules
+  (RL006) read the knob table from.
+
+Files that fail to parse produce an ``RL000 parse-error`` finding
+rather than aborting the run, so one broken file cannot hide findings
+in the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+from repro.lint.suppress import FileSuppressions, scan_suppressions
+
+#: Directory names never descended into when collecting sources.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".ruff_cache", ".pytest_cache", "build"}
+)
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python source file."""
+
+    #: Path relative to the project root, with ``/`` separators.
+    rel_path: str
+    #: Absolute path on disk.
+    abs_path: str
+    #: Raw source text.
+    text: str
+    #: Parsed module (``None`` when the file failed to parse).
+    tree: Optional[ast.Module]
+    #: Inline ``# reprolint:`` directives found in the file.
+    suppressions: FileSuppressions
+
+    @property
+    def name(self) -> str:
+        return os.path.basename(self.rel_path)
+
+    def is_under(self, *parts: str) -> bool:
+        """True when some path segment sequence matches ``parts``.
+
+        ``f.is_under("kernel")`` is true for ``src/repro/kernel/x.py``
+        and for a fixture tree's ``kernel/x.py`` alike -- rules use
+        segment matching, not absolute prefixes, so they work on both
+        the real tree and test fixtures.
+        """
+        segments = self.rel_path.split("/")[:-1]
+        n = len(parts)
+        return any(
+            tuple(segments[i : i + n]) == tuple(parts)
+            for i in range(len(segments) - n + 1)
+        )
+
+
+@dataclass
+class Project:
+    root: str
+    files: List[SourceFile]
+    #: Findings produced during loading (parse errors).
+    load_findings: List[Finding] = field(default_factory=list)
+    #: Absolute path of the README used for registry rules, if any.
+    readme_path: Optional[str] = None
+
+    @classmethod
+    def from_paths(cls, paths: Sequence[str]) -> "Project":
+        if not paths:
+            raise LintError("no input paths given to reprolint")
+        abs_paths = [os.path.abspath(p) for p in paths]
+        for p in abs_paths:
+            if not os.path.exists(p):
+                raise LintError(f"no such file or directory: {p}")
+        root = _common_root(abs_paths)
+        py_files = sorted(_collect(abs_paths))
+        files: List[SourceFile] = []
+        load_findings: List[Finding] = []
+        for abs_path in py_files:
+            rel = os.path.relpath(abs_path, root).replace(os.sep, "/")
+            with open(abs_path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+            tree: Optional[ast.Module]
+            try:
+                tree = ast.parse(text, filename=rel)
+            except SyntaxError as exc:
+                tree = None
+                load_findings.append(
+                    Finding(
+                        path=rel,
+                        line=exc.lineno or 1,
+                        rule="RL000",
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+            files.append(
+                SourceFile(
+                    rel_path=rel,
+                    abs_path=abs_path,
+                    text=text,
+                    tree=tree,
+                    suppressions=scan_suppressions(text),
+                )
+            )
+        return cls(
+            root=root,
+            files=files,
+            load_findings=load_findings,
+            readme_path=_find_readme(root),
+        )
+
+    def parsed(self) -> Iterable[SourceFile]:
+        return (f for f in self.files if f.tree is not None)
+
+    def readme_text(self) -> Optional[str]:
+        if self.readme_path is None:
+            return None
+        with open(self.readme_path, "r", encoding="utf-8") as fh:
+            return fh.read()
+
+
+def _collect(paths: Iterable[str]) -> Iterable[str]:
+    seen = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in _SKIP_DIRS
+            )
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, fname)
+                if full not in seen:
+                    seen.add(full)
+                    yield full
+
+
+def _common_root(abs_paths: Sequence[str]) -> str:
+    dirs: Tuple[str, ...] = tuple(
+        p if os.path.isdir(p) else os.path.dirname(p) for p in abs_paths
+    )
+    return os.path.commonpath(dirs)
+
+
+def _find_readme(root: str) -> Optional[str]:
+    """Nearest README.md at or above ``root``.
+
+    Linting ``src/repro`` in the real repo must find the top-level
+    README (the knob table lives there); a fixture tree carries its
+    own README at its root.  Walking upward serves both.
+    """
+    current = root
+    while True:
+        candidate = os.path.join(current, "README.md")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent

@@ -1,0 +1,75 @@
+"""Rule base class and the rule registry.
+
+A rule is a class with a stable ``id`` (``RL001``..), a short ``name``,
+a one-line ``summary``, and a ``check(project)`` method yielding raw
+:class:`~repro.lint.findings.Finding` objects.  Suppression filtering
+is the runner's job, not the rule's: rules report everything they see,
+and the runner drops findings covered by an inline
+``# reprolint: disable`` at the finding's line.
+
+Rules register themselves with the :func:`register` decorator at import
+time; importing :mod:`repro.lint.rules` populates the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Type
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+
+
+class Rule:
+    """Base class for reprolint rules."""
+
+    id: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, message: str) -> Finding:
+        return Finding(
+            path=path, line=line, rule=self.id, message=message
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.id or not cls.name:
+        raise LintError(
+            f"rule class {cls.__name__} must set 'id' and 'name'"
+        )
+    if cls.id in _REGISTRY:
+        raise LintError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package registers every rule module.
+    import repro.lint.rules  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    _ensure_loaded()
+    return [_REGISTRY[rid]() for rid in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[rule_id]()
+    except KeyError:
+        raise LintError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None

@@ -1,0 +1,14 @@
+"""Rule modules; importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401
+    env_knobs,
+    fault_points,
+    fingerprint_determinism,
+    guard_discipline,
+    lock_discipline,
+    mutable_defaults,
+    swallowed_exceptions,
+    typed_errors,
+)

@@ -1,0 +1,62 @@
+"""Shared AST helpers for reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple, Union
+
+_PARENT = "_reprolint_parent"
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def set_parents(tree: ast.AST) -> None:
+    """Annotate every node with its parent (idempotent)."""
+    if getattr(tree, _PARENT, _PARENT) is None:
+        return  # already annotated (root parent is None)
+    setattr(tree, _PARENT, None)
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, _PARENT, node)
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    current = getattr(node, _PARENT, None)
+    while current is not None:
+        yield current
+        current = getattr(current, _PARENT, None)
+
+
+def enclosing_function(node: ast.AST) -> Optional[FunctionNode]:
+    for anc in ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return anc
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: Tuple[str, ...] = ()
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts = (current.attr,) + parts
+        current = current.value
+    if isinstance(current, ast.Name):
+        return ".".join((current.id,) + parts)
+    return None
+
+
+def first_body_line(node: ast.AST) -> int:
+    body = getattr(node, "body", None)
+    if body:
+        return int(body[0].lineno)
+    return int(getattr(node, "lineno", 1))
+
+
+def is_self_attr(node: ast.AST, attr: Optional[str] = None) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )

@@ -1,0 +1,91 @@
+"""RL006: every ``REPRO_*`` environment knob is documented.
+
+The README carries a knob table (``| `REPRO_X` | default | meaning |``)
+that operators configure the system from.  This rule keeps it honest
+in both directions:
+
+* every exact ``"REPRO_..."`` string literal in the scanned code (the
+  way knobs are read: ``os.environ.get("REPRO_KERNEL")``) must have a
+  README table row;
+* every table row must correspond to a knob actually read in code.
+
+The README is found by walking upward from the lint root, so linting
+``src/repro`` picks up the repository README while a test fixture tree
+supplies its own.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.registry import Rule, register
+
+_KNOB_LITERAL = re.compile(r"REPRO_[A-Z][A-Z0-9_]*\Z")
+_README_ROW = re.compile(r"^\s*\|\s*`(REPRO_[A-Z][A-Z0-9_]*)`\s*\|")
+
+
+@register
+class EnvKnobRegistryRule(Rule):
+    id = "RL006"
+    name = "env-knob-registry"
+    summary = (
+        "REPRO_* environment reads and the README knob table agree"
+        " in both directions"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        code_knobs: Dict[str, Tuple[str, int]] = {}
+        for source in project.parsed():
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if (
+                    isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and _KNOB_LITERAL.fullmatch(node.value)
+                ):
+                    code_knobs.setdefault(
+                        node.value, (source.rel_path, node.lineno)
+                    )
+        readme_text = project.readme_text()
+        if readme_text is None:
+            if code_knobs:
+                knob, (path, line) = sorted(code_knobs.items())[0]
+                yield self.finding(
+                    path,
+                    line,
+                    f"environment knob {knob!r} read in code but no"
+                    " README.md with a knob table was found",
+                )
+            return
+        readme_rel = os.path.relpath(
+            project.readme_path or "README.md", project.root
+        ).replace(os.sep, "/")
+        doc_knobs: Dict[str, int] = {}
+        for line_no, line in enumerate(readme_text.splitlines(), 1):
+            match = _README_ROW.match(line)
+            if match:
+                doc_knobs.setdefault(match.group(1), line_no)
+        for knob in sorted(code_knobs):
+            if knob not in doc_knobs:
+                path, line = code_knobs[knob]
+                yield self.finding(
+                    path,
+                    line,
+                    f"environment knob {knob!r} read in code but"
+                    f" undocumented in the {readme_rel} knob table",
+                )
+        for knob in sorted(doc_knobs):
+            if knob not in code_knobs:
+                yield self.finding(
+                    readme_rel,
+                    doc_knobs[knob],
+                    f"environment knob {knob!r} documented in"
+                    f" {readme_rel} but never read in the scanned"
+                    " code",
+                )

@@ -1,0 +1,78 @@
+"""RL002: hot-path loops must reach ``guard.tick()``.
+
+Cooperative cancellation (``REPRO_DEADLINE_MS``; DESIGN.md section 5)
+only works if every unbounded loop on the derivation hot path calls
+:meth:`ExecutionGuard.tick`.  Scope: every module under ``kernel/``
+(except ``config.py``) and ``relational/enumeration.py``.
+
+A loop is compliant when its own subtree contains a ``.tick(...)``
+call, or when an *enclosing* loop does (the outer iteration ticks, so
+the inner loop is re-checked every outer pass).  Loops that are
+genuinely bounded by compile-time-small structures (schema arity, rule
+lists) carry inline suppressions saying so.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.project import Project, SourceFile
+from repro.lint.registry import Rule, register
+
+_LOOP = (ast.For, ast.AsyncFor, ast.While)
+_EXEMPT_FILES = frozenset({"config.py", "__init__.py"})
+
+
+def _in_scope(source: SourceFile) -> bool:
+    if source.is_under("kernel"):
+        return source.name not in _EXEMPT_FILES
+    return source.name == "enumeration.py" and source.is_under(
+        "relational"
+    )
+
+
+def _contains_tick(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Call)
+        and isinstance(sub.func, ast.Attribute)
+        and sub.func.attr == "tick"
+        for sub in ast.walk(node)
+    )
+
+
+@register
+class GuardDisciplineRule(Rule):
+    id = "RL002"
+    name = "guard-discipline"
+    summary = (
+        "loops in kernel/ and relational/enumeration.py must reach"
+        " guard.tick()"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.parsed():
+            if not _in_scope(source) or source.tree is None:
+                continue
+            yield from self._walk(source, source.tree, ticked=False)
+
+    def _walk(
+        self, source: SourceFile, node: ast.AST, ticked: bool
+    ) -> Iterable[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _LOOP):
+                compliant = ticked or _contains_tick(child)
+                if not compliant:
+                    yield self.finding(
+                        source.rel_path,
+                        child.lineno,
+                        "loop on a guarded hot path never reaches"
+                        " guard.tick() (cooperative cancellation;"
+                        " see repro.resilience.guard)",
+                    )
+                yield from self._walk(
+                    source, child, ticked=compliant
+                )
+            else:
+                yield from self._walk(source, child, ticked=ticked)

@@ -1,0 +1,74 @@
+"""RL007: no mutable default argument values.
+
+The classic Python trap: a ``list``/``dict``/``set`` literal (or
+constructor call, or comprehension) in a ``def`` default is evaluated
+once and shared across every call.  Default to ``None`` and
+materialise inside the body instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.registry import Rule, register
+
+_FUNC_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+)
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+def _defaulted_args(
+    args: ast.arguments,
+) -> Iterable[Tuple[str, Optional[ast.expr]]]:
+    positional: List[ast.arg] = list(args.posonlyargs) + list(args.args)
+    tail = positional[len(positional) - len(args.defaults) :]
+    for arg, default in zip(tail, args.defaults):
+        yield arg.arg, default
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        yield arg.arg, default
+
+
+@register
+class MutableDefaultsRule(Rule):
+    id = "RL007"
+    name = "no-mutable-default-args"
+    summary = "function defaults must not be mutable objects"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.parsed():
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, _FUNC_DEFS):
+                    continue
+                for name, default in _defaulted_args(node.args):
+                    if default is not None and _is_mutable(default):
+                        yield self.finding(
+                            source.rel_path,
+                            default.lineno,
+                            f"mutable default argument for parameter"
+                            f" {name!r} (evaluated once, shared"
+                            " across calls; default to None)",
+                        )

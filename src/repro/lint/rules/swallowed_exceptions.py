@@ -1,0 +1,42 @@
+"""RL008: no ``except ...: pass`` without a justification.
+
+A handler whose entire body is ``pass`` erases a failure with no trace.
+The resilience layer has a small number of legitimate best-effort
+sites (cache-file cleanup, lease release on teardown); each one must
+say so with an inline ``# reprolint: disable=RL008 -- why`` so the
+next reader knows the swallow is deliberate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.registry import Rule, register
+
+
+@register
+class SwallowedExceptionsRule(Rule):
+    id = "RL008"
+    name = "no-swallowed-exceptions"
+    summary = "no 'except ...: pass' without a disable justification"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.parsed():
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if all(
+                    isinstance(stmt, ast.Pass) for stmt in node.body
+                ):
+                    yield self.finding(
+                        source.rel_path,
+                        node.lineno,
+                        "except clause swallows the exception with a"
+                        " bare 'pass' (handle it, or justify with"
+                        " '# reprolint: disable=RL008 -- why')",
+                    )

@@ -1,0 +1,63 @@
+"""Run a set of rules over a project and apply suppressions."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.project import Project, SourceFile
+from repro.lint.registry import Rule
+
+
+def run_rules(
+    project: Project,
+    rules: Sequence[Rule],
+    strict_suppressions: bool = False,
+) -> List[Finding]:
+    """Run ``rules`` over ``project``; return surviving findings.
+
+    A finding is dropped when the file carries a matching
+    ``# reprolint: disable=<rule>`` on the finding's line (or on a
+    standalone comment line directly above it).  Parse errors from the
+    project loader are always included.  With ``strict_suppressions``,
+    every disable comment lacking a ``-- justification`` tail earns an
+    RL000 finding of its own.
+    """
+    by_path: Dict[str, SourceFile] = {
+        f.rel_path: f for f in project.files
+    }
+    findings: List[Finding] = list(project.load_findings)
+    for rule in rules:
+        for finding in rule.check(project):
+            source = by_path.get(finding.path)
+            if source is not None and source.suppressions.is_suppressed(
+                finding.rule, finding.line
+            ):
+                continue
+            findings.append(finding)
+    if strict_suppressions:
+        findings.extend(_unjustified(project.files))
+    return sorted(set(findings))
+
+
+def _unjustified(files: Iterable[SourceFile]) -> Iterable[Finding]:
+    for source in files:
+        for sup in source.suppressions.unjustified():
+            yield Finding(
+                path=source.rel_path,
+                line=sup.line,
+                rule="RL000",
+                message=(
+                    "suppression without justification: add"
+                    " ' -- <why>' after the rule list"
+                ),
+            )
+
+
+def select_rules(
+    rules: Sequence[Rule], wanted: Optional[Sequence[str]]
+) -> List[Rule]:
+    if not wanted:
+        return list(rules)
+    wanted_set = {w.strip() for w in wanted if w.strip()}
+    return [r for r in rules if r.id in wanted_set]

@@ -1,0 +1,146 @@
+"""Inline ``# reprolint:`` directives.
+
+Two directive forms are recognised, extracted with :mod:`tokenize` so
+string literals containing the marker text are never misread:
+
+``# reprolint: disable=RL001[,RL002] -- justification``
+    Suppresses the named rules.  On a code line, it applies to that
+    line; on a line of its own, it applies to the *next* line (so long
+    suppressions can sit above the statement they justify).  The
+    ``-- justification`` tail is required by policy for RL008 and
+    strongly encouraged everywhere; the CLI's ``--strict-suppressions``
+    flag turns a missing justification into a finding.
+
+``# reprolint: holds-lock``
+    Placed on (or immediately above) a ``def`` line, marks the method
+    as one that is only ever called with the instance lock held.
+    RL003 treats the method body as locked and checks the *callers*
+    instead.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+_DISABLE_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<rules>[A-Z0-9,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*))?$"
+)
+_HOLDS_LOCK_RE = re.compile(r"#\s*reprolint:\s*holds-lock\b")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    line: int
+    rules: FrozenSet[str]
+    justification: str
+    #: True when the comment had no code before it on its line, in
+    #: which case it governs the next code line as well.
+    standalone: bool
+    #: The next non-blank, non-comment line after a standalone
+    #: suppression (comment blocks may continue over several lines);
+    #: equal to ``line`` for trailing comments.
+    target_line: int = 0
+
+
+@dataclass
+class FileSuppressions:
+    suppressions: List[Suppression] = field(default_factory=list)
+    holds_lock_lines: Set[int] = field(default_factory=set)
+    _by_line: Dict[int, List[Suppression]] = field(default_factory=dict)
+
+    def _index(self) -> Dict[int, List[Suppression]]:
+        if not self._by_line and self.suppressions:
+            for sup in self.suppressions:
+                self._by_line.setdefault(sup.line, []).append(sup)
+                if sup.standalone and sup.target_line:
+                    self._by_line.setdefault(
+                        sup.target_line, []
+                    ).append(sup)
+        return self._by_line
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        return any(
+            rule in sup.rules for sup in self._index().get(line, ())
+        )
+
+    def unjustified(self) -> List[Suppression]:
+        return [s for s in self.suppressions if not s.justification]
+
+
+def scan_suppressions(text: str) -> FileSuppressions:
+    result = FileSuppressions()
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(text).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files already get an RL000 finding from the
+        # project loader; there is nothing to suppress in them.
+        return result
+    lines = text.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        line_no, col = tok.start
+        standalone = tok.line[:col].strip() == ""
+        match = _DISABLE_RE.search(tok.string)
+        if match:
+            rules = frozenset(
+                r.strip()
+                for r in match.group("rules").split(",")
+                if r.strip()
+            )
+            result.suppressions.append(
+                Suppression(
+                    line=line_no,
+                    rules=rules,
+                    justification=(match.group("why") or "").strip(),
+                    standalone=standalone,
+                    target_line=(
+                        _next_code_line(lines, line_no)
+                        if standalone
+                        else line_no
+                    ),
+                )
+            )
+        elif _HOLDS_LOCK_RE.search(tok.string):
+            result.holds_lock_lines.add(line_no)
+            if standalone:
+                result.holds_lock_lines.add(
+                    _next_code_line(lines, line_no)
+                )
+    return result
+
+
+def _next_code_line(lines: List[str], after: int) -> int:
+    """First non-blank, non-comment line after 1-based line ``after``.
+
+    Lets a standalone directive start a multi-line comment block: the
+    continuation comment lines are skipped and the directive lands on
+    the statement below.
+    """
+    for idx in range(after, len(lines)):
+        stripped = lines[idx].strip()
+        if stripped and not stripped.startswith("#"):
+            return idx + 1
+    return after
+
+
+def holds_lock_marked(
+    sups: FileSuppressions, def_line: int, first_body_line: int
+) -> bool:
+    """True when a holds-lock marker sits in the def header region.
+
+    The marker may be on the ``def`` line itself, on the line above
+    it, or on any header line up to (but not past) the first body
+    statement -- which covers multi-line signatures.
+    """
+    lines: Tuple[int, ...] = tuple(
+        range(def_line, max(def_line + 1, first_body_line))
+    )
+    return any(ln in sups.holds_lock_lines for ln in lines)

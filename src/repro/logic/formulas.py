@@ -16,6 +16,7 @@ import itertools
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Mapping, Tuple
 
+from repro.errors import EvaluationError, ReproError
 from repro.logic.terms import Term, Var
 from repro.typealgebra.types import TypeExpr
 
@@ -176,7 +177,7 @@ def free_variables(formula: Formula) -> FrozenSet[Var]:
         return free_variables(formula.left) | free_variables(formula.right)
     if isinstance(formula, (ForAll, Exists)):
         return free_variables(formula.body) - {formula.var}
-    raise TypeError(f"unknown formula node {formula!r}")
+    raise EvaluationError(f"unknown formula node {formula!r}")
 
 
 def is_sentence(formula: Formula) -> bool:
@@ -190,7 +191,9 @@ def _fresh_var(taken: Iterable[str], base: str) -> Var:
         candidate = f"{base}_{index}"
         if candidate not in taken:
             return Var(candidate)
-    raise AssertionError("unreachable")
+    raise ReproError(
+        "unreachable: itertools.count() is inexhaustible"
+    )
 
 
 def substitute(formula: Formula, mapping: Mapping[Var, Term]) -> Formula:
@@ -237,7 +240,7 @@ def substitute(formula: Formula, mapping: Mapping[Var, Term]) -> Formula:
             body = substitute(body, {bound: fresh})
             bound = fresh
         return node_type(bound, substitute(body, relevant))
-    raise TypeError(f"unknown formula node {formula!r}")
+    raise EvaluationError(f"unknown formula node {formula!r}")
 
 
 def and_all(formulas: Iterable[Formula]) -> Formula:

@@ -23,6 +23,7 @@ class Var(Term):
 
     def __post_init__(self) -> None:
         if not self.name:
+            # reprolint: disable=RL001 -- constructor validation of variable names; asserted by tests/logic/test_formulas.py
             raise ValueError("variable name must be non-empty")
 
     def __repr__(self) -> str:

@@ -371,12 +371,11 @@ class TupleGeneratingDependency(Constraint):
 
     def binding_passes_guards(self, binding, assignment) -> bool:
         """Whether a body homomorphism satisfies the type guards."""
-        for var, type_expr in self.guards:
-            if var in binding and not assignment.satisfies(
-                binding[var], type_expr
-            ):
-                return False
-        return True
+        return all(
+            var not in binding
+            or assignment.satisfies(binding[var], type_expr)
+            for var, type_expr in self.guards
+        )
 
     def holds(self, instance, schema, assignment) -> bool:
         existentials = self._existential_vars()
@@ -446,10 +445,10 @@ class EqualityGeneratingDependency(Constraint):
     name: str = ""
 
     def holds(self, instance, schema, assignment) -> bool:
-        for binding in _atom_matches(self.body, instance):
-            if binding.get(self.left) != binding.get(self.right):
-                return False
-        return True
+        return all(
+            binding.get(self.left) == binding.get(self.right)
+            for binding in _atom_matches(self.body, instance)
+        )
 
     def to_formula(self, schema) -> Formula:
         body_vars = sorted(

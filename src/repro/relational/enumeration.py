@@ -86,6 +86,8 @@ def tuple_universe(
 
 
 def _subsets(rows: Tuple[Tuple[object, ...], ...]) -> Iterator[FrozenSet]:
+    # reprolint: disable=RL002 -- lazy generator: every consumer is the
+    # naive relation_choices loop, which ticks per yielded subset
     for mask in range(1 << len(rows)):
         subset = frozenset(
             rows[i] for i in range(len(rows)) if mask & (1 << i)
@@ -115,6 +117,7 @@ def enumerate_instances(
         for rel in schema.relations
     }
     candidate_count = 1
+    # reprolint: disable=RL002 -- bounded by the schema's relation count
     for name, rows in universes.items():
         subset_count = 1 << len(rows)
         # Even with pruning, every relation's subset loop iterates
@@ -139,6 +142,7 @@ def enumerate_instances(
             rel.name: [] for rel in schema.relations
         }
         global_constraints: List[Constraint] = []
+        # reprolint: disable=RL002 -- bounded by the declared constraints
         for constraint in all_constraints:
             relations = constraint_relations(constraint)
             if relations is not None and len(relations) == 1:
@@ -163,6 +167,8 @@ def enumerate_instances(
             # Constraints compiled once to mask predicates; legal masks
             # arrive in ascending numeric order, matching `_subsets`.
             row_count = len(rows)
+            # reprolint: disable=RL002 -- legal_subset_masks ticks (and
+            # fault-checks) once per candidate inside the generator
             for mask in legal_subset_masks(
                 schema, assignment, name, rows, singleton_constraints
             ):
@@ -194,6 +200,7 @@ def enumerate_instances(
 
     choice_lists = [relation_choices(name) for name in names]
     pruned_count = 1
+    # reprolint: disable=RL002 -- bounded by the schema's relation count
     for choices in choice_lists:
         pruned_count *= len(choices)
     if pruned_count > max_candidates:
@@ -283,7 +290,10 @@ class StateSpace:
         """Wrap caller-supplied states; optionally re-check legality."""
         states = tuple(states)
         if validate:
+            guard = current_guard()
             for state in states:
+                if guard is not None:
+                    guard.tick()
                 if not schema.is_legal(state, assignment):
                     raise IllegalInstanceError(
                         f"supplied state is not legal: {state!r}"
@@ -337,14 +347,13 @@ class StateSpace:
     def poset(self) -> FinitePoset:
         """The ⊥-poset of states under relation-wise inclusion."""
         if self._poset is None:
-            if bitset_enabled():
-                self._poset = FinitePoset.from_masks(
-                    self._states, self.masks
-                )
-            else:
-                self._poset = FinitePoset.from_leq(
+            self._poset = (
+                FinitePoset.from_masks(self._states, self.masks)
+                if bitset_enabled()
+                else FinitePoset.from_leq(
                     self._states, lambda a, b: a.issubset(b)
                 )
+            )
         return self._poset
 
     def leq(self, low: DatabaseInstance, high: DatabaseInstance) -> bool:

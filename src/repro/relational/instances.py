@@ -122,6 +122,7 @@ class DatabaseInstance:
 
     def _check_compatible(self, other: "DatabaseInstance") -> None:
         if not isinstance(other, DatabaseInstance):
+            # reprolint: disable=RL001 -- TypeError on non-tuple rows is the documented dict-like contract
             raise TypeError(
                 f"expected DatabaseInstance, got {type(other).__name__}"
             )

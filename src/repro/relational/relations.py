@@ -97,6 +97,7 @@ class Relation:
 
     def _check_compatible(self, other: "Relation") -> None:
         if not isinstance(other, Relation):
+            # reprolint: disable=RL001 -- TypeError on non-tuple rows is the documented dict-like contract; asserted by tests/relational/test_relations.py
             raise TypeError(f"expected Relation, got {type(other).__name__}")
         if self._arity != other._arity:
             raise ArityError(
@@ -179,6 +180,7 @@ class Relation:
     def product(self, other: "Relation") -> "Relation":
         """Cartesian product (column concatenation)."""
         if not isinstance(other, Relation):
+            # reprolint: disable=RL001 -- TypeError on non-tuple rows is the documented dict-like contract
             raise TypeError(f"expected Relation, got {type(other).__name__}")
         return Relation(
             {left + right for left in self._rows for right in other._rows},

@@ -102,10 +102,13 @@ class CircuitBreaker:
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if threshold < 1:
+            # reprolint: disable=RL001 -- constructor validation of breaker knobs; asserted by tests/resilience/test_breaker.py
             raise ValueError("threshold must be positive")
         if cooldown_ms < 0:
+            # reprolint: disable=RL001 -- constructor validation of breaker knobs; asserted by tests/resilience/test_breaker.py
             raise ValueError("cooldown_ms must be non-negative")
         if mode not in _MODES:
+            # reprolint: disable=RL001 -- constructor validation of breaker knobs; asserted by tests/resilience/test_breaker.py
             raise ValueError(
                 f"unknown breaker mode {mode!r}; expected one of {_MODES}"
             )

@@ -101,6 +101,7 @@ class FaultRule:
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
+            # reprolint: disable=RL001 -- validation of fault-rule kinds; asserted by tests/resilience/test_faults.py
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
             )
@@ -115,7 +116,9 @@ class FaultPlan:
     every firing as ``(point, kind)`` for test assertions.
     """
 
-    def __init__(self, seed: int = 0, rules: Tuple[FaultRule, ...] = ()):
+    def __init__(
+        self, seed: int = 0, rules: Tuple[FaultRule, ...] = ()
+    ) -> None:
         self.seed = seed
         self.rules: List[FaultRule] = list(rules)
         self.log: List[Tuple[str, str]] = []
@@ -159,9 +162,7 @@ class FaultPlan:
 
             if kernel_mode() != rule.kernel:
                 return False
-        if rule.rate < 1.0 and self._rng.random() >= rule.rate:
-            return False
-        return True
+        return rule.rate >= 1.0 or self._rng.random() < rule.rate
 
     # -- consultation ---------------------------------------------------------
 
@@ -176,6 +177,7 @@ class FaultPlan:
                 if rule.kind == DELAY:
                     time.sleep(rule.delay)
                 else:
+                    # reprolint: disable=RL001 -- deliberately raises the configured exception type: fault injection must simulate untyped failures too
                     raise rule.exception()
 
     def corrupt(self, point: str, data: bytes) -> bytes:

@@ -72,8 +72,10 @@ class ExecutionGuard:
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if deadline_ms is not None and deadline_ms < 0:
+            # reprolint: disable=RL001 -- constructor validation of guard budgets; asserted by tests/resilience/test_guard.py
             raise ValueError("deadline_ms must be non-negative")
         if max_steps is not None and max_steps < 0:
+            # reprolint: disable=RL001 -- constructor validation of guard budgets; asserted by tests/resilience/test_guard.py
             raise ValueError("max_steps must be non-negative")
         self.deadline_ms = deadline_ms
         self.max_steps = max_steps

@@ -182,6 +182,7 @@ class FileLease:
             try:
                 payload = f"{os.getpid()} {time.time()}"
                 os.write(fd, payload.encode("ascii"))
+            # reprolint: disable=RL008 -- lease diagnostics payload is advisory; an empty lockfile still locks
             except OSError:
                 pass
             finally:
@@ -233,6 +234,7 @@ class FileLease:
     def _remove_lockfile(self) -> None:
         try:
             self.path.unlink(missing_ok=True)
+        # reprolint: disable=RL008 -- lockfile removal is best-effort; a leftover lease is taken over after the TTL
         except OSError:
             pass
 

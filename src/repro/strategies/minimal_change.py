@@ -77,6 +77,7 @@ class MinimalChangeStrategy(_EngineBackedStrategy):
     ):
         super().__init__(view, space, engine)
         if tie_break not in ("reject", "pick"):
+            # reprolint: disable=RL001 -- argument validation of the metric name; asserted by tests/strategies/test_minimal_change.py
             raise ValueError(f"unknown tie_break {tie_break!r}")
         self.tie_break = tie_break
 

@@ -66,6 +66,7 @@ class AtomicType(TypeExpr):
 
     def __post_init__(self) -> None:
         if not self.name:
+            # reprolint: disable=RL001 -- constructor validation of atom names; asserted by tests/typealgebra/test_types.py
             raise ValueError("atomic type name must be non-empty")
 
     def _iter_atoms(self) -> Iterator["AtomicType"]:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import SchemaError
 from repro.typealgebra.algebra import NULL
 from repro.decomposition.nulls import (
     maximal_intervals,
@@ -45,7 +46,7 @@ class TestPadRow:
         assert segment_of(row) == (1, 3)
 
     def test_length_mismatch(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SchemaError):
             pad_row(("a",), (0, 1), 4)
 
 

@@ -1,0 +1,181 @@
+"""Planted-violation fixture trees for the reprolint tests.
+
+Each entry of :data:`PER_RULE` is a minimal source tree containing
+exactly ONE violation of its rule and none of any other, so running
+the *full* rule set over it must yield precisely that finding.
+:data:`COMBINED` merges them into one tree with one violation per
+rule.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Mapping
+
+# A README with no knob table: RL006 stays silent on trees that read
+# no environment knobs, and the upward README search never escapes the
+# fixture root.
+PLAIN_README = "# fixture\n\nNothing to see here.\n"
+
+KNOB_README = (
+    "# fixture\n\n"
+    "| variable | default | meaning |\n"
+    "|---|---|---|\n"
+    "| `REPRO_ALPHA` | unset | alpha knob |\n"
+)
+
+ERRORS_PY = (
+    "class ReproError(Exception):\n"
+    "    pass\n"
+    "\n"
+    "\n"
+    "class AppError(ReproError):\n"
+    "    pass\n"
+)
+
+RL001_APP = (
+    "def run(x):\n"
+    "    if x < 0:\n"
+    '        raise ValueError("negative")\n'
+    "    return x\n"
+)
+
+RL002_HOT = (
+    "def crunch(items):\n"
+    "    total = 0\n"
+    "    for item in items:\n"
+    "        total += item\n"
+    "    return total\n"
+)
+
+RL003_STORE = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "class Store:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._data = {}\n"
+    "\n"
+    "    def put(self, key, value):\n"
+    "        with self._lock:\n"
+    "            self._data[key] = value\n"
+    "\n"
+    "    def drop(self, key):\n"
+    "        self._data.pop(key, None)\n"
+)
+
+RL004_FINGERPRINT = (
+    "import hashlib\n"
+    "import time\n"
+    "\n"
+    "\n"
+    "def fingerprint(payload):\n"
+    "    digest = hashlib.sha256(str(payload).encode())\n"
+    "    digest.update(str(time.time()).encode())\n"
+    "    return digest.hexdigest()\n"
+)
+
+RL005_FAULTS = (
+    'FAULT_POINTS = ("io.read",)\n'
+    "\n"
+    "\n"
+    "def fault_check(point):\n"
+    "    return point in FAULT_POINTS\n"
+)
+
+RL005_CONSUMERS = (
+    "def read(fault_check):\n"
+    '    fault_check("io.read")\n'
+    '    fault_check("io.write")\n'
+)
+
+RL006_KNOBS = (
+    "import os\n"
+    "\n"
+    'ALPHA = os.environ.get("REPRO_ALPHA")\n'
+    'BETA = os.environ.get("REPRO_BETA")\n'
+)
+
+RL007_DEFAULTS = (
+    "def collect(item, bucket=[]):\n"
+    "    bucket.append(item)\n"
+    "    return bucket\n"
+)
+
+RL008_CLEANUP = (
+    "import os\n"
+    "\n"
+    "\n"
+    "def remove_quietly(path):\n"
+    "    try:\n"
+    "        os.unlink(path)\n"
+    "    except OSError:\n"
+    "        pass\n"
+)
+
+PER_RULE: Dict[str, Dict[str, str]] = {
+    "RL001": {
+        "README.md": PLAIN_README,
+        "errors.py": ERRORS_PY,
+        "app.py": RL001_APP,
+    },
+    "RL002": {
+        "README.md": PLAIN_README,
+        "errors.py": ERRORS_PY,
+        "kernel/hot.py": RL002_HOT,
+    },
+    "RL003": {
+        "README.md": PLAIN_README,
+        "errors.py": ERRORS_PY,
+        "store.py": RL003_STORE,
+    },
+    "RL004": {
+        "README.md": PLAIN_README,
+        "errors.py": ERRORS_PY,
+        "fingerprint.py": RL004_FINGERPRINT,
+    },
+    "RL005": {
+        "README.md": PLAIN_README,
+        "errors.py": ERRORS_PY,
+        "faults.py": RL005_FAULTS,
+        "consumers.py": RL005_CONSUMERS,
+    },
+    "RL006": {
+        "README.md": KNOB_README,
+        "errors.py": ERRORS_PY,
+        "knobs.py": RL006_KNOBS,
+    },
+    "RL007": {
+        "README.md": PLAIN_README,
+        "errors.py": ERRORS_PY,
+        "defaults.py": RL007_DEFAULTS,
+    },
+    "RL008": {
+        "README.md": PLAIN_README,
+        "errors.py": ERRORS_PY,
+        "cleanup.py": RL008_CLEANUP,
+    },
+}
+
+COMBINED: Dict[str, str] = {
+    "README.md": KNOB_README,
+    "errors.py": ERRORS_PY,
+    "app.py": RL001_APP,
+    "kernel/hot.py": RL002_HOT,
+    "store.py": RL003_STORE,
+    "fingerprint.py": RL004_FINGERPRINT,
+    "faults.py": RL005_FAULTS,
+    "consumers.py": RL005_CONSUMERS,
+    "knobs.py": RL006_KNOBS,
+    "defaults.py": RL007_DEFAULTS,
+    "cleanup.py": RL008_CLEANUP,
+}
+
+
+def write_tree(root: Path, files: Mapping[str, str]) -> Path:
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+    return root

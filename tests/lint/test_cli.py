@@ -1,0 +1,132 @@
+"""End-to-end tests for ``python -m repro.lint``.
+
+The acceptance contract for the linter:
+
+* exit 0 (clean) on the real ``src/repro`` tree against the committed
+  baseline -- exactly the invocation CI runs;
+* exit 1 with the correct rule ID for each planted single-violation
+  fixture tree;
+* exit 2 on usage errors (bad paths, unknown rules, broken baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tests.lint.fixtures import COMBINED, PER_RULE, write_tree
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+ALL_RULE_IDS = sorted(PER_RULE)
+
+
+def run_cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_real_tree_is_clean_against_committed_baseline():
+    # The exact blocking invocation the CI lint-invariants job runs.
+    result = run_cli(
+        "--format=json",
+        "--baseline=reprolint-baseline.json",
+        "src/repro",
+    )
+    payload = json.loads(result.stdout)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert payload["total"] == 0
+    assert payload["findings"] == []
+    assert payload["rules_run"] == ALL_RULE_IDS
+
+
+def test_real_tree_is_clean_with_strict_suppressions():
+    result = run_cli("--strict-suppressions", "src/repro")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_planted_fixture_fails_with_its_rule_id(tmp_path, rule_id):
+    tree = write_tree(tmp_path, PER_RULE[rule_id])
+    result = run_cli("--format=json", str(tree))
+    assert result.returncode == 1, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert [f["rule"] for f in payload["findings"]] == [rule_id]
+    assert payload["counts"] == {rule_id: 1}
+
+
+def test_combined_fixture_reports_one_violation_per_rule(tmp_path):
+    tree = write_tree(tmp_path, COMBINED)
+    result = run_cli("--format=json", str(tree))
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["counts"] == {rule: 1 for rule in ALL_RULE_IDS}
+    assert payload["total"] == len(ALL_RULE_IDS)
+
+
+def test_rule_selection_scopes_the_run(tmp_path):
+    tree = write_tree(tmp_path, COMBINED)
+    result = run_cli(
+        "--format=json", "--rule=RL004,RL007", str(tree)
+    )
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["rules_run"] == ["RL004", "RL007"]
+    assert payload["counts"] == {"RL004": 1, "RL007": 1}
+
+
+def test_text_format_renders_path_line_rule(tmp_path):
+    tree = write_tree(tmp_path, PER_RULE["RL007"])
+    result = run_cli(str(tree))
+    assert result.returncode == 1
+    assert "defaults.py:1: RL007" in result.stdout
+
+
+def test_baseline_grandfathers_findings(tmp_path):
+    tree = write_tree(tmp_path, dict(PER_RULE["RL001"]))
+    baseline_path = tmp_path / "baseline.json"
+    update = run_cli(
+        f"--baseline={baseline_path}",
+        "--update-baseline",
+        str(tree / "app.py"),
+    )
+    assert update.returncode == 0, update.stdout + update.stderr
+    rerun = run_cli(
+        "--format=json",
+        f"--baseline={baseline_path}",
+        str(tree / "app.py"),
+    )
+    assert rerun.returncode == 0
+    assert json.loads(rerun.stdout)["total"] == 0
+
+
+def test_list_rules_names_the_full_catalogue():
+    result = run_cli("--list-rules")
+    assert result.returncode == 0
+    for rule_id in ALL_RULE_IDS:
+        assert rule_id in result.stdout
+
+
+def test_missing_path_is_a_usage_error(tmp_path):
+    result = run_cli(str(tmp_path / "does-not-exist"))
+    assert result.returncode == 2
+    assert "reprolint" in result.stderr
+
+
+def test_unknown_rule_is_a_usage_error(tmp_path):
+    tree = write_tree(tmp_path, PER_RULE["RL001"])
+    result = run_cli("--rule=RL999", str(tree))
+    assert result.returncode == 2

@@ -1,0 +1,124 @@
+"""Round-trip tests for the two registry rules (RL005, RL006).
+
+Satellite contract: ``FAULT_POINTS`` must agree with the in-code
+fault-point literals, and the ``REPRO_*`` environment reads must agree
+with the README knob table -- in both directions, on the real tree.
+Fixture trees then plant one violation per direction and check each is
+reported.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import Project, get_rule, run_rules
+from repro.lint.rules.fault_points import _registry
+from repro.resilience.faults import FAULT_POINTS
+from tests.lint.fixtures import (
+    ERRORS_PY,
+    KNOB_README,
+    PLAIN_README,
+    RL005_CONSUMERS,
+    RL005_FAULTS,
+    write_tree,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _real_project():
+    return Project.from_paths([str(REPO_SRC)])
+
+
+def _lint(tmp_path, files, rule_id):
+    write_tree(tmp_path, files)
+    project = Project.from_paths([str(tmp_path)])
+    return run_rules(project, [get_rule(rule_id)])
+
+
+class TestFaultPointRoundTrip:
+    def test_real_tree_is_in_sync(self):
+        findings = run_rules(_real_project(), [get_rule("RL005")])
+        assert findings == []
+
+    def test_rule_reads_the_runtime_registry(self):
+        registry = _registry(_real_project())
+        assert registry is not None
+        source, _line, points = registry
+        assert source.rel_path.endswith("resilience/faults.py")
+        assert points == FAULT_POINTS
+        assert len(points) > 0
+
+    def test_unregistered_consultation_is_reported(self, tmp_path):
+        files = {
+            "README.md": PLAIN_README,
+            "faults.py": RL005_FAULTS,
+            "consumers.py": RL005_CONSUMERS,
+        }
+        findings = _lint(tmp_path, files, "RL005")
+        assert len(findings) == 1
+        assert findings[0].path == "consumers.py"
+        assert "'io.write'" in findings[0].message
+        assert "missing from FAULT_POINTS" in findings[0].message
+
+    def test_unconsulted_registration_is_reported(self, tmp_path):
+        files = {
+            "README.md": PLAIN_README,
+            "faults.py": (
+                'FAULT_POINTS = ("io.read", "io.dead")\n'
+                "\n"
+                "\n"
+                "def fault_check(point):\n"
+                "    return point in FAULT_POINTS\n"
+            ),
+            "consumers.py": (
+                "def read(fault_check):\n"
+                '    fault_check("io.read")\n'
+            ),
+        }
+        findings = _lint(tmp_path, files, "RL005")
+        assert len(findings) == 1
+        assert findings[0].path == "faults.py"
+        assert "'io.dead'" in findings[0].message
+        assert "never consulted" in findings[0].message
+
+
+class TestEnvKnobRoundTrip:
+    def test_real_tree_is_in_sync(self):
+        findings = run_rules(_real_project(), [get_rule("RL006")])
+        assert findings == []
+
+    def test_undocumented_read_is_reported(self, tmp_path):
+        files = {
+            "README.md": KNOB_README,
+            "errors.py": ERRORS_PY,
+            "knobs.py": (
+                "import os\n"
+                "\n"
+                'ALPHA = os.environ.get("REPRO_ALPHA")\n'
+                'BETA = os.environ.get("REPRO_BETA")\n'
+            ),
+        }
+        findings = _lint(tmp_path, files, "RL006")
+        assert len(findings) == 1
+        assert findings[0].path == "knobs.py"
+        assert "'REPRO_BETA'" in findings[0].message
+        assert "undocumented" in findings[0].message
+
+    def test_unread_documentation_is_reported(self, tmp_path):
+        files = {
+            "README.md": (
+                KNOB_README
+                + "| `REPRO_GONE` | unset | removed knob |\n"
+            ),
+            "knobs.py": (
+                "import os\n"
+                "\n"
+                'ALPHA = os.environ.get("REPRO_ALPHA")\n'
+            ),
+        }
+        findings = _lint(tmp_path, files, "RL006")
+        assert len(findings) == 1
+        assert findings[0].path == "README.md"
+        assert "'REPRO_GONE'" in findings[0].message
+        assert "never read" in findings[0].message

@@ -1,0 +1,230 @@
+"""Unit tests for the reprolint rules on planted fixture trees.
+
+Each fixture in :mod:`tests.lint.fixtures` plants exactly one
+violation; running the *full* rule set over it must report precisely
+that finding (no cross-rule contamination).  Negative twins of each
+fixture check that the compliant form passes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import Project, all_rules, run_rules, select_rules
+from tests.lint.fixtures import (
+    ERRORS_PY,
+    KNOB_README,
+    PER_RULE,
+    PLAIN_README,
+    write_tree,
+)
+
+ALL_RULE_IDS = sorted(PER_RULE)
+
+
+def lint_tree(tmp_path, files, rules=None, strict=False):
+    write_tree(tmp_path, files)
+    project = Project.from_paths([str(tmp_path)])
+    selected = select_rules(all_rules(), rules)
+    return run_rules(project, selected, strict_suppressions=strict)
+
+
+def test_registry_exposes_all_rules():
+    assert sorted(r.id for r in all_rules()) == ALL_RULE_IDS
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_each_fixture_plants_exactly_one_violation(tmp_path, rule_id):
+    findings = lint_tree(tmp_path, PER_RULE[rule_id])
+    assert [f.rule for f in findings] == [rule_id], findings
+
+
+def test_rl001_flags_assert_and_allows_typed_raise(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "errors.py": ERRORS_PY,
+        "app.py": (
+            "from errors import AppError\n"
+            "\n"
+            "\n"
+            "def run(x):\n"
+            "    assert x >= 0\n"
+            '    raise AppError("boom")\n'
+        ),
+    }
+    findings = lint_tree(tmp_path, files)
+    assert [(f.rule, f.line) for f in findings] == [("RL001", 5)]
+
+
+def test_rl001_allows_bare_reraise(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "errors.py": ERRORS_PY,
+        "app.py": (
+            "def run(op):\n"
+            "    try:\n"
+            "        return op()\n"
+            "    except KeyError:\n"
+            "        raise\n"
+        ),
+    }
+    assert lint_tree(tmp_path, files) == []
+
+
+def test_rl002_ticked_loop_is_compliant(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "kernel/hot.py": (
+            "def crunch(items, guard):\n"
+            "    total = 0\n"
+            "    for item in items:\n"
+            "        guard.tick()\n"
+            "        total += item\n"
+            "    return total\n"
+        ),
+    }
+    assert lint_tree(tmp_path, files) == []
+
+
+def test_rl002_inner_loop_inherits_outer_tick(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "kernel/hot.py": (
+            "def cross(rows, cols, guard):\n"
+            "    out = []\n"
+            "    for row in rows:\n"
+            "        guard.tick()\n"
+            "        for col in cols:\n"
+            "            out.append((row, col))\n"
+            "    return out\n"
+        ),
+    }
+    assert lint_tree(tmp_path, files) == []
+
+
+def test_rl002_ignores_files_outside_scope(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "util/hot.py": PER_RULE["RL002"]["kernel/hot.py"],
+    }
+    assert lint_tree(tmp_path, files) == []
+
+
+def test_rl003_locked_mutation_is_compliant(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "store.py": (
+            "import threading\n"
+            "\n"
+            "\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._data = {}\n"
+            "\n"
+            "    def drop(self, key):\n"
+            "        with self._lock:\n"
+            "            self._data.pop(key, None)\n"
+        ),
+    }
+    assert lint_tree(tmp_path, files) == []
+
+
+def test_rl003_holds_lock_marker_moves_burden_to_callers(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "store.py": (
+            "import threading\n"
+            "\n"
+            "\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._data = {}\n"
+            "\n"
+            "    def put(self, key, value):\n"
+            "        with self._lock:\n"
+            "            self._insert(key, value)\n"
+            "\n"
+            "    # reprolint: holds-lock\n"
+            "    def _insert(self, key, value):\n"
+            "        self._data[key] = value\n"
+            "\n"
+            "    def racy(self, key, value):\n"
+            "        self._insert(key, value)\n"
+        ),
+    }
+    findings = lint_tree(tmp_path, files)
+    assert [f.rule for f in findings] == ["RL003"]
+    assert findings[0].line == 18
+
+
+def test_rl004_deterministic_fingerprint_is_compliant(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "fingerprint.py": (
+            "import hashlib\n"
+            "\n"
+            "\n"
+            "def fingerprint(payload):\n"
+            "    blob = repr(sorted(payload.items()))\n"
+            "    return hashlib.sha256(blob.encode()).hexdigest()\n"
+        ),
+    }
+    assert lint_tree(tmp_path, files) == []
+
+
+def test_rl004_flags_banned_call_via_helper(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "fingerprint.py": (
+            "import random\n"
+            "\n"
+            "\n"
+            "def _salt():\n"
+            "    return random.random()\n"
+            "\n"
+            "\n"
+            "def fingerprint(payload):\n"
+            "    return hash((payload, _salt()))\n"
+        ),
+    }
+    findings = lint_tree(tmp_path, files)
+    assert {f.rule for f in findings} == {"RL004"}
+
+
+def test_rl007_immutable_defaults_are_compliant(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "defaults.py": (
+            "def collect(item, bucket=None):\n"
+            "    bucket = [] if bucket is None else bucket\n"
+            "    bucket.append(item)\n"
+            "    return bucket\n"
+        ),
+    }
+    assert lint_tree(tmp_path, files) == []
+
+
+def test_rl008_handled_exception_is_compliant(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "cleanup.py": (
+            "import os\n"
+            "\n"
+            "\n"
+            "def remove_quietly(path, log):\n"
+            "    try:\n"
+            "        os.unlink(path)\n"
+            "    except OSError as exc:\n"
+            '        log.warning("cleanup failed: %s", exc)\n'
+        ),
+    }
+    assert lint_tree(tmp_path, files) == []
+
+
+def test_select_rules_filters_by_id(tmp_path):
+    findings = lint_tree(
+        tmp_path, PER_RULE["RL007"], rules=["RL001", "RL002"]
+    )
+    assert findings == []

@@ -1,0 +1,141 @@
+"""Unit tests for inline suppressions and the findings baseline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import Baseline, Finding, Project, all_rules, run_rules
+from repro.lint.suppress import scan_suppressions
+from tests.lint.fixtures import PER_RULE, PLAIN_README, write_tree
+
+
+def lint_tree(tmp_path, files, strict=False):
+    write_tree(tmp_path, files)
+    project = Project.from_paths([str(tmp_path)])
+    return run_rules(project, all_rules(), strict_suppressions=strict)
+
+
+class TestScanSuppressions:
+    def test_trailing_comment_targets_its_own_line(self):
+        sups = scan_suppressions(
+            "x = 1\n"
+            "y = compute()  # reprolint: disable=RL001 -- why\n"
+        )
+        assert sups.is_suppressed("RL001", 2)
+        assert not sups.is_suppressed("RL001", 1)
+        assert not sups.is_suppressed("RL002", 2)
+
+    def test_standalone_comment_targets_next_code_line(self):
+        sups = scan_suppressions(
+            "# reprolint: disable=RL001,RL008 -- both justified\n"
+            "y = compute()\n"
+        )
+        assert sups.is_suppressed("RL001", 2)
+        assert sups.is_suppressed("RL008", 2)
+
+    def test_standalone_comment_skips_continuation_comments(self):
+        sups = scan_suppressions(
+            "# reprolint: disable=RL001 -- a long justification that\n"
+            "# continues on a second comment line before the code\n"
+            "\n"
+            "y = compute()\n"
+        )
+        assert sups.is_suppressed("RL001", 4)
+
+    def test_justification_is_captured(self):
+        sups = scan_suppressions(
+            "# reprolint: disable=RL001 -- asserted by tests\n"
+            "x = 1\n"
+            "# reprolint: disable=RL008\n"
+            "y = 2\n"
+        )
+        justified, bare = sups.suppressions
+        assert justified.justification == "asserted by tests"
+        assert bare.justification == ""
+        assert sups.unjustified() == [bare]
+
+    def test_marker_inside_string_literal_is_ignored(self):
+        sups = scan_suppressions(
+            'text = "# reprolint: disable=RL001"\n'
+        )
+        assert sups.suppressions == []
+
+
+class TestSuppressionsEndToEnd:
+    def test_inline_disable_silences_the_finding(self, tmp_path):
+        files = dict(PER_RULE["RL007"])
+        files["defaults.py"] = (
+            "def collect(item, bucket=[]):"
+            "  # reprolint: disable=RL007 -- test fixture\n"
+            "    bucket.append(item)\n"
+            "    return bucket\n"
+        )
+        assert lint_tree(tmp_path, files) == []
+
+    def test_disable_for_another_rule_does_not_silence(self, tmp_path):
+        files = dict(PER_RULE["RL007"])
+        files["defaults.py"] = (
+            "def collect(item, bucket=[]):"
+            "  # reprolint: disable=RL001 -- wrong rule\n"
+            "    bucket.append(item)\n"
+            "    return bucket\n"
+        )
+        findings = lint_tree(tmp_path, files)
+        assert [f.rule for f in findings] == ["RL007"]
+
+    def test_strict_mode_flags_missing_justification(self, tmp_path):
+        files = {
+            "README.md": PLAIN_README,
+            "app.py": (
+                "# reprolint: disable=RL001\n"
+                'raise_site = "not actually a raise"\n'
+            ),
+        }
+        findings = lint_tree(tmp_path, files, strict=True)
+        assert [(f.rule, f.line) for f in findings] == [("RL000", 1)]
+        assert "justification" in findings[0].message
+
+
+class TestBaseline:
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "nope.json"))
+        assert baseline.entries == set()
+
+    def test_round_trip_filters_matching_findings(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        old = Finding(
+            path="a.py", line=3, rule="RL001", message="legacy raise"
+        )
+        Baseline(path=str(path)).write([old])
+        baseline = Baseline.load(str(path))
+        moved = Finding(
+            path="a.py", line=99, rule="RL001", message="legacy raise"
+        )
+        fresh = Finding(
+            path="a.py", line=3, rule="RL001", message="new raise"
+        )
+        assert baseline.filter([moved, fresh]) == [fresh]
+
+    def test_malformed_json_raises_lint_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(LintError):
+            Baseline.load(str(path))
+
+    def test_wrong_shape_raises_lint_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"findings": "nope"}))
+        with pytest.raises(LintError):
+            Baseline.load(str(path))
+
+    def test_committed_baseline_is_empty(self):
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[2]
+        baseline = Baseline.load(
+            str(repo_root / "reprolint-baseline.json")
+        )
+        assert baseline.entries == set()
