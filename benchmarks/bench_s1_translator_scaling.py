@@ -20,6 +20,8 @@ one survives domain growth -- the `huge` benchmark runs it on a
 universe of ~7e16 states that the others cannot even enumerate.
 """
 
+import time
+
 import pytest
 
 from repro.core.components import ComponentAlgebra
@@ -94,20 +96,34 @@ def test_s1_table_translation_including_setup(benchmark, label):
     note_chain(benchmark, chain)
     updater = ChainComponentUpdater(chain, [0])
     requests = workload_for(chain, updater)
+    phases = {}
 
     def kernel():
+        t0 = time.perf_counter()
         space = chain.state_space()
+        t1 = time.perf_counter()
         algebra = ComponentAlgebra.discover(
             space, [chain.component_view([0]), chain.component_view([1, 2])]
         )
+        t2 = time.perf_counter()
         translator = ComponentTranslator.for_component(
             algebra.named(updater.view.name), space
         )
+        t3 = time.perf_counter()
         for state, target in requests:
             translator.apply(state, target)
+        t4 = time.perf_counter()
+        for phase, spent in (
+            ("space", t1 - t0),
+            ("discover", t2 - t1),
+            ("tables", t3 - t2),
+            ("apply", t4 - t3),
+        ):
+            phases[phase] = min(phases.get(phase, spent), spent)
         return len(requests)
 
-    count = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    count = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    benchmark.extra_info["phase_seconds"] = phases
     assert count == len(requests)
 
 
@@ -128,7 +144,7 @@ def test_s1_enumerative_translation_including_setup(benchmark, label):
             translator.apply(state, target)
         return len(requests)
 
-    count = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    count = benchmark.pedantic(kernel, rounds=3, iterations=1)
     assert count == len(requests)
 
 

@@ -49,7 +49,7 @@ def test_s4_naive_enumeration(benchmark):
 
     states = benchmark.pedantic(
         lambda: list(enumerate_instances(schema, assignment, prune=False)),
-        rounds=1,
+        rounds=3,
         iterations=1,
     )
     assert states  # non-empty LDB
@@ -61,7 +61,7 @@ def test_s4_pruned_enumeration(benchmark):
 
     states = benchmark.pedantic(
         lambda: list(enumerate_instances(schema, assignment, prune=True)),
-        rounds=1,
+        rounds=3,
         iterations=1,
     )
     naive = list(enumerate_instances(schema, assignment, prune=False))
@@ -73,7 +73,7 @@ def test_s4_closed_form_chain(benchmark):
     chain = abcd_chain_small()
 
     states = benchmark.pedantic(
-        lambda: list(chain.all_states()), rounds=1, iterations=1
+        lambda: list(chain.all_states()), rounds=3, iterations=1
     )
     assert len(states) == chain.state_count() == 64
     note_ldb(benchmark, len(states))
@@ -88,5 +88,5 @@ def test_s4_statespace_with_poset(benchmark):
         space.poset  # force the poset build
         return len(space)
 
-    assert benchmark.pedantic(kernel, rounds=1, iterations=1) == 64
+    assert benchmark.pedantic(kernel, rounds=3, iterations=1) == 64
     note_ldb(benchmark, 64)

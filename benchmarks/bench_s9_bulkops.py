@@ -1,0 +1,169 @@
+"""S9: word-packed bulk primitives vs their per-state counterparts.
+
+Micro-benchmarks for the pieces the bulk kernel is built from:
+
+* the packed bit-matrix **transpose** (one wide int, log-depth block
+  swaps) against the per-bit walk it replaces;
+* **pulled-back monotonicity** (one mask containment per element)
+  against the walk over every comparable pair;
+* the **incremental poset insert** (:meth:`FinitePoset.with_element`)
+  against a from-scratch ``from_masks`` rebuild;
+* the **restriction-grouped image table** (one ``mapping.apply`` per
+  distinct read-set restriction) against per-state application.
+
+Each contender is asserted to agree with its reference before timing.
+"""
+
+import random
+
+from repro.algebra.poset import FinitePoset
+from repro.decomposition.chain import ChainSchema
+from repro.kernel.bulkops import pullback_monotone, transpose_masks
+from repro.kernel.config import kernel_mode, use_kernel
+
+N = 512
+WIDTH = 512
+
+
+def random_rows(seed, n=N, width=WIDTH):
+    rng = random.Random(seed)
+    return [rng.getrandbits(width) for _ in range(n)]
+
+
+def bitwalk_transpose(rows, width):
+    """The per-bit reference the packed transpose replaces."""
+    columns = [0] * width
+    for i, row in enumerate(rows):
+        probe = row
+        while probe:
+            low = probe & -probe
+            probe ^= low
+            columns[low.bit_length() - 1] |= 1 << i
+    return columns
+
+
+def test_s9_packed_transpose(benchmark):
+    rows = random_rows(3)
+    benchmark.extra_info["kernel"] = kernel_mode()
+    assert transpose_masks(rows, WIDTH) == bitwalk_transpose(rows, WIDTH)
+    benchmark(lambda: transpose_masks(rows, WIDTH))
+
+
+def test_s9_bitwalk_transpose(benchmark):
+    rows = random_rows(3)
+    benchmark.extra_info["kernel"] = kernel_mode()
+    benchmark(lambda: bitwalk_transpose(rows, WIDTH))
+
+
+def monotone_pair_walk(below_source, below_target, fidx):
+    """The comparable-pair reference pullback_monotone replaces."""
+    n = len(below_source)
+    for y in range(n):
+        below_y = below_source[y]
+        target_down = below_target[fidx[y]]
+        probe = below_y
+        while probe:
+            x = (probe & -probe).bit_length() - 1
+            probe &= probe - 1
+            if not (target_down >> fidx[x]) & 1:
+                return False
+    return True
+
+
+def monotone_fixture(seed=17, n=N, width=10, m=24):
+    rng = random.Random(seed)
+    masks = rng.sample(range(1 << width), n)
+    source = FinitePoset.from_masks(tuple(range(n)), masks)
+    target_masks = rng.sample(range(1 << 6), m)
+    target = FinitePoset.from_masks(tuple(range(m)), target_masks)
+    # A monotone map: bucket source masks by popcount band.
+    fidx = [min(m - 1, bin(mask).count("1")) for mask in masks]
+    return source.leq_matrix(), target.leq_matrix(), fidx
+
+
+def test_s9_pullback_monotone(benchmark):
+    below_s, below_t, fidx = monotone_fixture()
+    benchmark.extra_info["kernel"] = kernel_mode()
+    assert pullback_monotone(below_s, below_t, fidx) == monotone_pair_walk(
+        below_s, below_t, fidx
+    )
+    benchmark(lambda: pullback_monotone(below_s, below_t, fidx))
+
+
+def test_s9_monotone_pair_walk(benchmark):
+    below_s, below_t, fidx = monotone_fixture()
+    benchmark.extra_info["kernel"] = kernel_mode()
+    benchmark(lambda: monotone_pair_walk(below_s, below_t, fidx))
+
+
+def insert_fixture(seed=29, n=N, width=16):
+    rng = random.Random(seed)
+    masks = rng.sample(range(1 << width), n + 1)
+    base = FinitePoset.from_masks(tuple(range(n)), masks[:n])
+    base._up_matrix()  # a realistic base: up-matrix already derived
+    return base, masks
+
+
+def test_s9_incremental_insert(benchmark):
+    base, masks = insert_fixture()
+    benchmark.extra_info["kernel"] = kernel_mode()
+    incremental = base.with_element(len(masks) - 1, masks[-1])
+    rebuilt = FinitePoset.from_masks(tuple(range(len(masks))), masks)
+    assert incremental.leq_matrix() == rebuilt.leq_matrix()
+    benchmark(lambda: base.with_element(len(masks) - 1, masks[-1]))
+
+
+def test_s9_rebuild_insert(benchmark):
+    _, masks = insert_fixture()
+    benchmark.extra_info["kernel"] = kernel_mode()
+    benchmark(
+        lambda: FinitePoset.from_masks(tuple(range(len(masks))), masks)
+    )
+
+
+def image_table_fixture():
+    domains = {
+        "A": ("a0", "a1"),
+        "B": ("b0", "b1"),
+        "C": ("c0", "c1"),
+        "D": ("d0",),
+    }
+    chain = ChainSchema(("A", "B", "C", "D"), domains)
+    return chain, chain.state_space()
+
+
+def test_s9_bulk_image_table(benchmark):
+    """Restriction-grouped image table on the 1024-state chain."""
+    chain, space = image_table_fixture()
+    benchmark.extra_info["ldb"] = len(space.states)
+    benchmark.extra_info["kernel"] = "bulk"
+
+    def kernel():
+        with use_kernel("bulk"):
+            view = chain.component_view([0])  # fresh: no image cache
+            return len(view.image_table(space))
+
+    assert benchmark(kernel) == len(space.states)
+
+
+def test_s9_per_state_image_table(benchmark):
+    """The same table computed state by state (bitset/naive path)."""
+    chain, space = image_table_fixture()
+    benchmark.extra_info["ldb"] = len(space.states)
+    benchmark.extra_info["kernel"] = "bitset"
+
+    def kernel():
+        with use_kernel("bitset"):
+            view = chain.component_view([0])
+            return len(view.image_table(space))
+
+    assert benchmark(kernel) == len(space.states)
+
+
+def test_s9_image_tables_agree():
+    chain, space = image_table_fixture()
+    with use_kernel("bulk"):
+        bulk = chain.component_view([0]).image_table(space)
+    with use_kernel("bitset"):
+        bitset = chain.component_view([0]).image_table(space)
+    assert bulk == bitset

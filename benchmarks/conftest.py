@@ -87,6 +87,7 @@ def pytest_sessionfinish(session, exitstatus):
         entry = {
             "seconds": stats.mean,
             "min_seconds": stats.min,
+            "median_seconds": stats.median,
             "rounds": getattr(stats, "rounds", None),
             "kernel": mode,
         }

@@ -136,11 +136,22 @@ class Partition:
             raise PosetError("partitions over different ground sets")
 
     def refines(self, other: "Partition") -> bool:
-        """True iff every block of ``self`` lies inside a block of *other*."""
+        """True iff every block of ``self`` lies inside a block of *other*.
+
+        One O(n) pass: a block lies inside some block of *other* exactly
+        when all its members share the same *other*-block, so each
+        element costs one dict lookup and one identity compare -- no
+        per-block subset hashing.
+        """
         self._check_same_ground(other)
-        return all(
-            block <= other.block_of(next(iter(block))) for block in self._blocks
-        )
+        other_of = other._block_of
+        for block in self._blocks:
+            members = iter(block)
+            target = other_of[next(members)]
+            for element in members:
+                if other_of[element] is not target:
+                    return False
+        return True
 
     def leq(self, other: "Partition") -> bool:
         """Paper order: ``self <= other`` iff *other* refines ``self``."""

@@ -38,7 +38,16 @@ class FinitePoset:
     transitively closed by the caller).
     """
 
-    __slots__ = ("_elements", "_index", "_below", "_above")
+    __slots__ = (
+        "_elements",
+        "_index",
+        "_below",
+        "_above",
+        "_minimal",
+        "_maximal",
+        "_source_masks",
+        "_contain",
+    )
 
     def __init__(self, elements: Sequence[Hashable], below: Sequence[int]):
         """Internal constructor; prefer :meth:`from_leq`.
@@ -54,6 +63,12 @@ class FinitePoset:
             raise PosetError("poset elements must be distinct")
         self._below: Tuple[int, ...] = tuple(below)
         self._above: Optional[Tuple[int, ...]] = None
+        self._minimal: Optional[Tuple[Hashable, ...]] = None
+        self._maximal: Optional[Tuple[Hashable, ...]] = None
+        #: Element encodings retained by :meth:`from_masks`; they enable
+        #: the O(width + n) single-element delta of :meth:`with_element`.
+        self._source_masks: Optional[Tuple[int, ...]] = None
+        self._contain: Optional[Tuple[int, ...]] = None
 
     # -- constructors ------------------------------------------------------------
 
@@ -121,17 +136,38 @@ class FinitePoset:
         full = (1 << n) - 1
         universe = (1 << width) - 1
         below: List[int] = []
-        for mask in masks:
-            if guard is not None:
-                guard.tick()
-            down = full
-            probe = universe & ~mask
-            while probe:
-                t = (probe & -probe).bit_length() - 1
-                probe &= probe - 1
-                down &= ~contain[t]
-            below.append(down)
-        return cls(elements, below)
+        if n >= 48 and width:
+            # Large family: collapse the per-element bit walk into one
+            # per-byte table OR per chunk (the precomputed tables are
+            # amortized across all n down-sets).
+            from repro.kernel.bulkops import (
+                chunked_union_tables,
+                union_selected_chunked,
+            )
+
+            tables = chunked_union_tables(contain)
+            for mask in masks:
+                if guard is not None:
+                    guard.tick()
+                excluded = union_selected_chunked(tables, universe & ~mask)
+                below.append(full & ~excluded)
+        else:
+            for mask in masks:
+                if guard is not None:
+                    guard.tick()
+                down = full
+                probe = universe & ~mask
+                while probe:
+                    t = (probe & -probe).bit_length() - 1
+                    probe &= probe - 1
+                    down &= ~contain[t]
+                below.append(down)
+        poset = cls(elements, below)
+        # Retain the encoding so with_element() can splice a single new
+        # state in O(width + n) instead of rebuilding from scratch.
+        poset._source_masks = masks
+        poset._contain = tuple(contain)
+        return poset
 
     @classmethod
     def from_relation(
@@ -244,17 +280,18 @@ class FinitePoset:
 
     def _up_matrix(self) -> Tuple[int, ...]:
         """Transpose of :meth:`leq_matrix`: ``matrix[i]`` has bit ``j``
-        set iff ``elements[i] <= elements[j]`` (cached)."""
+        set iff ``elements[i] <= elements[j]`` (cached).
+
+        Derived in one pass with the word-packed transpose of
+        :func:`repro.kernel.bulkops.transpose_masks`; large matrices run
+        ``log2(side)`` whole-matrix delta-exchanges instead of a Python
+        step per set bit.
+        """
         if self._above is None:
+            from repro.kernel.bulkops import transpose_masks
+
             n = len(self._elements)
-            above = [0] * n
-            for j in range(n):
-                probe = self._below[j]
-                while probe:
-                    i = (probe & -probe).bit_length() - 1
-                    probe &= probe - 1
-                    above[i] |= 1 << j
-            self._above = tuple(above)
+            self._above = tuple(transpose_masks(self._below, n))
         return self._above
 
     def _up_mask(self, element: Hashable) -> int:
@@ -263,21 +300,29 @@ class FinitePoset:
     # -- bounds and extremes -----------------------------------------------------------
 
     def minimal_elements(self) -> Tuple[Hashable, ...]:
-        """Elements with nothing strictly below them."""
-        return tuple(
-            e
-            for i, e in enumerate(self._elements)
-            if self._below[i] == (1 << i)
-        )
+        """Elements with nothing strictly below them (cached)."""
+        if self._minimal is None:
+            self._minimal = tuple(
+                e
+                for i, e in enumerate(self._elements)
+                if self._below[i] == (1 << i)
+            )
+        return self._minimal
 
     def maximal_elements(self) -> Tuple[Hashable, ...]:
-        """Elements with nothing strictly above them."""
-        up = self._up_matrix()
-        return tuple(
-            e
-            for i, e in enumerate(self._elements)
-            if up[i] == (1 << i)
-        )
+        """Elements with nothing strictly above them (cached).
+
+        Shares the single transpose pass of :meth:`_up_matrix` instead
+        of re-walking ``_below`` bit by bit per element.
+        """
+        if self._maximal is None:
+            up = self._up_matrix()
+            self._maximal = tuple(
+                e
+                for i, e in enumerate(self._elements)
+                if up[i] == (1 << i)
+            )
+        return self._maximal
 
     def bottom(self) -> Hashable:
         """The least element; raises :class:`PosetError` if none exists."""
@@ -409,6 +454,76 @@ class FinitePoset:
             elements,
             lambda p, q: self.leq(p[0], q[0]) and other.leq(p[1], q[1]),
         )
+
+    def with_element(
+        self, element: Hashable, mask: int
+    ) -> "FinitePoset":
+        """A new poset with one extra mask-encoded element (incremental).
+
+        Only available on posets built by :meth:`from_masks` (the
+        retained encoding is what makes the delta cheap).  The new
+        element's down- and up-sets come from the inverted ``contain``
+        index in O(width) mask ops, existing rows gain at most one bit,
+        and a cached up-matrix is carried forward instead of being
+        rebuilt -- the single-state delta costs O(width + n) rather
+        than the O(n * width) of a from-scratch construction.
+        """
+        if self._source_masks is None or self._contain is None:
+            raise PosetError(
+                "with_element requires a poset built by from_masks"
+            )
+        if element in self._index:
+            raise PosetError(f"{element!r} is already in the poset")
+        n = len(self._elements)
+        guard = current_guard()
+        contain = self._contain
+        width = len(contain)
+        if guard is not None:
+            guard.tick(max(width, 1))
+        full = (1 << n) - 1
+        # Down-set: elements whose mask is included in the new mask --
+        # start from everything and knock out each element containing a
+        # tuple-bit the new mask lacks.
+        down = full
+        probe = ((1 << width) - 1) & ~mask
+        while probe:
+            t = (probe & -probe).bit_length() - 1
+            probe &= probe - 1
+            down &= ~contain[t]
+        # Up-set: elements whose mask includes the new mask.
+        up = full
+        probe = mask
+        while probe and up:
+            t = (probe & -probe).bit_length() - 1
+            probe &= probe - 1
+            up &= contain[t] if t < width else 0
+        if up & down:
+            raise PosetError("element masks must be distinct")
+        bit = 1 << n
+        below = [
+            row | bit if up & (1 << i) else row
+            for i, row in enumerate(self._below)
+        ]
+        below.append(down | bit)
+        poset = FinitePoset((*self._elements, element), below)
+        poset._source_masks = (*self._source_masks, mask)
+        new_contain = list(contain)
+        if mask.bit_length() > width:
+            new_contain.extend([0] * (mask.bit_length() - width))
+        probe = mask
+        while probe:
+            t = (probe & -probe).bit_length() - 1
+            probe &= probe - 1
+            new_contain[t] |= bit
+        poset._contain = tuple(new_contain)
+        if self._above is not None:
+            above = [
+                row | bit if down & (1 << i) else row
+                for i, row in enumerate(self._above)
+            ]
+            above.append(up | bit)
+            poset._above = tuple(above)
+        return poset
 
     def restrict(self, subset: Iterable[Hashable]) -> "FinitePoset":
         """The induced subposet on *subset*."""

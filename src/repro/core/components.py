@@ -89,6 +89,13 @@ def are_strong_complements(
     n = len(space.states)
     if len(left.fixpoints()) * len(right.fixpoints()) != n:
         return False
+    if len(left.fixpoints()) == n or len(right.fixpoints()) == n:
+        # One endomorphism is the identity, so (by the cardinality
+        # check) the other is constant: the pairs are distinct because
+        # the identity leg already is, and the order condition collapses
+        # to ``x <= y iff x <= y`` (the constant leg never constrains;
+        # the identity leg reflects exactly).
+        return True
     left_index = left._theta_indices()
     right_index = right._theta_indices()
     if len(set(zip(left_index, right_index))) != n:
@@ -103,24 +110,29 @@ def are_strong_complements(
         f = right_index[x]
         right_sel[f] = right_sel.get(f, 0) | (1 << x)
 
-    def pulled(sel: Dict[int, int], cache: Dict[int, int], fy: int) -> int:
-        # {x : theta(x) <= theta(y)} as a mask, memoized on theta(y).
-        mask = cache.get(fy)
-        if mask is None:
+    def pull_table(sel: Dict[int, int]) -> Dict[int, int]:
+        # {x : theta(x) <= f} per fixpoint f.  Restricting each down-set
+        # to the fixpoint support keeps the bit walk O(|fixpoints|)
+        # instead of O(|LDB|) per entry.
+        support = 0
+        for f in sel:
+            support |= 1 << f
+        table: Dict[int, int] = {}
+        for fy in sel:
             mask = 0
-            probe = below[fy]
+            probe = below[fy] & support
             while probe:
                 f = (probe & -probe).bit_length() - 1
                 probe &= probe - 1
-                mask |= sel.get(f, 0)
-            cache[fy] = mask
-        return mask
+                mask |= sel[f]
+            table[fy] = mask
+        return table
 
-    left_pulled: Dict[int, int] = {}
-    right_pulled: Dict[int, int] = {}
+    left_pulled = pull_table(left_sel)
+    right_pulled = pull_table(right_sel)
     for y in range(n):
-        componentwise = pulled(left_sel, left_pulled, left_index[y]) & pulled(
-            right_sel, right_pulled, right_index[y]
+        componentwise = (
+            left_pulled[left_index[y]] & right_pulled[right_index[y]]
         )
         if componentwise != below[y]:
             return False

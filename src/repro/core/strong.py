@@ -23,7 +23,7 @@ from typing import Dict, Optional, Tuple
 from repro.errors import NotStrongError, ReproError
 from repro.algebra.morphisms import PosetMorphism
 from repro.algebra.poset import FinitePoset
-from repro.kernel.config import bitset_enabled
+from repro.kernel.config import bulk_enabled, fast_kernel_enabled
 from repro.relational.enumeration import StateSpace
 from repro.relational.instances import DatabaseInstance
 from repro.views.view import View
@@ -141,7 +141,7 @@ class StrongViewAnalysis:
 
 def image_poset(view: View, space: StateSpace) -> FinitePoset:
     """The view states under relation-wise inclusion."""
-    if bitset_enabled():
+    if fast_kernel_enabled():
         from repro.kernel.strongfast import image_poset_bitset
 
         return image_poset_bitset(view.image_states(space))
@@ -157,12 +157,17 @@ def analyze_view(view: View, space: StateSpace) -> StrongViewAnalysis:
     surjectivity assumption makes this ``LDB(V, mu)``), so surjectivity
     holds by construction and is not a separate condition here.
 
-    Under the bitset kernel (the default) the analysis runs on down-set
-    masks and index vectors (:mod:`repro.kernel.strongfast`); set
-    ``REPRO_KERNEL=naive`` for the original tuple-by-tuple predicates.
-    Both produce identical analyses (enforced by ``tests/kernel/``).
+    Under the bulk kernel (the default) the analysis runs on word-packed
+    mask families; the bitset kernel runs it on down-set masks and index
+    vectors (:mod:`repro.kernel.strongfast`); set ``REPRO_KERNEL=naive``
+    for the original tuple-by-tuple predicates.  All three produce
+    identical analyses (enforced by ``tests/kernel/``).
     """
-    if bitset_enabled():
+    if bulk_enabled():
+        from repro.kernel.strongfast import analyze_view_bulk
+
+        return analyze_view_bulk(view, space)
+    if fast_kernel_enabled():
         from repro.kernel.strongfast import analyze_view_bitset
 
         return analyze_view_bitset(view, space)

@@ -100,24 +100,48 @@ class ChainConstraint(Constraint):
         return f"chain closure constraint on {self.relation!r} (width {self.width})"
 
 
-def _close_edges(edges: EdgeSets, width: int) -> FrozenSet[Tuple[object, ...]]:
-    """All tuples whose consecutive pairs all lie in the edge sets."""
+def _segment_rows(
+    edges: EdgeSets, width: int, start: int, end: int
+) -> Tuple[Tuple[object, ...], ...]:
+    """The padded rows of one segment: paths from *start* to *end*."""
+    chains: List[Tuple[object, ...]] = [
+        (a,) for a in sorted({p[0] for p in edges[start]}, key=repr)
+    ]
+    for edge_index in range(start, end):
+        extended = []
+        for chain in chains:
+            for left, right in edges[edge_index]:
+                if left == chain[-1]:
+                    extended.append(chain + (right,))
+        chains = extended
+        if not chains:
+            break
+    return tuple(pad_row(chain, (start, end), width) for chain in chains)
+
+
+def _close_edges(
+    edges: EdgeSets,
+    width: int,
+    memo: Optional[Dict[object, Tuple[Tuple[object, ...], ...]]] = None,
+) -> FrozenSet[Tuple[object, ...]]:
+    """All tuples whose consecutive pairs all lie in the edge sets.
+
+    A segment's rows depend only on the edges it spans, so a *memo*
+    shared across one enumeration run reuses every sub-full-width
+    segment's closure between states that agree on those edges (only
+    the full-width segment is distinct for every state).
+    """
     rows: set = set()
     for start, end in valid_segments(width):
-        chains: List[Tuple[object, ...]] = [
-            (a,) for a in sorted({p[0] for p in edges[start]}, key=repr)
-        ]
-        for edge_index in range(start, end):
-            extended = []
-            for chain in chains:
-                for left, right in edges[edge_index]:
-                    if left == chain[-1]:
-                        extended.append(chain + (right,))
-            chains = extended
-            if not chains:
-                break
-        for chain in chains:
-            rows.add(pad_row(chain, (start, end), width))
+        if memo is None:
+            rows.update(_segment_rows(edges, width, start, end))
+            continue
+        key = (start, end, edges[start:end])
+        cached = memo.get(key)
+        if cached is None:
+            cached = _segment_rows(edges, width, start, end)
+            memo[key] = cached
+        rows.update(cached)
     return frozenset(rows)
 
 
@@ -151,6 +175,7 @@ class ChainSchema:
         self.domains: Tuple[FrozenSet[object], ...] = tuple(
             frozenset(domains[attr]) for attr in self.attributes
         )
+        self._edge_pairs_cache: Dict[int, Tuple[Pair, ...]] = {}
         if any(not domain for domain in self.domains):
             raise SchemaError("every attribute needs a non-empty domain")
 
@@ -199,13 +224,18 @@ class ChainSchema:
         return self.width - 1
 
     def edge_pairs(self, edge: Edge) -> Tuple[Pair, ...]:
-        """All possible value pairs of one edge, in sorted order."""
-        return tuple(
-            itertools.product(
-                sorted(self.domains[edge], key=repr),
-                sorted(self.domains[edge + 1], key=repr),
+        """All possible value pairs of one edge, in sorted order
+        (memoized; domains are immutable)."""
+        cached = self._edge_pairs_cache.get(edge)
+        if cached is None:
+            cached = tuple(
+                itertools.product(
+                    sorted(self.domains[edge], key=repr),
+                    sorted(self.domains[edge + 1], key=repr),
+                )
             )
-        )
+            self._edge_pairs_cache[edge] = cached
+        return cached
 
     def interval_attributes(self, interval: Tuple[int, int]) -> Tuple[str, ...]:
         """Attribute names of an interval ``[i, j]`` (inclusive)."""
@@ -255,8 +285,16 @@ class ChainSchema:
                 for mask in range(1 << len(pairs))
             ]
             per_edge_subsets.append(subsets)
+        memo: Dict[object, Tuple[Tuple[object, ...], ...]] = {}
         for combo in itertools.product(*per_edge_subsets):
-            yield self.state_from_edges(combo)
+            # Every generated edge set is valid by construction, so the
+            # per-state domain re-validation of ``state_from_edges`` is
+            # skipped: close the edges (reusing shared segment closures
+            # through *memo*) and wrap directly.
+            rows = _close_edges(combo, self.width, memo)
+            yield DatabaseInstance(
+                {self.relation_name: Relation.of_frozen(rows, self.width)}
+            )
 
     def state_count(self) -> int:
         """``prod_m 2^(|D_m| * |D_{m+1}|)`` without enumerating."""

@@ -30,10 +30,11 @@ Every derivation runs through the resilience layer:
   that the hot loops check cooperatively, raising a typed
   :class:`~repro.errors.DeadlineExceededError` instead of hanging;
 * an *unexpected* (non-:class:`~repro.errors.ReproError`) crash inside
-  a bitset-kernel derivation is retried once under the naive kernel --
-  the degradation ladder bitset -> naive -> typed
-  :class:`~repro.errors.KernelFailureError` carrying both tracebacks --
-  and counted in the store's per-kind ``degradations`` stat;
+  a fast-kernel derivation is retried on the next rung down -- the
+  degradation ladder bulk -> bitset -> naive -> typed
+  :class:`~repro.errors.KernelFailureError` carrying every traceback --
+  with each non-final crash counted in the store's per-kind
+  ``degradations`` stat;
 * a per-derivation :class:`~repro.resilience.breaker.CircuitBreaker`
   watches those outcomes: a derivation that keeps producing kernel
   failures stops being admitted to the ladder and instead fails fast
@@ -75,7 +76,7 @@ from repro.errors import (
     UnexpectedFailureError,
     UpdateRejected,
 )
-from repro.kernel.config import BITSET, NAIVE, kernel_mode, use_kernel
+from repro.kernel.config import BITSET, BULK, NAIVE, kernel_mode, use_kernel
 from repro.resilience.breaker import PINNED, CircuitBreaker
 from repro.resilience.guard import (
     ExecutionGuard,
@@ -98,6 +99,28 @@ __all__ = [
     "default_engine",
     "set_default_engine",
 ]
+
+#: The degradation ladder, fastest rung first.  A derivation starts on
+#: the active kernel mode's rung and falls through the rest.
+_LADDER: Tuple[str, ...] = (BULK, BITSET, NAIVE)
+
+
+def _ladder_failure_message(kind: str, rungs: Tuple[str, ...]) -> str:
+    """The KernelFailureError message for an exhausted ladder."""
+    if rungs == (NAIVE,):
+        return (
+            f"naive-kernel derivation of {kind!r} failed unexpectedly "
+            "(no degradation rung below the naive kernel)"
+        )
+    if rungs == (BITSET, NAIVE):
+        return (
+            f"derivation of {kind!r} failed under the bitset kernel "
+            "and again under the naive kernel"
+        )
+    return (
+        f"derivation of {kind!r} failed under the bulk kernel, again "
+        "under the bitset kernel, and again under the naive kernel"
+    )
 
 
 @dataclass(frozen=True)
@@ -204,64 +227,58 @@ class Engine:
         (fail-fast mode) or routes the build to the pinned naive rung
         (pin-naive mode), skipping the ladder entirely.
 
-        Admitted builds run the ladder.  Typed :class:`ReproError`\\ s
-        pass straight through (they are already fail-closed).  An
-        *unexpected* exception under the bitset kernel triggers one
-        retry under the naive kernel (the two are semantically
-        equivalent, so the degraded artifact is valid under the
-        original key); if that also crashes -- or the naive kernel
-        crashed with no rung left below it -- a
-        :class:`KernelFailureError` carries every traceback out.  The
-        breaker hears about every outcome: clean success, degraded
-        success, or kernel failure.
+        Admitted builds run the ladder from the active kernel mode down:
+        bulk -> bitset -> naive.  Typed :class:`ReproError`\\ s pass
+        straight through (they are already fail-closed).  An
+        *unexpected* exception on a non-final rung triggers one retry on
+        the rung below (the kernels are semantically equivalent, so the
+        degraded artifact is valid under the original key) and is
+        counted in the store's ``degradations`` stat; when the final
+        rung also crashes -- or the naive kernel crashed with no rung
+        left below it -- a :class:`KernelFailureError` carries every
+        traceback out.  The breaker hears about every outcome: clean
+        success, degraded success, or kernel failure.
         """
 
         def build() -> object:
             verdict = self.breaker.admit(kind, fingerprint)
             if verdict == PINNED:
                 return self._build_pinned(kind, fingerprint, builder)
+            start = kernel_mode()
+            rungs = _LADDER[_LADDER.index(start):]
+            tracebacks: Dict[str, str] = {}
             with self._guard_scope():
-                try:
-                    value = builder()
-                except DeadlineExceededError:
-                    self.store.record_deadline_hit(kind)
-                    raise
-                except ReproError:
-                    raise
-                except Exception:
-                    first_tb = traceback.format_exc()
-                    if kernel_mode() != BITSET:
-                        self.breaker.record_failure(kind, fingerprint)
-                        raise KernelFailureError(
-                            f"naive-kernel derivation of {kind!r} failed "
-                            "unexpectedly (no degradation rung below the "
-                            "naive kernel)",
-                            kind=kind,
-                            naive_traceback=first_tb,
-                        ) from None
-                    self.store.record_degradation(kind)
+                for position, rung in enumerate(rungs):
                     try:
-                        with use_kernel(NAIVE):
+                        if position == 0:
                             value = builder()
+                        else:
+                            with use_kernel(rung):
+                                value = builder()
                     except DeadlineExceededError:
                         self.store.record_deadline_hit(kind)
                         raise
                     except ReproError:
                         raise
                     except Exception:
-                        self.breaker.record_failure(kind, fingerprint)
-                        raise KernelFailureError(
-                            f"derivation of {kind!r} failed under the "
-                            "bitset kernel and again under the naive "
-                            "kernel",
-                            kind=kind,
-                            bitset_traceback=first_tb,
-                            naive_traceback=traceback.format_exc(),
-                        ) from None
-                    self.breaker.record_degraded(kind, fingerprint)
+                        tracebacks[rung] = traceback.format_exc()
+                        if position == len(rungs) - 1:
+                            self.breaker.record_failure(kind, fingerprint)
+                            raise KernelFailureError(
+                                _ladder_failure_message(kind, rungs),
+                                kind=kind,
+                                bulk_traceback=tracebacks.get(BULK, ""),
+                                bitset_traceback=tracebacks.get(BITSET, ""),
+                                naive_traceback=tracebacks.get(NAIVE, ""),
+                            ) from None
+                        self.store.record_degradation(kind)
+                        continue
+                    if position == 0:
+                        self.breaker.record_success(kind, fingerprint)
+                    else:
+                        self.breaker.record_degraded(kind, fingerprint)
                     return value
-                self.breaker.record_success(kind, fingerprint)
-                return value
+                raise ReproError("unreachable: empty kernel ladder")
 
         return build
 

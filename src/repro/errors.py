@@ -175,10 +175,11 @@ class DeadlineExceededError(ResilienceError):
 class KernelFailureError(ResilienceError):
     """A kernel derivation crashed with an unexpected exception.
 
-    The engine's degradation ladder (bitset -> naive -> typed failure)
-    raises this only after the naive retry also failed -- or when the
-    naive kernel, with no rung left below it, crashed directly.  Both
-    tracebacks are carried so the underlying defect is not lost.
+    The engine's degradation ladder (bulk -> bitset -> naive -> typed
+    failure) raises this only after every rung below the starting
+    kernel also failed -- or when the naive kernel, with no rung left
+    below it, crashed directly.  Every traceback is carried so the
+    underlying defect is not lost.
     """
 
     def __init__(
@@ -187,10 +188,14 @@ class KernelFailureError(ResilienceError):
         kind: str = "",
         bitset_traceback: str = "",
         naive_traceback: str = "",
+        bulk_traceback: str = "",
     ) -> None:
         super().__init__(message)
         #: The artifact kind being derived ("space", "analysis", ...).
         self.kind = kind
+        #: Formatted traceback of the bulk-kernel failure ("" if the
+        #: bulk kernel was never involved).
+        self.bulk_traceback = bulk_traceback
         #: Formatted traceback of the bitset-kernel failure ("" if the
         #: bitset kernel was never involved).
         self.bitset_traceback = bitset_traceback

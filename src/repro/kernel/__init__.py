@@ -1,4 +1,4 @@
-"""The bitset state-space kernel.
+"""The mask-based state-space kernels (bulk and bitset).
 
 Every analysis in the library -- enumeration of ``LDB(D, mu)``, the
 ⊥-poset of states, kernels, strongness, component discovery -- bottoms
@@ -6,25 +6,34 @@ out in set operations over enumerated database states.  This package
 encodes each :class:`~repro.relational.instances.DatabaseInstance` as a
 single Python ``int`` bitmask over a fixed tuple table, so subset
 tests, unions, intersections, and symmetric differences become single
-integer operations instead of relation-by-relation frozenset work.
+integer operations instead of relation-by-relation frozenset work; the
+bulk kernel further packs whole *families* of masks into single wide
+ints and derives tables with O(words) bitwise sweeps.
 
 The kernel sits *underneath* the public frozenset-based API: callers
 keep constructing and receiving :class:`DatabaseInstance` objects, and
 the hot paths (``enumerate_instances``, ``StateSpace.poset``,
-``analyze_view``) transparently switch to mask arithmetic.  Modules:
+``analyze_view``, ``View.image_table``) transparently switch to mask
+arithmetic.  Modules:
 
 * :mod:`~repro.kernel.config` -- kernel-mode selection.  The
-  ``REPRO_KERNEL`` environment variable (``bitset``, the default, or
-  ``naive``) is the escape hatch back to the original tuple-by-tuple
-  implementations; :func:`use_kernel` overrides it per test.
+  ``REPRO_KERNEL`` environment variable (``bulk``, the default,
+  ``bitset``, or ``naive``) is the escape hatch back to the simpler
+  implementations; :func:`use_kernel` overrides it per test, and
+  ``REPRO_KERNEL_BULK=0`` downgrades bulk to bitset everywhere.
 * :mod:`~repro.kernel.bitspace` -- :class:`TupleCodec`, the
   instance <-> bitmask round trip.
+* :mod:`~repro.kernel.bulkops` -- word-packed bulk primitives: the
+  packed bit-matrix transpose, pulled-back monotonicity, fiber masks,
+  read-set restriction keys, and the amortized ``StrideTicker`` guard
+  discipline.
 * :mod:`~repro.kernel.enumfast` -- per-relation constraints (FDs, JDs,
   typed columns) precompiled to mask predicates for enumeration.
 * :mod:`~repro.kernel.strongfast` -- the strong-view analysis computed
-  on index vectors and down-set masks.
+  on index vectors and down-set masks (bitset) or word-packed pulled
+  selectors (bulk).
 
-An equivalence test suite (``tests/kernel/``) asserts both kernels
+An equivalence test suite (``tests/kernel/``) asserts all kernels
 produce identical state spaces, kernels, endomorphism tables, and
 component algebras on the paper scenarios.
 """

@@ -180,14 +180,16 @@ class TupleCodec:
     def encode_all(
         self, instances: Iterable[DatabaseInstance]
     ) -> Tuple[int, ...]:
-        """Encode a family of instances."""
+        """Encode a family of instances (guard ticks amortized)."""
+        from repro.kernel.bulkops import StrideTicker
+
         fault_check("kernel.encode")
-        guard = current_guard()
+        ticker = StrideTicker()
         masks = []
         for instance in instances:
-            if guard is not None:
-                guard.tick()
+            ticker.tick()
             masks.append(self.encode(instance))
+        ticker.flush()
         return tuple(masks)
 
     def decode(self, mask: int) -> DatabaseInstance:

@@ -1,9 +1,17 @@
-"""Kernel-mode selection: ``bitset`` (default) vs ``naive``.
+"""Kernel-mode selection: ``bulk`` (default) vs ``bitset`` vs ``naive``.
 
-The bitset kernel is a pure optimisation -- both modes compute the same
+The fast kernels are pure optimisations -- all modes compute the same
 state spaces, posets, tables, and algebras, and the equivalence suite
-enforces that.  The ``naive`` mode exists as an escape hatch (debugging,
-cross-checking, benchmarking the speedup itself) and is selected with::
+enforces that.  Three rungs exist:
+
+* ``bulk`` (the default) -- word-packed bulk bitwise passes
+  (:mod:`repro.kernel.bulkops`): whole-table sweeps of ``&``/``|``/
+  ``^``/``bit_count`` over wide Python ints;
+* ``bitset`` -- per-state mask arithmetic (the PR-1 kernel);
+* ``naive`` -- the original tuple-by-tuple code, kept as the reference
+  implementation and the bottom rung of the degradation ladder.
+
+Selection::
 
     REPRO_KERNEL=naive python ...
 
@@ -11,6 +19,12 @@ or, programmatically and temporarily, with::
 
     with use_kernel("naive"):
         ...
+
+``REPRO_KERNEL_BULK=0`` (also ``off``/``false``/``no``) is the bulk
+kill switch: it downgrades the bulk kernel to ``bitset`` everywhere --
+including explicit ``REPRO_KERNEL=bulk`` / ``use_kernel("bulk")``
+requests -- so an operator can disable the bulk passes without touching
+code or test parametrisations.
 """
 
 from __future__ import annotations
@@ -22,10 +36,14 @@ from typing import Iterator, Optional
 from repro.errors import ReproError
 
 KERNEL_ENV_VAR = "REPRO_KERNEL"
+#: Kill switch for the bulk kernel (``0``/``off``/``false``/``no``).
+BULK_ENV_VAR = "REPRO_KERNEL_BULK"
 
+BULK = "bulk"
 BITSET = "bitset"
 NAIVE = "naive"
-_VALID_MODES = (BITSET, NAIVE)
+_VALID_MODES = (BULK, BITSET, NAIVE)
+_DISABLED_VALUES = frozenset({"0", "off", "false", "no"})
 
 #: Process-local override installed by :func:`use_kernel`; wins over the
 #: environment variable while active.
@@ -42,23 +60,48 @@ def _validated(mode: str, origin: str) -> str:
     return normalized
 
 
+def bulk_kill_switch_active() -> bool:
+    """True iff ``REPRO_KERNEL_BULK`` disables the bulk kernel."""
+    raw = os.environ.get(BULK_ENV_VAR)
+    return raw is not None and raw.strip().lower() in _DISABLED_VALUES
+
+
 def kernel_mode() -> str:
-    """The active kernel mode: ``"bitset"`` or ``"naive"``.
+    """The active kernel mode: ``"bulk"``, ``"bitset"``, or ``"naive"``.
 
     Resolution order: :func:`use_kernel` override, then the
-    ``REPRO_KERNEL`` environment variable, then the default ``bitset``.
+    ``REPRO_KERNEL`` environment variable, then the default ``bulk``.
+    The ``REPRO_KERNEL_BULK`` kill switch downgrades a resolved ``bulk``
+    to ``bitset`` regardless of where it came from.
     """
     if _override is not None:
-        return _override
-    env = os.environ.get(KERNEL_ENV_VAR)
-    if env is None:
+        mode = _override
+    else:
+        env = os.environ.get(KERNEL_ENV_VAR)
+        mode = BULK if env is None else _validated(env, f"${KERNEL_ENV_VAR}")
+    if mode == BULK and bulk_kill_switch_active():
         return BITSET
-    return _validated(env, f"${KERNEL_ENV_VAR}")
+    return mode
 
 
 def bitset_enabled() -> bool:
-    """True iff the bitset kernel is active."""
+    """True iff the bitset kernel (exactly) is active."""
     return kernel_mode() == BITSET
+
+
+def bulk_enabled() -> bool:
+    """True iff the bulk kernel is active."""
+    return kernel_mode() == BULK
+
+
+def fast_kernel_enabled() -> bool:
+    """True iff any mask-based kernel (bulk or bitset) is active.
+
+    Call sites that only care about "masks vs frozensets" (state-space
+    enumeration, poset construction) branch on this; call sites with a
+    dedicated bulk twin branch on the exact mode.
+    """
+    return kernel_mode() != NAIVE
 
 
 @contextmanager

@@ -38,6 +38,7 @@ from repro.relational.constraints import (
 from repro.relational.instances import DatabaseInstance
 from repro.relational.relations import Relation, Row
 from repro.relational.schema import Schema
+from repro.kernel.bulkops import StrideTicker
 from repro.resilience.faults import current_plan
 from repro.resilience.guard import current_guard
 from repro.typealgebra.assignment import TypeAssignment
@@ -257,12 +258,13 @@ def legal_subset_masks(
     allowed, predicates = compile_relation_filter(
         schema, assignment, relation, rows, constraints
     )
-    guard = current_guard()
+    ticker = StrideTicker()
     plan = current_plan()
     sub = 0
     while True:
-        if guard is not None:
-            guard.tick()
+        # Guard ticks are amortized per stride; the fault check stays
+        # per candidate so chaos plans keep their exact trigger counts.
+        ticker.tick()
         if plan is not None:
             plan.check("enumeration.step")
         if all(predicate(sub) for predicate in predicates):
@@ -271,3 +273,4 @@ def legal_subset_masks(
             break
         # Next submask of `allowed` in ascending numeric order.
         sub = (sub - allowed) & allowed
+    ticker.flush()

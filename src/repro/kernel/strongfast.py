@@ -15,6 +15,12 @@ arithmetic over the state-space poset's down-set masks:
   is the member whose down-set covers the whole fiber;
 * downward stationarity is one mask-containment pass over ``lp``.
 
+Two entry points share the body: :func:`analyze_view_bitset` (the PR-1
+kernel) and :func:`analyze_view_bulk`, which additionally replaces the
+comparable-pair walks with the word-packed pulled-selector test of
+:func:`repro.kernel.bulkops.pullback_monotone` -- one mask containment
+per state instead of a Python step per comparable pair.
+
 The resulting predicate values are seeded into the
 :class:`~repro.algebra.morphisms.PosetMorphism` caches so later calls
 through the generic API do not silently re-run the slow paths.
@@ -25,11 +31,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.kernel.bitspace import TupleCodec
+from repro.kernel.bulkops import StrideTicker, fiber_masks, pullback_monotone
 from repro.algebra.morphisms import PosetMorphism
 from repro.algebra.poset import FinitePoset
 from repro.relational.instances import DatabaseInstance, sorted_instances
 from repro.resilience.faults import fault_check
-from repro.resilience.guard import current_guard
 
 
 def _monotone_on_comparable_pairs(
@@ -41,17 +47,19 @@ def _monotone_on_comparable_pairs(
     walking the set bits of each down-set mask covers the whole
     definition without the naive all-pairs sweep.
     """
-    guard = current_guard()
+    ticker = StrideTicker()
     for y, below_y in enumerate(below_source):
-        if guard is not None:
-            guard.tick()
+        ticker.tick()
         target_row = below_target[fidx[y]]
         probe = below_y & ~(1 << y)
-        while probe:
+        while probe:  # reprolint: holds-guard -- bounded by the row
+            # popcount; the enclosing per-state loop is stride-ticked
             x = (probe & -probe).bit_length() - 1
             probe &= probe - 1
             if not (target_row >> fidx[x]) & 1:
+                ticker.flush()
                 return False
+    ticker.flush()
     return True
 
 
@@ -64,15 +72,70 @@ def image_poset_bitset(states) -> FinitePoset:
 
 def analyze_view_bitset(view, space) -> "StrongViewAnalysis":  # noqa: F821
     """Bitset-kernel twin of :func:`repro.core.strong.analyze_view`."""
+    fault_check("kernel.analysis")
+    return _analyze_view_fast(view, space, bulk=False)
+
+
+def analyze_view_bulk(view, space) -> "StrongViewAnalysis":  # noqa: F821
+    """Bulk-kernel twin: word-packed monotonicity and fiber passes."""
+    fault_check("kernel.bulk")
+    return _analyze_view_fast(view, space, bulk=True)
+
+
+def _analyze_identity_like(
+    view, space, raw_table
+) -> "StrongViewAnalysis":  # noqa: F821
+    """Fast path for a view whose ``gamma'`` fixes every state.
+
+    The image is the state set itself (``space.states`` is already in
+    :func:`sorted_instances` order), so the image poset *is* the state
+    poset and every derived answer is forced: ``gamma'`` and ``gamma#``
+    are the identity, every state is its own least preimage, and the
+    monotonicity/stationarity predicates hold trivially.  Skipping the
+    re-derivation matters because the identity view participates in
+    every :meth:`ComponentAlgebra.discover` call.
+    """
     from repro.core.strong import StrongViewAnalysis
 
-    fault_check("kernel.analysis")
+    states = space.states
+    source = space.poset
+    morphism = PosetMorphism(source, source, dict(zip(states, raw_table)))
+    morphism._cache["monotone"] = True
+    morphism._cache["admits_lp"] = True
+    has_bottom = source.has_bottom()
+    morphism._cache["lri"] = has_bottom
+    morphism._cache["down_stat"] = True
+    identity_table = {state: state for state in states}
+    analysis = StrongViewAnalysis(
+        view=view,
+        space=space,
+        morphism=morphism,
+        is_monotone=True,
+        preserves_bottom=has_bottom,
+        admits_least_preimages=True,
+        sharp_is_monotone=has_bottom,
+        is_downward_stationary=True,
+        sharp=dict(identity_table),
+        theta=identity_table,
+    )
+    if analysis.is_strong:
+        analysis._theta_key_cache = tuple(range(len(states)))
+    return analysis
+
+
+def _analyze_view_fast(
+    view, space, bulk: bool
+) -> "StrongViewAnalysis":  # noqa: F821
+    from repro.core.strong import StrongViewAnalysis
+
     states = space.states
     n = len(states)
     source = space.poset
     below_s = source.leq_matrix()
 
     raw_table = view.image_table(space)
+    if raw_table == states:
+        return _analyze_identity_like(view, space, raw_table)
     image_states = sorted_instances(set(raw_table))
     target = image_poset_bitset(image_states)
     below_t = target.leq_matrix()
@@ -82,7 +145,10 @@ def analyze_view_bitset(view, space) -> "StrongViewAnalysis":  # noqa: F821
     table = dict(zip(states, raw_table))
     morphism = PosetMorphism(source, target, table)
 
-    is_monotone = _monotone_on_comparable_pairs(below_s, below_t, fidx)
+    if bulk:
+        is_monotone = pullback_monotone(below_s, below_t, fidx)
+    else:
+        is_monotone = _monotone_on_comparable_pairs(below_s, below_t, fidx)
     morphism._cache["monotone"] = is_monotone
 
     preserves_bottom = (
@@ -93,12 +159,7 @@ def analyze_view_bitset(view, space) -> "StrongViewAnalysis":  # noqa: F821
 
     # Fibers of gamma' as masks over source state indices.
     m = len(image_states)
-    guard = current_guard()
-    fibers = [0] * m
-    for i, f in enumerate(fidx):
-        if guard is not None:
-            guard.tick()
-        fibers[f] |= 1 << i
+    fibers = fiber_masks(fidx, m)
     # Least preimage per image state: the fiber member whose up-set
     # contains the entire fiber (it is below every other member).
     # States are ordered by size, so the least element (when it exists)
@@ -106,13 +167,14 @@ def analyze_view_bitset(view, space) -> "StrongViewAnalysis":  # noqa: F821
     up_s = source._up_matrix()
     sharp_idx: List[Optional[int]] = [None] * m
     admits_lp = True
+    ticker = StrideTicker()
     for f in range(m):
-        if guard is not None:
-            guard.tick()
+        ticker.tick()
         fiber = fibers[f]
         probe = fiber
         least = None
-        while probe:
+        while probe:  # reprolint: holds-guard -- bounded by the fiber
+            # popcount; the enclosing per-fiber loop is stride-ticked
             x = (probe & -probe).bit_length() - 1
             probe &= probe - 1
             if fiber & ~up_s[x] == 0:
@@ -122,6 +184,7 @@ def analyze_view_bitset(view, space) -> "StrongViewAnalysis":  # noqa: F821
             admits_lp = False
             break
         sharp_idx[f] = least
+    ticker.flush()
     morphism._cache["admits_lp"] = admits_lp
 
     sharp_table: Optional[Dict[DatabaseInstance, DatabaseInstance]] = None
@@ -134,9 +197,12 @@ def analyze_view_bitset(view, space) -> "StrongViewAnalysis":  # noqa: F821
             image_states[f]: states[sharp_idx[f]] for f in range(m)
         }
         sharp = PosetMorphism(target, source, sharp_table)
-        sharp_order_ok = _monotone_on_comparable_pairs(
-            below_t, below_s, sharp_idx
-        )
+        if bulk:
+            sharp_order_ok = pullback_monotone(below_t, below_s, sharp_idx)
+        else:
+            sharp_order_ok = _monotone_on_comparable_pairs(
+                below_t, below_s, sharp_idx
+            )
         sharp._cache["monotone"] = sharp_order_ok
         # `sharp_is_monotone` mirrors the naive path's sharp.is_morphism():
         # monotone *and* bottom-preserving.
@@ -148,20 +214,20 @@ def analyze_view_bitset(view, space) -> "StrongViewAnalysis":  # noqa: F821
         morphism._cache["lri"] = admits_lp and sharp_monotone
 
         lp_mask = 0
+        ticker = StrideTicker()
         for f in range(m):
-            if guard is not None:
-                guard.tick()
+            ticker.tick()
             lp_mask |= 1 << sharp_idx[f]
         downward_stationary = True
         probe = lp_mask
         while probe:
-            if guard is not None:
-                guard.tick()
+            ticker.tick()
             x = (probe & -probe).bit_length() - 1
             probe &= probe - 1
             if below_s[x] & ~lp_mask:
                 downward_stationary = False
                 break
+        ticker.flush()
         morphism._cache["down_stat"] = downward_stationary
 
         theta_idx = [sharp_idx[f] for f in fidx]

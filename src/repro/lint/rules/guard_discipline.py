@@ -5,17 +5,31 @@ only works if every unbounded loop on the derivation hot path calls
 :meth:`ExecutionGuard.tick`.  Scope: every module under ``kernel/``
 (except ``config.py``) and ``relational/enumeration.py``.
 
-A loop is compliant when its own subtree contains a ``.tick(...)``
-call, or when an *enclosing* loop does (the outer iteration ticks, so
-the inner loop is re-checked every outer pass).  Loops that are
-genuinely bounded by compile-time-small structures (schema arity, rule
-lists) carry inline suppressions saying so.
+A loop is compliant when:
+
+* its own subtree contains a ``.tick(...)`` call (per-iteration or
+  amortized via :class:`~repro.kernel.bulkops.StrideTicker`), or
+* an *enclosing* loop is compliant (the outer iteration ticks, so the
+  inner loop is re-checked every outer pass), or
+* it carries an explicit **holds-guard marker**::
+
+      # reprolint: holds-guard -- <why the budget is already charged>
+
+  on the loop's own line or in the comment block directly above it.
+  The marker declares that the loop's work is already accounted to the
+  step budget -- pre-charged in bulk (``guard.tick(n)`` before a
+  word-packed pass), bounded by a stride-ticked caller, or
+  compile-time-small -- and *requires* a written justification after
+  ``--``.  Unlike a ``disable=RL002`` suppression it is a positive
+  claim about guard accounting, shows up in this rule's semantics (and
+  its tests), and is not counted against the suppression budget.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+import re
+from typing import Iterable, List
 
 from repro.lint.findings import Finding
 from repro.lint.project import Project, SourceFile
@@ -23,6 +37,10 @@ from repro.lint.registry import Rule, register
 
 _LOOP = (ast.For, ast.AsyncFor, ast.While)
 _EXEMPT_FILES = frozenset({"config.py", "__init__.py"})
+
+#: The holds-guard marker: must carry a justification after ``--``.
+_HOLDS_GUARD = re.compile(r"#\s*reprolint:\s*holds-guard\s*--\s*\S")
+_COMMENT_OR_BLANK = re.compile(r"^\s*(#.*)?$")
 
 
 def _in_scope(source: SourceFile) -> bool:
@@ -42,6 +60,28 @@ def _contains_tick(node: ast.AST) -> bool:
     )
 
 
+def _holds_guard_marker(lines: List[str], loop_lineno: int) -> bool:
+    """True iff the loop carries a holds-guard marker.
+
+    Checked on the loop's own (1-indexed) line, then upward through the
+    contiguous block of comment/blank lines directly above it, so a
+    multi-line justification comment still attaches to the loop.
+    """
+    if 1 <= loop_lineno <= len(lines) and _HOLDS_GUARD.search(
+        lines[loop_lineno - 1]
+    ):
+        return True
+    lineno = loop_lineno - 1
+    while 1 <= lineno <= len(lines):
+        line = lines[lineno - 1]
+        if not _COMMENT_OR_BLANK.match(line):
+            return False
+        if _HOLDS_GUARD.search(line):
+            return True
+        lineno -= 1
+    return False
+
+
 @register
 class GuardDisciplineRule(Rule):
     id = "RL002"
@@ -55,24 +95,34 @@ class GuardDisciplineRule(Rule):
         for source in project.parsed():
             if not _in_scope(source) or source.tree is None:
                 continue
-            yield from self._walk(source, source.tree, ticked=False)
+            lines = source.text.splitlines()
+            yield from self._walk(source, lines, source.tree, ticked=False)
 
     def _walk(
-        self, source: SourceFile, node: ast.AST, ticked: bool
+        self,
+        source: SourceFile,
+        lines: List[str],
+        node: ast.AST,
+        ticked: bool,
     ) -> Iterable[Finding]:
         for child in ast.iter_child_nodes(node):
             if isinstance(child, _LOOP):
-                compliant = ticked or _contains_tick(child)
+                compliant = (
+                    ticked
+                    or _contains_tick(child)
+                    or _holds_guard_marker(lines, child.lineno)
+                )
                 if not compliant:
                     yield self.finding(
                         source.rel_path,
                         child.lineno,
                         "loop on a guarded hot path never reaches"
-                        " guard.tick() (cooperative cancellation;"
-                        " see repro.resilience.guard)",
+                        " guard.tick() and carries no holds-guard"
+                        " marker (cooperative cancellation; see"
+                        " repro.resilience.guard)",
                     )
                 yield from self._walk(
-                    source, child, ticked=compliant
+                    source, lines, child, ticked=compliant
                 )
             else:
-                yield from self._walk(source, child, ticked=ticked)
+                yield from self._walk(source, lines, child, ticked=ticked)

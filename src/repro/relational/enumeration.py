@@ -34,7 +34,7 @@ from repro.errors import (
 )
 from repro.algebra.poset import FinitePoset
 from repro.kernel.bitspace import TupleCodec
-from repro.kernel.config import bitset_enabled
+from repro.kernel.config import fast_kernel_enabled
 from repro.kernel.enumfast import legal_subset_masks
 from repro.relational.constraints import (
     Constraint,
@@ -156,7 +156,7 @@ def enumerate_instances(
     names = [rel.name for rel in schema.relations]
     arities = schema.arities()
 
-    use_bitset = bitset_enabled()
+    use_bitset = fast_kernel_enabled()
 
     def relation_choices(name: str) -> List[Relation]:
         choices = []
@@ -349,7 +349,7 @@ class StateSpace:
         if self._poset is None:
             self._poset = (
                 FinitePoset.from_masks(self._states, self.masks)
-                if bitset_enabled()
+                if fast_kernel_enabled()
                 else FinitePoset.from_leq(
                     self._states, lambda a, b: a.issubset(b)
                 )

@@ -24,7 +24,7 @@ from repro.relational.relations import Relation, Row
 class DatabaseInstance:
     """An immutable assignment of a relation to each relation symbol."""
 
-    __slots__ = ("_relations", "_hash")
+    __slots__ = ("_relations", "_hash", "_repr")
 
     def __init__(self, relations: Mapping[str, Relation | Iterable[Sequence[object]]]):
         frozen: Dict[str, Relation] = {}
@@ -34,6 +34,7 @@ class DatabaseInstance:
             frozen[name] = rel
         self._relations: Dict[str, Relation] = frozen
         self._hash = hash(frozenset(frozen.items()))
+        self._repr: str | None = None
 
     # -- construction helpers ------------------------------------------------
 
@@ -103,12 +104,18 @@ class DatabaseInstance:
     def __setstate__(self, state: Dict[str, Relation]) -> None:
         self._relations = state
         self._hash = hash(frozenset(state.items()))
+        self._repr = None
 
     def __repr__(self) -> str:
-        body = ", ".join(
-            f"{name}={rel!r}" for name, rel in self.items()
-        )
-        return f"DatabaseInstance({body})"
+        # Memoized: deterministic reprs are the tiebreaker of
+        # :func:`sorted_instances`, so states are repr'd once per sort
+        # they participate in.
+        if self._repr is None:
+            body = ", ".join(
+                f"{name}={rel!r}" for name, rel in self.items()
+            )
+            self._repr = f"DatabaseInstance({body})"
+        return self._repr
 
     def total_rows(self) -> int:
         """Total number of tuples across all relations."""

@@ -18,7 +18,7 @@ plus :class:`~repro.typealgebra.assignment.TypeAssignment`, producing a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence, Tuple
+from typing import Callable, FrozenSet, Sequence, Tuple
 
 from repro.errors import EvaluationError, SchemaError
 from repro.relational.instances import DatabaseInstance
@@ -48,6 +48,30 @@ class Query:
     ) -> Relation:
         """Evaluate against an instance under a type assignment."""
         raise NotImplementedError
+
+    def referenced_relations(self) -> FrozenSet[str]:
+        """Names of the base relations this query reads (its read set).
+
+        Subclasses must enumerate *exactly* the relations whose contents
+        can influence :meth:`evaluate`; the bulk kernel relies on this
+        to evaluate view image tables once per distinct restriction of a
+        state to the read set.  Node types that cannot bound their reads
+        must raise :class:`NotImplementedError` (callers then fall back
+        to per-state evaluation).
+        """
+        raise NotImplementedError
+
+    def distributes_over_union(self) -> bool:
+        """True iff ``q(I) = union of q({r}) over the rows r of I``.
+
+        Row-local queries -- projections, selections, restrictions,
+        renames, references, and unions of such -- distribute over
+        per-row decomposition of the input instance.  The bulk kernel
+        uses this to compile a view's image table per codec *slot* and
+        derive whole-state images as mask unions.  The default is
+        ``False``: a node must opt in, never accidentally qualify.
+        """
+        return False
 
     def _position(self, column: str) -> int:
         try:
@@ -87,6 +111,12 @@ class RelationRef(Query):
     def columns(self) -> Tuple[str, ...]:
         return self._columns
 
+    def referenced_relations(self) -> FrozenSet[str]:
+        return frozenset((self.relation,))
+
+    def distributes_over_union(self) -> bool:
+        return True
+
     def evaluate(self, instance, assignment) -> Relation:
         rel = instance.relation(self.relation)
         if rel.arity != len(self._columns):
@@ -117,6 +147,12 @@ class Project(Query):
     def columns(self) -> Tuple[str, ...]:
         return self.keep
 
+    def referenced_relations(self) -> FrozenSet[str]:
+        return self.source.referenced_relations()
+
+    def distributes_over_union(self) -> bool:
+        return self.source.distributes_over_union()
+
     def evaluate(self, instance, assignment) -> Relation:
         source_rel = self.source.evaluate(instance, assignment)
         positions = [self.source._position(c) for c in self.keep]
@@ -140,6 +176,12 @@ class Select(Query):
     @property
     def columns(self) -> Tuple[str, ...]:
         return self.source.columns
+
+    def referenced_relations(self) -> FrozenSet[str]:
+        return self.source.referenced_relations()
+
+    def distributes_over_union(self) -> bool:
+        return self.source.distributes_over_union()
 
     def evaluate(self, instance, assignment) -> Relation:
         source_rel = self.source.evaluate(instance, assignment)
@@ -169,6 +211,12 @@ class TypedRestrict(Query):
     def columns(self) -> Tuple[str, ...]:
         return self.source.columns
 
+    def referenced_relations(self) -> FrozenSet[str]:
+        return self.source.referenced_relations()
+
+    def distributes_over_union(self) -> bool:
+        return self.source.distributes_over_union()
+
     def evaluate(self, instance, assignment) -> Relation:
         source_rel = self.source.evaluate(instance, assignment)
         checks = [
@@ -197,6 +245,12 @@ class NaturalJoin(Query):
         shared = set(self.left.columns) & set(self.right.columns)
         return self.left.columns + tuple(
             c for c in self.right.columns if c not in shared
+        )
+
+    def referenced_relations(self) -> FrozenSet[str]:
+        return (
+            self.left.referenced_relations()
+            | self.right.referenced_relations()
         )
 
     def evaluate(self, instance, assignment) -> Relation:
@@ -229,6 +283,12 @@ class Product(Query):
     def columns(self) -> Tuple[str, ...]:
         return self.left.columns + self.right.columns
 
+    def referenced_relations(self) -> FrozenSet[str]:
+        return (
+            self.left.referenced_relations()
+            | self.right.referenced_relations()
+        )
+
     def evaluate(self, instance, assignment) -> Relation:
         return self.left.evaluate(instance, assignment).product(
             self.right.evaluate(instance, assignment)
@@ -256,6 +316,18 @@ class Union(Query):
     def columns(self) -> Tuple[str, ...]:
         return self.left.columns
 
+    def referenced_relations(self) -> FrozenSet[str]:
+        return (
+            self.left.referenced_relations()
+            | self.right.referenced_relations()
+        )
+
+    def distributes_over_union(self) -> bool:
+        return (
+            self.left.distributes_over_union()
+            and self.right.distributes_over_union()
+        )
+
     def evaluate(self, instance, assignment) -> Relation:
         return self.left.evaluate(instance, assignment).union(
             self.right.evaluate(instance, assignment)
@@ -275,6 +347,12 @@ class Intersection(Query):
     @property
     def columns(self) -> Tuple[str, ...]:
         return self.left.columns
+
+    def referenced_relations(self) -> FrozenSet[str]:
+        return (
+            self.left.referenced_relations()
+            | self.right.referenced_relations()
+        )
 
     def evaluate(self, instance, assignment) -> Relation:
         return self.left.evaluate(instance, assignment).intersection(
@@ -296,6 +374,12 @@ class Difference(Query):
     def columns(self) -> Tuple[str, ...]:
         return self.left.columns
 
+    def referenced_relations(self) -> FrozenSet[str]:
+        return (
+            self.left.referenced_relations()
+            | self.right.referenced_relations()
+        )
+
     def evaluate(self, instance, assignment) -> Relation:
         return self.left.evaluate(instance, assignment).difference(
             self.right.evaluate(instance, assignment)
@@ -313,6 +397,12 @@ class Rename(Query):
     def columns(self) -> Tuple[str, ...]:
         table = dict(self.mapping)
         return tuple(table.get(c, c) for c in self.source.columns)
+
+    def referenced_relations(self) -> FrozenSet[str]:
+        return self.source.referenced_relations()
+
+    def distributes_over_union(self) -> bool:
+        return self.source.distributes_over_union()
 
     def evaluate(self, instance, assignment) -> Relation:
         return self.source.evaluate(instance, assignment)

@@ -10,6 +10,7 @@ plus the positional relational-algebra primitives that the query layer
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, FrozenSet, Iterable, Iterator, Sequence, Tuple
 
 from repro.errors import ArityError
@@ -17,8 +18,19 @@ from repro.errors import ArityError
 Row = Tuple[object, ...]
 
 
+@lru_cache(maxsize=1 << 16)
 def _sort_key(row: Row) -> Tuple[str, ...]:
+    # Memoized: the same universe rows recur across every relation and
+    # state of a space, and the deterministic row order (hence this key)
+    # is recomputed for each repr-based instance sort.
     return tuple(repr(v) for v in row)
+
+
+@lru_cache(maxsize=1 << 16)
+def _row_repr(row: Row) -> str:
+    # Memoized for the same reason as ``_sort_key``: relation reprs are
+    # the instance-sort tiebreaker and rows recur across whole spaces.
+    return repr(row)
 
 
 class Relation:
@@ -34,7 +46,7 @@ class Relation:
         the empty relation then defaults to arity 0 unless given.
     """
 
-    __slots__ = ("_rows", "_arity")
+    __slots__ = ("_rows", "_arity", "_repr")
 
     def __init__(self, rows: Iterable[Sequence[object]] = (), arity: int | None = None):
         frozen = frozenset(tuple(row) for row in rows)
@@ -51,6 +63,21 @@ class Relation:
                     )
         self._rows: FrozenSet[Row] = frozen
         self._arity = arity
+        self._repr: str | None = None
+
+    @classmethod
+    def of_frozen(cls, rows: FrozenSet[Row], arity: int) -> "Relation":
+        """Wrap an already-frozen set of arity-*arity* row tuples.
+
+        Internal fast path for bulk constructions whose rows are frozen
+        tuples by construction; skips the re-tupling and arity sweep of
+        ``__init__``.  Callers are responsible for the invariant.
+        """
+        relation = cls.__new__(cls)
+        relation._rows = rows
+        relation._arity = arity
+        relation._repr = None
+        return relation
 
     # -- basic protocol ----------------------------------------------------
 
@@ -82,8 +109,12 @@ class Relation:
         return hash((self._arity, self._rows))
 
     def __repr__(self) -> str:
-        body = ", ".join(repr(row) for row in self.sorted_rows())
-        return f"Relation[{self._arity}]{{{body}}}"
+        # Memoized: deterministic reprs are the tiebreaker of every
+        # instance sort, so the same immutable relation is repr'd often.
+        if self._repr is None:
+            body = ", ".join(_row_repr(row) for row in self.sorted_rows())
+            self._repr = f"Relation[{self._arity}]{{{body}}}"
+        return self._repr
 
     def sorted_rows(self) -> Tuple[Row, ...]:
         """Rows in a deterministic order (lexicographic by ``repr``)."""

@@ -63,6 +63,7 @@ FAULT_POINTS: Tuple[str, ...] = (
     "kernel.encode",
     "kernel.poset",
     "kernel.analysis",
+    "kernel.bulk",
     "enumeration.step",
 )
 

@@ -12,7 +12,7 @@ Example 1.3.6 could also be given this way).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping
+from typing import Callable, Dict, FrozenSet, Mapping, Optional
 
 from repro.engine.fingerprint import (
     contains_transient,
@@ -48,6 +48,29 @@ class DatabaseMapping:
         """Stable content hash keying the engine's artifact cache."""
         raise NotImplementedError
 
+    def read_relations(self) -> Optional[FrozenSet[str]]:
+        """Source relations this mapping reads, or ``None`` if unknown.
+
+        When a (frozen) set is returned, :meth:`apply` is guaranteed to
+        depend only on the named relations' contents -- the bulk kernel
+        then evaluates image tables once per distinct restriction of a
+        state to that read set.  ``None`` means "cannot bound the
+        reads"; callers must fall back to per-state evaluation.
+        """
+        return None
+
+    def distributes_over_union(self) -> bool:
+        """True iff ``gamma'(I)`` is the row-wise union of single-row
+        images: ``gamma'(I) = union of gamma'({r}) over rows r of I``
+        (relation by relation, with ``gamma'`` of the empty state
+        empty).
+
+        Row-local mappings let the bulk kernel compile an image table
+        per codec *slot* and derive every state's image as one mask
+        union.  Defaults to ``False``; a mapping must opt in.
+        """
+        return False
+
 
 class QueryMapping(DatabaseMapping):
     """A mapping defined by one query per target relation.
@@ -80,6 +103,21 @@ class QueryMapping(DatabaseMapping):
 
     def fingerprint(self) -> str:
         return stable_fingerprint("QueryMapping", self._queries)
+
+    def read_relations(self) -> Optional[FrozenSet[str]]:
+        reads: set = set()
+        for query in self._queries.values():
+            try:
+                reads |= query.referenced_relations()
+            except NotImplementedError:
+                return None
+        return frozenset(reads)
+
+    def distributes_over_union(self) -> bool:
+        return all(
+            query.distributes_over_union()
+            for query in self._queries.values()
+        )
 
     @property
     def is_content_addressed(self) -> bool:  # type: ignore[override]
@@ -148,6 +186,9 @@ class IdentityMapping(DatabaseMapping):
     def fingerprint(self) -> str:
         return stable_fingerprint("IdentityMapping", self._schema)
 
+    def read_relations(self) -> Optional[FrozenSet[str]]:
+        return frozenset(self._schema.arities())
+
     def __repr__(self) -> str:
         return f"IdentityMapping({self._schema.name!r})"
 
@@ -168,6 +209,9 @@ class ZeroMapping(DatabaseMapping):
 
     def fingerprint(self) -> str:
         return stable_fingerprint("ZeroMapping")
+
+    def read_relations(self) -> Optional[FrozenSet[str]]:
+        return frozenset()
 
     def __repr__(self) -> str:
         return "ZeroMapping()"
@@ -190,6 +234,11 @@ class ComposedMapping(DatabaseMapping):
         return stable_fingerprint(
             "ComposedMapping", self.outer.fingerprint(), self.inner.fingerprint()
         )
+
+    def read_relations(self) -> Optional[FrozenSet[str]]:
+        # The outer mapping reads only the inner's *output*, so the
+        # composition's base read set is exactly the inner's.
+        return self.inner.read_relations()
 
     @property
     def is_content_addressed(self) -> bool:  # type: ignore[override]
@@ -244,6 +293,13 @@ class PairingMapping(DatabaseMapping):
         return stable_fingerprint(
             "PairingMapping", self.left.fingerprint(), self.right.fingerprint()
         )
+
+    def read_relations(self) -> Optional[FrozenSet[str]]:
+        left = self.left.read_relations()
+        right = self.right.read_relations()
+        if left is None or right is None:
+            return None
+        return left | right
 
     @property
     def is_content_addressed(self) -> bool:  # type: ignore[override]

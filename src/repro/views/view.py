@@ -17,6 +17,7 @@ from repro.engine.fingerprint import (
 )
 from repro.errors import NotSurjectiveError, SchemaError
 from repro.algebra.partitions import Partition
+from repro.kernel.config import bulk_enabled
 from repro.relational.enumeration import StateSpace
 from repro.relational.instances import DatabaseInstance, sorted_instances
 from repro.relational.schema import Schema
@@ -138,14 +139,141 @@ class View:
     # -- per-space analyses --------------------------------------------------------
 
     def image_table(self, space: StateSpace) -> Tuple[DatabaseInstance, ...]:
-        """``gamma'`` tabulated over the space (aligned with its states)."""
+        """``gamma'`` tabulated over the space (aligned with its states).
+
+        Under the bulk kernel, mappings that declare a read set
+        (:meth:`~repro.views.mappings.DatabaseMapping.read_relations`)
+        are evaluated once per *distinct restriction* of a state to that
+        read set instead of once per state: two states whose codec masks
+        agree on the read-set slots hold identical content on every
+        relation the mapping can observe, so they share one image.
+        """
         key = id(space)
         if key not in self._image_cache:
-            self._image_cache[key] = tuple(
-                self.mapping.apply(state, space.assignment)
-                for state in space.states
-            )
+            if bulk_enabled():
+                table = self._image_table_bulk(space)
+            else:
+                table = tuple(
+                    self.mapping.apply(state, space.assignment)
+                    for state in space.states
+                )
+            self._image_cache[key] = table
         return self._image_cache[key]
+
+    def _image_table_bulk(
+        self, space: StateSpace
+    ) -> Tuple[DatabaseInstance, ...]:
+        from repro.kernel.bulkops import StrideTicker, restriction_key_mask
+
+        states = space.states
+        mapping = self.mapping
+        if isinstance(mapping, IdentityMapping):
+            return tuple(states)
+        if mapping.distributes_over_union():
+            return self._image_table_row_local(space)
+        reads = mapping.read_relations()
+        if reads is None:
+            return tuple(
+                mapping.apply(state, space.assignment) for state in states
+            )
+        read_mask = restriction_key_mask(space.codec.slots, reads)
+        images: Dict[int, DatabaseInstance] = {}
+        table = []
+        ticker = StrideTicker()
+        for state, mask in zip(states, space.masks):
+            ticker.tick()
+            restriction = mask & read_mask
+            image = images.get(restriction)
+            if image is None:
+                image = mapping.apply(state, space.assignment)
+                images[restriction] = image
+            table.append(image)
+        ticker.flush()
+        return tuple(table)
+
+    def _image_table_row_local(
+        self, space: StateSpace
+    ) -> Tuple[DatabaseInstance, ...]:
+        """Slot-compiled image table for row-local mappings.
+
+        ``gamma'`` distributes over row unions, so each codec slot's
+        single-row image is computed once; a state's *image signature*
+        is then the union of its slots' signatures (one
+        :func:`union_selected` per state), and each distinct signature
+        is materialised *once*, directly from its bits -- every bit
+        names one output row, so no state-level ``mapping.apply`` runs
+        at all, and states sharing a signature share one image object.
+        """
+        from repro.kernel.bulkops import (
+            StrideTicker,
+            chunked_union_tables,
+            union_selected_chunked,
+        )
+        from repro.relational.relations import Relation
+
+        mapping = self.mapping
+        assignment = space.assignment
+        arities = self.base_schema.arities()
+        empty = {
+            name: Relation((), arity) for name, arity in arities.items()
+        }
+        # One single-row probe per codec slot; the output rows of each
+        # probe index a shared signature space (bit -> one output row).
+        signature_index: Dict[Tuple[str, Tuple], int] = {}
+        bit_rows: list = []
+        slot_signatures = []
+        arity_of = mapping.target_arities()
+        target_names = tuple(arity_of)
+        ticker = StrideTicker()
+        for name, row in space.codec.slots:
+            ticker.tick()
+            probe = DatabaseInstance(
+                {**empty, name: Relation((row,), arities[name])}
+            )
+            image = mapping.apply(probe, assignment)
+            signature = 0
+            for target in target_names:
+                for out_row in image.relation(target).rows:
+                    key = (target, out_row)
+                    index = signature_index.get(key)
+                    if index is None:
+                        index = len(signature_index)
+                        signature_index[key] = index
+                        bit_rows.append(key)
+                    signature |= 1 << index
+            slot_signatures.append(signature)
+
+        def materialise(signature: int) -> DatabaseInstance:
+            rows_by_target: Dict[str, list] = {
+                name: [] for name in target_names
+            }
+            probe = signature
+            while probe:  # reprolint: holds-guard -- bounded by the
+                # signature popcount; the per-state loop is stride-ticked
+                low = probe & -probe
+                probe ^= low
+                target, out_row = bit_rows[low.bit_length() - 1]
+                rows_by_target[target].append(out_row)
+            return DatabaseInstance(
+                {
+                    name: Relation(rows_by_target[name], arity_of[name])
+                    for name in target_names
+                }
+            )
+
+        tables = chunked_union_tables(slot_signatures)
+        images: Dict[int, DatabaseInstance] = {}
+        table = []
+        for mask in space.masks:
+            ticker.tick()
+            signature = union_selected_chunked(tables, mask)
+            image = images.get(signature)
+            if image is None:
+                image = materialise(signature)
+                images[signature] = image
+            table.append(image)
+        ticker.flush()
+        return tuple(table)
 
     def image_states(self, space: StateSpace) -> Tuple[DatabaseInstance, ...]:
         """The distinct view states, deterministically ordered."""

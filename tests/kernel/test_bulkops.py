@@ -1,0 +1,259 @@
+"""Unit tests for :mod:`repro.kernel.bulkops` and the incremental
+poset delta (:meth:`FinitePoset.with_element`).
+
+Every packed primitive is checked against an obviously-correct naive
+reference on randomized inputs spanning both the small (bitwalk) and
+large (packed delta-exchange) regimes.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.poset import FinitePoset
+from repro.errors import PosetError, ReproError
+from repro.kernel.bulkops import (
+    DEFAULT_TICK_STRIDE,
+    TICK_STRIDE_ENV_VAR,
+    StrideTicker,
+    fiber_masks,
+    pullback_monotone,
+    restriction_key_mask,
+    tick_stride,
+    transpose_masks,
+    union_selected,
+)
+from repro.resilience.guard import ExecutionGuard
+
+
+def naive_transpose(rows, width):
+    out = [0] * width
+    for i, row in enumerate(rows):
+        for j in range(width):
+            if (row >> j) & 1:
+                out[j] |= 1 << i
+    return out
+
+
+class TestTransposeMasks:
+    @pytest.mark.parametrize(
+        "n,width",
+        [(0, 0), (1, 1), (3, 5), (63, 63), (64, 64), (70, 130), (200, 10)],
+    )
+    def test_matches_naive_reference(self, n, width):
+        rng = random.Random(n * 1000 + width)
+        rows = [rng.getrandbits(width) for _ in range(n)]
+        assert transpose_masks(rows, width) == naive_transpose(rows, width)
+
+    @pytest.mark.parametrize("n,width", [(10, 20), (90, 70)])
+    def test_is_an_involution(self, n, width):
+        rng = random.Random(42)
+        rows = [rng.getrandbits(width) for _ in range(n)]
+        assert transpose_masks(transpose_masks(rows, width), n) == rows
+
+    def test_large_pass_charges_the_guard(self):
+        guard = ExecutionGuard()
+        rows = [(1 << 100) - 1] * 100
+        # Temporarily install no guard context: pass the packed branch
+        # its rows and confirm current_guard() is consulted -- here we
+        # just assert correctness of the packed branch at this size.
+        assert transpose_masks(rows, 100) == naive_transpose(rows, 100)
+        assert guard.steps == 0  # not installed, nothing charged
+
+
+class TestFiberAndUnion:
+    def test_fiber_masks_partition_the_source(self):
+        fidx = [0, 2, 0, 1, 2, 2]
+        fibers = fiber_masks(fidx, 3)
+        assert fibers == [0b000101, 0b001000, 0b110010]
+        # The fibers partition the source index set.
+        assert sum(fibers) == (1 << len(fidx)) - 1
+
+    def test_union_selected(self):
+        selectors = [0b001, 0b010, 0b100]
+        assert union_selected(selectors, 0b101) == 0b101
+        assert union_selected(selectors, 0) == 0
+        assert union_selected(selectors, 0b111) == 0b111
+
+
+def naive_monotone(below_source, below_target, fidx):
+    n = len(below_source)
+    for y in range(n):
+        for x in range(n):
+            if (below_source[y] >> x) & 1:
+                if not (below_target[fidx[y]] >> fidx[x]) & 1:
+                    return False
+    return True
+
+
+def random_mask_poset(rng, n, width):
+    masks = rng.sample(range(1 << width), n)
+    return FinitePoset.from_masks(tuple(range(n)), masks)
+
+
+class TestPullbackMonotone:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_comparable_pair_walk(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 40)
+        source = random_mask_poset(rng, n, 8)
+        m = rng.randint(1, 12)
+        target = random_mask_poset(rng, m, 6)
+        fidx = [rng.randrange(m) for _ in range(n)]
+        below_s = source.leq_matrix()
+        below_t = target.leq_matrix()
+        assert pullback_monotone(below_s, below_t, fidx) == naive_monotone(
+            below_s, below_t, fidx
+        )
+
+    def test_constant_map_is_monotone(self):
+        poset = random_mask_poset(random.Random(7), 20, 8)
+        below = poset.leq_matrix()
+        assert pullback_monotone(below, (1,), [0] * 20)
+
+    def test_identity_is_monotone(self):
+        poset = random_mask_poset(random.Random(8), 25, 8)
+        below = poset.leq_matrix()
+        assert pullback_monotone(below, below, list(range(25)))
+
+
+class TestRestrictionKeyMask:
+    def test_selects_slots_of_the_read_set(self):
+        slots = [("R", ("a",)), ("S", ("b",)), ("R", ("c",)), ("T", ("d",))]
+        assert restriction_key_mask(slots, {"R"}) == 0b0101
+        assert restriction_key_mask(slots, {"S", "T"}) == 0b1010
+        assert restriction_key_mask(slots, set()) == 0
+        assert restriction_key_mask(slots, {"R", "S", "T"}) == 0b1111
+
+
+class TestTickStride:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(TICK_STRIDE_ENV_VAR, raising=False)
+        assert tick_stride() == DEFAULT_TICK_STRIDE == 256
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(TICK_STRIDE_ENV_VAR, "17")
+        assert tick_stride() == 17
+
+    def test_blank_means_default(self, monkeypatch):
+        monkeypatch.setenv(TICK_STRIDE_ENV_VAR, "   ")
+        assert tick_stride() == DEFAULT_TICK_STRIDE
+
+    @pytest.mark.parametrize("value", ["zero", "0", "-4", "1.5"])
+    def test_malformed_or_nonpositive_raises(self, monkeypatch, value):
+        monkeypatch.setenv(TICK_STRIDE_ENV_VAR, value)
+        with pytest.raises(ReproError, match="positive integer"):
+            tick_stride()
+
+
+class TestStrideTicker:
+    def test_steps_advance_by_exactly_the_iteration_count(self):
+        guard = ExecutionGuard()
+        ticker = StrideTicker(guard=guard, stride=16)
+        for _ in range(100):
+            ticker.tick()
+        ticker.flush()
+        assert guard.steps == 100
+
+    def test_charges_in_stride_batches(self):
+        guard = ExecutionGuard()
+        ticker = StrideTicker(guard=guard, stride=10)
+        for _ in range(9):
+            ticker.tick()
+        assert guard.steps == 0  # below one stride, nothing charged yet
+        ticker.tick()
+        assert guard.steps == 10
+        ticker.flush()
+        assert guard.steps == 10  # flush of an empty remainder is a no-op
+
+    def test_step_budget_trips_at_the_same_total(self):
+        from repro.errors import DeadlineExceededError
+
+        guard = ExecutionGuard(max_steps=50)
+        ticker = StrideTicker(guard=guard, stride=8)
+        with pytest.raises(DeadlineExceededError):
+            for _ in range(200):
+                ticker.tick()
+        # The trip happened at the first stride boundary past the
+        # budget, not after all 200 iterations.
+        assert guard.steps == 56
+
+    def test_no_guard_is_a_cheap_no_op(self):
+        ticker = StrideTicker(guard=None, stride=4)
+        for _ in range(100):
+            ticker.tick()
+        ticker.flush()  # nothing to charge, nothing to raise
+
+
+class TestWithElement:
+    def rebuild(self, elements, masks):
+        return FinitePoset.from_masks(elements, masks)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_from_scratch_rebuild(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 30)
+        width = 8
+        masks = rng.sample(range(1 << width), n + 1)
+        base = FinitePoset.from_masks(tuple(range(n)), masks[:n])
+        incremental = base.with_element(n, masks[n])
+        rebuilt = self.rebuild(tuple(range(n + 1)), masks)
+        assert incremental.elements == rebuilt.elements
+        assert incremental.leq_matrix() == rebuilt.leq_matrix()
+        assert (
+            incremental.minimal_elements() == rebuilt.minimal_elements()
+        )
+        assert (
+            incremental.maximal_elements() == rebuilt.maximal_elements()
+        )
+
+    def test_carries_a_cached_up_matrix_forward(self):
+        rng = random.Random(99)
+        masks = rng.sample(range(1 << 8), 21)
+        base = FinitePoset.from_masks(tuple(range(20)), masks[:20])
+        base._up_matrix()  # populate the cache
+        incremental = base.with_element(20, masks[20])
+        rebuilt = self.rebuild(tuple(range(21)), masks)
+        assert incremental._up_matrix() == rebuilt._up_matrix()
+
+    def test_supports_repeated_insertion(self):
+        masks = [0b0001, 0b0011, 0b0111, 0b1111, 0b0101, 0b1001]
+        poset = FinitePoset.from_masks(("e0",), masks[:1])
+        for i, mask in enumerate(masks[1:], start=1):
+            poset = poset.with_element(f"e{i}", mask)
+        rebuilt = self.rebuild(tuple(f"e{i}" for i in range(6)), masks)
+        assert poset.leq_matrix() == rebuilt.leq_matrix()
+
+    def test_wider_mask_grows_the_contain_index(self):
+        base = FinitePoset.from_masks(("a", "b"), [0b01, 0b11])
+        grown = base.with_element("c", 0b10111)
+        rebuilt = self.rebuild(("a", "b", "c"), [0b01, 0b11, 0b10111])
+        assert grown.leq_matrix() == rebuilt.leq_matrix()
+        # And the retained encoding still supports further inserts.
+        again = grown.with_element("d", 0b10000)
+        rebuilt = self.rebuild(
+            ("a", "b", "c", "d"), [0b01, 0b11, 0b10111, 0b10000]
+        )
+        assert again.leq_matrix() == rebuilt.leq_matrix()
+
+    def test_duplicate_mask_is_rejected(self):
+        base = FinitePoset.from_masks(("a", "b"), [0b01, 0b11])
+        with pytest.raises(PosetError, match="distinct"):
+            base.with_element("c", 0b11)
+
+    def test_duplicate_element_is_rejected(self):
+        base = FinitePoset.from_masks(("a", "b"), [0b01, 0b11])
+        with pytest.raises(PosetError, match="already in the poset"):
+            base.with_element("a", 0b10)
+
+    def test_requires_a_from_masks_poset(self):
+        poset = FinitePoset.from_leq((1, 2), lambda a, b: a <= b)
+        with pytest.raises(PosetError, match="from_masks"):
+            poset.with_element(3, 0b100)
+
+    def test_empty_mask_inserts_a_bottom(self):
+        base = FinitePoset.from_masks(("a", "b"), [0b01, 0b11])
+        poset = base.with_element("bot", 0)
+        assert poset.bottom() == "bot"
+        rebuilt = self.rebuild(("a", "b", "bot"), [0b01, 0b11, 0])
+        assert poset.leq_matrix() == rebuilt.leq_matrix()

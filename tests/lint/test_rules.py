@@ -110,6 +110,69 @@ def test_rl002_ignores_files_outside_scope(tmp_path):
     assert lint_tree(tmp_path, files) == []
 
 
+def test_rl002_holds_guard_marker_on_the_loop_line(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "kernel/hot.py": (
+            "def crunch(items):\n"
+            "    total = 0\n"
+            "    for item in items:  # reprolint: holds-guard -- bounded"
+            " by the popcount of one mask\n"
+            "        total += item\n"
+            "    return total\n"
+        ),
+    }
+    assert lint_tree(tmp_path, files) == []
+
+
+def test_rl002_holds_guard_marker_in_a_comment_block_above(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "kernel/hot.py": (
+            "def crunch(items):\n"
+            "    total = 0\n"
+            "    # reprolint: holds-guard -- the caller stride-ticks\n"
+            "    # once per outer element\n"
+            "    for item in items:\n"
+            "        total += item\n"
+            "    return total\n"
+        ),
+    }
+    assert lint_tree(tmp_path, files) == []
+
+
+def test_rl002_holds_guard_marker_needs_a_reason(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "kernel/hot.py": (
+            "def crunch(items):\n"
+            "    total = 0\n"
+            "    for item in items:  # reprolint: holds-guard --\n"
+            "        total += item\n"
+            "    return total\n"
+        ),
+    }
+    findings = lint_tree(tmp_path, files)
+    assert [(f.rule, f.line) for f in findings] == [("RL002", 3)]
+    assert "holds-guard marker" in findings[0].message
+
+
+def test_rl002_holds_guard_marker_must_be_contiguous(tmp_path):
+    files = {
+        "README.md": PLAIN_README,
+        "kernel/hot.py": (
+            "def crunch(items):\n"
+            "    # reprolint: holds-guard -- detached from the loop\n"
+            "    total = 0\n"
+            "    for item in items:\n"
+            "        total += item\n"
+            "    return total\n"
+        ),
+    }
+    findings = lint_tree(tmp_path, files)
+    assert [(f.rule, f.line) for f in findings] == [("RL002", 4)]
+
+
 def test_rl003_locked_mutation_is_compliant(tmp_path):
     files = {
         "README.md": PLAIN_README,

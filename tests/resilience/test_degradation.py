@@ -1,4 +1,4 @@
-"""The degradation ladder: bitset -> naive -> typed failure."""
+"""The degradation ladder: bulk -> bitset -> naive -> typed failure."""
 
 import pytest
 
@@ -11,7 +11,7 @@ from repro.errors import (
     ResilienceError,
     StateSpaceTooLargeError,
 )
-from repro.kernel.config import BITSET, NAIVE, use_kernel
+from repro.kernel.config import BITSET, BULK, NAIVE, use_kernel
 from repro.resilience.faults import FaultPlan, FaultRule, inject
 
 
@@ -60,6 +60,40 @@ class TestDegradedAnalysis:
         counters = engine.stats()["artifacts"]["analysis"]
         assert counters["hits"] == 1
         assert counters["degradations"] == 1
+
+
+class TestBulkLadder:
+    def test_bulk_crash_degrades_to_bitset(self, small_chain, small_space):
+        plan = FaultPlan(seed=7, rules=(FaultRule("kernel.bulk"),))
+        engine = Engine()
+        view = projection_view(small_chain, ("A", "B", "D"))
+        with use_kernel(BULK), inject(plan):
+            degraded = engine.analysis(view, small_space)
+        assert engine.stats()["artifacts"]["analysis"]["degradations"] == 1
+
+        with use_kernel(NAIVE):
+            clean = analyze_view(view, small_space)
+        assert degraded.is_strong == clean.is_strong
+        assert degraded.is_monotone == clean.is_monotone
+        assert degraded.theta == clean.theta
+        assert degraded.sharp == clean.sharp
+
+    def test_all_three_rungs_failing_reports_every_traceback(
+        self, two_unary
+    ):
+        plan = FaultPlan(rules=(FaultRule("enumeration.step"),))
+        engine = Engine()
+        with use_kernel(BULK), inject(plan):
+            with pytest.raises(KernelFailureError) as info:
+                engine.space(two_unary.schema, two_unary.assignment)
+        error = info.value
+        assert error.kind == "space"
+        assert "under the bulk kernel" in str(error)
+        assert "InjectedFault" in error.bulk_traceback
+        assert "InjectedFault" in error.bitset_traceback
+        assert "InjectedFault" in error.naive_traceback
+        # Two failed retries, one per lower rung attempted.
+        assert engine.stats()["artifacts"]["space"]["degradations"] == 2
 
 
 class TestBothRungsFailing:
