@@ -1,0 +1,189 @@
+"""S10: fleet throughput of the artifact-store persistence backends.
+
+N forked processes contend for one shared artifact store -- the
+pickle-directory backend and the SQLite backend in turn -- and each
+process requests the same M expensive artifacts:
+
+* **cold**: the store location is empty; the cross-process leases must
+  arrange *exactly once* building fleet-wide (M builds total, not
+  ``N x M``), everyone else reading the winner's envelope;
+* **warm**: a second fleet over the same location; every request must
+  be served from the backend, zero builds fleet-wide.
+
+``python benchmarks/bench_s10_backends.py`` runs the full matrix and
+writes ``bench_s10_backends.json`` at the repo root (workers,
+artifacts, per-backend cold/warm wall-clock and request throughput,
+and the fleet-wide build counts proving exactly-once).  The pytest
+entry point runs a reduced configuration as an acceptance gate.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+) if __name__ == "__main__" else None
+
+from repro.engine.backends import create_backend  # noqa: E402
+from repro.engine.store import ArtifactKey, ArtifactStore  # noqa: E402
+
+WORKERS = 4
+ARTIFACTS = 6
+#: Simulated derivation cost (seconds).  Large enough that duplicated
+#: builds would dominate the fleet wall-clock and be caught by the
+#: exactly-once assertion on throughput grounds alone.
+BUILD_SECONDS = 0.05
+
+
+def _payload(index: int) -> dict:
+    return {"artifact": index, "rows": [(i, i * i) for i in range(200)]}
+
+
+def _fleet_worker(backend_name, url, barrier, queue):
+    """One process of the fleet: request every contended artifact."""
+    from repro.resilience.faults import install_plan
+
+    install_plan(None)  # deterministic regardless of REPRO_FAULT_SEED
+
+    # The backend is constructed inside the child on purpose: SQLite
+    # connections (and any backend handle) are not fork-safe.
+    store = ArtifactStore(backend=create_backend(backend_name, url))
+
+    def builder(index):
+        time.sleep(BUILD_SECONDS)
+        return _payload(index)
+
+    barrier.wait(timeout=60)
+    started = time.perf_counter()
+    for index in range(ARTIFACTS):
+        key = ArtifactKey("space", f"contended-{index:04d}", "bulk")
+        value = store.get_or_build(
+            key, lambda index=index: builder(index), persist=True
+        )
+        assert value == _payload(index)
+    elapsed = time.perf_counter() - started
+    snapshot = store.stats()
+    queue.put(
+        {
+            "elapsed": elapsed,
+            "builds": snapshot["memory"]
+            .get("space", {})
+            .get("builds", 0),
+            "disk_hits": snapshot["backend"]["kinds"]
+            .get("space", {})
+            .get("disk_hits", 0),
+            "lease_timeouts": snapshot["leases"]
+            .get("space", {})
+            .get("lease_timeouts", 0),
+        }
+    )
+
+
+def run_fleet(backend_name: str, url: str, workers: int = WORKERS) -> dict:
+    """One fleet pass; returns aggregated counters and wall-clock."""
+    mp = multiprocessing.get_context("fork")
+    barrier = mp.Barrier(workers)
+    queue = mp.Queue()
+    processes = [
+        mp.Process(
+            target=_fleet_worker, args=(backend_name, url, barrier, queue)
+        )
+        for _ in range(workers)
+    ]
+    started = time.perf_counter()
+    for process in processes:
+        process.start()
+    reports = [queue.get(timeout=300) for _ in range(workers)]
+    for process in processes:
+        process.join(timeout=60)
+        assert process.exitcode == 0, f"worker died: {process.exitcode}"
+    wall = time.perf_counter() - started
+    requests = workers * ARTIFACTS
+    return {
+        "wall_seconds": round(wall, 4),
+        "requests": requests,
+        "throughput_rps": round(requests / wall, 1),
+        "fleet_builds": sum(report["builds"] for report in reports),
+        "fleet_disk_hits": sum(report["disk_hits"] for report in reports),
+        "lease_timeouts": sum(
+            report["lease_timeouts"] for report in reports
+        ),
+    }
+
+
+def _store_url(backend_name: str, scratch: str) -> str:
+    if backend_name == "local":
+        return os.path.join(scratch, "cache")
+    return os.path.join(scratch, "artifacts.db")
+
+
+def bench_backend(backend_name: str) -> dict:
+    """Cold fleet then warm fleet over one store location."""
+    with tempfile.TemporaryDirectory(prefix="repro-s10-") as scratch:
+        url = _store_url(backend_name, scratch)
+        cold = run_fleet(backend_name, url)
+        warm = run_fleet(backend_name, url)
+    assert cold["fleet_builds"] == ARTIFACTS, (
+        f"{backend_name}: expected exactly-once fleet-wide builds "
+        f"({ARTIFACTS}), saw {cold['fleet_builds']}"
+    )
+    assert warm["fleet_builds"] == 0, (
+        f"{backend_name}: warm fleet rebuilt "
+        f"{warm['fleet_builds']} artifact(s)"
+    )
+    assert warm["fleet_disk_hits"] == WORKERS * ARTIFACTS
+    return {"cold": cold, "warm": warm}
+
+
+def main() -> int:
+    results = {
+        "workers": WORKERS,
+        "artifacts": ARTIFACTS,
+        "build_seconds_each": BUILD_SECONDS,
+        "backends": {},
+    }
+    for backend_name in ("local", "sqlite"):
+        print(f"[S10] {backend_name}: cold + warm fleet ...")
+        results["backends"][backend_name] = bench_backend(backend_name)
+        cold = results["backends"][backend_name]["cold"]
+        warm = results["backends"][backend_name]["warm"]
+        print(
+            f"  cold: {cold['wall_seconds']}s"
+            f" ({cold['throughput_rps']} req/s,"
+            f" {cold['fleet_builds']} builds fleet-wide)"
+        )
+        print(
+            f"  warm: {warm['wall_seconds']}s"
+            f" ({warm['throughput_rps']} req/s, 0 builds)"
+        )
+    results["generated_at"] = time.strftime(
+        "%Y-%m-%dT%H:%M:%S", time.gmtime()
+    )
+    out = Path(__file__).resolve().parent.parent / "bench_s10_backends.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+def test_s10_fleet_exactly_once_both_backends(tmp_path):
+    """Acceptance gate: cold fleets build exactly once fleet-wide and
+    warm fleets build nothing, on both backends."""
+    for backend_name in ("local", "sqlite"):
+        url = _store_url(backend_name, str(tmp_path / backend_name))
+        os.makedirs(os.path.dirname(url) or url, exist_ok=True)
+        cold = run_fleet(backend_name, url, workers=3)
+        warm = run_fleet(backend_name, url, workers=3)
+        assert cold["fleet_builds"] == ARTIFACTS
+        assert warm["fleet_builds"] == 0
+        assert warm["fleet_disk_hits"] == 3 * ARTIFACTS
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,26 +8,116 @@ canonical constant-component-complement procedure -- with full
 explanations, including rejections.
 
 Run:  python examples/update_service.py
+
+Persistence flags (the same selection the ``REPRO_STORE_BACKEND`` /
+``REPRO_STORE_URL`` environment variables spell):
+
+  --backend=local --store-url=/tmp/repro-cache
+      serve artifacts through the pickle-directory backend;
+  --backend=sqlite --store-url=/tmp/repro.db
+      serve them through one shared SQLite database -- safe for many
+      service processes on one file;
+  --two-process-demo [--store-url=/tmp/repro.db]
+      fork a sibling process that compiles the state space into a
+      shared SQLite store, then serve this process's session entirely
+      from the sibling's build (a warm start without ever enumerating).
 """
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import tempfile
+from pathlib import Path
 
 from repro import NULL, ViewUpdateSystem
 from repro.decomposition.projections import projection_view
-from repro.errors import UpdateRejected
+from repro.engine.backends import SQLiteBackend, create_backend
+from repro.engine.engine import Engine
+from repro.errors import BackendConfigError, UpdateRejected
 from repro.workloads.scenarios import abcd_chain_small
 
 
-def main() -> None:
+def _flag_value(argv: list[str], name: str) -> str | None:
+    prefix = f"--{name}="
+    for arg in argv:
+        if arg.startswith(prefix):
+            return arg.split("=", 1)[1]
+    return None
+
+
+def _engine_from_flags(argv: list[str]) -> Engine | None:
+    """An engine over the requested backend, or ``None`` (ambient)."""
+    backend_name = _flag_value(argv, "backend")
+    if backend_name is None:
+        return None
+    url = _flag_value(argv, "store-url") or ""
+    return Engine(backend=create_backend(backend_name, url))
+
+
+def _sibling_build(url: str) -> None:
+    """The sibling process: compile the state space into the shared
+    SQLite store and exit.  Note the backend is constructed *inside*
+    this process -- SQLite connections are not fork-safe."""
     chain = abcd_chain_small()
+    engine = Engine(backend=SQLiteBackend(url))
+    engine.space_from(chain)
+
+
+def two_process_demo(url: str | None) -> int:
+    """Warm-start this process from a sibling's SQLite-backed build."""
+    if url is None:
+        scratch = tempfile.mkdtemp(prefix="repro-demo-")
+        url = str(Path(scratch) / "artifacts.db")
+    print(f"shared SQLite artifact store: {url}")
+
+    print("[1/2] sibling process compiles the state space ...")
+    process = multiprocessing.get_context().Process(
+        target=_sibling_build, args=(url,)
+    )
+    process.start()
+    process.join(timeout=120)
+    if process.exitcode != 0:
+        print(f"sibling build failed (exit code {process.exitcode})")
+        return 1
+
+    print("[2/2] this process serves updates from the sibling's build ...")
+    engine = Engine(backend=SQLiteBackend(url))
+    exit_code = run_service(engine)
+
+    kinds = engine.stats()["artifacts"]["backend"]["kinds"]
+    disk_hits = sum(counters["disk_hits"] for counters in kinds.values())
+    builds = sum(
+        counters["builds"]
+        for counters in engine.stats()["artifacts"]["memory"].values()
+        if counters
+    )
+    print(
+        f"warm start: {disk_hits} artifact(s) loaded from the sibling's"
+        f" build, {builds} built locally"
+    )
+    space_hits = kinds.get("space", {}).get("disk_hits", 0)
+    print(
+        "state space served from the shared store: "
+        + ("yes" if space_hits else "no")
+    )
+    return exit_code
+
+
+def run_service(engine: Engine | None) -> int:
+    chain = abcd_chain_small()
+    if engine is not None:
+        space = engine.space_from(chain)
+    else:
+        space = chain.state_space()
     system = ViewUpdateSystem(
-        chain.schema, chain.assignment, chain.state_space()
+        chain.schema, chain.assignment, space, engine=engine
     )
 
     # Register user views: two components and one lossy projection.
-    ab_view = system.register_view(chain.component_view([0]))
-    bcd_view = system.register_view(chain.component_view([1, 2]))
-    abd_view = system.register_view(
-        projection_view(chain, ("A", "B", "D"))
-    )
+    system.register_view(chain.component_view([0]))
+    system.register_view(chain.component_view([1, 2]))
+    system.register_view(projection_view(chain, ("A", "B", "D")))
     system.build_component_algebra(chain.all_component_views())
 
     print("registered views:", ", ".join(v.name for v in system.views))
@@ -96,7 +186,19 @@ def main() -> None:
         print()
 
     print("final edges:", chain.edges_of(state))
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if "--two-process-demo" in argv:
+        return two_process_demo(_flag_value(argv, "store-url"))
+    try:
+        engine = _engine_from_flags(argv)
+    except BackendConfigError as exc:
+        print(f"backend configuration error: {exc}")
+        return 2
+    return run_service(engine)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main(sys.argv[1:]))

@@ -9,9 +9,14 @@ artifacts* behind one facade:
 * :mod:`repro.engine.fingerprint` -- stable content hashes keying every
   artifact (the ``fingerprint()`` protocol);
 * :mod:`repro.engine.store` -- the content-addressed
-  :class:`~repro.engine.store.ArtifactStore` (in-memory LRU, optional
-  on-disk pickle cache via ``REPRO_CACHE_DIR``, dependency-aware
-  invalidation, hit/miss/build-time counters);
+  :class:`~repro.engine.store.ArtifactStore` (in-memory LRU,
+  single-flight coalescing, dependency-aware invalidation,
+  hit/miss/build-time counters) composing a persistence backend;
+* :mod:`repro.engine.backends` -- the
+  :class:`~repro.engine.backends.ArtifactBackend` protocol and its two
+  implementations (pickle directory, SQLite database), selected by
+  ``REPRO_STORE_BACKEND``/``REPRO_STORE_URL`` or the legacy
+  ``REPRO_CACHE_DIR``;
 * :mod:`repro.engine.engine` -- the :class:`~repro.engine.engine.Engine`
   facade and its :class:`~repro.engine.engine.Session` handles, whose
   :meth:`~repro.engine.engine.Session.update` services view updates and
@@ -46,6 +51,14 @@ __all__ = [
     "ArtifactKey",
     "ArtifactStore",
     "CACHE_DIR_ENV_VAR",
+    "ArtifactBackend",
+    "BackendDegradedWarning",
+    "LocalDirBackend",
+    "SQLiteBackend",
+    "STORE_BACKEND_ENV_VAR",
+    "STORE_URL_ENV_VAR",
+    "create_backend",
+    "resolve_backend",
     "Engine",
     "Session",
     "UpdateOutcome",
@@ -55,6 +68,16 @@ __all__ = [
 ]
 
 _STORE_EXPORTS = {"ArtifactKey", "ArtifactStore", "CACHE_DIR_ENV_VAR"}
+_BACKEND_EXPORTS = {
+    "ArtifactBackend",
+    "BackendDegradedWarning",
+    "LocalDirBackend",
+    "SQLiteBackend",
+    "STORE_BACKEND_ENV_VAR",
+    "STORE_URL_ENV_VAR",
+    "create_backend",
+    "resolve_backend",
+}
 _ENGINE_EXPORTS = {
     "Engine",
     "Session",
@@ -70,6 +93,10 @@ def __getattr__(name: str) -> object:
         from repro.engine import store
 
         return getattr(store, name)
+    if name in _BACKEND_EXPORTS:
+        from repro.engine import backends
+
+        return getattr(backends, name)
     if name in _ENGINE_EXPORTS:
         from repro.engine import engine
 

@@ -1,0 +1,155 @@
+"""Pluggable persistence backends for the artifact store.
+
+The :class:`~repro.engine.store.ArtifactStore` owns memoization policy
+(LRU, single-flight, dependency cascades, counters); *where persisted
+envelopes live* is delegated to an
+:class:`~repro.engine.backends.base.ArtifactBackend`:
+
+* :class:`~repro.engine.backends.localdir.LocalDirBackend` -- one
+  enveloped pickle file per artifact in a directory
+  (``REPRO_CACHE_DIR``, the original behaviour);
+* :class:`~repro.engine.backends.sqlitedb.SQLiteBackend` -- one shared
+  SQLite database (WAL mode, ``BEGIN IMMEDIATE`` writes,
+  fingerprint-sharded namespace) safe for a fleet of processes on one
+  file or NFS mount.
+
+Selection: pass a backend to ``Engine(backend=...)`` /
+``ArtifactStore(backend=...)``, or configure the environment --
+``REPRO_STORE_BACKEND=local|sqlite`` names the implementation and
+``REPRO_STORE_URL`` its location (a directory for ``local``, a
+database file for ``sqlite``).  Explicit constructor arguments beat
+the environment; ``REPRO_CACHE_DIR`` keeps working as the legacy
+spelling of a local backend.  A backend that fails to *open* degrades
+the store to memory-only with a typed warning counter -- persistence
+is never load-bearing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Optional
+
+from repro.engine.backends.base import (
+    ArtifactBackend,
+    BackendDegradedWarning,
+    GetResult,
+    PutResult,
+)
+from repro.engine.backends.envelope import (
+    ENVELOPE_MAGIC,
+    ENVELOPE_VERSION,
+    HEADER,
+    unwrap_payload,
+    wrap_payload,
+)
+from repro.engine.backends.localdir import LocalDirBackend
+from repro.engine.backends.sqlitedb import SQLiteBackend
+from repro.errors import BackendConfigError
+
+__all__ = [
+    "ArtifactBackend",
+    "BackendDegradedWarning",
+    "ENVELOPE_MAGIC",
+    "ENVELOPE_VERSION",
+    "GetResult",
+    "HEADER",
+    "LocalDirBackend",
+    "SQLiteBackend",
+    "STORE_BACKEND_ENV_VAR",
+    "STORE_URL_ENV_VAR",
+    "create_backend",
+    "resolve_backend",
+    "unwrap_payload",
+    "wrap_payload",
+]
+
+#: Environment variable naming the backend implementation.
+STORE_BACKEND_ENV_VAR = "REPRO_STORE_BACKEND"
+
+#: Environment variable locating it (directory or database file).
+STORE_URL_ENV_VAR = "REPRO_STORE_URL"
+
+_BACKEND_NAMES = ("local", "sqlite")
+
+
+def create_backend(
+    name: str,
+    url: str,
+    io_attempts: int = 3,
+    io_backoff: float = 0.01,
+    sleep: Callable[[float], None] = time.sleep,
+) -> ArtifactBackend:
+    """Construct (but do not open) the backend called *name* at *url*.
+
+    Raises :class:`~repro.errors.BackendConfigError` eagerly for an
+    unknown name or a missing URL -- a typo'd selection must not
+    silently mean "no persistence".
+    """
+    normalized = name.strip().lower()
+    if normalized not in _BACKEND_NAMES:
+        raise BackendConfigError(
+            f"unknown artifact backend {name!r}; expected one of"
+            f" {_BACKEND_NAMES}"
+        )
+    if not url:
+        raise BackendConfigError(
+            f"artifact backend {normalized!r} needs a location: set"
+            f" {STORE_URL_ENV_VAR} (or pass a URL) to a"
+            + (
+                " cache directory"
+                if normalized == "local"
+                else " database file path"
+            )
+        )
+    if normalized == "local":
+        return LocalDirBackend(
+            url, io_attempts=io_attempts, io_backoff=io_backoff, sleep=sleep
+        )
+    return SQLiteBackend(
+        url, io_attempts=io_attempts, io_backoff=io_backoff, sleep=sleep
+    )
+
+
+def resolve_backend(
+    cache_dir: Optional[str] = None,
+    io_attempts: int = 3,
+    io_backoff: float = 0.01,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Optional[ArtifactBackend]:
+    """The backend the configuration asks for, or ``None`` (memory-only).
+
+    Precedence: an explicit *cache_dir* (constructor argument) wins and
+    means a local-dir backend -- tests and callers that pin a directory
+    stay hermetic under any ambient environment -- then
+    ``REPRO_STORE_BACKEND``/``REPRO_STORE_URL``, then the legacy
+    ``REPRO_CACHE_DIR``.
+    """
+    if cache_dir:
+        return LocalDirBackend(
+            cache_dir,
+            io_attempts=io_attempts,
+            io_backoff=io_backoff,
+            sleep=sleep,
+        )
+    name = os.environ.get(STORE_BACKEND_ENV_VAR)
+    if name is not None and name.strip():
+        url = os.environ.get(STORE_URL_ENV_VAR, "")
+        if not url and name.strip().lower() == "local":
+            url = os.environ.get("REPRO_CACHE_DIR", "")
+        return create_backend(
+            name,
+            url,
+            io_attempts=io_attempts,
+            io_backoff=io_backoff,
+            sleep=sleep,
+        )
+    legacy_dir = os.environ.get("REPRO_CACHE_DIR")
+    if legacy_dir:
+        return LocalDirBackend(
+            legacy_dir,
+            io_attempts=io_attempts,
+            io_backoff=io_backoff,
+            sleep=sleep,
+        )
+    return None

@@ -1,0 +1,71 @@
+"""The checksummed on-disk/on-wire envelope shared by every backend.
+
+Whatever medium a backend persists to -- files, SQLite blobs, an HTTP
+artifact server -- the bytes it stores are one *envelope*: a fixed
+header (magic, format version, payload length, SHA-256 digest) followed
+by the pickled payload.  Damage of any kind -- truncation, bit rot,
+version skew, foreign files -- is detected *before* bytes reach the
+unpickler, and reads as a silent miss, never an exception.  Keeping the
+format here, outside any one backend, is what makes artifacts
+byte-portable between backends: an envelope written by
+:class:`~repro.engine.backends.localdir.LocalDirBackend` is readable
+verbatim from a
+:class:`~repro.engine.backends.sqlitedb.SQLiteBackend` row.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Optional
+
+__all__ = [
+    "ENVELOPE_MAGIC",
+    "ENVELOPE_VERSION",
+    "HEADER",
+    "unwrap_payload",
+    "wrap_payload",
+]
+
+#: Magic prefix of every persisted artifact (detects foreign blobs).
+ENVELOPE_MAGIC = b"RPRO"
+
+#: Bump on any incompatible change to the persisted representation;
+#: entries with another version are silent misses, not unpickle crashes.
+ENVELOPE_VERSION = 1
+
+#: Header layout: magic, format version, payload length, SHA-256 digest.
+HEADER = struct.Struct(">4sHQ32s")
+
+
+def wrap_payload(payload: bytes) -> bytes:
+    """Wrap pickled bytes in the checksummed envelope."""
+    return (
+        HEADER.pack(
+            ENVELOPE_MAGIC,
+            ENVELOPE_VERSION,
+            len(payload),
+            hashlib.sha256(payload).digest(),
+        )
+        + payload
+    )
+
+
+def unwrap_payload(blob: bytes) -> Optional[bytes]:
+    """The payload of an enveloped blob, or ``None`` if damaged.
+
+    Rejects short reads, foreign magic, version skew, truncated or
+    over-long payloads, and checksum mismatches -- without relying on
+    the unpickler to crash on garbage.
+    """
+    if len(blob) < HEADER.size:
+        return None
+    magic, version, length, digest = HEADER.unpack_from(blob)
+    if magic != ENVELOPE_MAGIC or version != ENVELOPE_VERSION:
+        return None
+    payload = blob[HEADER.size :]
+    if len(payload) != length:
+        return None
+    if hashlib.sha256(payload).digest() != digest:
+        return None
+    return payload

@@ -1,0 +1,195 @@
+"""The pickle-directory backend: one enveloped file per artifact.
+
+This is the original ``ArtifactStore`` persistence path, extracted
+verbatim behind the :class:`~repro.engine.backends.base.ArtifactBackend`
+protocol: atomic per-pid temp-file writes, bounded retry on transient
+``OSError``, envelope verification with damaged-entry deletion, and
+:class:`~repro.resilience.locks.FileLease` scoped next to each artifact
+file.
+
+:meth:`LocalDirBackend.open` runs the dead-writer temp-file sweep that
+used to fire on every store construction -- now **one-shot per
+resolved path per process**: constructing fifty stores over one cache
+directory sweeps it once, and the reclaimed count is surfaced as the
+``sweep_reclaimed`` backend stat.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Set
+
+from repro.engine.backends.base import GetResult, PutResult, RetryPolicy
+from repro.engine.backends.envelope import unwrap_payload, wrap_payload
+from repro.engine.keys import ArtifactKey
+from repro.errors import BackendUnavailableError
+from repro.resilience.faults import fault_check, fault_corrupt
+from repro.resilience.locks import FileLease, sweep_stale_temp_files
+
+__all__ = ["LocalDirBackend", "reset_sweep_registry"]
+
+#: Cache-directory paths already swept by this process, so that the
+#: dead-writer sweep is one-shot per path instead of per store.
+_SWEPT_ROOTS: Set[str] = set()
+_SWEPT_ROOTS_LOCK = threading.Lock()
+
+
+def reset_sweep_registry() -> None:
+    """Forget which paths were swept (tests of the one-shot contract)."""
+    with _SWEPT_ROOTS_LOCK:
+        _SWEPT_ROOTS.clear()
+
+
+class LocalDirBackend:
+    """Enveloped pickle files in one directory (the classic backend)."""
+
+    name = "local"
+
+    def __init__(
+        self,
+        root: str,
+        io_attempts: int = 3,
+        io_backoff: float = 0.01,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.root = str(root)
+        self._retry = RetryPolicy(io_attempts, io_backoff, sleep)
+        #: Temp files reclaimed from dead writers by :meth:`open`.
+        self.sweep_reclaimed = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def open(self) -> None:
+        """Create the root and run the one-shot dead-writer sweep.
+
+        The root is created eagerly so that the very first build can
+        take a cross-process lease (lockfiles live next to the
+        artifacts); a root that *exists and is not a directory* is a
+        configuration error worth failing loudly about -- the store
+        will degrade to memory-only.
+        """
+        fault_check("backend.open")
+        resolved = os.path.abspath(self.root)
+        if os.path.exists(resolved) and not os.path.isdir(resolved):
+            raise BackendUnavailableError(
+                f"artifact cache root {self.root!r} exists and is not a"
+                " directory"
+            )
+        try:
+            os.makedirs(resolved, exist_ok=True)
+        except OSError as exc:
+            raise BackendUnavailableError(
+                f"cannot create artifact cache root {self.root!r}:"
+                f" {type(exc).__name__}: {exc}"
+            ) from exc
+        with _SWEPT_ROOTS_LOCK:
+            first_opener = resolved not in _SWEPT_ROOTS
+            _SWEPT_ROOTS.add(resolved)
+        if first_opener:
+            self.sweep_reclaimed += sweep_stale_temp_files(self.root)
+
+    # -- protocol -------------------------------------------------------------
+
+    def get(self, key: ArtifactKey) -> GetResult:
+        path = self._path(key)
+        blob: Optional[bytes] = None
+        retries = 0
+        for attempt in range(self._retry.attempts):
+            try:
+                fault_check("store.load")
+                blob = path.read_bytes()
+                break
+            except FileNotFoundError:
+                return GetResult(io_retries=retries)
+            except OSError:
+                # Transient I/O failure: bounded retry with backoff,
+                # then give up and let the store rebuild -- never
+                # propagate.
+                if attempt + 1 >= self._retry.attempts:
+                    return GetResult(io_retries=retries)
+                retries += 1
+                self._retry.pause(attempt)
+            except Exception:
+                # Anything else a filesystem could throw is still just
+                # a miss: the cache is never load-bearing.
+                return GetResult(io_retries=retries)
+        if blob is None:
+            return GetResult(io_retries=retries)
+        blob = fault_corrupt("store.load", blob)
+        payload = unwrap_payload(blob)
+        if payload is None:
+            self.delete(key)
+            return GetResult(corrupt=True, io_retries=retries)
+        return GetResult(payload=payload, io_retries=retries)
+
+    def put(self, key: ArtifactKey, payload: bytes) -> PutResult:
+        path = self._path(key)
+        blob = wrap_payload(payload)
+        tmp = self._temp_path(path)
+        retries = 0
+        for attempt in range(self._retry.attempts):
+            try:
+                fault_check("store.save")
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp.write_bytes(blob)
+                tmp.replace(path)
+                return PutResult(io_retries=retries)
+            except OSError:
+                if attempt + 1 >= self._retry.attempts:
+                    break
+                retries += 1
+                self._retry.pause(attempt)
+            except Exception:
+                # Persistence is best-effort under *any* failure mode.
+                break
+        try:
+            tmp.unlink(missing_ok=True)
+        # reprolint: disable=RL008 -- temp-file cleanup after a failed persist; the cache is never load-bearing
+        except OSError:
+            pass
+        return PutResult(persisted=False, io_retries=retries)
+
+    def delete(self, key: ArtifactKey) -> None:
+        try:
+            self._path(key).unlink(missing_ok=True)
+        # reprolint: disable=RL008 -- cache-file cleanup is best-effort; a stale entry is rejected by checksum on read
+        except OSError:
+            pass
+
+    def sweep(self) -> int:
+        """Reclaim dead writers' temp files now, unconditionally."""
+        reclaimed = sweep_stale_temp_files(self.root)
+        self.sweep_reclaimed += reclaimed
+        return reclaimed
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "root": self.root,
+            "sweep_reclaimed": self.sweep_reclaimed,
+        }
+
+    def lease_for(self, key: ArtifactKey) -> Optional[FileLease]:
+        return FileLease(
+            self._path(key),
+            backoff=self._retry.backoff,
+            sleep=self._retry.sleep,
+        )
+
+    # -- paths ----------------------------------------------------------------
+
+    def _path(self, key: ArtifactKey) -> Path:
+        return Path(self.root) / key.filename()
+
+    def _temp_path(self, path: Path) -> Path:
+        """A per-process temp name next to *path*.
+
+        ``path.with_suffix(".tmp")`` would let concurrent processes
+        writing the same artifact clobber each other's half-written
+        temp files; the pid makes the name unique per writer while the
+        final ``replace`` stays atomic.
+        """
+        return path.parent / f"{path.name}.{os.getpid()}.tmp"

@@ -46,7 +46,7 @@ Every derivation runs through the resilience layer:
   either a structured outcome or a :class:`~repro.errors.ReproError`.
 
 :meth:`Engine.stats` bundles both vantage points into one snapshot:
-``{"artifacts": <per-kind store counters>, "breaker": <circuit
+``{"artifacts": <namespaced store counters>, "breaker": <circuit
 states>}``, each a deep copy safe to mutate or serialize.
 
 A module-level *current engine* (:func:`current_engine`) lets layers
@@ -67,6 +67,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 from repro.core.components import ComponentAlgebra
 from repro.core.procedure import UpdateProcedure, strong_join_complements
 from repro.core.strong import StrongViewAnalysis, analyze_view
+from repro.engine.backends import ArtifactBackend
 from repro.engine.fingerprint import is_content_addressed, stable_fingerprint
 from repro.engine.store import ArtifactKey, ArtifactStore
 from repro.errors import (
@@ -171,6 +172,7 @@ class Engine:
         store: Optional[ArtifactStore] = None,
         max_entries: int = 256,
         cache_dir: Optional[str] = None,
+        backend: Optional[ArtifactBackend] = None,
         deadline_ms: Optional[float] = None,
         max_steps: Optional[int] = None,
         breaker: Optional[CircuitBreaker] = None,
@@ -179,7 +181,7 @@ class Engine:
         breaker_mode: Optional[str] = None,
     ) -> None:
         self.store = store or ArtifactStore(
-            max_entries=max_entries, cache_dir=cache_dir
+            max_entries=max_entries, cache_dir=cache_dir, backend=backend
         )
         #: Per-derivation wall-clock deadline (``None`` falls back to
         #: ``REPRO_DEADLINE_MS``; unset there means no deadline).
@@ -494,8 +496,9 @@ class Engine:
     def stats(self) -> Dict[str, Dict[str, object]]:
         """One deep-copied snapshot of the engine's health.
 
-        ``stats()["artifacts"]`` holds the store's per-kind cache
-        counters (see :class:`ArtifactStore`); ``stats()["breaker"]``
+        ``stats()["artifacts"]`` holds the store's namespaced cache
+        counters (``memory`` / ``backend`` / ``leases``, see
+        :meth:`ArtifactStore.stats`); ``stats()["breaker"]``
         holds the circuit breaker's per-derivation states.  Both are
         copies -- mutating the result cannot corrupt live bookkeeping,
         and concurrent readers get internally consistent views.

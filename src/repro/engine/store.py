@@ -7,15 +7,27 @@ inputs plus the active kernel mode.  :class:`ArtifactStore` memoizes
 them under :class:`ArtifactKey`\\ s with
 
 * an in-memory LRU (bounded by ``max_entries``),
-* an optional on-disk cache (directory from the ``REPRO_CACHE_DIR``
-  environment variable or the constructor), used only for artifacts
-  whose inputs are content-addressed,
+* an optional **persistence backend**
+  (:mod:`repro.engine.backends`) -- the local pickle directory named
+  by ``REPRO_CACHE_DIR``, or any :class:`ArtifactBackend` selected via
+  ``REPRO_STORE_BACKEND``/``REPRO_STORE_URL`` or passed explicitly --
+  used only for artifacts whose inputs are content-addressed,
 * dependency-aware invalidation (dropping a space drops the posets,
   analyses, algebras, and procedures derived from it -- in memory *and*
-  on disk, so stale artifacts cannot resurrect), and
+  in the backend, so stale artifacts cannot resurrect), and
 * per-kind counters (hits, misses, builds, corrupt entries, I/O
   retries, degradations, deadline hits, coalesced builds, lease
   contention) for the harness' ``--stats`` report.
+
+The store is the *composition* layer: memoization policy, counters,
+and concurrency control live here and are identical over every
+backend.  Envelope integrity, atomic writes, transient-error retries,
+and lease scoping live behind the backend seam, so a damaged entry in
+a SQLite row and a damaged entry in a cache file read as the same
+silent miss.  A backend that fails to **open** degrades the store to
+memory-only operation -- counted, warned about
+(:class:`~repro.engine.backends.base.BackendDegradedWarning`), and
+never fatal: a cache must never be load-bearing.
 
 The store is safe under concurrent use, across threads *and*
 processes:
@@ -28,19 +40,13 @@ processes:
   rest block on its result (or re-raise its typed error) and count as
   ``coalesced_builds``;
 * a **cross-process advisory lease**
-  (:class:`~repro.resilience.locks.FileLease`) around each persisted
-  build, so a second process waits for the winner and then reads its
-  envelope from disk instead of rebuilding (``lease_waits`` /
-  ``lease_takeovers`` / ``lease_timeouts`` counters); stale leases are
-  taken over after ``REPRO_CACHE_LOCK_TTL_MS``, and startup sweeps
-  dead writers' per-pid temp files.
-
-The disk format is hardened: each pickle is wrapped in a checksummed,
-format-versioned envelope (magic + version + length + SHA-256), so
-truncation, bit rot, and version skew are detected *before* bytes reach
-the unpickler and count as silent misses; transient ``OSError``\\ s on
-load/save are retried a bounded number of times with backoff.  A cache
-must never be load-bearing: every failure mode degrades to a rebuild.
+  (:class:`~repro.resilience.locks.FileLease`), scoped by the backend,
+  around each persisted build, so a second process waits for the
+  winner and then reads its envelope from the backend instead of
+  rebuilding (``lease_waits`` / ``lease_takeovers`` /
+  ``lease_timeouts`` counters); stale leases are taken over after
+  ``REPRO_CACHE_LOCK_TTL_MS``, and backend ``open()`` sweeps dead
+  writers' leftovers one-shot per path.
 
 The store is deliberately ignorant of *what* it caches: builders are
 supplied by the :class:`~repro.engine.engine.Engine`, which owns the
@@ -49,92 +55,46 @@ mapping from semantic operations to keys and dependencies.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import pickle
-import struct
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Callable, Dict, Iterable, Optional, Set, Tuple
 
-from repro.resilience.faults import fault_check, fault_corrupt
-from repro.resilience.locks import FileLease, sweep_stale_temp_files
+from repro.engine.backends import (
+    ArtifactBackend,
+    BackendDegradedWarning,
+    resolve_backend,
+)
+from repro.engine.backends.envelope import (
+    ENVELOPE_MAGIC,
+    ENVELOPE_VERSION,
+    HEADER as _HEADER,
+    unwrap_payload as _unwrap_payload,
+    wrap_payload as _wrap_payload,
+)
+from repro.engine.keys import ArtifactKey
 
 __all__ = [
     "ArtifactKey",
     "ArtifactStore",
     "CACHE_DIR_ENV_VAR",
+    "ENVELOPE_MAGIC",
     "ENVELOPE_VERSION",
     "KindStats",
+    # Deprecated aliases of the envelope helpers, re-exported for one
+    # PR while callers migrate to repro.engine.backends.envelope.
+    "_HEADER",
+    "_unwrap_payload",
+    "_wrap_payload",
 ]
 
-#: Environment variable naming the on-disk cache directory.
+#: Environment variable naming the on-disk cache directory (the legacy
+#: spelling of a local-dir backend; see :mod:`repro.engine.backends`).
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
-
-#: Magic prefix of every on-disk artifact (detects foreign files).
-ENVELOPE_MAGIC = b"RPRO"
-
-#: Bump on any incompatible change to the persisted representation;
-#: entries with another version are silent misses, not unpickle crashes.
-ENVELOPE_VERSION = 1
-
-#: Header layout: magic, format version, payload length, SHA-256 digest.
-_HEADER = struct.Struct(">4sHQ32s")
-
-
-def _wrap_payload(payload: bytes) -> bytes:
-    """Wrap pickled bytes in the checksummed envelope."""
-    return (
-        _HEADER.pack(
-            ENVELOPE_MAGIC,
-            ENVELOPE_VERSION,
-            len(payload),
-            hashlib.sha256(payload).digest(),
-        )
-        + payload
-    )
-
-
-def _unwrap_payload(blob: bytes) -> Optional[bytes]:
-    """The payload of an enveloped blob, or ``None`` if damaged.
-
-    Rejects short reads, foreign magic, version skew, truncated or
-    over-long payloads, and checksum mismatches -- without relying on
-    the unpickler to crash on garbage.
-    """
-    if len(blob) < _HEADER.size:
-        return None
-    magic, version, length, digest = _HEADER.unpack_from(blob)
-    if magic != ENVELOPE_MAGIC or version != ENVELOPE_VERSION:
-        return None
-    payload = blob[_HEADER.size :]
-    if len(payload) != length:
-        return None
-    if hashlib.sha256(payload).digest() != digest:
-        return None
-    return payload
-
-
-@dataclass(frozen=True)
-class ArtifactKey:
-    """Identity of one cached artifact.
-
-    ``kind`` names the derivation ("space", "analysis", ...); the
-    fingerprint hashes the inputs; ``kernel`` records the active
-    computation mode, since bitset- and naive-built structures may
-    differ representationally even when semantically equal.
-    """
-
-    kind: str
-    fingerprint: str
-    kernel: str
-
-    def filename(self) -> str:
-        """The on-disk cache filename for this key."""
-        return f"{self.kind}-{self.kernel}-{self.fingerprint}.pkl"
 
 
 @dataclass
@@ -151,7 +111,7 @@ class KindStats:
     #: Persisted entries rejected by the integrity envelope (or the
     #: unpickler) and rebuilt.
     corrupt_entries: int = 0
-    #: Transient ``OSError`` retries on load/save.
+    #: Transient I/O-error retries on backend load/save.
     io_retries: int = 0
     #: Bitset-kernel derivations retried under the naive kernel.
     degradations: int = 0
@@ -168,23 +128,47 @@ class KindStats:
     lease_timeouts: int = 0
 
     def as_dict(self) -> Dict[str, float]:
+        """The flat (deprecated) all-counters view of one kind."""
+        flat: Dict[str, float] = {}
+        flat.update(self.memory_dict())
+        flat.update(self.backend_dict())
+        flat.update(self.lease_dict())
+        return flat
+
+    def memory_dict(self) -> Dict[str, float]:
+        """The memoization-layer counters (LRU + single-flight)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
-            "disk_hits": self.disk_hits,
             "builds": self.builds,
             "build_seconds": round(self.build_seconds, 6),
             "evictions": self.evictions,
+            "coalesced_builds": self.coalesced_builds,
+            "degradations": self.degradations,
+            "deadline_hits": self.deadline_hits,
+        }
+
+    def backend_dict(self) -> Dict[str, float]:
+        """The persistence-tier counters."""
+        return {
+            "disk_hits": self.disk_hits,
             "persist_failures": self.persist_failures,
             "corrupt_entries": self.corrupt_entries,
             "io_retries": self.io_retries,
-            "degradations": self.degradations,
-            "deadline_hits": self.deadline_hits,
-            "coalesced_builds": self.coalesced_builds,
+        }
+
+    def lease_dict(self) -> Dict[str, float]:
+        """The cross-process lease-contention counters."""
+        return {
             "lease_waits": self.lease_waits,
             "lease_takeovers": self.lease_takeovers,
             "lease_timeouts": self.lease_timeouts,
         }
+
+
+#: The namespaces of the :meth:`ArtifactStore.stats` snapshot; also the
+#: keys a kind may not shadow via the deprecated flat alias.
+_STATS_NAMESPACES = ("memory", "backend", "leases")
 
 
 @dataclass
@@ -206,15 +190,22 @@ class _InFlight:
 
 @dataclass
 class ArtifactStore:
-    """LRU + optional disk cache of artifacts keyed by fingerprints."""
+    """LRU + pluggable persistence backend, keyed by fingerprints."""
 
     max_entries: int = 256
+    #: Legacy spelling of a local-dir backend; an explicit value here
+    #: pins persistence to that directory regardless of the
+    #: ``REPRO_STORE_BACKEND`` environment (hermeticity for tests and
+    #: embedding callers).  ``backend`` wins over both.
     cache_dir: Optional[str] = None
-    #: Bounded retry for transient ``OSError`` on disk load/save.
+    #: Bounded retry for transient I/O errors on backend load/save.
     io_attempts: int = 3
     #: Base backoff (seconds) between attempts; doubles per retry.  The
     #: cross-process lease reuses the same base for its waits.
     io_backoff: float = 0.01
+    #: The persistence tier; ``None`` resolves from ``cache_dir`` and
+    #: the environment (and stays ``None`` for memory-only stores).
+    backend: Optional[ArtifactBackend] = None
     _entries: "OrderedDict[ArtifactKey, _Entry]" = field(
         default_factory=OrderedDict, repr=False
     )
@@ -227,17 +218,20 @@ class ArtifactStore:
         default_factory=dict, repr=False
     )
     #: Guards ``_entries``/``_dependents``/``_stats``/``_inflight``.
-    #: Innermost lock: never held while a builder or disk I/O runs.
+    #: Innermost lock: never held while a builder or backend I/O runs.
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False
     )
-    #: Stale temp files removed by the startup sweep (diagnostic).
-    swept_temp_files: int = field(default=0, repr=False)
+    #: Configured backends that failed to open (0 or 1; breaker-style
+    #: typed warning counter surfaced in ``stats()["backend"]``).
+    _backend_open_failures: int = field(default=0, repr=False)
+    _backend_open_error: str = field(default="", repr=False)
 
     #: Injectable for tests; module-level so backoff is patchable.
     _sleep = staticmethod(time.sleep)
 
     def __post_init__(self) -> None:
+        explicit_dir = self.cache_dir
         if self.cache_dir is None:
             self.cache_dir = os.environ.get(CACHE_DIR_ENV_VAR) or None
         if self.max_entries < 1:
@@ -246,9 +240,47 @@ class ArtifactStore:
         if self.io_attempts < 1:
             # reprolint: disable=RL001 -- argument validation on the public capacity knob; stdlib idiom
             raise ValueError("io_attempts must be positive")
-        if self.cache_dir:
-            # Reclaim temp files leaked by writers that died mid-save.
-            self.swept_temp_files = sweep_stale_temp_files(self.cache_dir)
+        if self.backend is None:
+            # May raise BackendConfigError -- eagerly, on purpose: a
+            # typo'd selection knob must not silently disable
+            # persistence.
+            self.backend = resolve_backend(
+                cache_dir=explicit_dir,
+                io_attempts=self.io_attempts,
+                io_backoff=self.io_backoff,
+                sleep=self._sleep,
+            )
+        if self.backend is not None:
+            self._open_backend()
+
+    def _open_backend(self) -> None:
+        """Open the configured backend; degrade to memory-only on failure."""
+        backend = self.backend
+        if backend is None:  # pragma: no cover -- caller checked
+            return
+        try:
+            backend.open()
+        except Exception as exc:
+            # Persistence is never load-bearing: a backend that cannot
+            # open (unreachable file, corrupt database, injected
+            # fault) downgrades the store to memory-only -- counted,
+            # warned about, and typed; never fatal.
+            self._backend_open_failures = 1
+            self._backend_open_error = f"{type(exc).__name__}: {exc}"
+            self.backend = None
+            warnings.warn(
+                f"artifact backend {backend.name!r} failed to open"
+                f" ({self._backend_open_error}); continuing without"
+                " persistence",
+                BackendDegradedWarning,
+                stacklevel=3,
+            )
+
+    @property
+    def swept_temp_files(self) -> int:
+        """Deprecated alias for the backend's ``sweep_reclaimed`` stat."""
+        reclaimed = getattr(self.backend, "sweep_reclaimed", 0)
+        return int(reclaimed) if reclaimed else 0
 
     # -- core protocol -----------------------------------------------------------
 
@@ -259,13 +291,13 @@ class ArtifactStore:
         dependencies: Iterable[ArtifactKey] = (),
         persist: bool = False,
     ) -> object:
-        """The artifact for *key*, from memory, disk, or *builder*.
+        """The artifact for *key*, from memory, the backend, or *builder*.
 
         *dependencies* are the keys this artifact was derived from:
         invalidating any of them invalidates this artifact too.
-        *persist* opts the artifact into the on-disk cache; callers must
-        only set it for content-addressed inputs (transient fingerprints
-        are meaningless in other processes).
+        *persist* opts the artifact into the persistence backend;
+        callers must only set it for content-addressed inputs
+        (transient fingerprints are meaningless in other processes).
 
         Concurrent callers coalesce: the first thread to miss becomes
         the *leader* and builds; every other thread requesting the same
@@ -317,8 +349,8 @@ class ArtifactStore:
         persist: bool,
         stats: KindStats,
     ) -> object:
-        """Leader path: disk, then (leased) build; insert on success."""
-        value = self._load_from_disk(key, stats) if persist else None
+        """Leader path: backend, then (leased) build; insert on success."""
+        value = self._load_from_backend(key, stats) if persist else None
         if value is not None:
             with self._lock:
                 stats.disk_hits += 1
@@ -338,13 +370,18 @@ class ArtifactStore:
         """Run *builder*, under a cross-process lease when persisting.
 
         The lease makes a second *process* wait for the winner and read
-        its envelope from disk rather than duplicate the build; it is
-        advisory, so every lease failure degrades to building unleased.
+        its envelope from the backend rather than duplicate the build;
+        it is advisory, so every lease failure degrades to building
+        unleased.
         """
-        path = self._disk_path(key) if persist else None
-        if path is None:
+        backend = self.backend if persist else None
+        if backend is None:
             return self._timed_build(builder, stats)
-        lease = FileLease(path, backoff=self.io_backoff, sleep=self._sleep)
+        lease = backend.lease_for(key)
+        if lease is None:
+            value = self._timed_build(builder, stats)
+            self._save_to_backend(key, value, stats)
+            return value
         lease.acquire()
         try:
             with self._lock:
@@ -354,16 +391,18 @@ class ArtifactStore:
                     stats.lease_takeovers += 1
                 if lease.timed_out:
                     stats.lease_timeouts += 1
-            if lease.waited or lease.took_over:
-                # The previous holder may have finished this very
-                # build while we waited; prefer its persisted result.
-                value = self._load_from_disk(key, stats)
-                if value is not None:
-                    with self._lock:
-                        stats.disk_hits += 1
-                    return value
+            # Decisive re-check *inside* the lease: a winner saves
+            # before releasing, so a sibling that finished this very
+            # build -- whether we waited behind it or arrived just
+            # after its release -- is always seen here, and the build
+            # below is exactly-once fleet-wide (lease failures aside).
+            value = self._load_from_backend(key, stats)
+            if value is not None:
+                with self._lock:
+                    stats.disk_hits += 1
+                return value
             value = self._timed_build(builder, stats)
-            self._save_to_disk(key, value, stats)
+            self._save_to_backend(key, value, stats)
             return value
         finally:
             lease.release()
@@ -418,12 +457,12 @@ class ArtifactStore:
     def invalidate(self, key: ArtifactKey) -> int:
         """Drop *key* and everything derived from it; return the count.
 
-        Persisted files are deleted for every visited key -- including
+        Persisted entries are deleted for every visited key -- including
         keys already evicted from memory -- so a stale artifact cannot
-        resurrect from disk after its inputs were invalidated.  The
-        store lock is held across the whole cascade walk, so a racing
-        build cannot re-insert a dependent mid-invalidation and leave
-        the dependency maps half-torn.
+        resurrect from the backend after its inputs were invalidated.
+        The store lock is held across the whole cascade walk, so a
+        racing build cannot re-insert a dependent mid-invalidation and
+        leave the dependency maps half-torn.
         """
         with self._lock:
             dropped = 0
@@ -438,26 +477,59 @@ class ArtifactStore:
             return dropped
 
     def clear(self) -> None:
-        """Drop every in-memory entry (the disk cache is untouched)."""
+        """Drop every in-memory entry (the backend is untouched)."""
         with self._lock:
             self._entries.clear()
             self._dependents.clear()
 
     # -- statistics --------------------------------------------------------------
 
-    def stats(self) -> Dict[str, Dict[str, float]]:
-        """A deep-copied snapshot of per-kind counters.
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """A deep-copied, namespaced snapshot of the store's counters.
+
+        Three namespaces, by layer::
+
+            {"memory":  {kind: {hits, misses, builds, ...}},
+             "backend": {"name": ..., "open_failures": ...,
+                         "kinds": {kind: {disk_hits, corrupt_entries,
+                                          io_retries, persist_failures}}},
+             "leases":  {kind: {lease_waits, lease_takeovers,
+                                lease_timeouts}}}
+
+        plus, **deprecated, for one PR**: each kind's flat all-counter
+        dict under its bare name, so existing ``stats()["space"]["hits"]``
+        callers keep working while they migrate to the namespaces.
 
         Taken under the store lock, so a concurrent reader sees a
         consistent point-in-time view -- never a half-updated counter
         set -- and mutating the returned dicts cannot corrupt the live
         statistics.
         """
+        backend = self.backend
+        backend_info: Dict[str, object] = (
+            dict(backend.stats()) if backend is not None else {"name": "none"}
+        )
         with self._lock:
-            return {
-                kind: stats.as_dict()
-                for kind, stats in sorted(self._stats.items())
+            kinds = sorted(self._stats.items())
+            backend_info["open_failures"] = self._backend_open_failures
+            if self._backend_open_error:
+                backend_info["open_error"] = self._backend_open_error
+            backend_info["kinds"] = {
+                kind: dict(stats.backend_dict()) for kind, stats in kinds
             }
+            snapshot: Dict[str, Dict[str, object]] = {
+                "memory": {
+                    kind: dict(stats.memory_dict()) for kind, stats in kinds
+                },
+                "backend": backend_info,
+                "leases": {
+                    kind: dict(stats.lease_dict()) for kind, stats in kinds
+                },
+            }
+            for kind, stats in kinds:
+                if kind not in _STATS_NAMESPACES:
+                    snapshot[kind] = dict(stats.as_dict())
+            return snapshot
 
     def reset_stats(self) -> None:
         with self._lock:
@@ -473,6 +545,63 @@ class ArtifactStore:
         with self._lock:
             self._stats.setdefault(kind, KindStats()).deadline_hits += 1
 
+    # -- the backend seam --------------------------------------------------------
+
+    def _delete_persisted(self, key: ArtifactKey) -> None:
+        backend = self.backend
+        if backend is not None:
+            backend.delete(key)  # best-effort by protocol contract
+
+    def _load_from_backend(
+        self, key: ArtifactKey, stats: KindStats
+    ) -> Optional[object]:
+        """The unpickled artifact from the backend, or ``None``.
+
+        Every failure mode -- absent, torn, version-skewed, I/O-dead --
+        is a silent miss; envelope damage is counted per kind and the
+        damaged entry was already deleted by the backend.  A
+        checksum-valid payload that still fails to *unpickle* means
+        version skew in the pickled classes (not the envelope); same
+        remedy -- count, delete, rebuild.
+        """
+        backend = self.backend
+        if backend is None:
+            return None
+        result = backend.get(key)
+        with self._lock:
+            stats.io_retries += result.io_retries
+            if result.corrupt:
+                stats.corrupt_entries += 1
+        if result.payload is None:
+            return None
+        try:
+            return pickle.loads(result.payload)
+        except Exception:
+            with self._lock:
+                stats.corrupt_entries += 1
+            backend.delete(key)
+            return None
+
+    def _save_to_backend(
+        self, key: ArtifactKey, value: object, stats: KindStats
+    ) -> None:
+        backend = self.backend
+        if backend is None:
+            return
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, TypeError, AttributeError):
+            # Persistence is best-effort; unpicklable artifacts simply
+            # stay memory-only.
+            with self._lock:
+                stats.persist_failures += 1
+            return
+        result = backend.put(key, payload)
+        with self._lock:
+            stats.io_retries += result.io_retries
+            if not result.persisted:
+                stats.persist_failures += 1
+
     # -- internals ---------------------------------------------------------------
 
     # reprolint: holds-lock
@@ -484,117 +613,3 @@ class ArtifactStore:
         while len(self._entries) > self.max_entries:
             evicted, _ = self._entries.popitem(last=False)
             self._stats.setdefault(evicted.kind, KindStats()).evictions += 1
-
-    def _disk_path(self, key: ArtifactKey) -> Optional[Path]:
-        if not self.cache_dir:
-            return None
-        return Path(self.cache_dir) / key.filename()
-
-    def _temp_path(self, path: Path) -> Path:
-        """A per-process temp name next to *path*.
-
-        ``path.with_suffix(".tmp")`` would let concurrent processes
-        writing the same artifact clobber each other's half-written
-        temp files; the pid makes the name unique per writer while the
-        final ``replace`` stays atomic.
-        """
-        return path.parent / f"{path.name}.{os.getpid()}.tmp"
-
-    def _delete_persisted(self, key: ArtifactKey) -> None:
-        path = self._disk_path(key)
-        if path is None:
-            return
-        try:
-            path.unlink(missing_ok=True)
-        # reprolint: disable=RL008 -- cache-file cleanup is best-effort; the stale entry is rejected by checksum on read
-        except OSError:
-            # Best effort: an undeletable stale file is still rejected
-            # by fingerprint mismatch only if inputs changed; nothing
-            # more can be done here without making invalidation fail.
-            pass
-
-    def _load_from_disk(
-        self, key: ArtifactKey, stats: KindStats
-    ) -> Optional[object]:
-        path = self._disk_path(key)
-        if path is None:
-            return None
-        blob: Optional[bytes] = None
-        for attempt in range(self.io_attempts):
-            try:
-                fault_check("store.load")
-                blob = path.read_bytes()
-                break
-            except FileNotFoundError:
-                return None
-            except OSError:
-                # Transient I/O failure: bounded retry with backoff,
-                # then give up and rebuild -- never propagate.
-                if attempt + 1 >= self.io_attempts:
-                    return None
-                with self._lock:
-                    stats.io_retries += 1
-                self._sleep(self.io_backoff * (2**attempt))
-            except Exception:
-                # Anything else a filesystem could throw is still just
-                # a miss: the cache is never load-bearing.
-                return None
-        if blob is None:
-            return None
-        blob = fault_corrupt("store.load", blob)
-        payload = _unwrap_payload(blob)
-        if payload is None:
-            with self._lock:
-                stats.corrupt_entries += 1
-            self._delete_persisted(key)
-            return None
-        try:
-            return pickle.loads(payload)
-        except Exception:
-            # A checksum-valid payload that still fails to unpickle
-            # means version skew in the *pickled classes* (not the
-            # envelope); same remedy -- silent miss and rebuild.
-            with self._lock:
-                stats.corrupt_entries += 1
-            self._delete_persisted(key)
-            return None
-
-    def _save_to_disk(
-        self, key: ArtifactKey, value: object, stats: KindStats
-    ) -> None:
-        path = self._disk_path(key)
-        if path is None:
-            return
-        try:
-            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        except (pickle.PickleError, TypeError, AttributeError):
-            # Persistence is best-effort; unpicklable artifacts simply
-            # stay memory-only.
-            with self._lock:
-                stats.persist_failures += 1
-            return
-        blob = _wrap_payload(payload)
-        tmp = self._temp_path(path)
-        for attempt in range(self.io_attempts):
-            try:
-                fault_check("store.save")
-                path.parent.mkdir(parents=True, exist_ok=True)
-                tmp.write_bytes(blob)
-                tmp.replace(path)
-                return
-            except OSError:
-                if attempt + 1 >= self.io_attempts:
-                    break
-                with self._lock:
-                    stats.io_retries += 1
-                self._sleep(self.io_backoff * (2**attempt))
-            except Exception:
-                # Persistence is best-effort under *any* failure mode.
-                break
-        with self._lock:
-            stats.persist_failures += 1
-        try:
-            tmp.unlink(missing_ok=True)
-        # reprolint: disable=RL008 -- temp-file cleanup after a failed persist; the cache is never load-bearing
-        except OSError:
-            pass

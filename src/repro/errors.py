@@ -145,6 +145,22 @@ class ResilienceError(ReproError):
     """
 
 
+class BackendError(ResilienceError):
+    """Base class for artifact-storage-backend failures."""
+
+
+class BackendConfigError(BackendError):
+    """The backend selection knobs are malformed (unknown name, missing
+    URL).  Raised eagerly: a typo'd ``REPRO_STORE_BACKEND`` must not
+    silently mean "no persistence"."""
+
+
+class BackendUnavailableError(BackendError):
+    """A configured backend failed to open (unreachable file, corrupt
+    database, injected fault).  The store absorbs it by degrading to
+    memory-only operation."""
+
+
 class DeadlineExceededError(ResilienceError):
     """A derivation ran past its wall-clock deadline or step budget.
 

@@ -17,6 +17,12 @@ one engine -- a live demonstration of the concurrency layer: repeated
 universes coalesce into single builds (the ``coalesced`` counter in
 ``--stats``) instead of racing, and the report order stays
 deterministic regardless of completion order.
+
+``--backend=local|sqlite`` with ``--store-url=PATH`` selects the
+artifact persistence backend (the ``REPRO_STORE_BACKEND`` /
+``REPRO_STORE_URL`` environment variables spell the same thing);
+re-running with a warm store turns every enumeration into a backend
+hit, visible in ``--stats``.
 """
 
 from __future__ import annotations
@@ -25,8 +31,9 @@ import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.engine.backends import create_backend
 from repro.engine.engine import Engine
-from repro.errors import DeadlineExceededError
+from repro.errors import BackendConfigError, DeadlineExceededError
 from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment
 
 
@@ -48,30 +55,51 @@ def _markdown(results) -> str:
 
 def _stats_report(engine: Engine) -> str:
     snapshot = engine.stats()
+    artifacts = snapshot["artifacts"]
+    memory = artifacts["memory"]
+    backend = artifacts["backend"]
+    leases = artifacts["leases"]
     lines = ["engine artifact cache:"]
-    for kind, counters in snapshot["artifacts"].items():
+    for kind, counters in memory.items():
         line = (
             f"  {kind}: {counters['hits']} hits, {counters['misses']} misses,"
             f" {counters['builds']} builds"
             f" ({counters['build_seconds']:.3f}s building)"
         )
+        tier = dict(backend["kinds"].get(kind, {}))
+        tier.update(leases.get(kind, {}))
         resilience = [
-            f"{counters[name]} {label}"
-            for name, label in (
-                ("degradations", "degradations"),
-                ("deadline_hits", "deadline hits"),
-                ("corrupt_entries", "corrupt entries"),
-                ("io_retries", "I/O retries"),
-                ("coalesced_builds", "coalesced"),
-                ("lease_waits", "lease waits"),
-                ("lease_takeovers", "lease takeovers"),
-                ("lease_timeouts", "lease timeouts"),
+            f"{source[name]} {label}"
+            for source, name, label in (
+                (counters, "degradations", "degradations"),
+                (counters, "deadline_hits", "deadline hits"),
+                (tier, "disk_hits", "backend hits"),
+                (tier, "corrupt_entries", "corrupt entries"),
+                (tier, "io_retries", "I/O retries"),
+                (counters, "coalesced_builds", "coalesced"),
+                (tier, "lease_waits", "lease waits"),
+                (tier, "lease_takeovers", "lease takeovers"),
+                (tier, "lease_timeouts", "lease timeouts"),
             )
-            if counters[name]
+            if source.get(name)
         ]
         if resilience:
             line += f" [{', '.join(resilience)}]"
         lines.append(line)
+    if backend["name"] != "none":
+        location = backend.get("root") or backend.get("url") or ""
+        line = f"  backend: {backend['name']}"
+        if location:
+            line += f" at {location}"
+        if backend.get("sweep_reclaimed"):
+            line += f" ({backend['sweep_reclaimed']} temp file(s) swept)"
+        if backend.get("open_failures"):
+            line += " [DEGRADED: open failed; running memory-only]"
+        lines.append(line)
+    elif backend.get("open_failures"):
+        lines.append(
+            "  backend: unavailable (open failed; running memory-only)"
+        )
     breaker = snapshot["breaker"]
     if breaker["entries"]:
         lines.append(
@@ -131,7 +159,17 @@ def main(argv: list[str]) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}")
         print(f"known experiments: {known}")
         return 2
-    engine = Engine(deadline_ms=deadline_ms)
+    backend_name = _flag_value(argv, "backend")
+    try:
+        backend = (
+            create_backend(backend_name, _flag_value(argv, "store-url") or "")
+            if backend_name is not None
+            else None
+        )
+    except BackendConfigError as exc:
+        print(f"backend configuration error: {exc}")
+        return 2
+    engine = Engine(deadline_ms=deadline_ms, backend=backend)
     if workers == 1:
         outcomes = [_run_one(eid, engine) for eid in requested]
     else:

@@ -57,6 +57,7 @@ from repro.resilience.locks import (
     LOCK_TTL_ENV_VAR,
     leases_enabled,
     lock_ttl_ms,
+    sweep_stale_lockfiles,
     sweep_stale_temp_files,
 )
 from repro.resilience.breaker import (
@@ -99,5 +100,6 @@ __all__ = [
     "install_plan",
     "leases_enabled",
     "lock_ttl_ms",
+    "sweep_stale_lockfiles",
     "sweep_stale_temp_files",
 ]

@@ -58,6 +58,7 @@ FAULT_SEED_ENV_VAR = "REPRO_FAULT_SEED"
 FAULT_POINTS: Tuple[str, ...] = (
     "store.load",
     "store.save",
+    "backend.open",
     "lock.acquire",
     "lock.release",
     "kernel.encode",

@@ -26,7 +26,11 @@ is taken over.  ``REPRO_CACHE_LOCKS=off`` (or a non-positive TTL)
 disables leasing entirely.
 
 :func:`sweep_stale_temp_files` removes the per-pid ``*.tmp`` files a
-crashed writer left behind; the store runs it once at startup.
+crashed writer left behind, and :func:`sweep_stale_lockfiles` reclaims
+the lease lockfiles of dead holders; storage backends
+(:mod:`repro.engine.backends`) run them one-shot per path at
+``open()``, surfacing the reclaimed count as their ``sweep_reclaimed``
+stat.
 
 Both lease transitions are registered fault points (``lock.acquire``,
 ``lock.release``) so the chaos suite can prove the advisory contract:
@@ -49,6 +53,7 @@ __all__ = [
     "LOCK_TTL_ENV_VAR",
     "leases_enabled",
     "lock_ttl_ms",
+    "sweep_stale_lockfiles",
     "sweep_stale_temp_files",
 ]
 
@@ -269,6 +274,39 @@ def sweep_stale_temp_files(cache_dir: str) -> int:
         try:
             pid = int(parts[1])
         except ValueError:
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            path.unlink(missing_ok=True)
+            swept += 1
+        except OSError:
+            continue
+    return swept
+
+
+def sweep_stale_lockfiles(lease_dir: str) -> int:
+    """Delete ``*.lock`` files whose holder pid is dead; return the count.
+
+    Lease lockfiles carry a ``"<pid> <unix-timestamp>"`` payload; a
+    holder that crashed without releasing leaves one behind.  The TTL
+    takeover recovers such leases lazily (the next contender waits one
+    TTL); this sweep recovers them eagerly at backend open, so the
+    first build after a crash pays nothing.  Lockfiles of live pids --
+    including our own -- are real leases and left alone, as are files
+    with unreadable payloads (the TTL path owns those).  Best-effort
+    throughout: an unreadable directory sweeps nothing.
+    """
+    swept = 0
+    try:
+        candidates = list(Path(lease_dir).glob("*.lock"))
+    except OSError:
+        return 0
+    for path in candidates:
+        try:
+            parts = path.read_text("ascii").split()
+            pid = int(parts[0])
+        except (OSError, ValueError, IndexError):
             continue
         if pid == os.getpid() or _pid_alive(pid):
             continue

@@ -32,6 +32,8 @@ THREADS = 8
 def _hermetic_cache(monkeypatch):
     """Counter assertions need stores without an ambient disk cache."""
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_STORE_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_STORE_URL", raising=False)
 
 
 def _key(name="k"):

@@ -16,6 +16,15 @@ def hermetic_faults():
         yield
 
 
+@pytest.fixture(autouse=True)
+def hermetic_store_env(monkeypatch):
+    """Exact-counter tests must not inherit an ambient persistence
+    backend (CI's sqlite matrix job exports one for the whole run)."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_STORE_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_STORE_URL", raising=False)
+
+
 def key(kind, fp, kernel="bitset"):
     return ArtifactKey(kind, fp, kernel)
 
@@ -43,8 +52,27 @@ class TestMemoization:
     def test_ensure_is_stat_neutral(self):
         store = ArtifactStore()
         store.ensure(key("space", "f1"), "anchored")
-        assert store.stats() == {}
+        snapshot = store.stats()
+        assert snapshot["memory"] == {}
+        assert snapshot["leases"] == {}
+        assert snapshot["backend"]["kinds"] == {}
         assert store.get_or_build(key("space", "f1"), lambda: "x") == "anchored"
+
+    def test_stats_namespaces_mirror_flat_aliases(self):
+        store = ArtifactStore()
+        store.get_or_build(key("space", "f1"), lambda: "v")
+        store.get_or_build(key("space", "f1"), lambda: "v")
+        snapshot = store.stats()
+        assert snapshot["memory"]["space"]["hits"] == 1
+        assert snapshot["memory"]["space"]["builds"] == 1
+        assert snapshot["backend"]["name"] == "none"
+        assert snapshot["backend"]["open_failures"] == 0
+        assert snapshot["backend"]["kinds"]["space"]["disk_hits"] == 0
+        assert snapshot["leases"]["space"]["lease_waits"] == 0
+        # Deprecated flat alias (one PR): the old per-kind spelling.
+        assert snapshot["space"]["hits"] == 1
+        assert snapshot["space"]["disk_hits"] == 0
+        assert snapshot["space"]["lease_waits"] == 0
 
 
 class TestLRU:
@@ -181,7 +209,7 @@ class TestTempFiles:
 
         store = ArtifactStore(cache_dir=str(tmp_path))
         path = tmp_path / key("space", "f1").filename()
-        tmp = store._temp_path(path)
+        tmp = store.backend._temp_path(path)
         assert str(os.getpid()) in tmp.name
         assert tmp.name.startswith(path.name)
 

@@ -1,15 +1,25 @@
-"""Corruption matrix for the hardened disk cache.
+"""Corruption matrix for the hardened persistence backends.
 
 Every damage mode applied to a *valid* persisted entry must read as a
-silent miss: the builder runs again, the damaged file is removed, and
-the ``corrupt_entries`` counter records the event.  No damage mode may
-surface an exception to the caller -- a cache is never load-bearing.
+silent miss -- in **every** backend: the builder runs again, the
+damaged entry is removed, and the ``corrupt_entries`` counter records
+the event.  No damage mode may surface an exception to the caller -- a
+cache is never load-bearing.  The matrix runs against both the
+pickle-directory backend (damage written to the artifact file) and the
+SQLite backend (damage written to the blob column), proving the
+envelope guarantees hold regardless of where the bytes live.
+
+The envelope helpers are imported from ``repro.engine.store`` on
+purpose: the deprecated re-exports must keep working for one PR while
+callers migrate to :mod:`repro.engine.backends.envelope`.
 """
 
+import sqlite3
 import struct
 
 import pytest
 
+from repro.engine.backends import LocalDirBackend, SQLiteBackend
 from repro.engine.store import (
     ENVELOPE_MAGIC,
     ENVELOPE_VERSION,
@@ -33,10 +43,55 @@ def hermetic_faults():
         yield
 
 
-def persist_valid_entry(tmp_path):
-    store = ArtifactStore(cache_dir=str(tmp_path))
+class LocalHarness:
+    """Damage injection against the pickle-directory backend."""
+
+    name = "local"
+
+    def __init__(self, tmp_path):
+        self.root = tmp_path / "cache"
+
+    def store(self) -> ArtifactStore:
+        return ArtifactStore(backend=LocalDirBackend(str(self.root)))
+
+    def read_blob(self) -> bytes:
+        return (self.root / KEY.filename()).read_bytes()
+
+    def write_blob(self, blob: bytes) -> None:
+        (self.root / KEY.filename()).write_bytes(blob)
+
+
+class SQLiteHarness:
+    """Damage injection against the shared SQLite backend."""
+
+    name = "sqlite"
+
+    def __init__(self, tmp_path):
+        self.url = str(tmp_path / "artifacts.db")
+
+    def store(self) -> ArtifactStore:
+        return ArtifactStore(backend=SQLiteBackend(self.url))
+
+    def read_blob(self) -> bytes:
+        with sqlite3.connect(self.url) as conn:
+            row = conn.execute("SELECT blob FROM artifacts").fetchone()
+        assert row is not None, "expected one persisted artifact row"
+        return bytes(row[0])
+
+    def write_blob(self, blob: bytes) -> None:
+        with sqlite3.connect(self.url) as conn:
+            conn.execute("UPDATE artifacts SET blob = ?", (blob,))
+            conn.commit()
+
+
+@pytest.fixture(params=[LocalHarness, SQLiteHarness], ids=lambda c: c.name)
+def harness(request, tmp_path):
+    return request.param(tmp_path)
+
+
+def persist_valid_entry(harness) -> None:
+    store = harness.store()
     store.get_or_build(KEY, lambda: VALUE, persist=True)
-    return tmp_path / KEY.filename()
 
 
 def truncate_half(blob: bytes) -> bytes:
@@ -51,6 +106,7 @@ def flip_payload_byte(blob: bytes) -> bytes:
     mutated = bytearray(blob)
     mutated[-1] ^= 0x40
     return bytes(mutated)
+
 
 def flip_header_byte(blob: bytes) -> bytes:
     mutated = bytearray(blob)
@@ -87,33 +143,34 @@ DAMAGE_MODES = [
 
 @pytest.mark.parametrize("damage", DAMAGE_MODES, ids=lambda f: f.__name__)
 class TestDamagedEntries:
-    def test_silent_miss_and_rebuild(self, tmp_path, damage):
-        path = persist_valid_entry(tmp_path)
-        path.write_bytes(damage(path.read_bytes()))
+    def test_silent_miss_and_rebuild(self, harness, damage):
+        persist_valid_entry(harness)
+        harness.write_blob(damage(harness.read_blob()))
 
-        store = ArtifactStore(cache_dir=str(tmp_path))
+        store = harness.store()
         rebuilt = store.get_or_build(KEY, lambda: "rebuilt", persist=True)
         assert rebuilt == "rebuilt"
-        counters = store.stats()["space"]
+        snapshot = store.stats()
+        counters = snapshot["backend"]["kinds"]["space"]
         assert counters["corrupt_entries"] == 1
-        assert counters["builds"] == 1
         assert counters["disk_hits"] == 0
+        assert snapshot["memory"]["space"]["builds"] == 1
 
-    def test_rebuild_replaces_damaged_file(self, tmp_path, damage):
-        path = persist_valid_entry(tmp_path)
-        path.write_bytes(damage(path.read_bytes()))
+    def test_rebuild_replaces_damaged_entry(self, harness, damage):
+        persist_valid_entry(harness)
+        harness.write_blob(damage(harness.read_blob()))
 
-        store = ArtifactStore(cache_dir=str(tmp_path))
+        store = harness.store()
         store.get_or_build(KEY, lambda: "rebuilt", persist=True)
         # The re-persisted entry is valid again for the next process.
-        fresh = ArtifactStore(cache_dir=str(tmp_path))
+        fresh = harness.store()
         assert (
             fresh.get_or_build(KEY, lambda: "never", persist=True)
             == "rebuilt"
         )
-        assert fresh.stats()["space"]["disk_hits"] == 1
+        assert fresh.stats()["backend"]["kinds"]["space"]["disk_hits"] == 1
 
-    def test_unwrap_rejects_without_raising(self, tmp_path, damage):
+    def test_unwrap_rejects_without_raising(self, damage):
         blob = damage(_wrap_payload(b"payload"))
         assert _unwrap_payload(blob) is None
 
@@ -141,3 +198,17 @@ class TestEnvelopeFormat:
         )
         lying = _HEADER.pack(magic, version, len(payload) + 5, digest)
         assert _unwrap_payload(lying + payload) is None
+
+
+class TestCrossBackendPortability:
+    def test_envelopes_are_byte_identical_across_backends(self, tmp_path):
+        """The same artifact persists to the same envelope bytes in a
+        directory file and a SQLite blob -- artifacts are byte-portable
+        between backends."""
+        local = LocalHarness(tmp_path)
+        shared = SQLiteHarness(tmp_path)
+        # Pickle determinism holds within one process; both backends
+        # receive the same payload and must frame it identically.
+        persist_valid_entry(local)
+        persist_valid_entry(shared)
+        assert local.read_blob() == shared.read_blob()

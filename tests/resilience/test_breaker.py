@@ -25,6 +25,8 @@ def _hermetic_engine_env(monkeypatch):
     (a shared ``REPRO_CACHE_DIR`` would serve rebuilds from disk)."""
     for var in (
         "REPRO_CACHE_DIR",
+        "REPRO_STORE_BACKEND",
+        "REPRO_STORE_URL",
         "REPRO_BREAKER_THRESHOLD",
         "REPRO_BREAKER_COOLDOWN_MS",
         "REPRO_BREAKER_MODE",

@@ -17,9 +17,12 @@ from repro.resilience.faults import FaultPlan, FaultRule, inject
 
 @pytest.fixture(autouse=True)
 def _hermetic_cache(monkeypatch):
-    """Exact counter assertions: a shared ``REPRO_CACHE_DIR`` could
-    serve artifacts from disk and skip the degradation ladder."""
+    """Exact counter assertions: a shared ``REPRO_CACHE_DIR`` (or an
+    ambient store backend) could serve artifacts from disk and skip the
+    degradation ladder."""
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_STORE_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_STORE_URL", raising=False)
 
 
 def bitset_analysis_fault():
@@ -159,6 +162,6 @@ class TestDegradationAcrossExperiments:
         assert [r.passed for r in results] == [True] * len(results)
         total_degradations = sum(
             counters["degradations"]
-            for counters in engine.stats()["artifacts"].values()
+            for counters in engine.stats()["artifacts"]["memory"].values()
         )
         assert total_degradations > 0
