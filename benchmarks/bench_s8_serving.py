@@ -1,0 +1,290 @@
+"""S8: the serving tier under load -- throughput, overload, drain.
+
+Four rows against a genuine ``python -m repro.serving`` subprocess
+(readiness-line protocol, real sockets, real SIGTERM):
+
+* **cold** -- a fresh store: the server compiles the state space
+  during warm-up, then N clients drive it flat out;
+* **warm** -- a sibling process compiles the same store first
+  (:func:`repro.serving.warmstart.sibling_warm_start`), so the
+  server's warm-up is a backend hit; same load, for comparison;
+* **overload** -- a deliberately tiny server (1 token, depth-2
+  queues) driven by 2x-capacity clients: the row proves saturation
+  produces *only* typed 503 sheds -- no untyped errors, no unbounded
+  queue, and a p99 for the admitted requests that stays within the
+  bound the queue depth implies;
+* **sigterm_drain** -- a burst of async tickets, then SIGTERM
+  mid-backlog: the drain report must be graceful with zero dropped
+  work and every admitted ticket completed.
+
+``python benchmarks/bench_s8_serving.py`` runs the full matrix and
+writes ``bench_s8_serving.json`` at the repo root.  The pytest entry
+points run reduced configurations as acceptance gates (these are what
+CI's serving job executes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+) if __name__ == "__main__" else None
+
+from repro.serving.client import ServingClient, run_load  # noqa: E402
+from repro.serving.service import chain_service  # noqa: E402
+from repro.serving.warmstart import sibling_warm_start  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CLIENTS = 4
+DURATION_S = 2.0
+OVERLOAD_MAX_INFLIGHT = 1
+OVERLOAD_QUEUE_DEPTH = 2
+#: 2x the server's total capacity (tokens + every queue slot).
+OVERLOAD_CLIENTS = 2 * (
+    OVERLOAD_MAX_INFLIGHT + 2 * OVERLOAD_QUEUE_DEPTH
+)
+DRAIN_BURST = 40
+
+
+class ServerProcess:
+    """A ``python -m repro.serving`` child behind the readiness line."""
+
+    def __init__(self, *args: str) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.serving", "--port=0", *args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        ready_line = self.process.stdout.readline()
+        if not ready_line:
+            _, stderr = self.process.communicate(timeout=30)
+            raise RuntimeError(f"server died before readiness: {stderr}")
+        self.ready = json.loads(ready_line)
+        self.port = self.ready["port"]
+
+    def await_warm(self, timeout_s: float = 120.0) -> float:
+        """Poll until warmed; return the server's own warm-up seconds."""
+        client = ServingClient("127.0.0.1", self.port)
+        deadline = time.monotonic() + timeout_s
+        try:
+            while time.monotonic() < deadline:
+                stats = client.stats().body
+                if stats.get("warmed"):
+                    return float(stats["warmup_seconds"])
+                time.sleep(0.02)
+        finally:
+            client.close()
+        raise RuntimeError("server never finished warming up")
+
+    def sigterm(self, timeout_s: float = 60.0):
+        """SIGTERM, wait, and return ``(exit_code, drain_report)``."""
+        self.process.send_signal(signal.SIGTERM)
+        stdout, stderr = self.process.communicate(timeout=timeout_s)
+        lines = [line for line in stdout.splitlines() if line.strip()]
+        report = json.loads(lines[-1])["drain"] if lines else None
+        return self.process.returncode, report
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.communicate()
+
+
+def _measured_load(port, clients, duration_s):
+    report = run_load(
+        "127.0.0.1",
+        port,
+        chain_service().sample_requests,
+        clients=clients,
+        duration_s=duration_s,
+    )
+    return report
+
+
+def bench_cold_vs_warm(clients=CLIENTS, duration_s=DURATION_S):
+    """Cold compile vs sibling-warmed store, same load either way."""
+    rows = {}
+    with tempfile.TemporaryDirectory(prefix="repro-s8-") as scratch:
+        for row in ("cold", "warm"):
+            url = str(Path(scratch) / f"{row}.db")
+            if row == "warm":
+                t0 = time.perf_counter()
+                sibling_warm_start(url)
+                sibling_seconds = time.perf_counter() - t0
+            server = ServerProcess(f"--store={url}")
+            try:
+                warmup_seconds = server.await_warm()
+                report = _measured_load(server.port, clients, duration_s)
+                exit_code, drain = server.sigterm()
+            finally:
+                server.kill()
+            assert exit_code == 0, f"{row}: server exit {exit_code}"
+            assert report.other_errors == 0, f"{row}: untyped errors"
+            rows[row] = {
+                "warmup_seconds": round(warmup_seconds, 4),
+                "load": report.as_dict(),
+                "drain_graceful": drain["graceful"],
+            }
+            if row == "warm":
+                rows[row]["sibling_build_seconds"] = round(
+                    sibling_seconds, 4
+                )
+    return rows
+
+
+def bench_overload(duration_s=DURATION_S, clients=OVERLOAD_CLIENTS):
+    """2x-capacity load against a 1-token server: typed sheds only."""
+    server = ServerProcess(
+        f"--max-inflight={OVERLOAD_MAX_INFLIGHT}",
+        f"--queue-depth={OVERLOAD_QUEUE_DEPTH}",
+    )
+    try:
+        server.await_warm()
+        # An uncontended baseline from the same server, then the storm.
+        baseline = _measured_load(server.port, 1, duration_s / 2)
+        report = _measured_load(server.port, clients, duration_s)
+        exit_code, drain = server.sigterm()
+    finally:
+        server.kill()
+    assert exit_code == 0
+    assert report.shed_503 > 0, "2x capacity never shed -- not overload"
+    assert report.other_errors == 0, "overload produced untyped errors"
+    assert report.requests == (
+        report.serviced + report.shed_503 + report.deadline_504
+    )
+    admission = drain["admission"]
+    assert (
+        admission["queue_high_water"]
+        <= 3 * OVERLOAD_QUEUE_DEPTH + OVERLOAD_MAX_INFLIGHT
+    ), "queues grew past their bound"
+    row = {
+        "max_inflight": OVERLOAD_MAX_INFLIGHT,
+        "queue_depth": OVERLOAD_QUEUE_DEPTH,
+        "clients": clients,
+        "uncontended": baseline.as_dict(),
+        "load": report.as_dict(),
+        "queue_high_water": admission["queue_high_water"],
+        "shed_overload": admission["shed_overload"],
+        "only_typed_refusals": report.other_errors == 0,
+    }
+    return row
+
+
+def bench_sigterm_drain(burst=DRAIN_BURST):
+    """SIGTERM with a queued backlog: graceful, zero dropped."""
+    server = ServerProcess(
+        "--max-inflight=1", f"--queue-depth={burst}"
+    )
+    try:
+        server.await_warm()
+        client = ServingClient("127.0.0.1", server.port)
+        admitted = 0
+        for index in range(burst):
+            request = chain_service().sample_requests[index % 2]
+            if client.submit(request, wait=False).status == 202:
+                admitted += 1
+        client.close()
+        exit_code, report = server.sigterm()
+    finally:
+        server.kill()
+    assert exit_code == 0, "drain was not graceful"
+    assert report["graceful"] is True
+    assert report["dropped_inflight"] == 0
+    assert report["dropped_queued"] == 0
+    assert report["admission"]["completed"] == admitted
+    return {
+        "burst": burst,
+        "admitted": admitted,
+        "completed": report["admission"]["completed"],
+        "dropped_inflight": report["dropped_inflight"],
+        "dropped_queued": report["dropped_queued"],
+        "graceful": report["graceful"],
+        "exit_code": exit_code,
+    }
+
+
+def main() -> int:
+    results = {"clients": CLIENTS, "duration_s": DURATION_S}
+    print(f"[S8] cold vs warm start, {CLIENTS} clients ...")
+    results.update(bench_cold_vs_warm())
+    for row in ("cold", "warm"):
+        load = results[row]["load"]
+        print(
+            f"  {row}: warm-up {results[row]['warmup_seconds']}s,"
+            f" {load['throughput_rps']} req/s,"
+            f" p50 {load['p50_ms']}ms, p99 {load['p99_ms']}ms"
+        )
+    print(
+        f"[S8] overload: {OVERLOAD_CLIENTS} clients vs"
+        f" {OVERLOAD_MAX_INFLIGHT} token ..."
+    )
+    results["overload"] = bench_overload()
+    load = results["overload"]["load"]
+    print(
+        f"  {load['requests']} requests: {load['serviced']} serviced,"
+        f" {results['overload']['shed_overload']} shed (typed 503),"
+        f" p99 {load['p99_ms']}ms,"
+        f" queue high-water {results['overload']['queue_high_water']}"
+    )
+    print("[S8] SIGTERM drain under backlog ...")
+    results["sigterm_drain"] = bench_sigterm_drain()
+    print(
+        f"  {results['sigterm_drain']['admitted']} admitted,"
+        f" {results['sigterm_drain']['completed']} completed,"
+        " 0 dropped, exit 0"
+    )
+    results["generated_at"] = time.strftime(
+        "%Y-%m-%dT%H:%M:%S", time.gmtime()
+    )
+    out = REPO_ROOT / "bench_s8_serving.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+# -- pytest acceptance gates (what CI's serving job runs) -----------------------
+
+
+def test_s8_cold_and_warm_serve_load():
+    rows = bench_cold_vs_warm(clients=2, duration_s=0.8)
+    for row in ("cold", "warm"):
+        assert rows[row]["load"]["serviced"] > 0
+        assert rows[row]["load"]["other_errors"] == 0
+        assert rows[row]["drain_graceful"] is True
+
+
+def test_s8_overload_sheds_typed_only():
+    row = bench_overload(duration_s=1.0)
+    assert row["only_typed_refusals"]
+    assert row["load"]["shed_503"] > 0
+    # Bounded queues bound admitted latency: with one token and at
+    # most 7 queued tickets, a millisecond-scale service time cannot
+    # accumulate seconds of wait.  The ceiling is deliberately loose
+    # (client-thread scheduling jitter dwarfs the queueing math on a
+    # loaded CI box); the precise per-row numbers live in the JSON.
+    assert row["load"]["p99_ms"] <= 1_500.0
+
+
+def test_s8_sigterm_drain_drops_nothing():
+    row = bench_sigterm_drain(burst=12)
+    assert row["graceful"] is True
+    assert row["dropped_inflight"] == 0
+    assert row["dropped_queued"] == 0
+    assert row["completed"] == row["admitted"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Serve view updates over HTTP: the serving tier end to end.
+
+What ``python -m repro.serving`` runs as a long-lived daemon, this
+example runs as a scripted session you can read in one sitting:
+
+1. **warm start** -- a sibling process compiles the ABCD chain's state
+   space into a shared SQLite artifact store
+   (:func:`repro.serving.warmstart.sibling_warm_start`, the same path
+   as ``--two-process-demo`` in ``update_service.py``); a sibling that
+   dies before publishing is a typed error and a nonzero exit;
+2. **serve** -- an :class:`~repro.serving.server.UpdateServer` starts
+   on a free port, warm from the sibling's build;
+3. **client traffic** -- the default service's sample requests go
+   through :class:`~repro.serving.client.ServingClient`: an accepted
+   update, an async ticket polled to completion, and a formally
+   rejected update (the server's 200 carries the paper's verdict);
+4. **drain** -- SIGTERM-style shutdown, printing the drain report.
+
+Run:  python examples/serve_updates.py [--cold]
+
+``--cold`` skips the sibling warm start so you can compare the
+server's warm-up time against the warm path it normally takes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.engine.backends import SQLiteBackend
+from repro.engine.engine import Engine
+from repro.errors import WarmStartError
+from repro.serving.client import ServingClient
+from repro.serving.server import UpdateServer
+from repro.serving.service import chain_service
+from repro.serving.warmstart import sibling_warm_start
+
+
+async def serve_and_exercise(engine: Engine | None) -> int:
+    spec = chain_service()
+    server = UpdateServer(spec, engine=engine)
+    await server.start()
+    print(f"serving {spec.name} on 127.0.0.1:{server.port}")
+
+    loop = asyncio.get_running_loop()
+
+    def client_session() -> None:
+        client = ServingClient("127.0.0.1", server.port)
+        health = client.healthz()
+        print(f"healthz: {health.body['status']}")
+
+        accepted, async_ticket, rejected = spec.sample_requests
+
+        reply = client.submit(accepted, wait=True)
+        outcome = reply.body["outcome"]
+        print(
+            f"{outcome['view']}: accepted={outcome['accepted']}"
+            f" in {outcome['elapsed_ms']}ms"
+        )
+
+        ticket = client.submit(async_ticket, wait=False)
+        print(f"queued ticket {ticket.body['id']}")
+        while True:
+            polled = client.get_outcome(ticket.body["id"])
+            if polled.body.get("status") == "done":
+                break
+        outcome = polled.body["outcome"]
+        print(
+            f"{outcome['view']}: accepted={outcome['accepted']}"
+            f" (polled via /get-outcome)"
+        )
+
+        reply = client.submit(rejected, wait=True)
+        outcome = reply.body["outcome"]
+        print(
+            f"{outcome['view']}: accepted={outcome['accepted']}"
+            f" reason={outcome['reason']!r} -- the paper's formal"
+            " rejection, served as data"
+        )
+
+        stats = client.stats().body
+        print(
+            f"server warm-up took {stats['warmup_seconds']:.3f}s;"
+            f" admission: {stats['admission']['completed']} completed,"
+            f" {stats['admission']['shed_overload']} shed"
+        )
+        client.close()
+
+    await loop.run_in_executor(None, client_session)
+
+    server.request_drain()
+    report = await server.drain()
+    await server.stop()
+    print(f"drain report: {json.dumps(report)[:120]}...")
+    print(f"graceful={report['graceful']}, dropped="
+          f"{report['dropped_inflight']}+{report['dropped_queued']}")
+    return 0 if report["graceful"] else 1
+
+
+def main(argv: list[str]) -> int:
+    engine: Engine | None = None
+    if "--cold" not in argv:
+        scratch = tempfile.mkdtemp(prefix="repro-serve-")
+        url = str(Path(scratch) / "artifacts.db")
+        print(f"[warm start] sibling compiles into {url} ...")
+        try:
+            sibling_warm_start(url)
+        except WarmStartError as exc:
+            print(f"warm start failed: {exc}")
+            return 3
+        engine = Engine(backend=SQLiteBackend(url))
+    return asyncio.run(serve_and_exercise(engine))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

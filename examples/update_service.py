@@ -25,7 +25,6 @@ Persistence flags (the same selection the ``REPRO_STORE_BACKEND`` /
 
 from __future__ import annotations
 
-import multiprocessing
 import sys
 import tempfile
 from pathlib import Path
@@ -34,7 +33,8 @@ from repro import NULL, ViewUpdateSystem
 from repro.decomposition.projections import projection_view
 from repro.engine.backends import SQLiteBackend, create_backend
 from repro.engine.engine import Engine
-from repro.errors import BackendConfigError, UpdateRejected
+from repro.errors import BackendConfigError, UpdateRejected, WarmStartError
+from repro.serving.warmstart import sibling_warm_start
 from repro.workloads.scenarios import abcd_chain_small
 
 
@@ -55,31 +55,27 @@ def _engine_from_flags(argv: list[str]) -> Engine | None:
     return Engine(backend=create_backend(backend_name, url))
 
 
-def _sibling_build(url: str) -> None:
-    """The sibling process: compile the state space into the shared
-    SQLite store and exit.  Note the backend is constructed *inside*
-    this process -- SQLite connections are not fork-safe."""
-    chain = abcd_chain_small()
-    engine = Engine(backend=SQLiteBackend(url))
-    engine.space_from(chain)
-
-
 def two_process_demo(url: str | None) -> int:
-    """Warm-start this process from a sibling's SQLite-backed build."""
+    """Warm-start this process from a sibling's SQLite-backed build.
+
+    The fork-and-wait lives in
+    :func:`repro.serving.warmstart.sibling_warm_start` (the same path
+    ``python -m repro.serving --warm-url=...`` uses).  A sibling that
+    dies before publishing -- crash, kill, timeout, or a clean exit
+    that left no store behind -- surfaces as a typed
+    :class:`WarmStartError` and a nonzero exit, never a traceback.
+    """
     if url is None:
         scratch = tempfile.mkdtemp(prefix="repro-demo-")
         url = str(Path(scratch) / "artifacts.db")
     print(f"shared SQLite artifact store: {url}")
 
     print("[1/2] sibling process compiles the state space ...")
-    process = multiprocessing.get_context().Process(
-        target=_sibling_build, args=(url,)
-    )
-    process.start()
-    process.join(timeout=120)
-    if process.exitcode != 0:
-        print(f"sibling build failed (exit code {process.exitcode})")
-        return 1
+    try:
+        sibling_warm_start(url)
+    except WarmStartError as exc:
+        print(f"warm start failed: {exc}")
+        return 3
 
     print("[2/2] this process serves updates from the sibling's build ...")
     engine = Engine(backend=SQLiteBackend(url))

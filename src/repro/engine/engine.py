@@ -508,6 +508,23 @@ class Engine:
             "breaker": self.breaker.snapshot(),
         }
 
+    def health(self) -> Dict[str, object]:
+        """A cheap liveness summary for hot serving endpoints.
+
+        :meth:`stats` deep-copies every artifact counter -- right for an
+        operator dashboard, wrong for a health probe hit on every poll.
+        This reports only the scalars the serving tier needs: the
+        breaker mode, how many circuits are open, and the soonest
+        retry hint.  Cost is O(tracked circuits), independent of how
+        many artifacts the store holds.
+        """
+        snapshot = self.breaker.snapshot()
+        return {
+            "breaker_mode": self.breaker.mode,
+            "open_circuits": snapshot["open"],
+            "retry_hint_ms": self.breaker.retry_hint_ms(),
+        }
+
     def reset_breaker(
         self, kind: Optional[str] = None, fingerprint: Optional[str] = None
     ) -> int:

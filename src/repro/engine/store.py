@@ -127,14 +127,6 @@ class KindStats:
     #: Lease waits that gave up (TTL) and built unleased.
     lease_timeouts: int = 0
 
-    def as_dict(self) -> Dict[str, float]:
-        """The flat (deprecated) all-counters view of one kind."""
-        flat: Dict[str, float] = {}
-        flat.update(self.memory_dict())
-        flat.update(self.backend_dict())
-        flat.update(self.lease_dict())
-        return flat
-
     def memory_dict(self) -> Dict[str, float]:
         """The memoization-layer counters (LRU + single-flight)."""
         return {
@@ -164,11 +156,6 @@ class KindStats:
             "lease_takeovers": self.lease_takeovers,
             "lease_timeouts": self.lease_timeouts,
         }
-
-
-#: The namespaces of the :meth:`ArtifactStore.stats` snapshot; also the
-#: keys a kind may not shadow via the deprecated flat alias.
-_STATS_NAMESPACES = ("memory", "backend", "leases")
 
 
 @dataclass
@@ -496,9 +483,8 @@ class ArtifactStore:
              "leases":  {kind: {lease_waits, lease_takeovers,
                                 lease_timeouts}}}
 
-        plus, **deprecated, for one PR**: each kind's flat all-counter
-        dict under its bare name, so existing ``stats()["space"]["hits"]``
-        callers keep working while they migrate to the namespaces.
+        (The pre-PR-7 flat per-kind aliases -- ``stats()["space"]`` and
+        friends -- are gone; every reader addresses a namespace.)
 
         Taken under the store lock, so a concurrent reader sees a
         consistent point-in-time view -- never a half-updated counter
@@ -526,9 +512,6 @@ class ArtifactStore:
                     kind: dict(stats.lease_dict()) for kind, stats in kinds
                 },
             }
-            for kind, stats in kinds:
-                if kind not in _STATS_NAMESPACES:
-                    snapshot[kind] = dict(stats.as_dict())
             return snapshot
 
     def reset_stats(self) -> None:

@@ -251,6 +251,63 @@ class CircuitOpenError(ResilienceError):
         self.retry_after_ms = retry_after_ms
 
 
+class ServingError(ResilienceError):
+    """Base class for the async update server's typed failures.
+
+    The serving tier's contract extends the library's fail-closed rule
+    to overload: when offered load exceeds capacity the server *sheds*
+    requests with a typed, retry-aware refusal -- it never queues
+    unboundedly, never wedges, and never crashes the process.
+    """
+
+
+class ServerOverloadedError(ServingError):
+    """Admission refused: a bounded queue is full (or the breaker says
+    the work is doomed).  Maps to HTTP 503 with a ``Retry-After`` hint
+    derived from observed service times, so well-behaved clients back
+    off instead of hammering a saturated server.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        queue: str = "",
+        depth: int = 0,
+        limit: int = 0,
+        retry_after_ms: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        #: The admission queue that refused (priority name, or
+        #: ``"breaker"`` for circuit-open fast-fail).
+        self.queue = queue
+        #: Entries queued when admission was refused.
+        self.depth = depth
+        #: The configured bound of that queue.
+        self.limit = limit
+        #: Suggested client backoff before retrying.
+        self.retry_after_ms = retry_after_ms
+
+
+class ServerDrainingError(ServerOverloadedError):
+    """Admission refused because the server is draining (SIGTERM):
+    in-flight requests finish, new ones are shed with a retry hint."""
+
+
+class RequestProtocolError(ServingError):
+    """A wire request could not be parsed (malformed JSON, missing
+    fields, bad instance encoding).  Maps to HTTP 400."""
+
+
+class WarmStartError(ServingError):
+    """A sibling warm-start build died before publishing its artifacts.
+
+    Raised by :func:`repro.serving.warmstart.sibling_warm_start` when
+    the builder process exits nonzero, times out, or leaves no artifact
+    store behind -- a typed verdict instead of a traceback, so service
+    wrappers can fall back to a cold start deliberately.
+    """
+
+
 class UnexpectedFailureError(ResilienceError):
     """An update-servicing step crashed outside any typed failure path.
 

@@ -23,6 +23,15 @@ artifact persistence backend (the ``REPRO_STORE_BACKEND`` /
 ``REPRO_STORE_URL`` environment variables spell the same thing);
 re-running with a warm store turns every enumeration into a backend
 hit, visible in ``--stats``.
+
+``--serve`` hands the invocation to the serving tier (``python -m
+repro.serving``): an async HTTP update server with admission control
+and graceful SIGTERM drain, forwarding ``--host/--port/--max-inflight/
+--queue-depth/--drain-ms/--deadline-ms/--store/--warm-url``.
+``--load-gen --port=N`` drives a running server with the threaded load
+generator (``--clients``, ``--duration`` seconds, optional
+``--deadline`` ms per request) and prints the JSON
+:class:`~repro.serving.client.LoadReport`.
 """
 
 from __future__ import annotations
@@ -133,6 +142,51 @@ def _workers(argv: list[str]) -> int:
     return 1 if raw is None else max(1, int(raw))
 
 
+def _serve(argv: list[str]) -> int:
+    """Delegate to ``python -m repro.serving`` with forwarded flags."""
+    from repro.serving.__main__ import main as serve_main
+
+    passthrough = []
+    for name in (
+        "host",
+        "port",
+        "max-inflight",
+        "queue-depth",
+        "drain-ms",
+        "deadline-ms",
+        "store",
+        "warm-url",
+    ):
+        value = _flag_value(argv, name)
+        if value is not None:
+            passthrough.append(f"--{name}={value}")
+    return serve_main(passthrough)
+
+
+def _load_gen(argv: list[str]) -> int:
+    """Drive a running update server and print the load report."""
+    import json
+
+    from repro.serving.client import run_load
+    from repro.serving.service import chain_service
+
+    port_raw = _flag_value(argv, "port")
+    if port_raw is None:
+        print("--load-gen requires --port=<running server's port>")
+        return 2
+    deadline_ms = _deadline_ms(argv)
+    report = run_load(
+        _flag_value(argv, "host") or "127.0.0.1",
+        int(port_raw),
+        chain_service().sample_requests,
+        clients=int(_flag_value(argv, "clients") or "4"),
+        duration_s=float(_flag_value(argv, "duration") or "3.0"),
+        deadline_ms=deadline_ms,
+    )
+    print(json.dumps(report.as_dict(), indent=2))
+    return 0 if report.other_errors == 0 else 1
+
+
 def _run_one(experiment_id: str, engine: Engine):
     """One experiment through the shared engine: ``(result, elapsed,
     error)`` where exactly one of *result*/*error* is set."""
@@ -146,6 +200,10 @@ def _run_one(experiment_id: str, engine: Engine):
 
 def main(argv: list[str]) -> int:
     """Run the requested experiments (all by default)."""
+    if "--serve" in argv:
+        return _serve(argv)
+    if "--load-gen" in argv:
+        return _load_gen(argv)
     markdown = "--markdown" in argv
     show_stats = "--stats" in argv
     deadline_ms = _deadline_ms(argv)

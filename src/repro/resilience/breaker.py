@@ -243,6 +243,26 @@ class CircuitBreaker:
                 # cooldown so probes back off while it keeps crashing.
                 state.opened_at = self._clock()
 
+    def retry_hint_ms(self) -> Optional[float]:
+        """Milliseconds until the soonest open circuit allows a probe.
+
+        ``None`` when nothing is open-and-cooling: every tracked
+        derivation is closed, already half-open, or past its cooldown
+        (in which case the next attempt *is* the recovery probe and
+        should be admitted, not shed).  The serving tier's admission
+        controller uses this to decide between shedding a request and
+        letting it through to probe.
+        """
+        with self._lock:
+            now = self._clock()
+            pending = [
+                self.cooldown_ms - (now - state.opened_at) * 1e3
+                for state in self._states.values()
+                if state.state == OPEN
+            ]
+            cooling = [ms for ms in pending if ms > 0]
+            return min(cooling) if cooling else None
+
     # -- management -----------------------------------------------------------
 
     def reset(

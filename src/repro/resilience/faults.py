@@ -66,6 +66,8 @@ FAULT_POINTS: Tuple[str, ...] = (
     "kernel.analysis",
     "kernel.bulk",
     "enumeration.step",
+    "server.admit",
+    "server.drain",
 )
 
 RAISE = "raise"

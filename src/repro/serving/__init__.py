@@ -1,0 +1,54 @@
+"""Async update serving: admission control over the paper's engine.
+
+The serving tier turns one :class:`~repro.engine.engine.Session` into
+a small, honest network service.  "Honest" is the design goal: under
+overload it sheds typed 503s from bounded queues instead of queueing
+without bound; past a deadline it fails 504 instead of running on;
+behind an open circuit it refuses (or degrades) instead of queueing
+doomed work; and on SIGTERM it drains -- finishing what it admitted --
+and reports exactly what, if anything, it dropped.
+
+Entry points:
+
+* ``python -m repro.serving`` -- run the server on the default chain
+  service (:func:`~repro.serving.service.chain_service`);
+* :class:`~repro.serving.server.UpdateServer` -- embed it;
+* :class:`~repro.serving.client.ServingClient` /
+  :func:`~repro.serving.client.run_load` -- talk to it / stress it;
+* :func:`~repro.serving.warmstart.sibling_warm_start` -- pre-compile
+  the artifacts in a sibling process for warm cold-starts.
+"""
+
+from repro.serving.admission import AdmissionController, Ticket
+from repro.serving.client import LoadReport, ServingClient, run_load
+from repro.serving.protocol import (
+    UpdateRequest,
+    instance_from_wire,
+    instance_to_wire,
+    outcome_to_wire,
+    parse_update_request,
+    request_to_wire,
+)
+from repro.serving.server import UpdateServer
+from repro.serving.service import ServiceSpec, chain_service
+from repro.serving.session import AsyncSession
+from repro.serving.warmstart import sibling_warm_start
+
+__all__ = [
+    "AdmissionController",
+    "AsyncSession",
+    "LoadReport",
+    "ServiceSpec",
+    "ServingClient",
+    "Ticket",
+    "UpdateRequest",
+    "UpdateServer",
+    "chain_service",
+    "instance_from_wire",
+    "instance_to_wire",
+    "outcome_to_wire",
+    "parse_update_request",
+    "request_to_wire",
+    "run_load",
+    "sibling_warm_start",
+]

@@ -1,0 +1,282 @@
+"""Admission control: bounded queues, tokens, shed-don't-wedge.
+
+The serving tier's overload contract lives here.  An
+:class:`AdmissionController` sits in front of the worker pool and
+decides, for every request, one of three fates *before* any expensive
+work happens:
+
+* **admit** -- a ticket enters one of three bounded priority queues
+  (``high`` > ``normal`` > ``low``; workers always drain the highest
+  non-empty queue first);
+* **shed** -- the target queue is full, or the server is draining:
+  a typed :class:`~repro.errors.ServerOverloadedError` /
+  :class:`~repro.errors.ServerDrainingError` carries a ``Retry-After``
+  hint derived from the observed service-time EWMA, so the refusal is
+  cheap for the server and actionable for the client;
+* **degrade** -- the engine's circuit breaker reports open circuits:
+  in *fail-fast* mode the request is shed immediately (queueing it
+  would only delay the same typed failure); in *pin-naive* mode it is
+  admitted normally, because the engine will serve it degraded on the
+  naive kernel rather than fail it.
+
+Concurrency is bounded by a token bucket of ``max_inflight`` tokens
+(:data:`~repro.serving.config.SERVER_MAX_INFLIGHT_ENV_VAR`): the server
+runs exactly one worker task per token, so at most ``max_inflight``
+updates occupy the executor at once and everything else waits in the
+bounded queues -- queue depth, not memory growth, is the only backlog.
+
+The controller is **asyncio-native and single-threaded by design**:
+every method must be called on the event loop, which is the only
+mutator, so there are no locks to get wrong.  (The executor threads
+never touch it; workers report completions back on the loop.)
+
+``server.admit`` and ``server.drain`` are registered fault points: the
+chaos suite injects crashes and delays at both and asserts the server
+sheds or degrades -- typed errors, bounded queues, a drain that always
+terminates -- instead of wedging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional
+
+from repro.errors import (
+    ServerDrainingError,
+    ServerOverloadedError,
+)
+from repro.resilience.breaker import CircuitBreaker, FAIL_FAST
+from repro.resilience.faults import fault_check
+from repro.serving.config import server_max_inflight, server_queue_depth
+from repro.serving.protocol import PRIORITIES, UpdateRequest
+
+__all__ = ["AdmissionController", "Ticket"]
+
+#: Fallback service-time estimate before any completion was observed.
+_DEFAULT_SERVICE_MS = 50.0
+#: EWMA smoothing factor for observed service times.
+_EWMA_ALPHA = 0.2
+
+
+@dataclass
+class Ticket:
+    """One admitted request, queued then executed by a worker."""
+
+    request_id: str
+    request: UpdateRequest
+    #: Monotonic second the ticket was admitted (queue-wait accounting).
+    admitted_at: float = 0.0
+    #: Effective deadline budget in ms (request or server default).
+    deadline_ms: Optional[float] = None
+    #: Resolved by the worker with the outcome (or a typed error).
+    future: "asyncio.Future[object]" = field(
+        default_factory=lambda: asyncio.get_running_loop().create_future()
+    )
+
+
+class AdmissionController:
+    """Bounded per-priority admission in front of the worker pool."""
+
+    def __init__(
+        self,
+        max_inflight: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        #: The token-bucket size; the server runs one worker per token.
+        self.max_inflight = server_max_inflight(max_inflight)
+        #: The bound of each priority queue.
+        self.queue_depth = server_queue_depth(queue_depth)
+        self._breaker = breaker
+        self._clock = clock
+        self._queues: Dict[str, Deque[Ticket]] = {
+            priority: deque() for priority in PRIORITIES
+        }
+        self._wakeup = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        self._inflight = 0
+        self._service_ewma_ms = _DEFAULT_SERVICE_MS
+        # -- counters (all mutated on the event loop only) --
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed_overload = 0
+        self.shed_draining = 0
+        self.shed_breaker = 0
+        self.queue_high_water = 0
+
+    # -- admission -------------------------------------------------------------
+
+    def admit(self, ticket: Ticket) -> None:
+        """Admit *ticket* or shed it with a typed, retry-aware error.
+
+        Order of the gates matters: drain first (a draining server
+        sheds everything new, however empty its queues), then the
+        injected-fault hook, then the breaker, then the queue bound.
+        """
+        if self._draining:
+            self.shed_draining += 1
+            raise ServerDrainingError(
+                "server is draining; not admitting new updates",
+                queue=ticket.request.priority,
+                retry_after_ms=self._retry_after_ms(),
+            )
+        fault_check("server.admit")
+        self._breaker_gate(ticket)
+        queue = self._queues[ticket.request.priority]
+        if len(queue) >= self.queue_depth:
+            self.shed_overload += 1
+            raise ServerOverloadedError(
+                f"admission queue {ticket.request.priority!r} is full"
+                f" ({len(queue)}/{self.queue_depth}); shedding load",
+                queue=ticket.request.priority,
+                depth=len(queue),
+                limit=self.queue_depth,
+                retry_after_ms=self._retry_after_ms(),
+            )
+        ticket.admitted_at = self._clock()
+        queue.append(ticket)
+        self.admitted += 1
+        self.queue_high_water = max(self.queue_high_water, self.queued)
+        self._idle.clear()
+        self._wakeup.set()
+
+    def _breaker_gate(self, ticket: Ticket) -> None:
+        """Shed (fail-fast) or pass through (pin-naive) on open circuits.
+
+        An open circuit means the artifacts behind this session keep
+        failing deterministically: queueing more requests behind them
+        only delays the same typed verdict.  In pin-naive mode the
+        engine serves the work degraded, so admission lets it through.
+        """
+        breaker = self._breaker
+        if breaker is None or breaker.mode != FAIL_FAST:
+            return
+        retry_ms = breaker.retry_hint_ms()
+        if retry_ms is None:
+            # No circuit is open-and-cooling: closed circuits admit
+            # normally, and an elapsed cooldown must admit so the
+            # half-open probe can actually run and recover.
+            return
+        self.shed_breaker += 1
+        raise ServerOverloadedError(
+            "derivation circuit(s) open; shedding instead of queueing"
+            " doomed work",
+            queue="breaker",
+            retry_after_ms=retry_ms,
+        )
+
+    def _retry_after_ms(self) -> float:
+        """A backoff hint: time to clear the current backlog, observed.
+
+        ``(queued + inflight) / tokens`` service periods at the EWMA
+        service time, floored so clients never busy-spin.
+        """
+        backlog = self.queued + self._inflight + 1
+        periods = backlog / max(1, self.max_inflight)
+        return max(50.0, periods * self._service_ewma_ms)
+
+    # -- the worker side -------------------------------------------------------
+
+    async def next_ticket(self) -> Optional[Ticket]:
+        """The next ticket by priority; ``None`` when drained.
+
+        Workers block here while the queues are empty.  During a drain
+        the queues are still handed out (admitted work is finished, not
+        dropped); ``None`` is returned only once draining *and* empty.
+        """
+        while True:
+            for priority in PRIORITIES:
+                queue = self._queues[priority]
+                if queue:
+                    ticket = queue.popleft()
+                    self._inflight += 1
+                    return ticket
+            if self._draining:
+                return None
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
+    def task_done(self, succeeded: bool, service_seconds: float) -> None:
+        """Return a token; fold the service time into the EWMA."""
+        self._inflight -= 1
+        if succeeded:
+            self.completed += 1
+        else:
+            self.failed += 1
+        if service_seconds > 0:
+            self._service_ewma_ms += _EWMA_ALPHA * (
+                service_seconds * 1e3 - self._service_ewma_ms
+            )
+        if self._inflight == 0 and self.queued == 0:
+            self._idle.set()
+            # Wake parked workers so they can observe a drain.
+            self._wakeup.set()
+
+    # -- drain -----------------------------------------------------------------
+
+    def start_drain(self) -> None:
+        """Stop admitting; queued and in-flight work keeps running."""
+        self._draining = True
+        self._wakeup.set()
+
+    async def drained(self, timeout_s: Optional[float]) -> bool:
+        """Wait until every admitted ticket finished (or *timeout_s*).
+
+        Returns ``True`` when the backlog reached zero -- the graceful
+        case: nothing admitted was dropped.  ``False`` means the drain
+        deadline expired with work still running; the caller reports
+        the leftovers instead of pretending they finished.
+        """
+        if not self._draining:
+            self.start_drain()
+        if self._inflight == 0 and self.queued == 0:
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout_s)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        """Total tickets currently queued across all priorities."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    @property
+    def inflight(self) -> int:
+        """Tickets currently occupying a concurrency token."""
+        return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready counters for ``/stats`` and the drain report."""
+        return {
+            "max_inflight": self.max_inflight,
+            "queue_depth": self.queue_depth,
+            "queued": {
+                priority: len(queue)
+                for priority, queue in self._queues.items()
+            },
+            "inflight": self._inflight,
+            "draining": self._draining,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed_overload": self.shed_overload,
+            "shed_draining": self.shed_draining,
+            "shed_breaker": self.shed_breaker,
+            "queue_high_water": self.queue_high_water,
+            "service_ewma_ms": round(self._service_ewma_ms, 3),
+        }

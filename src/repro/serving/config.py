@@ -1,0 +1,88 @@
+"""Environment knobs for the async update server.
+
+Each knob follows the repository convention: an explicit constructor
+argument wins, then the environment variable, then the default -- and a
+*malformed* environment value raises eagerly (a typo'd capacity must
+not silently mean "default capacity").
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = [
+    "DEFAULT_DRAIN_MS",
+    "DEFAULT_MAX_INFLIGHT",
+    "DEFAULT_QUEUE_DEPTH",
+    "SERVER_DEADLINE_ENV_VAR",
+    "SERVER_DRAIN_ENV_VAR",
+    "SERVER_MAX_INFLIGHT_ENV_VAR",
+    "SERVER_QUEUE_DEPTH_ENV_VAR",
+    "server_deadline_ms",
+    "server_drain_ms",
+    "server_max_inflight",
+    "server_queue_depth",
+]
+
+#: Size of the concurrency token bucket: how many update executions may
+#: run on the worker pool at once.
+SERVER_MAX_INFLIGHT_ENV_VAR = "REPRO_SERVER_MAX_INFLIGHT"
+#: Bound of each per-priority admission queue.
+SERVER_QUEUE_DEPTH_ENV_VAR = "REPRO_SERVER_QUEUE_DEPTH"
+#: Wall-clock budget for the graceful drain after SIGTERM.
+SERVER_DRAIN_ENV_VAR = "REPRO_SERVER_DRAIN_MS"
+#: Default per-request deadline applied when a request names none.
+SERVER_DEADLINE_ENV_VAR = "REPRO_SERVER_DEADLINE_MS"
+
+DEFAULT_MAX_INFLIGHT = 4
+DEFAULT_QUEUE_DEPTH = 16
+DEFAULT_DRAIN_MS = 5_000.0
+
+
+def _positive_int(raw: str, name: str) -> int:
+    value = int(raw)
+    if value < 1:
+        # reprolint: disable=RL001 -- eager validation of an operator knob, same contract as int() raising on garbage
+        raise ValueError(f"{name} must be a positive integer, got {raw!r}")
+    return value
+
+
+def server_max_inflight(explicit: Optional[int] = None) -> int:
+    """The concurrency token count (explicit > env > default)."""
+    if explicit is not None:
+        return explicit
+    raw = os.environ.get(SERVER_MAX_INFLIGHT_ENV_VAR)
+    if raw is None or not raw.strip():
+        return DEFAULT_MAX_INFLIGHT
+    return _positive_int(raw, SERVER_MAX_INFLIGHT_ENV_VAR)
+
+
+def server_queue_depth(explicit: Optional[int] = None) -> int:
+    """The per-priority admission-queue bound (explicit > env > default)."""
+    if explicit is not None:
+        return explicit
+    raw = os.environ.get(SERVER_QUEUE_DEPTH_ENV_VAR)
+    if raw is None or not raw.strip():
+        return DEFAULT_QUEUE_DEPTH
+    return _positive_int(raw, SERVER_QUEUE_DEPTH_ENV_VAR)
+
+
+def server_drain_ms(explicit: Optional[float] = None) -> float:
+    """The graceful-drain deadline in ms (explicit > env > default)."""
+    if explicit is not None:
+        return explicit
+    raw = os.environ.get(SERVER_DRAIN_ENV_VAR)
+    if raw is None or not raw.strip():
+        return DEFAULT_DRAIN_MS
+    return float(raw)
+
+
+def server_deadline_ms(explicit: Optional[float] = None) -> Optional[float]:
+    """The default per-request deadline in ms (``None`` = none)."""
+    if explicit is not None:
+        return explicit
+    raw = os.environ.get(SERVER_DEADLINE_ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    return float(raw)

@@ -1,0 +1,100 @@
+"""What the server serves: a schema, its views, and sample traffic.
+
+A :class:`ServiceSpec` bundles everything the server needs to stand up
+one update-servicing session -- the base schema and type assignment,
+the user views to register, the candidate views the component algebra
+is discovered from -- plus a tuple of *sample requests* the load
+generator, the CI smoke, and the benchmarks replay against it.
+
+:func:`chain_service` is the default: the paper's ABCD chain universe
+(Example 2.1.1 / 3.2.4 family, ``abcd_chain_small``) with the two
+component views and the lossy ``Γ_ABD`` projection of the worked
+examples.  Its sample traffic mixes accepted updates with a request the
+procedure formally rejects, so end-to-end runs exercise both verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.decomposition.projections import projection_view
+from repro.relational.schema import Schema
+from repro.serving.protocol import UpdateRequest
+from repro.typealgebra.algebra import NULL
+from repro.typealgebra.assignment import TypeAssignment
+from repro.views.view import View
+from repro.workloads.scenarios import abcd_chain_small
+
+__all__ = ["ServiceSpec", "chain_service"]
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One complete serving definition (see module docstring)."""
+
+    name: str
+    schema: Schema
+    assignment: TypeAssignment
+    #: Fingerprintable generator spec for the state space (what
+    #: ``Engine.space_from`` accepts); ``None`` enumerates instead.
+    space_source: object
+    #: Views clients may address in update requests.
+    views: Tuple[View, ...]
+    #: Extra candidates for component-algebra discovery.
+    candidates: Tuple[View, ...]
+    #: Replayable requests for load generation and smoke tests.
+    sample_requests: Tuple[UpdateRequest, ...]
+
+
+def chain_service() -> ServiceSpec:
+    """The default served universe: the small ABCD chain.
+
+    Sample traffic (all against one fixed base state, so requests are
+    independently replayable in any order, any number of times):
+
+    * ``Γ°AB``: drop ``(a2, b1)`` -- accepted;
+    * ``Γ°BCD``: connect ``c2`` to ``d1`` -- accepted;
+    * ``Γ_ABD``: drop ``(n, n, d1)`` -- formally rejected (the target
+      is entangled with the AB chain; Procedure 3.2.3 is undefined).
+    """
+    chain = abcd_chain_small()
+    views = (
+        chain.component_view([0]),
+        chain.component_view([1, 2]),
+        projection_view(chain, ("A", "B", "D")),
+    )
+    base = chain.state_from_edges(
+        [{("a1", "b1"), ("a2", "b1")}, {("b1", "c1")}, {("c1", "d1")}]
+    )
+    edits = (
+        (views[0], lambda now: now.deleting("R_AB", ("a2", "b1")), "high"),
+        (
+            views[1],
+            lambda now: now.inserting("R_BCD", (NULL, "c2", "d1")),
+            "normal",
+        ),
+        (
+            views[2],
+            lambda now: now.deleting("R_ABD", (NULL, NULL, "d1")),
+            "low",
+        ),
+    )
+    requests = tuple(
+        UpdateRequest(
+            view=view.name,
+            base=base,
+            target=edit(view.apply(base, chain.assignment)),
+            priority=priority,
+        )
+        for view, edit, priority in edits
+    )
+    return ServiceSpec(
+        name="abcd-chain-small",
+        schema=chain.schema,
+        assignment=chain.assignment,
+        space_source=chain,
+        views=views,
+        candidates=chain.all_component_views(),
+        sample_requests=requests,
+    )

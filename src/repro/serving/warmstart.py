@@ -1,0 +1,73 @@
+"""Warm-starting a server from a sibling process's compiled build.
+
+The two-process story from PR 7's example, hardened into library code:
+fork a *builder* process that compiles the default service's state
+space into a shared SQLite artifact store, wait for it, and verify it
+actually published something.  A builder that dies first -- crash,
+kill, timeout, or a clean exit that left no store behind -- surfaces as
+a typed :class:`~repro.errors.WarmStartError` instead of a traceback,
+so wrappers can *choose* between aborting and deliberately falling
+back to a cold start.
+
+Used by ``examples/update_service.py --two-process-demo`` and as the
+serving tier's warm-start path (``python -m repro.serving
+--warm-url=...`` and the cold-vs-warm rows of ``bench_s8_serving``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from pathlib import Path
+
+from repro.engine.backends import SQLiteBackend
+from repro.engine.engine import Engine
+from repro.errors import WarmStartError
+
+__all__ = ["sibling_warm_start"]
+
+
+def _sibling_build(url: str) -> None:
+    """Builder-process body: compile the space into the shared store.
+
+    The backend is constructed *inside* this process -- SQLite
+    connections are not fork-safe by contract.
+    """
+    from repro.serving.service import chain_service
+
+    spec = chain_service()
+    engine = Engine(backend=SQLiteBackend(url))
+    # Compiling via the closed-form generator persists the space under
+    # the exact artifact key the server's own warm-up will request.
+    engine.space_from(spec.space_source)
+
+
+def sibling_warm_start(url: str, timeout_s: float = 120.0) -> None:
+    """Compile the default service's space into *url* via a sibling.
+
+    Raises :class:`WarmStartError` -- never a bare traceback -- when
+    the sibling dies before publishing: nonzero/signal exit, timeout
+    (the straggler is terminated first), or a clean exit that left no
+    artifact database behind.
+    """
+    process = multiprocessing.get_context().Process(
+        target=_sibling_build, args=(url,)
+    )
+    process.start()
+    process.join(timeout_s)
+    if process.is_alive():
+        process.terminate()
+        process.join(5)
+        raise WarmStartError(
+            f"sibling build exceeded its {timeout_s:g}s budget and was"
+            " terminated before publishing its build"
+        )
+    if process.exitcode != 0:
+        raise WarmStartError(
+            "sibling build process died before publishing its build"
+            f" (exit code {process.exitcode})"
+        )
+    if not Path(url).exists():
+        raise WarmStartError(
+            "sibling build exited cleanly but published no artifact"
+            f" database at {url!r}"
+        )

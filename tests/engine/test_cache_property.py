@@ -65,7 +65,7 @@ def test_memory_hit_equals_cold_build(mode, params):
         cold = engine.space(schema, assignment)
         warm = engine.space(schema, assignment)
         assert warm is cold
-        assert engine.stats()["artifacts"]["space"]["hits"] >= 1
+        assert engine.stats()["artifacts"]["memory"]["space"]["hits"] >= 1
 
         independent = Engine().space(schema, assignment)
         assert independent == cold
@@ -80,13 +80,13 @@ def test_disk_round_trip_equals_cold_build(mode, params):
     with use_kernel(mode), fresh_cache_dir() as cache_dir:
         cold_engine = Engine(cache_dir=cache_dir)
         cold = cold_engine.space(schema, assignment)
-        assert cold_engine.stats()["artifacts"]["space"]["builds"] == 1
+        assert cold_engine.stats()["artifacts"]["memory"]["space"]["builds"] == 1
 
         warm_engine = Engine(cache_dir=cache_dir)
         loaded = warm_engine.space(schema, assignment)
-        counters = warm_engine.stats()["artifacts"]["space"]
-        assert counters["disk_hits"] == 1
-        assert counters["builds"] == 0
+        artifacts = warm_engine.stats()["artifacts"]
+        assert artifacts["backend"]["kinds"]["space"]["disk_hits"] == 1
+        assert artifacts["memory"]["space"]["builds"] == 0
 
         assert loaded == cold
         assert hash(loaded) == hash(cold)

@@ -70,7 +70,7 @@ class TestThreadSingleFlight:
         assert len(builds) == 1
         first = values[0]
         assert all(value is first for value in values)
-        counters = store.stats()["space"]
+        counters = store.stats()["memory"]["space"]
         assert counters["builds"] == 1
         assert counters["misses"] == 1
         assert counters["coalesced_builds"] == THREADS - 1
@@ -111,7 +111,7 @@ class TestThreadSingleFlight:
         with pytest.raises(ReproError):
             store.get_or_build(_key(), _raise_repro)
         assert store.get_or_build(_key(), lambda: 1) == 1
-        counters = store.stats()["space"]
+        counters = store.stats()["memory"]["space"]
         assert counters["misses"] == 2
         assert counters["builds"] == 1
 
@@ -231,14 +231,14 @@ def _contend_worker(cache_dir, barrier, queue):
 
     barrier.wait(timeout=30)
     value = store.get_or_build(key, slow_build, persist=True)
-    counters = store.stats()["space"]
+    snapshot = store.stats()
     queue.put(
         {
             "value_ok": value == {"payload": list(range(100))},
-            "builds": counters["builds"],
-            "disk_hits": counters["disk_hits"],
-            "lease_waits": counters["lease_waits"],
-            "lease_timeouts": counters["lease_timeouts"],
+            "builds": snapshot["memory"]["space"]["builds"],
+            "disk_hits": snapshot["backend"]["kinds"]["space"]["disk_hits"],
+            "lease_waits": snapshot["leases"]["space"]["lease_waits"],
+            "lease_timeouts": snapshot["leases"]["space"]["lease_timeouts"],
         }
     )
 

@@ -8,11 +8,11 @@ def test_second_harness_run_is_served_from_cache():
     engine = Engine()
     first = run_all(engine=engine)
     assert all(result.passed for result in first)
-    cold = engine.stats()["artifacts"]
+    cold = engine.stats()["artifacts"]["memory"]
 
     second = run_all(engine=engine)
     assert all(result.passed for result in second)
-    warm = engine.stats()["artifacts"]
+    warm = engine.stats()["artifacts"]["memory"]
 
     # Re-running E1-E12 builds no new state space: every universe the
     # harness touches is already compiled.

@@ -46,7 +46,7 @@ class TestArtifactSharing:
         s1 = engine.space(two_unary.schema, two_unary.assignment)
         s2 = engine.space(two_unary.schema, two_unary.assignment)
         assert s1 is s2
-        assert engine.stats()["artifacts"]["space"]["hits"] >= 1
+        assert engine.stats()["artifacts"]["memory"]["space"]["hits"] >= 1
 
     def test_spaces_compare_by_fingerprint(self, engine, two_unary):
         s1 = engine.space(two_unary.schema, two_unary.assignment)
@@ -57,7 +57,7 @@ class TestArtifactSharing:
     def test_warm_session_reuses_algebra(
         self, engine, session, small_chain, small_space
     ):
-        before = engine.stats()["artifacts"]["algebra"]["hits"]
+        before = engine.stats()["artifacts"]["memory"]["algebra"]["hits"]
         second = engine.session(
             small_chain.schema, small_chain.assignment, small_space
         )
@@ -66,7 +66,10 @@ class TestArtifactSharing:
             small_chain.all_component_views()
         )
         assert algebra is session.component_algebra
-        assert engine.stats()["artifacts"]["algebra"]["hits"] == before + 1
+        assert (
+            engine.stats()["artifacts"]["memory"]["algebra"]["hits"]
+            == before + 1
+        )
 
     def test_activate_scopes_current_engine(self, engine):
         assert current_engine() is default_engine()
@@ -140,7 +143,7 @@ class TestUpdateOutcome:
         self, engine, session, small_chain, small_space
     ):
         first = session.procedure_for("Γ_ABD")
-        counters = engine.stats()["artifacts"]["procedure"]
+        counters = engine.stats()["artifacts"]["memory"]["procedure"]
         hits_before = counters["hits"]
         second = engine.session(
             small_chain.schema, small_chain.assignment, small_space
@@ -148,5 +151,5 @@ class TestUpdateOutcome:
         second.register_view(projection_view(small_chain, ("A", "B", "D")))
         second.build_component_algebra(small_chain.all_component_views())
         assert second.procedure_for("Γ_ABD") is first
-        counters = engine.stats()["artifacts"]["procedure"]
+        counters = engine.stats()["artifacts"]["memory"]["procedure"]
         assert counters["hits"] == hits_before + 1

@@ -37,7 +37,7 @@ class TestMemoization:
         assert store.get_or_build(key("space", "f1"), build) == "value"
         assert store.get_or_build(key("space", "f1"), build) == "value"
         assert calls == [1]
-        counters = store.stats()["space"]
+        counters = store.stats()["memory"]["space"]
         assert counters["hits"] == 1
         assert counters["misses"] == 1
         assert counters["builds"] == 1
@@ -58,7 +58,7 @@ class TestMemoization:
         assert snapshot["backend"]["kinds"] == {}
         assert store.get_or_build(key("space", "f1"), lambda: "x") == "anchored"
 
-    def test_stats_namespaces_mirror_flat_aliases(self):
+    def test_stats_namespaces_are_the_only_spelling(self):
         store = ArtifactStore()
         store.get_or_build(key("space", "f1"), lambda: "v")
         store.get_or_build(key("space", "f1"), lambda: "v")
@@ -69,10 +69,8 @@ class TestMemoization:
         assert snapshot["backend"]["open_failures"] == 0
         assert snapshot["backend"]["kinds"]["space"]["disk_hits"] == 0
         assert snapshot["leases"]["space"]["lease_waits"] == 0
-        # Deprecated flat alias (one PR): the old per-kind spelling.
-        assert snapshot["space"]["hits"] == 1
-        assert snapshot["space"]["disk_hits"] == 0
-        assert snapshot["space"]["lease_waits"] == 0
+        # The pre-PR-7 flat per-kind alias is gone.
+        assert set(snapshot) == {"memory", "backend", "leases"}
 
 
 class TestLRU:
@@ -84,7 +82,7 @@ class TestLRU:
         store.get_or_build(key("k", "c"), lambda: 3)  # evicts b
         assert key("k", "b") not in store
         assert key("k", "a") in store
-        assert store.stats()["k"]["evictions"] == 1
+        assert store.stats()["memory"]["k"]["evictions"] == 1
 
 
 class TestInvalidation:
@@ -120,9 +118,9 @@ class TestDiskCache:
             key("space", "f1"), lambda: pytest_fail(), persist=True
         )
         assert loaded == value
-        counters = fresh.stats()["space"]
-        assert counters["disk_hits"] == 1
-        assert counters["builds"] == 0
+        snapshot = fresh.stats()
+        assert snapshot["backend"]["kinds"]["space"]["disk_hits"] == 1
+        assert snapshot["memory"]["space"]["builds"] == 0
 
     @pytest.mark.parametrize(
         "garbage",
@@ -136,7 +134,10 @@ class TestDiskCache:
             store.get_or_build(key("space", "f1"), lambda: "fresh", persist=True)
             == "fresh"
         )
-        assert store.stats()["space"]["corrupt_entries"] == 1
+        assert (
+            store.stats()["backend"]["kinds"]["space"]["corrupt_entries"]
+            == 1
+        )
         # The rebuilt value was re-persisted in the enveloped format.
         fresh = ArtifactStore(cache_dir=str(tmp_path))
         assert (
@@ -151,7 +152,10 @@ class TestDiskCache:
             key("space", "f1"), lambda: value, persist=True
         )
         assert built is value
-        assert store.stats()["space"]["persist_failures"] == 1
+        assert (
+            store.stats()["backend"]["kinds"]["space"]["persist_failures"]
+            == 1
+        )
         assert not (tmp_path / key("space", "f1").filename()).exists()
 
     def test_no_dir_means_no_persistence(self, tmp_path, monkeypatch):
@@ -242,7 +246,7 @@ class TestTransientIO:
         with inject(plan):
             loaded = fresh.get_or_build(key("space", "f1"), boom, persist=True)
         assert loaded == "v"
-        counters = fresh.stats()["space"]
+        counters = fresh.stats()["backend"]["kinds"]["space"]
         assert counters["io_retries"] == 2
         assert counters["disk_hits"] == 1
 
@@ -267,7 +271,7 @@ class TestTransientIO:
                 key("space", "f1"), lambda: "rebuilt", persist=True
             )
         assert value == "rebuilt"
-        assert fresh.stats()["space"]["builds"] == 1
+        assert fresh.stats()["memory"]["space"]["builds"] == 1
 
     def test_save_gives_up_after_bounded_retries(self, tmp_path, monkeypatch):
         from repro.resilience.faults import FaultPlan, FaultRule, inject
@@ -288,7 +292,7 @@ class TestTransientIO:
                 key("space", "f1"), lambda: "v", persist=True
             )
         assert built == "v"
-        counters = store.stats()["space"]
+        counters = store.stats()["backend"]["kinds"]["space"]
         assert counters["persist_failures"] == 1
         assert counters["io_retries"] == store.io_attempts - 1
         assert not (tmp_path / key("space", "f1").filename()).exists()

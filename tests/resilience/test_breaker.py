@@ -259,7 +259,7 @@ class TestEngineIntegration:
         # Fail-fast: the builder never ran again.
         assert flaky_analyze.calls == 4
         assert engine.stats()["breaker"]["open"] == 1
-        counters = engine.stats()["artifacts"]["analysis"]
+        counters = engine.stats()["artifacts"]["memory"]["analysis"]
         assert counters["degradations"] == 2
 
     def test_reset_breaker_reruns_the_ladder(
@@ -322,7 +322,7 @@ class TestEngineIntegration:
             # Pinned: the naive rung served without a bitset crash.
             assert len(plan.log) == fired_before
         assert pinned is not None
-        counters = engine.stats()["artifacts"]["analysis"]
+        counters = engine.stats()["artifacts"]["memory"]["analysis"]
         assert counters["degradations"] == 3
         assert engine.stats()["breaker"]["open"] == 1
 
@@ -342,3 +342,110 @@ class TestEngineIntegration:
             with pytest.raises(KernelFailureError) as excinfo:
                 engine.analysis(view, small_space)
         assert "pinned" in str(excinfo.value)
+
+
+class TestConcurrentHalfOpenProbes:
+    """A half-open circuit admits exactly one probe under contention.
+
+    The serving tier leans on this: when a cooldown elapses while N
+    requests race into admission, one of them must run the recovery
+    probe and every other caller must get the typed fail-closed
+    verdict (fail-fast) or the pinned naive rung (pin-naive) -- never
+    a thundering herd of N concurrent ladder runs against artifacts
+    that were crashing moments ago.
+    """
+
+    THREADS = 16
+
+    def _race_admits(self, breaker):
+        """All threads call ``admit`` together; collect the verdicts."""
+        import threading
+
+        barrier = threading.Barrier(self.THREADS, timeout=30)
+        verdicts = [None] * self.THREADS
+
+        def contender(slot):
+            barrier.wait()
+            try:
+                verdicts[slot] = breaker.admit("space", "fp")
+            except CircuitOpenError as exc:
+                verdicts[slot] = exc
+
+        threads = [
+            threading.Thread(target=contender, args=(slot,))
+            for slot in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert all(verdict is not None for verdict in verdicts)
+        return verdicts
+
+    def _opened_and_cooled(self, clock, mode):
+        breaker = CircuitBreaker(
+            threshold=1, cooldown_ms=1_000, mode=mode, clock=clock
+        )
+        breaker.record_failure("space", "fp")
+        clock.advance_ms(1_500)  # past the cooldown: next admit probes
+        return breaker
+
+    def test_fail_fast_admits_exactly_one_probe(self, clock):
+        breaker = self._opened_and_cooled(clock, FAIL_FAST)
+        verdicts = self._race_admits(breaker)
+        assert verdicts.count(PROBE) == 1
+        followers = [v for v in verdicts if v is not PROBE]
+        assert len(followers) == self.THREADS - 1
+        assert all(
+            isinstance(follower, CircuitOpenError)
+            for follower in followers
+        )
+
+    def test_pin_naive_admits_one_probe_pins_the_rest(self, clock):
+        breaker = self._opened_and_cooled(clock, PIN_NAIVE)
+        verdicts = self._race_admits(breaker)
+        assert verdicts.count(PROBE) == 1
+        assert verdicts.count(PINNED) == self.THREADS - 1
+
+    def test_probe_slot_reopens_for_the_next_cooldown(self, clock):
+        """After the racing probe *fails*, the circuit is open again:
+        a second race (post-cooldown) still admits exactly one."""
+        breaker = self._opened_and_cooled(clock, FAIL_FAST)
+        first = self._race_admits(breaker)
+        assert first.count(PROBE) == 1
+        breaker.record_failure("space", "fp")  # the probe failed
+        clock.advance_ms(1_500)
+        second = self._race_admits(breaker)
+        assert second.count(PROBE) == 1
+
+
+class TestRetryHint:
+    def test_none_when_nothing_tracked(self, clock):
+        breaker = CircuitBreaker(clock=clock)
+        assert breaker.retry_hint_ms() is None
+
+    def test_none_while_closed_or_counting(self, clock):
+        breaker = CircuitBreaker(threshold=3, clock=clock)
+        breaker.record_failure("space", "fp")
+        assert breaker.retry_hint_ms() is None
+
+    def test_soonest_open_circuit_wins(self, clock):
+        breaker = CircuitBreaker(
+            threshold=1, cooldown_ms=1_000, clock=clock
+        )
+        breaker.record_failure("space", "fp1")
+        clock.advance_ms(600)
+        breaker.record_failure("algebra", "fp2")
+        hint = breaker.retry_hint_ms()
+        assert hint == pytest.approx(400)  # fp1 cools first
+
+    def test_none_once_cooldown_elapsed(self, clock):
+        """An elapsed cooldown means the next attempt is the recovery
+        probe; admission must let it through, so no hint is given."""
+        breaker = CircuitBreaker(
+            threshold=1, cooldown_ms=1_000, clock=clock
+        )
+        breaker.record_failure("space", "fp")
+        assert breaker.retry_hint_ms() == pytest.approx(1_000)
+        clock.advance_ms(1_500)
+        assert breaker.retry_hint_ms() is None

@@ -30,15 +30,15 @@ class TestStepBudgetThroughEngine:
             with pytest.raises(DeadlineExceededError) as info:
                 engine.space(two_unary.schema, two_unary.assignment)
         assert info.value.max_steps == 1
-        assert engine.stats()["artifacts"]["space"]["deadline_hits"] == 1
-        assert engine.stats()["artifacts"]["space"]["degradations"] == 0
+        assert engine.stats()["artifacts"]["memory"]["space"]["deadline_hits"] == 1
+        assert engine.stats()["artifacts"]["memory"]["space"]["degradations"] == 0
 
     def test_generous_budget_still_completes(self, two_unary, kernel):
         engine = Engine(max_steps=10_000_000)
         with use_kernel(kernel):
             space = engine.space(two_unary.schema, two_unary.assignment)
         assert len(space.states) > 0
-        assert engine.stats()["artifacts"]["space"]["deadline_hits"] == 0
+        assert engine.stats()["artifacts"]["memory"]["space"]["deadline_hits"] == 0
 
 
 class TestWallClockThroughEngine:
@@ -50,7 +50,7 @@ class TestWallClockThroughEngine:
         with pytest.raises(DeadlineExceededError) as info:
             engine.space(two_unary.schema, two_unary.assignment)
         assert info.value.deadline_ms == 0.0
-        assert engine.stats()["artifacts"]["space"]["deadline_hits"] == 1
+        assert engine.stats()["artifacts"]["memory"]["space"]["deadline_hits"] == 1
 
     def test_environment_deadline(self, two_unary, monkeypatch):
         monkeypatch.setattr("repro.resilience.guard._CLOCK_CHECK_EVERY", 1)
@@ -83,7 +83,7 @@ class TestGuardScoping:
         with guarded(ExecutionGuard()):
             space = engine.space(two_unary.schema, two_unary.assignment)
         assert len(space.states) > 0
-        assert engine.stats()["artifacts"]["space"]["deadline_hits"] == 0
+        assert engine.stats()["artifacts"]["memory"]["space"]["deadline_hits"] == 0
 
     def test_outer_budget_spans_nested_derivations(self, two_unary):
         engine = Engine()
@@ -120,4 +120,4 @@ class TestBudgetErrorPayload:
         message = str(info.value)
         assert repr(two_unary.schema.name) in message
         assert "budget of 2" in message
-        assert engine.stats()["artifacts"]["space"]["degradations"] == 0
+        assert engine.stats()["artifacts"]["memory"]["space"]["degradations"] == 0

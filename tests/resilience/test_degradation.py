@@ -37,7 +37,7 @@ class TestDegradedAnalysis:
         view = projection_view(small_chain, ("A", "B", "D"))
         with use_kernel(BITSET), inject(bitset_analysis_fault()):
             degraded = engine.analysis(view, small_space)
-        assert engine.stats()["artifacts"]["analysis"]["degradations"] == 1
+        assert engine.stats()["artifacts"]["memory"]["analysis"]["degradations"] == 1
 
         with use_kernel(NAIVE):
             clean = analyze_view(view, small_space)
@@ -60,7 +60,7 @@ class TestDegradedAnalysis:
         with use_kernel(BITSET):  # same key, no faults active
             again = engine.analysis(view, small_space)
         assert again is degraded
-        counters = engine.stats()["artifacts"]["analysis"]
+        counters = engine.stats()["artifacts"]["memory"]["analysis"]
         assert counters["hits"] == 1
         assert counters["degradations"] == 1
 
@@ -72,7 +72,7 @@ class TestBulkLadder:
         view = projection_view(small_chain, ("A", "B", "D"))
         with use_kernel(BULK), inject(plan):
             degraded = engine.analysis(view, small_space)
-        assert engine.stats()["artifacts"]["analysis"]["degradations"] == 1
+        assert engine.stats()["artifacts"]["memory"]["analysis"]["degradations"] == 1
 
         with use_kernel(NAIVE):
             clean = analyze_view(view, small_space)
@@ -96,7 +96,7 @@ class TestBulkLadder:
         assert "InjectedFault" in error.bitset_traceback
         assert "InjectedFault" in error.naive_traceback
         # Two failed retries, one per lower rung attempted.
-        assert engine.stats()["artifacts"]["space"]["degradations"] == 2
+        assert engine.stats()["artifacts"]["memory"]["space"]["degradations"] == 2
 
 
 class TestBothRungsFailing:
@@ -111,7 +111,7 @@ class TestBothRungsFailing:
         assert "InjectedFault" in error.bitset_traceback
         assert "InjectedFault" in error.naive_traceback
         # The failed retry still counts as a degradation attempt.
-        assert engine.stats()["artifacts"]["space"]["degradations"] == 1
+        assert engine.stats()["artifacts"]["memory"]["space"]["degradations"] == 1
 
     def test_kernel_failure_is_a_typed_error(self):
         assert issubclass(KernelFailureError, ResilienceError)
@@ -130,7 +130,7 @@ class TestNaiveModeFailures:
                     engine.space(two_unary.schema, two_unary.assignment)
         assert info.value.bitset_traceback == ""
         assert "InjectedFault" in info.value.naive_traceback
-        assert engine.stats()["artifacts"]["space"]["degradations"] == 0
+        assert engine.stats()["artifacts"]["memory"]["space"]["degradations"] == 0
 
 
 class TestTypedErrorsPassThrough:
@@ -142,7 +142,7 @@ class TestTypedErrorsPassThrough:
             engine.space(
                 two_unary.schema, two_unary.assignment, max_candidates=2
             )
-        assert engine.stats()["artifacts"]["space"]["degradations"] == 0
+        assert engine.stats()["artifacts"]["memory"]["space"]["degradations"] == 0
 
 
 class TestDegradationAcrossExperiments:

@@ -1,0 +1,159 @@
+"""AsyncSession: the bridge between the event loop and the engine."""
+
+import asyncio
+
+import pytest
+
+from repro.engine.engine import Engine
+from repro.errors import DeadlineExceededError, ServingError
+from repro.serving.session import AsyncSession
+
+
+def make_async_session(spec, engine=None):
+    return AsyncSession(
+        engine if engine is not None else Engine(),
+        spec.schema,
+        spec.assignment,
+        space_source=spec.space_source,
+        max_workers=2,
+    )
+
+
+class TestWarmup:
+    def test_unwarmed_session_property_fails_typed(self, spec):
+        wrapper = make_async_session(spec)
+        try:
+            with pytest.raises(ServingError):
+                wrapper.session
+        finally:
+            wrapper.close()
+
+    def test_warmup_binds_a_working_session(self, spec):
+        async def scenario():
+            wrapper = make_async_session(spec)
+            try:
+                await wrapper.warmup(spec.views, spec.candidates)
+                request = spec.sample_requests[0]
+                outcome = await wrapper.update(
+                    request.view, request.base, request.target
+                )
+                return outcome.accepted
+            finally:
+                wrapper.close()
+
+        assert asyncio.run(scenario()) is True
+
+    def test_warmup_uses_the_closed_form_generator(self, spec):
+        """The served universe is too large to enumerate; warmup must
+        go through ``space_from`` (a generator build), not ``space``."""
+        async def scenario():
+            engine = Engine()
+            wrapper = make_async_session(spec, engine)
+            try:
+                await wrapper.warmup(spec.views, spec.candidates)
+                return engine.stats()["artifacts"]["memory"]
+            finally:
+                wrapper.close()
+
+        memory = asyncio.run(scenario())
+        assert memory["space"]["builds"] == 1
+
+
+class TestUpdateServicing:
+    def test_formal_rejection_is_an_outcome_not_an_error(self, spec):
+        async def scenario():
+            wrapper = make_async_session(spec)
+            try:
+                await wrapper.warmup(spec.views, spec.candidates)
+                request = spec.sample_requests[2]
+                return await wrapper.update(
+                    request.view, request.base, request.target
+                )
+            finally:
+                wrapper.close()
+
+        outcome = asyncio.run(scenario())
+        assert outcome.accepted is False
+        assert outcome.reason == "illegal-view-state"
+
+    def test_expired_deadline_fails_typed_without_executor_work(
+        self, spec
+    ):
+        async def scenario():
+            wrapper = make_async_session(spec)
+            # Deliberately NOT warmed: if the expired deadline ever
+            # reached the executor, session.update would raise
+            # ServingError instead of the deadline error.
+            try:
+                request = spec.sample_requests[0]
+                with pytest.raises(DeadlineExceededError) as excinfo:
+                    await wrapper.update(
+                        request.view,
+                        request.base,
+                        request.target,
+                        deadline_ms=0.0,
+                    )
+                return excinfo.value
+            finally:
+                wrapper.close()
+
+        error = asyncio.run(scenario())
+        assert error.deadline_ms == 0.0
+        assert "admission queue" in str(error)
+
+    def test_generous_deadline_succeeds(self, spec):
+        async def scenario():
+            wrapper = make_async_session(spec)
+            try:
+                await wrapper.warmup(spec.views, spec.candidates)
+                request = spec.sample_requests[0]
+                outcome = await wrapper.update(
+                    request.view,
+                    request.base,
+                    request.target,
+                    deadline_ms=60_000.0,
+                )
+                return outcome.accepted
+            finally:
+                wrapper.close()
+
+        assert asyncio.run(scenario()) is True
+
+    def test_concurrent_updates_share_the_warm_session(self, spec):
+        async def scenario():
+            wrapper = make_async_session(spec)
+            try:
+                await wrapper.warmup(spec.views, spec.candidates)
+                request = spec.sample_requests[0]
+                outcomes = await asyncio.gather(
+                    *(
+                        wrapper.update(
+                            request.view, request.base, request.target
+                        )
+                        for _ in range(8)
+                    )
+                )
+                return [outcome.accepted for outcome in outcomes]
+            finally:
+                wrapper.close()
+
+        assert asyncio.run(scenario()) == [True] * 8
+
+
+class TestStats:
+    def test_stats_snapshot_taken_off_loop(self, spec):
+        async def scenario():
+            wrapper = make_async_session(spec)
+            try:
+                await wrapper.warmup(spec.views, spec.candidates)
+                return await wrapper.stats()
+            finally:
+                wrapper.close()
+
+        snapshot = asyncio.run(scenario())
+        assert set(snapshot) == {"artifacts", "breaker"}
+        assert set(snapshot["artifacts"]) == {
+            "memory",
+            "backend",
+            "leases",
+        }
