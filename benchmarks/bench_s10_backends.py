@@ -1,30 +1,44 @@
 """S10: fleet throughput of the artifact-store persistence backends.
 
 N forked processes contend for one shared artifact store -- the
-pickle-directory backend and the SQLite backend in turn -- and each
-process requests the same M expensive artifacts:
+pickle-directory backend, the SQLite backend, and the remote HTTP
+backend in turn -- and each process requests the same M expensive
+artifacts:
 
 * **cold**: the store location is empty; the cross-process leases must
   arrange *exactly once* building fleet-wide (M builds total, not
   ``N x M``), everyone else reading the winner's envelope;
 * **warm**: a second fleet over the same location; every request must
-  be served from the backend, zero builds fleet-wide.
+  be served from the backend, zero builds fleet-wide;
+* **chaos** (remote only): a cold fleet through a
+  :class:`~repro.resilience.chaosproxy.ChaosProxy` injecting resets,
+  truncations, corruption, and latency.  Retries and re-fetches must
+  preserve exactly-once builds and byte-identical results with zero
+  untyped errors -- the wire is hostile, the verdicts are not.
+
+The remote rows run against a live ``python -m repro.artifactd``
+subprocess (``--port=0``; the readiness line on stdout carries the
+bound port), so the benchmark exercises the real wire, not an
+in-process shortcut.  Every fleet row also records the p50/p99
+per-request latency so the chaos tax is visible next to the clean-wire
+number.
 
 ``python benchmarks/bench_s10_backends.py`` runs the full matrix and
-writes ``bench_s10_backends.json`` at the repo root (workers,
-artifacts, per-backend cold/warm wall-clock and request throughput,
-and the fleet-wide build counts proving exactly-once).  The pytest
-entry point runs a reduced configuration as an acceptance gate.
+writes ``bench_s10_backends.json`` at the repo root.  The pytest entry
+points run reduced configurations as acceptance gates.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import multiprocessing
 import os
+import subprocess
 import sys
 import tempfile
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 sys.path.insert(
@@ -33,6 +47,7 @@ sys.path.insert(
 
 from repro.engine.backends import create_backend  # noqa: E402
 from repro.engine.store import ArtifactKey, ArtifactStore  # noqa: E402
+from repro.resilience.chaosproxy import ChaosProxy  # noqa: E402
 
 WORKERS = 4
 ARTIFACTS = 6
@@ -41,12 +56,25 @@ ARTIFACTS = 6
 #: exactly-once assertion on throughput grounds alone.
 BUILD_SECONDS = 0.05
 
+#: Wire-fate mix for the chaos row: every failure mode at once, rates
+#: low enough that a generous retry budget keeps the lease protocol
+#: and the GET/PUT paths converging (the point is survival, not DoS).
+CHAOS_RATES = {
+    "reset_rate": 0.05,
+    "truncate_rate": 0.05,
+    "corrupt_rate": 0.05,
+    "latency_rate": 0.10,
+    "latency_s": 0.005,
+}
+#: Retry budget for the chaos fleet (clean-wire fleets use default 3).
+CHAOS_IO_ATTEMPTS = 6
+
 
 def _payload(index: int) -> dict:
     return {"artifact": index, "rows": [(i, i * i) for i in range(200)]}
 
 
-def _fleet_worker(backend_name, url, barrier, queue):
+def _fleet_worker(backend_name, url, barrier, queue, io_attempts):
     """One process of the fleet: request every contended artifact."""
     from repro.resilience.faults import install_plan
 
@@ -54,7 +82,9 @@ def _fleet_worker(backend_name, url, barrier, queue):
 
     # The backend is constructed inside the child on purpose: SQLite
     # connections (and any backend handle) are not fork-safe.
-    store = ArtifactStore(backend=create_backend(backend_name, url))
+    store = ArtifactStore(
+        backend=create_backend(backend_name, url, io_attempts=io_attempts)
+    )
 
     def builder(index):
         time.sleep(BUILD_SECONDS)
@@ -62,17 +92,27 @@ def _fleet_worker(backend_name, url, barrier, queue):
 
     barrier.wait(timeout=60)
     started = time.perf_counter()
+    latencies = []
+    digest = hashlib.sha256()
     for index in range(ARTIFACTS):
         key = ArtifactKey("space", f"contended-{index:04d}", "bulk")
+        request_started = time.perf_counter()
         value = store.get_or_build(
             key, lambda index=index: builder(index), persist=True
         )
+        latencies.append(time.perf_counter() - request_started)
         assert value == _payload(index)
+        # Canonical bytes of what this worker *got*: every member of
+        # the fleet must end up with byte-identical artifacts whatever
+        # the wire did to the envelopes in between.
+        digest.update(json.dumps(value, sort_keys=True).encode("ascii"))
     elapsed = time.perf_counter() - started
     snapshot = store.stats()
     queue.put(
         {
             "elapsed": elapsed,
+            "latencies": latencies,
+            "digest": digest.hexdigest(),
             "builds": snapshot["memory"]
             .get("space", {})
             .get("builds", 0),
@@ -86,14 +126,26 @@ def _fleet_worker(backend_name, url, barrier, queue):
     )
 
 
-def run_fleet(backend_name: str, url: str, workers: int = WORKERS) -> dict:
+def _percentile_ms(samples, fraction: float) -> float:
+    ranked = sorted(samples)
+    index = min(len(ranked) - 1, int(fraction * (len(ranked) - 1) + 0.5))
+    return round(ranked[index] * 1e3, 2)
+
+
+def run_fleet(
+    backend_name: str,
+    url: str,
+    workers: int = WORKERS,
+    io_attempts: int = 3,
+) -> dict:
     """One fleet pass; returns aggregated counters and wall-clock."""
     mp = multiprocessing.get_context("fork")
     barrier = mp.Barrier(workers)
     queue = mp.Queue()
     processes = [
         mp.Process(
-            target=_fleet_worker, args=(backend_name, url, barrier, queue)
+            target=_fleet_worker,
+            args=(backend_name, url, barrier, queue, io_attempts),
         )
         for _ in range(workers)
     ]
@@ -105,16 +157,26 @@ def run_fleet(backend_name: str, url: str, workers: int = WORKERS) -> dict:
         process.join(timeout=60)
         assert process.exitcode == 0, f"worker died: {process.exitcode}"
     wall = time.perf_counter() - started
+    digests = {report["digest"] for report in reports}
+    assert len(digests) == 1, (
+        f"{backend_name}: fleet artifact digests diverged: {digests}"
+    )
+    latencies = [
+        sample for report in reports for sample in report["latencies"]
+    ]
     requests = workers * ARTIFACTS
     return {
         "wall_seconds": round(wall, 4),
         "requests": requests,
         "throughput_rps": round(requests / wall, 1),
+        "latency_p50_ms": _percentile_ms(latencies, 0.50),
+        "latency_p99_ms": _percentile_ms(latencies, 0.99),
         "fleet_builds": sum(report["builds"] for report in reports),
         "fleet_disk_hits": sum(report["disk_hits"] for report in reports),
         "lease_timeouts": sum(
             report["lease_timeouts"] for report in reports
         ),
+        "digest": digests.pop(),
     }
 
 
@@ -139,7 +201,75 @@ def bench_backend(backend_name: str) -> dict:
         f"{warm['fleet_builds']} artifact(s)"
     )
     assert warm["fleet_disk_hits"] == WORKERS * ARTIFACTS
+    assert cold["digest"] == warm["digest"]
     return {"cold": cold, "warm": warm}
+
+
+# -- the remote rows: a real artifactd subprocess ---------------------------
+
+
+@contextmanager
+def live_artifactd():
+    """A ``python -m repro.artifactd --port=0`` subprocess, then SIGTERM.
+
+    Yields ``(url, process)``; the readiness JSON line on stdout
+    carries the OS-assigned port so nothing races the bind.
+    """
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.artifactd", "--port=0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    try:
+        ready = json.loads(process.stdout.readline())
+        assert ready["serving"] is True
+        yield f"http://{ready['host']}:{ready['port']}", ready
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
+        process.stdout.close()
+
+
+def bench_remote() -> dict:
+    """Remote cold/warm over a clean wire, then a cold fleet under chaos.
+
+    The chaos row uses a *fresh* server so the builds themselves --
+    leases, PUTs, contended GETs -- all cross the hostile wire; the
+    clean rows share one server so the warm pass proves server-side
+    hits.
+    """
+    with live_artifactd() as (url, ready):
+        cold = run_fleet("remote", url)
+        warm = run_fleet("remote", url)
+    assert cold["fleet_builds"] == ARTIFACTS
+    assert warm["fleet_builds"] == 0
+    assert warm["fleet_disk_hits"] == WORKERS * ARTIFACTS
+    assert cold["digest"] == warm["digest"]
+
+    with live_artifactd() as (url, ready):
+        with ChaosProxy(
+            ready["host"], ready["port"], seed=7, **CHAOS_RATES
+        ) as proxy:
+            chaos = run_fleet(
+                "remote", proxy.url, io_attempts=CHAOS_IO_ATTEMPTS
+            )
+            chaos["proxy_counters"] = dict(proxy.counters)
+    assert chaos["fleet_builds"] == ARTIFACTS, (
+        "chaos fleet lost exactly-once:"
+        f" {chaos['fleet_builds']} builds fleet-wide"
+    )
+    assert chaos["digest"] == cold["digest"]
+    faults_fired = sum(
+        chaos["proxy_counters"][fate]
+        for fate in ("reset", "truncate", "corrupt", "latency")
+    )
+    assert faults_fired > 0, "the chaos wire never misbehaved"
+    return {"cold": cold, "warm": warm, "chaos": chaos}
 
 
 def main() -> int:
@@ -147,6 +277,7 @@ def main() -> int:
         "workers": WORKERS,
         "artifacts": ARTIFACTS,
         "build_seconds_each": BUILD_SECONDS,
+        "chaos_rates": CHAOS_RATES,
         "backends": {},
     }
     for backend_name in ("local", "sqlite"):
@@ -157,11 +288,23 @@ def main() -> int:
         print(
             f"  cold: {cold['wall_seconds']}s"
             f" ({cold['throughput_rps']} req/s,"
+            f" p99 {cold['latency_p99_ms']}ms,"
             f" {cold['fleet_builds']} builds fleet-wide)"
         )
         print(
             f"  warm: {warm['wall_seconds']}s"
-            f" ({warm['throughput_rps']} req/s, 0 builds)"
+            f" ({warm['throughput_rps']} req/s,"
+            f" p99 {warm['latency_p99_ms']}ms, 0 builds)"
+        )
+    print("[S10] remote: cold + warm + chaos fleet vs live artifactd ...")
+    results["backends"]["remote"] = bench_remote()
+    for row_name in ("cold", "warm", "chaos"):
+        row = results["backends"]["remote"][row_name]
+        print(
+            f"  {row_name}: {row['wall_seconds']}s"
+            f" ({row['throughput_rps']} req/s,"
+            f" p99 {row['latency_p99_ms']}ms,"
+            f" {row['fleet_builds']} builds fleet-wide)"
         )
     results["generated_at"] = time.strftime(
         "%Y-%m-%dT%H:%M:%S", time.gmtime()
@@ -174,7 +317,7 @@ def main() -> int:
 
 def test_s10_fleet_exactly_once_both_backends(tmp_path):
     """Acceptance gate: cold fleets build exactly once fleet-wide and
-    warm fleets build nothing, on both backends."""
+    warm fleets build nothing, on both local backends."""
     for backend_name in ("local", "sqlite"):
         url = _store_url(backend_name, str(tmp_path / backend_name))
         os.makedirs(os.path.dirname(url) or url, exist_ok=True)
@@ -183,6 +326,19 @@ def test_s10_fleet_exactly_once_both_backends(tmp_path):
         assert cold["fleet_builds"] == ARTIFACTS
         assert warm["fleet_builds"] == 0
         assert warm["fleet_disk_hits"] == 3 * ARTIFACTS
+
+
+def test_s10_remote_fleet_exactly_once():
+    """Acceptance gate: a 3-worker fleet against a live artifactd
+    subprocess builds exactly once fleet-wide with identical digests,
+    cold and warm."""
+    with live_artifactd() as (url, _ready):
+        cold = run_fleet("remote", url, workers=3)
+        warm = run_fleet("remote", url, workers=3)
+    assert cold["fleet_builds"] == ARTIFACTS
+    assert warm["fleet_builds"] == 0
+    assert warm["fleet_disk_hits"] == 3 * ARTIFACTS
+    assert cold["digest"] == warm["digest"]
 
 
 if __name__ == "__main__":

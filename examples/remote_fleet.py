@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""A multi-process fleet sharing one remote artifact server.
+
+Walks the full lifecycle of the distributed artifact tier:
+
+1. **boot** -- launch ``python -m repro.artifactd --port=0`` as a real
+   subprocess and read its readiness line for the bound port;
+2. **cold fleet** -- fork three workers that each compile the same
+   session (state space, poset, component algebra, update procedure)
+   against ``REPRO_STORE_BACKEND=remote``.  The server's lease
+   endpoint serialises the builders, so the expensive derivations
+   happen exactly once fleet-wide;
+3. **warm start** -- a fourth session in this process is served
+   entirely from the server's envelopes: zero local builds;
+4. **outage** -- the server is killed and a client configured with a
+   spill directory (``REPRO_REMOTE_SPILL_DIR``) keeps serving correct
+   verdicts through its local spill tier, surfacing only a
+   :class:`~repro.engine.backends.BackendDegradedWarning`.
+
+Run:  python examples/remote_fleet.py
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+import tempfile
+import warnings
+from pathlib import Path
+
+from repro.decomposition.projections import projection_view
+from repro.engine.backends import BackendDegradedWarning, RemoteBackend
+from repro.engine.engine import Engine
+from repro.typealgebra.algebra import NULL
+from repro.workloads.scenarios import abcd_chain_small
+
+WORKERS = 3
+
+
+def show(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def launch_artifactd() -> tuple[subprocess.Popen, str]:
+    """Start the artifact server; return (process, base URL)."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.artifactd", "--port=0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    ready = json.loads(process.stdout.readline())
+    url = f"http://{ready['host']}:{ready['port']}"
+    print(f"artifactd serving at {url} (pid {process.pid})")
+    return process, url
+
+
+def run_session(backend: RemoteBackend) -> tuple[list, dict]:
+    """One full session: compile, update through Γ_ABD, report stats."""
+    chain = abcd_chain_small()
+    engine = Engine(backend=backend)
+    space = engine.space_from(chain)
+    session = engine.session(chain.schema, chain.assignment, space)
+    session.register_view(projection_view(chain, ("A", "B", "D")))
+    session.build_component_algebra(chain.all_component_views())
+    state = chain.state_from_edges(
+        [{("a1", "b1")}, set(), {("c1", "d1")}]
+    )
+    view = session.view("Γ_ABD")
+    view_state = view.apply(state, chain.assignment)
+    target = view_state.deleting("R_ABD", ("a1", "b1", NULL))
+    outcome = session.update("Γ_ABD", state, target)
+    verdicts = [(outcome.accepted, outcome.reason)]
+    return verdicts, engine.store.stats()
+
+
+def _count_builds(stats: dict) -> int:
+    return sum(
+        kind.get("builds", 0) for kind in stats["memory"].values()
+    )
+
+
+def _fleet_worker(url: str, queue) -> None:
+    backend = RemoteBackend(url)
+    backend.open()
+    verdicts, stats = run_session(backend)
+    queue.put({"verdicts": verdicts, "builds": _count_builds(stats)})
+
+
+def main() -> int:
+    show("1. Boot: a real artifactd subprocess on an ephemeral port")
+    server, url = launch_artifactd()
+    try:
+        show(f"2. Cold fleet: {WORKERS} forked workers, one server")
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        processes = [
+            ctx.Process(target=_fleet_worker, args=(url, queue))
+            for _ in range(WORKERS)
+        ]
+        for process in processes:
+            process.start()
+        reports = [queue.get(timeout=120) for _ in processes]
+        for process in processes:
+            process.join(timeout=60)
+        fleet_builds = sum(report["builds"] for report in reports)
+        verdict_sets = {tuple(r["verdicts"][0]) for r in reports}
+        print(f"fleet-wide builds: {fleet_builds}")
+        print(f"distinct verdicts across workers: {len(verdict_sets)}")
+        assert len(verdict_sets) == 1, "fleet verdicts diverged"
+
+        show("3. Warm start: this process serves from the fleet's work")
+        backend = RemoteBackend(url)
+        backend.open()
+        verdicts, stats = run_session(backend)
+        print(f"local builds this session: {_count_builds(stats)}")
+        print(f"remote hits: {backend.stats()['remote_hits']}")
+        print(f"verdict: {verdicts[0]}")
+    finally:
+        show("4. Outage: the server dies; the spill tier carries on")
+        server.terminate()
+        server.wait(timeout=30)
+        server.stdout.close()
+    with tempfile.TemporaryDirectory(prefix="repro-spill-") as spill:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            backend = RemoteBackend(url, io_attempts=1, spill_dir=spill)
+            backend.open()
+            degraded_verdicts, _ = run_session(backend)
+        degradations = [
+            w for w in caught
+            if issubclass(w.category, BackendDegradedWarning)
+        ]
+        print(f"warnings surfaced: {len(degradations)} (degraded, typed)")
+        print(f"spill puts: {backend.stats()['spill_puts']}")
+        print(f"verdict under outage: {degraded_verdicts[0]}")
+        assert degraded_verdicts == verdicts, "outage changed a verdict"
+    print()
+    print("Same verdicts cold, warm, and through an outage -- the")
+    print("artifact tier accelerates sessions but never decides them.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,8 +13,9 @@ artifacts* behind one facade:
   single-flight coalescing, dependency-aware invalidation,
   hit/miss/build-time counters) composing a persistence backend;
 * :mod:`repro.engine.backends` -- the
-  :class:`~repro.engine.backends.ArtifactBackend` protocol and its two
-  implementations (pickle directory, SQLite database), selected by
+  :class:`~repro.engine.backends.ArtifactBackend` protocol and its
+  implementations (pickle directory, SQLite database, remote HTTP
+  artifact server), selected by
   ``REPRO_STORE_BACKEND``/``REPRO_STORE_URL`` or the legacy
   ``REPRO_CACHE_DIR``;
 * :mod:`repro.engine.engine` -- the :class:`~repro.engine.engine.Engine`
@@ -54,6 +55,7 @@ __all__ = [
     "ArtifactBackend",
     "BackendDegradedWarning",
     "LocalDirBackend",
+    "RemoteBackend",
     "SQLiteBackend",
     "STORE_BACKEND_ENV_VAR",
     "STORE_URL_ENV_VAR",
@@ -72,6 +74,7 @@ _BACKEND_EXPORTS = {
     "ArtifactBackend",
     "BackendDegradedWarning",
     "LocalDirBackend",
+    "RemoteBackend",
     "SQLiteBackend",
     "STORE_BACKEND_ENV_VAR",
     "STORE_URL_ENV_VAR",

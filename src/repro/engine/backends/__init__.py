@@ -11,13 +11,17 @@ envelopes live* is delegated to an
 * :class:`~repro.engine.backends.sqlitedb.SQLiteBackend` -- one shared
   SQLite database (WAL mode, ``BEGIN IMMEDIATE`` writes,
   fingerprint-sharded namespace) safe for a fleet of processes on one
-  file or NFS mount.
+  file or NFS mount;
+* :class:`~repro.engine.backends.remote.RemoteBackend` -- a shared
+  :mod:`repro.artifactd` HTTP server, safe for a fleet of processes on
+  *different hosts*, with deadlines, jittered retry, a circuit
+  breaker, and a local write-behind spill tier for outages.
 
 Selection: pass a backend to ``Engine(backend=...)`` /
 ``ArtifactStore(backend=...)``, or configure the environment --
-``REPRO_STORE_BACKEND=local|sqlite`` names the implementation and
-``REPRO_STORE_URL`` its location (a directory for ``local``, a
-database file for ``sqlite``).  Explicit constructor arguments beat
+``REPRO_STORE_BACKEND=local|sqlite|remote`` names the implementation
+and ``REPRO_STORE_URL`` its location (a directory for ``local``, a
+database file for ``sqlite``, an ``http(s)://`` URL for ``remote``).  Explicit constructor arguments beat
 the environment; ``REPRO_CACHE_DIR`` keeps working as the legacy
 spelling of a local backend.  A backend that fails to *open* degrades
 the store to memory-only with a typed warning counter -- persistence
@@ -44,6 +48,7 @@ from repro.engine.backends.envelope import (
     wrap_payload,
 )
 from repro.engine.backends.localdir import LocalDirBackend
+from repro.engine.backends.remote import RemoteBackend
 from repro.engine.backends.sqlitedb import SQLiteBackend
 from repro.errors import BackendConfigError
 
@@ -55,6 +60,7 @@ __all__ = [
     "GetResult",
     "HEADER",
     "LocalDirBackend",
+    "RemoteBackend",
     "SQLiteBackend",
     "STORE_BACKEND_ENV_VAR",
     "STORE_URL_ENV_VAR",
@@ -70,7 +76,7 @@ STORE_BACKEND_ENV_VAR = "REPRO_STORE_BACKEND"
 #: Environment variable locating it (directory or database file).
 STORE_URL_ENV_VAR = "REPRO_STORE_URL"
 
-_BACKEND_NAMES = ("local", "sqlite")
+_BACKEND_NAMES = ("local", "sqlite", "remote")
 
 
 def create_backend(
@@ -93,17 +99,22 @@ def create_backend(
             f" {_BACKEND_NAMES}"
         )
     if not url:
+        locations = {
+            "local": " cache directory",
+            "sqlite": " database file path",
+            "remote": "n http(s):// artifact-server URL",
+        }
         raise BackendConfigError(
             f"artifact backend {normalized!r} needs a location: set"
             f" {STORE_URL_ENV_VAR} (or pass a URL) to a"
-            + (
-                " cache directory"
-                if normalized == "local"
-                else " database file path"
-            )
+            + locations[normalized]
         )
     if normalized == "local":
         return LocalDirBackend(
+            url, io_attempts=io_attempts, io_backoff=io_backoff, sleep=sleep
+        )
+    if normalized == "remote":
+        return RemoteBackend(
             url, io_attempts=io_attempts, io_backoff=io_backoff, sleep=sleep
         )
     return SQLiteBackend(

@@ -37,12 +37,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Protocol, runtime_checkable
 
 from repro.engine.keys import ArtifactKey
-from repro.resilience.locks import FileLease
 
 __all__ = [
     "ArtifactBackend",
     "BackendDegradedWarning",
     "GetResult",
+    "Lease",
     "PutResult",
 ]
 
@@ -76,6 +76,33 @@ class PutResult:
 
 
 @runtime_checkable
+class Lease(Protocol):
+    """What the store needs from a cross-process lease, structurally.
+
+    :class:`~repro.resilience.locks.FileLease` (file media) and
+    :class:`~repro.engine.backends.remote.RemoteLease` (HTTP media)
+    both satisfy this: ``acquire`` never raises and answers whether we
+    are the builder, ``release`` is a best-effort no-op-on-failure, and
+    the three flags tell the store what contention looked like so it
+    can count it.  Every failure mode degrades to building unleased --
+    a lease is advisory on any medium.
+    """
+
+    #: True if at least one backoff wait happened (contention).
+    waited: bool
+    #: True if a stale/expired holder's lease was taken over.
+    took_over: bool
+    #: True if the wait budget ran out behind a live holder.
+    timed_out: bool
+
+    def acquire(self) -> bool:
+        """Try to take the lease; never raises, never waits past TTL."""
+
+    def release(self) -> None:
+        """Give the lease back (no-op unless held); never raises."""
+
+
+@runtime_checkable
 class ArtifactBackend(Protocol):
     """Pluggable persistence tier behind the artifact store."""
 
@@ -105,7 +132,7 @@ class ArtifactBackend(Protocol):
     def stats(self) -> Dict[str, object]:
         """Backend-level counters and identity for the stats snapshot."""
 
-    def lease_for(self, key: ArtifactKey) -> Optional[FileLease]:
+    def lease_for(self, key: ArtifactKey) -> Optional[Lease]:
         """A cross-process lease scoped to *key*, or ``None``."""
 
 

@@ -24,6 +24,7 @@ __all__ = [
     "ENVELOPE_VERSION",
     "HEADER",
     "unwrap_payload",
+    "validate_envelope_structure",
     "wrap_payload",
 ]
 
@@ -69,3 +70,24 @@ def unwrap_payload(blob: bytes) -> Optional[bytes]:
     if hashlib.sha256(payload).digest() != digest:
         return None
     return payload
+
+
+def validate_envelope_structure(blob: bytes) -> bool:
+    """Whether *blob* is structurally a sound envelope, version aside.
+
+    The artifact server gates uploads on this check: magic, payload
+    length, and checksum must hold so a torn upload cannot poison the
+    store -- but the *version* byte is deliberately not compared, so a
+    mixed-version fleet can share one server.  Version skew stays the
+    reading client's call (:func:`unwrap_payload` treats it as a silent
+    miss).
+    """
+    if len(blob) < HEADER.size:
+        return False
+    magic, _version, length, digest = HEADER.unpack_from(blob)
+    if magic != ENVELOPE_MAGIC:
+        return False
+    payload = blob[HEADER.size :]
+    if len(payload) != length:
+        return False
+    return hashlib.sha256(payload).digest() == digest

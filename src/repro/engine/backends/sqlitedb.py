@@ -36,7 +36,7 @@ import sqlite3
 import threading
 import time
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Set
 
 from repro.engine.backends.base import GetResult, PutResult, RetryPolicy
 from repro.engine.backends.envelope import unwrap_payload, wrap_payload
@@ -45,7 +45,26 @@ from repro.errors import BackendUnavailableError
 from repro.resilience.faults import fault_check, fault_corrupt
 from repro.resilience.locks import FileLease, sweep_stale_lockfiles
 
-__all__ = ["SQLiteBackend"]
+__all__ = ["SQLiteBackend", "reset_lease_sweep_registry"]
+
+#: Lease directories already swept by this process, so the open-time
+#: dead-holder sweep is one-shot per database instead of per instance.
+#: Re-sweeping on every ``open()`` is not just wasted I/O: a fleet of
+#: forked workers opening the same database concurrently races its
+#: sweeps against siblings' fresh lease acquisitions over the same
+#: lockfile paths (the double-delete race the payload re-read guard in
+#: :func:`~repro.resilience.locks.sweep_stale_lockfiles` narrows).
+#: One-shot-per-path removes the systematic trigger; the explicit
+#: :meth:`SQLiteBackend.sweep` stays unconditional for callers that
+#: want an eager reclaim.
+_SWEPT_LEASE_DIRS: Set[str] = set()
+_SWEPT_LEASE_DIRS_LOCK = threading.Lock()
+
+
+def reset_lease_sweep_registry() -> None:
+    """Forget which lease dirs were swept (tests of the contract)."""
+    with _SWEPT_LEASE_DIRS_LOCK:
+        _SWEPT_LEASE_DIRS.clear()
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS artifacts (
@@ -89,7 +108,9 @@ class SQLiteBackend:
     def open(self) -> None:
         """Connect, migrate the schema, and sweep dead holders' leases.
 
-        Any failure -- unreachable path, corrupt database, injected
+        The lease sweep runs once per database path per process (see
+        :data:`_SWEPT_LEASE_DIRS`); later opens of the same database
+        skip it.  Any failure -- unreachable path, corrupt database, injected
         fault -- surfaces as the one typed error the protocol allows,
         :class:`~repro.errors.BackendUnavailableError`; the store
         degrades to memory-only.
@@ -117,7 +138,12 @@ class SQLiteBackend:
                 f" {type(exc).__name__}: {exc}"
             ) from exc
         self._conn = conn
-        self.sweep_reclaimed += sweep_stale_lockfiles(str(self._lease_dir()))
+        lease_dir = str(self._lease_dir())
+        with _SWEPT_LEASE_DIRS_LOCK:
+            first_opener = lease_dir not in _SWEPT_LEASE_DIRS
+            _SWEPT_LEASE_DIRS.add(lease_dir)
+        if first_opener:
+            self.sweep_reclaimed += sweep_stale_lockfiles(lease_dir)
 
     def close(self) -> None:
         """Release the connection (idempotent; mostly for tests)."""

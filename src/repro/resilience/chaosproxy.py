@@ -1,0 +1,286 @@
+"""A seeded in-process TCP chaos proxy for the remote artifact tier.
+
+Fault points (:mod:`repro.resilience.faults`) inject failures *inside*
+the client's code; the chaos proxy injects them *under* it, on the
+wire, where the client cannot tell them from a real flaky network.  A
+:class:`ChaosProxy` listens on a local port, forwards every connection
+to an upstream server (normally a live ``artifactd``), and -- per
+connection, decided by one seeded ``random.Random`` -- picks a fate:
+
+* ``pass`` -- forward both directions verbatim;
+* ``latency`` -- hold the response back for a fixed delay first (the
+  client's per-op deadline is what absorbs this);
+* ``reset`` -- accept the request, then close both sockets without
+  answering (the client sees a connection reset / empty reply);
+* ``truncate`` -- forward a prefix of the first response chunk, then
+  close (a torn response; the envelope checksum or the HTTP framing
+  catches it);
+* ``corrupt`` -- flip bits in the response bytes (caught by the
+  envelope checksum as a silent miss).
+
+``corrupt_requests=True`` additionally damages *request* bytes, which
+exercises the server's structural PUT gate (400) and the client's
+retry of it.  Because the RNG is seeded and urllib opens one
+connection per request, a fixed seed yields a fixed fate sequence --
+chaos runs are reproducible, not flaky.
+
+The proxy never coordinates with either side: it is plain sockets and
+threads, safe to run inside a test process, and counts what it did
+(:attr:`ChaosProxy.counters`) so suites can assert faults actually
+fired.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ChaosProxy"]
+
+_CHUNK = 65536
+
+#: Request bytes spared from corruption: roughly the header block, so
+#: a damaged request still parses and reaches the server's envelope
+#: gate instead of dying as framing garbage.
+_HEADER_GUARD = 256
+
+_PASS = "pass"
+_LATENCY = "latency"
+_RESET = "reset"
+_TRUNCATE = "truncate"
+_CORRUPT = "corrupt"
+
+
+class ChaosProxy:
+    """Forward TCP to *upstream*, injecting seeded wire-level faults."""
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        seed: int = 0,
+        latency_rate: float = 0.0,
+        latency_s: float = 0.05,
+        reset_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        corrupt_requests: bool = False,
+    ) -> None:
+        self.upstream = (upstream_host, upstream_port)
+        self.host = host
+        self.port = port
+        self.latency_rate = latency_rate
+        self.latency_s = latency_s
+        self.reset_rate = reset_rate
+        self.truncate_rate = truncate_rate
+        self.corrupt_rate = corrupt_rate
+        self.corrupt_requests = corrupt_requests
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = False
+        self.counters: Dict[str, int] = {
+            "connections": 0,
+            _PASS: 0,
+            _LATENCY: 0,
+            _RESET: 0,
+            _TRUNCATE: 0,
+            _CORRUPT: 0,
+            "request_corruptions": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._stopping = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        self._stopping = True
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            # reprolint: disable=RL008 -- socket teardown is best-effort; the accept loop exits on the closed fd either way
+            except OSError:
+                pass
+        thread, self._accept_thread = self._accept_thread, None
+        if thread is not None:
+            thread.join(timeout=5)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "ChaosProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- fate ------------------------------------------------------------------
+
+    def _pick_fate(self) -> Tuple[str, bool]:
+        """One connection's fate, drawn from the seeded RNG."""
+        with self._lock:
+            self.counters["connections"] += 1
+            roll = self._rng.random()
+            corrupt_request = (
+                self.corrupt_requests
+                and self._rng.random() < self.corrupt_rate
+            )
+        cumulative = 0.0
+        for fate, rate in (
+            (_RESET, self.reset_rate),
+            (_TRUNCATE, self.truncate_rate),
+            (_CORRUPT, self.corrupt_rate),
+            (_LATENCY, self.latency_rate),
+        ):
+            cumulative += rate
+            if roll < cumulative:
+                return fate, corrupt_request
+        return _PASS, corrupt_request
+
+    def _flip_bits(self, data: bytes) -> bytes:
+        if not data:
+            return data
+        mutated = bytearray(data)
+        with self._lock:
+            for _ in range(1 + len(mutated) // 512):
+                position = self._rng.randrange(len(mutated))
+                mutated[position] ^= 1 << self._rng.randrange(8)
+        return bytes(mutated)
+
+    def _sleep_latency(self) -> None:
+        time.sleep(self.latency_s)
+
+    # -- pumping ---------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while listener is not None and not self._stopping:
+            try:
+                client, _ = listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_connection,
+                args=(client,),
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, client: socket.socket) -> None:
+        fate, corrupt_request = self._pick_fate()
+        try:
+            upstream = socket.create_connection(self.upstream, timeout=10)
+        except OSError:
+            self._close(client)
+            return
+        with self._lock:
+            self.counters[fate] += 1
+            if corrupt_request:
+                self.counters["request_corruptions"] += 1
+        request_pump = threading.Thread(
+            target=self._pump_request,
+            args=(client, upstream, corrupt_request),
+            daemon=True,
+        )
+        request_pump.start()
+        self._pump_response(upstream, client, fate)
+        # Close both ends *before* joining: the request pump is usually
+        # parked in recv() on a client that keeps its write side open
+        # until it has the response, and the close is what unparks it.
+        self._close(client)
+        self._close(upstream)
+        request_pump.join(timeout=10)
+
+    def _pump_request(
+        self,
+        client: socket.socket,
+        upstream: socket.socket,
+        corrupt: bool,
+    ) -> None:
+        """Client -> upstream, optionally damaging the request body.
+
+        Corruption flips bits only *past* the first few hundred bytes:
+        damaging header bytes would just make the request unparseable
+        (the reset fate already covers that), while damaging tail
+        bytes lands in an uploaded envelope's payload -- the
+        interesting case, where the server must refuse to store it.
+        """
+        offset = 0
+        try:
+            while True:
+                data = client.recv(_CHUNK)
+                if not data:
+                    return
+                if corrupt and offset + len(data) > _HEADER_GUARD:
+                    guard = max(0, _HEADER_GUARD - offset)
+                    data = data[:guard] + self._flip_bits(data[guard:])
+                offset += len(data)
+                upstream.sendall(data)
+        except OSError:
+            return
+
+    def _pump_response(
+        self,
+        upstream: socket.socket,
+        client: socket.socket,
+        fate: str,
+    ) -> None:
+        """Upstream -> client, applying the connection's fate."""
+        if fate == _RESET:
+            # Answer with nothing at all: the client reads EOF where a
+            # status line should be (RemoteDisconnected).
+            return
+        first_chunk = True
+        try:
+            while True:
+                data = upstream.recv(_CHUNK)
+                if not data:
+                    return
+                if first_chunk and fate == _LATENCY:
+                    self._sleep_latency()
+                if fate == _TRUNCATE:
+                    client.sendall(data[: max(1, len(data) // 2)])
+                    return
+                if fate == _CORRUPT:
+                    data = self._flip_bits(data)
+                client.sendall(data)
+                first_chunk = False
+        except OSError:
+            return
+
+    @staticmethod
+    def _close(sock: socket.socket) -> None:
+        # shutdown() before close(): while the request pump blocks in
+        # recv() on this socket, a bare close() defers the FIN until
+        # that syscall returns (the kernel holds the file open), and
+        # the peer would hang out its full timeout waiting for bytes.
+        # shutdown() tears the connection down immediately.
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        # reprolint: disable=RL008 -- already-dead sockets reject shutdown; close below is the part that matters
+        except OSError:
+            pass
+        try:
+            sock.close()
+        # reprolint: disable=RL008 -- socket teardown is best-effort; a leaked fd dies with the daemon thread
+        except OSError:
+            pass

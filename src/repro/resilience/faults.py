@@ -68,6 +68,9 @@ FAULT_POINTS: Tuple[str, ...] = (
     "enumeration.step",
     "server.admit",
     "server.drain",
+    "remote.get",
+    "remote.put",
+    "remote.lease",
 )
 
 RAISE = "raise"

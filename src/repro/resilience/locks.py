@@ -285,6 +285,27 @@ def sweep_stale_temp_files(cache_dir: str) -> int:
     return swept
 
 
+def _unlink_if_unchanged(path: Path, expected: str) -> bool:
+    """Unlink *path* only while its payload still reads *expected*.
+
+    Between a sweeper's staleness check and its unlink, a sibling
+    process may reclaim the same stale lease and a *new, live* holder
+    may recreate the same lockfile path.  Unlinking blindly at that
+    point deletes the live holder's lease -- the double-delete race.
+    Re-reading immediately before the unlink shrinks the window to a
+    single read/unlink pair and turns the common interleaving into a
+    skip: a changed (or vanished) payload means someone else owns the
+    path now, so it is left alone and not counted as swept.
+    """
+    try:
+        if path.read_text("ascii") != expected:
+            return False
+        path.unlink(missing_ok=True)
+        return True
+    except OSError:
+        return False
+
+
 def sweep_stale_lockfiles(lease_dir: str) -> int:
     """Delete ``*.lock`` files whose holder pid is dead; return the count.
 
@@ -294,7 +315,11 @@ def sweep_stale_lockfiles(lease_dir: str) -> int:
     TTL); this sweep recovers them eagerly at backend open, so the
     first build after a crash pays nothing.  Lockfiles of live pids --
     including our own -- are real leases and left alone, as are files
-    with unreadable payloads (the TTL path owns those).  Best-effort
+    with unreadable payloads (the TTL path owns those).  The unlink is
+    guarded by a payload re-read (:func:`_unlink_if_unchanged`): when
+    several processes open the same backend concurrently and race the
+    same dead holder's file, the loser of the race must not delete the
+    lease a *new* holder wrote there in between.  Best-effort
     throughout: an unreadable directory sweeps nothing.
     """
     swept = 0
@@ -304,15 +329,12 @@ def sweep_stale_lockfiles(lease_dir: str) -> int:
         return 0
     for path in candidates:
         try:
-            parts = path.read_text("ascii").split()
-            pid = int(parts[0])
+            payload = path.read_text("ascii")
+            pid = int(payload.split()[0])
         except (OSError, ValueError, IndexError):
             continue
         if pid == os.getpid() or _pid_alive(pid):
             continue
-        try:
-            path.unlink(missing_ok=True)
+        if _unlink_if_unchanged(path, payload):
             swept += 1
-        except OSError:
-            continue
     return swept

@@ -53,12 +53,24 @@ from repro.resilience.faults import fault_check
 from repro.serving.config import server_max_inflight, server_queue_depth
 from repro.serving.protocol import PRIORITIES, UpdateRequest
 
-__all__ = ["AdmissionController", "Ticket"]
+__all__ = [
+    "AdmissionController",
+    "RETRY_AFTER_CEILING_MS",
+    "RETRY_AFTER_FLOOR_MS",
+    "Ticket",
+]
 
 #: Fallback service-time estimate before any completion was observed.
 _DEFAULT_SERVICE_MS = 50.0
 #: EWMA smoothing factor for observed service times.
 _EWMA_ALPHA = 0.2
+
+#: Bounds on the derived Retry-After hint.  The floor stops clients
+#: from busy-spinning against a nearly-idle server; the ceiling stops
+#: one pathological service-time observation (a cold first build, a
+#: GC pause) from telling the whole fleet to go away for minutes.
+RETRY_AFTER_FLOOR_MS = 50.0
+RETRY_AFTER_CEILING_MS = 30_000.0
 
 
 @dataclass
@@ -102,6 +114,8 @@ class AdmissionController:
         self._draining = False
         self._inflight = 0
         self._service_ewma_ms = _DEFAULT_SERVICE_MS
+        self._ewma_seeded = False
+        self._ewma_observed = False
         # -- counters (all mutated on the event loop only) --
         self.admitted = 0
         self.completed = 0
@@ -176,11 +190,35 @@ class AdmissionController:
         """A backoff hint: time to clear the current backlog, observed.
 
         ``(queued + inflight) / tokens`` service periods at the EWMA
-        service time, floored so clients never busy-spin.
+        service time, clamped to
+        [:data:`RETRY_AFTER_FLOOR_MS`, :data:`RETRY_AFTER_CEILING_MS`]
+        so clients neither busy-spin nor vanish for minutes on one
+        pathological observation.
         """
         backlog = self.queued + self._inflight + 1
         periods = backlog / max(1, self.max_inflight)
-        return max(50.0, periods * self._service_ewma_ms)
+        return min(
+            RETRY_AFTER_CEILING_MS,
+            max(RETRY_AFTER_FLOOR_MS, periods * self._service_ewma_ms),
+        )
+
+    def seed_service_ms(self, service_ms: float) -> None:
+        """Prime the service-time EWMA before any request completed.
+
+        A cold server sheds with a Retry-After derived from a built-in
+        constant; the warm-up pass knows better (it just *ran* an
+        update end to end), so the server seeds the estimate with the
+        measured warm-up time.  A seed is a placeholder, not an
+        observation: the first real completion replaces it outright
+        instead of folding into it, and later seeds are ignored once
+        real traffic has been observed.
+        """
+        if self._ewma_observed or service_ms <= 0:
+            return
+        self._service_ewma_ms = min(
+            RETRY_AFTER_CEILING_MS, max(RETRY_AFTER_FLOOR_MS, service_ms)
+        )
+        self._ewma_seeded = True
 
     # -- the worker side -------------------------------------------------------
 
@@ -211,9 +249,16 @@ class AdmissionController:
         else:
             self.failed += 1
         if service_seconds > 0:
-            self._service_ewma_ms += _EWMA_ALPHA * (
-                service_seconds * 1e3 - self._service_ewma_ms
-            )
+            if not self._ewma_observed:
+                # First real observation: replace the default (or the
+                # warm-up seed) instead of folding into it -- a
+                # placeholder deserves no weight in the average.
+                self._service_ewma_ms = service_seconds * 1e3
+                self._ewma_observed = True
+            else:
+                self._service_ewma_ms += _EWMA_ALPHA * (
+                    service_seconds * 1e3 - self._service_ewma_ms
+                )
         if self._inflight == 0 and self.queued == 0:
             self._idle.set()
             # Wake parked workers so they can observe a drain.
@@ -279,4 +324,6 @@ class AdmissionController:
             "shed_breaker": self.shed_breaker,
             "queue_high_water": self.queue_high_water,
             "service_ewma_ms": round(self._service_ewma_ms, 3),
+            "service_ewma_seeded": self._ewma_seeded,
+            "service_ewma_observed": self._ewma_observed,
         }

@@ -128,6 +128,8 @@ class LoadReport:
     shed_503: int = 0
     deadline_504: int = 0
     other_errors: int = 0
+    honored_waits: int = 0
+    honored_wait_s: float = 0.0
     statuses: Dict[int, int] = field(default_factory=dict)
     latencies_ms: List[float] = field(default_factory=list)
 
@@ -148,6 +150,8 @@ class LoadReport:
             "shed_503": self.shed_503,
             "deadline_504": self.deadline_504,
             "other_errors": self.other_errors,
+            "honored_waits": self.honored_waits,
+            "honored_wait_s": round(self.honored_wait_s, 3),
             "statuses": {
                 str(status): count
                 for status, count in sorted(self.statuses.items())
@@ -187,6 +191,8 @@ def _merge(reports: Sequence[LoadReport], duration_s: float) -> LoadReport:
         total.shed_503 += report.shed_503
         total.deadline_504 += report.deadline_504
         total.other_errors += report.other_errors
+        total.honored_waits += report.honored_waits
+        total.honored_wait_s += report.honored_wait_s
         total.latencies_ms.extend(report.latencies_ms)
         for status, count in report.statuses.items():
             total.statuses[status] = total.statuses.get(status, 0) + count
@@ -200,14 +206,19 @@ def run_load(
     clients: int = 4,
     duration_s: float = 3.0,
     deadline_ms: Optional[float] = None,
+    retry_after_cap_s: float = 0.25,
 ) -> LoadReport:
     """Drive the server with *clients* threads for *duration_s* seconds.
 
     Each thread owns one connection and replays *requests* round-robin
     with ``wait=true`` (the reply latency is the full queue + service
-    time).  Shed requests (503) are counted and retried-next-iteration
-    by construction -- the loop simply moves on, like a well-behaved
-    client under backpressure.
+    time).  Shed requests (503) are counted and, when the refusal
+    carries a ``Retry-After`` hint, honoured: the thread sleeps
+    ``min(hint, retry_after_cap_s, time left in the run)`` before its
+    next request, like a well-behaved client under backpressure.  The
+    cap keeps one generous hint from idling a load thread for the
+    whole run; honoured waits are counted in the report so benchmarks
+    can show the backoff actually happened.
     """
     if not requests:
         raise ReproError("run_load needs at least one request to replay")
@@ -242,6 +253,16 @@ def run_load(
                 reply = client.submit(request)
                 ms = (time.perf_counter() - t0) * 1e3
                 report.fold(reply.status, reply.body, ms)
+                if reply.status == 503 and reply.retry_after_s:
+                    pause = min(
+                        reply.retry_after_s,
+                        retry_after_cap_s,
+                        max(0.0, deadline - time.monotonic()),
+                    )
+                    if pause > 0:
+                        report.honored_waits += 1
+                        report.honored_wait_s += pause
+                        time.sleep(pause)
         finally:
             client.close()
 

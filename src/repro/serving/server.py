@@ -181,6 +181,10 @@ class UpdateServer:
             self._warmup_error = exc
         else:
             self.warmup_seconds = time.monotonic() - started
+            # The warm-up just ran real derivation work end to end --
+            # a far better Retry-After basis for a cold server than
+            # the controller's built-in constant.
+            self.controller.seed_service_ms(self.warmup_seconds * 1e3)
         finally:
             self._warmed.set()
 

@@ -1,0 +1,144 @@
+"""Envelope version skew: a silent miss on every backend, never a crash.
+
+A fleet is upgraded one worker at a time, so every storage medium will
+eventually hold envelopes written by a *different* format version.
+The contract, identical across ``localdir`` / ``sqlite`` / ``remote``:
+a version-skewed envelope reads as ``GetResult(corrupt=True)`` -- the
+reader rebuilds -- and never reaches the unpickler or raises.  The
+artifact server deliberately *accepts* skewed envelopes (its
+structural gate checks magic/length/checksum, not version), because
+which versions are readable is the reading client's call, not the
+server's.
+"""
+
+import hashlib
+import sqlite3
+
+import pytest
+
+from repro.engine.backends import LocalDirBackend, SQLiteBackend
+from repro.engine.backends.envelope import (
+    ENVELOPE_MAGIC,
+    ENVELOPE_VERSION,
+    HEADER,
+    unwrap_payload,
+    validate_envelope_structure,
+)
+from repro.engine.keys import ArtifactKey
+
+from tests.remote.conftest import make_remote
+
+KEY = ArtifactKey("space", "fingerprint01", "bitset")
+
+
+def skewed_blob(payload: bytes, version_delta: int = 1) -> bytes:
+    """A structurally sound envelope from another format version."""
+    return (
+        HEADER.pack(
+            ENVELOPE_MAGIC,
+            ENVELOPE_VERSION + version_delta,
+            len(payload),
+            hashlib.sha256(payload).digest(),
+        )
+        + payload
+    )
+
+
+class TestSkewedEnvelopeUnit:
+    @pytest.mark.parametrize("delta", [1, 7])
+    def test_unwrap_rejects_skew(self, delta):
+        assert unwrap_payload(skewed_blob(b"payload", delta)) is None
+
+    @pytest.mark.parametrize("delta", [1, 7])
+    def test_structural_check_accepts_skew(self, delta):
+        # The server-side gate is version-agnostic by design.
+        assert validate_envelope_structure(skewed_blob(b"payload", delta))
+
+
+class TestSkewIsAMissEverywhere:
+    """Plant a skewed envelope in each medium; read through the backend."""
+
+    def _assert_skew_verdict(self, got):
+        assert got.payload is None
+        assert got.corrupt
+
+    def test_localdir(self, tmp_path):
+        backend = LocalDirBackend(str(tmp_path / "cache"))
+        backend.open()
+        planted = tmp_path / "cache" / KEY.filename()
+        planted.write_bytes(skewed_blob(b"payload"))
+        self._assert_skew_verdict(backend.get(KEY))
+        # The skewed entry was evicted: the next read is a plain miss.
+        assert not planted.exists()
+        assert not backend.get(KEY).corrupt
+
+    def test_sqlite(self, tmp_path):
+        backend = SQLiteBackend(str(tmp_path / "artifacts.db"))
+        backend.open()
+        with sqlite3.connect(backend.url) as conn:
+            conn.execute(
+                "INSERT INTO artifacts (kind, shard, fingerprint, kernel,"
+                " blob, created_at) VALUES (?, ?, ?, ?, ?, 0)",
+                (
+                    KEY.kind,
+                    KEY.shard(),
+                    KEY.fingerprint,
+                    KEY.kernel,
+                    skewed_blob(b"payload"),
+                ),
+            )
+            conn.commit()
+        self._assert_skew_verdict(backend.get(KEY))
+        assert not backend.get(KEY).corrupt  # evicted, plain miss now
+
+    def test_remote(self, artifactd):
+        backend = make_remote(artifactd.url, io_attempts=2)
+        backend.open()
+        # A raw PUT from a "future" client: the server stores it.
+        server_key = (KEY.kind, KEY.fingerprint, KEY.kernel)
+        assert artifactd.put_artifact(server_key, skewed_blob(b"payload"))
+        self._assert_skew_verdict(backend.get(KEY))
+        # The reader evicted what it cannot read; the server agrees.
+        assert artifactd.get_artifact(server_key) is None
+        assert not backend.get(KEY).corrupt
+
+    def test_verdict_is_identical_across_backends(self, tmp_path, artifactd):
+        """The cross-backend parity the fleet upgrade story rests on."""
+        local = LocalDirBackend(str(tmp_path / "cache"))
+        local.open()
+        (tmp_path / "cache" / KEY.filename()).write_bytes(
+            skewed_blob(b"payload")
+        )
+        sqlite_backend = SQLiteBackend(str(tmp_path / "artifacts.db"))
+        sqlite_backend.open()
+        with sqlite3.connect(sqlite_backend.url) as conn:
+            conn.execute(
+                "INSERT INTO artifacts (kind, shard, fingerprint, kernel,"
+                " blob, created_at) VALUES (?, ?, ?, ?, ?, 0)",
+                (
+                    KEY.kind,
+                    KEY.shard(),
+                    KEY.fingerprint,
+                    KEY.kernel,
+                    skewed_blob(b"payload"),
+                ),
+            )
+            conn.commit()
+        remote = make_remote(artifactd.url, io_attempts=2)
+        remote.open()
+        artifactd.put_artifact(
+            (KEY.kind, KEY.fingerprint, KEY.kernel), skewed_blob(b"payload")
+        )
+        verdicts = {
+            backend.name: (got.payload, got.corrupt)
+            for backend, got in (
+                (local, local.get(KEY)),
+                (sqlite_backend, sqlite_backend.get(KEY)),
+                (remote, remote.get(KEY)),
+            )
+        }
+        assert verdicts == {
+            "local": (None, True),
+            "sqlite": (None, True),
+            "remote": (None, True),
+        }

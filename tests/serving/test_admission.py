@@ -15,7 +15,12 @@ from repro.errors import (
 )
 from repro.resilience.breaker import CircuitBreaker, FAIL_FAST, PIN_NAIVE
 from repro.resilience.faults import FaultPlan, FaultRule, inject
-from repro.serving.admission import AdmissionController, Ticket
+from repro.serving.admission import (
+    AdmissionController,
+    RETRY_AFTER_CEILING_MS,
+    RETRY_AFTER_FLOOR_MS,
+    Ticket,
+)
 from repro.serving.protocol import UpdateRequest
 
 
@@ -309,5 +314,108 @@ class TestSnapshot:
             "shed_breaker",
             "queue_high_water",
             "service_ewma_ms",
+            "service_ewma_seeded",
+            "service_ewma_observed",
         ):
             assert field in snapshot
+
+
+class TestEwmaSeeding:
+    def test_seed_primes_the_hint_before_any_completion(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=1, queue_depth=4
+            )
+            controller.seed_service_ms(400.0)
+            return controller.snapshot(), controller._retry_after_ms()
+
+        snapshot, hint = run(scenario())
+        assert snapshot["service_ewma_ms"] == 400.0
+        assert snapshot["service_ewma_seeded"] is True
+        assert snapshot["service_ewma_observed"] is False
+        assert hint == 400.0  # backlog of 1 over 1 token: one period
+
+    def test_seed_is_clamped_to_the_hint_bounds(self):
+        async def scenario():
+            low = AdmissionController(max_inflight=1, queue_depth=4)
+            low.seed_service_ms(1.0)
+            high = AdmissionController(max_inflight=1, queue_depth=4)
+            high.seed_service_ms(10_000_000.0)
+            return low.snapshot(), high.snapshot()
+
+        low, high = run(scenario())
+        assert low["service_ewma_ms"] == RETRY_AFTER_FLOOR_MS
+        assert high["service_ewma_ms"] == RETRY_AFTER_CEILING_MS
+
+    def test_first_observation_replaces_the_seed_outright(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=1, queue_depth=4
+            )
+            controller.seed_service_ms(5_000.0)
+            controller.admit(make_ticket(0))
+            await controller.next_ticket()
+            controller.task_done(True, 0.1)  # the first *real* datum
+            return controller.snapshot()
+
+        snapshot = run(scenario())
+        # 100ms, not a fold of 5000ms and 100ms: placeholders get no
+        # weight once real traffic exists.
+        assert snapshot["service_ewma_ms"] == 100.0
+        assert snapshot["service_ewma_observed"] is True
+
+    def test_late_seeds_are_ignored_after_real_traffic(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=1, queue_depth=4
+            )
+            controller.admit(make_ticket(0))
+            await controller.next_ticket()
+            controller.task_done(True, 0.1)
+            controller.seed_service_ms(9_000.0)
+            return controller.snapshot()
+
+        snapshot = run(scenario())
+        assert snapshot["service_ewma_ms"] == 100.0
+        assert snapshot["service_ewma_seeded"] is False
+
+    def test_non_positive_seeds_are_ignored(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=1, queue_depth=4
+            )
+            controller.seed_service_ms(0.0)
+            controller.seed_service_ms(-10.0)
+            return controller.snapshot()
+
+        snapshot = run(scenario())
+        assert snapshot["service_ewma_seeded"] is False
+
+
+class TestRetryAfterClamp:
+    def test_hint_never_exceeds_the_ceiling(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=1, queue_depth=8
+            )
+            # One pathological observation: a 5-minute cold build.
+            controller.admit(make_ticket(0))
+            await controller.next_ticket()
+            controller.task_done(True, 300.0)
+            for n in range(1, 9):
+                controller.admit(make_ticket(n))
+            return controller._retry_after_ms()
+
+        assert run(scenario()) == RETRY_AFTER_CEILING_MS
+
+    def test_hint_never_undershoots_the_floor(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=16, queue_depth=4
+            )
+            controller.admit(make_ticket(0))
+            await controller.next_ticket()
+            controller.task_done(True, 0.0001)  # a 0.1ms service time
+            return controller._retry_after_ms()
+
+        assert run(scenario()) == RETRY_AFTER_FLOOR_MS

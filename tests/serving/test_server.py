@@ -234,6 +234,41 @@ class TestOverload:
             report.serviced + report.shed_503 + report.deadline_504
         )
 
+    def test_load_generator_honors_retry_after(self, spec):
+        """Shed clients back off by the server's hint, capped.
+
+        Four clients against one token and a depth-1 queue shed
+        constantly; each 503 carries a Retry-After, and the generator
+        sleeps ``min(hint, cap)`` before its next attempt -- counted,
+        so the report proves the backoff happened instead of the
+        generator hammering the shedding server.
+        """
+
+        async def scenario(server, call):
+            await server._warmed.wait()
+            return await call(
+                run_load,
+                "127.0.0.1",
+                server.port,
+                spec.sample_requests,
+                4,      # clients
+                1.0,    # duration_s
+                None,   # deadline_ms
+                0.05,   # retry_after_cap_s
+            )
+
+        report = run_with_server(
+            spec, scenario, max_inflight=1, queue_depth=1
+        )
+        assert report.shed_503 > 0
+        assert report.honored_waits > 0
+        assert report.honored_waits <= report.shed_503
+        # Every honoured pause was bounded by the cap.
+        assert report.honored_wait_s <= report.honored_waits * 0.05 + 1e-6
+        as_dict = report.as_dict()
+        assert as_dict["honored_waits"] == report.honored_waits
+        assert as_dict["honored_wait_s"] == round(report.honored_wait_s, 3)
+
 
 class TestHealth:
     def test_healthz_answers_in_every_phase(self, spec):
