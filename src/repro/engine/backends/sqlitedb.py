@@ -125,11 +125,19 @@ class SQLiteBackend:
                 timeout=_BUSY_TIMEOUT_MS / 1e3,
                 check_same_thread=False,
             )
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
-            conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
-            conn.execute(_SCHEMA)
-            conn.commit()
+            try:
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+                conn.execute(_SCHEMA)
+                conn.commit()
+            except Exception:
+                # The connection exists but the database is unusable
+                # (corrupt file, locked WAL, injected fault): close it
+                # before degrading, or every failed open leaks a
+                # descriptor for the life of the process.
+                conn.close()
+                raise
         except BackendUnavailableError:
             raise
         except Exception as exc:

@@ -150,6 +150,29 @@ class TestSQLiteSpecifics:
         backend.close()
         backend.close()
 
+    def test_failed_open_closes_the_connection(self, tmp_path, monkeypatch):
+        # sqlite3.connect succeeds on a garbage file (it opens lazily);
+        # the PRAGMA/schema statements then fail.  That error path must
+        # close the connection it just made, or every failed open leaks
+        # a file descriptor for the life of the process.
+        db = tmp_path / "artifacts.db"
+        db.write_bytes(b"this is not a sqlite database")
+        opened = []
+        real_connect = sqlite3.connect
+
+        def tracking_connect(*args, **kwargs):
+            conn = real_connect(*args, **kwargs)
+            opened.append(conn)
+            return conn
+
+        monkeypatch.setattr(sqlite3, "connect", tracking_connect)
+        backend = SQLiteBackend(str(db))
+        with pytest.raises(BackendUnavailableError):
+            backend.open()
+        assert len(opened) == 1
+        with pytest.raises(sqlite3.ProgrammingError):
+            opened[0].execute("SELECT 1")  # a closed connection raises
+
     def test_stale_lease_lockfiles_swept_at_open(self, tmp_path):
         backend = SQLiteBackend(str(tmp_path / "artifacts.db"))
         lease_dir = backend._lease_dir()
