@@ -99,10 +99,16 @@ class ChaosProxy:
 
     def start(self) -> None:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.host, self.port))
-        listener.listen(64)
-        self.port = listener.getsockname()[1]
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            listener.listen(64)
+            self.port = listener.getsockname()[1]
+        except OSError:
+            # A bind/listen failure (port in use, perms) must not leak
+            # the socket it just made.
+            listener.close()
+            raise
         self._listener = listener
         self._stopping = False
         self._accept_thread = threading.Thread(
@@ -187,28 +193,38 @@ class ChaosProxy:
 
     def _serve_connection(self, client: socket.socket) -> None:
         fate, corrupt_request = self._pick_fate()
+        upstream: Optional[socket.socket] = None
+        request_pump: Optional[threading.Thread] = None
         try:
-            upstream = socket.create_connection(self.upstream, timeout=10)
-        except OSError:
+            try:
+                upstream = socket.create_connection(
+                    self.upstream, timeout=10
+                )
+            except OSError:
+                return
+            with self._lock:
+                self.counters[fate] += 1
+                if corrupt_request:
+                    self.counters["request_corruptions"] += 1
+            request_pump = threading.Thread(
+                target=self._pump_request,
+                args=(client, upstream, corrupt_request),
+                daemon=True,
+            )
+            request_pump.start()
+            self._pump_response(upstream, client, fate)
+        finally:
+            # Close both ends *before* joining: the request pump is
+            # usually parked in recv() on a client that keeps its write
+            # side open until it has the response, and the close is
+            # what unparks it.  Running in a finally keeps a surprise
+            # exception mid-proxy (fault injection reaches this code)
+            # from leaking two sockets per connection.
             self._close(client)
-            return
-        with self._lock:
-            self.counters[fate] += 1
-            if corrupt_request:
-                self.counters["request_corruptions"] += 1
-        request_pump = threading.Thread(
-            target=self._pump_request,
-            args=(client, upstream, corrupt_request),
-            daemon=True,
-        )
-        request_pump.start()
-        self._pump_response(upstream, client, fate)
-        # Close both ends *before* joining: the request pump is usually
-        # parked in recv() on a client that keeps its write side open
-        # until it has the response, and the close is what unparks it.
-        self._close(client)
-        self._close(upstream)
-        request_pump.join(timeout=10)
+            if upstream is not None:
+                self._close(upstream)
+            if request_pump is not None:
+                request_pump.join(timeout=10)
 
     def _pump_request(
         self,

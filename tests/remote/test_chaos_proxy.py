@@ -280,3 +280,67 @@ class TestStoreUnderChaosNeverRaises:
                 for fate in ("reset", "truncate", "corrupt", "latency")
             )
             assert faults_fired > 0  # the wire really was hostile
+
+
+class TestSocketLifecycle:
+    """Leak regressions: every path out of the proxy closes its sockets."""
+
+    def test_failed_bind_does_not_leak_the_listener(self, monkeypatch):
+        import socket as socket_module
+
+        blocker = socket_module.socket(
+            socket_module.AF_INET, socket_module.SOCK_STREAM
+        )
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        taken_port = blocker.getsockname()[1]
+        made = []
+        real_socket = socket_module.socket
+
+        class TrackingSocket(real_socket):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                made.append(self)
+
+        monkeypatch.setattr(socket_module, "socket", TrackingSocket)
+        try:
+            proxy = ChaosProxy("127.0.0.1", 1, port=taken_port)
+            with pytest.raises(OSError):
+                proxy.start()
+        finally:
+            monkeypatch.undo()
+            blocker.close()
+        assert made, "start() never made a socket"
+        assert all(sock.fileno() == -1 for sock in made)  # all closed
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_midstream_crash_still_closes_both_ends(
+        self, artifactd, monkeypatch
+    ):
+        import socket as socket_module
+
+        with ChaosProxy("127.0.0.1", artifactd.port) as proxy:
+            closed = []
+            original_close = proxy._close
+
+            def tracking_close(sock):
+                closed.append(sock)
+                original_close(sock)
+
+            def exploding_pump(*args, **kwargs):
+                raise RuntimeError("injected mid-proxy crash")
+
+            monkeypatch.setattr(proxy, "_close", tracking_close)
+            monkeypatch.setattr(proxy, "_pump_response", exploding_pump)
+            with socket_module.create_connection(
+                ("127.0.0.1", proxy.port), timeout=5
+            ) as client:
+                client.settimeout(5)
+                client.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                # The serving thread crashes after connecting upstream;
+                # its finally must close our end (recv sees EOF rather
+                # than hanging until the timeout).
+                assert client.recv(1024) == b""
+            assert len(closed) >= 2  # client and upstream both closed
