@@ -272,8 +272,10 @@ def run_load(
             target=lambda i=index: _guarded_body(body, i, errors),
             name=f"load-gen-{index}",
         )
-        thread.start()
+        # Register before starting: if a later start() raises (thread
+        # limits), the join loop below still reaps the ones that ran.
         threads.append(thread)
+        thread.start()
     wall = time.monotonic()
     started.set()
     for thread in threads:

@@ -240,7 +240,10 @@ class UpdateServer:
         for task in self._workers:
             task.cancel()
         await asyncio.gather(*self._workers, return_exceptions=True)
-        self.session.close()
+        # Off-loop: a synchronous close() would park the loop thread on
+        # shutdown(wait=True) until the last in-flight build finishes,
+        # freezing concurrent connections mid-drain.
+        await self.session.aclose()
 
     # -- the worker side -------------------------------------------------------
 

@@ -173,5 +173,25 @@ class AsyncSession:
         return snapshot  # type: ignore[return-value]
 
     def close(self) -> None:
-        """Shut the executor down, finishing queued work first."""
+        """Shut the executor down, finishing queued work first.
+
+        Blocking; for synchronous embedders and tests.  On the event
+        loop use :meth:`aclose` instead -- ``shutdown(wait=True)``
+        parks the calling thread until every queued build finishes,
+        and a parked loop thread can answer nothing, not even
+        ``/healthz``.
+        """
         self._executor.shutdown(wait=True)
+
+    async def aclose(self) -> None:
+        """Shut the executor down without blocking the event loop.
+
+        The wait happens on a default-executor thread (not this
+        session's own executor: a pool cannot run the job that waits
+        for that same pool to drain), so in-flight builds still finish
+        while the loop keeps serving health checks and shed responses.
+        """
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: self._executor.shutdown(wait=True)
+        )

@@ -157,3 +157,60 @@ class TestStats:
             "backend",
             "leases",
         }
+
+
+class TestAsyncClose:
+    def test_aclose_does_not_block_the_loop(self, spec):
+        """While ``aclose()`` waits out a slow in-flight job, the loop
+        must keep running other tasks -- the regression was a
+        synchronous ``shutdown(wait=True)`` parking the loop thread so
+        nothing (not even ``/healthz``) could be answered mid-drain."""
+
+        async def scenario():
+            wrapper = make_async_session(spec)
+            release = asyncio.Event()
+            heartbeat = {"beats": 0}
+
+            def slow_job():
+                # Runs on the session executor; holds a worker busy so
+                # aclose() genuinely has something to wait for.
+                import time
+
+                time.sleep(0.2)
+
+            async def pulse():
+                # Only makes progress if the loop is alive during the
+                # shutdown wait.
+                while not release.is_set():
+                    heartbeat["beats"] += 1
+                    await asyncio.sleep(0.01)
+
+            loop = asyncio.get_running_loop()
+            busy = loop.run_in_executor(wrapper._executor, slow_job)
+            pulser = asyncio.create_task(pulse())
+            await asyncio.sleep(0)  # let the pulse start
+            await wrapper.aclose()
+            release.set()
+            await pulser
+            await busy
+            return heartbeat["beats"]
+
+        beats = asyncio.run(scenario())
+        # ~0.2 s of shutdown wait at a 10 ms pulse: well over one beat.
+        assert beats >= 5
+
+    def test_aclose_finishes_queued_work_first(self, spec):
+        async def scenario():
+            wrapper = make_async_session(spec)
+            done = {"ran": False}
+
+            def job():
+                done["ran"] = True
+
+            loop = asyncio.get_running_loop()
+            pending = loop.run_in_executor(wrapper._executor, job)
+            await wrapper.aclose()
+            await pending
+            return done["ran"]
+
+        assert asyncio.run(scenario()) is True
