@@ -1,0 +1,840 @@
+"""The interprocedural call graph the flow rules walk.
+
+RL001--RL008 are per-file checks; the concurrency rules (RL009--RL012)
+need to know what is *reachable*: an ``async def`` in ``serving/`` is
+only as loop-safe as everything it transitively calls, and a lock is
+only deadlock-free with respect to every acquisition reachable while it
+is held.  This module builds one shared, best-effort call graph over a
+lint :class:`~repro.lint.project.Project`:
+
+* **per-module symbol tables** -- top-level functions, classes with
+  their methods and base names, import bindings (``import m as x``,
+  ``from m import n``), module-global type annotations;
+* **name/attribute call resolution** -- bare names, ``self.method()``,
+  ``self.attr.method()`` through attribute types inferred from
+  ``__init__`` assignments and annotations, ``module.func()`` through
+  import bindings, and local variables assigned from known
+  constructors;
+* **dotted-module matching by path suffix** -- ``repro.engine.store``
+  resolves to whichever project file's path ends in
+  ``repro/engine/store.py``, so resolution works identically on the
+  real tree and on fixture trees with short import paths;
+* **async/sync coloring and reachability** -- multi-source BFS with
+  parent pointers, so rules can render the call chain that makes a
+  finding reachable;
+* **executor off-load detection** -- a callable passed *by value* into
+  ``run_in_executor`` / ``Executor.submit`` / ``threading.Thread
+  (target=...)`` gets **no** call edge (it runs on a worker thread,
+  not in the caller); instead it is recorded as a *thread entry
+  point*.  Forwarders like ``AsyncSession._off_loop`` -- functions that
+  pass one of their own parameters into ``run_in_executor`` -- forward
+  the exemption to their call sites, which is exactly why the
+  off-load at ``src/repro/serving/session.py`` exempts everything
+  routed through it.
+
+Everything is a static approximation: resolution that fails silently
+produces *no* edge (under-approximation), which the rules accept --
+reprolint is a reviewer, not a verifier.  The graph is built once per
+:class:`Project` and cached on it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.project import Project, SourceFile
+from repro.lint.astutil import dotted_name, set_parents
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleTable",
+    "get_callgraph",
+]
+
+#: Attribute slot the built graph is cached under on the Project.
+_CACHE_ATTR = "_reprolint_callgraph"
+
+#: (rel_path, qualified function name) -- the node identity.
+FuncKey = Tuple[str, str]
+
+#: Typing wrappers unwrapped when reading a type annotation.
+_TYPE_WRAPPERS = frozenset({"Optional", "Final", "ClassVar"})
+
+#: Call names whose *argument* is a callable executed on a worker
+#: thread: (canonical-or-attr name, positional index of the callable,
+#: keyword name of the callable).
+_OFFLOAD_FORMS: Tuple[Tuple[str, int, Optional[str]], ...] = (
+    ("run_in_executor", 1, None),
+    ("submit", 0, None),
+)
+_THREAD_CTORS = frozenset(
+    {"threading.Thread", "multiprocessing.Process"}
+)
+
+
+def _ann_type(node: Optional[ast.AST]) -> Optional[str]:
+    """The bare class name of an annotation (``Optional[X]`` -> X)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Subscript):
+        base = dotted_name(node.value)
+        if base and base.split(".")[-1] in _TYPE_WRAPPERS:
+            return _ann_type(node.slice)
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return _ann_type(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return None
+    dotted = dotted_name(node)
+    if dotted:
+        return dotted.split(".")[-1]
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    key: FuncKey
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    file: SourceFile
+    qualname: str
+    is_async: bool
+    cls_name: Optional[str] = None
+    #: Local variable name -> inferred class name (last segment).
+    local_types: Dict[str, str] = field(default_factory=dict)
+    #: Parameter positions forwarded into an executor off-load (so a
+    #: call to this function treats those arguments as thread entry
+    #: points, not on-loop callees).
+    offload_params: Set[int] = field(default_factory=set)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.split(".")[-1]
+
+    def body_nodes(self) -> Iterator[ast.AST]:
+        """Nodes of this function's own body, skipping nested defs."""
+        stack: List[ast.AST] = list(
+            ast.iter_child_nodes(self.node)
+        )
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, base names, inferred attribute types."""
+
+    name: str
+    node: ast.ClassDef
+    file: SourceFile
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Dotted base-class names as written.
+    bases: List[str] = field(default_factory=list)
+    #: ``self.attr`` -> inferred class name (last segment).
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleTable:
+    """The per-file symbol table."""
+
+    file: SourceFile
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: Local name -> ("module", dotted) or ("symbol", module, name).
+    imports: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Module-level variable name -> inferred class name.
+    global_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge, with its source location."""
+
+    caller: FuncKey
+    callee: FuncKey
+    line: int
+
+
+@dataclass(frozen=True)
+class ThreadEntry:
+    """A callable handed to an executor/thread by value."""
+
+    target: FuncKey
+    #: Where the hand-off happens.
+    site_path: str
+    site_line: int
+
+
+class CallGraph:
+    """Symbol tables + call edges + reachability over one project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.modules: Dict[str, ModuleTable] = {}
+        self.functions: Dict[FuncKey, FunctionInfo] = {}
+        self.edges: Dict[FuncKey, List[CallSite]] = {}
+        self.thread_entries: List[ThreadEntry] = []
+        #: dotted suffix -> sorted rel_paths whose module path ends so.
+        self._module_index: Dict[str, List[str]] = {}
+        #: class name -> sorted (rel_path, ClassInfo).
+        self._class_index: Dict[str, List[Tuple[str, ClassInfo]]] = {}
+        self._build()
+
+    # -- construction ---------------------------------------------------------
+
+    def _build(self) -> None:
+        for source in self.project.parsed():
+            if source.tree is None:  # parsed() filters; narrow anyway
+                continue
+            set_parents(source.tree)
+            self._index_module_path(source)
+            self.modules[source.rel_path] = self._table_for(source)
+        for path in sorted(self._module_index):
+            self._module_index[path].sort()
+        for table in self.modules.values():
+            for cls in table.classes.values():
+                self._class_index.setdefault(cls.name, []).append(
+                    (table.file.rel_path, cls)
+                )
+        for entries in self._class_index.values():
+            entries.sort(key=lambda item: item[0])
+        # Two passes: off-load forwarders must be known before edges
+        # are drawn, or a call through ``_off_loop`` would edge its
+        # callable argument onto the loop.
+        for table in self.modules.values():
+            for info in self._functions_of(table):
+                self._mark_offload_params(table, info)
+        for table in self.modules.values():
+            for info in self._functions_of(table):
+                self._infer_local_types(table, info)
+                self._collect_edges(table, info)
+
+    def _index_module_path(self, source: SourceFile) -> None:
+        segments = source.rel_path[: -len(".py")].split("/")
+        if segments and segments[-1] == "__init__":
+            segments = segments[:-1]
+        for start in range(len(segments)):
+            suffix = ".".join(segments[start:])
+            if suffix:
+                self._module_index.setdefault(suffix, []).append(
+                    source.rel_path
+                )
+
+    def _table_for(self, source: SourceFile) -> ModuleTable:
+        table = ModuleTable(file=source)
+        body = source.tree.body if source.tree is not None else []
+        for stmt in body:
+            self._scan_import(table, stmt)
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                self._add_function(table, stmt, cls=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(table, stmt)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                inferred = _ann_type(stmt.annotation)
+                if inferred:
+                    table.global_types[stmt.target.id] = inferred
+            elif isinstance(stmt, ast.Assign):
+                inferred = self._ctor_type(table, stmt.value)
+                if inferred:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            table.global_types[target.id] = inferred
+        return table
+
+    def _scan_import(self, table: ModuleTable, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.asname:
+                    table.imports[alias.asname] = ("module", alias.name)
+                else:
+                    head = alias.name.split(".")[0]
+                    table.imports[head] = ("module", head)
+        elif isinstance(stmt, ast.ImportFrom):
+            module = self._absolute_module(table.file, stmt)
+            if module is None:
+                return
+            for alias in stmt.names:
+                local = alias.asname or alias.name
+                table.imports[local] = ("symbol", module, alias.name)
+
+    def _absolute_module(
+        self, source: SourceFile, stmt: ast.ImportFrom
+    ) -> Optional[str]:
+        if stmt.level == 0:
+            return stmt.module
+        segments = source.rel_path[: -len(".py")].split("/")
+        if segments and segments[-1] == "__init__":
+            segments = segments[:-1]
+        # level=1 is the containing package; each extra level strips
+        # one more package segment.
+        base = segments[: -stmt.level] if stmt.level <= len(
+            segments
+        ) else []
+        parts = list(base)
+        if stmt.module:
+            parts.extend(stmt.module.split("."))
+        return ".".join(parts) if parts else None
+
+    def _add_function(
+        self,
+        table: ModuleTable,
+        node: ast.AST,
+        cls: Optional[ClassInfo],
+        prefix: str = "",
+    ) -> None:
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return
+        qualname = (
+            f"{prefix}{node.name}"
+            if not cls
+            else f"{cls.name}.{prefix}{node.name}"
+        )
+        info = FunctionInfo(
+            key=(table.file.rel_path, qualname),
+            node=node,
+            file=table.file,
+            qualname=qualname,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            cls_name=cls.name if cls else None,
+        )
+        self.functions[info.key] = info
+        if cls is not None and not prefix:
+            cls.methods[node.name] = info
+        elif not prefix:
+            table.functions[node.name] = info
+        # Nested defs become addressable functions of their own (they
+        # matter as executor off-load targets).
+        for child in node.body:
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                self._add_function(
+                    table,
+                    child,
+                    cls,
+                    prefix=f"{prefix}{node.name}.",
+                )
+
+    def _add_class(self, table: ModuleTable, node: ast.ClassDef) -> None:
+        cls = ClassInfo(name=node.name, node=node, file=table.file)
+        for base in node.bases:
+            dotted = dotted_name(base)
+            if dotted:
+                cls.bases.append(dotted)
+        table.classes[node.name] = cls
+        for stmt in node.body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                self._add_function(table, stmt, cls)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                inferred = _ann_type(stmt.annotation)
+                if inferred:
+                    cls.attr_types[stmt.target.id] = inferred
+        init = cls.methods.get("__init__")
+        if init is not None:
+            self._infer_attr_types(table, cls, init)
+
+    def _infer_attr_types(
+        self, table: ModuleTable, cls: ClassInfo, init: FunctionInfo
+    ) -> None:
+        params: Dict[str, str] = {}
+        args = init.node.args  # type: ignore[attr-defined]
+        for arg in list(args.posonlyargs) + list(args.args) + list(
+            args.kwonlyargs
+        ):
+            inferred = _ann_type(arg.annotation)
+            if inferred:
+                params[arg.arg] = inferred
+        for node in init.body_nodes():
+            target: Optional[ast.AST] = None
+            value: Optional[ast.AST] = None
+            annotation: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                annotation = node.annotation
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            inferred = _ann_type(annotation)
+            if inferred is None and value is not None:
+                inferred = self._value_type(table, params, value)
+            if inferred and target.attr not in cls.attr_types:
+                cls.attr_types[target.attr] = inferred
+
+    def _value_type(
+        self,
+        table: ModuleTable,
+        params: Dict[str, str],
+        value: ast.AST,
+    ) -> Optional[str]:
+        if isinstance(value, ast.Name):
+            return params.get(value.id) or table.global_types.get(
+                value.id
+            )
+        if isinstance(value, ast.IfExp):
+            return self._value_type(
+                table, params, value.body
+            ) or self._value_type(table, params, value.orelse)
+        return self._ctor_type(table, value)
+
+    def _ctor_type(
+        self, table: ModuleTable, value: Optional[ast.AST]
+    ) -> Optional[str]:
+        """Class name when *value* is a ``SomeClass(...)`` call."""
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = dotted_name(value.func)
+        if not dotted:
+            return None
+        last = dotted.split(".")[-1]
+        head = dotted.split(".")[0]
+        # Only CapWord call targets look like constructors; anything
+        # else is a function whose return type we do not chase.
+        if not last[:1].isupper():
+            return None
+        if head in table.imports or head in table.classes:
+            return last
+        return last if "." not in dotted else None
+
+    # -- type inference inside bodies -----------------------------------------
+
+    def _infer_local_types(
+        self, table: ModuleTable, info: FunctionInfo
+    ) -> None:
+        params: Dict[str, str] = {}
+        args = info.node.args  # type: ignore[attr-defined]
+        for arg in list(args.posonlyargs) + list(args.args) + list(
+            args.kwonlyargs
+        ):
+            inferred = _ann_type(arg.annotation)
+            if inferred:
+                params[arg.arg] = inferred
+        info.local_types.update(params)
+        cls = (
+            table.classes.get(info.cls_name) if info.cls_name else None
+        )
+        for node in info.body_nodes():
+            target = None
+            value = None
+            annotation = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                annotation = node.annotation
+            if not isinstance(target, ast.Name):
+                continue
+            inferred = _ann_type(annotation)
+            if inferred is None and value is not None:
+                inferred = self._expr_type(table, cls, info, value)
+            if inferred:
+                info.local_types.setdefault(target.id, inferred)
+
+    def _expr_type(
+        self,
+        table: ModuleTable,
+        cls: Optional[ClassInfo],
+        info: FunctionInfo,
+        value: ast.AST,
+    ) -> Optional[str]:
+        if isinstance(value, ast.Name):
+            return info.local_types.get(
+                value.id
+            ) or table.global_types.get(value.id)
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and cls is not None
+        ):
+            return cls.attr_types.get(value.attr)
+        if isinstance(value, ast.IfExp):
+            return self._expr_type(
+                table, cls, info, value.body
+            ) or self._expr_type(table, cls, info, value.orelse)
+        return self._ctor_type(table, value)
+
+    def receiver_type(
+        self, info: FunctionInfo, expr: ast.AST
+    ) -> Optional[str]:
+        """Inferred class name of a call receiver expression."""
+        table = self.modules.get(info.file.rel_path)
+        if table is None:
+            return None
+        cls = (
+            table.classes.get(info.cls_name) if info.cls_name else None
+        )
+        return self._expr_type(table, cls, info, expr)
+
+    # -- canonical external names ---------------------------------------------
+
+    def canonical_call(
+        self, info: FunctionInfo, call: ast.Call
+    ) -> Optional[str]:
+        """The import-resolved dotted name of a call target.
+
+        ``sleep(...)`` after ``from time import sleep`` canonicalises
+        to ``time.sleep``; ``np.array`` after ``import numpy as np``
+        to ``numpy.array``; unimported bare names pass through (so
+        builtins like ``open`` keep their name).  ``self...`` chains
+        return ``None``.
+        """
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        return self.canonical_name(info.file, dotted)
+
+    def canonical_name(
+        self, source: SourceFile, dotted: str
+    ) -> Optional[str]:
+        parts = dotted.split(".")
+        if parts[0] == "self":
+            return None
+        table = self.modules.get(source.rel_path)
+        if table is None:
+            return dotted
+        binding = table.imports.get(parts[0])
+        if binding is None:
+            return dotted
+        if binding[0] == "module":
+            return ".".join([binding[1]] + parts[1:])
+        _, module, symbol = binding
+        return ".".join([module, symbol] + parts[1:])
+
+    # -- call resolution ------------------------------------------------------
+
+    def resolve_module(self, dotted: str) -> Optional[ModuleTable]:
+        """The project file whose module path ends in *dotted*.
+
+        The index is keyed by dotted suffixes of project-relative
+        paths, so absolute imports (``repro.resilience.faults``) are
+        retried with leading package segments peeled off until a
+        suffix matches.
+        """
+        parts = dotted.split(".")
+        for start in range(len(parts)):
+            candidates = self._module_index.get(".".join(parts[start:]))
+            if candidates:
+                return self.modules.get(candidates[0])
+        return None
+
+    def resolve_class(
+        self, table: ModuleTable, name: str
+    ) -> Optional[ClassInfo]:
+        """A class by (last-segment) name: local, imported, or global."""
+        local = table.classes.get(name)
+        if local is not None:
+            return local
+        binding = table.imports.get(name)
+        if binding is not None and binding[0] == "symbol":
+            target = self.resolve_module(binding[1])
+            if target is not None:
+                found = target.classes.get(binding[2])
+                if found is not None:
+                    return found
+        indexed = self._class_index.get(name)
+        if indexed and len(indexed) == 1:
+            return indexed[0][1]
+        return None
+
+    def _method_on(
+        self, cls: ClassInfo, method: str, _depth: int = 0
+    ) -> Optional[FunctionInfo]:
+        found = cls.methods.get(method)
+        if found is not None or _depth > 4:
+            return found
+        table = self.modules.get(cls.file.rel_path)
+        for base in cls.bases:
+            base_cls = (
+                self.resolve_class(table, base.split(".")[-1])
+                if table is not None
+                else None
+            )
+            if base_cls is not None and base_cls is not cls:
+                found = self._method_on(
+                    base_cls, method, _depth + 1
+                )
+                if found is not None:
+                    return found
+        return None
+
+    def resolve_callable_ref(
+        self, info: FunctionInfo, expr: ast.AST
+    ) -> Optional[FunctionInfo]:
+        """A function *referenced by value* (no call parentheses)."""
+        table = self.modules[info.file.rel_path]
+        if isinstance(expr, ast.Name):
+            # Nested defs of the enclosing function first.
+            nested = self.functions.get(
+                (info.file.rel_path, f"{info.qualname}.{expr.id}")
+            )
+            if nested is not None:
+                return nested
+            if expr.id in table.functions:
+                return table.functions[expr.id]
+            binding = table.imports.get(expr.id)
+            if binding is not None and binding[0] == "symbol":
+                target = self.resolve_module(binding[1])
+                if target is not None:
+                    return target.functions.get(binding[2])
+            return None
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if parts[0] == "self" and info.cls_name:
+            cls = table.classes.get(info.cls_name)
+            if cls is None:
+                return None
+            if len(parts) == 2:
+                return self._method_on(cls, parts[1])
+            if len(parts) == 3:
+                attr_cls = cls.attr_types.get(parts[1])
+                if attr_cls:
+                    resolved = self.resolve_class(table, attr_cls)
+                    if resolved is not None:
+                        return self._method_on(resolved, parts[2])
+            return None
+        if len(parts) >= 2:
+            # ``var.method`` on a typed local/global receiver.
+            recv = info.local_types.get(
+                parts[0]
+            ) or table.global_types.get(parts[0])
+            if recv and len(parts) == 2:
+                resolved = self.resolve_class(table, recv)
+                if resolved is not None:
+                    return self._method_on(resolved, parts[1])
+            # ``SomeClass.classmethod(...)``.
+            if len(parts) == 2 and parts[0][:1].isupper():
+                as_class = self.resolve_class(table, parts[0])
+                if as_class is not None:
+                    return self._method_on(as_class, parts[1])
+            # ``module.func`` / ``package.module.func``.
+            canonical = self.canonical_name(info.file, dotted)
+            if canonical:
+                mod_parts = canonical.split(".")
+                target = self.resolve_module(
+                    ".".join(mod_parts[:-1])
+                )
+                if target is not None:
+                    fn = target.functions.get(mod_parts[-1])
+                    if fn is not None:
+                        return fn
+                    cls2 = target.classes.get(mod_parts[-1])
+                    if cls2 is not None:
+                        return cls2.methods.get("__init__")
+        return None
+
+    def resolve_call(
+        self, info: FunctionInfo, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        """The project function a call resolves to, if any."""
+        return self._resolve_call_target(info, call)
+
+    def _resolve_call_target(
+        self, info: FunctionInfo, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        table = self.modules[info.file.rel_path]
+        func = call.func
+        if isinstance(func, ast.Name):
+            cls = self.resolve_class(table, func.id)
+            if (
+                cls is not None
+                and (
+                    func.id in table.classes
+                    or func.id in table.imports
+                )
+            ):
+                return cls.methods.get("__init__")
+        return self.resolve_callable_ref(info, func)
+
+    # -- edges ----------------------------------------------------------------
+
+    def _mark_offload_params(
+        self, table: ModuleTable, info: FunctionInfo
+    ) -> None:
+        args = info.node.args  # type: ignore[attr-defined]
+        names = [
+            a.arg
+            for a in list(args.posonlyargs) + list(args.args)
+        ]
+        if info.cls_name and names and names[0] == "self":
+            names = names[1:]
+        if args.vararg is not None:
+            names.append(args.vararg.arg)
+        positions = {name: i for i, name in enumerate(names)}
+        for node in info.body_nodes():
+            if not isinstance(node, ast.Call):
+                continue
+            for ref in self._offloaded_refs(info, node, resolve=False):
+                if (
+                    isinstance(ref, ast.Name)
+                    and ref.id in positions
+                ):
+                    info.offload_params.add(positions[ref.id])
+
+    def _offloaded_refs(
+        self, info: FunctionInfo, call: ast.Call, resolve: bool
+    ) -> List[ast.AST]:
+        """Callable expressions this call hands to a worker thread."""
+        dotted = dotted_name(call.func) or ""
+        last = dotted.split(".")[-1]
+        refs: List[ast.AST] = []
+        for name, index, _ in _OFFLOAD_FORMS:
+            if last == name and len(call.args) > index:
+                refs.append(call.args[index])
+        canonical = self.canonical_call(info, call)
+        if canonical in _THREAD_CTORS:
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    refs.append(kw.value)
+        target = (
+            self._resolve_call_target(info, call) if resolve else None
+        )
+        if target is not None and target.offload_params:
+            # A forwarder: its flagged parameter positions map back to
+            # this call's arguments.
+            for position in sorted(target.offload_params):
+                if position < len(call.args):
+                    refs.append(call.args[position])
+        return refs
+
+    def _collect_edges(
+        self, table: ModuleTable, info: FunctionInfo
+    ) -> None:
+        edges = self.edges.setdefault(info.key, [])
+        offloaded: Set[int] = set()
+        calls = [
+            node
+            for node in info.body_nodes()
+            if isinstance(node, ast.Call)
+        ]
+        calls.sort(
+            key=lambda c: (c.lineno, c.col_offset)
+        )
+        for call in calls:
+            for ref in self._offloaded_refs(info, call, resolve=True):
+                offloaded.add(id(ref))
+                resolved = self.resolve_callable_ref(info, ref)
+                if resolved is not None:
+                    self.thread_entries.append(
+                        ThreadEntry(
+                            target=resolved.key,
+                            site_path=info.file.rel_path,
+                            site_line=call.lineno,
+                        )
+                    )
+        for call in calls:
+            if id(call.func) in offloaded:
+                continue
+            target = self._resolve_call_target(info, call)
+            if target is not None and id(call.func) not in offloaded:
+                edges.append(
+                    CallSite(
+                        caller=info.key,
+                        callee=target.key,
+                        line=call.lineno,
+                    )
+                )
+
+    # -- queries --------------------------------------------------------------
+
+    def _functions_of(
+        self, table: ModuleTable
+    ) -> Iterator[FunctionInfo]:
+        for key in sorted(self.functions):
+            if key[0] == table.file.rel_path:
+                yield self.functions[key]
+
+    def reachable(
+        self, roots: Sequence[FuncKey]
+    ) -> Dict[FuncKey, Optional[CallSite]]:
+        """Multi-source BFS; value is the edge that discovered the key
+        (``None`` for roots).  Deterministic: roots are sorted, edges
+        kept in source order.
+        """
+        parents: Dict[FuncKey, Optional[CallSite]] = {}
+        queue: List[FuncKey] = []
+        for root in sorted(set(roots)):
+            if root in self.functions and root not in parents:
+                parents[root] = None
+                queue.append(root)
+        index = 0
+        while index < len(queue):
+            current = queue[index]
+            index += 1
+            for site in self.edges.get(current, ()):
+                if site.callee not in parents:
+                    parents[site.callee] = site
+                    queue.append(site.callee)
+        return parents
+
+    def call_chain(
+        self,
+        parents: Dict[FuncKey, Optional[CallSite]],
+        key: FuncKey,
+    ) -> List[FuncKey]:
+        """Root-to-*key* chain through the BFS parent map."""
+        chain: List[FuncKey] = [key]
+        seen = {key}
+        while True:
+            site = parents.get(chain[0])
+            if site is None or site.caller in seen:
+                return chain
+            chain.insert(0, site.caller)
+            seen.add(site.caller)
+
+    def render_chain(self, chain: Sequence[FuncKey]) -> str:
+        return " -> ".join(qualname for _, qualname in chain)
+
+    def async_functions_under(
+        self, *parts: str
+    ) -> List[FuncKey]:
+        """Async defs in files under the given path segments."""
+        return [
+            key
+            for key, info in sorted(self.functions.items())
+            if info.is_async and info.file.is_under(*parts)
+        ]
+
+    def thread_entry_keys(self) -> List[FuncKey]:
+        return sorted({entry.target for entry in self.thread_entries})
+
+
+def get_callgraph(project: Project) -> CallGraph:
+    """The project's call graph, built once and cached on it."""
+    cached = getattr(project, _CACHE_ATTR, None)
+    if isinstance(cached, CallGraph):
+        return cached
+    graph = CallGraph(project)
+    setattr(project, _CACHE_ATTR, graph)
+    return graph

@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 from repro.lint.rules import (  # noqa: F401
+    async_blocking,
     env_knobs,
     fault_points,
     fingerprint_determinism,
     guard_discipline,
     lock_discipline,
+    lock_order,
     mutable_defaults,
+    resource_lifecycle,
     swallowed_exceptions,
+    threadsafe_loop,
     typed_errors,
 )

@@ -1,0 +1,152 @@
+"""RL009: nothing blocking may be reachable from serving async defs.
+
+The serving tier's whole contract is that the event loop never blocks:
+``/healthz`` answers while a cold compile runs, admission sheds load in
+microseconds, and a drain completes on schedule.  One ``time.sleep``
+(or socket connect, or ``Executor.shutdown(wait=True)``) anywhere in
+the transitive call graph of an ``async def`` stalls every connection
+at once.
+
+The rule walks the interprocedural call graph
+(:mod:`repro.lint.callgraph`) from every ``async def`` defined under a
+``serving/`` path segment and flags blocking primitives in any
+function reachable *on the loop*:
+
+* canonical blocking calls -- ``time.sleep``, ``subprocess.*``,
+  ``socket.create_connection`` / ``socket.socket``,
+  ``urllib.request.urlopen``, ``sqlite3.connect``, file I/O
+  (``open`` / ``os.open``), ``http.client.HTTPConnection``;
+* un-awaited ``.acquire()`` calls (``threading.Lock``,
+  ``FileLease``, ``RemoteLease`` -- all the waits look the same);
+* ``.shutdown(...)`` on a ``ThreadPoolExecutor``-typed receiver
+  without ``wait=False`` and ``.join()`` on a ``Thread``-typed one.
+
+The executor off-load is exempt *structurally*: a callable passed by
+value into ``run_in_executor`` / ``submit`` / ``Thread(target=...)``
+-- directly or through a forwarder such as
+``AsyncSession._off_loop`` -- gets no call edge, so the worker-side
+code is simply not reachable from the loop.  ``with lock:`` blocks are
+deliberately not flagged: brief critical sections on the loop are the
+documented idiom for counter snapshots.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.lint.callgraph import CallGraph, FunctionInfo, get_callgraph
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.registry import Rule, register
+from repro.lint.astutil import ancestors
+
+#: Canonically-named calls that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "socket.socket",
+        "urllib.request.urlopen",
+        "sqlite3.connect",
+        "subprocess.run",
+        "subprocess.Popen",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "open",
+        "io.open",
+        "os.open",
+        "http.client.HTTPConnection",
+    }
+)
+
+#: Receiver types whose ``shutdown``/``join`` block until workers stop.
+_EXECUTOR_TYPES = frozenset(
+    {"ThreadPoolExecutor", "ProcessPoolExecutor"}
+)
+_THREAD_TYPES = frozenset({"Thread", "Process"})
+
+
+def _is_awaited(node: ast.AST) -> bool:
+    for anc in ancestors(node):
+        if isinstance(anc, ast.Await):
+            return True
+        if isinstance(anc, ast.stmt):
+            return False
+    return False
+
+
+def _kw_is_false(call: ast.Call, name: str) -> bool:
+    for kw in call.keywords:
+        if kw.arg == name and isinstance(kw.value, ast.Constant):
+            return kw.value.value is False
+    return False
+
+
+def blocking_primitives(
+    graph: CallGraph, info: FunctionInfo
+) -> Iterator[Tuple[int, str]]:
+    """(line, description) for each blocking primitive in *info*."""
+    for node in info.body_nodes():
+        if not isinstance(node, ast.Call):
+            continue
+        canonical = graph.canonical_call(info, node)
+        if canonical in BLOCKING_CALLS:
+            yield node.lineno, f"blocking call {canonical}()"
+            continue
+        if not isinstance(node.func, ast.Attribute):
+            continue
+        method = node.func.attr
+        if method == "acquire" and not _is_awaited(node):
+            yield node.lineno, "blocking lock/lease .acquire()"
+        elif method == "shutdown":
+            recv = graph.receiver_type(info, node.func.value)
+            if recv in _EXECUTOR_TYPES and not _kw_is_false(
+                node, "wait"
+            ):
+                yield (
+                    node.lineno,
+                    f"{recv}.shutdown() waits for worker threads",
+                )
+        elif method == "join":
+            recv = graph.receiver_type(info, node.func.value)
+            if recv in _THREAD_TYPES:
+                yield node.lineno, f"{recv}.join() blocks"
+
+
+@register
+class AsyncBlockingRule(Rule):
+    id = "RL009"
+    name = "async-blocking"
+    summary = (
+        "no blocking primitive may be reachable from a serving"
+        " async def except through the executor off-load"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        graph = get_callgraph(project)
+        roots = graph.async_functions_under("serving")
+        if not roots:
+            return
+        parents = graph.reachable(roots)
+        seen: set = set()
+        for key in sorted(parents):
+            info = graph.functions[key]
+            chain: Optional[str] = None
+            for line, what in blocking_primitives(graph, info):
+                if (info.file.rel_path, line) in seen:
+                    continue
+                seen.add((info.file.rel_path, line))
+                if chain is None:
+                    chain = graph.render_chain(
+                        graph.call_chain(parents, key)
+                    )
+                yield self.finding(
+                    info.file.rel_path,
+                    line,
+                    f"{what} may run on the event loop (reachable"
+                    f" from serving async code via {chain}); move it"
+                    " behind the executor off-load"
+                    " (run_in_executor)",
+                )

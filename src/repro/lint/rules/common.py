@@ -1,0 +1,19 @@
+"""Shared AST helpers for reprolint rules.
+
+The implementations live in :mod:`repro.lint.astutil` so that
+:mod:`repro.lint.callgraph` can use them without importing this rules
+package (whose ``__init__`` imports every rule module, several of
+which import the call graph -- a cycle otherwise).
+"""
+
+from __future__ import annotations
+
+from repro.lint.astutil import (  # noqa: F401
+    FunctionNode,
+    ancestors,
+    dotted_name,
+    enclosing_function,
+    first_body_line,
+    is_self_attr,
+    set_parents,
+)

@@ -1,0 +1,331 @@
+"""RL010: the acquired-while-holding graph must be acyclic.
+
+A fleet deadlock needs only two workers and two locks taken in
+opposite orders -- and this repo has plenty of locks to order: the
+store's ``RLock``, per-backend connection mutexes, cross-process
+``FileLease`` / ``RemoteLease`` files, and SQLite ``BEGIN IMMEDIATE``
+write transactions (a database-wide lock in WAL mode).
+
+The rule collects every *acquisition site*:
+
+* ``with self._lock:`` where the attribute's inferred type is a
+  ``threading`` lock (``Lock``/``RLock``/``Semaphore``/``Condition``)
+  -- the lock's identity is ``Class.attr``, shared across instances;
+* ``with`` / ``.acquire()`` on ``FileLease`` / ``RemoteLease``-typed
+  values -- identity is the lease class (any two leases can collide
+  on the same key fleet-wide, so they are modelled as one lock);
+* ``conn.execute("BEGIN IMMEDIATE")`` -- identity
+  ``sqlite.BEGIN_IMMEDIATE`` (one write lock per database).
+
+While a ``with`` body (or, for bare ``.acquire()``, the rest of the
+function) holds lock A, every acquisition of lock B -- directly nested
+or reachable through the call graph -- adds the edge A -> B.  A cycle
+in that graph is a potential deadlock and is reported once, at the
+edge that closes it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.callgraph import (
+    CallGraph,
+    FuncKey,
+    FunctionInfo,
+    get_callgraph,
+)
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.registry import Rule, register
+
+_THREAD_LOCK_TYPES = frozenset(
+    {"Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition"}
+)
+_LEASE_TYPES = frozenset({"FileLease", "RemoteLease"})
+_SQLITE_NODE = "sqlite.BEGIN_IMMEDIATE"
+
+
+@dataclass(frozen=True)
+class _Acquisition:
+    """One acquisition site: which lock, where, and what it holds."""
+
+    lock: str
+    path: str
+    line: int
+    #: AST nodes executed while the lock is held.
+    held: Tuple[ast.AST, ...]
+
+
+def _lock_identity(
+    graph: CallGraph, info: FunctionInfo, expr: ast.AST
+) -> Optional[str]:
+    """The lock-node name for an acquired expression, if lock-like."""
+    recv = graph.receiver_type(info, expr)
+    if recv in _THREAD_LOCK_TYPES:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and info.cls_name
+        ):
+            return f"{info.cls_name}.{expr.attr}"
+        if isinstance(expr, ast.Name):
+            return f"{info.file.name}:{expr.id}"
+        return f"{info.file.name}:<lock>"
+    if recv in _LEASE_TYPES:
+        return recv
+    return None
+
+
+def _is_begin_immediate(call: ast.Call) -> bool:
+    if not (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "execute"
+        and call.args
+    ):
+        return False
+    head = call.args[0]
+    return (
+        isinstance(head, ast.Constant)
+        and isinstance(head.value, str)
+        and head.value.strip().upper().startswith("BEGIN IMMEDIATE")
+    )
+
+
+def _walk_shallow(nodes: Iterable[ast.AST]) -> Iterator[ast.AST]:
+    """Walk *nodes* without descending into nested function defs."""
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _acquisitions(
+    graph: CallGraph, info: FunctionInfo
+) -> List[_Acquisition]:
+    found: List[_Acquisition] = []
+
+    def scan(stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    lock = _lock_identity(
+                        graph, info, item.context_expr
+                    )
+                    if lock is not None:
+                        found.append(
+                            _Acquisition(
+                                lock=lock,
+                                path=info.file.rel_path,
+                                line=stmt.lineno,
+                                held=tuple(stmt.body),
+                            )
+                        )
+            for node in _walk_shallow([stmt]):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _is_begin_immediate(node):
+                    found.append(
+                        _Acquisition(
+                            lock=_SQLITE_NODE,
+                            path=info.file.rel_path,
+                            line=node.lineno,
+                            # The write transaction ends at commit/
+                            # rollback; holding "nothing further" is
+                            # the safe under-approximation for edges
+                            # *out of* it, and edges *into* it come
+                            # from the enclosing with-blocks.
+                            held=(),
+                        )
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "acquire"
+                ):
+                    lock = _lock_identity(
+                        graph, info, node.func.value
+                    )
+                    if lock is not None:
+                        found.append(
+                            _Acquisition(
+                                lock=lock,
+                                path=info.file.rel_path,
+                                line=node.lineno,
+                                held=(),
+                            )
+                        )
+
+    body = getattr(info.node, "body", [])
+    scan(
+        [s for s in body if isinstance(s, ast.stmt)]
+    )
+    # with-statements nested inside other statements (try/if/loops).
+    for outer in _walk_shallow(body):
+        if isinstance(outer, (ast.With, ast.AsyncWith)):
+            scan([outer])
+    return found
+
+
+def _dedupe(
+    acquisitions: List[_Acquisition],
+) -> List[_Acquisition]:
+    seen: Set[Tuple[str, str, int]] = set()
+    unique: List[_Acquisition] = []
+    for acq in acquisitions:
+        key = (acq.lock, acq.path, acq.line)
+        if key not in seen:
+            seen.add(key)
+            unique.append(acq)
+    return unique
+
+
+@register
+class LockOrderRule(Rule):
+    id = "RL010"
+    name = "lock-order"
+    summary = (
+        "lock/lease/transaction acquisition order must be acyclic"
+        " across the call graph (deadlock freedom)"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        graph = get_callgraph(project)
+        per_function: Dict[FuncKey, List[_Acquisition]] = {}
+        for key in sorted(graph.functions):
+            info = graph.functions[key]
+            acqs = _dedupe(_acquisitions(graph, info))
+            if acqs:
+                per_function[key] = acqs
+        # Edges: lock -> lock, tagged with a representative site.
+        edges: Dict[str, Dict[str, Tuple[str, int, str]]] = {}
+        for key, acqs in sorted(per_function.items()):
+            info = graph.functions[key]
+            for acq in acqs:
+                for inner, site in self._held_acquisitions(
+                    graph, info, acq, per_function
+                ):
+                    if inner == acq.lock:
+                        continue
+                    edges.setdefault(acq.lock, {}).setdefault(
+                        inner, site
+                    )
+        yield from self._report_cycles(edges)
+
+    def _held_acquisitions(
+        self,
+        graph: CallGraph,
+        info: FunctionInfo,
+        acq: _Acquisition,
+        per_function: Dict[FuncKey, List[_Acquisition]],
+    ) -> Iterator[Tuple[str, Tuple[str, int, str]]]:
+        """Locks acquired while *acq* is held, with edge sites."""
+        callees: List[FuncKey] = []
+        for node in _walk_shallow(acq.held):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    inner = _lock_identity(
+                        graph, info, item.context_expr
+                    )
+                    if inner is not None:
+                        yield inner, (
+                            acq.path,
+                            node.lineno,
+                            f"{acq.lock} held at nested acquisition",
+                        )
+            if isinstance(node, ast.Call):
+                if _is_begin_immediate(node):
+                    yield _SQLITE_NODE, (
+                        acq.path,
+                        node.lineno,
+                        f"{acq.lock} held at BEGIN IMMEDIATE",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "acquire"
+                ):
+                    inner = _lock_identity(
+                        graph, info, node.func.value
+                    )
+                    if inner is not None:
+                        yield inner, (
+                            acq.path,
+                            node.lineno,
+                            f"{acq.lock} held at .acquire()",
+                        )
+                target = graph.resolve_call(info, node)
+                if target is not None:
+                    callees.append(target.key)
+        if not callees:
+            return
+        for reached in sorted(graph.reachable(callees)):
+            for inner_acq in per_function.get(reached, ()):
+                yield inner_acq.lock, (
+                    inner_acq.path,
+                    inner_acq.line,
+                    f"{acq.lock} held (from {acq.path}:{acq.line})"
+                    " across this acquisition",
+                )
+
+    def _report_cycles(
+        self,
+        edges: Dict[str, Dict[str, Tuple[str, int, str]]],
+    ) -> Iterator[Finding]:
+        reported: Set[Tuple[str, ...]] = set()
+        for start in sorted(edges):
+            cycle = self._find_cycle(edges, start)
+            if cycle is None:
+                continue
+            canon = self._canonical(cycle)
+            if canon in reported:
+                continue
+            reported.add(canon)
+            first, second = cycle[0], cycle[1]
+            path, line, _ = edges[first][second]
+            chain = " -> ".join(cycle + (cycle[0],))
+            yield self.finding(
+                path,
+                line,
+                f"lock-order cycle {chain}: two workers taking these"
+                " in opposite orders deadlock; impose one global"
+                " acquisition order",
+            )
+
+    @staticmethod
+    def _find_cycle(
+        edges: Dict[str, Dict[str, Tuple[str, int, str]]],
+        start: str,
+    ) -> Optional[Tuple[str, ...]]:
+        stack: List[str] = [start]
+        on_stack: Set[str] = {start}
+        visited: Set[str] = set()
+
+        def dfs(node: str) -> Optional[Tuple[str, ...]]:
+            visited.add(node)
+            for nxt in sorted(edges.get(node, ())):
+                if nxt in on_stack:
+                    at = stack.index(nxt)
+                    return tuple(stack[at:])
+                if nxt in visited:
+                    continue
+                stack.append(nxt)
+                on_stack.add(nxt)
+                found = dfs(nxt)
+                if found is not None:
+                    return found
+                stack.pop()
+                on_stack.discard(nxt)
+            return None
+
+        return dfs(start)
+
+    @staticmethod
+    def _canonical(cycle: Tuple[str, ...]) -> Tuple[str, ...]:
+        pivot = cycle.index(min(cycle))
+        return cycle[pivot:] + cycle[:pivot]

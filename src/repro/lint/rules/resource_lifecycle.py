@@ -1,0 +1,403 @@
+"""RL011: resources in the serving stack are released on all paths.
+
+Scope: files under ``serving/``, ``artifactd/``, ``backends/``, and
+``resilience/`` -- the long-lived tiers where a leaked socket, SQLite
+connection, executor, or non-daemon thread accumulates across requests
+until the process hits a descriptor limit mid-traffic.
+
+For every tracked acquisition (``socket.socket`` /
+``create_connection``, ``sqlite3.connect``, thread-pool executors,
+``http.client.HTTPConnection``, HTTP servers, ``tempfile`` handles,
+``os.open``, non-daemon ``threading.Thread``):
+
+* ``with``-managed acquisitions are fine by construction;
+* assignment to ``self.attr`` is accepted iff the class exposes a
+  release method (``close``/``stop``/``shutdown``/``aclose``/
+  ``__exit__``/``__del__``) -- ownership moved to the object's
+  lifecycle;
+* a local variable must reach a release (``v.close()`` and friends,
+  ``os.close(v)``, or ``v`` passed to a helper whose name contains
+  ``close``/``stop``/``shutdown``/``release``) or a transfer
+  (``self.x = v``, ``return v``, ``yield v``, appended/registered
+  into a container) on the fall-through path, **and** every call that
+  can raise between the acquisition and the first release must be
+  covered by a ``try`` whose ``finally`` (or an ``except`` handler)
+  releases the variable.  Error-path bookkeeping inside ``except`` /
+  ``finally`` blocks is not itself re-analysed.
+
+Daemon threads are exempt (they die with the process by design);
+non-daemon threads count as resources and must be joined or handed
+off.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.lint.callgraph import (
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    get_callgraph,
+)
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.registry import Rule, register
+from repro.lint.astutil import ancestors
+
+_SCOPES = (
+    ("serving",),
+    ("artifactd",),
+    ("backends",),
+    ("resilience",),
+)
+
+#: Canonical constructor names that hand back an owned resource.
+RESOURCE_CALLS = frozenset(
+    {
+        "socket.socket",
+        "socket.create_connection",
+        "sqlite3.connect",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+        "http.client.HTTPConnection",
+        "http.client.HTTPSConnection",
+        "http.server.HTTPServer",
+        "http.server.ThreadingHTTPServer",
+        "socketserver.TCPServer",
+        "tempfile.NamedTemporaryFile",
+        "tempfile.TemporaryFile",
+        "tempfile.TemporaryDirectory",
+        "os.open",
+        "threading.Thread",
+        "multiprocessing.Process",
+    }
+)
+
+_RELEASE_METHODS = frozenset(
+    {
+        "close",
+        "aclose",
+        "stop",
+        "shutdown",
+        "join",
+        "release",
+        "terminate",
+        "cleanup",
+        "server_close",
+        "__exit__",
+    }
+)
+_CLASS_RELEASE_METHODS = frozenset(
+    {"close", "aclose", "stop", "shutdown", "__exit__", "__del__"}
+)
+_RELEASE_HELPER_WORDS = ("close", "stop", "shutdown", "release")
+_TRANSFER_METHODS = frozenset(
+    {"append", "add", "put", "register", "setdefault", "push"}
+)
+
+
+def _kw_true(call: ast.Call, name: str) -> bool:
+    for kw in call.keywords:
+        if kw.arg == name and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return False
+
+
+def _in_scope(path_file: "ast.AST", source) -> bool:
+    return any(source.is_under(*parts) for parts in _SCOPES)
+
+
+def _is_resource_call(
+    graph: CallGraph, info: FunctionInfo, call: ast.Call
+) -> Optional[str]:
+    canonical = graph.canonical_call(info, call)
+    if canonical not in RESOURCE_CALLS:
+        return None
+    if canonical in (
+        "threading.Thread",
+        "multiprocessing.Process",
+    ) and _kw_true(call, "daemon"):
+        return None  # daemon threads die with the process by design
+    return canonical
+
+
+def _releases(node: ast.AST, var: str) -> bool:
+    """True when *node* (a call) releases the variable *var*."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    # v.close() / v.stop() / ...
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _RELEASE_METHODS
+        and isinstance(func.value, ast.Name)
+        and func.value.id == var
+    ):
+        return True
+    # os.close(v) / helper_close(v) / self._close(v)
+    takes_var = any(
+        isinstance(arg, ast.Name) and arg.id == var
+        for arg in node.args
+    )
+    if not takes_var:
+        return False
+    name = (
+        func.attr
+        if isinstance(func, ast.Attribute)
+        else func.id
+        if isinstance(func, ast.Name)
+        else ""
+    ).lower()
+    return any(word in name for word in _RELEASE_HELPER_WORDS)
+
+
+def _transfers(node: ast.AST, var: str) -> bool:
+    """True when *node* hands ownership of *var* somewhere durable."""
+    if isinstance(node, ast.Assign):
+        if isinstance(node.value, ast.Name) and node.value.id == var:
+            return any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                for t in node.targets
+            )
+    if isinstance(node, (ast.Return, ast.Yield)):
+        value = node.value
+        if isinstance(value, ast.Name) and value.id == var:
+            return True
+        if isinstance(value, (ast.Tuple, ast.List)):
+            return any(
+                isinstance(e, ast.Name) and e.id == var
+                for e in value.elts
+            )
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _TRANSFER_METHODS
+        ):
+            return any(
+                isinstance(arg, ast.Name) and arg.id == var
+                for arg in node.args
+            )
+    return False
+
+
+def _body_contains_release(body: Iterable[ast.stmt], var: str) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if _releases(node, var):
+                return True
+    return False
+
+
+def _covered(node: ast.AST, var: str) -> bool:
+    """A raise at *node* still releases *var* (finally/handler)."""
+    for anc in ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        if isinstance(anc, ast.Try):
+            if _body_contains_release(anc.finalbody, var):
+                return True
+            for handler in anc.handlers:
+                if _body_contains_release(handler.body, var):
+                    return True
+    return False
+
+
+def _on_error_path(node: ast.AST) -> bool:
+    """Inside an ``except`` handler or ``finally`` block."""
+    child = node
+    for anc in ancestors(node):
+        if isinstance(anc, ast.ExceptHandler):
+            return True
+        if isinstance(anc, ast.Try) and any(
+            child is s or _contains(s, child) for s in anc.finalbody
+        ):
+            return True
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        child = anc
+    return False
+
+
+def _contains(tree: ast.AST, node: ast.AST) -> bool:
+    return any(candidate is node for candidate in ast.walk(tree))
+
+
+class _Acquired:
+    """One tracked ``v = <resource ctor>()`` site in a function."""
+
+    def __init__(
+        self, var: str, canonical: str, node: ast.Assign
+    ) -> None:
+        self.var = var
+        self.canonical = canonical
+        self.node = node
+
+
+def _acquisition_sites(
+    graph: CallGraph, info: FunctionInfo
+) -> Iterator[Tuple[ast.AST, str, Optional[str]]]:
+    """(node, canonical, var-or-None) for tracked ctor calls."""
+    for node in info.body_nodes():
+        if not isinstance(node, ast.Call):
+            continue
+        canonical = _is_resource_call(graph, info, node)
+        if canonical is None:
+            continue
+        holder: Optional[ast.AST] = None
+        for anc in ancestors(node):
+            if isinstance(anc, (ast.stmt, ast.withitem)):
+                holder = anc
+                break
+        if isinstance(holder, ast.withitem):
+            continue  # with-managed: released by construction
+        var: Optional[str] = None
+        if (
+            isinstance(holder, ast.Assign)
+            and len(holder.targets) == 1
+            and holder.value is node
+        ):
+            target = holder.targets[0]
+            if isinstance(target, ast.Name):
+                var = target.id
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                yield node, canonical, f"self.{target.attr}"
+                continue
+        elif isinstance(holder, ast.AnnAssign) and holder.value is node:
+            if isinstance(holder.target, ast.Name):
+                var = holder.target.id
+        yield node, canonical, var
+
+
+@register
+class ResourceLifecycleRule(Rule):
+    id = "RL011"
+    name = "resource-lifecycle"
+    summary = (
+        "sockets/connections/executors/threads opened in the serving"
+        " stack must be released on all paths (with/try-finally)"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        graph = get_callgraph(project)
+        for source in project.parsed():
+            if not any(source.is_under(*p) for p in _SCOPES):
+                continue
+            table = graph.modules.get(source.rel_path)
+            if table is None:
+                continue
+            for key in sorted(graph.functions):
+                if key[0] != source.rel_path:
+                    continue
+                info = graph.functions[key]
+                yield from self._check_function(graph, table, info)
+
+    def _check_function(
+        self, graph: CallGraph, table, info: FunctionInfo
+    ) -> Iterator[Finding]:
+        for node, canonical, var in _acquisition_sites(graph, info):
+            if var is None:
+                # Result discarded or stored in an untracked shape:
+                # a leak by construction for everything but Thread
+                # chaining (Thread(...).start() is untracked-daemon
+                # only when daemon=True, handled above).
+                yield self.finding(
+                    info.file.rel_path,
+                    node.lineno,
+                    f"resource from {canonical}() is neither bound"
+                    " nor context-managed; it can never be released",
+                )
+                continue
+            if var.startswith("self."):
+                yield from self._check_self_attr(
+                    graph, table, info, node, canonical, var
+                )
+                continue
+            yield from self._check_local(
+                graph, info, node, canonical, var
+            )
+
+    def _check_self_attr(
+        self,
+        graph: CallGraph,
+        table,
+        info: FunctionInfo,
+        node: ast.AST,
+        canonical: str,
+        var: str,
+    ) -> Iterator[Finding]:
+        cls: Optional[ClassInfo] = (
+            table.classes.get(info.cls_name) if info.cls_name else None
+        )
+        if cls is not None and any(
+            m in cls.methods for m in _CLASS_RELEASE_METHODS
+        ):
+            return
+        yield self.finding(
+            info.file.rel_path,
+            node.lineno,
+            f"resource from {canonical}() is stored on {var} but"
+            f" {info.cls_name or 'the class'} has no release method"
+            " (close/stop/shutdown/__exit__/__del__)",
+        )
+
+    def _check_local(
+        self,
+        graph: CallGraph,
+        info: FunctionInfo,
+        node: ast.AST,
+        canonical: str,
+        var: str,
+    ) -> Iterator[Finding]:
+        releases: List[ast.AST] = []
+        transfers: List[ast.AST] = []
+        for other in info.body_nodes():
+            if _releases(other, var):
+                releases.append(other)
+            elif _transfers(other, var):
+                transfers.append(other)
+        if not releases and not transfers:
+            yield self.finding(
+                info.file.rel_path,
+                node.lineno,
+                f"resource {var!r} from {canonical}() is never"
+                " released or handed off in this function; use"
+                " 'with', try/finally, or store it somewhere with a"
+                " lifecycle",
+            )
+            return
+        first_out = min(
+            (n.lineno for n in releases + transfers),
+            default=node.lineno,
+        )
+        # Every fallible call strictly between the acquisition and the
+        # first release/transfer must be covered by a finally/handler
+        # that releases the variable.
+        for risky in info.body_nodes():
+            if not isinstance(risky, (ast.Call, ast.Raise)):
+                continue
+            if risky is node or _contains(node, risky):
+                continue  # argument of the acquisition call itself
+            line = getattr(risky, "lineno", 0)
+            if line <= node.lineno or line >= first_out:
+                continue
+            if _releases(risky, var) or _transfers(risky, var):
+                continue
+            if _on_error_path(risky):
+                continue
+            if _covered(risky, var):
+                continue
+            yield self.finding(
+                info.file.rel_path,
+                node.lineno,
+                f"resource {var!r} from {canonical}() leaks if line"
+                f" {line} raises before the release at line"
+                f" {first_out}; wrap the span in try/finally",
+            )
+            return

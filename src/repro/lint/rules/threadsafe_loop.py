@@ -1,0 +1,163 @@
+"""RL012: executor-thread code must not touch asyncio loop state.
+
+Everything the serving tier off-loads -- compile work through
+``AsyncSession._off_loop``, chaos-proxy pumps, artifactd worker
+threads -- runs on plain ``threading`` threads.  From there, the only
+safe ways back into the event loop are
+``loop.call_soon_threadsafe(...)`` and
+``asyncio.run_coroutine_threadsafe(...)``; anything else
+(``call_soon``, ``create_task``, ``ensure_future``,
+``get_event_loop``) mutates loop internals without the loop's wake-up
+handshake and corrupts or silently drops callbacks.
+
+Roots are the call graph's *thread entries*: every callable passed by
+value into ``run_in_executor`` / ``Executor.submit`` /
+``Thread(target=...)``.  The rule BFS-walks from those and flags, in
+any reachable function:
+
+* canonical calls ``asyncio.get_event_loop`` /
+  ``asyncio.get_running_loop`` / ``asyncio.ensure_future`` /
+  ``asyncio.create_task`` (loop state is thread-local; on a worker
+  thread these either raise or, worse, spin up a second loop);
+* attribute calls ``.call_soon`` / ``.call_later`` / ``.call_at`` /
+  ``.create_task`` / ``.ensure_future`` / ``.stop`` /
+  ``.run_until_complete`` on a receiver the graph types as an event
+  loop, or on any receiver named like a loop (``loop``,
+  ``self._loop``, ...) -- loop handles are routinely passed into
+  workers precisely so they can schedule results back, so naming is
+  signal here, not noise.
+
+``call_soon_threadsafe`` and ``run_coroutine_threadsafe`` are exempt:
+they are the documented handshake.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.lint.callgraph import CallGraph, FunctionInfo, get_callgraph
+from repro.lint.findings import Finding
+from repro.lint.project import Project
+from repro.lint.registry import Rule, register
+
+#: Canonical asyncio calls that read or mutate thread-local loop state.
+LOOP_STATE_CALLS = frozenset(
+    {
+        "asyncio.get_event_loop",
+        "asyncio.get_running_loop",
+        "asyncio.new_event_loop",
+        "asyncio.set_event_loop",
+        "asyncio.ensure_future",
+        "asyncio.create_task",
+    }
+)
+
+#: Methods on a loop object that are NOT safe off-thread.
+_UNSAFE_LOOP_METHODS = frozenset(
+    {
+        "call_soon",
+        "call_later",
+        "call_at",
+        "create_task",
+        "ensure_future",
+        "run_until_complete",
+        "stop",
+        "close",
+    }
+)
+
+#: The two documented thread-to-loop handshakes.
+_SAFE_METHODS = frozenset(
+    {"call_soon_threadsafe", "run_coroutine_threadsafe"}
+)
+
+_LOOP_TYPE_NAMES = frozenset(
+    {"AbstractEventLoop", "BaseEventLoop", "EventLoop"}
+)
+
+
+def _looks_like_loop(expr: ast.AST) -> bool:
+    """Receiver is named like an event loop handle."""
+    name: Optional[str] = None
+    if isinstance(expr, ast.Name):
+        name = expr.id
+    elif isinstance(expr, ast.Attribute):
+        name = expr.attr
+    if name is None:
+        return False
+    stripped = name.lstrip("_")
+    return stripped == "loop" or stripped.endswith("_loop")
+
+
+def loop_touches(
+    graph: CallGraph, info: FunctionInfo
+) -> Iterator[Tuple[int, str]]:
+    """(line, description) for each unsafe loop touch in *info*."""
+    for node in info.body_nodes():
+        if not isinstance(node, ast.Call):
+            continue
+        canonical = graph.canonical_call(info, node)
+        if canonical in LOOP_STATE_CALLS:
+            yield (
+                node.lineno,
+                f"{canonical}() reads thread-local loop state",
+            )
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr in _SAFE_METHODS:
+            continue
+        if func.attr not in _UNSAFE_LOOP_METHODS:
+            continue
+        recv_type = graph.receiver_type(info, func.value)
+        if recv_type in _LOOP_TYPE_NAMES or _looks_like_loop(
+            func.value
+        ):
+            yield (
+                node.lineno,
+                f"loop.{func.attr}() is not thread-safe",
+            )
+
+
+@register
+class ThreadsafeLoopRule(Rule):
+    id = "RL012"
+    name = "threadsafe-loop"
+    summary = (
+        "executor-thread code may only reach the event loop via"
+        " call_soon_threadsafe/run_coroutine_threadsafe"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        graph = get_callgraph(project)
+        roots = graph.thread_entry_keys()
+        if not roots:
+            return
+        parents = graph.reachable(roots)
+        seen: set = set()
+        for key in sorted(parents):
+            info = graph.functions[key]
+            if info.is_async:
+                # A coroutine function handed to an executor is a
+                # different bug (RL009's domain); its body runs on
+                # the loop once awaited.
+                continue
+            chain: Optional[str] = None
+            for line, what in loop_touches(graph, info):
+                if (info.file.rel_path, line) in seen:
+                    continue
+                seen.add((info.file.rel_path, line))
+                if chain is None:
+                    chain = graph.render_chain(
+                        graph.call_chain(parents, key)
+                    )
+                yield self.finding(
+                    info.file.rel_path,
+                    line,
+                    f"{what} but this code runs on an executor"
+                    f" thread (via {chain}); use"
+                    " call_soon_threadsafe or"
+                    " run_coroutine_threadsafe",
+                )

@@ -182,6 +182,7 @@ class FaultPlan:
                 rule.fired += 1
                 self.log.append((point, rule.kind))
                 if rule.kind == DELAY:
+                    # reprolint: disable=RL009 -- the delay fault IS the injected blocking: chaos tests must observe a stalled loop, and production plans never configure DELAY at loop-reachable points
                     time.sleep(rule.delay)
                 else:
                     # reprolint: disable=RL001 -- deliberately raises the configured exception type: fault injection must simulate untyped failures too

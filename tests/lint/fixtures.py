@@ -114,6 +114,60 @@ RL008_CLEANUP = (
     "        pass\n"
 )
 
+RL009_SERVING_APP = (
+    "import time\n"
+    "\n"
+    "\n"
+    "async def handle(request):\n"
+    "    time.sleep(0.1)\n"
+    "    return request\n"
+)
+
+RL010_PAIR_LOCKS = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "class Pair:\n"
+    "    def __init__(self):\n"
+    "        self._a = threading.Lock()\n"
+    "        self._b = threading.Lock()\n"
+    "\n"
+    "    def forward(self):\n"
+    "        with self._a:\n"
+    "            with self._b:\n"
+    "                return 1\n"
+    "\n"
+    "    def backward(self):\n"
+    "        with self._b:\n"
+    "            with self._a:\n"
+    "                return 2\n"
+)
+
+RL011_NET = (
+    "import socket\n"
+    "\n"
+    "\n"
+    "def ping(host):\n"
+    "    sock = socket.create_connection((host, 80))\n"
+    '    sock.sendall(b"ping")\n'
+    "    sock.close()\n"
+)
+
+RL012_OFFLOAD = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "def worker(loop):\n"
+    "    loop.call_soon(print)\n"
+    "\n"
+    "\n"
+    "def kick(loop):\n"
+    "    thread = threading.Thread(\n"
+    "        target=worker, args=(loop,), daemon=True\n"
+    "    )\n"
+    "    thread.start()\n"
+)
+
 PER_RULE: Dict[str, Dict[str, str]] = {
     "RL001": {
         "README.md": PLAIN_README,
@@ -156,6 +210,26 @@ PER_RULE: Dict[str, Dict[str, str]] = {
         "errors.py": ERRORS_PY,
         "cleanup.py": RL008_CLEANUP,
     },
+    "RL009": {
+        "README.md": PLAIN_README,
+        "errors.py": ERRORS_PY,
+        "serving/app.py": RL009_SERVING_APP,
+    },
+    "RL010": {
+        "README.md": PLAIN_README,
+        "errors.py": ERRORS_PY,
+        "resilience/pairlocks.py": RL010_PAIR_LOCKS,
+    },
+    "RL011": {
+        "README.md": PLAIN_README,
+        "errors.py": ERRORS_PY,
+        "backends/net.py": RL011_NET,
+    },
+    "RL012": {
+        "README.md": PLAIN_README,
+        "errors.py": ERRORS_PY,
+        "serving/offload.py": RL012_OFFLOAD,
+    },
 }
 
 COMBINED: Dict[str, str] = {
@@ -170,6 +244,10 @@ COMBINED: Dict[str, str] = {
     "knobs.py": RL006_KNOBS,
     "defaults.py": RL007_DEFAULTS,
     "cleanup.py": RL008_CLEANUP,
+    "serving/app.py": RL009_SERVING_APP,
+    "resilience/pairlocks.py": RL010_PAIR_LOCKS,
+    "backends/net.py": RL011_NET,
+    "serving/offload.py": RL012_OFFLOAD,
 }
 
 

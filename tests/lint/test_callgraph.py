@@ -1,0 +1,337 @@
+"""Unit tests for the interprocedural call graph behind RL009-RL012."""
+
+from __future__ import annotations
+
+from repro.lint import Project
+from repro.lint.callgraph import CallGraph, get_callgraph
+from tests.lint.fixtures import write_tree
+
+
+def graph_for(tmp_path, files):
+    write_tree(tmp_path, files)
+    return get_callgraph(Project.from_paths([str(tmp_path)]))
+
+
+class TestResolution:
+    def test_module_local_call(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": (
+                    "def helper():\n"
+                    "    return 1\n"
+                    "\n"
+                    "\n"
+                    "def caller():\n"
+                    "    return helper()\n"
+                )
+            },
+        )
+        edges = graph.edges[("mod.py", "caller")]
+        assert [site.callee for site in edges] == [("mod.py", "helper")]
+
+    def test_cross_module_symbol_import(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/app.py": (
+                    "from pkg.util import helper\n"
+                    "\n"
+                    "\n"
+                    "def caller():\n"
+                    "    return helper()\n"
+                ),
+            },
+        )
+        edges = graph.edges[("pkg/app.py", "caller")]
+        assert [site.callee for site in edges] == [
+            ("pkg/util.py", "helper")
+        ]
+
+    def test_module_import_attribute_call(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/app.py": (
+                    "from pkg import util\n"
+                    "\n"
+                    "\n"
+                    "def caller():\n"
+                    "    return util.helper()\n"
+                ),
+            },
+        )
+        edges = graph.edges[("pkg/app.py", "caller")]
+        assert [site.callee for site in edges] == [
+            ("pkg/util.py", "helper")
+        ]
+
+    def test_absolute_import_with_package_prefix(self, tmp_path):
+        # ``from top.pkg.util import helper`` must resolve even though
+        # the project root makes module paths start at ``pkg``.
+        graph = graph_for(
+            tmp_path,
+            {
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "app.py": (
+                    "from top.pkg.util import helper\n"
+                    "\n"
+                    "\n"
+                    "def caller():\n"
+                    "    return helper()\n"
+                ),
+            },
+        )
+        edges = graph.edges[("app.py", "caller")]
+        assert [site.callee for site in edges] == [
+            ("pkg/util.py", "helper")
+        ]
+
+    def test_self_method_call(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class Thing:\n"
+                    "    def inner(self):\n"
+                    "        return 1\n"
+                    "\n"
+                    "    def outer(self):\n"
+                    "        return self.inner()\n"
+                )
+            },
+        )
+        edges = graph.edges[("mod.py", "Thing.outer")]
+        assert [site.callee for site in edges] == [
+            ("mod.py", "Thing.inner")
+        ]
+
+    def test_typed_attribute_method_call(self, tmp_path):
+        # self.helper was assigned a Helper() in __init__; calls
+        # through it resolve to Helper's methods.
+        graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class Helper:\n"
+                    "    def work(self):\n"
+                    "        return 1\n"
+                    "\n"
+                    "\n"
+                    "class App:\n"
+                    "    def __init__(self):\n"
+                    "        self.helper = Helper()\n"
+                    "\n"
+                    "    def run(self):\n"
+                    "        return self.helper.work()\n"
+                )
+            },
+        )
+        edges = graph.edges[("mod.py", "App.run")]
+        assert [site.callee for site in edges] == [
+            ("mod.py", "Helper.work")
+        ]
+
+    def test_inherited_method_resolves_to_the_base(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class Base:\n"
+                    "    def work(self):\n"
+                    "        return 1\n"
+                    "\n"
+                    "\n"
+                    "class Child(Base):\n"
+                    "    def run(self):\n"
+                    "        return self.work()\n"
+                )
+            },
+        )
+        edges = graph.edges[("mod.py", "Child.run")]
+        assert [site.callee for site in edges] == [
+            ("mod.py", "Base.work")
+        ]
+
+    def test_canonical_external_name(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": (
+                    "from time import sleep\n"
+                    "\n"
+                    "\n"
+                    "def nap():\n"
+                    "    sleep(1)\n"
+                )
+            },
+        )
+        info = graph.functions[("mod.py", "nap")]
+        import ast
+
+        calls = [
+            n for n in info.body_nodes() if isinstance(n, ast.Call)
+        ]
+        assert graph.canonical_call(info, calls[0]) == "time.sleep"
+
+
+class TestAsyncColoring:
+    def test_async_functions_under_segments(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "serving/app.py": (
+                    "async def handle():\n"
+                    "    return 1\n"
+                    "\n"
+                    "\n"
+                    "def sync_helper():\n"
+                    "    return 2\n"
+                ),
+                "tools/app.py": "async def other():\n    return 3\n",
+            },
+        )
+        assert graph.async_functions_under("serving") == [
+            ("serving/app.py", "handle")
+        ]
+        assert graph.functions[
+            ("serving/app.py", "handle")
+        ].is_async
+        assert not graph.functions[
+            ("serving/app.py", "sync_helper")
+        ].is_async
+
+
+class TestThreadEntries:
+    def test_thread_target_is_an_entry_not_an_edge(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": (
+                    "import threading\n"
+                    "\n"
+                    "\n"
+                    "def worker():\n"
+                    "    return 1\n"
+                    "\n"
+                    "\n"
+                    "def kick():\n"
+                    "    threading.Thread(target=worker).start()\n"
+                )
+            },
+        )
+        assert graph.thread_entry_keys() == [("mod.py", "worker")]
+        callees = [
+            site.callee
+            for site in graph.edges.get(("mod.py", "kick"), [])
+        ]
+        assert ("mod.py", "worker") not in callees
+
+    def test_executor_submit_is_an_entry(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": (
+                    "from concurrent.futures import ThreadPoolExecutor\n"
+                    "\n"
+                    "\n"
+                    "def job():\n"
+                    "    return 1\n"
+                    "\n"
+                    "\n"
+                    "def kick(pool: ThreadPoolExecutor):\n"
+                    "    return pool.submit(job)\n"
+                )
+            },
+        )
+        assert graph.thread_entry_keys() == [("mod.py", "job")]
+
+    def test_forwarder_param_offload(self, tmp_path):
+        # off_loop forwards its parameter into run_in_executor; a call
+        # off_loop(build) therefore records build as a thread entry
+        # and draws no loop-side edge to it.
+        graph = graph_for(
+            tmp_path,
+            {
+                "serving/session.py": (
+                    "import asyncio\n"
+                    "\n"
+                    "\n"
+                    "def build():\n"
+                    "    return 1\n"
+                    "\n"
+                    "\n"
+                    "async def off_loop(func):\n"
+                    "    loop = asyncio.get_running_loop()\n"
+                    "    return await loop.run_in_executor(None, func)\n"
+                    "\n"
+                    "\n"
+                    "async def handle():\n"
+                    "    return await off_loop(build)\n"
+                )
+            },
+        )
+        assert ("serving/session.py", "build") in set(
+            graph.thread_entry_keys()
+        )
+        reach = graph.reachable([("serving/session.py", "handle")])
+        assert ("serving/session.py", "build") not in reach
+
+
+class TestReachability:
+    def test_bfs_parent_chain_renders(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": (
+                    "def c():\n"
+                    "    return 1\n"
+                    "\n"
+                    "\n"
+                    "def b():\n"
+                    "    return c()\n"
+                    "\n"
+                    "\n"
+                    "def a():\n"
+                    "    return b()\n"
+                )
+            },
+        )
+        parents = graph.reachable([("mod.py", "a")])
+        chain = graph.call_chain(parents, ("mod.py", "c"))
+        assert graph.render_chain(chain) == "a -> b -> c"
+
+    def test_recursion_terminates(self, tmp_path):
+        graph = graph_for(
+            tmp_path,
+            {
+                "mod.py": (
+                    "def ping():\n"
+                    "    return pong()\n"
+                    "\n"
+                    "\n"
+                    "def pong():\n"
+                    "    return ping()\n"
+                )
+            },
+        )
+        parents = graph.reachable([("mod.py", "ping")])
+        assert set(parents) == {("mod.py", "ping"), ("mod.py", "pong")}
+        chain = graph.call_chain(parents, ("mod.py", "pong"))
+        assert chain[-1] == ("mod.py", "pong")
+
+    def test_unknown_root_is_ignored(self, tmp_path):
+        graph = graph_for(tmp_path, {"mod.py": "X = 1\n"})
+        assert graph.reachable([("mod.py", "missing")]) == {}
+
+
+class TestCaching:
+    def test_graph_is_built_once_per_project(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": "def f():\n    return 1\n"})
+        project = Project.from_paths([str(tmp_path)])
+        first = get_callgraph(project)
+        second = get_callgraph(project)
+        assert first is second
+        assert isinstance(first, CallGraph)

@@ -1,0 +1,588 @@
+"""Flow rules RL009-RL012 on planted trees: one test per failure mode.
+
+These rules run over the interprocedural call graph, so each test
+plants a *multi-file* tree and asserts the rule fires on the planted
+hazard -- and, just as important, stays silent on the exempted
+pattern (executor off-load, ``with``-managed resources, threadsafe
+loop calls, acyclic lock order).
+"""
+
+from __future__ import annotations
+
+from tests.lint.fixtures import ERRORS_PY, PLAIN_README
+from tests.lint.test_rules import lint_tree
+
+BASE = {"README.md": PLAIN_README, "errors.py": ERRORS_PY}
+
+
+def _tree(files):
+    merged = dict(BASE)
+    merged.update(files)
+    return merged
+
+
+def findings_for(tmp_path, rule_id, files):
+    findings = lint_tree(tmp_path, _tree(files))
+    return [f for f in findings if f.rule == rule_id]
+
+
+# -- RL009: async-blocking ------------------------------------------------
+
+
+class TestAsyncBlocking:
+    def test_direct_sleep_in_async_def(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL009",
+            {
+                "serving/app.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "async def handle():\n"
+                    "    time.sleep(0.1)\n"
+                )
+            },
+        )
+        assert [(f.path, f.line) for f in found] == [
+            ("serving/app.py", 5)
+        ]
+        assert "time.sleep" in found[0].message
+
+    def test_blocking_reached_through_a_helper_module(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL009",
+            {
+                "serving/app.py": (
+                    "from util.io import fetch\n"
+                    "\n"
+                    "\n"
+                    "async def handle():\n"
+                    "    return fetch()\n"
+                ),
+                "util/io.py": (
+                    "import urllib.request\n"
+                    "\n"
+                    "\n"
+                    "def fetch():\n"
+                    '    return urllib.request.urlopen("http://x")\n'
+                ),
+            },
+        )
+        assert [(f.path, f.line) for f in found] == [("util/io.py", 5)]
+        # The finding explains the path back to the loop.
+        assert "handle" in found[0].message
+        assert "fetch" in found[0].message
+
+    def test_unawaited_acquire_is_blocking(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL009",
+            {
+                "serving/app.py": (
+                    "import threading\n"
+                    "\n"
+                    "GATE = threading.Lock()\n"
+                    "\n"
+                    "\n"
+                    "async def handle():\n"
+                    "    GATE.acquire()\n"
+                )
+            },
+        )
+        assert [f.line for f in found] == [7]
+
+    def test_awaited_acquire_is_fine(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL009",
+            {
+                "serving/app.py": (
+                    "import asyncio\n"
+                    "\n"
+                    "GATE = asyncio.Lock()\n"
+                    "\n"
+                    "\n"
+                    "async def handle():\n"
+                    "    await GATE.acquire()\n"
+                )
+            },
+        )
+        assert found == []
+
+    def test_executor_offload_is_exempt(self, tmp_path):
+        # The canonical AsyncSession shape: the blocking callable is
+        # passed *by value* into run_in_executor, so it runs on a
+        # worker thread, not the loop.
+        found = findings_for(
+            tmp_path,
+            "RL009",
+            {
+                "serving/session.py": (
+                    "import asyncio\n"
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def build():\n"
+                    "    time.sleep(1.0)\n"
+                    "\n"
+                    "\n"
+                    "async def handle():\n"
+                    "    loop = asyncio.get_running_loop()\n"
+                    "    await loop.run_in_executor(None, build)\n"
+                )
+            },
+        )
+        assert found == []
+
+    def test_offload_through_a_forwarder_is_exempt(self, tmp_path):
+        # A forwarder whose parameter flows into run_in_executor
+        # propagates the exemption to its call sites.
+        found = findings_for(
+            tmp_path,
+            "RL009",
+            {
+                "serving/session.py": (
+                    "import asyncio\n"
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def build():\n"
+                    "    time.sleep(1.0)\n"
+                    "\n"
+                    "\n"
+                    "async def off_loop(func):\n"
+                    "    loop = asyncio.get_running_loop()\n"
+                    "    return await loop.run_in_executor(None, func)\n"
+                    "\n"
+                    "\n"
+                    "async def handle():\n"
+                    "    return await off_loop(build)\n"
+                )
+            },
+        )
+        assert found == []
+
+    def test_async_outside_serving_is_out_of_scope(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL009",
+            {
+                "tools/app.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "async def handle():\n"
+                    "    time.sleep(0.1)\n"
+                )
+            },
+        )
+        assert found == []
+
+
+# -- RL010: lock-order ----------------------------------------------------
+
+
+class TestLockOrder:
+    def test_opposite_order_pair_is_a_cycle(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL010",
+            {
+                "resilience/pair.py": (
+                    "import threading\n"
+                    "\n"
+                    "\n"
+                    "class Pair:\n"
+                    "    def __init__(self):\n"
+                    "        self._a = threading.Lock()\n"
+                    "        self._b = threading.Lock()\n"
+                    "\n"
+                    "    def forward(self):\n"
+                    "        with self._a:\n"
+                    "            with self._b:\n"
+                    "                return 1\n"
+                    "\n"
+                    "    def backward(self):\n"
+                    "        with self._b:\n"
+                    "            with self._a:\n"
+                    "                return 2\n"
+                )
+            },
+        )
+        assert len(found) == 1
+        assert "cycle" in found[0].message
+        assert "Pair._a" in found[0].message
+        assert "Pair._b" in found[0].message
+
+    def test_consistent_order_is_fine(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL010",
+            {
+                "resilience/pair.py": (
+                    "import threading\n"
+                    "\n"
+                    "\n"
+                    "class Pair:\n"
+                    "    def __init__(self):\n"
+                    "        self._a = threading.Lock()\n"
+                    "        self._b = threading.Lock()\n"
+                    "\n"
+                    "    def forward(self):\n"
+                    "        with self._a:\n"
+                    "            with self._b:\n"
+                    "                return 1\n"
+                    "\n"
+                    "    def also_forward(self):\n"
+                    "        with self._a:\n"
+                    "            with self._b:\n"
+                    "                return 2\n"
+                )
+            },
+        )
+        assert found == []
+
+    def test_three_lock_cycle_through_the_call_graph(self, tmp_path):
+        # a->b directly, b->c directly, c->a through a helper call:
+        # the cycle only exists interprocedurally.
+        found = findings_for(
+            tmp_path,
+            "RL010",
+            {
+                "resilience/trio.py": (
+                    "import threading\n"
+                    "\n"
+                    "\n"
+                    "class Trio:\n"
+                    "    def __init__(self):\n"
+                    "        self._a = threading.Lock()\n"
+                    "        self._b = threading.Lock()\n"
+                    "        self._c = threading.Lock()\n"
+                    "\n"
+                    "    def ab(self):\n"
+                    "        with self._a:\n"
+                    "            with self._b:\n"
+                    "                return 1\n"
+                    "\n"
+                    "    def bc(self):\n"
+                    "        with self._b:\n"
+                    "            with self._c:\n"
+                    "                return 2\n"
+                    "\n"
+                    "    def take_a(self):\n"
+                    "        with self._a:\n"
+                    "            return 3\n"
+                    "\n"
+                    "    def ca(self):\n"
+                    "        with self._c:\n"
+                    "            return self.take_a()\n"
+                )
+            },
+        )
+        assert len(found) == 1
+        message = found[0].message
+        for node in ("Trio._a", "Trio._b", "Trio._c"):
+            assert node in message
+
+    def test_sqlite_write_txn_under_a_lock_is_an_edge_not_a_cycle(
+        self, tmp_path
+    ):
+        found = findings_for(
+            tmp_path,
+            "RL010",
+            {
+                "backends/db.py": (
+                    "import sqlite3\n"
+                    "import threading\n"
+                    "\n"
+                    "\n"
+                    "class Db:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self._conn = sqlite3.connect(\":memory:\")\n"
+                    "\n"
+                    "    def put(self, row):\n"
+                    "        with self._lock:\n"
+                    "            self._conn.execute(\"BEGIN IMMEDIATE\")\n"
+                    "            return row\n"
+                )
+            },
+        )
+        assert found == []
+
+
+# -- RL011: resource lifecycle --------------------------------------------
+
+
+class TestResourceLifecycle:
+    def test_unreleased_socket(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL011",
+            {
+                "backends/net.py": (
+                    "import socket\n"
+                    "\n"
+                    "\n"
+                    "def ping(host):\n"
+                    "    sock = socket.create_connection((host, 80))\n"
+                    '    sock.sendall(b"ping")\n'
+                )
+            },
+        )
+        assert [f.line for f in found] == [5]
+        assert "never" in found[0].message
+
+    def test_leak_on_the_error_path(self, tmp_path):
+        # Released on the fall-through path, but the fallible call in
+        # between leaks the socket when it raises.
+        found = findings_for(
+            tmp_path,
+            "RL011",
+            {
+                "backends/net.py": (
+                    "import socket\n"
+                    "\n"
+                    "\n"
+                    "def ping(host):\n"
+                    "    sock = socket.create_connection((host, 80))\n"
+                    '    sock.sendall(b"ping")\n'
+                    "    sock.close()\n"
+                )
+            },
+        )
+        assert [f.line for f in found] == [5]
+        assert "try/finally" in found[0].message
+
+    def test_try_finally_is_fine(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL011",
+            {
+                "backends/net.py": (
+                    "import socket\n"
+                    "\n"
+                    "\n"
+                    "def ping(host):\n"
+                    "    sock = socket.create_connection((host, 80))\n"
+                    "    try:\n"
+                    '        sock.sendall(b"ping")\n'
+                    "    finally:\n"
+                    "        sock.close()\n"
+                )
+            },
+        )
+        assert found == []
+
+    def test_with_managed_is_fine(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL011",
+            {
+                "backends/net.py": (
+                    "import socket\n"
+                    "\n"
+                    "\n"
+                    "def ping(host):\n"
+                    "    with socket.create_connection((host, 80)) as sock:\n"
+                    '        sock.sendall(b"ping")\n'
+                )
+            },
+        )
+        assert found == []
+
+    def test_self_attr_needs_a_release_method(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL011",
+            {
+                "serving/pool.py": (
+                    "from concurrent.futures import ThreadPoolExecutor\n"
+                    "\n"
+                    "\n"
+                    "class Holder:\n"
+                    "    def __init__(self):\n"
+                    "        self._pool = ThreadPoolExecutor(max_workers=2)\n"
+                )
+            },
+        )
+        assert [f.line for f in found] == [6]
+        assert "release method" in found[0].message
+
+    def test_self_attr_with_close_is_fine(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL011",
+            {
+                "serving/pool.py": (
+                    "from concurrent.futures import ThreadPoolExecutor\n"
+                    "\n"
+                    "\n"
+                    "class Holder:\n"
+                    "    def __init__(self):\n"
+                    "        self._pool = ThreadPoolExecutor(max_workers=2)\n"
+                    "\n"
+                    "    def close(self):\n"
+                    "        self._pool.shutdown(wait=True)\n"
+                )
+            },
+        )
+        assert found == []
+
+    def test_daemon_thread_is_exempt(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL011",
+            {
+                "resilience/bg.py": (
+                    "import threading\n"
+                    "\n"
+                    "\n"
+                    "def kick(job):\n"
+                    "    thread = threading.Thread(target=job, daemon=True)\n"
+                    "    thread.start()\n"
+                )
+            },
+        )
+        assert found == []
+
+    def test_transfer_to_a_container_is_fine(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL011",
+            {
+                "resilience/bg.py": (
+                    "import threading\n"
+                    "\n"
+                    "\n"
+                    "def launch(jobs):\n"
+                    "    threads = []\n"
+                    "    for job in jobs:\n"
+                    "        thread = threading.Thread(target=job)\n"
+                    "        threads.append(thread)\n"
+                    "        thread.start()\n"
+                    "    for thread in threads:\n"
+                    "        thread.join()\n"
+                )
+            },
+        )
+        assert found == []
+
+    def test_out_of_scope_package_is_ignored(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL011",
+            {
+                "tools/net.py": (
+                    "import socket\n"
+                    "\n"
+                    "\n"
+                    "def ping(host):\n"
+                    "    sock = socket.create_connection((host, 80))\n"
+                    '    sock.sendall(b"ping")\n'
+                )
+            },
+        )
+        assert found == []
+
+
+# -- RL012: threadsafe-loop discipline ------------------------------------
+
+
+class TestThreadsafeLoop:
+    def test_call_soon_from_a_thread_target(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL012",
+            {
+                "serving/offload.py": (
+                    "import threading\n"
+                    "\n"
+                    "\n"
+                    "def worker(loop):\n"
+                    "    loop.call_soon(print)\n"
+                    "\n"
+                    "\n"
+                    "def kick(loop):\n"
+                    "    thread = threading.Thread(\n"
+                    "        target=worker, args=(loop,), daemon=True\n"
+                    "    )\n"
+                    "    thread.start()\n"
+                )
+            },
+        )
+        assert [f.line for f in found] == [5]
+        assert "call_soon_threadsafe" in found[0].message
+
+    def test_get_event_loop_reached_through_a_helper(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL012",
+            {
+                "serving/offload.py": (
+                    "import asyncio\n"
+                    "import threading\n"
+                    "\n"
+                    "\n"
+                    "def grab():\n"
+                    "    return asyncio.get_event_loop()\n"
+                    "\n"
+                    "\n"
+                    "def worker():\n"
+                    "    return grab()\n"
+                    "\n"
+                    "\n"
+                    "def kick():\n"
+                    "    thread = threading.Thread(target=worker, daemon=True)\n"
+                    "    thread.start()\n"
+                )
+            },
+        )
+        assert [(f.path, f.line) for f in found] == [
+            ("serving/offload.py", 6)
+        ]
+        assert "worker" in found[0].message
+
+    def test_threadsafe_handshake_is_exempt(self, tmp_path):
+        found = findings_for(
+            tmp_path,
+            "RL012",
+            {
+                "serving/offload.py": (
+                    "import threading\n"
+                    "\n"
+                    "\n"
+                    "def worker(loop, result):\n"
+                    "    loop.call_soon_threadsafe(print, result)\n"
+                    "\n"
+                    "\n"
+                    "def kick(loop):\n"
+                    "    thread = threading.Thread(\n"
+                    "        target=worker, args=(loop, 1), daemon=True\n"
+                    "    )\n"
+                    "    thread.start()\n"
+                )
+            },
+        )
+        assert found == []
+
+    def test_loop_use_on_the_loop_side_is_fine(self, tmp_path):
+        # call_soon from code NOT reachable on an executor thread is
+        # normal asyncio usage, not RL012's business.
+        found = findings_for(
+            tmp_path,
+            "RL012",
+            {
+                "serving/app.py": (
+                    "import asyncio\n"
+                    "\n"
+                    "\n"
+                    "async def handle():\n"
+                    "    loop = asyncio.get_running_loop()\n"
+                    "    loop.call_soon(print)\n"
+                )
+            },
+        )
+        assert found == []
