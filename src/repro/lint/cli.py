@@ -14,8 +14,8 @@ from repro.errors import LintError
 from repro.lint.baseline import Baseline
 from repro.lint.findings import Finding
 from repro.lint.project import Project
-from repro.lint.registry import all_rules, rule_ids
-from repro.lint.runner import run_rules, select_rules
+from repro.lint.registry import Rule, all_rules, rule_ids
+from repro.lint.runner import RuleStats, run_rules, select_rules
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -38,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -67,6 +67,21 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "run only this rule (repeatable; accepts comma-separated"
             " lists)"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        dest="rule",
+        metavar="RLxxx[,RLyyy]",
+        help="alias for --rule (familiar flake8/ruff spelling)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "print a per-rule timing and finding-count summary to"
+            " stderr (stdout output is unchanged)"
         ),
     )
     parser.add_argument(
@@ -122,6 +137,77 @@ def _render_json(
     )
 
 
+def _render_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule]
+) -> str:
+    """SARIF 2.1.0, the shape GitHub code scanning ingests.
+
+    Only additive relative to text/JSON: those formats stay
+    byte-stable; SARIF is a third renderer, not a replacement.
+    """
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://example.invalid/repro/reprolint"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "name": rule.name,
+                                "shortDescription": {
+                                    "text": rule.summary
+                                },
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": finding.rule,
+                        "level": "error",
+                        "message": {"text": finding.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": finding.path
+                                    },
+                                    "region": {
+                                        "startLine": max(
+                                            1, finding.line
+                                        )
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for finding in findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _print_stats(stats: Sequence[RuleStats]) -> None:
+    total = sum(s.elapsed_s for s in stats)
+    print("reprolint --stats (rule, findings, seconds):", file=sys.stderr)
+    for entry in sorted(stats, key=lambda s: s.rule):
+        print(
+            f"  {entry.rule}  {entry.findings:4d}"
+            f"  {entry.elapsed_s:8.4f}",
+            file=sys.stderr,
+        )
+    print(f"  total          {total:8.4f}", file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     opts = parser.parse_args(argv)
@@ -136,10 +222,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"no matching rules among {', '.join(rule_ids())}"
             )
         project = Project.from_paths(opts.paths)
+        stats: Optional[List[RuleStats]] = [] if opts.stats else None
         findings = run_rules(
             project,
             rules,
             strict_suppressions=opts.strict_suppressions,
+            stats=stats,
         )
         if opts.baseline:
             baseline = Baseline.load(opts.baseline)
@@ -156,8 +244,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except LintError as exc:
         print(f"reprolint: error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    if stats is not None:
+        _print_stats(stats)
     if opts.format == "json":
         print(_render_json(findings, [r.id for r in rules]))
+    elif opts.format == "sarif":
+        print(_render_sarif(findings, rules))
     else:
         print(_render_text(findings))
     return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -2,17 +2,30 @@
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
+
 
 from repro.lint.findings import Finding
 from repro.lint.project import Project, SourceFile
 from repro.lint.registry import Rule
 
 
+@dataclass(frozen=True)
+class RuleStats:
+    """Per-rule accounting from one :func:`run_rules` pass."""
+
+    rule: str
+    findings: int  # raw findings before suppressions/baseline
+    elapsed_s: float
+
+
 def run_rules(
     project: Project,
     rules: Sequence[Rule],
     strict_suppressions: bool = False,
+    stats: Optional[List[RuleStats]] = None,
 ) -> List[Finding]:
     """Run ``rules`` over ``project``; return surviving findings.
 
@@ -21,20 +34,33 @@ def run_rules(
     standalone comment line directly above it).  Parse errors from the
     project loader are always included.  With ``strict_suppressions``,
     every disable comment lacking a ``-- justification`` tail earns an
-    RL000 finding of its own.
+    RL000 finding of its own.  Pass a list as ``stats`` to collect one
+    :class:`RuleStats` per rule (the call-graph rules are slower than
+    the per-file ones; ``--stats`` makes that visible in CI).
     """
     by_path: Dict[str, SourceFile] = {
         f.rel_path: f for f in project.files
     }
     findings: List[Finding] = list(project.load_findings)
     for rule in rules:
+        started = time.perf_counter()
+        raw = 0
         for finding in rule.check(project):
+            raw += 1
             source = by_path.get(finding.path)
             if source is not None and source.suppressions.is_suppressed(
                 finding.rule, finding.line
             ):
                 continue
             findings.append(finding)
+        if stats is not None:
+            stats.append(
+                RuleStats(
+                    rule=rule.id,
+                    findings=raw,
+                    elapsed_s=time.perf_counter() - started,
+                )
+            )
     if strict_suppressions:
         findings.extend(_unjustified(project.files))
     return sorted(set(findings))

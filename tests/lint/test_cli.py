@@ -130,3 +130,57 @@ def test_unknown_rule_is_a_usage_error(tmp_path):
     tree = write_tree(tmp_path, PER_RULE["RL001"])
     result = run_cli("--rule=RL999", str(tree))
     assert result.returncode == 2
+
+
+def test_select_is_an_alias_for_rule(tmp_path):
+    write_tree(tmp_path, COMBINED)
+    via_rule = run_cli("--rule=RL007", "--format=json", str(tmp_path))
+    via_select = run_cli(
+        "--select=RL007", "--format=json", str(tmp_path)
+    )
+    assert via_select.returncode == via_rule.returncode == 1
+    assert via_select.stdout == via_rule.stdout
+
+
+def test_select_accepts_comma_lists(tmp_path):
+    write_tree(tmp_path, COMBINED)
+    result = run_cli(
+        "--select=RL009,RL011", "--format=json", str(tmp_path)
+    )
+    payload = json.loads(result.stdout)
+    assert payload["rules_run"] == ["RL009", "RL011"]
+    assert sorted(payload["counts"]) == ["RL009", "RL011"]
+
+
+def test_stats_goes_to_stderr_and_stdout_is_byte_stable(tmp_path):
+    write_tree(tmp_path, COMBINED)
+    plain = run_cli("--format=json", str(tmp_path))
+    with_stats = run_cli("--stats", "--format=json", str(tmp_path))
+    assert with_stats.stdout == plain.stdout  # byte-stable stdout
+    assert "reprolint --stats" in with_stats.stderr
+    for rule_id in ALL_RULE_IDS:
+        assert rule_id in with_stats.stderr
+
+
+def test_sarif_format_shape(tmp_path):
+    write_tree(tmp_path, PER_RULE["RL009"])
+    result = run_cli("--format=sarif", str(tmp_path))
+    assert result.returncode == 1
+    doc = json.loads(result.stdout)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == (
+        ALL_RULE_IDS
+    )
+    (finding,) = run["results"]
+    assert finding["ruleId"] == "RL009"
+    location = finding["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "serving/app.py"
+    assert location["region"]["startLine"] == 5
+
+
+def test_sarif_clean_tree_has_empty_results():
+    result = run_cli("--format=sarif", "src/repro")
+    assert result.returncode == 0, result.stdout + result.stderr
+    doc = json.loads(result.stdout)
+    assert doc["runs"][0]["results"] == []
