@@ -29,7 +29,7 @@ relation, so equal state families always produce equal masks.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.errors import ReproError
 from repro.relational.instances import DatabaseInstance
@@ -61,7 +61,7 @@ class TupleCodec:
         self,
         arities: Dict[str, int],
         rows_by_relation: Dict[str, Tuple[Row, ...]],
-    ):
+    ) -> None:
         self._arities: Dict[str, int] = dict(arities)
         self._names: Tuple[str, ...] = tuple(sorted(self._arities))
         self._bit_of: Dict[Tuple[str, Row], int] = {}
@@ -104,7 +104,7 @@ class TupleCodec:
         layout.
         """
         arities: Dict[str, int] = {}
-        observed: Dict[str, set] = {}
+        observed: Dict[str, Set[Row]] = {}
         first = True
         guard = current_guard()
         for instance in instances:
@@ -185,7 +185,7 @@ class TupleCodec:
 
         fault_check("kernel.encode")
         ticker = StrideTicker()
-        masks = []
+        masks: List[int] = []
         for instance in instances:
             ticker.tick()
             masks.append(self.encode(instance))

@@ -80,7 +80,7 @@ def _compile_fd(
     lhs = _attribute_positions(schema, constraint.relation, constraint.lhs)
     rhs = _attribute_positions(schema, constraint.relation, constraint.rhs)
     conflicts: List[int] = [0] * len(rows)
-    by_lhs: Dict[Tuple, List[int]] = {}
+    by_lhs: Dict[Row, List[int]] = {}
     guard = current_guard()
     for i, row in enumerate(rows):
         if guard is not None:
@@ -138,10 +138,10 @@ def _compile_jd(
     # join of a subset's projections iff each of these masks meets the
     # subset.
     same_projection: List[Tuple[int, ...]] = []
-    groups: List[Dict[Tuple, int]] = []
+    groups: List[Dict[Row, int]] = []
     guard = current_guard()
     for pos in positions:
-        grouped: Dict[Tuple, int] = {}
+        grouped: Dict[Row, int] = {}
         for i, row in enumerate(rows):
             if guard is not None:
                 guard.tick()

@@ -28,7 +28,17 @@ through the generic API do not silently re-run the slow paths.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
 
 from repro.kernel.bitspace import TupleCodec
 from repro.kernel.bulkops import StrideTicker, fiber_masks, pullback_monotone
@@ -37,9 +47,16 @@ from repro.algebra.poset import FinitePoset
 from repro.relational.instances import DatabaseInstance, sorted_instances
 from repro.resilience.faults import fault_check
 
+if TYPE_CHECKING:
+    from repro.core.strong import StrongViewAnalysis
+    from repro.relational.enumeration import StateSpace
+    from repro.views.view import View
+
 
 def _monotone_on_comparable_pairs(
-    below_source, below_target, fidx: List[int]
+    below_source: Sequence[int],
+    below_target: Sequence[int],
+    fidx: Sequence[int],
 ) -> bool:
     """``x <= y  =>  f(x) <= f(y)``, checked on comparable pairs only.
 
@@ -63,28 +80,30 @@ def _monotone_on_comparable_pairs(
     return True
 
 
-def image_poset_bitset(states) -> FinitePoset:
+def image_poset_bitset(states: Iterable[DatabaseInstance]) -> FinitePoset:
     """The ⊥-poset of a family of instances, via bitmask encoding."""
-    states = tuple(states)
-    codec = TupleCodec.from_instances(states)
-    return FinitePoset.from_masks(states, codec.encode_all(states))
+    ordered = tuple(states)
+    codec = TupleCodec.from_instances(ordered)
+    return FinitePoset.from_masks(ordered, codec.encode_all(ordered))
 
 
-def analyze_view_bitset(view, space) -> "StrongViewAnalysis":  # noqa: F821
+def analyze_view_bitset(view: View, space: StateSpace) -> StrongViewAnalysis:
     """Bitset-kernel twin of :func:`repro.core.strong.analyze_view`."""
     fault_check("kernel.analysis")
     return _analyze_view_fast(view, space, bulk=False)
 
 
-def analyze_view_bulk(view, space) -> "StrongViewAnalysis":  # noqa: F821
+def analyze_view_bulk(view: View, space: StateSpace) -> StrongViewAnalysis:
     """Bulk-kernel twin: word-packed monotonicity and fiber passes."""
     fault_check("kernel.bulk")
     return _analyze_view_fast(view, space, bulk=True)
 
 
 def _analyze_identity_like(
-    view, space, raw_table
-) -> "StrongViewAnalysis":  # noqa: F821
+    view: View,
+    space: StateSpace,
+    raw_table: Tuple[DatabaseInstance, ...],
+) -> StrongViewAnalysis:
     """Fast path for a view whose ``gamma'`` fixes every state.
 
     The image is the state set itself (``space.states`` is already in
@@ -99,7 +118,8 @@ def _analyze_identity_like(
 
     states = space.states
     source = space.poset
-    morphism = PosetMorphism(source, source, dict(zip(states, raw_table)))
+    identity_map: Dict[Hashable, Hashable] = dict(zip(states, raw_table))
+    morphism = PosetMorphism(source, source, identity_map)
     morphism._cache["monotone"] = True
     morphism._cache["admits_lp"] = True
     has_bottom = source.has_bottom()
@@ -124,8 +144,8 @@ def _analyze_identity_like(
 
 
 def _analyze_view_fast(
-    view, space, bulk: bool
-) -> "StrongViewAnalysis":  # noqa: F821
+    view: View, space: StateSpace, bulk: bool
+) -> StrongViewAnalysis:
     from repro.core.strong import StrongViewAnalysis
 
     states = space.states
@@ -142,7 +162,7 @@ def _analyze_view_fast(
     target_index = {state: i for i, state in enumerate(image_states)}
     fidx = [target_index[image] for image in raw_table]
 
-    table = dict(zip(states, raw_table))
+    table: Dict[Hashable, Hashable] = dict(zip(states, raw_table))
     morphism = PosetMorphism(source, target, table)
 
     if bulk:
@@ -165,14 +185,14 @@ def _analyze_view_fast(
     # States are ordered by size, so the least element (when it exists)
     # tends to be an early set bit.
     up_s = source._up_matrix()
-    sharp_idx: List[Optional[int]] = [None] * m
+    sharp_idx: List[int] = [-1] * m
     admits_lp = True
     ticker = StrideTicker()
     for f in range(m):
         ticker.tick()
         fiber = fibers[f]
         probe = fiber
-        least = None
+        least: Optional[int] = None
         while probe:  # reprolint: holds-guard -- bounded by the fiber
             # popcount; the enclosing per-fiber loop is stride-ticked
             x = (probe & -probe).bit_length() - 1
@@ -193,10 +213,13 @@ def _analyze_view_fast(
     sharp_monotone = False
     downward_stationary = False
     if admits_lp:
-        sharp_table = {
+        sharp_map: Dict[Hashable, Hashable] = {
             image_states[f]: states[sharp_idx[f]] for f in range(m)
         }
-        sharp = PosetMorphism(target, source, sharp_table)
+        sharp_table = cast(
+            Dict[DatabaseInstance, DatabaseInstance], sharp_map
+        )
+        sharp = PosetMorphism(target, source, sharp_map)
         if bulk:
             sharp_order_ok = pullback_monotone(below_t, below_s, sharp_idx)
         else:
@@ -209,7 +232,7 @@ def _analyze_view_fast(
         sharp_monotone = sharp_order_ok and (
             target.has_bottom()
             and source.has_bottom()
-            and sharp_table[target.bottom()] == source.bottom()
+            and sharp_map[target.bottom()] == source.bottom()
         )
         morphism._cache["lri"] = admits_lp and sharp_monotone
 
